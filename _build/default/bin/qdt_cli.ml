@@ -1,0 +1,302 @@
+(* qdt — command-line front end: show / simulate / compile / verify / gen /
+   export subcommands over OpenQASM files. *)
+
+open Cmdliner
+module Circuit = Qdt_circuit.Circuit
+module Generators = Qdt_circuit.Generators
+module Qasm = Qdt_circuit.Qasm
+module Draw = Qdt_circuit.Draw
+
+let read_circuit path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  Qasm.of_string src
+
+let load path =
+  match read_circuit path with
+  | c -> Ok c
+  | exception Qasm.Parse_error msg -> Error (`Msg (Printf.sprintf "%s: %s" path msg))
+  | exception Sys_error msg -> Error (`Msg msg)
+
+let circuit_arg =
+  let parse path = load path in
+  let print ppf _ = Format.fprintf ppf "<circuit>" in
+  Arg.conv (parse, print)
+
+let file_pos ~doc n = Arg.(required & pos n (some circuit_arg) None & info [] ~docv:"FILE" ~doc)
+
+let bitstring n k =
+  String.init n (fun i -> if k land (1 lsl (n - 1 - i)) <> 0 then '1' else '0')
+
+(* ------------------------------------------------------------------ *)
+(* show                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let show_cmd =
+  let run c =
+    print_string (Draw.render c);
+    Printf.printf "\nqubits: %d  instructions: %d  depth: %d  t-count: %d\n"
+      (Circuit.num_qubits c) (Circuit.count_total c) (Circuit.depth c) (Circuit.t_count c);
+    List.iter (fun (name, k) -> Printf.printf "  %-8s %d\n" name k) (Circuit.gate_counts c)
+  in
+  let term = Term.(const run $ file_pos ~doc:"OpenQASM file to display" 0) in
+  Cmd.v (Cmd.info "show" ~doc:"Draw a circuit and print its statistics") term
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let backend_arg =
+  let all =
+    List.map (fun b -> (Qdt.backend_name b, b)) (Qdt.all_backends @ [ Qdt.Stabilizer_backend ])
+  in
+  Arg.(value & opt (enum all) Qdt.Decision_diagrams & info [ "backend"; "b" ] ~docv:"BACKEND"
+         ~doc:"Simulation backend: arrays, decision-diagrams, tensor-network or mps.")
+
+let simulate_cmd =
+  let run c backend shots seed threshold =
+    let unitary_part =
+      List.fold_left
+        (fun acc i ->
+          match i with
+          | Circuit.Measure _ | Circuit.Reset _ -> acc
+          | _ -> Circuit.add i acc)
+        (Circuit.empty (Circuit.num_qubits c))
+        (Circuit.instructions c)
+    in
+    let n = Circuit.num_qubits c in
+    if shots = 0 && backend = Qdt.Stabilizer_backend then
+      prerr_endline "the stabilizer backend has no amplitudes; use --shots N"
+    else if shots = 0 then begin
+      let state = Qdt.simulate ~backend unitary_part in
+      Printf.printf "final state (backend: %s):\n" (Qdt.backend_name backend);
+      Qdt.Linalg.Vec.iteri
+        (fun k amp ->
+          let p = Qdt.Linalg.Cx.norm2 amp in
+          if p > threshold then
+            Printf.printf "  |%s>  %-22s  p=%.6f\n" (bitstring n k)
+              (Qdt.Linalg.Cx.to_string amp) p)
+        state
+    end
+    else begin
+      let counts = Qdt.sample ~backend ~seed ~shots unitary_part in
+      Printf.printf "counts over %d shots (backend: %s):\n" shots (Qdt.backend_name backend);
+      List.iter
+        (fun (k, count) -> Printf.printf "  %s  %d\n" (bitstring n k) count)
+        counts
+    end
+  in
+  let shots =
+    Arg.(value & opt int 0 & info [ "shots" ] ~doc:"Sample N shots instead of printing the state.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"RNG seed.") in
+  let threshold =
+    Arg.(value & opt float 1e-9 & info [ "threshold" ] ~doc:"Hide amplitudes below this probability.")
+  in
+  let term =
+    Term.(const run $ file_pos ~doc:"OpenQASM file to simulate" 0 $ backend_arg $ shots $ seed $ threshold)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Simulate a circuit with a chosen data structure") term
+
+(* ------------------------------------------------------------------ *)
+(* compile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let coupling_arg =
+  let parse s =
+    let parts = String.split_on_char ':' s in
+    match parts with
+    | [ "line"; n ] -> Ok (Qdt.Compile.Coupling.line (int_of_string n))
+    | [ "ring"; n ] -> Ok (Qdt.Compile.Coupling.ring (int_of_string n))
+    | [ "grid"; r; c ] ->
+        Ok (Qdt.Compile.Coupling.grid ~rows:(int_of_string r) ~cols:(int_of_string c))
+    | [ "star"; n ] -> Ok (Qdt.Compile.Coupling.star (int_of_string n))
+    | [ "full"; n ] -> Ok (Qdt.Compile.Coupling.fully_connected (int_of_string n))
+    | [ "qx5" ] -> Ok Qdt.Compile.Coupling.ibm_qx5
+    | _ -> Error (`Msg "expected line:N, ring:N, grid:R:C, star:N, full:N or qx5")
+  in
+  let print ppf _ = Format.fprintf ppf "<coupling>" in
+  Arg.conv (parse, print)
+
+let compile_cmd =
+  let run c coupling no_optimize output =
+    let compiled = Qdt.compile ~optimize:(not no_optimize) ~coupling c in
+    Printf.printf "added swaps: %d  removed gates: %d  depth: %d -> %d\n"
+      compiled.Qdt.added_swaps compiled.Qdt.removed_gates (Circuit.depth c)
+      (Circuit.depth compiled.Qdt.circuit);
+    let text = Qasm.to_string compiled.Qdt.circuit in
+    match output with
+    | None -> print_string text
+    | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+  in
+  let coupling =
+    Arg.(required & opt (some coupling_arg) None & info [ "coupling"; "c" ] ~docv:"MAP"
+           ~doc:"Target coupling map (line:N, ring:N, grid:R:C, star:N, full:N, qx5).")
+  in
+  let no_optimize = Arg.(value & flag & info [ "no-optimize" ] ~doc:"Skip peephole optimization.") in
+  let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE") in
+  let term =
+    Term.(const run $ file_pos ~doc:"OpenQASM file to compile" 0 $ coupling $ no_optimize $ output)
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Route a circuit onto a coupling map and optimize it") term
+
+(* ------------------------------------------------------------------ *)
+(* verify                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let verify_cmd =
+  let run c1 c2 checker =
+    let verdict = Qdt.equivalent ~checker c1 c2 in
+    Printf.printf "%s: %s\n" (Qdt.checker_name checker)
+      (Qdt.Verify.Equiv.verdict_to_string verdict);
+    match verdict with
+    | Qdt.Verify.Equiv.Not_equivalent -> exit 1
+    | Qdt.Verify.Equiv.Equivalent | Qdt.Verify.Equiv.Inconclusive -> ()
+  in
+  let checker =
+    let all = List.map (fun m -> (Qdt.checker_name m, m)) Qdt.all_checkers in
+    Arg.(value & opt (enum all) Qdt.Check_dd & info [ "method"; "m" ] ~docv:"METHOD"
+           ~doc:"Equivalence checking method: arrays, dd, dd-alternating, zx or simulation.")
+  in
+  let term =
+    Term.(const run
+          $ file_pos ~doc:"First OpenQASM file" 0
+          $ file_pos ~doc:"Second OpenQASM file" 1
+          $ checker)
+  in
+  Cmd.v (Cmd.info "verify" ~doc:"Check two circuits for equivalence") term
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cmd =
+  let run family n seed output =
+    let circuit =
+      match family with
+      | "bell" -> Generators.bell
+      | "ghz" -> Generators.ghz n
+      | "w" -> Generators.w_state n
+      | "qft" -> Generators.qft n
+      | "grover" -> Generators.grover ~marked:(max 0 (min ((1 lsl n) - 1) 1)) n
+      | "bv" -> Generators.bernstein_vazirani ~secret:((1 lsl n) - 1) n
+      | "adder" -> Generators.cuccaro_adder n
+      | "random" -> Generators.random_circuit ~seed ~depth:n 4
+      | "clifford" -> Generators.random_clifford ~seed ~gates:(10 * n) n
+      | "clifford-t" -> Generators.random_clifford_t ~seed ~gates:(10 * n) ~t_fraction:0.25 n
+      | other -> failwith (Printf.sprintf "unknown family %S" other)
+    in
+    let text = Qasm.to_string circuit in
+    match output with
+    | None -> print_string text
+    | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc
+  in
+  let family =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FAMILY"
+           ~doc:"bell, ghz, w, qft, grover, bv, adder, random, clifford, clifford-t")
+  in
+  let n = Arg.(value & opt int 3 & info [ "n" ] ~doc:"Size parameter.") in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"RNG seed.") in
+  let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE") in
+  let term = Term.(const run $ family $ n $ seed $ output) in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a standard benchmark circuit as OpenQASM") term
+
+(* ------------------------------------------------------------------ *)
+(* export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let export_cmd =
+  let run c format output =
+    let text =
+      match format with
+      | `Dd ->
+          let st = Qdt.Dd.Sim.run_unitary c in
+          Qdt.Dd.Export.to_dot (Qdt.Dd.Sim.manager st) (Qdt.Dd.Sim.root st)
+      | `Zx -> Qdt.Zx.Diagram.to_dot (Qdt.Zx.Translate.of_circuit c)
+      | `Zx_reduced ->
+          let d = Qdt.Zx.Translate.of_circuit c in
+          ignore (Qdt.Zx.Simplify.full_reduce d);
+          Qdt.Zx.Diagram.to_dot d
+    in
+    match output with
+    | None -> print_string text
+    | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc
+  in
+  let format =
+    Arg.(value & opt (enum [ ("dd", `Dd); ("zx", `Zx); ("zx-reduced", `Zx_reduced) ]) `Dd
+         & info [ "format"; "f" ] ~docv:"FORMAT"
+             ~doc:"dd (state decision diagram), zx, or zx-reduced.")
+  in
+  let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE") in
+  let term = Term.(const run $ file_pos ~doc:"OpenQASM file" 0 $ format $ output) in
+  Cmd.v (Cmd.info "export" ~doc:"Export the circuit's DD or ZX-diagram as Graphviz DOT") term
+
+(* ------------------------------------------------------------------ *)
+(* optimize                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* T-like gates: non-Clifford diagonal rotations however they are spelled *)
+let non_clifford_count c =
+  List.fold_left
+    (fun acc instr ->
+      match instr with
+      | Circuit.Apply { gate; _ } -> (
+          match Qdt.Compile.Optimize.diag_angle gate with
+          | Some theta ->
+              let r = theta /. (Float.pi /. 2.0) in
+              if Float.abs (r -. Float.round r) < 1e-9 then acc else acc + 1
+          | None -> acc)
+      | _ -> acc)
+    0 (Circuit.instructions c)
+
+let optimize_cmd =
+  let run c method_ output =
+    let optimized =
+      match method_ with
+      | `Peephole -> fst (Qdt.Compile.Optimize.optimize c)
+      | `Zx -> Qdt.Zx.Extract.optimize_circuit c
+      | `Phase_poly -> Qdt.Compile.Phase_poly.optimize_blocks c
+    in
+    Printf.printf "gates: %d -> %d   depth: %d -> %d   non-clifford: %d -> %d\n"
+      (Circuit.count_total c)
+      (Circuit.count_total optimized)
+      (Circuit.depth c) (Circuit.depth optimized)
+      (non_clifford_count c)
+      (non_clifford_count optimized);
+    let text = Qasm.to_string optimized in
+    match output with
+    | None -> print_string text
+    | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+  in
+  let method_ =
+    Arg.(value
+         & opt (enum [ ("peephole", `Peephole); ("zx", `Zx); ("phase-poly", `Phase_poly) ]) `Peephole
+         & info [ "method"; "m" ] ~docv:"METHOD"
+             ~doc:"Optimization method: peephole, zx (reduce + extract) or phase-poly.")
+  in
+  let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE") in
+  let term = Term.(const run $ file_pos ~doc:"OpenQASM file to optimize" 0 $ method_ $ output) in
+  Cmd.v (Cmd.info "optimize" ~doc:"Optimize a circuit (peephole, ZX pipeline, or phase polynomial)") term
+
+let main =
+  let doc = "quantum design tools: arrays, decision diagrams, tensor networks, ZX-calculus" in
+  Cmd.group (Cmd.info "qdt" ~version:"1.0.0" ~doc)
+    [ show_cmd; simulate_cmd; compile_cmd; verify_cmd; gen_cmd; export_cmd; optimize_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/clifford_scale.ml: List Printf Qdt Random Unix

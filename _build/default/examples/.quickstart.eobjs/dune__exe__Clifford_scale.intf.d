@@ -1,0 +1,1 @@
+examples/clifford_scale.mli:

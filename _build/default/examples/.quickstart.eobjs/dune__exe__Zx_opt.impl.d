@@ -1,0 +1,1 @@
+examples/zx_opt.ml: Float List Printf Qdt

@@ -1,0 +1,1 @@
+examples/zx_opt.mli:

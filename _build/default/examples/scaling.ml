@@ -1,0 +1,51 @@
+(* Memory scaling (experiment E5): the Section II claim that array-based
+   representations grow exponentially (practical limit < 50 qubits) while
+   decision diagrams stay polynomial for structured states and tensor
+   networks stay linear in the circuit.
+
+   Run with: dune exec examples/scaling.exe *)
+
+module Generators = Qdt.Circuit.Generators
+
+let row n =
+  let ghz = Generators.ghz n in
+  let array_bytes = 16 * (1 lsl n) in
+  let dd = Qdt.Dd.Sim.run_unitary ghz in
+  let dd_nodes = Qdt.Dd.Sim.node_count dd in
+  let dd_bytes = Qdt.Dd.Sim.memory_bytes dd in
+  let tn_bytes = Qdt.Tensornet.Circuit_tn.memory_bytes (Qdt.Tensornet.Circuit_tn.of_circuit ghz) in
+  let mps = Qdt.Tensornet.Mps.run ghz in
+  let mps_bytes = Qdt.Tensornet.Mps.memory_bytes mps in
+  Printf.printf "%4d | %14d | %8d %10d | %10d | %10d (chi=%d)\n" n array_bytes dd_nodes
+    dd_bytes tn_bytes mps_bytes
+    (Qdt.Tensornet.Mps.max_bond_dim mps)
+
+let () =
+  print_endline "GHZ(n): memory footprint of the four representations (bytes)";
+  print_endline "   n |   array bytes | DD nodes   DD bytes |   TN bytes |  MPS bytes";
+  print_endline "-----+---------------+---------------------+------------+-----------";
+  List.iter row [ 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ];
+  print_endline "";
+  print_endline "The array column doubles per qubit; every other column is (sub)linear:";
+  print_endline "exactly the redundancy-exploitation story of Sections II-IV.";
+
+  (* W states: still structured, DD slightly bigger but polynomial. *)
+  print_endline "";
+  print_endline "W(n): DD nodes stay linear too";
+  List.iter
+    (fun n ->
+      let dd = Qdt.Dd.Sim.run_unitary (Generators.w_state n) in
+      Printf.printf "  n=%-3d nodes=%d\n" n (Qdt.Dd.Sim.node_count dd))
+    [ 4; 8; 12; 16 ];
+
+  (* Random states: no structure, DD falls back to exponential — the
+     trade-off the paper's conclusion warns about. *)
+  print_endline "";
+  print_endline "random circuits: without redundancy the DD grows exponentially";
+  List.iter
+    (fun n ->
+      let c = Generators.random_circuit ~seed:1 ~depth:4 n in
+      let dd = Qdt.Dd.Sim.run_unitary c in
+      Printf.printf "  n=%-3d nodes=%-6d (array amplitudes: %d)\n" n
+        (Qdt.Dd.Sim.node_count dd) (1 lsl n))
+    [ 4; 6; 8; 10; 12 ]

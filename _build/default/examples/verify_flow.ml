@@ -1,0 +1,56 @@
+(* Verification flow (experiment E10): all equivalence-checking methods on
+   correct compilations and on injected-error mutants.
+
+   Run with: dune exec examples/verify_flow.exe *)
+
+module Circuit = Qdt.Circuit.Circuit
+module Generators = Qdt.Circuit.Generators
+module Equiv = Qdt.Verify.Equiv
+module Mutate = Qdt.Verify.Mutate
+
+let check_all c1 c2 =
+  List.map
+    (fun checker -> (Qdt.checker_name checker, Qdt.equivalent ~checker c1 c2))
+    Qdt.all_checkers
+
+let print_verdicts label verdicts =
+  Printf.printf "%-34s" label;
+  List.iter
+    (fun (name, verdict) ->
+      Printf.printf " %s=%-14s" name (Equiv.verdict_to_string verdict))
+    verdicts;
+  print_newline ()
+
+let () =
+  let base = Generators.qft 4 in
+  print_endline "Equivalence checking a compiled QFT(4) (correct compilation):";
+  let compiled = Qdt.compile ~coupling:(Qdt.Compile.Coupling.line 4) base in
+  let restored =
+    Qdt.Compile.Router.undo_final_permutation
+      (Qdt.Compile.Router.route base (Qdt.Compile.Coupling.line 4))
+  in
+  ignore compiled;
+  print_verdicts "  compiled-and-restored vs original" (check_all base restored);
+
+  print_endline "";
+  print_endline "Mutation detection (one injected error each):";
+  List.iter
+    (fun seed ->
+      let m = Mutate.random ~seed base in
+      print_verdicts (Printf.sprintf "  %s" m.Mutate.description)
+        (check_all base m.Mutate.circuit))
+    [ 0; 1; 2; 3; 4; 5 ];
+
+  print_endline "";
+  print_endline "Notes:";
+  print_endline "- arrays / dd / dd-alternating are exact deciders;";
+  print_endline "- zx certifies equivalence but may answer 'inconclusive';";
+  print_endline "- simulation gives counterexamples quickly but can only ever";
+  print_endline "  report 'inconclusive' for equivalent circuits.";
+
+  (* A tiny perturbation below simulation noise: only exact methods see it. *)
+  print_endline "";
+  print_endline "A 1e-4-radian angle perturbation is still caught by the exact methods:";
+  let m = Mutate.perturb_angle ~seed:2 ~delta:1e-4 base in
+  print_verdicts (Printf.sprintf "  %s" m.Mutate.description)
+    (check_all base m.Mutate.circuit)

@@ -1,0 +1,1 @@
+lib/arraysim/density.ml: Array Circuit Cx Float Gates List Mat Qdt_circuit Qdt_linalg Statevector Unitary_builder Vec

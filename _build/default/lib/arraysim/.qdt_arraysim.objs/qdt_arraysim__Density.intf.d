@@ -1,0 +1,1 @@
+lib/arraysim/density.mli: Qdt_circuit Qdt_linalg Statevector

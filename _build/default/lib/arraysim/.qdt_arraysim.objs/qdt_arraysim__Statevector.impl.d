@@ -1,0 +1,1 @@
+lib/arraysim/statevector.ml: Array Circuit Cx Float Format Gate Hashtbl List Mat Option Qdt_circuit Qdt_linalg Random String Vec

@@ -1,0 +1,1 @@
+lib/arraysim/statevector.mli: Format Qdt_circuit Qdt_linalg Random

@@ -1,0 +1,1 @@
+lib/arraysim/trajectories.ml: Array Circuit Cx Density Float List Qdt_circuit Qdt_linalg Random Statevector Vec

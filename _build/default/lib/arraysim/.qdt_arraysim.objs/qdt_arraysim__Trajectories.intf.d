@@ -1,0 +1,1 @@
+lib/arraysim/trajectories.mli: Density Qdt_circuit Random Statevector

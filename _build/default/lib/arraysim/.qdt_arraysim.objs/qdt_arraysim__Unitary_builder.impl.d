@@ -1,0 +1,1 @@
+lib/arraysim/unitary_builder.ml: Array Circuit Cx Gate List Mat Qdt_circuit Qdt_linalg Random Statevector Vec

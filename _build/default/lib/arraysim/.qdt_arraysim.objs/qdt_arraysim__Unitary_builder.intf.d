@@ -1,0 +1,1 @@
+lib/arraysim/unitary_builder.mli: Qdt_circuit Qdt_linalg

@@ -1,0 +1,113 @@
+open Qdt_linalg
+open Qdt_circuit
+
+type t = { n : int; mutable rho : Mat.t }
+type channel = Mat.t list
+
+let create n =
+  if n < 1 || n > 12 then invalid_arg "Density.create: unsupported qubit count";
+  let dim = 1 lsl n in
+  let rho = Mat.create dim dim in
+  Mat.set rho 0 0 Cx.one;
+  { n; rho }
+
+let of_statevector sv =
+  let v = Statevector.to_vec sv in
+  let dim = Vec.length v in
+  let rho =
+    Mat.init dim dim (fun r c -> Cx.mul (Vec.get v r) (Cx.conj (Vec.get v c)))
+  in
+  { n = Statevector.num_qubits sv; rho }
+
+let num_qubits d = d.n
+let matrix d = Mat.copy d.rho
+let trace d = (Mat.trace d.rho).Cx.re
+let purity d = (Mat.trace (Mat.mul d.rho d.rho)).Cx.re
+
+let conjugate d u = d.rho <- Mat.mul u (Mat.mul d.rho (Mat.dagger u))
+
+let apply_instruction d instr =
+  match instr with
+  | Circuit.Apply _ | Circuit.Swap _ ->
+      conjugate d (Unitary_builder.instruction_matrix ~num_qubits:d.n instr)
+  | Circuit.Barrier _ -> ()
+  | Circuit.Measure _ | Circuit.Reset _ ->
+      invalid_arg "Density.apply_instruction: measurement not supported"
+
+let embed_kraus n k q =
+  (* K on qubit q, identity elsewhere, by direct index arithmetic. *)
+  let dim = 1 lsl n in
+  let bit = 1 lsl q in
+  Mat.init dim dim (fun row col ->
+      if row lor bit <> col lor bit then Cx.zero
+      else
+        Mat.get k (if row land bit <> 0 then 1 else 0) (if col land bit <> 0 then 1 else 0))
+
+let apply_channel d ch q =
+  let terms =
+    List.map
+      (fun k ->
+        let full = embed_kraus d.n k q in
+        Mat.mul full (Mat.mul d.rho (Mat.dagger full)))
+      ch
+  in
+  match terms with
+  | [] -> invalid_arg "Density.apply_channel: empty channel"
+  | first :: rest -> d.rho <- List.fold_left Mat.add first rest
+
+let run ?noise circuit =
+  let d = create (Circuit.num_qubits circuit) in
+  List.iter
+    (fun instr ->
+      match instr with
+      | Circuit.Barrier _ -> ()
+      | _ ->
+          apply_instruction d instr;
+          (match noise with
+          | None -> ()
+          | Some mk ->
+              List.iter
+                (fun q -> apply_channel d (mk ()) q)
+                (Circuit.qubits_of_instruction instr)))
+    (Circuit.instructions circuit);
+  d
+
+let probabilities d =
+  Array.init (1 lsl d.n) (fun k -> (Mat.get d.rho k k).Cx.re)
+
+let fidelity_to_pure d sv =
+  let v = Statevector.to_vec sv in
+  let rho_v = Mat.mul_vec d.rho v in
+  (Vec.dot v rho_v).Cx.re
+
+let m2 a b c dd = Mat.of_rows [| [| a; b |]; [| c; dd |] |]
+let r = Cx.of_float
+
+let depolarizing p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Density.depolarizing: p out of [0,1]";
+  let s0 = Float.sqrt (1.0 -. (3.0 *. p /. 4.0)) in
+  let s = Float.sqrt (p /. 4.0) in
+  [
+    Mat.scale (r s0) Gates.id2;
+    Mat.scale (r s) Gates.x;
+    Mat.scale (r s) Gates.y;
+    Mat.scale (r s) Gates.z;
+  ]
+
+let amplitude_damping gamma =
+  if gamma < 0.0 || gamma > 1.0 then invalid_arg "Density.amplitude_damping: gamma out of [0,1]";
+  [
+    m2 Cx.one Cx.zero Cx.zero (r (Float.sqrt (1.0 -. gamma)));
+    m2 Cx.zero (r (Float.sqrt gamma)) Cx.zero Cx.zero;
+  ]
+
+let phase_damping lambda =
+  if lambda < 0.0 || lambda > 1.0 then invalid_arg "Density.phase_damping: lambda out of [0,1]";
+  [
+    m2 Cx.one Cx.zero Cx.zero (r (Float.sqrt (1.0 -. lambda)));
+    m2 Cx.zero Cx.zero Cx.zero (r (Float.sqrt lambda));
+  ]
+
+let bit_flip p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Density.bit_flip: p out of [0,1]";
+  [ Mat.scale (r (Float.sqrt (1.0 -. p))) Gates.id2; Mat.scale (r (Float.sqrt p)) Gates.x ]

@@ -1,0 +1,45 @@
+(** Density-matrix simulation with noise channels.
+
+    The array story of Section II extended to mixed states, which is what
+    the noise-aware simulation the paper cites ([13], Grurl et al.) needs:
+    a state is a [2^n × 2^n] positive matrix ρ, gates act as [UρU†] and
+    noise as Kraus channels [ρ ↦ Σ K ρ K†]. *)
+
+type t
+
+(** A single-qubit Kraus channel. *)
+type channel = Qdt_linalg.Mat.t list
+
+val create : int -> t
+(** [create n] is the pure state [|0…0⟩⟨0…0|]. *)
+
+val of_statevector : Statevector.t -> t
+val num_qubits : t -> int
+val matrix : t -> Qdt_linalg.Mat.t
+val trace : t -> float
+
+(** [purity rho] is [Tr ρ²] — 1 on pure states, < 1 on mixed ones. *)
+val purity : t -> float
+
+val apply_instruction : t -> Qdt_circuit.Circuit.instruction -> unit
+
+(** [apply_channel rho ch q] applies the single-qubit channel on qubit [q]. *)
+val apply_channel : t -> channel -> int -> unit
+
+(** [run ?noise circuit] simulates [circuit]; when [noise] is given, the
+    channel [noise gate_qubits] is applied to each touched qubit after each
+    gate. *)
+val run : ?noise:(unit -> channel) -> Qdt_circuit.Circuit.t -> t
+
+(** [probabilities rho] is the diagonal of ρ. *)
+val probabilities : t -> float array
+
+(** [fidelity_to_pure rho sv] is [⟨ψ|ρ|ψ⟩]. *)
+val fidelity_to_pure : t -> Statevector.t -> float
+
+(** {1 Standard channels} *)
+
+val depolarizing : float -> channel
+val amplitude_damping : float -> channel
+val phase_damping : float -> channel
+val bit_flip : float -> channel

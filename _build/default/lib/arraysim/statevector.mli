@@ -1,0 +1,75 @@
+(** Array-based state-vector simulation (Section II of the paper).
+
+    The state of [n] qubits is the dense array of its [2^n] amplitudes;
+    gates are applied in place with stride-[2^target] kernels rather than
+    by materialising the full [2^n × 2^n] operator.  This is the baseline
+    the other backends are measured against: simple, cache-friendly, and
+    exponential in memory. *)
+
+type t
+
+(** [create n] is [|0…0⟩] on [n] qubits. *)
+val create : int -> t
+
+(** [of_vec n v] wraps an explicit amplitude vector of length [2^n]. *)
+val of_vec : int -> Qdt_linalg.Vec.t -> t
+
+val to_vec : t -> Qdt_linalg.Vec.t
+
+(** [overwrite sv v] replaces the amplitudes of [sv] in place.
+    @raise Invalid_argument on length mismatch. *)
+val overwrite : t -> Qdt_linalg.Vec.t -> unit
+
+(** [copy sv] — independent deep copy. *)
+val copy : t -> t
+val num_qubits : t -> int
+
+(** [amplitude sv k] is [⟨k|ψ⟩]. *)
+val amplitude : t -> int -> Qdt_linalg.Cx.t
+
+(** [probability sv k] is [|⟨k|ψ⟩|²]. *)
+val probability : t -> int -> float
+val probabilities : t -> float array
+val norm : t -> float
+
+(** [apply_gate sv gate ~controls ~target] applies a (multi-)controlled
+    single-qubit gate in place. *)
+val apply_gate : t -> Qdt_circuit.Gate.t -> controls:int list -> target:int -> unit
+
+(** [apply_matrix sv m ~controls ~target] applies an arbitrary 2×2 unitary. *)
+val apply_matrix : t -> Qdt_linalg.Mat.t -> controls:int list -> target:int -> unit
+
+(** [apply_swap sv ~controls a b] swaps qubits [a] and [b]. *)
+val apply_swap : t -> controls:int list -> int -> int -> unit
+
+(** [apply_instruction sv instr ~rng ~clbits] executes one instruction;
+    measurements collapse the state using [rng] and record into [clbits]. *)
+val apply_instruction :
+  t -> Qdt_circuit.Circuit.instruction -> rng:Random.State.t -> clbits:int array -> unit
+
+(** [run ?seed circuit] simulates from [|0…0⟩]; returns the final state and
+    the classical bits (all zero when the circuit never measures). *)
+val run : ?seed:int -> Qdt_circuit.Circuit.t -> t * int array
+
+(** [run_unitary circuit] simulates ignoring measurements/resets entirely.
+    @raise Invalid_argument if the circuit contains any. *)
+val run_unitary : Qdt_circuit.Circuit.t -> t
+
+(** [measure_qubit sv ~rng q] projects qubit [q], renormalises, and returns
+    the observed bit. *)
+val measure_qubit : t -> rng:Random.State.t -> int -> int
+
+(** [expectation_z sv q] is [⟨ψ|Z_q|ψ⟩] (a real number). *)
+val expectation_z : t -> int -> float
+
+(** [sample ?seed sv ~shots] draws basis states from [|ψ|²] and returns
+    (basis index, count) pairs sorted by index. *)
+val sample : ?seed:int -> t -> shots:int -> (int * int) list
+
+(** [fidelity a b] is [|⟨a|b⟩|²]. *)
+val fidelity : t -> t -> float
+
+(** [memory_bytes sv] — amplitude payload size, for the E5 experiment. *)
+val memory_bytes : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+open Qdt_linalg
+open Qdt_circuit
+
+type noise_model = { channel : unit -> Density.channel; label : string }
+
+let depolarizing p = { channel = (fun () -> Density.depolarizing p); label = "depolarizing" }
+
+let amplitude_damping gamma =
+  { channel = (fun () -> Density.amplitude_damping gamma); label = "amplitude-damping" }
+
+let phase_damping lambda =
+  { channel = (fun () -> Density.phase_damping lambda); label = "phase-damping" }
+
+let bit_flip p = { channel = (fun () -> Density.bit_flip p); label = "bit-flip" }
+
+let apply_channel_stochastic sv ch q ~rng =
+  (* Branch weights ‖K_i|ψ⟩‖²; they sum to 1 for a CPTP channel. *)
+  let candidates =
+    List.map
+      (fun k ->
+        let branch = Statevector.copy sv in
+        Statevector.apply_matrix branch k ~controls:[] ~target:q;
+        let w = Statevector.norm branch in
+        (branch, w *. w))
+      ch
+  in
+  if candidates = [] then invalid_arg "Trajectories: empty channel";
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 candidates in
+  let r = Random.State.float rng total in
+  let rec pick acc = function
+    | [] -> assert false
+    | [ (branch, _) ] -> branch
+    | (branch, w) :: rest -> if acc +. w >= r then branch else pick (acc +. w) rest
+  in
+  let chosen = pick 0.0 candidates in
+  let norm = Statevector.norm chosen in
+  if norm < 1e-14 then invalid_arg "Trajectories: zero-probability branch chosen";
+  Statevector.overwrite sv
+    (Vec.scale (Cx.of_float (1.0 /. norm)) (Statevector.to_vec chosen))
+
+let run_single ?(seed = 0) ~noise circuit =
+  let sv = Statevector.create (Circuit.num_qubits circuit) in
+  let rng = Random.State.make [| seed; 77 |] in
+  let clbits = Array.make (max 1 (Circuit.num_clbits circuit)) 0 in
+  List.iter
+    (fun instr ->
+      Statevector.apply_instruction sv instr ~rng ~clbits;
+      match instr with
+      | Circuit.Barrier _ -> ()
+      | _ ->
+          List.iter
+            (fun q -> apply_channel_stochastic sv (noise.channel ()) q ~rng)
+            (Circuit.qubits_of_instruction instr))
+    (Circuit.instructions circuit);
+  sv
+
+let average_probabilities ?(seed = 0) ~noise ~trajectories circuit =
+  if trajectories < 1 then invalid_arg "Trajectories: need at least one trajectory";
+  let dim = 1 lsl Circuit.num_qubits circuit in
+  let acc = Array.make dim 0.0 in
+  for t = 0 to trajectories - 1 do
+    let sv = run_single ~seed:(seed + t) ~noise circuit in
+    let probs = Statevector.probabilities sv in
+    Array.iteri (fun k p -> acc.(k) <- acc.(k) +. p) probs
+  done;
+  Array.map (fun p -> p /. Float.of_int trajectories) acc
+
+let average_fidelity ?(seed = 0) ~noise ~trajectories circuit =
+  if trajectories < 1 then invalid_arg "Trajectories: need at least one trajectory";
+  let ideal = Statevector.run_unitary circuit in
+  let acc = ref 0.0 in
+  for t = 0 to trajectories - 1 do
+    let sv = run_single ~seed:(seed + t) ~noise circuit in
+    acc := !acc +. Statevector.fidelity ideal sv
+  done;
+  !acc /. Float.of_int trajectories

@@ -1,0 +1,36 @@
+(** Noise-aware simulation by quantum trajectories.
+
+    The stochastic counterpart of {!Density}: instead of evolving the
+    [4^n]-sized density matrix, sample state-vector trajectories — after
+    each gate, pick one Kraus operator of the channel with probability
+    [‖K|ψ⟩‖²] and renormalise.  Averaging trajectories reproduces the
+    density-matrix results (the approach of the paper's ref [13]) at
+    state-vector cost per sample. *)
+
+type noise_model = {
+  channel : unit -> Density.channel;  (** channel applied per touched qubit *)
+  label : string;
+}
+
+val depolarizing : float -> noise_model
+val amplitude_damping : float -> noise_model
+val phase_damping : float -> noise_model
+val bit_flip : float -> noise_model
+
+(** [apply_channel_stochastic sv ch q ~rng] — sample one Kraus branch. *)
+val apply_channel_stochastic :
+  Statevector.t -> Density.channel -> int -> rng:Random.State.t -> unit
+
+(** [run_single ?seed ~noise circuit] — one noisy trajectory. *)
+val run_single : ?seed:int -> noise:noise_model -> Qdt_circuit.Circuit.t -> Statevector.t
+
+(** [average_probabilities ?seed ~noise ~trajectories circuit] — mean
+    measurement distribution over that many trajectories; converges to
+    the diagonal of the density matrix. *)
+val average_probabilities :
+  ?seed:int -> noise:noise_model -> trajectories:int -> Qdt_circuit.Circuit.t -> float array
+
+(** [average_fidelity ?seed ~noise ~trajectories circuit] — mean fidelity
+    of noisy trajectories against the ideal state. *)
+val average_fidelity :
+  ?seed:int -> noise:noise_model -> trajectories:int -> Qdt_circuit.Circuit.t -> float

@@ -1,0 +1,61 @@
+open Qdt_linalg
+open Qdt_circuit
+
+let instruction_matrix ~num_qubits instr =
+  let dim = 1 lsl num_qubits in
+  match instr with
+  | Circuit.Apply { gate; controls; target } ->
+      let u = Gate.matrix gate in
+      let cmask = List.fold_left (fun mask q -> mask lor (1 lsl q)) 0 controls in
+      let tbit = 1 lsl target in
+      Mat.init dim dim (fun row col ->
+          if col land cmask <> cmask then
+            (* controls not satisfied: identity column *)
+            if row = col then Cx.one else Cx.zero
+          else if row lor tbit <> col lor tbit || row land cmask <> cmask then
+            (* rows must agree with col outside the target bit *)
+            Cx.zero
+          else
+            Mat.get u (if row land tbit <> 0 then 1 else 0)
+              (if col land tbit <> 0 then 1 else 0))
+  | Circuit.Swap { controls; a; b } ->
+      let cmask = List.fold_left (fun mask q -> mask lor (1 lsl q)) 0 controls in
+      let ba = 1 lsl a and bb = 1 lsl b in
+      Mat.init dim dim (fun row col ->
+          let image =
+            if col land cmask <> cmask then col
+            else
+              let bit_a = if col land ba <> 0 then 1 else 0 in
+              let bit_b = if col land bb <> 0 then 1 else 0 in
+              if bit_a = bit_b then col else col lxor ba lxor bb
+          in
+          if row = image then Cx.one else Cx.zero)
+  | Circuit.Barrier _ -> Mat.identity dim
+  | Circuit.Measure _ | Circuit.Reset _ ->
+      invalid_arg "Unitary_builder: non-unitary instruction"
+
+let unitary circuit =
+  if not (Circuit.is_unitary_only circuit) then
+    invalid_arg "Unitary_builder.unitary: circuit measures or resets";
+  let n = Circuit.num_qubits circuit in
+  List.fold_left
+    (fun acc instr -> Mat.mul (instruction_matrix ~num_qubits:n instr) acc)
+    (Mat.identity (1 lsl n))
+    (Circuit.instructions circuit)
+
+let unitary_by_columns circuit =
+  if not (Circuit.is_unitary_only circuit) then
+    invalid_arg "Unitary_builder.unitary_by_columns: circuit measures or resets";
+  let n = Circuit.num_qubits circuit in
+  let dim = 1 lsl n in
+  let columns =
+    Array.init dim (fun k ->
+        let sv = Statevector.of_vec n (Vec.basis ~dim k) in
+        let rng = Random.State.make [| 0 |] in
+        let clbits = [| 0 |] in
+        List.iter
+          (fun instr -> Statevector.apply_instruction sv instr ~rng ~clbits)
+          (Circuit.instructions circuit);
+        Statevector.to_vec sv)
+  in
+  Mat.init dim dim (fun row col -> Vec.get columns.(col) row)

@@ -1,0 +1,21 @@
+(** Building the full [2^n × 2^n] unitary of a circuit.
+
+    This is the most literal reading of Section II: a circuit *is* a
+    product of matrices.  It is also the array-based reference method for
+    equivalence checking, feasible only for small [n]. *)
+
+(** [instruction_matrix ~num_qubits instr] is the full operator of one
+    instruction.
+    @raise Invalid_argument on measurements/resets. *)
+val instruction_matrix :
+  num_qubits:int -> Qdt_circuit.Circuit.instruction -> Qdt_linalg.Mat.t
+
+(** [unitary circuit] multiplies all instruction matrices in program
+    order, i.e. returns [U_m · … · U_1].
+    @raise Invalid_argument if the circuit measures or resets. *)
+val unitary : Qdt_circuit.Circuit.t -> Qdt_linalg.Mat.t
+
+(** [unitary_by_columns circuit] computes the same matrix one basis-state
+    simulation per column; cheaper in practice because it never forms
+    intermediate [2^n × 2^n] products. *)
+val unitary_by_columns : Qdt_circuit.Circuit.t -> Qdt_linalg.Mat.t

@@ -1,0 +1,1 @@
+lib/circuit/generators.ml: Array Circuit Float Gate List Random

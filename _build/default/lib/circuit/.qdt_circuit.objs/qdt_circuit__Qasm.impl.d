@@ -1,0 +1,1 @@
+lib/circuit/qasm.ml: Circuit Float Format Gate Hashtbl List Printf String

@@ -1,0 +1,121 @@
+(** Quantum circuits: the common input language of all four backends.
+
+    A circuit is an ordered list of instructions over [num_qubits] qubits
+    and [num_clbits] classical bits.  Values are immutable; the builder
+    functions return extended circuits and are designed for pipelining:
+
+    {[
+      let bell = Circuit.(empty 2 |> h 1 |> cx 1 0)
+    ]}
+
+    Qubit [n-1] is the most significant (paper convention, Section III). *)
+
+type instruction =
+  | Apply of { gate : Gate.t; controls : int list; target : int }
+      (** [gate] on [target], conditioned on all [controls] being |1⟩.
+          An empty control list is an ordinary single-qubit gate. *)
+  | Swap of { controls : int list; a : int; b : int }
+      (** SWAP of [a] and [b]; non-empty [controls] makes it a Fredkin. *)
+  | Measure of { qubit : int; clbit : int }
+  | Reset of int
+  | Barrier of int list
+
+type t
+
+(** [empty ?clbits n] is the empty circuit on [n] qubits.
+    @raise Invalid_argument if [n <= 0]. *)
+val empty : ?clbits:int -> int -> t
+
+val num_qubits : t -> int
+val num_clbits : t -> int
+
+(** [instructions c] in program order. *)
+val instructions : t -> instruction list
+
+val length : t -> int
+
+(** [add instr c] appends [instr].
+    @raise Invalid_argument on out-of-range or overlapping qubits. *)
+val add : instruction -> t -> t
+
+(** {1 Gate builders} — each appends one instruction. *)
+
+val gate : Gate.t -> int -> t -> t
+val cgate : Gate.t -> controls:int list -> target:int -> t -> t
+val x : int -> t -> t
+val y : int -> t -> t
+val z : int -> t -> t
+val h : int -> t -> t
+val s : int -> t -> t
+val sdg : int -> t -> t
+val t : int -> t -> t
+val tdg : int -> t -> t
+val sx : int -> t -> t
+val rx : float -> int -> t -> t
+val ry : float -> int -> t -> t
+val rz : float -> int -> t -> t
+val phase : float -> int -> t -> t
+val u3 : theta:float -> phi:float -> lambda:float -> int -> t -> t
+val cx : int -> int -> t -> t
+val cy : int -> int -> t -> t
+val cz : int -> int -> t -> t
+val ch : int -> int -> t -> t
+val cphase : float -> int -> int -> t -> t
+val crz : float -> int -> int -> t -> t
+val cry : float -> int -> int -> t -> t
+val ccx : int -> int -> int -> t -> t
+val ccz : int -> int -> int -> t -> t
+val swap : int -> int -> t -> t
+val cswap : int -> int -> int -> t -> t
+val measure : qubit:int -> clbit:int -> t -> t
+val measure_all : t -> t
+val reset : int -> t -> t
+val barrier : t -> t
+
+(** {1 Whole-circuit operations} *)
+
+(** [append a b] runs [a] then [b].
+    @raise Invalid_argument if qubit counts differ. *)
+val append : t -> t -> t
+
+(** [adjoint c] is the inverse circuit [c†]: reversed order, adjoint gates.
+    @raise Invalid_argument if [c] contains measurements or resets. *)
+val adjoint : t -> t
+
+(** [remap f c] renames qubits through [f] (must be injective on use). *)
+val remap : (int -> int) -> t -> t
+
+(** [is_unitary_only c] holds when [c] has no measurement/reset. *)
+val is_unitary_only : t -> bool
+
+(** [unitary_instructions c] drops measurements, resets and barriers. *)
+val unitary_instructions : t -> instruction list
+
+(** {1 Statistics} *)
+
+(** [gate_counts c] maps gate mnemonics ("h", "cx", "ccx", "swap", …, with
+    one leading "c" per control) to multiplicities. *)
+val gate_counts : t -> (string * int) list
+
+(** [count_total c] counts gate instructions (barriers excluded). *)
+val count_total : t -> int
+
+(** [count_two_qubit c] counts instructions touching exactly two qubits. *)
+val count_two_qubit : t -> int
+
+(** [t_count c] counts T/T† gates (controls included in the count basis:
+    a controlled-T counts once). *)
+val t_count : t -> int
+
+(** [depth c] is the circuit depth: the longest chain of instructions that
+    share a qubit (barriers synchronise but do not count). *)
+val depth : t -> int
+
+(** [qubits_of_instruction i] lists every qubit [i] touches. *)
+val qubits_of_instruction : instruction -> int list
+
+(** [equal a b] is structural equality (angles within [1e-12]). *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val pp_instruction : Format.formatter -> instruction -> unit

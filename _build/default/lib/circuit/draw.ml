@@ -1,0 +1,130 @@
+(* Each instruction becomes one column.  A column stores a cell per qubit
+   (empty = plain wire) and a set of qubit gaps crossed by a vertical
+   connector.  UTF-8 box characters are used, so cell widths are counted in
+   code points, not bytes. *)
+
+type column = { cells : string array; spans : bool array }
+
+let utf8_length s =
+  (* Count code points: bytes that are not UTF-8 continuation bytes. *)
+  let count = ref 0 in
+  String.iter (fun ch -> if Char.code ch land 0xC0 <> 0x80 then incr count) s;
+  !count
+
+let gate_label gate =
+  match Gate.params gate with
+  | [] -> Printf.sprintf "[%s]" (Gate.name gate)
+  | [ p ] -> Printf.sprintf "[%s %.3g]" (Gate.name gate) p
+  | ps ->
+      Printf.sprintf "[%s %s]" (Gate.name gate)
+        (String.concat "," (List.map (Printf.sprintf "%.2g") ps))
+
+let column_of_instruction n instr =
+  let cells = Array.make n "" and spans = Array.make (max 0 (n - 1)) false in
+  let mark_span qs =
+    match qs with
+    | [] -> ()
+    | q0 :: _ ->
+        let lo = List.fold_left min q0 qs and hi = List.fold_left max q0 qs in
+        for gap = lo to hi - 1 do
+          spans.(gap) <- true
+        done
+  in
+  (match instr with
+  | Circuit.Apply { gate; controls; target } ->
+      cells.(target) <- gate_label gate;
+      List.iter (fun ctl -> cells.(ctl) <- "●") controls;
+      mark_span (target :: controls)
+  | Circuit.Swap { controls; a; b } ->
+      cells.(a) <- "✕";
+      cells.(b) <- "✕";
+      List.iter (fun ctl -> cells.(ctl) <- "●") controls;
+      mark_span (a :: b :: controls)
+  | Circuit.Measure { qubit; _ } -> cells.(qubit) <- "[M]"
+  | Circuit.Reset q -> cells.(q) <- "[0]"
+  | Circuit.Barrier qs -> List.iter (fun q -> cells.(q) <- "░") qs);
+  { cells; spans }
+
+let pad_wire cell width =
+  let len = utf8_length cell in
+  let left = (width - len) / 2 in
+  let right = width - len - left in
+  String.concat ""
+    [ String.concat "" (List.init left (fun _ -> "─"));
+      (if cell = "" then String.concat "" (List.init 1 (fun _ -> "")) else cell);
+      String.concat "" (List.init right (fun _ -> "─")) ]
+
+let pad_gap has_line width =
+  let left = (width - 1) / 2 in
+  let right = width - 1 - left in
+  String.concat ""
+    [ String.make left ' '; (if has_line then "│" else " "); String.make right ' ' ]
+
+(* Pack parallel instructions into shared columns: an instruction joins the
+   current column when its full qubit span (controls included) is disjoint
+   from every span already in it. *)
+let pack_columns n instrs =
+  let span instr =
+    match Circuit.qubits_of_instruction instr with
+    | [] -> (0, -1)
+    | q :: rest -> (List.fold_left min q rest, List.fold_left max q rest)
+  in
+  let merge col instr =
+    let cells = Array.copy col.cells and spans = Array.copy col.spans in
+    let single = column_of_instruction n instr in
+    Array.iteri (fun k cell -> if cell <> "" then cells.(k) <- cell) single.cells;
+    Array.iteri (fun k s -> if s then spans.(k) <- true) single.spans;
+    { cells; spans }
+  in
+  let conflicts col instr =
+    let lo, hi = span instr in
+    let busy = ref false in
+    for q = lo to hi do
+      if col.cells.(q) <> "" then busy := true;
+      if q < hi && col.spans.(q) then busy := true
+    done;
+    (* also block if an existing gate's span crosses our cells *)
+    for q = max 0 (lo - 1) to min (n - 2) hi do
+      if col.spans.(q) then busy := true
+    done;
+    !busy
+  in
+  List.fold_left
+    (fun acc instr ->
+      match acc with
+      | current :: rest when not (conflicts current instr) ->
+          merge current instr :: rest
+      | _ -> column_of_instruction n instr :: acc)
+    [] instrs
+  |> List.rev
+
+let render c =
+  let n = Circuit.num_qubits c in
+  let columns = pack_columns n (Circuit.instructions c) in
+  let widths =
+    List.map
+      (fun col -> Array.fold_left (fun acc cell -> max acc (utf8_length cell)) 1 col.cells + 2)
+      columns
+  in
+  let label q = Printf.sprintf "q%-2d: " q in
+  let buf = Buffer.create 1024 in
+  (* Most significant qubit on top. *)
+  for q = n - 1 downto 0 do
+    Buffer.add_string buf (label q);
+    List.iter2
+      (fun col width ->
+        Buffer.add_string buf
+          (pad_wire (if col.cells.(q) = "" then "─" else col.cells.(q)) width))
+      columns widths;
+    Buffer.add_char buf '\n';
+    if q > 0 then begin
+      Buffer.add_string buf (String.make (String.length (label q)) ' ');
+      List.iter2
+        (fun col width -> Buffer.add_string buf (pad_gap col.spans.(q - 1) width))
+        columns widths;
+      Buffer.add_char buf '\n'
+    end
+  done;
+  Buffer.contents buf
+
+let pp ppf c = Format.pp_print_string ppf (render c)

@@ -1,0 +1,16 @@
+(** ASCII rendering of circuits, one column per instruction.
+
+    Useful in the examples and the CLI's [show] command:
+
+    {[
+      q1: ─[h]──●──
+                │
+      q0: ──────⊕──
+    ]} *)
+
+(** [render c] is a multi-line drawing of [c]; the most significant qubit
+    is printed on top, matching how the paper draws its decision
+    diagrams. *)
+val render : Circuit.t -> string
+
+val pp : Format.formatter -> Circuit.t -> unit

@@ -1,0 +1,108 @@
+open Qdt_linalg
+
+type t =
+  | I
+  | X
+  | Y
+  | Z
+  | H
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | Sx
+  | Sxdg
+  | Rx of float
+  | Ry of float
+  | Rz of float
+  | Phase of float
+  | U3 of { theta : float; phi : float; lambda : float }
+
+let matrix = function
+  | I -> Gates.id2
+  | X -> Gates.x
+  | Y -> Gates.y
+  | Z -> Gates.z
+  | H -> Gates.h
+  | S -> Gates.s
+  | Sdg -> Gates.sdg
+  | T -> Gates.t
+  | Tdg -> Gates.tdg
+  | Sx -> Gates.sx
+  | Sxdg -> Gates.sxdg
+  | Rx theta -> Gates.rx theta
+  | Ry theta -> Gates.ry theta
+  | Rz theta -> Gates.rz theta
+  | Phase theta -> Gates.phase theta
+  | U3 { theta; phi; lambda } -> Gates.u3 ~theta ~phi ~lambda
+
+let adjoint = function
+  | I -> I
+  | X -> X
+  | Y -> Y
+  | Z -> Z
+  | H -> H
+  | S -> Sdg
+  | Sdg -> S
+  | T -> Tdg
+  | Tdg -> T
+  | Sx -> Sxdg
+  | Sxdg -> Sx
+  | Rx theta -> Rx (-.theta)
+  | Ry theta -> Ry (-.theta)
+  | Rz theta -> Rz (-.theta)
+  | Phase theta -> Phase (-.theta)
+  | U3 { theta; phi; lambda } -> U3 { theta = -.theta; phi = -.lambda; lambda = -.phi }
+
+let name = function
+  | I -> "id"
+  | X -> "x"
+  | Y -> "y"
+  | Z -> "z"
+  | H -> "h"
+  | S -> "s"
+  | Sdg -> "sdg"
+  | T -> "t"
+  | Tdg -> "tdg"
+  | Sx -> "sx"
+  | Sxdg -> "sxdg"
+  | Rx _ -> "rx"
+  | Ry _ -> "ry"
+  | Rz _ -> "rz"
+  | Phase _ -> "p"
+  | U3 _ -> "u3"
+
+let params = function
+  | I | X | Y | Z | H | S | Sdg | T | Tdg | Sx | Sxdg -> []
+  | Rx theta | Ry theta | Rz theta | Phase theta -> [ theta ]
+  | U3 { theta; phi; lambda } -> [ theta; phi; lambda ]
+
+let is_clifford = function
+  | I | X | Y | Z | H | S | Sdg | Sx | Sxdg -> true
+  | T | Tdg | Rx _ | Ry _ | Rz _ | Phase _ | U3 _ -> false
+
+let is_diagonal = function
+  | I | Z | S | Sdg | T | Tdg | Rz _ | Phase _ -> true
+  | X | Y | H | Sx | Sxdg | Rx _ | Ry _ | U3 _ -> false
+
+let equal ?(eps = 1e-12) a b =
+  let feq x y = Float.abs (x -. y) <= eps in
+  match (a, b) with
+  | I, I | X, X | Y, Y | Z, Z | H, H | S, S | Sdg, Sdg | T, T | Tdg, Tdg
+  | Sx, Sx | Sxdg, Sxdg ->
+      true
+  | Rx x, Rx y | Ry x, Ry y | Rz x, Rz y | Phase x, Phase y -> feq x y
+  | U3 u, U3 v -> feq u.theta v.theta && feq u.phi v.phi && feq u.lambda v.lambda
+  | ( ( I | X | Y | Z | H | S | Sdg | T | Tdg | Sx | Sxdg | Rx _ | Ry _ | Rz _
+      | Phase _ | U3 _ ),
+      _ ) ->
+      false
+
+let pp ppf g =
+  match params g with
+  | [] -> Format.pp_print_string ppf (name g)
+  | ps ->
+      Format.fprintf ppf "%s(%s)" (name g)
+        (String.concat "," (List.map (Printf.sprintf "%g") ps))
+
+let to_string g = Format.asprintf "%a" pp g

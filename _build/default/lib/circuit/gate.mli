@@ -1,0 +1,54 @@
+(** Base gates of the circuit IR.
+
+    A gate here is always a single-qubit unitary; multi-qubit operations are
+    expressed as controlled applications of these bases (plus SWAP) at the
+    instruction level, which is how both QMDD packages and ZX translations
+    like to consume circuits.
+
+    Qubit-ordering convention (same as the paper, Section III): qubit
+    [n-1] is the most significant, so basis index [k] has qubit [i] equal
+    to bit [i] of [k]. *)
+
+type t =
+  | I
+  | X
+  | Y
+  | Z
+  | H
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | Sx
+  | Sxdg
+  | Rx of float
+  | Ry of float
+  | Rz of float
+  | Phase of float  (** [diag(1, e^{iθ})] *)
+  | U3 of { theta : float; phi : float; lambda : float }
+
+(** [matrix g] is the 2×2 unitary of [g] (numerics from {!Qdt_linalg.Gates}). *)
+val matrix : t -> Qdt_linalg.Mat.t
+
+(** [adjoint g] is a gate realising [g†]. *)
+val adjoint : t -> t
+
+(** [name g] is the lower-case OpenQASM-style mnemonic. *)
+val name : t -> string
+
+(** [params g] are the angle parameters, in printing order. *)
+val params : t -> float list
+
+(** [is_clifford g] holds for exactly-Clifford gates (angle-free members of
+    the Clifford group; rotation gates are never reported Clifford even at
+    Clifford angles). *)
+val is_clifford : t -> bool
+
+(** [is_diagonal g] holds when the matrix of [g] is diagonal. *)
+val is_diagonal : t -> bool
+
+(** [equal ?eps a b] compares gates structurally, angles within [eps]. *)
+val equal : ?eps:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,311 @@
+let bell = Circuit.(empty 2 |> h 1 |> cx 1 0)
+
+let ghz n =
+  if n < 1 then invalid_arg "Generators.ghz: need n >= 1";
+  let c = Circuit.(empty n |> h (n - 1)) in
+  let rec chain q c = if q < 0 then c else chain (q - 1) (Circuit.cx (q + 1) q c) in
+  chain (n - 2) c
+
+let w_state n =
+  if n < 1 then invalid_arg "Generators.w_state: need n >= 1";
+  let c = Circuit.(empty n |> x 0) in
+  (* Split the single excitation down the register: after step k the
+     excitation sits on qubit k with amplitude √((n-k)/n) remaining. *)
+  let rec step k c =
+    if k >= n - 1 then c
+    else
+      let remaining = float_of_int (n - k) in
+      let theta = 2.0 *. Float.acos (1.0 /. Float.sqrt remaining) in
+      c
+      |> Circuit.cry theta k (k + 1)
+      |> Circuit.cx (k + 1) k
+      |> step (k + 1)
+  in
+  step 0 c
+
+let qft ?(swaps = true) n =
+  if n < 1 then invalid_arg "Generators.qft: need n >= 1";
+  let c = ref (Circuit.empty n) in
+  for j = n - 1 downto 0 do
+    c := Circuit.h j !c;
+    for k = j - 1 downto 0 do
+      let theta = Float.pi /. Float.of_int (1 lsl (j - k)) in
+      c := Circuit.cphase theta k j !c
+    done
+  done;
+  if swaps then
+    for q = 0 to (n / 2) - 1 do
+      c := Circuit.swap q (n - 1 - q) !c
+    done;
+  !c
+
+let multi_controlled_z n c =
+  if n = 1 then Circuit.z 0 c
+  else Circuit.cgate Gate.Z ~controls:(List.init (n - 1) (fun q -> q + 1)) ~target:0 c
+
+let with_x_frame ~bits n c ~body =
+  let flip c =
+    let rec loop q c =
+      if q >= n then c
+      else loop (q + 1) (if bits land (1 lsl q) = 0 then Circuit.x q c else c)
+    in
+    loop 0 c
+  in
+  c |> flip |> body |> flip
+
+let grover_iterations ~marked ~iterations n =
+  if n < 1 then invalid_arg "Generators.grover: need n >= 1";
+  if marked < 0 || marked >= 1 lsl n then invalid_arg "Generators.grover: bad marked state";
+  let h_all c =
+    let rec loop q c = if q >= n then c else loop (q + 1) (Circuit.h q c) in
+    loop 0 c
+  in
+  let oracle c = with_x_frame ~bits:marked n c ~body:(multi_controlled_z n) in
+  let diffusion c =
+    c |> h_all |> with_x_frame ~bits:0 n ~body:(multi_controlled_z n) |> h_all
+  in
+  let rec iterate k c = if k = 0 then c else iterate (k - 1) (c |> oracle |> diffusion) in
+  Circuit.empty n |> h_all |> iterate iterations
+
+let grover ~marked n =
+  let iterations =
+    max 1 (int_of_float (Float.round (Float.pi /. 4.0 *. Float.sqrt (Float.of_int (1 lsl n)) -. 0.5)))
+  in
+  grover_iterations ~marked ~iterations n
+
+let bernstein_vazirani ~secret n =
+  if n < 1 then invalid_arg "Generators.bernstein_vazirani: need n >= 1";
+  if secret < 0 || secret >= 1 lsl n then
+    invalid_arg "Generators.bernstein_vazirani: secret out of range";
+  let ancilla = n in
+  let c = ref (Circuit.empty (n + 1)) in
+  c := Circuit.x ancilla !c;
+  for q = 0 to n do
+    c := Circuit.h q !c
+  done;
+  for q = 0 to n - 1 do
+    if secret land (1 lsl q) <> 0 then c := Circuit.cx q ancilla !c
+  done;
+  for q = 0 to n - 1 do
+    c := Circuit.h q !c
+  done;
+  !c
+
+let deutsch_jozsa ~balanced n =
+  if n < 1 then invalid_arg "Generators.deutsch_jozsa: need n >= 1";
+  let ancilla = n in
+  let c = ref (Circuit.empty (n + 1)) in
+  c := Circuit.x ancilla !c;
+  for q = 0 to n do
+    c := Circuit.h q !c
+  done;
+  if balanced then c := Circuit.cx 0 ancilla !c;
+  for q = 0 to n - 1 do
+    c := Circuit.h q !c
+  done;
+  !c
+
+let cuccaro_adder n =
+  if n < 1 then invalid_arg "Generators.cuccaro_adder: need n >= 1";
+  let carry_in = 0 in
+  let b i = (2 * i) + 1 and a i = (2 * i) + 2 in
+  let carry_out = (2 * n) + 1 in
+  let maj c x y z = c |> Circuit.cx z y |> Circuit.cx z x |> Circuit.ccx x y z in
+  let uma c x y z = c |> Circuit.ccx x y z |> Circuit.cx z x |> Circuit.cx x y in
+  let c = ref (Circuit.empty ((2 * n) + 2)) in
+  c := maj !c carry_in (b 0) (a 0);
+  for i = 1 to n - 1 do
+    c := maj !c (a (i - 1)) (b i) (a i)
+  done;
+  c := Circuit.cx (a (n - 1)) carry_out !c;
+  for i = n - 1 downto 1 do
+    c := uma !c (a (i - 1)) (b i) (a i)
+  done;
+  c := uma !c carry_in (b 0) (a 0);
+  !c
+
+let random_circuit ~seed ~depth n =
+  if n < 1 then invalid_arg "Generators.random_circuit: need n >= 1";
+  let st = Random.State.make [| seed; n; depth |] in
+  let angle () = Random.State.float st (2.0 *. Float.pi) in
+  let c = ref (Circuit.empty n) in
+  for _layer = 1 to depth do
+    for q = 0 to n - 1 do
+      c := Circuit.u3 ~theta:(angle ()) ~phi:(angle ()) ~lambda:(angle ()) q !c
+    done;
+    (* Random maximal pairing: shuffle and CX consecutive pairs. *)
+    let order = Array.init n (fun q -> q) in
+    for k = n - 1 downto 1 do
+      let j = Random.State.int st (k + 1) in
+      let tmp = order.(k) in
+      order.(k) <- order.(j);
+      order.(j) <- tmp
+    done;
+    let rec pair k =
+      if k + 1 < n then begin
+        c := Circuit.cx order.(k) order.(k + 1) !c;
+        pair (k + 2)
+      end
+    in
+    pair 0
+  done;
+  !c
+
+let random_from_choices ~seed ~gates n choices =
+  let st = Random.State.make [| seed; n; gates |] in
+  let c = ref (Circuit.empty n) in
+  for _g = 1 to gates do
+    c := choices st n !c
+  done;
+  !c
+
+let pick_two st n =
+  let a = Random.State.int st n in
+  let b = (a + 1 + Random.State.int st (n - 1)) mod n in
+  (a, b)
+
+let random_clifford_t ~seed ~gates ~t_fraction n =
+  if n < 1 then invalid_arg "Generators.random_clifford_t: need n >= 1";
+  random_from_choices ~seed ~gates n (fun st n c ->
+      if Random.State.float st 1.0 < t_fraction then
+        Circuit.t (Random.State.int st n) c
+      else
+        match Random.State.int st 3 with
+        | 0 -> Circuit.h (Random.State.int st n) c
+        | 1 -> Circuit.s (Random.State.int st n) c
+        | _ ->
+            if n = 1 then Circuit.h (Random.State.int st n) c
+            else
+              let a, b = pick_two st n in
+              Circuit.cx a b c)
+
+let random_clifford ~seed ~gates n =
+  if n < 1 then invalid_arg "Generators.random_clifford: need n >= 1";
+  random_from_choices ~seed ~gates n (fun st n c ->
+      match Random.State.int st 5 with
+      | 0 -> Circuit.h (Random.State.int st n) c
+      | 1 -> Circuit.s (Random.State.int st n) c
+      | 2 -> Circuit.sdg (Random.State.int st n) c
+      | 3 ->
+          if n = 1 then Circuit.s (Random.State.int st n) c
+          else
+            let a, b = pick_two st n in
+            Circuit.cx a b c
+      | _ ->
+          if n = 1 then Circuit.h (Random.State.int st n) c
+          else
+            let a, b = pick_two st n in
+            Circuit.cz a b c)
+
+let embed ~into f sub =
+  List.fold_left
+    (fun acc instr ->
+      let remap_instr =
+        match instr with
+        | Circuit.Apply { gate; controls; target } ->
+            Circuit.Apply { gate; controls = List.map f controls; target = f target }
+        | Circuit.Swap { controls; a; b } ->
+            Circuit.Swap { controls = List.map f controls; a = f a; b = f b }
+        | Circuit.Measure { qubit; clbit } -> Circuit.Measure { qubit = f qubit; clbit }
+        | Circuit.Reset q -> Circuit.Reset (f q)
+        | Circuit.Barrier qs -> Circuit.Barrier (List.map f qs)
+      in
+      Circuit.add remap_instr acc)
+    into (Circuit.instructions sub)
+
+let phase_estimation ~phase bits =
+  if bits < 1 then invalid_arg "Generators.phase_estimation: need bits >= 1";
+  let n = bits + 1 in
+  let c = ref (Circuit.empty n) in
+  (* Eigenstate |1⟩ of P(θ) on qubit 0. *)
+  c := Circuit.x 0 !c;
+  for j = 0 to bits - 1 do
+    c := Circuit.h (1 + j) !c
+  done;
+  for j = 0 to bits - 1 do
+    let theta = 2.0 *. Float.pi *. phase *. Float.of_int (1 lsl j) in
+    c := Circuit.cphase theta (1 + j) 0 !c
+  done;
+  let inverse_qft = Circuit.adjoint (qft bits) in
+  embed ~into:!c (fun q -> q + 1) inverse_qft
+
+let qaoa_maxcut ~seed ~layers n =
+  if n < 2 then invalid_arg "Generators.qaoa_maxcut: need n >= 2";
+  let st = Random.State.make [| seed; n; layers; 11 |] in
+  (* random graph: ring plus a few chords keeps it connected and irregular *)
+  let edges = ref (List.init n (fun k -> (k, (k + 1) mod n))) in
+  for _ = 1 to n / 2 do
+    let a = Random.State.int st n in
+    let b = (a + 2 + Random.State.int st (n - 2)) mod n in
+    if a <> b && not (List.mem (a, b) !edges || List.mem (b, a) !edges) then
+      edges := (a, b) :: !edges
+  done;
+  let c = ref (Circuit.empty n) in
+  for q = 0 to n - 1 do
+    c := Circuit.h q !c
+  done;
+  for _layer = 1 to layers do
+    let gamma = Random.State.float st Float.pi in
+    let beta = Random.State.float st Float.pi in
+    List.iter
+      (fun (a, b) ->
+        c := !c |> Circuit.cx a b |> Circuit.rz (2.0 *. gamma) b |> Circuit.cx a b)
+      !edges;
+    for q = 0 to n - 1 do
+      c := Circuit.rx (2.0 *. beta) q !c
+    done
+  done;
+  !c
+
+let hidden_shift ~shift n =
+  if n < 2 || n mod 2 <> 0 then invalid_arg "Generators.hidden_shift: need even n >= 2";
+  if shift < 0 || shift >= 1 lsl n then invalid_arg "Generators.hidden_shift: bad shift";
+  let pairs = List.init (n / 2) (fun k -> (2 * k, (2 * k) + 1)) in
+  let h_all c =
+    let rec loop q c = if q >= n then c else loop (q + 1) (Circuit.h q c) in
+    loop 0 c
+  in
+  let oracle c = List.fold_left (fun c (a, b) -> Circuit.cz a b c) c pairs in
+  let shift_frame c =
+    let rec loop q c =
+      if q >= n then c
+      else loop (q + 1) (if shift land (1 lsl q) <> 0 then Circuit.x q c else c)
+    in
+    loop 0 c
+  in
+  (* H · O_f̃ · H · O_g · H with O_g = X^s O_f X^s and f self-dual *)
+  Circuit.empty n |> h_all |> shift_frame |> oracle |> shift_frame |> h_all |> oracle
+  |> h_all
+
+let quantum_volume ~seed ~depth n =
+  if n < 2 then invalid_arg "Generators.quantum_volume: need n >= 2";
+  let st = Random.State.make [| seed; n; depth; 23 |] in
+  let angle () = Random.State.float st (2.0 *. Float.pi) in
+  let c = ref (Circuit.empty n) in
+  let su4ish a b =
+    let u3 q =
+      c := Circuit.u3 ~theta:(angle ()) ~phi:(angle ()) ~lambda:(angle ()) q !c
+    in
+    u3 a; u3 b;
+    c := Circuit.cx a b !c;
+    u3 a; u3 b;
+    c := Circuit.cx b a !c;
+    u3 a; u3 b
+  in
+  for _layer = 1 to depth do
+    let order = Array.init n (fun q -> q) in
+    for k = n - 1 downto 1 do
+      let j = Random.State.int st (k + 1) in
+      let tmp = order.(k) in
+      order.(k) <- order.(j);
+      order.(j) <- tmp
+    done;
+    let rec pair k =
+      if k + 1 < n then begin
+        su4ish order.(k) order.(k + 1);
+        pair (k + 2)
+      end
+    in
+    pair 0
+  done;
+  !c

@@ -1,0 +1,79 @@
+(** Standard circuit families.
+
+    These are the workloads of the experiment harness: the paper's Bell
+    running example, highly structured states on which decision diagrams
+    excel (GHZ, W), the QFT and Grover kernels used by simulation
+    benchmarks, arithmetic (a ripple-carry adder), and seeded random
+    circuits for the unstructured regime. *)
+
+(** The paper's running example (Fig. 1–3): H on the most significant
+    qubit, then CNOT down — state (|00⟩+|11⟩)/√2. *)
+val bell : Circuit.t
+
+(** [ghz n] prepares (|0…0⟩+|1…1⟩)/√2 on [n ≥ 1] qubits. *)
+val ghz : int -> Circuit.t
+
+(** [w_state n] prepares the equal superposition of the [n] one-hot basis
+    states, [n ≥ 1]. *)
+val w_state : int -> Circuit.t
+
+(** [qft ?swaps n] is the quantum Fourier transform; [swaps] (default
+    [true]) appends the bit-reversal swaps so the unitary equals the DFT
+    matrix with [ω = e^{2πi/2^n}]. *)
+val qft : ?swaps:bool -> int -> Circuit.t
+
+(** [grover ~marked n] runs ⌊π/4·√2ⁿ⌋ Grover iterations marking basis
+    state [marked] on an [n]-qubit search register. *)
+val grover : marked:int -> int -> Circuit.t
+
+(** [grover_iterations ~marked ~iterations n] with an explicit count. *)
+val grover_iterations : marked:int -> iterations:int -> int -> Circuit.t
+
+(** [bernstein_vazirani ~secret n] recovers the [n]-bit [secret] of the
+    inner-product oracle in one query; the result register measures to
+    [secret] with certainty. *)
+val bernstein_vazirani : secret:int -> int -> Circuit.t
+
+(** [deutsch_jozsa ~balanced n]: constant vs balanced oracle demo on [n]
+    query qubits.  The balanced oracle is f(x) = x₀. *)
+val deutsch_jozsa : balanced:bool -> int -> Circuit.t
+
+(** [cuccaro_adder n] is the in-place ripple-carry adder on registers
+    a[0..n-1], b[0..n-1] plus carry-in and carry-out ancillas
+    (2n+2 qubits total): (a, b) ↦ (a, a+b).  Layout: qubit 0 is the
+    carry-in, then alternating b_i, a_i pairs, finally the carry-out. *)
+val cuccaro_adder : int -> Circuit.t
+
+(** [random_circuit ~seed ~depth n] generates [depth] layers; each layer
+    applies a Haar-ish random U3 to every qubit and CNOTs on a random
+    maximal pairing. *)
+val random_circuit : seed:int -> depth:int -> int -> Circuit.t
+
+(** [random_clifford_t ~seed ~gates ~t_fraction n] samples a gate sequence
+    from {H, S, CX} with each position upgraded to a T gate with
+    probability [t_fraction]. *)
+val random_clifford_t : seed:int -> gates:int -> t_fraction:float -> int -> Circuit.t
+
+(** [random_clifford ~seed ~gates n] samples from {H, S, S†, CX, CZ}. *)
+val random_clifford : seed:int -> gates:int -> int -> Circuit.t
+
+(** [phase_estimation ~phase bits] estimates the eigenphase [phase] (in
+    turns) of [P(2π·phase)] on one eigenstate qubit, writing the [bits]-bit
+    binary expansion to the counting register (counting register occupies
+    qubits [1..bits], eigenstate is qubit 0). *)
+val phase_estimation : phase:float -> int -> Circuit.t
+
+(** [qaoa_maxcut ~seed ~layers n] — a QAOA MaxCut ansatz on a random
+    graph over [n] vertices: per layer, [ZZ] cost interactions
+    (CX·Rz·CX) on every edge and an [Rx] mixer on every qubit; angles
+    are seeded at random. *)
+val qaoa_maxcut : seed:int -> layers:int -> int -> Circuit.t
+
+(** [hidden_shift ~shift n] — the Clifford hidden-shift benchmark for the
+    bent function f(x,y) = x·y on an even number of qubits: measuring the
+    output yields [shift] with certainty. *)
+val hidden_shift : shift:int -> int -> Circuit.t
+
+(** [quantum_volume ~seed ~depth n] — brickwork of random two-qubit
+    blocks over random pairings (a quantum-volume-style stress load). *)
+val quantum_volume : seed:int -> depth:int -> int -> Circuit.t

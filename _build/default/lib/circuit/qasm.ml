@@ -1,0 +1,653 @@
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_angle ppf theta =
+  (* Render simple rational multiples of pi exactly; fall back to %.17g so
+     the round-trip through text is lossless. *)
+  let pi = Float.pi in
+  let ratio = theta /. pi in
+  let denominators = [ 1; 2; 3; 4; 6; 8; 16; 32 ] in
+  let found =
+    List.find_opt
+      (fun d ->
+        let num = ratio *. float_of_int d in
+        Float.abs (num -. Float.round num) < 1e-12 && Float.abs num < 1e6)
+      denominators
+  in
+  match found with
+  | Some d ->
+      let num = int_of_float (Float.round (ratio *. float_of_int d)) in
+      if num = 0 then Format.fprintf ppf "0"
+      else if d = 1 && num = 1 then Format.fprintf ppf "pi"
+      else if d = 1 && num = -1 then Format.fprintf ppf "-pi"
+      else if d = 1 then Format.fprintf ppf "%d*pi" num
+      else if num = 1 then Format.fprintf ppf "pi/%d" d
+      else if num = -1 then Format.fprintf ppf "-pi/%d" d
+      else Format.fprintf ppf "%d*pi/%d" num d
+  | None -> Format.fprintf ppf "%.17g" theta
+
+let pp_qubits ppf qs =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+    (fun ppf q -> Format.fprintf ppf "q[%d]" q)
+    ppf qs
+
+let pp_instruction ppf instr =
+  match instr with
+  | Circuit.Apply { gate; controls; target } ->
+      let prefix = String.concat "" (List.map (fun _ -> "c") controls) in
+      let base = Gate.name gate in
+      (match Gate.params gate with
+      | [] -> Format.fprintf ppf "%s%s" prefix base
+      | ps ->
+          Format.fprintf ppf "%s%s(%a)" prefix base
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+               pp_angle)
+            ps);
+      Format.fprintf ppf " %a;" pp_qubits (controls @ [ target ])
+  | Circuit.Swap { controls; a; b } ->
+      let prefix = String.concat "" (List.map (fun _ -> "c") controls) in
+      Format.fprintf ppf "%sswap %a;" prefix pp_qubits (controls @ [ a; b ])
+  | Circuit.Measure { qubit; clbit } ->
+      Format.fprintf ppf "measure q[%d] -> c[%d];" qubit clbit
+  | Circuit.Reset q -> Format.fprintf ppf "reset q[%d];" q
+  | Circuit.Barrier qs -> Format.fprintf ppf "barrier %a;" pp_qubits qs
+
+let pp ppf c =
+  Format.fprintf ppf "OPENQASM 2.0;@.include \"qelib1.inc\";@.";
+  Format.fprintf ppf "qreg q[%d];@." (Circuit.num_qubits c);
+  if Circuit.num_clbits c > 0 then
+    Format.fprintf ppf "creg c[%d];@." (Circuit.num_clbits c);
+  List.iter
+    (fun instr -> Format.fprintf ppf "%a@." pp_instruction instr)
+    (Circuit.instructions c)
+
+let to_string c = Format.asprintf "%a" pp c
+
+(* ------------------------------------------------------------------ *)
+(* Lexing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Ident of string
+  | Number of float
+  | Str of string
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Semicolon
+  | Arrow
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Lbrace
+  | Rbrace
+
+let tokenize src =
+  let tokens = ref [] in
+  let line = ref 1 in
+  let n = String.length src in
+  let fail msg = raise (Parse_error (Printf.sprintf "line %d: %s" !line msg)) in
+  let pos = ref 0 in
+  let emit tok = tokens := (tok, !line) :: !tokens in
+  while !pos < n do
+    let ch = src.[!pos] in
+    (match ch with
+    | '\n' ->
+        incr line;
+        incr pos
+    | ' ' | '\t' | '\r' -> incr pos
+    | '/' when !pos + 1 < n && src.[!pos + 1] = '/' ->
+        while !pos < n && src.[!pos] <> '\n' do
+          incr pos
+        done
+    | '(' -> emit Lparen; incr pos
+    | ')' -> emit Rparen; incr pos
+    | '{' -> emit Lbrace; incr pos
+    | '}' -> emit Rbrace; incr pos
+    | '[' -> emit Lbracket; incr pos
+    | ']' -> emit Rbracket; incr pos
+    | ',' -> emit Comma; incr pos
+    | ';' -> emit Semicolon; incr pos
+    | '+' -> emit Plus; incr pos
+    | '*' -> emit Star; incr pos
+    | '/' -> emit Slash; incr pos
+    | '-' ->
+        if !pos + 1 < n && src.[!pos + 1] = '>' then begin
+          emit Arrow;
+          pos := !pos + 2
+        end
+        else begin
+          emit Minus;
+          incr pos
+        end
+    | '"' ->
+        let start = !pos + 1 in
+        let stop = ref start in
+        while !stop < n && src.[!stop] <> '"' do
+          incr stop
+        done;
+        if !stop >= n then fail "unterminated string";
+        emit (Str (String.sub src start (!stop - start)));
+        pos := !stop + 1
+    | '0' .. '9' | '.' ->
+        let start = !pos in
+        while
+          !pos < n
+          && (match src.[!pos] with
+             | '0' .. '9' | '.' | 'e' | 'E' -> true
+             | '+' | '-' ->
+                 !pos > start
+                 && (src.[!pos - 1] = 'e' || src.[!pos - 1] = 'E')
+             | _ -> false)
+        do
+          incr pos
+        done;
+        let text = String.sub src start (!pos - start) in
+        (match float_of_string_opt text with
+        | Some f -> emit (Number f)
+        | None -> fail (Printf.sprintf "bad number %S" text))
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+        let start = !pos in
+        while
+          !pos < n
+          && (match src.[!pos] with
+             | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' -> true
+             | _ -> false)
+        do
+          incr pos
+        done;
+        emit (Ident (String.sub src start (!pos - start)))
+    | _ -> fail (Printf.sprintf "unexpected character %C" ch));
+  done;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type state = { mutable toks : (token * int) list }
+
+let fail_at line msg = raise (Parse_error (Printf.sprintf "line %d: %s" line msg))
+
+let peek st = match st.toks with [] -> None | (tok, line) :: _ -> Some (tok, line)
+
+let next st =
+  match st.toks with
+  | [] -> raise (Parse_error "unexpected end of input")
+  | (tok, line) :: rest ->
+      st.toks <- rest;
+      (tok, line)
+
+let expect st want msg =
+  let tok, line = next st in
+  if tok <> want then fail_at line msg
+
+let expect_ident st =
+  match next st with
+  | Ident id, _ -> id
+  | _, line -> fail_at line "expected identifier"
+
+let expect_nat st =
+  match next st with
+  | Number f, line ->
+      let k = int_of_float f in
+      if Float.of_int k <> f || k < 0 then fail_at line "expected non-negative integer";
+      k
+  | _, line -> fail_at line "expected integer"
+
+(* Angle expressions: expr := term (('+'|'-') term)*;
+   term := factor (('*'|'/') factor)*; factor := number | pi | identifier
+   | '-' factor | '(' expr ')'.  Identifiers other than [pi] are the
+   formal parameters of a user [gate] definition, resolved at expansion
+   time. *)
+type expr =
+  | Enum of float
+  | Evar of string * int (* declaration line, for error reporting *)
+  | Eneg of expr
+  | Ebin of char * expr * expr
+
+let rec parse_sym_expr st =
+  let v = ref (parse_term st) in
+  let rec loop () =
+    match peek st with
+    | Some (Plus, _) ->
+        ignore (next st);
+        v := Ebin ('+', !v, parse_term st);
+        loop ()
+    | Some (Minus, _) ->
+        ignore (next st);
+        v := Ebin ('-', !v, parse_term st);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !v
+
+and parse_term st =
+  let v = ref (parse_factor st) in
+  let rec loop () =
+    match peek st with
+    | Some (Star, _) ->
+        ignore (next st);
+        v := Ebin ('*', !v, parse_factor st);
+        loop ()
+    | Some (Slash, _) ->
+        ignore (next st);
+        v := Ebin ('/', !v, parse_factor st);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !v
+
+and parse_factor st =
+  match next st with
+  | Number f, _ -> Enum f
+  | Ident "pi", _ -> Enum Float.pi
+  | Ident name, line -> Evar (name, line)
+  | Minus, _ -> Eneg (parse_factor st)
+  | Lparen, _ ->
+      let v = parse_sym_expr st in
+      expect st Rparen "expected ')'";
+      v
+  | _, line -> fail_at line "expected angle expression"
+
+let rec eval_expr env = function
+  | Enum f -> f
+  | Evar (name, line) -> (
+      match List.assoc_opt name env with
+      | Some v -> v
+      | None -> fail_at line (Printf.sprintf "unknown parameter %s" name))
+  | Eneg e -> -.eval_expr env e
+  | Ebin ('+', a, b) -> eval_expr env a +. eval_expr env b
+  | Ebin ('-', a, b) -> eval_expr env a -. eval_expr env b
+  | Ebin ('*', a, b) -> eval_expr env a *. eval_expr env b
+  | Ebin ('/', a, b) -> eval_expr env a /. eval_expr env b
+  | Ebin _ -> assert false
+
+let parse_expr st = eval_expr [] (parse_sym_expr st)
+
+let parse_index st reg line =
+  let id = expect_ident st in
+  if id <> reg then fail_at line (Printf.sprintf "expected register %s, got %s" reg id);
+  expect st Lbracket "expected '['";
+  let k = expect_nat st in
+  expect st Rbracket "expected ']'";
+  k
+
+let base_gate name args line =
+  let angle k = List.nth args k in
+  let arity = List.length args in
+  let need k =
+    if arity <> k then
+      fail_at line (Printf.sprintf "gate %s expects %d parameter(s), got %d" name k arity)
+  in
+  match name with
+  | "id" -> need 0; Gate.I
+  | "x" -> need 0; Gate.X
+  | "y" -> need 0; Gate.Y
+  | "z" -> need 0; Gate.Z
+  | "h" -> need 0; Gate.H
+  | "s" -> need 0; Gate.S
+  | "sdg" -> need 0; Gate.Sdg
+  | "t" -> need 0; Gate.T
+  | "tdg" -> need 0; Gate.Tdg
+  | "sx" -> need 0; Gate.Sx
+  | "sxdg" -> need 0; Gate.Sxdg
+  | "rx" -> need 1; Gate.Rx (angle 0)
+  | "ry" -> need 1; Gate.Ry (angle 0)
+  | "rz" -> need 1; Gate.Rz (angle 0)
+  | "p" | "u1" | "phase" -> need 1; Gate.Phase (angle 0)
+  | "u3" | "u" ->
+      need 3;
+      Gate.U3 { theta = angle 0; phi = angle 1; lambda = angle 2 }
+  | _ -> fail_at line (Printf.sprintf "unknown gate %s" name)
+
+let strip_controls name =
+  let rec loop k =
+    if
+      k < String.length name - 1
+      && name.[k] = 'c'
+      && (* don't strip the 'c' that is part of "cx"-less names like
+            "ch" -> 1 control of h; we just count leading c's and require
+            the remainder to be a valid base or swap *)
+      true
+    then loop (k + 1)
+    else k
+  in
+  (* Try all possible control counts from longest remainder to shortest so
+     e.g. "cswap", "ccx", "ch", "cz" all resolve; prefer fewer controls so
+     plain names win ("sx" should not parse as c + ...). *)
+  let max_c = loop 0 in
+  let candidates = List.init (max_c + 1) (fun k -> k) in
+  (candidates, fun k -> String.sub name k (String.length name - k))
+
+let known_base = function
+  | "id" | "x" | "y" | "z" | "h" | "s" | "sdg" | "t" | "tdg" | "sx" | "sxdg"
+  | "rx" | "ry" | "rz" | "p" | "u1" | "phase" | "u3" | "u" | "swap" ->
+      true
+  | _ -> false
+
+let resolve_gate_name name line =
+  let candidates, remainder = strip_controls name in
+  let rec try_counts = function
+    | [] -> fail_at line (Printf.sprintf "unknown gate %s" name)
+    | k :: rest ->
+        let base = remainder k in
+        if known_base base then (k, base) else try_counts rest
+  in
+  try_counts candidates
+
+(* Build the instruction for a (possibly c-prefixed) gate name applied to
+   evaluated angles and absolute qubit operands. *)
+let make_instruction name args operands line =
+  let num_controls, base = resolve_gate_name name line in
+  if base = "swap" then begin
+    if List.length operands <> num_controls + 2 then fail_at line "swap needs two targets";
+    let rec split k ops ctrls =
+      if k = 0 then (List.rev ctrls, ops)
+      else
+        match ops with
+        | op :: rest -> split (k - 1) rest (op :: ctrls)
+        | [] -> fail_at line "not enough operands"
+    in
+    let controls, targets = split num_controls operands [] in
+    match targets with
+    | [ a; b ] -> Circuit.Swap { controls; a; b }
+    | _ -> fail_at line "swap needs two targets"
+  end
+  else begin
+    if List.length operands <> num_controls + 1 then
+      fail_at line (Printf.sprintf "gate %s expects %d operand(s)" name (num_controls + 1));
+    let rec split k ops ctrls =
+      if k = 0 then (List.rev ctrls, ops)
+      else
+        match ops with
+        | op :: rest -> split (k - 1) rest (op :: ctrls)
+        | [] -> fail_at line "not enough operands"
+    in
+    let controls, targets = split num_controls operands [] in
+    match targets with
+    | [ target ] -> Circuit.Apply { gate = base_gate base args line; controls; target }
+    | _ -> fail_at line "expected one target"
+  end
+
+(* User gate definitions: formal parameters, formal operands, and a body of
+   (callee, symbolic angles, formal operand names). *)
+type gate_def = {
+  def_params : string list;
+  def_operands : string list;
+  def_body : (string * expr list * string list * int) list;
+}
+
+let of_string src =
+  let st = { toks = tokenize src } in
+  let definitions : (string, gate_def) Hashtbl.t = Hashtbl.create 8 in
+  let rec expand_call name (args : float list) (operands : int list) line acc =
+    match Hashtbl.find_opt definitions name with
+    | None -> make_instruction name args operands line :: acc
+    | Some def ->
+        if List.length args <> List.length def.def_params then
+          fail_at line (Printf.sprintf "gate %s expects %d parameter(s)" name (List.length def.def_params));
+        if List.length operands <> List.length def.def_operands then
+          fail_at line (Printf.sprintf "gate %s expects %d operand(s)" name (List.length def.def_operands));
+        let env = List.combine def.def_params args in
+        let omap = List.combine def.def_operands operands in
+        List.fold_left
+          (fun acc (callee, exprs, formals, body_line) ->
+            let actual_args = List.map (eval_expr env) exprs in
+            let actual_ops =
+              List.map
+                (fun f ->
+                  match List.assoc_opt f omap with
+                  | Some q -> q
+                  | None -> fail_at body_line (Printf.sprintf "unknown operand %s" f))
+                formals
+            in
+            expand_call callee actual_args actual_ops body_line acc)
+          acc def.def_body
+  in
+  let add_checked line instr c =
+    try Circuit.add instr c
+    with Invalid_argument msg -> fail_at line msg
+  in
+  (* Header *)
+  (match peek st with
+  | Some (Ident "OPENQASM", _) ->
+      ignore (next st);
+      (match next st with
+      | Number _, _ -> ()
+      | _, line -> fail_at line "expected version number");
+      expect st Semicolon "expected ';'"
+  | _ -> ());
+  (match peek st with
+  | Some (Ident "include", _) ->
+      ignore (next st);
+      (match next st with
+      | Str _, _ -> ()
+      | _, line -> fail_at line "expected include path");
+      expect st Semicolon "expected ';'"
+  | _ -> ());
+  let qreg = ref None in
+  let creg_size = ref 0 in
+  let circuit = ref None in
+  let get_circuit line =
+    match !circuit with
+    | Some c -> c
+    | None -> fail_at line "gate before qreg declaration"
+  in
+  let set_circuit c = circuit := Some c in
+  let rec loop () =
+    match peek st with
+    | None -> ()
+    | Some (Ident "qreg", line) ->
+        ignore (next st);
+        if !qreg <> None then fail_at line "only one qreg supported";
+        let name = expect_ident st in
+        expect st Lbracket "expected '['";
+        let size = expect_nat st in
+        expect st Rbracket "expected ']'";
+        expect st Semicolon "expected ';'";
+        qreg := Some name;
+        set_circuit (Circuit.empty ~clbits:!creg_size size);
+        loop ()
+    | Some (Ident "creg", line) ->
+        ignore (next st);
+        let _name = expect_ident st in
+        expect st Lbracket "expected '['";
+        let size = expect_nat st in
+        expect st Rbracket "expected ']'";
+        expect st Semicolon "expected ';'";
+        creg_size := size;
+        (match !circuit with
+        | Some c ->
+            if Circuit.num_clbits c > 0 then fail_at line "only one creg supported";
+            let rebuilt =
+              List.fold_left
+                (fun acc instr -> Circuit.add instr acc)
+                (Circuit.empty ~clbits:size (Circuit.num_qubits c))
+                (Circuit.instructions c)
+            in
+            set_circuit rebuilt
+        | None -> ());
+        loop ()
+    | Some (Ident "measure", line) ->
+        ignore (next st);
+        let reg = match !qreg with Some r -> r | None -> fail_at line "no qreg" in
+        let q = parse_index st reg line in
+        expect st Arrow "expected '->'";
+        let _creg_name = expect_ident st in
+        expect st Lbracket "expected '['";
+        let k = expect_nat st in
+        expect st Rbracket "expected ']'";
+        expect st Semicolon "expected ';'";
+        let c = get_circuit line in
+        let c =
+          if Circuit.num_clbits c > k then c
+          else
+            List.fold_left
+              (fun acc instr -> Circuit.add instr acc)
+              (Circuit.empty ~clbits:(k + 1) (Circuit.num_qubits c))
+              (Circuit.instructions c)
+        in
+        set_circuit (add_checked line (Circuit.Measure { qubit = q; clbit = k }) c);
+        loop ()
+    | Some (Ident "barrier", line) ->
+        ignore (next st);
+        let reg = match !qreg with Some r -> r | None -> fail_at line "no qreg" in
+        let qs = ref [] in
+        (match peek st with
+        | Some (Semicolon, _) ->
+            qs := List.init (Circuit.num_qubits (get_circuit line)) (fun q -> q)
+        | _ ->
+            qs := [ parse_index st reg line ];
+            let rec more () =
+              match peek st with
+              | Some (Comma, _) ->
+                  ignore (next st);
+                  qs := parse_index st reg line :: !qs;
+                  more ()
+              | _ -> ()
+            in
+            more ());
+        expect st Semicolon "expected ';'";
+        set_circuit (add_checked line (Circuit.Barrier (List.rev !qs)) (get_circuit line));
+        loop ()
+    | Some (Ident "reset", line) ->
+        ignore (next st);
+        let reg = match !qreg with Some r -> r | None -> fail_at line "no qreg" in
+        let q = parse_index st reg line in
+        expect st Semicolon "expected ';'";
+        set_circuit (add_checked line (Circuit.Reset q) (get_circuit line));
+        loop ()
+    | Some (Ident "gate", line) ->
+        ignore (next st);
+        let name = expect_ident st in
+        if Hashtbl.mem definitions name then
+          fail_at line (Printf.sprintf "gate %s already defined" name);
+        let params =
+          match peek st with
+          | Some (Lparen, _) ->
+              ignore (next st);
+              let ps = ref [ expect_ident st ] in
+              let rec more () =
+                match peek st with
+                | Some (Comma, _) ->
+                    ignore (next st);
+                    ps := expect_ident st :: !ps;
+                    more ()
+                | _ -> ()
+              in
+              more ();
+              expect st Rparen "expected ')'";
+              List.rev !ps
+          | _ -> []
+        in
+        let formals = ref [ expect_ident st ] in
+        let rec more_formals () =
+          match peek st with
+          | Some (Comma, _) ->
+              ignore (next st);
+              formals := expect_ident st :: !formals;
+              more_formals ()
+          | _ -> ()
+        in
+        more_formals ();
+        let formals = List.rev !formals in
+        expect st Lbrace "expected '{'";
+        let body = ref [] in
+        let rec body_loop () =
+          match peek st with
+          | Some (Rbrace, _) -> ignore (next st)
+          | Some (Ident callee, body_line) ->
+              ignore (next st);
+              let exprs =
+                match peek st with
+                | Some (Lparen, _) ->
+                    ignore (next st);
+                    let es = ref [ parse_sym_expr st ] in
+                    let rec more () =
+                      match peek st with
+                      | Some (Comma, _) ->
+                          ignore (next st);
+                          es := parse_sym_expr st :: !es;
+                          more ()
+                      | _ -> ()
+                    in
+                    more ();
+                    expect st Rparen "expected ')'";
+                    List.rev !es
+                | _ -> []
+              in
+              let ops = ref [ expect_ident st ] in
+              let rec more_ops () =
+                match peek st with
+                | Some (Comma, _) ->
+                    ignore (next st);
+                    ops := expect_ident st :: !ops;
+                    more_ops ()
+                | _ -> ()
+              in
+              more_ops ();
+              expect st Semicolon "expected ';'";
+              body := (callee, exprs, List.rev !ops, body_line) :: !body;
+              body_loop ()
+          | Some (_, l) -> fail_at l "expected gate call or '}'"
+          | None -> fail_at line "unterminated gate body"
+        in
+        body_loop ();
+        Hashtbl.replace definitions name
+          { def_params = params; def_operands = formals; def_body = List.rev !body };
+        loop ()
+    | Some (Ident name, line) ->
+        ignore (next st);
+        let reg = match !qreg with Some r -> r | None -> fail_at line "no qreg" in
+        let args =
+          match peek st with
+          | Some (Lparen, _) ->
+              ignore (next st);
+              let args = ref [ parse_expr st ] in
+              let rec more () =
+                match peek st with
+                | Some (Comma, _) ->
+                    ignore (next st);
+                    args := parse_expr st :: !args;
+                    more ()
+                | _ -> ()
+              in
+              more ();
+              expect st Rparen "expected ')'";
+              List.rev !args
+          | _ -> []
+        in
+        let operands = ref [ parse_index st reg line ] in
+        let rec more () =
+          match peek st with
+          | Some (Comma, _) ->
+              ignore (next st);
+              operands := parse_index st reg line :: !operands;
+              more ()
+          | _ -> ()
+        in
+        more ();
+        expect st Semicolon "expected ';'";
+        let operands = List.rev !operands in
+        let instrs = List.rev (expand_call name args operands line []) in
+        List.iter
+          (fun instr -> set_circuit (add_checked line instr (get_circuit line)))
+          instrs;
+        loop ()
+    | Some (_, line) -> fail_at line "expected statement"
+  in
+  loop ();
+  match !circuit with
+  | Some c -> c
+  | None -> raise (Parse_error "no qreg declaration found")

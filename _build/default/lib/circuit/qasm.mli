@@ -1,0 +1,22 @@
+(** OpenQASM 2.0 subset: printing and parsing.
+
+    The supported subset is what the rest of the toolkit produces and
+    consumes: one quantum register, one classical register, the standard
+    gate set of {!Gate} with any number of controls (spelled with leading
+    [c]s, e.g. [ccx]), [swap]/[cswap], [measure], [reset] and [barrier].
+    Angle expressions may use [pi], numeric literals, [+ - * /], unary
+    minus and parentheses. *)
+
+exception Parse_error of string
+(** Raised with a human-readable message (including line number). *)
+
+(** [to_string c] prints [c] as an OpenQASM 2.0 program. *)
+val to_string : Circuit.t -> string
+
+(** [of_string src] parses a program.
+    @raise Parse_error on malformed input or constructs outside the
+    subset. *)
+val of_string : string -> Circuit.t
+
+(** [pp] prints like {!to_string}. *)
+val pp : Format.formatter -> Circuit.t -> unit

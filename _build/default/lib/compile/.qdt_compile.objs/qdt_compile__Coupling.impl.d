@@ -1,0 +1,1 @@
+lib/compile/coupling.ml: Array Lazy List Queue

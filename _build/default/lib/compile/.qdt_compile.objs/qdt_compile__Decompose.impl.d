@@ -1,0 +1,1 @@
+lib/compile/decompose.ml: Circuit Cx Float Gate Gates List Mat Qdt_circuit Qdt_linalg

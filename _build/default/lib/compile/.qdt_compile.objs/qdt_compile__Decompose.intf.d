@@ -1,0 +1,1 @@
+lib/compile/decompose.mli: Qdt_circuit Qdt_linalg

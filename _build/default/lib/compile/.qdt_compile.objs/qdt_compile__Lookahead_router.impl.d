@@ -1,0 +1,1 @@
+lib/compile/lookahead_router.ml: Array Circuit Coupling Decompose Float List Qdt_circuit Router

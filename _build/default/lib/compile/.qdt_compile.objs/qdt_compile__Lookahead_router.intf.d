@@ -1,0 +1,1 @@
+lib/compile/lookahead_router.mli: Coupling Qdt_circuit Router

@@ -1,0 +1,1 @@
+lib/compile/optimize.ml: Array Circuit Float Gate List Qdt_circuit

@@ -1,0 +1,1 @@
+lib/compile/optimize.mli: Qdt_circuit

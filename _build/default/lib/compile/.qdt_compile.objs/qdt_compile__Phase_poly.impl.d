@@ -1,0 +1,1 @@
+lib/compile/phase_poly.ml: Array Circuit Float Gate Hashtbl List Optimize Qdt_circuit

@@ -1,0 +1,1 @@
+lib/compile/phase_poly.mli: Qdt_circuit

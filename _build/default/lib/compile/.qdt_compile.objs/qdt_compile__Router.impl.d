@@ -1,0 +1,1 @@
+lib/compile/router.ml: Array Circuit Coupling Decompose List Qdt_circuit

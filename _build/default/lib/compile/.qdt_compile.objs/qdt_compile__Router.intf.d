@@ -1,0 +1,1 @@
+lib/compile/router.mli: Coupling Qdt_circuit

@@ -1,0 +1,98 @@
+type t = { n : int; adj : int list array; dist : int array array Lazy.t }
+
+let compute_distances n adj =
+  let dist = Array.make_matrix n n max_int in
+  for src = 0 to n - 1 do
+    dist.(src).(src) <- 0;
+    let queue = Queue.create () in
+    Queue.add src queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      List.iter
+        (fun w ->
+          if dist.(src).(w) = max_int then begin
+            dist.(src).(w) <- dist.(src).(v) + 1;
+            Queue.add w queue
+          end)
+        adj.(v)
+    done
+  done;
+  dist
+
+let of_edges n edge_list =
+  if n < 1 then invalid_arg "Coupling.of_edges: need n >= 1";
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || a >= n || b < 0 || b >= n then
+        invalid_arg "Coupling.of_edges: qubit out of range";
+      if a = b then invalid_arg "Coupling.of_edges: self loop";
+      if not (List.mem b adj.(a)) then begin
+        adj.(a) <- b :: adj.(a);
+        adj.(b) <- a :: adj.(b)
+      end)
+    edge_list;
+  { n; adj; dist = lazy (compute_distances n adj) }
+
+let line n = of_edges n (List.init (n - 1) (fun k -> (k, k + 1)))
+
+let ring n =
+  if n < 3 then line n
+  else of_edges n ((n - 1, 0) :: List.init (n - 1) (fun k -> (k, k + 1)))
+
+let grid ~rows ~cols =
+  let n = rows * cols in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let v = (r * cols) + c in
+      if c + 1 < cols then edges := (v, v + 1) :: !edges;
+      if r + 1 < rows then edges := (v, v + cols) :: !edges
+    done
+  done;
+  of_edges n !edges
+
+let star n = of_edges n (List.init (n - 1) (fun k -> (0, k + 1)))
+
+let fully_connected n =
+  let edges = ref [] in
+  for a = 0 to n - 2 do
+    for b = a + 1 to n - 1 do
+      edges := (a, b) :: !edges
+    done
+  done;
+  of_edges n !edges
+
+let ibm_qx5 =
+  (* 2x8 ladder: two rows of eight with rungs, as in the QX5 layout. *)
+  let rungs = List.init 8 (fun k -> (k, 15 - k)) in
+  let top = List.init 7 (fun k -> (k, k + 1)) in
+  let bottom = List.init 7 (fun k -> (8 + k, 9 + k)) in
+  of_edges 16 (rungs @ top @ bottom)
+
+let num_qubits t = t.n
+let connected t a b = List.mem b t.adj.(a)
+let neighbors t v = t.adj.(v)
+
+let edges t =
+  let acc = ref [] in
+  for a = 0 to t.n - 1 do
+    List.iter (fun b -> if a < b then acc := (a, b) :: !acc) t.adj.(a)
+  done;
+  List.rev !acc
+
+let distance t a b = (Lazy.force t.dist).(a).(b)
+
+let shortest_path t a b =
+  let dist = Lazy.force t.dist in
+  if dist.(a).(b) = max_int then raise Not_found;
+  (* Walk greedily downhill from [a] towards [b]. *)
+  let rec walk v acc =
+    if v = b then List.rev (v :: acc)
+    else
+      let next =
+        List.find (fun w -> dist.(w).(b) = dist.(v).(b) - 1) t.adj.(v)
+      in
+      walk next (v :: acc)
+  in
+  walk a []

@@ -1,0 +1,38 @@
+(** Device coupling maps.
+
+    Compilation target constraints (Section I of the paper: "limited
+    connectivity"): an undirected graph over physical qubits; two-qubit
+    gates may only act on adjacent pairs. *)
+
+type t
+
+(** [of_edges n edges] builds a map on [n] qubits.
+    @raise Invalid_argument on out-of-range or self-loop edges. *)
+val of_edges : int -> (int * int) list -> t
+
+(** Standard topologies. *)
+val line : int -> t
+
+val ring : int -> t
+
+(** [grid ~rows ~cols] — 2D lattice, qubit [r*cols + c]. *)
+val grid : rows:int -> cols:int -> t
+
+val star : int -> t
+val fully_connected : int -> t
+
+(** A 16-qubit ladder in the style of IBM QX5 (ref [15] of the paper). *)
+val ibm_qx5 : t
+
+val num_qubits : t -> int
+val connected : t -> int -> int -> bool
+val neighbors : t -> int -> int list
+val edges : t -> (int * int) list
+
+(** [distance t a b] — shortest-path length (∞ = [max_int] if
+    disconnected). *)
+val distance : t -> int -> int -> int
+
+(** [shortest_path t a b] — vertices from [a] to [b] inclusive.
+    @raise Not_found if disconnected. *)
+val shortest_path : t -> int -> int -> int list

@@ -1,0 +1,233 @@
+open Qdt_linalg
+open Qdt_circuit
+
+(* ------------------------------------------------------------------ *)
+(* 2x2 unitary algebra                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let check_2x2_unitary name u =
+  if Mat.rows u <> 2 || Mat.cols u <> 2 || not (Mat.is_unitary ~eps:1e-8 u) then
+    invalid_arg (name ^ ": need a 2x2 unitary")
+
+let zyz u =
+  check_2x2_unitary "Decompose.zyz" u;
+  let u00 = Mat.get u 0 0 and u01 = Mat.get u 0 1 in
+  let u10 = Mat.get u 1 0 and u11 = Mat.get u 1 1 in
+  let c = Cx.norm u00 and s = Cx.norm u10 in
+  let theta = 2.0 *. Float.atan2 s c in
+  let tiny = 1e-9 in
+  let phi, lambda =
+    if s <= tiny then (Cx.phase u11 -. Cx.phase u00, 0.0)
+    else if c <= tiny then (Cx.phase u10 -. Cx.phase u01 -. Float.pi, 0.0)
+    else
+      (* arg u10 − arg u00 = φ exactly; arg u01 − arg u00 = λ + π. *)
+      (Cx.phase u10 -. Cx.phase u00, Cx.phase u01 -. Cx.phase u00 -. Float.pi)
+  in
+  let r = Mat.mul (Gates.rz phi) (Mat.mul (Gates.ry theta) (Gates.rz lambda)) in
+  (* α from the largest-magnitude entry. *)
+  let alpha = ref 0.0 and best = ref (-1.0) in
+  for i = 0 to 1 do
+    for j = 0 to 1 do
+      let m = Cx.norm (Mat.get u i j) in
+      if m > !best then begin
+        best := m;
+        alpha := Cx.phase (Mat.get u i j) -. Cx.phase (Mat.get r i j)
+      end
+    done
+  done;
+  let alpha = !alpha in
+  let rebuilt = Mat.scale (Cx.exp_i alpha) r in
+  if not (Mat.approx_equal ~eps:1e-7 u rebuilt) then
+    invalid_arg "Decompose.zyz: decomposition failed to reconstruct";
+  (alpha, theta, phi, lambda)
+
+let sqrt_unitary u =
+  check_2x2_unitary "Decompose.sqrt_unitary" u;
+  let a = Mat.get u 0 0 and b = Mat.get u 0 1 in
+  let c = Mat.get u 1 0 and d = Mat.get u 1 1 in
+  let tr = Cx.add a d in
+  let det = Cx.sub (Cx.mul a d) (Cx.mul b c) in
+  let disc = Cx.sqrt (Cx.sub (Cx.mul tr tr) (Cx.scale 4.0 det)) in
+  let l1 = Cx.scale 0.5 (Cx.add tr disc) in
+  let l2 = Cx.scale 0.5 (Cx.sub tr disc) in
+  if Cx.norm (Cx.sub l1 l2) < 1e-12 then
+    (* U = λ·I *)
+    Mat.scale (Cx.sqrt l1) (Mat.identity 2)
+  else begin
+    (* Eigenvector for l1: (b, l1 − a) or (l1 − d, c). *)
+    let vx, vy =
+      if Cx.norm b > 1e-12 || Cx.norm (Cx.sub l1 a) > 1e-12 then (b, Cx.sub l1 a)
+      else (Cx.sub l1 d, c)
+    in
+    let n2 = Cx.norm2 vx +. Cx.norm2 vy in
+    let p1 =
+      Mat.of_rows
+        [|
+          [| Cx.scale (1.0 /. n2) (Cx.mul vx (Cx.conj vx));
+             Cx.scale (1.0 /. n2) (Cx.mul vx (Cx.conj vy)) |];
+          [| Cx.scale (1.0 /. n2) (Cx.mul vy (Cx.conj vx));
+             Cx.scale (1.0 /. n2) (Cx.mul vy (Cx.conj vy)) |];
+        |]
+    in
+    let p2 = Mat.sub (Mat.identity 2) p1 in
+    Mat.add (Mat.scale (Cx.sqrt l1) p1) (Mat.scale (Cx.sqrt l2) p2)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Instruction-level lowering                                          *)
+(* ------------------------------------------------------------------ *)
+
+type basis = Two_qubit | Zx_ready | Cx_rz_h
+
+let apply1 gate target = Circuit.Apply { gate; controls = []; target }
+let capply gate controls target = Circuit.Apply { gate; controls; target }
+
+(* Global phase e^{ig} realised exactly on one qubit:
+   Phase(2g)·Rz(−2g) = e^{ig}·I. *)
+let global_phase g q =
+  if Float.abs g < 1e-12 then []
+  else [ apply1 (Gate.Rz (-2.0 *. g)) q; apply1 (Gate.Phase (2.0 *. g)) q ]
+
+(* Single-qubit gate as an exact {Rz, Rx, Phase} sequence (in program
+   order), using Ry(θ) = Rz(π/2)·Rx(θ)·Rz(−π/2). *)
+let ry_as_rz_rx theta q =
+  [ apply1 (Gate.Rz (-.Float.pi /. 2.0)) q;
+    apply1 (Gate.Rx theta) q;
+    apply1 (Gate.Rz (Float.pi /. 2.0)) q ]
+
+(* Exact expansion of the gates the ZX basis does not accept. *)
+let expand_for_zx gate q =
+  match gate with
+  | Gate.Y ->
+      (* Y = e^{iπ/2}·X·Z *)
+      (apply1 Gate.Z q :: apply1 Gate.X q :: global_phase (Float.pi /. 2.0) q)
+  | Gate.Sx -> apply1 (Gate.Rx (Float.pi /. 2.0)) q :: global_phase (Float.pi /. 4.0) q
+  | Gate.Sxdg ->
+      apply1 (Gate.Rx (-.Float.pi /. 2.0)) q :: global_phase (-.Float.pi /. 4.0) q
+  | Gate.Ry theta -> ry_as_rz_rx theta q
+  | Gate.U3 { theta; phi; lambda } ->
+      (apply1 (Gate.Rz lambda) q :: ry_as_rz_rx theta q)
+      @ (apply1 (Gate.Rz phi) q :: global_phase ((phi +. lambda) /. 2.0) q)
+  | Gate.I -> []
+  | Gate.X | Gate.Z | Gate.H | Gate.S | Gate.Sdg | Gate.T | Gate.Tdg
+  | Gate.Rx _ | Gate.Rz _ | Gate.Phase _ ->
+      [ apply1 gate q ]
+
+(* ABC decomposition of a singly-controlled arbitrary 2x2 unitary. *)
+let controlled_unitary u ctl tgt =
+  let alpha, theta, phi, lambda = zyz u in
+  [ apply1 (Gate.Rz ((lambda -. phi) /. 2.0)) tgt;
+    capply Gate.X [ ctl ] tgt;
+    apply1 (Gate.Rz (-.(phi +. lambda) /. 2.0)) tgt;
+    apply1 (Gate.Ry (-.theta /. 2.0)) tgt;
+    capply Gate.X [ ctl ] tgt;
+    apply1 (Gate.Ry (theta /. 2.0)) tgt;
+    apply1 (Gate.Rz phi) tgt;
+    apply1 (Gate.Phase alpha) ctl ]
+
+(* A 2x2 unitary as a controlled gate instruction pair: V = e^{ig}·U3, so
+   C(V) = C(U3) followed by Phase(g) on the control. *)
+let as_controlled_gate v controls tgt =
+  let alpha, theta, phi, lambda = zyz v in
+  let g = alpha -. ((phi +. lambda) /. 2.0) in
+  let phase_fix =
+    if Float.abs g < 1e-12 then []
+    else
+      match controls with
+      | [ c ] -> [ apply1 (Gate.Phase g) c ]
+      | c :: rest -> [ capply (Gate.Phase g) rest c ]
+      | [] -> global_phase g tgt
+  in
+  capply (Gate.U3 { theta; phi; lambda }) controls tgt :: phase_fix
+
+(* Barenco recursion: C^k(U) with controls (c :: rest) becomes two
+   C^{k-1}(X) and three singly/multi-controlled square roots. *)
+let rec lower_multi_control u controls target =
+  match controls with
+  | [] -> as_controlled_gate u [] target
+  | [ c ] ->
+      (* exact single-controlled gate instruction; later passes may expand *)
+      as_controlled_gate u [ c ] target
+  | c :: rest ->
+      let v = sqrt_unitary u in
+      let vdag = Mat.dagger v in
+      as_controlled_gate v [ c ] target
+      @ lower_multi_control Gates.x rest c
+      @ as_controlled_gate vdag [ c ] target
+      @ lower_multi_control Gates.x rest c
+      @ lower_multi_control v rest target
+
+let swap_to_cx a b =
+  [ capply Gate.X [ a ] b; capply Gate.X [ b ] a; capply Gate.X [ a ] b ]
+
+let fredkin_to_ccx controls a b =
+  [ capply Gate.X [ b ] a;
+    Circuit.Apply { gate = Gate.X; controls = a :: controls; target = b };
+    capply Gate.X [ b ] a ]
+
+(* One lowering step; returns None when the instruction is already in the
+   basis. *)
+let step basis instr =
+  match instr with
+  | Circuit.Measure _ | Circuit.Reset _ | Circuit.Barrier _ -> None
+  | Circuit.Swap { controls = []; a; b } -> (
+      match basis with
+      | Two_qubit | Zx_ready -> None
+      | Cx_rz_h -> Some (swap_to_cx a b))
+  | Circuit.Swap { controls; a; b } -> Some (fredkin_to_ccx controls a b)
+  | Circuit.Apply { gate; controls = []; target } -> (
+      match basis with
+      | Two_qubit -> None
+      | Zx_ready -> (
+          match gate with
+          | Gate.I -> Some []
+          | Gate.X | Gate.Z | Gate.H | Gate.S | Gate.Sdg | Gate.T | Gate.Tdg
+          | Gate.Rx _ | Gate.Rz _ | Gate.Phase _ ->
+              None
+          | Gate.Y | Gate.Sx | Gate.Sxdg | Gate.Ry _ | Gate.U3 _ ->
+              Some (expand_for_zx gate target))
+      | Cx_rz_h -> (
+          match gate with
+          | Gate.H | Gate.Rz _ -> None
+          | Gate.I -> Some []
+          | Gate.X -> Some [ apply1 Gate.H target; apply1 (Gate.Rz Float.pi) target; apply1 Gate.H target ]
+          | Gate.Z -> Some [ apply1 (Gate.Rz Float.pi) target ]
+          | Gate.S -> Some [ apply1 (Gate.Rz (Float.pi /. 2.0)) target ]
+          | Gate.Sdg -> Some [ apply1 (Gate.Rz (-.Float.pi /. 2.0)) target ]
+          | Gate.T -> Some [ apply1 (Gate.Rz (Float.pi /. 4.0)) target ]
+          | Gate.Tdg -> Some [ apply1 (Gate.Rz (-.Float.pi /. 4.0)) target ]
+          | Gate.Phase theta -> Some [ apply1 (Gate.Rz theta) target ]
+          | Gate.Rx theta ->
+              Some [ apply1 Gate.H target; apply1 (Gate.Rz theta) target; apply1 Gate.H target ]
+          | Gate.Y | Gate.Sx | Gate.Sxdg | Gate.Ry _ | Gate.U3 _ ->
+              Some (expand_for_zx gate target)))
+  | Circuit.Apply { gate; controls = [ ctl ]; target } -> (
+      match basis with
+      | Two_qubit -> None
+      | Zx_ready | Cx_rz_h -> (
+          match gate with
+          | Gate.X -> None
+          | Gate.Z when basis = Zx_ready -> None
+          | _ -> Some (controlled_unitary (Gate.matrix gate) ctl target)))
+  | Circuit.Apply { gate; controls; target } ->
+      Some (lower_multi_control (Gate.matrix gate) controls target)
+
+let instruction_in_basis basis instr =
+  match step basis instr with
+  | None -> true
+  | Some _ -> false
+
+let lower ~basis c =
+  let rec fix instr acc =
+    match step basis instr with
+    | None -> instr :: acc
+    | Some replacements -> List.fold_left (fun acc i -> fix i acc) acc replacements
+  in
+  let lowered = List.fold_left (fun acc i -> fix i acc) [] (Circuit.instructions c) in
+  List.fold_left
+    (fun acc i -> Circuit.add i acc)
+    (Circuit.empty ~clbits:(Circuit.num_clbits c) (Circuit.num_qubits c))
+    (List.rev lowered)
+
+let conforms ~basis c =
+  List.for_all (instruction_in_basis basis) (Circuit.instructions c)

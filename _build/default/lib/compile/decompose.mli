@@ -1,0 +1,34 @@
+(** Gate decomposition (the first half of the paper's compilation task:
+    rewriting a circuit over a restricted gate set, refs [14]–[18]).
+
+    Everything is pure gate algebra: ZYZ angles for arbitrary 2×2
+    unitaries, the ABC construction for singly-controlled gates, the
+    Barenco recursion for multiple controls.  Decompositions preserve the
+    unitary up to global phase. *)
+
+(** [zyz u] returns [(alpha, theta, phi, lambda)] with
+    [u = e^{iα}·Rz(φ)·Ry(θ)·Rz(λ)].
+    @raise Invalid_argument unless [u] is 2×2 unitary. *)
+val zyz : Qdt_linalg.Mat.t -> float * float * float * float
+
+(** [sqrt_unitary u] is a 2×2 unitary [v] with [v·v = u] (principal root
+    via eigendecomposition). *)
+val sqrt_unitary : Qdt_linalg.Mat.t -> Qdt_linalg.Mat.t
+
+(** Target gate sets. *)
+type basis =
+  | Two_qubit
+      (** any single-qubit gate; two-qubit interactions only (CX/CZ/SWAP
+          with at most one control) *)
+  | Zx_ready
+      (** {H, Rz-like diagonal gates, X-like gates, CX, CZ, SWAP} — what
+          the ZX translation consumes *)
+  | Cx_rz_h  (** only CX, Rz and H — a minimal universal set *)
+
+(** [lower ~basis c] rewrites every instruction into [basis].
+    Measurements, resets and barriers pass through untouched. *)
+val lower : basis:basis -> Qdt_circuit.Circuit.t -> Qdt_circuit.Circuit.t
+
+(** [conforms ~basis c] checks that every instruction already lies in
+    [basis]. *)
+val conforms : basis:basis -> Qdt_circuit.Circuit.t -> bool

@@ -1,0 +1,184 @@
+open Qdt_circuit
+
+(* Instruction scheduling: an instruction is ready when it sits at the head
+   of the pending queue of every qubit it touches. *)
+
+let route ?initial_layout ?(lookahead = 20) ?(decay = 0.1) circuit coupling =
+  let n = Circuit.num_qubits circuit in
+  if Coupling.num_qubits coupling < n then
+    invalid_arg "Lookahead_router.route: coupling map too small";
+  let phys_n = Coupling.num_qubits coupling in
+  let lowered = Decompose.lower ~basis:Decompose.Two_qubit circuit in
+  let instrs = Array.of_list (Circuit.instructions lowered) in
+  let total = Array.length instrs in
+  (* per-qubit queues of instruction indices *)
+  let queues = Array.make n [] in
+  for idx = total - 1 downto 0 do
+    match instrs.(idx) with
+    | Circuit.Barrier _ -> ()
+    | instr ->
+        List.iter
+          (fun q -> queues.(q) <- idx :: queues.(q))
+          (Circuit.qubits_of_instruction instr)
+  done;
+  let layout =
+    match initial_layout with
+    | Some l ->
+        if Array.length l <> n then invalid_arg "Lookahead_router.route: bad layout";
+        Array.copy l
+    | None -> Array.init n (fun q -> q)
+  in
+  let initial_layout_copy = Array.copy layout in
+  let occupant = Array.make phys_n (-1) in
+  Array.iteri (fun l p -> occupant.(p) <- l) layout;
+  let out = ref (Circuit.empty ~clbits:(Circuit.num_clbits circuit) phys_n) in
+  let added_swaps = ref 0 in
+  let emit instr = out := Circuit.add instr !out in
+  let done_ = Array.make total false in
+  let ready idx instr =
+    List.for_all
+      (fun q -> match queues.(q) with head :: _ -> head = idx | [] -> false)
+      (Circuit.qubits_of_instruction instr)
+  in
+  let retire idx instr =
+    done_.(idx) <- true;
+    List.iter
+      (fun q ->
+        match queues.(q) with
+        | head :: rest when head = idx -> queues.(q) <- rest
+        | _ -> assert false)
+      (Circuit.qubits_of_instruction instr)
+  in
+  let remap_instr instr =
+    match instr with
+    | Circuit.Apply { gate; controls; target } ->
+        Circuit.Apply
+          { gate; controls = List.map (fun q -> layout.(q)) controls;
+            target = layout.(target) }
+    | Circuit.Swap { controls; a; b } ->
+        Circuit.Swap
+          { controls = List.map (fun q -> layout.(q)) controls;
+            a = layout.(a); b = layout.(b) }
+    | Circuit.Measure { qubit; clbit } -> Circuit.Measure { qubit = layout.(qubit); clbit }
+    | Circuit.Reset q -> Circuit.Reset layout.(q)
+    | Circuit.Barrier qs -> Circuit.Barrier (List.map (fun q -> layout.(q)) qs)
+  in
+  let executable instr =
+    match Circuit.qubits_of_instruction instr with
+    | [] | [ _ ] -> true
+    | [ a; b ] -> Coupling.connected coupling layout.(a) layout.(b)
+    | _ -> invalid_arg "Lookahead_router: lowering left a >2-qubit instruction"
+  in
+  let decay_factor = Array.make phys_n 1.0 in
+  let decay_counter = ref 0 in
+  let remaining = ref total in
+  (* barriers don't enter queues; count them out *)
+  Array.iter (function Circuit.Barrier _ -> decr remaining | _ -> ()) instrs;
+  let swap_budget = 100 + (total * Coupling.num_qubits coupling) in
+  while !remaining > 0 do
+    if !added_swaps > swap_budget then
+      invalid_arg "Lookahead_router: swap budget exceeded (routing diverged)";
+    (* 1. flush every ready & executable instruction *)
+    let progressed = ref true in
+    while !progressed do
+      progressed := false;
+      for idx = 0 to total - 1 do
+        match instrs.(idx) with
+        | Circuit.Barrier _ -> ()
+        | instr ->
+            if ready idx instr && executable instr then begin
+              emit (remap_instr instr);
+              retire idx instr;
+              decr remaining;
+              progressed := true
+            end
+      done
+    done;
+    if !remaining > 0 then begin
+      (* 2. front layer: ready two-qubit instructions that are blocked *)
+      let front = ref [] in
+      for idx = 0 to total - 1 do
+        match instrs.(idx) with
+        | Circuit.Barrier _ -> ()
+        | instr ->
+            if ready idx instr && not (executable instr) then
+              (match Circuit.qubits_of_instruction instr with
+              | [ a; b ] -> front := (a, b) :: !front
+              | _ -> ())
+      done;
+      (* lookahead window: the next few blocked 2q interactions per queue *)
+      let extended = ref [] in
+      let count = ref 0 in
+      (try
+         for idx = 0 to total - 1 do
+           if not done_.(idx) then
+             match instrs.(idx) with
+             | Circuit.Barrier _ -> ()
+             | instr -> (
+                 match Circuit.qubits_of_instruction instr with
+                 | [ a; b ] ->
+                     extended := (a, b) :: !extended;
+                     incr count;
+                     if !count >= lookahead then raise Exit
+                 | _ -> ())
+         done
+       with Exit -> ());
+      if !front = [] then
+        invalid_arg "Lookahead_router: deadlock (disconnected coupling map?)";
+      (* 3. candidate swaps: edges touching a front-layer qubit *)
+      let dist a b = Float.of_int (Coupling.distance coupling a b) in
+      let score_with swap_a swap_b =
+        let map q =
+          let p = layout.(q) in
+          if p = swap_a then swap_b else if p = swap_b then swap_a else p
+        in
+        let front_cost =
+          List.fold_left (fun acc (a, b) -> acc +. dist (map a) (map b)) 0.0 !front
+        in
+        let look_cost =
+          List.fold_left (fun acc (a, b) -> acc +. dist (map a) (map b)) 0.0 !extended
+        in
+        (front_cost +. (0.5 *. look_cost /. Float.of_int (max 1 (List.length !extended))))
+        *. Float.max decay_factor.(swap_a) decay_factor.(swap_b)
+      in
+      let candidates =
+        List.concat_map
+          (fun (a, b) ->
+            let edges_of q =
+              List.map (fun nb -> (layout.(q), nb)) (Coupling.neighbors coupling layout.(q))
+            in
+            edges_of a @ edges_of b)
+          !front
+      in
+      let best = ref None in
+      List.iter
+        (fun (pa, pb) ->
+          let s = score_with pa pb in
+          match !best with
+          | None -> best := Some (s, pa, pb)
+          | Some (bs, _, _) -> if s < bs -. 1e-12 then best := Some (s, pa, pb))
+        candidates;
+      match !best with
+      | None -> invalid_arg "Lookahead_router: no candidate swaps"
+      | Some (_, pa, pb) ->
+          emit (Circuit.Swap { controls = []; a = pa; b = pb });
+          incr added_swaps;
+          let la = occupant.(pa) and lb = occupant.(pb) in
+          occupant.(pa) <- lb;
+          occupant.(pb) <- la;
+          if lb >= 0 then layout.(lb) <- pa;
+          if la >= 0 then layout.(la) <- pb;
+          incr decay_counter;
+          if !decay_counter mod 5 = 0 then Array.fill decay_factor 0 phys_n 1.0
+          else begin
+            decay_factor.(pa) <- decay_factor.(pa) +. decay;
+            decay_factor.(pb) <- decay_factor.(pb) +. decay
+          end
+    end
+  done;
+  {
+    Router.routed = !out;
+    initial_layout = initial_layout_copy;
+    final_layout = layout;
+    added_swaps = !added_swaps;
+  }

@@ -1,0 +1,20 @@
+(** Lookahead routing in the style of SABRE (Li, Ding & Xie — the
+    approach behind the paper's ref [18]).
+
+    Instead of walking each blocked gate's shortest path, consider every
+    swap on an edge touching the current front layer and pick the one
+    that most decreases the summed distance of the front layer plus a
+    discounted lookahead window; a decay penalty on recently swapped
+    qubits breaks oscillations.  Usually beats the greedy router on
+    circuits with interleaved long-range interactions (bench E9). *)
+
+(** [route ?initial_layout ?lookahead ?decay circuit coupling] — same
+    contract as {!Router.route}.  [lookahead] is the window size
+    (default 20), [decay] the oscillation penalty (default 0.1). *)
+val route :
+  ?initial_layout:int array ->
+  ?lookahead:int ->
+  ?decay:float ->
+  Qdt_circuit.Circuit.t ->
+  Coupling.t ->
+  Router.result

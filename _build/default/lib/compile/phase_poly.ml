@@ -1,0 +1,194 @@
+open Qdt_circuit
+
+(* Parities are bitmasks over the input wires (bit q = input x_q), so this
+   module supports up to 62 qubits — far beyond anything the simulators
+   reach. *)
+
+type t = {
+  n : int;
+  term_list : (int * float) list; (* first-occurrence order, merged *)
+  linear : int array;             (* linear.(q) = output parity of wire q *)
+}
+
+let two_pi = 2.0 *. Float.pi
+
+let angle_is_trivial a =
+  let m = Float.rem (Float.abs a) two_pi in
+  m < 1e-12 || two_pi -. m < 1e-12
+
+let of_circuit c =
+  let n = Circuit.num_qubits c in
+  if n > 62 then invalid_arg "Phase_poly: too many qubits for bitmask parities";
+  let wires = Array.init n (fun q -> 1 lsl q) in
+  let angles = Hashtbl.create 32 in
+  let order = ref [] in
+  let add_term mask theta =
+    (match Hashtbl.find_opt angles mask with
+    | None ->
+        order := mask :: !order;
+        Hashtbl.replace angles mask theta
+    | Some prev -> Hashtbl.replace angles mask (prev +. theta))
+  in
+  List.iter
+    (fun instr ->
+      match instr with
+      | Circuit.Apply { gate; controls = []; target } -> (
+          match Optimize.diag_angle gate with
+          | Some theta -> if theta <> 0.0 then add_term wires.(target) theta
+          | None -> invalid_arg "Phase_poly.of_circuit: non-diagonal gate")
+      | Circuit.Apply { gate = Gate.X; controls = [ ctl ]; target } ->
+          wires.(target) <- wires.(target) lxor wires.(ctl)
+      | Circuit.Apply _ | Circuit.Swap _ | Circuit.Measure _ | Circuit.Reset _ ->
+          invalid_arg "Phase_poly.of_circuit: instruction outside {CNOT, diagonal}"
+      | Circuit.Barrier _ -> ())
+    (Circuit.instructions c);
+  let term_list =
+    List.rev !order
+    |> List.filter_map (fun mask ->
+           let theta = Hashtbl.find angles mask in
+           if angle_is_trivial theta then None else Some (mask, theta))
+  in
+  { n; term_list; linear = wires }
+
+let terms poly = poly.term_list
+
+(* Solve Σ_{i ∈ support} rows(i) = target over GF(2); rows are linearly
+   independent (they always span, being an invertible wire state). *)
+let solve_combination rows target =
+  let n = Array.length rows in
+  (* Gaussian elimination tracking combinations *)
+  let work = Array.mapi (fun i row -> (row, 1 lsl i)) rows in
+  let target = ref target and combo = ref 0 in
+  let used = Array.make n false in
+  for col = 0 to n - 1 do
+    (* find a pivot with bit col *)
+    let pivot = ref (-1) in
+    for i = n - 1 downto 0 do
+      if (not used.(i)) && fst work.(i) land (1 lsl col) <> 0 then pivot := i
+    done;
+    if !pivot >= 0 then begin
+      used.(!pivot) <- true;
+      let prow, pcombo = work.(!pivot) in
+      for i = 0 to n - 1 do
+        if i <> !pivot && fst work.(i) land (1 lsl col) <> 0 then
+          work.(i) <- (fst work.(i) lxor prow, snd work.(i) lxor pcombo)
+      done;
+      if !target land (1 lsl col) <> 0 then begin
+        target := !target lxor prow;
+        combo := !combo lxor pcombo
+      end
+    end
+  done;
+  if !target <> 0 then invalid_arg "Phase_poly: parity not in the row space";
+  !combo
+
+let synthesize poly =
+  let n = poly.n in
+  let wires = Array.init n (fun q -> 1 lsl q) in
+  let c = ref (Circuit.empty n) in
+  let emit_cx ctl tgt =
+    c := Circuit.cx ctl tgt !c;
+    wires.(tgt) <- wires.(tgt) lxor wires.(ctl)
+  in
+  (* One phase gate per surviving parity: build the parity on a host wire
+     with CNOTs, then rotate. *)
+  List.iter
+    (fun (mask, theta) ->
+      let combo = solve_combination wires mask in
+      (* pick the host wire: lowest set bit of the combination *)
+      let host = ref (-1) in
+      for q = n - 1 downto 0 do
+        if combo land (1 lsl q) <> 0 then host := q
+      done;
+      assert (!host >= 0);
+      for q = 0 to n - 1 do
+        if q <> !host && combo land (1 lsl q) <> 0 then emit_cx q !host
+      done;
+      c := Circuit.phase theta !host !c)
+    poly.term_list;
+  (* Restore the linear part: row-reduce the current wire state to the
+     identity (emitting the ops), then replay the reduction of the target
+     linear map backwards. *)
+  let reduction_ops rows_init =
+    let rows = Array.copy rows_init in
+    let ops = ref [] in
+    let do_op ctl tgt =
+      rows.(tgt) <- rows.(tgt) lxor rows.(ctl);
+      ops := (ctl, tgt) :: !ops
+    in
+    (* Gauss-Jordan with free pivot rows: a pivot must not have served an
+       earlier column (so it carries no earlier pivot bits and cannot
+       contaminate them), ending with a row permutation realised as
+       CX-swap triples. *)
+    let used = Array.make n false in
+    let pivot_of = Array.make n (-1) in
+    for col = 0 to n - 1 do
+      let pivot = ref (-1) in
+      for i = n - 1 downto 0 do
+        if (not used.(i)) && rows.(i) land (1 lsl col) <> 0 then pivot := i
+      done;
+      if !pivot < 0 then invalid_arg "Phase_poly: singular linear map";
+      used.(!pivot) <- true;
+      pivot_of.(col) <- !pivot;
+      for i = 0 to n - 1 do
+        if i <> !pivot && rows.(i) land (1 lsl col) <> 0 then do_op !pivot i
+      done
+    done;
+    (* rows.(pivot_of.(col)) = 1 lsl col; permute into place *)
+    for col = 0 to n - 1 do
+      let where = ref (-1) in
+      Array.iteri (fun i row -> if row = 1 lsl col then where := i) rows;
+      assert (!where >= 0);
+      if !where <> col then begin
+        do_op !where col;
+        do_op col !where;
+        do_op !where col
+      end
+    done;
+    Array.iteri (fun i row -> assert (row = 1 lsl i)) rows;
+    List.rev !ops (* in application order *)
+  in
+  List.iter (fun (ctl, tgt) -> emit_cx ctl tgt) (reduction_ops wires);
+  (* wires is now the identity; applying the reverse of (linear → I)
+     builds the target linear map. *)
+  List.iter
+    (fun (ctl, tgt) -> emit_cx ctl tgt)
+    (List.rev (reduction_ops poly.linear));
+  !c
+
+let optimize c = synthesize (of_circuit c)
+
+let is_block_instruction = function
+  | Circuit.Apply { gate; controls = []; _ } -> Optimize.diag_angle gate <> None
+  | Circuit.Apply { gate = Gate.X; controls = [ _ ]; _ } -> true
+  | _ -> false
+
+let optimize_blocks c =
+  let n = Circuit.num_qubits c in
+  let out = ref (Circuit.empty ~clbits:(Circuit.num_clbits c) n) in
+  let block = ref [] in
+  let flush () =
+    match !block with
+    | [] -> ()
+    | instrs ->
+        let sub =
+          List.fold_left (fun acc i -> Circuit.add i acc) (Circuit.empty n)
+            (List.rev instrs)
+        in
+        (* Only bother when the block can actually shrink. *)
+        let optimized =
+          if Circuit.count_total sub >= 2 then optimize sub else sub
+        in
+        List.iter (fun i -> out := Circuit.add i !out) (Circuit.instructions optimized);
+        block := []
+  in
+  List.iter
+    (fun instr ->
+      if is_block_instruction instr then block := instr :: !block
+      else begin
+        flush ();
+        out := Circuit.add instr !out
+      end)
+    (Circuit.instructions c);
+  flush ();
+  !out

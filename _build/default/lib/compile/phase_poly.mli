@@ -1,0 +1,37 @@
+(** Phase-polynomial optimization of {CNOT, diagonal} circuits.
+
+    A circuit of CNOTs and Z-diagonal rotations implements
+    [|x⟩ ↦ e^{i·p(x)}|L·x⟩] where [p] is a sum of angles over parities of
+    the input bits and [L] is linear over GF(2).  Collecting the
+    polynomial merges all rotations on equal parities (the π/4
+    parity-phase reduction of the paper's ref [41]), and resynthesis
+    emits one rotation per surviving parity plus CNOTs rebuilding [L]. *)
+
+type t
+(** A parsed phase polynomial: parities with angles, plus the linear
+    output function. *)
+
+(** [of_circuit c] parses a circuit containing only CNOTs and diagonal
+    single-qubit gates (I, Z, S, S†, T, T†, Rz, Phase).
+    @raise Invalid_argument on any other instruction. *)
+val of_circuit : Qdt_circuit.Circuit.t -> t
+
+(** [terms poly] — the merged (parity-bitmask, angle) list, zero angles
+    dropped, in first-occurrence order. *)
+val terms : t -> (int * float) list
+
+(** [synthesize poly] — a circuit realising the polynomial (up to global
+    phase). *)
+val synthesize : t -> Qdt_circuit.Circuit.t
+
+(** [optimize c] = [synthesize (of_circuit c)]. *)
+val optimize : Qdt_circuit.Circuit.t -> Qdt_circuit.Circuit.t
+
+(** [optimize_blocks c] — run the optimization over every maximal
+    {CNOT, diagonal} block of an arbitrary circuit, leaving other
+    instructions in place. *)
+val optimize_blocks : Qdt_circuit.Circuit.t -> Qdt_circuit.Circuit.t
+
+(** [is_block_instruction i] — does [i] belong to a phase-polynomial
+    block? *)
+val is_block_instruction : Qdt_circuit.Circuit.instruction -> bool

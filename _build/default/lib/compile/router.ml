@@ -1,0 +1,113 @@
+open Qdt_circuit
+
+type result = {
+  routed : Circuit.t;
+  initial_layout : int array;
+  final_layout : int array;
+  added_swaps : int;
+}
+
+let respects circuit coupling =
+  List.for_all
+    (fun instr ->
+      match Circuit.qubits_of_instruction instr with
+      | [] | [ _ ] -> true
+      | [ a; b ] -> Coupling.connected coupling a b
+      | _ -> false)
+    (Circuit.unitary_instructions circuit)
+
+let apply_layout_permutation ~layout c = Circuit.remap (fun q -> layout.(q)) c
+
+let route ?initial_layout circuit coupling =
+  let n = Circuit.num_qubits circuit in
+  if Coupling.num_qubits coupling < n then
+    invalid_arg "Router.route: coupling map too small";
+  let phys_n = Coupling.num_qubits coupling in
+  let lowered = Decompose.lower ~basis:Decompose.Two_qubit circuit in
+  let layout =
+    match initial_layout with
+    | Some l ->
+        if Array.length l <> n then invalid_arg "Router.route: bad layout length";
+        Array.copy l
+    | None -> Array.init n (fun q -> q)
+  in
+  let initial_layout = Array.copy layout in
+  (* physical → logical inverse (-1 = free) *)
+  let occupant = Array.make phys_n (-1) in
+  Array.iteri (fun l p -> occupant.(p) <- l) layout;
+  let out = ref (Circuit.empty ~clbits:(Circuit.num_clbits circuit) phys_n) in
+  let added_swaps = ref 0 in
+  let emit instr = out := Circuit.add instr !out in
+  let swap_physical a b =
+    emit (Circuit.Swap { controls = []; a; b });
+    incr added_swaps;
+    let la = occupant.(a) and lb = occupant.(b) in
+    occupant.(a) <- lb;
+    occupant.(b) <- la;
+    if lb >= 0 then layout.(lb) <- a;
+    if la >= 0 then layout.(la) <- b
+  in
+  let bring_adjacent a b =
+    (* Move logical a's physical position along the shortest path towards
+       logical b until adjacent. *)
+    let rec loop () =
+      let pa = layout.(a) and pb = layout.(b) in
+      if not (Coupling.connected coupling pa pb) then begin
+        match Coupling.shortest_path coupling pa pb with
+        | _ :: next :: _ ->
+            swap_physical pa next;
+            loop ()
+        | _ -> invalid_arg "Router.route: disconnected coupling map"
+      end
+    in
+    loop ()
+  in
+  let remap_1q q = layout.(q) in
+  List.iter
+    (fun instr ->
+      match instr with
+      | Circuit.Barrier _ -> ()
+      | Circuit.Measure { qubit; clbit } ->
+          emit (Circuit.Measure { qubit = remap_1q qubit; clbit })
+      | Circuit.Reset q -> emit (Circuit.Reset (remap_1q q))
+      | Circuit.Apply { gate; controls = []; target } ->
+          emit (Circuit.Apply { gate; controls = []; target = remap_1q target })
+      | Circuit.Apply { gate; controls = [ ctl ]; target } ->
+          bring_adjacent ctl target;
+          emit
+            (Circuit.Apply
+               { gate; controls = [ layout.(ctl) ]; target = layout.(target) })
+      | Circuit.Swap { controls = []; a; b } ->
+          bring_adjacent a b;
+          emit (Circuit.Swap { controls = []; a = layout.(a); b = layout.(b) })
+      | Circuit.Apply _ | Circuit.Swap _ ->
+          invalid_arg "Router.route: lowering left a >2-qubit instruction")
+    (Circuit.instructions lowered);
+  {
+    routed = !out;
+    initial_layout;
+    final_layout = layout;
+    added_swaps = !added_swaps;
+  }
+
+let undo_final_permutation result =
+  (* Restore the initial placement with explicit swaps (in physical space). *)
+  let layout = Array.copy result.final_layout in
+  let n = Array.length layout in
+  let phys_n = Circuit.num_qubits result.routed in
+  let occupant = Array.make phys_n (-1) in
+  Array.iteri (fun l p -> occupant.(p) <- l) layout;
+  let c = ref result.routed in
+  for l = 0 to n - 1 do
+    let want = result.initial_layout.(l) in
+    let have = layout.(l) in
+    if have <> want then begin
+      c := Circuit.swap have want !c;
+      let other = occupant.(want) in
+      occupant.(want) <- l;
+      occupant.(have) <- other;
+      layout.(l) <- want;
+      if other >= 0 then layout.(other) <- have
+    end
+  done;
+  !c

@@ -1,0 +1,37 @@
+(** Qubit routing: mapping circuits onto a coupling map by SWAP insertion
+    (the "mapping" compilation task of refs [15], [18]).
+
+    Greedy strategy: keep a logical→physical placement; when a two-qubit
+    gate acts on non-adjacent physical qubits, walk the shortest path and
+    swap the logical qubits together, then emit the gate.  The result is a
+    circuit over *physical* qubits, plus the placement before and after —
+    so functional equivalence is checkable (experiment E9). *)
+
+type result = {
+  routed : Qdt_circuit.Circuit.t;      (** physical-qubit circuit *)
+  initial_layout : int array;          (** logical → physical at the start *)
+  final_layout : int array;            (** logical → physical at the end *)
+  added_swaps : int;
+}
+
+(** [route ?initial_layout circuit coupling] routes [circuit] (first
+    lowered to ≤2-qubit instructions).  The default initial layout is the
+    identity.
+    @raise Invalid_argument if the coupling map has fewer qubits than the
+    circuit or is disconnected where needed. *)
+val route : ?initial_layout:int array -> Qdt_circuit.Circuit.t -> Coupling.t -> result
+
+(** [respects circuit coupling] — every ≥2-qubit instruction touches only
+    adjacent physical qubits. *)
+val respects : Qdt_circuit.Circuit.t -> Coupling.t -> bool
+
+(** [apply_layout_permutation ~layout c] prepends nothing but returns the
+    circuit one gets by relabelling qubit [l] to [layout.(l)]; helper for
+    checking routed circuits against originals. *)
+val apply_layout_permutation : layout:int array -> Qdt_circuit.Circuit.t -> Qdt_circuit.Circuit.t
+
+(** [undo_final_permutation result] appends SWAPs to [result.routed] so the
+    overall circuit implements the original unitary under
+    [initial_layout] alone (i.e. final placement is restored to the
+    initial one). *)
+val undo_final_permutation : result -> Qdt_circuit.Circuit.t

@@ -1,0 +1,127 @@
+module Linalg = Qdt_linalg
+module Circuit = Qdt_circuit
+module Arrays = Qdt_arraysim
+module Dd = Qdt_dd
+module Tensornet = Qdt_tensornet
+module Zx = Qdt_zx
+module Compile = Qdt_compile
+module Verify = Qdt_verify
+module Stabilizer = Qdt_stabilizer
+
+type backend =
+  | Arrays_backend
+  | Decision_diagrams
+  | Tensor_network
+  | Mps
+  | Stabilizer_backend
+
+let backend_name = function
+  | Arrays_backend -> "arrays"
+  | Decision_diagrams -> "decision-diagrams"
+  | Tensor_network -> "tensor-network"
+  | Mps -> "mps"
+  | Stabilizer_backend -> "stabilizer"
+
+let all_backends = [ Arrays_backend; Decision_diagrams; Tensor_network; Mps ]
+
+let simulate ~backend c =
+  match backend with
+  | Arrays_backend -> Qdt_arraysim.Statevector.to_vec (Qdt_arraysim.Statevector.run_unitary c)
+  | Decision_diagrams -> Qdt_dd.Sim.to_vec (Qdt_dd.Sim.run_unitary c)
+  | Tensor_network ->
+      fst (Qdt_tensornet.Circuit_tn.statevector (Qdt_tensornet.Circuit_tn.of_circuit c))
+  | Mps ->
+      let lowered = Qdt_compile.Decompose.lower ~basis:Qdt_compile.Decompose.Two_qubit c in
+      Qdt_tensornet.Mps.to_vec (Qdt_tensornet.Mps.run lowered)
+  | Stabilizer_backend ->
+      invalid_arg "Qdt.simulate: the stabilizer backend has no amplitude access"
+
+let amplitude ~backend c k =
+  match backend with
+  | Arrays_backend ->
+      Qdt_arraysim.Statevector.amplitude (Qdt_arraysim.Statevector.run_unitary c) k
+  | Decision_diagrams -> Qdt_dd.Sim.amplitude (Qdt_dd.Sim.run_unitary c) k
+  | Tensor_network ->
+      fst (Qdt_tensornet.Circuit_tn.amplitude (Qdt_tensornet.Circuit_tn.of_circuit c) k)
+  | Mps ->
+      let lowered = Qdt_compile.Decompose.lower ~basis:Qdt_compile.Decompose.Two_qubit c in
+      Qdt_tensornet.Mps.amplitude (Qdt_tensornet.Mps.run lowered) k
+  | Stabilizer_backend ->
+      invalid_arg "Qdt.amplitude: the stabilizer backend has no amplitude access"
+
+let sample ~backend ?(seed = 0) ~shots c =
+  match backend with
+  | Arrays_backend ->
+      Qdt_arraysim.Statevector.sample ~seed (Qdt_arraysim.Statevector.run_unitary c) ~shots
+  | Decision_diagrams -> Qdt_dd.Sim.sample ~seed (Qdt_dd.Sim.run_unitary c) ~shots
+  | Stabilizer_backend ->
+      let t, _ = Qdt_stabilizer.Tableau.run ~seed c in
+      Qdt_stabilizer.Tableau.sample ~seed:(seed + 1) t ~shots
+  | Tensor_network | Mps ->
+      invalid_arg "Qdt.sample: sampling is provided by the array, DD and stabilizer backends"
+
+let expectation_z ~backend c q =
+  match backend with
+  | Arrays_backend ->
+      Qdt_arraysim.Statevector.expectation_z (Qdt_arraysim.Statevector.run_unitary c) q
+  | Decision_diagrams -> Qdt_dd.Sim.expectation_z (Qdt_dd.Sim.run_unitary c) q
+  | Stabilizer_backend ->
+      let t, _ = Qdt_stabilizer.Tableau.run c in
+      Float.of_int (Qdt_stabilizer.Tableau.expectation_z t q)
+  | Tensor_network -> fst (Qdt_tensornet.Circuit_tn.expectation_z c q)
+  | Mps ->
+      let lowered = Qdt_compile.Decompose.lower ~basis:Qdt_compile.Decompose.Two_qubit c in
+      Qdt_tensornet.Mps.expectation_z (Qdt_tensornet.Mps.run lowered) q
+
+type compiled = {
+  circuit : Qdt_circuit.Circuit.t;
+  added_swaps : int;
+  removed_gates : int;
+  initial_layout : int array;
+  final_layout : int array;
+}
+
+let compile ?(optimize = true) ~coupling c =
+  let result = Qdt_compile.Router.route c coupling in
+  let routed = result.Qdt_compile.Router.routed in
+  let final_circuit, removed =
+    if optimize then
+      let optimized, stats = Qdt_compile.Optimize.optimize routed in
+      (optimized, stats.Qdt_compile.Optimize.removed)
+    else (routed, 0)
+  in
+  {
+    circuit = final_circuit;
+    added_swaps = result.Qdt_compile.Router.added_swaps;
+    removed_gates = removed;
+    initial_layout = result.Qdt_compile.Router.initial_layout;
+    final_layout = result.Qdt_compile.Router.final_layout;
+  }
+
+type checker =
+  | Check_arrays
+  | Check_dd
+  | Check_dd_alternating
+  | Check_zx
+  | Check_tn
+  | Check_simulation
+
+let checker_name = function
+  | Check_arrays -> "arrays"
+  | Check_dd -> "dd"
+  | Check_dd_alternating -> "dd-alternating"
+  | Check_zx -> "zx"
+  | Check_tn -> "tn"
+  | Check_simulation -> "simulation"
+
+let all_checkers =
+  [ Check_arrays; Check_dd; Check_dd_alternating; Check_zx; Check_tn; Check_simulation ]
+
+let equivalent ~checker c1 c2 =
+  match checker with
+  | Check_arrays -> Qdt_verify.Equiv.arrays c1 c2
+  | Check_dd -> Qdt_verify.Equiv.dd c1 c2
+  | Check_dd_alternating -> Qdt_verify.Equiv.dd_alternating c1 c2
+  | Check_zx -> Qdt_verify.Equiv.zx c1 c2
+  | Check_tn -> Qdt_verify.Equiv.tn c1 c2
+  | Check_simulation -> Qdt_verify.Equiv.simulation c1 c2

@@ -1,0 +1,86 @@
+(** Quantum Design Tools — umbrella API.
+
+    One entry point over the four data structures the paper surveys
+    (arrays, decision diagrams, tensor networks, ZX-calculus) and the
+    three design tasks built on them (simulation, compilation,
+    verification).  The sub-libraries remain directly usable; this module
+    adds uniform front doors and re-exports.
+
+    {[
+      let bell = Qdt.Circuit.Generators.bell in
+      let state = Qdt.simulate ~backend:Qdt.Decision_diagrams bell in
+      ...
+    ]} *)
+
+(** {1 Re-exports} *)
+
+module Linalg = Qdt_linalg
+module Circuit = Qdt_circuit
+module Arrays = Qdt_arraysim
+module Dd = Qdt_dd
+module Tensornet = Qdt_tensornet
+module Zx = Qdt_zx
+module Compile = Qdt_compile
+module Verify = Qdt_verify
+module Stabilizer = Qdt_stabilizer
+
+(** {1 Simulation} *)
+
+type backend =
+  | Arrays_backend          (** dense state vector (Section II) *)
+  | Decision_diagrams       (** QMDD simulation (Section III) *)
+  | Tensor_network          (** full-state TN contraction (Section IV) *)
+  | Mps                     (** matrix-product-state simulation (Section IV) *)
+  | Stabilizer_backend
+      (** tableau simulation — Clifford circuits only; supports
+          {!sample} and {!expectation_z} but not amplitudes *)
+
+val backend_name : backend -> string
+val all_backends : backend list
+
+(** [simulate ~backend c] — final state of the unitary circuit [c] from
+    [|0…0⟩]; all backends agree up to numerical noise. *)
+val simulate : backend:backend -> Qdt_circuit.Circuit.t -> Qdt_linalg.Vec.t
+
+(** [amplitude ~backend c k] — ⟨k|C|0…0⟩ without necessarily building the
+    whole state (TN and MPS compute just the one amplitude). *)
+val amplitude : backend:backend -> Qdt_circuit.Circuit.t -> int -> Qdt_linalg.Cx.t
+
+(** [sample ~backend ?seed ~shots c] — measurement counts (array, DD and
+    stabilizer backends). *)
+val sample :
+  backend:backend -> ?seed:int -> shots:int -> Qdt_circuit.Circuit.t -> (int * int) list
+
+(** [expectation_z ~backend c q] — [⟨Z_q⟩] of the final state. *)
+val expectation_z : backend:backend -> Qdt_circuit.Circuit.t -> int -> float
+
+(** {1 Compilation} *)
+
+type compiled = {
+  circuit : Qdt_circuit.Circuit.t;
+  added_swaps : int;
+  removed_gates : int;
+  initial_layout : int array;
+  final_layout : int array;
+}
+
+(** [compile ?optimize ~coupling c] — lower, route onto [coupling], and
+    (by default) peephole-optimize. *)
+val compile : ?optimize:bool -> coupling:Qdt_compile.Coupling.t -> Qdt_circuit.Circuit.t -> compiled
+
+(** {1 Verification} *)
+
+type checker =
+  | Check_arrays
+  | Check_dd
+  | Check_dd_alternating
+  | Check_zx
+  | Check_tn
+  | Check_simulation
+
+val checker_name : checker -> string
+val all_checkers : checker list
+
+(** [equivalent ~checker c1 c2]. *)
+val equivalent :
+  checker:checker -> Qdt_circuit.Circuit.t -> Qdt_circuit.Circuit.t -> Qdt_verify.Equiv.verdict

@@ -1,0 +1,1 @@
+lib/dd/approx.ml: Array Cx Float Hashtbl Pkg Qdt_linalg Sim

@@ -1,0 +1,1 @@
+lib/dd/approx.mli: Hashtbl Pkg Sim

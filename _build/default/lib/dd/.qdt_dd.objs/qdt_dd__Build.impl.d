@@ -1,0 +1,1 @@
+lib/dd/build.ml: Circuit Cx Gate Gates List Mat Pkg Qdt_circuit Qdt_linalg Vec

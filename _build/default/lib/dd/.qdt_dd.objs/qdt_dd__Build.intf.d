@@ -1,0 +1,1 @@
+lib/dd/build.mli: Pkg Qdt_circuit Qdt_linalg

@@ -1,0 +1,1 @@
+lib/dd/cnum_table.ml: Cx Float Hashtbl List Qdt_linalg

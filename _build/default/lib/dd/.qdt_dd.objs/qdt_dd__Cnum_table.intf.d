@@ -1,0 +1,1 @@
+lib/dd/cnum_table.mli: Complex

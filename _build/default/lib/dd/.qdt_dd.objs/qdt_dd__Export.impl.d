@@ -1,0 +1,1 @@
+lib/dd/export.ml: Array Buffer Cx Fun Hashtbl Pkg Printf Qdt_linalg

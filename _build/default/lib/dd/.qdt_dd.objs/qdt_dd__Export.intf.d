@@ -1,0 +1,1 @@
+lib/dd/export.mli: Pkg

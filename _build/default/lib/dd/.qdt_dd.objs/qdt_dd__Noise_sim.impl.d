@@ -1,0 +1,1 @@
+lib/dd/noise_sim.ml: Build Circuit Cx List Pkg Qdt_circuit Qdt_linalg

@@ -1,0 +1,1 @@
+lib/dd/noise_sim.mli: Pkg Qdt_circuit Qdt_linalg

@@ -1,0 +1,1 @@
+lib/dd/pkg.ml: Array Cnum_table Cx Hashtbl Mat Qdt_linalg Vec

@@ -1,0 +1,1 @@
+lib/dd/sim.ml: Array Build Circuit Cx Float Gates Hashtbl List Mat Option Pkg Printf Qdt_circuit Qdt_linalg Random String

@@ -1,0 +1,1 @@
+lib/dd/sim.mli: Pkg Qdt_circuit Qdt_linalg Random

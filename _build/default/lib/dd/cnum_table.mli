@@ -1,0 +1,30 @@
+(** Canonical complex-number table.
+
+    Decision diagrams hash-cons nodes, which requires edge weights to have
+    a *canonical* representative: two weights that differ only by floating
+    point noise must become physically the same value with the same id
+    (the "how to handle complex values" problem of Zulehner, Hillmich &
+    Wille, ICCAD 2019 — ref [29] of the paper).
+
+    Lookup quantises onto a grid of pitch [eps] and probes the neighbour
+    buckets, so values within [eps] of a stored one are unified. *)
+
+type t
+
+(** [create ?eps ()] makes an empty table ([eps] defaults to [1e-9]).
+    Ids 0 and 1 are pre-assigned to zero and one. *)
+val create : ?eps:float -> unit -> t
+
+val eps : t -> float
+
+(** [canonical table z] is [(id, v)] where [v] is the canonical value for
+    [z] (within [eps]) and [id] its stable identifier. *)
+val canonical : t -> Complex.t -> int * Complex.t
+
+(** Id of the canonical zero (0) and one (1). *)
+val zero_id : int
+
+val one_id : int
+
+(** Number of distinct values stored. *)
+val size : t -> int

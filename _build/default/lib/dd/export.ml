@@ -1,0 +1,57 @@
+open Qdt_linalg
+
+let weight_label w = if Cx.is_one w then "" else Cx.to_string w
+
+let to_dot _mgr (root : Pkg.edge) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph dd {\n";
+  Buffer.add_string buf "  rankdir=TB;\n  node [shape=circle];\n";
+  Buffer.add_string buf "  root [shape=point];\n";
+  let emitted = Hashtbl.create 64 in
+  let rec emit_node (n : Pkg.node) =
+    if not (Hashtbl.mem emitted n.Pkg.id) then begin
+      Hashtbl.replace emitted n.Pkg.id ();
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"q%d\"];\n" n.Pkg.id n.Pkg.var);
+      Array.iteri
+        (fun k (child : Pkg.edge) ->
+          if Pkg.is_zero child then
+            (* 0-stub, drawn as a small square like the paper's figures. *)
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "  z%d_%d [shape=square,label=\"0\",width=0.2];\n  n%d -> z%d_%d [label=\"%d\"];\n"
+                 n.Pkg.id k n.Pkg.id n.Pkg.id k k)
+          else begin
+            (match child.Pkg.target with
+            | Pkg.Terminal ->
+                Buffer.add_string buf
+                  (Printf.sprintf
+                     "  t%d_%d [shape=box,label=\"1\"];\n  n%d -> t%d_%d [label=\"%d %s\"];\n"
+                     n.Pkg.id k n.Pkg.id n.Pkg.id k k (weight_label child.Pkg.w))
+            | Pkg.Node m ->
+                emit_node m;
+                Buffer.add_string buf
+                  (Printf.sprintf "  n%d -> n%d [label=\"%d %s\"];\n" n.Pkg.id
+                     m.Pkg.id k (weight_label child.Pkg.w)))
+          end)
+        n.Pkg.edges
+    end
+  in
+  (match root.Pkg.target with
+  | Pkg.Terminal ->
+      Buffer.add_string buf
+        (Printf.sprintf "  t [shape=box,label=\"%s\"];\n  root -> t;\n"
+           (Cx.to_string root.Pkg.w))
+  | Pkg.Node n ->
+      emit_node n;
+      Buffer.add_string buf
+        (Printf.sprintf "  root -> n%d [label=\"%s\"];\n" n.Pkg.id
+           (weight_label root.Pkg.w)));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_dot mgr e path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot mgr e))

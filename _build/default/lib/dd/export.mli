@@ -1,0 +1,11 @@
+(** Graphviz export of decision diagrams.
+
+    Produces DOT text in the style of the paper's Fig. 1b (the web
+    visualisation tool of ref [30]): one oval per shared node labelled with
+    its qubit, edges annotated with their weights, 0-stubs suppressed. *)
+
+(** [to_dot mgr e] renders the diagram rooted at [e] (vector or matrix). *)
+val to_dot : Pkg.t -> Pkg.edge -> string
+
+(** [write_dot mgr e path] writes {!to_dot} output to [path]. *)
+val write_dot : Pkg.t -> Pkg.edge -> string -> unit

@@ -1,0 +1,86 @@
+open Qdt_linalg
+open Qdt_circuit
+
+type state = { mgr : Pkg.t; n : int; mutable rho : Pkg.edge }
+
+let density_of_basis mgr n k =
+  (* |k⟩⟨k| as a matrix DD: a chain selecting row = col = bit. *)
+  let zero = Pkg.zero_edge mgr in
+  let rec level var below =
+    if var >= n then below
+    else
+      let bit = (k lsr var) land 1 in
+      let edges =
+        if bit = 0 then [| below; zero; zero; zero |]
+        else [| zero; zero; zero; below |]
+      in
+      level (var + 1) (Pkg.make_node mgr ~var edges)
+  in
+  level 0 (Pkg.one_edge mgr)
+
+let make mgr n = { mgr; n; rho = density_of_basis mgr n 0 }
+let init n = make (Pkg.create ()) n
+let num_qubits st = st.n
+let manager st = st.mgr
+let root st = st.rho
+
+let conjugate st u =
+  let udag = Pkg.adjoint st.mgr u in
+  st.rho <- Pkg.mul_mm st.mgr u (Pkg.mul_mm st.mgr st.rho udag)
+
+let apply_instruction st instr =
+  match instr with
+  | Circuit.Barrier _ -> ()
+  | Circuit.Measure _ | Circuit.Reset _ ->
+      invalid_arg "Noise_sim.apply_instruction: non-unitary instruction"
+  | Circuit.Apply _ | Circuit.Swap _ ->
+      conjugate st (Build.instruction st.mgr ~num_qubits:st.n instr)
+
+let apply_channel st kraus q =
+  if kraus = [] then invalid_arg "Noise_sim.apply_channel: empty channel";
+  let terms =
+    List.map
+      (fun k ->
+        let op = Build.gate st.mgr ~num_qubits:st.n ~controls:[] ~target:q k in
+        let opdag = Pkg.adjoint st.mgr op in
+        Pkg.mul_mm st.mgr op (Pkg.mul_mm st.mgr st.rho opdag))
+      kraus
+  in
+  match terms with
+  | first :: rest -> st.rho <- List.fold_left (Pkg.add st.mgr) first rest
+  | [] -> assert false
+
+let run ?noise circuit =
+  if not (Circuit.is_unitary_only circuit) then
+    invalid_arg "Noise_sim.run: circuit measures or resets";
+  let st = init (Circuit.num_qubits circuit) in
+  List.iter
+    (fun instr ->
+      match instr with
+      | Circuit.Barrier _ -> ()
+      | _ ->
+          apply_instruction st instr;
+          (match noise with
+          | None -> ()
+          | Some mk ->
+              List.iter
+                (fun q -> apply_channel st (mk ()) q)
+                (Circuit.qubits_of_instruction instr)))
+    (Circuit.instructions circuit);
+  st
+
+let trace st = (Pkg.trace st.mgr st.rho).Cx.re
+
+let purity st = (Pkg.trace st.mgr (Pkg.mul_mm st.mgr st.rho st.rho)).Cx.re
+
+let probability st k =
+  (Pkg.matrix_entry st.mgr st.rho ~row:k ~col:k).Cx.re
+
+let fidelity_to_pure st v =
+  (* ⟨ψ|ρ|ψ⟩ = ⟨ψ| (ρ|ψ⟩) via a DD mat-vec against the densified ψ. *)
+  let psi = Build.from_vec st.mgr v in
+  let rho_psi = Pkg.mul_mv st.mgr st.rho psi in
+  (Pkg.inner st.mgr psi rho_psi).Cx.re
+
+let node_count st = Pkg.node_count st.rho
+let to_mat st = Pkg.to_mat st.mgr st.rho ~num_qubits:st.n

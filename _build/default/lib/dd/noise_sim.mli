@@ -1,0 +1,50 @@
+(** Noise-aware simulation with decision diagrams (Grurl, Fuß & Wille —
+    ref [13] of the paper).
+
+    The density matrix ρ is itself a matrix DD: gates act as [U·ρ·U†]
+    (two DD multiplications), single-qubit Kraus channels as
+    [Σ_k K·ρ·K†] (DD additions).  Where ρ has structure — few coherences,
+    repeated blocks — the DD stays small while the dense density matrix
+    costs [4^n]. *)
+
+type state
+
+(** [init n] — the pure state [|0…0⟩⟨0…0|] with a fresh manager. *)
+val init : int -> state
+
+(** [make mgr n] — share an existing manager. *)
+val make : Pkg.t -> int -> state
+
+val num_qubits : state -> int
+val manager : state -> Pkg.t
+val root : state -> Pkg.edge
+
+(** [apply_instruction st instr] — unitary instructions only.
+    @raise Invalid_argument on measurements/resets. *)
+val apply_instruction : state -> Qdt_circuit.Circuit.instruction -> unit
+
+(** [apply_channel st kraus q] — a single-qubit channel given by its 2×2
+    Kraus operators, applied to qubit [q]. *)
+val apply_channel : state -> Qdt_linalg.Mat.t list -> int -> unit
+
+(** [run ?noise circuit] — simulate; when [noise] is given, the channel
+    [noise ()] hits every qubit an instruction touches, after it. *)
+val run : ?noise:(unit -> Qdt_linalg.Mat.t list) -> Qdt_circuit.Circuit.t -> state
+
+(** [trace st] — [Tr ρ] (1 for trace-preserving evolution). *)
+val trace : state -> float
+
+(** [purity st] — [Tr ρ²]. *)
+val purity : state -> float
+
+(** [probability st k] — the diagonal entry [⟨k|ρ|k⟩]. *)
+val probability : state -> int -> float
+
+(** [fidelity_to_pure st vec] — [⟨ψ|ρ|ψ⟩] against a dense pure state. *)
+val fidelity_to_pure : state -> Qdt_linalg.Vec.t -> float
+
+(** [node_count st] — size of the ρ DD. *)
+val node_count : state -> int
+
+(** [to_mat st] — densify (small [n]; testing aid). *)
+val to_mat : state -> Qdt_linalg.Mat.t

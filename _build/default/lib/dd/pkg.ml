@@ -1,0 +1,324 @@
+open Qdt_linalg
+
+type node = { id : int; var : int; edges : edge array }
+and edge = { w_id : int; w : Cx.t; target : target }
+and target = Terminal | Node of node
+
+(* Unique-table key: variable plus (weight id, child id) per edge; child id
+   -1 encodes the terminal. *)
+type key = int * (int * int) array
+
+type t = {
+  ctab : Cnum_table.t;
+  unique : (key, node) Hashtbl.t;
+  mutable next_id : int;
+  add_cache : (int * int * int, edge) Hashtbl.t;
+  mul_mv_cache : (int * int, edge) Hashtbl.t;
+  mul_mm_cache : (int * int, edge) Hashtbl.t;
+  adjoint_cache : (int, edge) Hashtbl.t;
+  kron_cache : (int * int * int, edge) Hashtbl.t;
+  inner_cache : (int * int, Cx.t) Hashtbl.t;
+}
+
+let create ?eps () =
+  {
+    ctab = Cnum_table.create ?eps ();
+    unique = Hashtbl.create 4096;
+    next_id = 0;
+    add_cache = Hashtbl.create 4096;
+    mul_mv_cache = Hashtbl.create 4096;
+    mul_mm_cache = Hashtbl.create 4096;
+    adjoint_cache = Hashtbl.create 1024;
+    kron_cache = Hashtbl.create 1024;
+    inner_cache = Hashtbl.create 1024;
+  }
+
+let canonical mgr z = Cnum_table.canonical mgr.ctab z
+
+let terminal mgr z =
+  let w_id, w = canonical mgr z in
+  { w_id; w; target = Terminal }
+
+let zero_edge _mgr = { w_id = Cnum_table.zero_id; w = Cx.zero; target = Terminal }
+let one_edge _mgr = { w_id = Cnum_table.one_id; w = Cx.one; target = Terminal }
+let is_zero e = e.w_id = Cnum_table.zero_id
+
+let target_id = function Terminal -> -1 | Node n -> n.id
+
+let edge_equal a b = a.w_id = b.w_id && target_id a.target = target_id b.target
+
+let hashcons mgr ~var edges =
+  let key = (var, Array.map (fun e -> (e.w_id, target_id e.target)) edges) in
+  match Hashtbl.find_opt mgr.unique key with
+  | Some n -> n
+  | None ->
+      let n = { id = mgr.next_id; var; edges } in
+      mgr.next_id <- n.id + 1;
+      Hashtbl.replace mgr.unique key n;
+      n
+
+let make_node mgr ~var edges =
+  let arity = Array.length edges in
+  if arity <> 2 && arity <> 4 then invalid_arg "Pkg.make_node: arity must be 2 or 4";
+  (* Pivot: the largest-magnitude weight (first among eps-ties) is pulled
+     out as the incoming edge weight, making the node canonical. *)
+  let eps = Cnum_table.eps mgr.ctab in
+  let pivot = ref (-1) and best = ref 0.0 in
+  Array.iteri
+    (fun k e ->
+      if not (is_zero e) then begin
+        let m = Cx.norm e.w in
+        if m > !best +. eps then begin
+          best := m;
+          pivot := k
+        end
+      end)
+    edges;
+  if !pivot < 0 then zero_edge mgr
+  else begin
+    let top = edges.(!pivot).w in
+    let inv = Cx.inv top in
+    let normalised =
+      Array.mapi
+        (fun k e ->
+          if is_zero e then zero_edge mgr
+          else if k = !pivot then { e with w_id = Cnum_table.one_id; w = Cx.one }
+          else
+            let w_id, w = canonical mgr (Cx.mul e.w inv) in
+            { e with w_id; w })
+        edges
+    in
+    let n = hashcons mgr ~var normalised in
+    let w_id, w = canonical mgr top in
+    { w_id; w; target = Node n }
+  end
+
+let scale mgr c e =
+  if is_zero e then e
+  else
+    let w_id, w = canonical mgr (Cx.mul c e.w) in
+    if w_id = Cnum_table.zero_id then zero_edge mgr else { e with w_id; w }
+
+(* ------------------------------------------------------------------ *)
+(* Addition                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec add mgr e1 e2 =
+  if is_zero e1 then e2
+  else if is_zero e2 then e1
+  else
+    match (e1.target, e2.target) with
+    | Terminal, Terminal -> terminal mgr (Cx.add e1.w e2.w)
+    | Node n1, Node n2 ->
+        assert (n1.var = n2.var && Array.length n1.edges = Array.length n2.edges);
+        (* Factor out w1: e1 + e2 = w1 · (n1 + (w2/w1)·n2). *)
+        let ratio_id, ratio = canonical mgr (Cx.div e2.w e1.w) in
+        let key = (n1.id, ratio_id, n2.id) in
+        let body =
+          match Hashtbl.find_opt mgr.add_cache key with
+          | Some cached -> cached
+          | None ->
+              let children =
+                Array.init (Array.length n1.edges) (fun k ->
+                    add mgr n1.edges.(k) (scale mgr ratio n2.edges.(k)))
+              in
+              let result = make_node mgr ~var:n1.var children in
+              Hashtbl.replace mgr.add_cache key result;
+              result
+        in
+        scale mgr e1.w body
+    | Terminal, Node _ | Node _, Terminal ->
+        invalid_arg "Pkg.add: mixing scalar and node edges"
+
+(* ------------------------------------------------------------------ *)
+(* Multiplication                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec mul_mv mgr m v =
+  if is_zero m || is_zero v then zero_edge mgr
+  else
+    match (m.target, v.target) with
+    | Terminal, Terminal -> terminal mgr (Cx.mul m.w v.w)
+    | Node mn, Node vn ->
+        assert (mn.var = vn.var && Array.length mn.edges = 4 && Array.length vn.edges = 2);
+        let key = (mn.id, vn.id) in
+        let body =
+          match Hashtbl.find_opt mgr.mul_mv_cache key with
+          | Some cached -> cached
+          | None ->
+              let row r =
+                add mgr
+                  (mul_mv mgr mn.edges.(2 * r) vn.edges.(0))
+                  (mul_mv mgr mn.edges.((2 * r) + 1) vn.edges.(1))
+              in
+              let result = make_node mgr ~var:mn.var [| row 0; row 1 |] in
+              Hashtbl.replace mgr.mul_mv_cache key result;
+              result
+        in
+        scale mgr (Cx.mul m.w v.w) body
+    | Terminal, Node _ | Node _, Terminal ->
+        invalid_arg "Pkg.mul_mv: level mismatch"
+
+let rec mul_mm mgr a b =
+  if is_zero a || is_zero b then zero_edge mgr
+  else
+    match (a.target, b.target) with
+    | Terminal, Terminal -> terminal mgr (Cx.mul a.w b.w)
+    | Node an, Node bn ->
+        assert (an.var = bn.var && Array.length an.edges = 4 && Array.length bn.edges = 4);
+        let key = (an.id, bn.id) in
+        let body =
+          match Hashtbl.find_opt mgr.mul_mm_cache key with
+          | Some cached -> cached
+          | None ->
+              let entry r c =
+                add mgr
+                  (mul_mm mgr an.edges.(2 * r) bn.edges.(c))
+                  (mul_mm mgr an.edges.((2 * r) + 1) bn.edges.(2 + c))
+              in
+              let result =
+                make_node mgr ~var:an.var [| entry 0 0; entry 0 1; entry 1 0; entry 1 1 |]
+              in
+              Hashtbl.replace mgr.mul_mm_cache key result;
+              result
+        in
+        scale mgr (Cx.mul a.w b.w) body
+    | Terminal, Node _ | Node _, Terminal ->
+        invalid_arg "Pkg.mul_mm: level mismatch"
+
+let rec adjoint mgr m =
+  if is_zero m then m
+  else
+    match m.target with
+    | Terminal -> terminal mgr (Cx.conj m.w)
+    | Node n ->
+        assert (Array.length n.edges = 4);
+        let body =
+          match Hashtbl.find_opt mgr.adjoint_cache n.id with
+          | Some cached -> cached
+          | None ->
+              let result =
+                make_node mgr ~var:n.var
+                  [|
+                    adjoint mgr n.edges.(0);
+                    adjoint mgr n.edges.(2);
+                    adjoint mgr n.edges.(1);
+                    adjoint mgr n.edges.(3);
+                  |]
+              in
+              Hashtbl.replace mgr.adjoint_cache n.id result;
+              result
+        in
+        scale mgr (Cx.conj m.w) body
+
+let rec kron mgr ~lower_qubits upper lower =
+  if is_zero upper || is_zero lower then zero_edge mgr
+  else
+    match upper.target with
+    | Terminal -> scale mgr upper.w lower
+    | Node n ->
+        let key = (n.id, target_id lower.target, lower.w_id) in
+        let body =
+          match Hashtbl.find_opt mgr.kron_cache key with
+          | Some cached -> cached
+          | None ->
+              let children =
+                Array.map (fun e -> kron mgr ~lower_qubits e lower) n.edges
+              in
+              let result = make_node mgr ~var:(n.var + lower_qubits) children in
+              Hashtbl.replace mgr.kron_cache key result;
+              result
+        in
+        scale mgr upper.w body
+
+let rec inner mgr a b =
+  if is_zero a || is_zero b then Cx.zero
+  else
+    match (a.target, b.target) with
+    | Terminal, Terminal -> Cx.mul (Cx.conj a.w) b.w
+    | Node an, Node bn ->
+        let key = (an.id, bn.id) in
+        let body =
+          match Hashtbl.find_opt mgr.inner_cache key with
+          | Some cached -> cached
+          | None ->
+              let acc = ref Cx.zero in
+              for k = 0 to Array.length an.edges - 1 do
+                acc := Cx.add !acc (inner mgr an.edges.(k) bn.edges.(k))
+              done;
+              Hashtbl.replace mgr.inner_cache key !acc;
+              !acc
+        in
+        Cx.mul (Cx.mul (Cx.conj a.w) b.w) body
+    | Terminal, Node _ | Node _, Terminal -> invalid_arg "Pkg.inner: level mismatch"
+
+let rec trace _mgr m =
+  if is_zero m then Cx.zero
+  else
+    match m.target with
+    | Terminal -> m.w
+    | Node n ->
+        assert (Array.length n.edges = 4);
+        Cx.mul m.w (Cx.add (trace _mgr n.edges.(0)) (trace _mgr n.edges.(3)))
+
+(* ------------------------------------------------------------------ *)
+(* Inspection                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let iter_nodes f e =
+  let seen = Hashtbl.create 256 in
+  let rec walk = function
+    | Terminal -> ()
+    | Node n ->
+        if not (Hashtbl.mem seen n.id) then begin
+          Hashtbl.replace seen n.id ();
+          f n;
+          Array.iter (fun child -> walk child.target) n.edges
+        end
+  in
+  walk e.target
+
+let node_count e =
+  let count = ref 0 in
+  iter_nodes (fun _ -> incr count) e;
+  !count
+
+let memory_bytes e =
+  let bytes = ref 0 in
+  (* var + id (8 bytes each) plus per edge: weight (16) + id (8) + pointer (8). *)
+  iter_nodes (fun n -> bytes := !bytes + 16 + (32 * Array.length n.edges)) e;
+  !bytes
+
+let amplitude _mgr e k =
+  let rec walk e =
+    if is_zero e then Cx.zero
+    else
+      match e.target with
+      | Terminal -> e.w
+      | Node n ->
+          let bit = (k lsr n.var) land 1 in
+          Cx.mul e.w (walk n.edges.(bit))
+  in
+  walk e
+
+let matrix_entry _mgr e ~row ~col =
+  let rec walk e =
+    if is_zero e then Cx.zero
+    else
+      match e.target with
+      | Terminal -> e.w
+      | Node n ->
+          let r = (row lsr n.var) land 1 and c = (col lsr n.var) land 1 in
+          Cx.mul e.w (walk n.edges.((2 * r) + c))
+  in
+  walk e
+
+let to_vec mgr e ~num_qubits =
+  Vec.init (1 lsl num_qubits) (fun k -> amplitude mgr e k)
+
+let to_mat mgr e ~num_qubits =
+  let dim = 1 lsl num_qubits in
+  Mat.init dim dim (fun row col -> matrix_entry mgr e ~row ~col)
+
+let unique_table_size mgr = Hashtbl.length mgr.unique
+let cnum_table_size mgr = Cnum_table.size mgr.ctab

@@ -1,0 +1,96 @@
+(** The decision-diagram package (Section III of the paper).
+
+    QMDD-style diagrams: a quantum state over qubits [0..n-1] is a chain of
+    binary nodes (variable = qubit index, qubit [n-1] on top), a quantum
+    operation a chain of 4-ary nodes; equal sub-diagrams are shared through
+    a unique table and common amplitude factors are pulled into edge
+    weights (canonicalised through {!Cnum_table}).  Diagrams are
+    quasi-reduced: every path visits every variable, as in the QMDD
+    literature (refs [28], [29]).
+
+    All state lives in a manager value [t]; no global mutable state. *)
+
+type node = private { id : int; var : int; edges : edge array }
+(** [edges] has length 2 (vector node) or 4 (matrix node, row-major:
+    indices [2r + c]). *)
+
+and edge = { w_id : int; w : Qdt_linalg.Cx.t; target : target }
+and target = Terminal | Node of node
+
+type t
+(** Manager: unique tables, the complex table and the compute caches. *)
+
+val create : ?eps:float -> unit -> t
+
+(** {1 Edges} *)
+
+(** [terminal mgr w] is a terminal edge with canonical weight [w]. *)
+val terminal : t -> Qdt_linalg.Cx.t -> edge
+
+val zero_edge : t -> edge
+val one_edge : t -> edge
+val is_zero : edge -> bool
+
+(** [edge_equal a b] — physical equality of canonical edges. *)
+val edge_equal : edge -> edge -> bool
+
+(** [make_node mgr ~var edges] normalises (largest-magnitude weight pulled
+    up) and hash-conses; returns the zero edge when all children are zero.
+    [edges] must have length 2 or 4. *)
+val make_node : t -> var:int -> edge array -> edge
+
+(** [scale mgr c e] multiplies the edge weight by [c]. *)
+val scale : t -> Qdt_linalg.Cx.t -> edge -> edge
+
+(** {1 Arithmetic} — all results canonical and cached. *)
+
+(** [add mgr a b] — works for vector and matrix DDs alike. *)
+val add : t -> edge -> edge -> edge
+
+(** [mul_mv mgr m v] — matrix-vector product. *)
+val mul_mv : t -> edge -> edge -> edge
+
+(** [mul_mm mgr a b] — matrix-matrix product [a·b]. *)
+val mul_mm : t -> edge -> edge -> edge
+
+(** [adjoint mgr m] — conjugate transpose of a matrix DD. *)
+val adjoint : t -> edge -> edge
+
+(** [kron mgr ~lower_qubits upper lower] — [upper ⊗ lower]; [lower] spans
+    [lower_qubits] qubits, [upper]'s variables are shifted above them.
+    Both edges must be of the same kind (vector or matrix; for matrix DDs
+    [lower_qubits] is the qubit count, not the node count). *)
+val kron : t -> lower_qubits:int -> edge -> edge -> edge
+
+(** [inner mgr a b] is [⟨a|b⟩] of two vector DDs. *)
+val inner : t -> edge -> edge -> Qdt_linalg.Cx.t
+
+(** [trace mgr m] is the trace of a matrix DD. *)
+val trace : t -> edge -> Qdt_linalg.Cx.t
+
+(** {1 Inspection} *)
+
+(** [node_count e] — number of distinct nodes reachable from [e]
+    (terminals excluded). *)
+val node_count : edge -> int
+
+(** [memory_bytes e] — approximate heap footprint of the shared diagram,
+    for the E5 experiment (per node: var + id + per-edge weight/pointer). *)
+val memory_bytes : edge -> int
+
+(** [amplitude mgr e k] — amplitude of basis state [k] in a vector DD. *)
+val amplitude : t -> edge -> int -> Qdt_linalg.Cx.t
+
+(** [matrix_entry mgr e ~row ~col] — entry of a matrix DD. *)
+val matrix_entry : t -> edge -> row:int -> col:int -> Qdt_linalg.Cx.t
+
+(** [to_vec mgr e ~num_qubits] — densify a vector DD (small [n] only). *)
+val to_vec : t -> edge -> num_qubits:int -> Qdt_linalg.Vec.t
+
+(** [to_mat mgr e ~num_qubits] — densify a matrix DD (small [n] only). *)
+val to_mat : t -> edge -> num_qubits:int -> Qdt_linalg.Mat.t
+
+(** Statistics of the manager itself. *)
+val unique_table_size : t -> int
+
+val cnum_table_size : t -> int

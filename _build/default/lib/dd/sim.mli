@@ -1,0 +1,66 @@
+(** DD-based quantum circuit simulation (the application of Section III;
+    refs [9], [12], [13] of the paper).
+
+    A simulation holds a vector DD and applies each instruction by building
+    its (small) matrix DD and multiplying — never materialising arrays.
+    For states with structure (GHZ, W, basis-like) the DD stays polynomial
+    where arrays are exponential; this is experiment E6. *)
+
+type state
+
+(** [make mgr n] starts in [|0…0⟩] using an existing manager (lets several
+    simulations share node storage, as equivalence checking does). *)
+val make : Pkg.t -> int -> state
+
+(** [init n] — fresh manager, fresh [|0…0⟩] state. *)
+val init : int -> state
+
+val num_qubits : state -> int
+val manager : state -> Pkg.t
+
+(** Current root edge of the state DD. *)
+val root : state -> Pkg.edge
+
+(** [set_root st e] replaces the state's root edge (used by
+    {!Approx.prune_state}; [e] must come from the same manager). *)
+val set_root : state -> Pkg.edge -> unit
+
+val apply_instruction :
+  state -> Qdt_circuit.Circuit.instruction -> rng:Random.State.t -> clbits:int array -> unit
+
+(** [run ?seed circuit] simulates the whole circuit (measurements collapse
+    with the seeded RNG); returns final state and classical bits. *)
+val run : ?seed:int -> Qdt_circuit.Circuit.t -> state * int array
+
+(** [run_unitary circuit] — as {!run} but rejects measurements/resets. *)
+val run_unitary : Qdt_circuit.Circuit.t -> state
+
+val amplitude : state -> int -> Qdt_linalg.Cx.t
+val probability : state -> int -> float
+val to_vec : state -> Qdt_linalg.Vec.t
+
+(** [measure_qubit st ~rng q] collapses qubit [q] and returns the bit. *)
+val measure_qubit : state -> rng:Random.State.t -> int -> int
+
+(** [prob_one st q] is the probability of reading 1 on qubit [q]. *)
+val prob_one : state -> int -> float
+
+val expectation_z : state -> int -> float
+
+(** [sample ?seed st ~shots] draws basis states without collapsing,
+    descending the DD top-down with subtree probabilities — the
+    DD-native sampling of ref [12]. *)
+val sample : ?seed:int -> state -> shots:int -> (int * int) list
+
+(** [fidelity a b] — [|⟨a|b⟩|²]; both states must share a manager. *)
+val fidelity : state -> state -> float
+
+(** Size of the current state DD in nodes. *)
+val node_count : state -> int
+
+val memory_bytes : state -> int
+
+(** [expectation_pauli st pauli] — [⟨ψ|P|ψ⟩] for a Pauli string given as
+    a string over [IXYZ] with qubit [n-1] leftmost (e.g. ["ZZI"]).
+    @raise Invalid_argument on length mismatch or other characters. *)
+val expectation_pauli : state -> string -> float

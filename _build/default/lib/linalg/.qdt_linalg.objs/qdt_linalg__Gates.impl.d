@@ -1,0 +1,1 @@
+lib/linalg/gates.ml: Cx Float Mat

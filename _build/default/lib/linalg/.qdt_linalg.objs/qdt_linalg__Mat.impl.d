@@ -1,0 +1,1 @@
+lib/linalg/mat.ml: Array Cx Float Format Vec

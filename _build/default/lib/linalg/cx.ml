@@ -1,0 +1,50 @@
+type t = Complex.t = { re : float; im : float }
+
+let zero = Complex.zero
+let one = Complex.one
+let i = Complex.i
+let minus_one = { re = -1.0; im = 0.0 }
+let make re im = { re; im }
+let of_float re = { re; im = 0.0 }
+let of_polar ~mag ~phase = { re = mag *. cos phase; im = mag *. sin phase }
+let add = Complex.add
+let sub = Complex.sub
+let mul = Complex.mul
+let div = Complex.div
+let neg = Complex.neg
+let conj = Complex.conj
+let inv = Complex.inv
+let scale s z = { re = s *. z.re; im = s *. z.im }
+let mul_add acc a b = add acc (mul a b)
+let norm = Complex.norm
+let norm2 z = (z.re *. z.re) +. (z.im *. z.im)
+let phase = Complex.arg
+let sqrt = Complex.sqrt
+let exp_i theta = { re = cos theta; im = sin theta }
+let default_eps = 1e-10
+
+let approx_equal ?(eps = default_eps) a b =
+  Float.abs (a.re -. b.re) <= eps && Float.abs (a.im -. b.im) <= eps
+
+let is_zero ?(eps = default_eps) z =
+  Float.abs z.re <= eps && Float.abs z.im <= eps
+
+let is_one ?eps z = approx_equal ?eps z one
+
+let compare a b =
+  let c = Float.compare a.re b.re in
+  if c <> 0 then c else Float.compare a.im b.im
+
+let equal a b = Float.equal a.re b.re && Float.equal a.im b.im
+
+let quantise eps x = int_of_float (Float.round (x /. eps))
+let hash_key ?(eps = default_eps) z = (quantise eps z.re, quantise eps z.im)
+
+let pp ppf z =
+  if Float.abs z.im <= 1e-15 then Format.fprintf ppf "%g" z.re
+  else if Float.abs z.re <= 1e-15 then Format.fprintf ppf "%gi" z.im
+  else if z.im < 0.0 then Format.fprintf ppf "%g-%gi" z.re (Float.abs z.im)
+  else Format.fprintf ppf "%g+%gi" z.re z.im
+
+let to_string z = Format.asprintf "%a" pp z
+let sqrt1_2 = 1.0 /. Float.sqrt 2.0

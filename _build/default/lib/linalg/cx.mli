@@ -1,0 +1,77 @@
+(** Complex scalars.
+
+    A thin layer over [Stdlib.Complex] adding the approximate comparisons,
+    formatting and hashing support the rest of the toolkit needs.  All
+    backends (arrays, decision diagrams, tensor networks, ZX evaluation)
+    share this one scalar type, so states computed by different data
+    structures can be compared directly. *)
+
+type t = Complex.t = { re : float; im : float }
+
+val zero : t
+val one : t
+val i : t
+val minus_one : t
+
+(** [make re im] is the complex number [re + im·i]. *)
+val make : float -> float -> t
+
+(** [of_float re] is the real number [re] viewed as a complex scalar. *)
+val of_float : float -> t
+
+(** [of_polar ~mag ~phase] is [mag·e^{i·phase}]. *)
+val of_polar : mag:float -> phase:float -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val conj : t -> t
+val inv : t -> t
+val scale : float -> t -> t
+
+(** [mul_add acc a b] is [acc + a·b] (no FMA semantics implied). *)
+val mul_add : t -> t -> t -> t
+
+val norm : t -> float
+
+(** [norm2 z] is [|z|²], cheaper than [norm]. *)
+val norm2 : t -> float
+
+val phase : t -> float
+
+(** [sqrt z] is the principal square root. *)
+val sqrt : t -> t
+
+val exp_i : float -> t
+(** [exp_i theta] is [e^{i·theta}]. *)
+
+(** Default absolute tolerance used by the approximate comparisons
+    ([1e-10]). *)
+val default_eps : float
+
+(** [approx_equal ?eps a b] holds when both components differ by at most
+    [eps]. *)
+val approx_equal : ?eps:float -> t -> t -> bool
+
+(** [is_zero ?eps z] holds when [z] is within [eps] of zero. *)
+val is_zero : ?eps:float -> t -> bool
+
+(** [is_one ?eps z] holds when [z] is within [eps] of one. *)
+val is_one : ?eps:float -> t -> bool
+
+(** Total order on (re, im) pairs; exact, not tolerance-aware. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** [hash_key ?eps z] quantises [z] onto a grid of pitch [eps] suitable for
+    hashing values that were first canonicalised with the same grid. *)
+val hash_key : ?eps:float -> t -> int * int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** 1/√2, the ubiquitous Hadamard factor. *)
+val sqrt1_2 : float

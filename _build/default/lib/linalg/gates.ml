@@ -1,0 +1,74 @@
+let c = Cx.make
+let r x = Cx.of_float x
+let m2 a b cc d = Mat.of_rows [| [| a; b |]; [| cc; d |] |]
+
+let x = m2 Cx.zero Cx.one Cx.one Cx.zero
+let y = m2 Cx.zero (c 0.0 (-1.0)) (c 0.0 1.0) Cx.zero
+let z = m2 Cx.one Cx.zero Cx.zero Cx.minus_one
+let h =
+  let s = r Cx.sqrt1_2 in
+  m2 s s s (Cx.neg s)
+
+let s = m2 Cx.one Cx.zero Cx.zero Cx.i
+let sdg = m2 Cx.one Cx.zero Cx.zero (Cx.neg Cx.i)
+let t = m2 Cx.one Cx.zero Cx.zero (Cx.exp_i (Float.pi /. 4.0))
+let tdg = m2 Cx.one Cx.zero Cx.zero (Cx.exp_i (-.Float.pi /. 4.0))
+
+let sx =
+  let p = c 0.5 0.5 and q = c 0.5 (-0.5) in
+  m2 p q q p
+
+let sxdg =
+  let p = c 0.5 (-0.5) and q = c 0.5 0.5 in
+  m2 p q q p
+
+let id2 = Mat.identity 2
+
+let rx theta =
+  let ct = r (cos (theta /. 2.0)) and st = c 0.0 (-.sin (theta /. 2.0)) in
+  m2 ct st st ct
+
+let ry theta =
+  let ct = r (cos (theta /. 2.0)) and st = r (sin (theta /. 2.0)) in
+  m2 ct (Cx.neg st) st ct
+
+let rz theta =
+  m2 (Cx.exp_i (-.theta /. 2.0)) Cx.zero Cx.zero (Cx.exp_i (theta /. 2.0))
+
+let phase theta = m2 Cx.one Cx.zero Cx.zero (Cx.exp_i theta)
+
+let u3 ~theta ~phi ~lambda =
+  let ct = cos (theta /. 2.0) and st = sin (theta /. 2.0) in
+  m2
+    (r ct)
+    (Cx.mul (Cx.exp_i lambda) (r (-.st)))
+    (Cx.mul (Cx.exp_i phi) (r st))
+    (Cx.mul (Cx.exp_i (phi +. lambda)) (r ct))
+
+let controlled u =
+  let n = Mat.rows u in
+  Mat.init (2 * n) (2 * n) (fun row col ->
+      if row < n && col < n then if row = col then Cx.one else Cx.zero
+      else if row >= n && col >= n then Mat.get u (row - n) (col - n)
+      else Cx.zero)
+
+let cx = controlled x
+let cz = controlled z
+let cphase theta = controlled (phase theta)
+
+let swap =
+  Mat.init 4 4 (fun row col ->
+      let swapped = ((row land 1) lsl 1) lor (row lsr 1) in
+      if col = swapped then Cx.one else Cx.zero)
+
+let iswap =
+  Mat.of_rows
+    [|
+      [| Cx.one; Cx.zero; Cx.zero; Cx.zero |];
+      [| Cx.zero; Cx.zero; Cx.i; Cx.zero |];
+      [| Cx.zero; Cx.i; Cx.zero; Cx.zero |];
+      [| Cx.zero; Cx.zero; Cx.zero; Cx.one |];
+    |]
+
+let ccx = controlled cx
+let cswap = controlled swap

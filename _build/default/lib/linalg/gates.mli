@@ -1,0 +1,49 @@
+(** Matrices of the standard gate set.
+
+    These are the concrete unitaries behind the circuit IR's gate names;
+    every backend (arrays, DDs, tensor networks, ZX evaluation) obtains its
+    numerics from here, which keeps the backends mutually consistent. *)
+
+(** {1 Single-qubit gates (2×2)} *)
+
+val x : Mat.t
+val y : Mat.t
+val z : Mat.t
+val h : Mat.t
+val s : Mat.t
+val sdg : Mat.t
+val t : Mat.t
+val tdg : Mat.t
+val sx : Mat.t
+val sxdg : Mat.t
+val id2 : Mat.t
+
+val rx : float -> Mat.t
+val ry : float -> Mat.t
+val rz : float -> Mat.t
+
+(** [phase theta] is [diag(1, e^{iθ})]. *)
+val phase : float -> Mat.t
+
+(** [u3 ~theta ~phi ~lambda] is the generic single-qubit rotation
+    (OpenQASM [U(θ,φ,λ)] convention). *)
+val u3 : theta:float -> phi:float -> lambda:float -> Mat.t
+
+(** {1 Two-qubit gates (4×4), control = most significant qubit} *)
+
+val cx : Mat.t
+val cz : Mat.t
+val swap : Mat.t
+val iswap : Mat.t
+val cphase : float -> Mat.t
+
+(** {1 Three-qubit gates (8×8)} *)
+
+val ccx : Mat.t
+val cswap : Mat.t
+
+(** {1 Helpers} *)
+
+(** [controlled u] extends the [2^k × 2^k] unitary [u] with one control
+    qubit as the new most significant qubit. *)
+val controlled : Mat.t -> Mat.t

@@ -1,0 +1,61 @@
+(** Dense complex matrices (row-major).
+
+    The array representation of quantum operations from Section II of the
+    paper: an [n]-qubit operation is a [2^n × 2^n] unitary matrix applied
+    by matrix-vector multiplication. *)
+
+type t
+
+val create : int -> int -> t
+val init : int -> int -> (int -> int -> Cx.t) -> t
+val identity : int -> t
+
+(** [of_rows rows] builds a matrix from a row-major array of arrays.
+    @raise Invalid_argument on ragged input. *)
+val of_rows : Cx.t array array -> t
+
+val to_rows : t -> Cx.t array array
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> Cx.t
+val set : t -> int -> int -> Cx.t -> unit
+val copy : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : Cx.t -> t -> t
+
+(** [mul a b] is the matrix product [a·b]. *)
+val mul : t -> t -> t
+
+(** [mul_vec m v] is the matrix-vector product [m·v]. *)
+val mul_vec : t -> Vec.t -> Vec.t
+
+val transpose : t -> t
+
+(** [dagger m] is the conjugate transpose [m†]. *)
+val dagger : t -> t
+
+(** [kron a b] is the Kronecker product [a ⊗ b]. *)
+val kron : t -> t -> t
+
+val trace : t -> Cx.t
+
+(** [is_unitary ?eps m] checks [m†·m ≈ I]. *)
+val is_unitary : ?eps:float -> t -> bool
+
+val approx_equal : ?eps:float -> t -> t -> bool
+
+(** [equal_up_to_global_phase ?eps a b] holds when [a = e^{iφ}·b]; this is
+    the equivalence notion used by circuit equivalence checking. *)
+val equal_up_to_global_phase : ?eps:float -> t -> t -> bool
+
+(** [frobenius_distance a b] is [‖a − b‖_F]. *)
+val frobenius_distance : t -> t -> float
+
+(** [hilbert_schmidt a b] is [Tr(a†·b)], the fidelity-style overlap used by
+    equivalence checkers: for [d×d] unitaries, [|Tr(a†b)| = d] iff the two
+    agree up to global phase. *)
+val hilbert_schmidt : t -> t -> Cx.t
+
+val memory_bytes : t -> int
+val pp : Format.formatter -> t -> unit

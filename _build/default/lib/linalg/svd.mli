@@ -1,0 +1,25 @@
+(** Singular value decomposition of dense complex matrices.
+
+    Implemented with one-sided Jacobi rotations — there is no LAPACK in this
+    sealed environment (see DESIGN.md).  The decomposition is what the
+    matrix-product-state simulator in [qdt_tensornet] uses to split two-site
+    tensors and truncate bond dimensions. *)
+
+type decomposition = {
+  u : Mat.t;      (** [m × r] matrix with orthonormal columns *)
+  sigma : float array;  (** [r] singular values, descending *)
+  vdag : Mat.t;   (** [r × n] matrix with orthonormal rows *)
+}
+
+(** [decompose a] computes a thin SVD [a = u · diag(sigma) · vdag] with
+    [r = min (rows a) (cols a)].  Singular values are returned in
+    descending order. *)
+val decompose : Mat.t -> decomposition
+
+(** [truncate ~max_rank ~cutoff d] drops singular values beyond [max_rank]
+    or (relatively) below [cutoff], returning the truncated factors and the
+    discarded weight [Σ dropped σ²]. *)
+val truncate : max_rank:int -> cutoff:float -> decomposition -> decomposition * float
+
+(** [reconstruct d] multiplies the factors back together (testing aid). *)
+val reconstruct : decomposition -> Mat.t

@@ -1,0 +1,63 @@
+(** Dense complex vectors.
+
+    The array representation of quantum states from Section II of the
+    paper: an [n]-qubit register is a vector of [2^n] amplitudes. *)
+
+type t
+
+(** [create len] is the zero vector of length [len]. *)
+val create : int -> t
+
+(** [init len f] is the vector whose [i]-th entry is [f i]. *)
+val init : int -> (int -> Cx.t) -> t
+
+(** [of_array a] copies [a] into a fresh vector. *)
+val of_array : Cx.t array -> t
+
+(** [to_array v] is a copy of the entries of [v]. *)
+val to_array : t -> Cx.t array
+
+(** [basis ~dim k] is the computational basis vector [|k⟩]. *)
+val basis : dim:int -> int -> t
+
+val length : t -> int
+val get : t -> int -> Cx.t
+val set : t -> int -> Cx.t -> unit
+val copy : t -> t
+val map : (Cx.t -> Cx.t) -> t -> t
+val iteri : (int -> Cx.t -> unit) -> t -> unit
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : Cx.t -> t -> t
+
+(** [dot a b] is the Hermitian inner product [⟨a|b⟩] (conjugating [a]). *)
+val dot : t -> t -> Cx.t
+
+(** [norm v] is the Euclidean norm [√⟨v|v⟩]. *)
+val norm : t -> float
+
+(** [normalize v] rescales [v] to unit norm.
+    @raise Invalid_argument on (numerically) zero vectors. *)
+val normalize : t -> t
+
+(** [kron a b] is the Kronecker (tensor) product [a ⊗ b]. *)
+val kron : t -> t -> t
+
+(** [probabilities v] is the measurement distribution [|v_i|²]. *)
+val probabilities : t -> float array
+
+(** [approx_equal ?eps a b] compares entrywise within [eps]. *)
+val approx_equal : ?eps:float -> t -> t -> bool
+
+(** [equal_up_to_global_phase ?eps a b] holds when [a = e^{iφ}·b] for some
+    phase [φ]; this is physical equality of pure states. *)
+val equal_up_to_global_phase : ?eps:float -> t -> t -> bool
+
+(** [fidelity a b] is [|⟨a|b⟩|²]. *)
+val fidelity : t -> t -> float
+
+(** [memory_bytes v] is the heap footprint of the amplitude payload,
+    used by the E5 memory-scaling experiment. *)
+val memory_bytes : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/stabilizer/ch_form.ml: Array Circuit Cx Float Gate List Qdt_circuit Qdt_linalg Vec

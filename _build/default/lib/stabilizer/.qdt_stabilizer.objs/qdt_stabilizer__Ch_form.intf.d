@@ -1,0 +1,1 @@
+lib/stabilizer/ch_form.mli: Qdt_circuit Qdt_linalg

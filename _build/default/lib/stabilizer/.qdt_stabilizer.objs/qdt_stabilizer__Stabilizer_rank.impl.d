@@ -1,0 +1,1 @@
+lib/stabilizer/stabilizer_rank.ml: Ch_form Circuit Cx Float Gate List Option Printf Qdt_circuit Qdt_compile Qdt_linalg Vec

@@ -1,0 +1,1 @@
+lib/stabilizer/stabilizer_rank.mli: Qdt_circuit Qdt_linalg

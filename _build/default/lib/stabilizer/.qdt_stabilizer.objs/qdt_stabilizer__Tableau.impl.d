@@ -1,0 +1,1 @@
+lib/stabilizer/tableau.ml: Array Circuit Format Gate Hashtbl List Option Qdt_circuit Random String

@@ -1,0 +1,1 @@
+lib/stabilizer/tableau.mli: Format Qdt_circuit Random

@@ -1,0 +1,51 @@
+(** CH-form stabilizer states (Bravyi, Browne, Calpin, Campbell & Howard,
+    "Simulation of quantum circuits by low-rank stabilizer
+    decompositions", Quantum 3, 181 (2019), §4).
+
+    A stabilizer state is kept as [|φ⟩ = ω · U_C · U_H |s⟩] where [U_C]
+    is a circuit of control-type gates {S, CZ, CX} represented by its
+    Heisenberg action, [U_H] a layer of Hadamards and [s] a basis state.
+    Unlike the plain tableau ({!Tableau}), the global scalar [ω] is
+    tracked exactly, so *amplitudes with phases* are available — the
+    ingredient stabilizer-rank simulation needs ({!Stabilizer_rank}).
+
+    Supported gates: the full Clifford group (H, S, S†, X, Y, Z, CX, CZ,
+    SWAP). *)
+
+type t
+
+(** [create n] is [|0…0⟩]. *)
+val create : int -> t
+
+val num_qubits : t -> int
+val copy : t -> t
+
+(** {1 Gates (in-place)} *)
+
+val h : t -> int -> unit
+val s : t -> int -> unit
+val sdg : t -> int -> unit
+val x : t -> int -> unit
+val y : t -> int -> unit
+val z : t -> int -> unit
+val cx : t -> int -> int -> unit
+val cz : t -> int -> int -> unit
+val swap : t -> int -> int -> unit
+
+(** [apply_instruction st instr] — any Clifford circuit instruction.
+    @raise Invalid_argument on non-Clifford gates or measurements. *)
+val apply_instruction : t -> Qdt_circuit.Circuit.instruction -> unit
+
+(** [run circuit] — evolve [|0…0⟩] through a Clifford circuit. *)
+val run : Qdt_circuit.Circuit.t -> t
+
+(** {1 Read-out} *)
+
+(** [amplitude st x] — the exact complex amplitude [⟨x|φ⟩]. *)
+val amplitude : t -> int -> Qdt_linalg.Cx.t
+
+(** [to_vec st] — densify (small [n] only; testing aid). *)
+val to_vec : t -> Qdt_linalg.Vec.t
+
+(** [global_scalar st] — the tracked [ω]. *)
+val global_scalar : t -> Qdt_linalg.Cx.t

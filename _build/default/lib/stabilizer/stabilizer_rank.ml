@@ -1,0 +1,119 @@
+open Qdt_linalg
+open Qdt_circuit
+
+(* A prepared circuit: Clifford steps interleaved with diagonal branch
+   points.  The lowering to {CX, Rz, H} guarantees every non-Clifford
+   gate is a single-qubit diagonal. *)
+
+type step =
+  | Clifford of Circuit.instruction
+  | Branch of { qubit : int; alpha : Cx.t; beta : Cx.t }
+      (* diag(1, e^{iθ}) = alpha·I + beta·Z *)
+
+type t = { n : int; steps : step list; prefactor : Cx.t; branches : int }
+
+let half_pi = Float.pi /. 2.0
+
+let classify_angle theta =
+  (* Multiple of π/2 → exact Clifford gate; otherwise a branch point. *)
+  let r = theta /. half_pi in
+  let k = Float.round r in
+  if Float.abs (r -. k) < 1e-12 then Some (((int_of_float k mod 4) + 4) mod 4)
+  else None
+
+let clifford_of_quarter_turns q qubit =
+  match q with
+  | 0 -> None
+  | 1 -> Some (Circuit.Apply { gate = Gate.S; controls = []; target = qubit })
+  | 2 -> Some (Circuit.Apply { gate = Gate.Z; controls = []; target = qubit })
+  | _ -> Some (Circuit.Apply { gate = Gate.Sdg; controls = []; target = qubit })
+
+let max_branch_points = 24
+
+let prepare circuit =
+  if not (Circuit.is_unitary_only circuit) then
+    invalid_arg "Stabilizer_rank.prepare: circuit measures or resets";
+  (* The Zx_ready lowering is exact (it realises global phases with
+     Rz/Phase pairs), so amplitudes keep their true phase. *)
+  let lowered =
+    Qdt_compile.Decompose.lower ~basis:Qdt_compile.Decompose.Zx_ready circuit
+  in
+  let n = Circuit.num_qubits lowered in
+  let prefactor = ref Cx.one in
+  let branches = ref 0 in
+  let diagonal ~rz theta target =
+    (* diag(1, e^{iθ}) with an extra e^{−iθ/2} when the gate was Rz *)
+    if rz then prefactor := Cx.mul !prefactor (Cx.exp_i (-.theta /. 2.0));
+    match classify_angle theta with
+    | Some q -> Option.map (fun i -> [ Clifford i ]) (clifford_of_quarter_turns q target)
+                |> Option.value ~default:[]
+    | None ->
+        incr branches;
+        let e = Cx.exp_i theta in
+        [ Branch
+            {
+              qubit = target;
+              alpha = Cx.scale 0.5 (Cx.add Cx.one e);
+              beta = Cx.scale 0.5 (Cx.sub Cx.one e);
+            } ]
+  in
+  let steps =
+    List.concat_map
+      (fun instr ->
+        match instr with
+        | Circuit.Barrier _ -> []
+        | Circuit.Apply { gate = Gate.I; controls = []; _ } -> []
+        | Circuit.Apply
+            { gate = Gate.X | Gate.Z | Gate.H | Gate.S | Gate.Sdg; controls = []; _ }
+        | Circuit.Apply { gate = Gate.X | Gate.Z; controls = [ _ ]; _ }
+        | Circuit.Swap { controls = []; _ } ->
+            [ Clifford instr ]
+        | Circuit.Apply { gate = Gate.T; controls = []; target } ->
+            diagonal ~rz:false (Float.pi /. 4.0) target
+        | Circuit.Apply { gate = Gate.Tdg; controls = []; target } ->
+            diagonal ~rz:false (-.Float.pi /. 4.0) target
+        | Circuit.Apply { gate = Gate.Phase theta; controls = []; target } ->
+            diagonal ~rz:false theta target
+        | Circuit.Apply { gate = Gate.Rz theta; controls = []; target } ->
+            diagonal ~rz:true theta target
+        | Circuit.Apply { gate = Gate.Rx theta; controls = []; target } ->
+            (* Rx(θ) = H·Rz(θ)·H exactly *)
+            let h = Circuit.Apply { gate = Gate.H; controls = []; target } in
+            (Clifford h :: diagonal ~rz:true theta target) @ [ Clifford h ]
+        | _ ->
+            invalid_arg
+              "Stabilizer_rank.prepare: lowering left an unexpected instruction")
+      (Circuit.instructions lowered)
+  in
+  if !branches > max_branch_points then
+    invalid_arg
+      (Printf.sprintf "Stabilizer_rank.prepare: %d branch points exceed the limit of %d"
+         !branches max_branch_points);
+  { n; steps; prefactor = !prefactor; branches = !branches }
+
+let t_count p = p.branches
+let num_branches p = 1 lsl p.branches
+
+let amplitude p k =
+  if k < 0 || k >= 1 lsl p.n then invalid_arg "Stabilizer_rank.amplitude: out of range";
+  (* Depth-first over the branch tree, sharing the Clifford prefix. *)
+  let rec go state coeff steps =
+    if Cx.is_zero ~eps:0.0 coeff then Cx.zero
+    else
+      match steps with
+      | [] -> Cx.mul coeff (Ch_form.amplitude state k)
+      | Clifford instr :: rest ->
+          Ch_form.apply_instruction state instr;
+          go state coeff rest
+      | Branch { qubit; alpha; beta } :: rest ->
+          let z_branch = Ch_form.copy state in
+          Ch_form.z z_branch qubit;
+          let a = go state (Cx.mul coeff alpha) rest in
+          let b = go z_branch (Cx.mul coeff beta) rest in
+          Cx.add a b
+  in
+  go (Ch_form.create p.n) p.prefactor p.steps
+
+let probability p k = Cx.norm2 (amplitude p k)
+
+let statevector p = Vec.init (1 lsl p.n) (fun k -> amplitude p k)

@@ -1,0 +1,33 @@
+(** Stabilizer-rank simulation of Clifford+T circuits (the approach of
+    the paper's ref [40] and of Bravyi–Gosset, ref [11]).
+
+    Any circuit is first lowered to {CX, Rz, H}; each non-Clifford
+    diagonal rotation [P(θ) = diag(1, e^{iθ})] is expanded as
+    [α·I + β·Z] with [α = (1+e^{iθ})/2], [β = (1−e^{iθ})/2], so the
+    circuit becomes a sum of [2^t] Clifford circuits ([t] = number of
+    non-Clifford rotations).  Each term is evolved exactly (with global
+    phase) in the CH form ({!Ch_form}) and the amplitudes are summed:
+    cost [O(2^t · poly(n))] — exponential in the T-count, not the qubit
+    count. *)
+
+type t
+
+(** [prepare circuit] — lower and classify.
+    @raise Invalid_argument if the circuit measures or resets. *)
+val prepare : Qdt_circuit.Circuit.t -> t
+
+(** [t_count p] — number of branch points [t] (non-Clifford rotations
+    after lowering). *)
+val t_count : t -> int
+
+(** [num_branches p] is [2^t]. *)
+val num_branches : t -> int
+
+(** [amplitude p k] — the exact amplitude [⟨k|C|0…0⟩]. *)
+val amplitude : t -> int -> Qdt_linalg.Cx.t
+
+(** [probability p k] is [|amplitude p k|²]. *)
+val probability : t -> int -> float
+
+(** [statevector p] — all [2^n] amplitudes (small [n]; testing aid). *)
+val statevector : t -> Qdt_linalg.Vec.t

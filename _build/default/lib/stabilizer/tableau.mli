@@ -1,0 +1,62 @@
+(** Stabilizer-tableau simulation (Aaronson–Gottesman CHP).
+
+    The specialised data structure behind the paper's ref [11] (improved
+    classical simulation of Clifford-dominated circuits): a stabilizer
+    state on [n] qubits is [2n] Pauli strings (destabilizers +
+    stabilizers) plus sign bits — [O(n²)] bits total, so thousands of
+    qubits are easy where arrays stop below 50.  Only Clifford gates
+    (H, S, S†, X, Y, Z, CX, CZ, SWAP) and measurements are supported. *)
+
+type t
+
+(** [create n] is [|0…0⟩] (stabilizers [Z₁ … Zₙ]). *)
+val create : int -> t
+
+val num_qubits : t -> int
+
+(** {1 Gates} *)
+
+val h : t -> int -> unit
+val s : t -> int -> unit
+val sdg : t -> int -> unit
+val x : t -> int -> unit
+val y : t -> int -> unit
+val z : t -> int -> unit
+val cx : t -> int -> int -> unit
+val cz : t -> int -> int -> unit
+val swap : t -> int -> int -> unit
+
+(** [apply_instruction tab instr ~rng ~clbits] — Clifford instructions and
+    measurements/reset.
+    @raise Invalid_argument on non-Clifford gates. *)
+val apply_instruction :
+  t -> Qdt_circuit.Circuit.instruction -> rng:Random.State.t -> clbits:int array -> unit
+
+(** [run ?seed circuit] — simulate a Clifford circuit from [|0…0⟩]. *)
+val run : ?seed:int -> Qdt_circuit.Circuit.t -> t * int array
+
+(** [supports circuit] — true when every instruction is simulable. *)
+val supports : Qdt_circuit.Circuit.t -> bool
+
+(** {1 Measurement and observables} *)
+
+(** [measure tab ~rng q] — projective Z measurement of qubit [q]. *)
+val measure : t -> rng:Random.State.t -> int -> int
+
+(** [expectation_z tab q] — [⟨Z_q⟩ ∈ {-1, 0, +1}] (0 means the outcome is
+    uniformly random). *)
+val expectation_z : t -> int -> int
+
+(** [sample ?seed tab ~shots] — measurement counts over all qubits
+    (each shot measures a fresh copy). *)
+val sample : ?seed:int -> t -> shots:int -> (int * int) list
+
+(** {1 Inspection} *)
+
+(** [stabilizer_strings tab] — the [n] stabilizer generators, e.g.
+    ["+XXZ"] (qubit 0 leftmost). *)
+val stabilizer_strings : t -> string list
+
+val copy : t -> t
+val memory_bytes : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/tensornet/circuit_tn.ml: Array Circuit Cx Float Gate List Network Qdt_arraysim Qdt_circuit Qdt_linalg Tensor Vec

@@ -1,0 +1,1 @@
+lib/tensornet/circuit_tn.mli: Network Qdt_circuit Qdt_linalg

@@ -1,0 +1,1 @@
+lib/tensornet/mps.ml: Array Circuit Cx Float Gate Gates Hashtbl List Mat Option Qdt_arraysim Qdt_circuit Qdt_linalg Random Svd Vec

@@ -1,0 +1,1 @@
+lib/tensornet/mps.mli: Qdt_circuit Qdt_linalg

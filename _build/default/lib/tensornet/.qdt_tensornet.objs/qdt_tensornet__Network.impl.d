@@ -1,0 +1,1 @@
+lib/tensornet/network.ml: Array Hashtbl List Option Qdt_linalg Tensor

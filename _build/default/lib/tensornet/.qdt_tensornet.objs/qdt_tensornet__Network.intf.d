@@ -1,0 +1,1 @@
+lib/tensornet/network.mli: Qdt_linalg Tensor

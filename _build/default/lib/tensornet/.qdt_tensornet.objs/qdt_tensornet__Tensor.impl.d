@@ -1,0 +1,1 @@
+lib/tensornet/tensor.ml: Array Cx Format Hashtbl List Mat Qdt_linalg String Vec

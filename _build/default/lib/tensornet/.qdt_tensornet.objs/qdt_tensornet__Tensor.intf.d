@@ -1,0 +1,1 @@
+lib/tensornet/tensor.mli: Format Qdt_linalg

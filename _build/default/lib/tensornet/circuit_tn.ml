@@ -1,0 +1,169 @@
+open Qdt_linalg
+open Qdt_circuit
+
+type builder = {
+  mutable fresh : int;
+  mutable wires : int array;
+  mutable rev_tensors : Tensor.t list;
+}
+
+let new_label b =
+  let l = b.fresh in
+  b.fresh <- l + 1;
+  l
+
+let start n =
+  let b = { fresh = 0; wires = [||]; rev_tensors = [] } in
+  b.wires <- Array.init n (fun _ -> new_label b);
+  let ket0 = Vec.basis ~dim:2 0 in
+  Array.iter
+    (fun w -> b.rev_tensors <- Tensor.of_vec ~labels:[| w |] ket0 :: b.rev_tensors)
+    b.wires;
+  b
+
+(* Like [start] but with open input wires instead of |0⟩ bubbles. *)
+let start_open n =
+  let b = { fresh = 0; wires = [||]; rev_tensors = [] } in
+  b.wires <- Array.init n (fun _ -> new_label b);
+  b
+
+(* Local matrix of an instruction on its touched qubits only: remap the
+   touched qubits (ascending) onto 0..m-1 and reuse the array builder. *)
+let local_matrix instr =
+  let qs = List.sort_uniq compare (Circuit.qubits_of_instruction instr) in
+  let position q =
+    let rec find k = function
+      | [] -> invalid_arg "Circuit_tn: qubit not found"
+      | x :: rest -> if x = q then k else find (k + 1) rest
+    in
+    find 0 qs
+  in
+  let remapped =
+    match instr with
+    | Circuit.Apply { gate; controls; target } ->
+        Circuit.Apply
+          { gate; controls = List.map position controls; target = position target }
+    | Circuit.Swap { controls; a; b } ->
+        Circuit.Swap { controls = List.map position controls; a = position a; b = position b }
+    | Circuit.Measure _ | Circuit.Reset _ | Circuit.Barrier _ ->
+        invalid_arg "Circuit_tn: non-unitary instruction"
+  in
+  let m = List.length qs in
+  (qs, Qdt_arraysim.Unitary_builder.instruction_matrix ~num_qubits:m remapped)
+
+let append_instruction b instr =
+  match instr with
+  | Circuit.Barrier _ -> ()
+  | Circuit.Measure _ | Circuit.Reset _ ->
+      invalid_arg "Circuit_tn: circuit measures or resets"
+  | Circuit.Apply _ | Circuit.Swap _ ->
+      let qs, u = local_matrix instr in
+      let qs_arr = Array.of_list qs in
+      let m = Array.length qs_arr in
+      let in_wires = Array.map (fun q -> b.wires.(q)) qs_arr in
+      let out_wires = Array.map (fun _ -> new_label b) qs_arr in
+      Array.iteri (fun k q -> b.wires.(q) <- out_wires.(k)) qs_arr;
+      (* Matrix row/col bit j corresponds to qs_arr.(j); of_mat expects the
+         most significant axis first. *)
+      let msb_first arr = Array.init m (fun k -> arr.(m - 1 - k)) in
+      let tensor =
+        Tensor.of_mat ~row_labels:(msb_first out_wires) ~col_labels:(msb_first in_wires) u
+      in
+      b.rev_tensors <- tensor :: b.rev_tensors
+
+type t = { n : int; net : Network.t; outputs : int array }
+
+let of_circuit c =
+  if not (Circuit.is_unitary_only c) then
+    invalid_arg "Circuit_tn.of_circuit: circuit measures or resets";
+  let b = start (Circuit.num_qubits c) in
+  List.iter (append_instruction b) (Circuit.instructions c);
+  {
+    n = Circuit.num_qubits c;
+    net = Network.of_list (List.rev b.rev_tensors);
+    outputs = Array.copy b.wires;
+  }
+
+let network tn = tn.net
+let output_wires tn = Array.copy tn.outputs
+let memory_bytes tn = Network.memory_bytes tn.net
+
+let amplitude ?plan tn k =
+  let bubbles =
+    List.init tn.n (fun q ->
+        let bit = (k lsr q) land 1 in
+        Tensor.of_vec ~labels:[| tn.outputs.(q) |] (Vec.basis ~dim:2 bit))
+  in
+  let net = Network.of_list (Network.tensors tn.net @ bubbles) in
+  let result, stats = Network.contract_all ?plan net in
+  (Tensor.to_scalar result, stats)
+
+let amplitude_sliced ?plan ~slices tn k =
+  if slices < 0 then invalid_arg "Circuit_tn.amplitude_sliced: negative slice count";
+  let bubbles =
+    List.init tn.n (fun q ->
+        let bit = (k lsr q) land 1 in
+        Tensor.of_vec ~labels:[| tn.outputs.(q) |] (Vec.basis ~dim:2 bit))
+  in
+  let net = Network.of_list (Network.tensors tn.net @ bubbles) in
+  let bonds = Array.of_list (Network.bond_labels net) in
+  let count = min slices (Array.length bonds) in
+  (* consecutive label ids around the median: labels created at about the
+     same time on different qubits, i.e. a vertical cut through the
+     circuit — the kind of cut that actually caps intermediate width *)
+  let start = max 0 ((Array.length bonds - count) / 2) in
+  let labels =
+    List.init count (fun i -> bonds.(start + i)) |> List.sort_uniq compare
+  in
+  Network.contract_scalar_sliced ?plan ~labels net
+
+let statevector ?plan tn =
+  let result, stats = Network.contract_all ?plan tn.net in
+  let order = Array.init tn.n (fun k -> tn.outputs.(tn.n - 1 - k)) in
+  (Tensor.to_vec result ~order, stats)
+
+let expectation_z ?plan circuit q =
+  if not (Circuit.is_unitary_only circuit) then
+    invalid_arg "Circuit_tn.expectation_z: circuit measures or resets";
+  let n = Circuit.num_qubits circuit in
+  if q < 0 || q >= n then invalid_arg "Circuit_tn.expectation_z: qubit out of range";
+  let b = start n in
+  List.iter (append_instruction b) (Circuit.instructions circuit);
+  (* Z on qubit q, then the adjoint circuit, then ⟨0| bubbles: the scalar
+     network for ⟨0|C† Z_q C|0⟩. *)
+  append_instruction b (Circuit.Apply { gate = Gate.Z; controls = []; target = q });
+  List.iter (append_instruction b) (Circuit.instructions (Circuit.adjoint circuit));
+  let bra0 = Vec.basis ~dim:2 0 in
+  Array.iter
+    (fun w -> b.rev_tensors <- Tensor.of_vec ~labels:[| w |] bra0 :: b.rev_tensors)
+    b.wires;
+  let result, stats = Network.contract_all ?plan (Network.of_list (List.rev b.rev_tensors)) in
+  ((Tensor.to_scalar result).Cx.re, stats)
+
+let hilbert_schmidt_overlap ?plan c1 c2 =
+  if Circuit.num_qubits c1 <> Circuit.num_qubits c2 then
+    invalid_arg "Circuit_tn.hilbert_schmidt_overlap: arity mismatch";
+  if not (Circuit.is_unitary_only c1 && Circuit.is_unitary_only c2) then
+    invalid_arg "Circuit_tn.hilbert_schmidt_overlap: circuits measure or reset";
+  let n = Circuit.num_qubits c1 in
+  let b = start_open n in
+  let input_labels = Array.copy b.wires in
+  List.iter (append_instruction b) (Circuit.instructions c1);
+  List.iter (append_instruction b) (Circuit.instructions (Circuit.adjoint c2));
+  (* Close every wire into a trace loop with an identity connector; a wire
+     no gate ever touched traces to a bare factor of 2. *)
+  let id2 = Qdt_linalg.Gates.id2 in
+  let bare_wires = ref 0 in
+  Array.iteri
+    (fun q out_label ->
+      if out_label = input_labels.(q) then incr bare_wires
+      else
+        b.rev_tensors <-
+          Tensor.of_mat ~row_labels:[| input_labels.(q) |] ~col_labels:[| out_label |] id2
+          :: b.rev_tensors)
+    b.wires;
+  let tensors = List.rev b.rev_tensors in
+  let tensors = if tensors = [] then [ Tensor.scalar Cx.one ] else tensors in
+  let result, stats = Network.contract_all ?plan (Network.of_list tensors) in
+  let factor = Float.of_int (1 lsl !bare_wires) in
+  (Cx.scale factor (Tensor.to_scalar result), stats)

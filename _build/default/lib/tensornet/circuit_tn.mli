@@ -1,0 +1,52 @@
+(** Translating quantum circuits to tensor networks (Fig. 2 of the paper).
+
+    Each input qubit contributes a rank-1 [|0⟩] tensor, each gate a
+    rank-[2m] tensor wired to the current wire of each qubit it touches;
+    the network's open labels are the circuit's output wires.  Computing a
+    single amplitude "adds bubbles at the end" — fixes the output indices
+    — and contracts down to a scalar (Example 4). *)
+
+type t
+
+(** [of_circuit c] builds the network of a unitary circuit.
+    @raise Invalid_argument on measurements/resets. *)
+val of_circuit : Qdt_circuit.Circuit.t -> t
+
+val network : t -> Network.t
+
+(** [output_wires tn] — wire label of each qubit, index = qubit. *)
+val output_wires : t -> int array
+
+(** [memory_bytes tn] — linear-in-gates representation cost (Example 4). *)
+val memory_bytes : t -> int
+
+(** [amplitude ?plan tn k] contracts to the single amplitude [⟨k|C|0…0⟩],
+    returning the value and contraction stats. *)
+val amplitude : ?plan:Network.plan -> t -> int -> Qdt_linalg.Cx.t * Network.stats
+
+(** [statevector ?plan tn] contracts with open outputs: the full [2^n]
+    state (exponential, as the paper warns). *)
+val statevector : ?plan:Network.plan -> t -> Qdt_linalg.Vec.t * Network.stats
+
+(** [expectation_z ?plan tn q] computes [⟨ψ|Z_q|ψ⟩] by contracting the
+    doubled network [⟨0|C† Z_q C|0⟩] — scalar output, no state vector. *)
+val expectation_z : ?plan:Network.plan -> Qdt_circuit.Circuit.t -> int -> float * Network.stats
+
+(** [amplitude_sliced ?plan ~slices tn k] — like {!amplitude} but slicing
+    [slices] bond indices chosen evenly through the circuit, trading a
+    [2^slices] work factor for a smaller peak intermediate (ref [34]'s
+    slicing).  Results are identical to {!amplitude}. *)
+val amplitude_sliced :
+  ?plan:Network.plan -> slices:int -> t -> int -> Qdt_linalg.Cx.t * Network.stats
+
+(** [hilbert_schmidt_overlap ?plan c1 c2] contracts the *closed* network
+    of [c1 ; c2†] with each output looped back to its input: the scalar
+    [Tr(U₂†·U₁)], whose magnitude is [2^n] exactly when the circuits
+    agree up to global phase.  The network stays linear in the gate
+    count — tensor-network equivalence checking (cf. ref [25] of the
+    paper). *)
+val hilbert_schmidt_overlap :
+  ?plan:Network.plan ->
+  Qdt_circuit.Circuit.t ->
+  Qdt_circuit.Circuit.t ->
+  Qdt_linalg.Cx.t * Network.stats

@@ -1,0 +1,50 @@
+(** Tensor networks and contraction planning.
+
+    A network is a bag of tensors; labels shared between two tensors are
+    bonds, labels appearing once are open indices.  Finding a good
+    pairwise contraction order is NP-hard (ref [33] of the paper), so the
+    planners here are heuristics: the input order, and a greedy minimiser
+    of intermediate tensor size (in the spirit of ref [34]). *)
+
+type t
+
+type plan =
+  | Sequential  (** contract tensors in insertion order *)
+  | Greedy      (** repeatedly contract the pair whose result is smallest *)
+
+type stats = {
+  multiplications : int;  (** total scalar multiplications performed *)
+  peak_tensor_size : int; (** entries of the largest intermediate *)
+  contractions : int;
+}
+
+val empty : t
+val add : Tensor.t -> t -> t
+val of_list : Tensor.t list -> t
+val tensors : t -> Tensor.t list
+val tensor_count : t -> int
+
+(** [open_labels net] — labels occurring exactly once. *)
+val open_labels : t -> int list
+
+(** [memory_bytes net] — total payload of all tensors; the "linear in gates
+    and qubits" representation cost of Example 4. *)
+val memory_bytes : t -> int
+
+(** [contract_all ?plan net] contracts everything down to one tensor and
+    reports cost statistics.
+    @raise Invalid_argument on an empty network. *)
+val contract_all : ?plan:plan -> t -> Tensor.t * stats
+
+(** [bond_labels net] — labels shared by at least two tensors. *)
+val bond_labels : t -> int list
+
+(** [contract_scalar_sliced ?plan ~labels net] — index slicing (the
+    memory-reduction device of hyper-optimized contraction, ref [34] of
+    the paper): fix the [labels] to every assignment, contract each
+    slice independently, and sum the resulting scalars.  Peak memory is
+    that of a single slice; total multiplications multiply by [2^k].
+    The network must contract to a scalar.
+    @raise Invalid_argument if a label is open or unknown. *)
+val contract_scalar_sliced :
+  ?plan:plan -> labels:int list -> t -> Qdt_linalg.Cx.t * stats

@@ -1,0 +1,197 @@
+open Qdt_linalg
+
+type t = { shape : int array; labels : int array; data : Cx.t array }
+
+let validate shape labels =
+  if Array.length shape <> Array.length labels then
+    invalid_arg "Tensor: shape/labels length mismatch";
+  Array.iter (fun d -> if d <= 0 then invalid_arg "Tensor: non-positive dimension") shape;
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun l ->
+      if Hashtbl.mem seen l then invalid_arg "Tensor: repeated label";
+      Hashtbl.replace seen l ())
+    labels
+
+let total shape = Array.fold_left ( * ) 1 shape
+
+let create ~shape ~labels =
+  validate shape labels;
+  { shape = Array.copy shape; labels = Array.copy labels; data = Array.make (total shape) Cx.zero }
+
+(* Row-major strides: last axis has stride 1. *)
+let strides shape =
+  let n = Array.length shape in
+  let s = Array.make n 1 in
+  for k = n - 2 downto 0 do
+    s.(k) <- s.(k + 1) * shape.(k + 1)
+  done;
+  s
+
+let offset_of strides idx =
+  let acc = ref 0 in
+  Array.iteri (fun k i -> acc := !acc + (strides.(k) * i)) idx;
+  !acc
+
+let index_of_offset shape off =
+  let n = Array.length shape in
+  let idx = Array.make n 0 in
+  let rem = ref off in
+  for k = n - 1 downto 0 do
+    idx.(k) <- !rem mod shape.(k);
+    rem := !rem / shape.(k)
+  done;
+  idx
+
+let init ~shape ~labels f =
+  validate shape labels;
+  let data = Array.init (total shape) (fun off -> f (index_of_offset shape off)) in
+  { shape = Array.copy shape; labels = Array.copy labels; data }
+
+let scalar z = { shape = [||]; labels = [||]; data = [| z |] }
+
+let log2_exact len =
+  let rec go acc k = if k = 1 then acc else go (acc + 1) (k / 2) in
+  let n = go 0 len in
+  if 1 lsl n <> len then invalid_arg "Tensor: length must be a power of two";
+  n
+
+let of_vec ~labels v =
+  let n = log2_exact (Vec.length v) in
+  if Array.length labels <> n then invalid_arg "Tensor.of_vec: need one label per qubit";
+  let shape = Array.make n 2 in
+  validate shape labels;
+  { shape; labels = Array.copy labels; data = Vec.to_array v }
+
+let of_mat ~row_labels ~col_labels m =
+  let r = log2_exact (Mat.rows m) and c = log2_exact (Mat.cols m) in
+  if Array.length row_labels <> r || Array.length col_labels <> c then
+    invalid_arg "Tensor.of_mat: label counts must match matrix shape";
+  let shape = Array.make (r + c) 2 in
+  let labels = Array.append row_labels col_labels in
+  validate shape labels;
+  let data =
+    Array.init (total shape) (fun off -> Mat.get m (off / Mat.cols m) (off mod Mat.cols m))
+  in
+  { shape; labels; data }
+
+let rank t = Array.length t.shape
+let shape t = Array.copy t.shape
+let labels t = Array.copy t.labels
+let size t = Array.length t.data
+let get t idx = t.data.(offset_of (strides t.shape) idx)
+let set t idx z = t.data.(offset_of (strides t.shape) idx) <- z
+
+let to_scalar t =
+  if rank t <> 0 then invalid_arg "Tensor.to_scalar: rank is not 0";
+  t.data.(0)
+
+let axis_of_label t l =
+  let found = ref (-1) in
+  Array.iteri (fun k lab -> if lab = l then found := k) t.labels;
+  if !found < 0 then invalid_arg "Tensor: unknown label";
+  !found
+
+let permute t order =
+  if Array.length order <> rank t then invalid_arg "Tensor.permute: wrong order length";
+  let axes = Array.map (axis_of_label t) order in
+  let new_shape = Array.map (fun a -> t.shape.(a)) axes in
+  let old_strides = strides t.shape in
+  let new_strides_in_old = Array.map (fun a -> old_strides.(a)) axes in
+  let data =
+    Array.init (Array.length t.data) (fun off ->
+        let idx = index_of_offset new_shape off in
+        t.data.(offset_of new_strides_in_old idx))
+  in
+  { shape = new_shape; labels = Array.copy order; data }
+
+let to_vec t ~order =
+  let flat = permute t order in
+  Vec.of_array flat.data
+
+let relabel t f =
+  let labels = Array.map f t.labels in
+  validate t.shape labels;
+  { t with labels }
+
+let shared_labels a b =
+  Array.to_list a.labels |> List.filter (fun l -> Array.exists (( = ) l) b.labels)
+
+let free_labels t other =
+  Array.to_list t.labels |> List.filter (fun l -> not (Array.exists (( = ) l) other.labels))
+
+let dims_of t ls = List.map (fun l -> t.shape.(axis_of_label t l)) ls
+
+let contract a b =
+  let shared = shared_labels a b in
+  let free_a = free_labels a b and free_b = free_labels b a in
+  (* Bring [a] to [free_a; shared] and [b] to [shared; free_b] and
+     matrix-multiply. *)
+  let a' = permute a (Array.of_list (free_a @ shared)) in
+  let b' = permute b (Array.of_list (shared @ free_b)) in
+  let dim l = List.fold_left ( * ) 1 l in
+  let m = dim (dims_of a free_a) in
+  let k = dim (dims_of a shared) in
+  let n = dim (dims_of b free_b) in
+  let out_shape = Array.of_list (dims_of a free_a @ dims_of b free_b) in
+  let out_labels = Array.of_list (free_a @ free_b) in
+  let data = Array.make (m * n) Cx.zero in
+  for row = 0 to m - 1 do
+    for kk = 0 to k - 1 do
+      let av = a'.data.((row * k) + kk) in
+      if not (Cx.is_zero ~eps:0.0 av) then
+        for col = 0 to n - 1 do
+          data.((row * n) + col) <-
+            Cx.mul_add data.((row * n) + col) av b'.data.((kk * n) + col)
+        done
+    done
+  done;
+  { shape = out_shape; labels = out_labels; data }
+
+let contract_cost a b =
+  let shared = shared_labels a b in
+  let free_a = free_labels a b and free_b = free_labels b a in
+  let dim t l = List.fold_left ( * ) 1 (dims_of t l) in
+  dim a free_a * dim a shared * dim b free_b
+
+let fix t ~label ~value =
+  let axis = axis_of_label t label in
+  if value < 0 || value >= t.shape.(axis) then invalid_arg "Tensor.fix: value out of range";
+  let new_shape =
+    Array.of_list (List.filteri (fun k _ -> k <> axis) (Array.to_list t.shape))
+  in
+  let new_labels =
+    Array.of_list (List.filteri (fun k _ -> k <> axis) (Array.to_list t.labels))
+  in
+  let old_strides = strides t.shape in
+  let data =
+    Array.init (total new_shape) (fun off ->
+        let idx = index_of_offset new_shape off in
+        (* splice [value] back at [axis] *)
+        let full = Array.make (rank t) 0 in
+        let j = ref 0 in
+        for k = 0 to rank t - 1 do
+          if k = axis then full.(k) <- value
+          else begin
+            full.(k) <- idx.(!j);
+            incr j
+          end
+        done;
+        t.data.(offset_of old_strides full))
+  in
+  { shape = new_shape; labels = new_labels; data }
+
+let approx_equal ?eps a b =
+  a.shape = b.shape && a.labels = b.labels
+  && (let ok = ref true in
+      Array.iteri
+        (fun k z -> if not (Cx.approx_equal ?eps z b.data.(k)) then ok := false)
+        a.data;
+      !ok)
+
+let memory_bytes t = 16 * Array.length t.data
+
+let pp ppf t =
+  Format.fprintf ppf "tensor(shape=[%s], labels=[%s])"
+    (String.concat ";" (Array.to_list (Array.map string_of_int t.shape)))
+    (String.concat ";" (Array.to_list (Array.map string_of_int t.labels)))

@@ -1,0 +1,71 @@
+(** Dense labelled tensors (Section IV of the paper).
+
+    A tensor is a multi-dimensional array of complex numbers whose axes
+    carry integer labels; contracting two tensors sums over their shared
+    labels (Example 3: matrix product as contraction of two rank-2
+    tensors over the shared index k).  Storage is row-major: the first
+    axis varies slowest. *)
+
+type t
+
+(** [create ~shape ~labels] is the all-zero tensor.
+    @raise Invalid_argument if lengths differ, a label repeats, or a
+    dimension is non-positive. *)
+val create : shape:int array -> labels:int array -> t
+
+(** [init ~shape ~labels f] fills entry [idx] with [f idx]. *)
+val init : shape:int array -> labels:int array -> (int array -> Qdt_linalg.Cx.t) -> t
+
+(** [scalar z] is the rank-0 tensor. *)
+val scalar : Qdt_linalg.Cx.t -> t
+
+(** [of_vec ~labels v] reshapes a length-[2^n] vector into [n] binary axes,
+    first axis = most significant bit. *)
+val of_vec : labels:int array -> Qdt_linalg.Vec.t -> t
+
+(** [of_mat ~row_labels ~col_labels m] reshapes a [2^r × 2^c] matrix into
+    [r + c] binary axes (row axes first, most significant first). *)
+val of_mat : row_labels:int array -> col_labels:int array -> Qdt_linalg.Mat.t -> t
+
+val rank : t -> int
+val shape : t -> int array
+val labels : t -> int array
+
+(** [size t] is the number of entries. *)
+val size : t -> int
+
+val get : t -> int array -> Qdt_linalg.Cx.t
+val set : t -> int array -> Qdt_linalg.Cx.t -> unit
+
+(** [to_scalar t] extracts the value of a rank-0 tensor.
+    @raise Invalid_argument otherwise. *)
+val to_scalar : t -> Qdt_linalg.Cx.t
+
+(** [to_vec t ~order] flattens [t] using axis order [order] (labels, most
+    significant first). *)
+val to_vec : t -> order:int array -> Qdt_linalg.Vec.t
+
+(** [relabel t f] renames every label through [f]. *)
+val relabel : t -> (int -> int) -> t
+
+(** [permute t order] reorders axes so labels appear in [order] (a
+    permutation of [labels t]). *)
+val permute : t -> int array -> t
+
+(** [contract a b] sums over all labels common to [a] and [b]; the result
+    keeps [a]'s free labels (in order) then [b]'s.  Contracting disjoint
+    tensors is their outer product. *)
+val contract : t -> t -> t
+
+(** [contract_cost a b] is the number of scalar multiplications
+    [contract a b] performs (|free_a| · |shared| · |free_b|). *)
+val contract_cost : t -> t -> int
+
+(** [fix t ~label ~value] slices axis [label] at index [value] (rank
+    decreases by one) — the paper's "adding bubbles at the end of the
+    circuit" to ask for one amplitude. *)
+val fix : t -> label:int -> value:int -> t
+
+val approx_equal : ?eps:float -> t -> t -> bool
+val memory_bytes : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/verify/equiv.ml: Array Circuit Cx Float List Mat Qdt_arraysim Qdt_circuit Qdt_dd Qdt_linalg Qdt_tensornet Qdt_zx Random

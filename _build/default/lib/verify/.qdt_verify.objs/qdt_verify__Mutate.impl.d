@@ -1,0 +1,1 @@
+lib/verify/mutate.ml: Circuit Gate List Printf Qdt_circuit Random

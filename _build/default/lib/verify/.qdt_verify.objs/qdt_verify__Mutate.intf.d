@@ -1,0 +1,1 @@
+lib/verify/mutate.mli: Qdt_circuit

@@ -1,0 +1,49 @@
+(** Equivalence checking of quantum circuits (the paper's verification
+    task, refs [19]–[25]): four complementary methods, one per data
+    structure.
+
+    All methods decide equality up to global phase. *)
+
+type verdict =
+  | Equivalent
+  | Not_equivalent
+  | Inconclusive
+      (** the method could not certify either way (ZX reduction is
+          incomplete; simulation is probabilistic evidence only) *)
+
+val verdict_to_string : verdict -> string
+
+(** [arrays c1 c2] — build both [2^n × 2^n] unitaries and compare
+    (Section II; exact, exponential memory). *)
+val arrays : Qdt_circuit.Circuit.t -> Qdt_circuit.Circuit.t -> verdict
+
+(** [dd c1 c2] — build the DD of [U₂†·U₁] and compare with the identity
+    DD (Section III; exact, compact when structure exists). *)
+val dd : Qdt_circuit.Circuit.t -> Qdt_circuit.Circuit.t -> verdict
+
+(** [dd_alternating c1 c2] — the G→G' scheme of Burgholzer & Wille
+    (ref [20]): keep [E = gates-of-c1-so-far · (gates-of-c2-so-far)†]
+    close to the identity by interleaving the two circuits
+    proportionally, so intermediate DDs stay small. *)
+val dd_alternating : Qdt_circuit.Circuit.t -> Qdt_circuit.Circuit.t -> verdict
+
+(** [zx c1 c2] — reduce the diagram of [c1 ; c2†] with the ZX-calculus;
+    [Equivalent] if it becomes bare identity wires, [Inconclusive]
+    otherwise (the rewrite strategy is not complete). *)
+val zx : Qdt_circuit.Circuit.t -> Qdt_circuit.Circuit.t -> verdict
+
+(** [tn c1 c2] — contract the closed tensor network of [c1 ; c2†] to the
+    scalar [Tr(U₂†U₁)] and compare its magnitude with [2^n] (Section IV's
+    answer to verification, cf. ref [25]); exact up to numerics, memory
+    bounded by the contraction width rather than [2^n] a priori. *)
+val tn : Qdt_circuit.Circuit.t -> Qdt_circuit.Circuit.t -> verdict
+
+(** [simulation ?seed ?trials c1 c2] — run both circuits on random
+    stimuli (basis states and random product states) with the DD
+    simulator and compare end states; [Not_equivalent] on any mismatch,
+    [Inconclusive] (= probably equivalent) when all agree. *)
+val simulation :
+  ?seed:int -> ?trials:int -> Qdt_circuit.Circuit.t -> Qdt_circuit.Circuit.t -> verdict
+
+(** Size guard used by [arrays] (default 12 qubits). *)
+val max_array_qubits : int

@@ -1,0 +1,132 @@
+open Qdt_circuit
+
+type mutation = { description : string; circuit : Circuit.t }
+
+let rebuild c instrs =
+  List.fold_left
+    (fun acc i -> Circuit.add i acc)
+    (Circuit.empty ~clbits:(Circuit.num_clbits c) (Circuit.num_qubits c))
+    instrs
+
+let gate_positions c =
+  List.filteri (fun _ instr ->
+      match instr with
+      | Circuit.Apply _ | Circuit.Swap _ -> true
+      | Circuit.Measure _ | Circuit.Reset _ | Circuit.Barrier _ -> false)
+    (Circuit.instructions c)
+  |> List.length
+
+let nth_gate_index c k =
+  (* absolute index of the k-th gate instruction *)
+  let rec find idx remaining = function
+    | [] -> invalid_arg "Mutate: gate index out of range"
+    | instr :: rest -> (
+        match instr with
+        | Circuit.Apply _ | Circuit.Swap _ ->
+            if remaining = 0 then idx else find (idx + 1) (remaining - 1) rest
+        | _ -> find (idx + 1) remaining rest)
+  in
+  find 0 k (Circuit.instructions c)
+
+let drop_gate ~seed c =
+  let total = gate_positions c in
+  if total = 0 then invalid_arg "Mutate.drop_gate: no gates to drop";
+  let rng = Random.State.make [| seed; 1 |] in
+  let victim = nth_gate_index c (Random.State.int rng total) in
+  let instrs = List.filteri (fun idx _ -> idx <> victim) (Circuit.instructions c) in
+  {
+    description = Printf.sprintf "dropped instruction #%d" victim;
+    circuit = rebuild c instrs;
+  }
+
+let add_gate ~seed c =
+  let rng = Random.State.make [| seed; 2 |] in
+  let q = Random.State.int rng (Circuit.num_qubits c) in
+  let gate =
+    match Random.State.int rng 4 with
+    | 0 -> Gate.X
+    | 1 -> Gate.Z
+    | 2 -> Gate.H
+    | _ -> Gate.S
+  in
+  let pos = Random.State.int rng (Circuit.length c + 1) in
+  let instrs = Circuit.instructions c in
+  let before = List.filteri (fun idx _ -> idx < pos) instrs in
+  let after = List.filteri (fun idx _ -> idx >= pos) instrs in
+  let extra = Circuit.Apply { gate; controls = []; target = q } in
+  {
+    description = Printf.sprintf "inserted %s on qubit %d at #%d" (Gate.name gate) q pos;
+    circuit = rebuild c (before @ (extra :: after));
+  }
+
+let flip_operands ~seed c =
+  let candidates =
+    List.mapi (fun idx instr -> (idx, instr)) (Circuit.instructions c)
+    |> List.filter_map (fun (idx, instr) ->
+           match instr with
+           | Circuit.Apply { gate; controls = [ ctl ]; target } ->
+               Some (idx, Circuit.Apply { gate; controls = [ target ]; target = ctl })
+           | _ -> None)
+  in
+  match candidates with
+  | [] -> add_gate ~seed c
+  | _ ->
+      let rng = Random.State.make [| seed; 3 |] in
+      let victim, replacement =
+        List.nth candidates (Random.State.int rng (List.length candidates))
+      in
+      let instrs =
+        List.mapi
+          (fun idx instr -> if idx = victim then replacement else instr)
+          (Circuit.instructions c)
+      in
+      {
+        description = Printf.sprintf "flipped operands of instruction #%d" victim;
+        circuit = rebuild c instrs;
+      }
+
+let perturb_angle ~seed ?(delta = 1e-4) c =
+  let perturb gate =
+    match gate with
+    | Gate.Rx t -> Some (Gate.Rx (t +. delta))
+    | Gate.Ry t -> Some (Gate.Ry (t +. delta))
+    | Gate.Rz t -> Some (Gate.Rz (t +. delta))
+    | Gate.Phase t -> Some (Gate.Phase (t +. delta))
+    | Gate.U3 u -> Some (Gate.U3 { u with theta = u.theta +. delta })
+    | _ -> None
+  in
+  let candidates =
+    List.mapi (fun idx instr -> (idx, instr)) (Circuit.instructions c)
+    |> List.filter_map (fun (idx, instr) ->
+           match instr with
+           | Circuit.Apply a -> (
+               match perturb a.gate with
+               | Some gate -> Some (idx, Circuit.Apply { a with gate })
+               | None -> None)
+           | _ -> None)
+  in
+  match candidates with
+  | [] -> add_gate ~seed c
+  | _ ->
+      let rng = Random.State.make [| seed; 4 |] in
+      let victim, replacement =
+        List.nth candidates (Random.State.int rng (List.length candidates))
+      in
+      let instrs =
+        List.mapi
+          (fun idx instr -> if idx = victim then replacement else instr)
+          (Circuit.instructions c)
+      in
+      {
+        description =
+          Printf.sprintf "perturbed angle of instruction #%d by %g" victim delta;
+        circuit = rebuild c instrs;
+      }
+
+let random ~seed c =
+  let rng = Random.State.make [| seed; 5 |] in
+  match Random.State.int rng 4 with
+  | 0 -> drop_gate ~seed c
+  | 1 -> add_gate ~seed c
+  | 2 -> flip_operands ~seed c
+  | _ -> perturb_angle ~seed c

@@ -1,0 +1,30 @@
+(** Error injection for verification experiments (E10).
+
+    Compilation-flow validation needs circuits that are *almost* right:
+    these mutations mimic the classic compiler-bug classes — a dropped
+    gate, an extra gate, flipped CNOT operands, an off-by-a-little
+    rotation angle. *)
+
+type mutation = {
+  description : string;
+  circuit : Qdt_circuit.Circuit.t;
+}
+
+(** [drop_gate ~seed c] removes one random gate instruction.
+    @raise Invalid_argument on an empty circuit. *)
+val drop_gate : seed:int -> Qdt_circuit.Circuit.t -> mutation
+
+(** [add_gate ~seed c] inserts a random single-qubit Clifford gate at a
+    random position. *)
+val add_gate : seed:int -> Qdt_circuit.Circuit.t -> mutation
+
+(** [flip_operands ~seed c] swaps control and target of one controlled
+    instruction; falls back to [add_gate] if there is none. *)
+val flip_operands : seed:int -> Qdt_circuit.Circuit.t -> mutation
+
+(** [perturb_angle ~seed ?delta c] nudges one rotation angle (default
+    [delta = 1e-4]); falls back to [add_gate] if there is no rotation. *)
+val perturb_angle : seed:int -> ?delta:float -> Qdt_circuit.Circuit.t -> mutation
+
+(** [random ~seed c] — one of the above, seed-chosen. *)
+val random : seed:int -> Qdt_circuit.Circuit.t -> mutation

@@ -1,0 +1,1 @@
+lib/zx/diagram.ml: Array Buffer Format Hashtbl List Option Phase Printf Qdt_linalg

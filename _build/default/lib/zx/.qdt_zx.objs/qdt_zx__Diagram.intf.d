@@ -1,0 +1,1 @@
+lib/zx/diagram.mli: Format Phase Qdt_linalg

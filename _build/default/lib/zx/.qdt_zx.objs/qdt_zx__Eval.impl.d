@@ -1,0 +1,1 @@
+lib/zx/eval.ml: Array Cx Diagram Gates Hashtbl List Mat Network Phase Qdt_linalg Qdt_tensornet Tensor Vec

@@ -1,0 +1,1 @@
+lib/zx/eval.mli: Diagram Qdt_linalg

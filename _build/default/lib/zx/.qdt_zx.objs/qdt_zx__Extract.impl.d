@@ -1,0 +1,1 @@
+lib/zx/extract.ml: Array Circuit Diagram Format Gate Hashtbl List Phase Printf Qdt_circuit Rules Simplify String Sys Translate

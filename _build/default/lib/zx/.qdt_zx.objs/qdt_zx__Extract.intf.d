@@ -1,0 +1,1 @@
+lib/zx/extract.mli: Diagram Qdt_circuit

@@ -1,0 +1,1 @@
+lib/zx/phase.mli: Format

@@ -1,0 +1,1 @@
+lib/zx/rules.ml: Diagram Float Hashtbl List Option Phase Qdt_linalg

@@ -1,0 +1,1 @@
+lib/zx/rules.mli: Diagram

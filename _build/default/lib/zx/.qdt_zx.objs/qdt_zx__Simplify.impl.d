@@ -1,0 +1,1 @@
+lib/zx/simplify.ml: Array Diagram Hashtbl List Phase Rules

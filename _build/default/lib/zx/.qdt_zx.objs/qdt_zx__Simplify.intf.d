@@ -1,0 +1,1 @@
+lib/zx/simplify.mli: Diagram

@@ -1,0 +1,1 @@
+lib/zx/translate.ml: Array Circuit Diagram Float Gate List Phase Qdt_circuit Qdt_compile Qdt_linalg

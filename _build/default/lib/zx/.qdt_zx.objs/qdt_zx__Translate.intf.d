@@ -1,0 +1,1 @@
+lib/zx/translate.mli: Diagram Qdt_circuit

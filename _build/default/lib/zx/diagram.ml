@@ -1,0 +1,307 @@
+type kind = Z | X | Boundary
+type edge_kind = Simple | Had
+
+type vertex_data = { mutable vkind : kind; mutable vphase : Phase.t }
+
+type t = {
+  mutable next : int;
+  verts : (int, vertex_data) Hashtbl.t;
+  (* adj.(v).(w) = (simple multiplicity, hadamard multiplicity); symmetric;
+     self-loops stored once under (v, v). *)
+  adj : (int, (int, int * int) Hashtbl.t) Hashtbl.t;
+  mutable ins : int list;  (* reversed *)
+  mutable outs : int list; (* reversed *)
+  mutable scal : Qdt_linalg.Cx.t;
+      (* the diagram's map = scal · (tensor of the graph); rewrites that
+         change the tensor by a known factor compensate here *)
+}
+
+let create () =
+  {
+    next = 0;
+    verts = Hashtbl.create 64;
+    adj = Hashtbl.create 64;
+    ins = [];
+    outs = [];
+    scal = Qdt_linalg.Cx.one;
+  }
+
+let scalar d = d.scal
+let scale_scalar d c = d.scal <- Qdt_linalg.Cx.mul d.scal c
+
+let add_vertex d kind phase =
+  let v = d.next in
+  d.next <- v + 1;
+  Hashtbl.replace d.verts v { vkind = kind; vphase = phase };
+  Hashtbl.replace d.adj v (Hashtbl.create 4);
+  v
+
+let add_input d =
+  let v = add_vertex d Boundary Phase.zero in
+  d.ins <- v :: d.ins;
+  v
+
+let add_output d =
+  let v = add_vertex d Boundary Phase.zero in
+  d.outs <- v :: d.outs;
+  v
+
+let mem d v = Hashtbl.mem d.verts v
+
+let check_vertex d v =
+  if not (mem d v) then invalid_arg (Printf.sprintf "Diagram: no vertex %d" v)
+
+let adj_of d v = Hashtbl.find d.adj v
+
+let edge_counts d v w =
+  check_vertex d v;
+  check_vertex d w;
+  Option.value ~default:(0, 0) (Hashtbl.find_opt (adj_of d v) w)
+
+let set_counts d v w (s, h) =
+  let set a b =
+    if s = 0 && h = 0 then Hashtbl.remove (adj_of d a) b
+    else Hashtbl.replace (adj_of d a) b (s, h)
+  in
+  set v w;
+  if v <> w then set w v
+
+let connect d v w ek =
+  check_vertex d v;
+  check_vertex d w;
+  let s, h = edge_counts d v w in
+  match ek with
+  | Simple -> set_counts d v w (s + 1, h)
+  | Had -> set_counts d v w (s, h + 1)
+
+let disconnect_one d v w ek =
+  let s, h = edge_counts d v w in
+  match ek with
+  | Simple ->
+      if s = 0 then invalid_arg "Diagram.disconnect_one: no simple edge";
+      set_counts d v w (s - 1, h)
+  | Had ->
+      if h = 0 then invalid_arg "Diagram.disconnect_one: no hadamard edge";
+      set_counts d v w (s, h - 1)
+
+let remove_all_edges d v w =
+  check_vertex d v;
+  check_vertex d w;
+  set_counts d v w (0, 0)
+
+let data d v =
+  check_vertex d v;
+  Hashtbl.find d.verts v
+
+let kind d v = (data d v).vkind
+let phase d v = (data d v).vphase
+let set_phase d v p = (data d v).vphase <- p
+let add_phase d v p = (data d v).vphase <- Phase.add (data d v).vphase p
+let set_kind d v k = (data d v).vkind <- k
+
+let neighbors d v =
+  check_vertex d v;
+  Hashtbl.fold (fun w counts acc -> (w, counts) :: acc) (adj_of d v) []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let degree d v =
+  List.fold_left
+    (fun acc (w, (s, h)) -> acc + ((s + h) * if w = v then 2 else 1))
+    0 (neighbors d v)
+
+let remove_vertex d v =
+  check_vertex d v;
+  if kind d v = Boundary then invalid_arg "Diagram.remove_vertex: boundary vertex";
+  List.iter (fun (w, _) -> if w <> v then Hashtbl.remove (adj_of d w) v) (neighbors d v);
+  Hashtbl.remove d.adj v;
+  Hashtbl.remove d.verts v
+
+let vertices d =
+  Hashtbl.fold (fun v _ acc -> v :: acc) d.verts [] |> List.sort compare
+
+let num_vertices d = Hashtbl.length d.verts
+
+let num_edges d =
+  let total = ref 0 in
+  Hashtbl.iter
+    (fun v table ->
+      Hashtbl.iter (fun w (s, h) -> if w >= v then total := !total + s + h) table)
+    d.adj;
+  !total
+
+let inputs d = Array.of_list (List.rev d.ins)
+let outputs d = Array.of_list (List.rev d.outs)
+
+let spiders d = List.filter (fun v -> kind d v <> Boundary) (vertices d)
+
+let copy d =
+  let c = create () in
+  c.next <- d.next;
+  c.scal <- d.scal;
+  Hashtbl.iter
+    (fun v vd -> Hashtbl.replace c.verts v { vkind = vd.vkind; vphase = vd.vphase })
+    d.verts;
+  Hashtbl.iter (fun v table -> Hashtbl.replace c.adj v (Hashtbl.copy table)) d.adj;
+  c.ins <- d.ins;
+  c.outs <- d.outs;
+  c
+
+let combine_edge_kinds k1 k2 =
+  match (k1, k2) with
+  | Simple, Simple | Had, Had -> Simple
+  | Simple, Had | Had, Simple -> Had
+
+(* The single wire incident to a boundary vertex: neighbour + edge kind. *)
+let boundary_wire d v =
+  match neighbors d v with
+  | [ (w, (1, 0)) ] -> (w, Simple)
+  | [ (w, (0, 1)) ] -> (w, Had)
+  | _ -> failwith "Diagram: boundary vertex is not a degree-1 wire"
+
+let compose a b =
+  let a_outs = outputs a and b_ins = inputs b in
+  if Array.length a_outs <> Array.length b_ins then
+    invalid_arg "Diagram.compose: arity mismatch";
+  let c = copy a in
+  (* Import b with shifted ids. *)
+  let shift = c.next in
+  Hashtbl.iter
+    (fun v vd ->
+      Hashtbl.replace c.verts (v + shift) { vkind = vd.vkind; vphase = vd.vphase };
+      Hashtbl.replace c.adj (v + shift) (Hashtbl.create 4))
+    b.verts;
+  c.next <- c.next + b.next;
+  Hashtbl.iter
+    (fun v table ->
+      Hashtbl.iter
+        (fun w (s, h) ->
+          if w >= v then begin
+            let sv = v + shift and sw = w + shift in
+            let s0, h0 = edge_counts c sv sw in
+            set_counts c sv sw (s0 + s, h0 + h)
+          end)
+        table)
+    b.adj;
+  (* Glue each a-output to the matching b-input. *)
+  Array.iteri
+    (fun q a_out ->
+      let b_in = b_ins.(q) + shift in
+      let w1, k1 = boundary_wire c a_out in
+      (* a_out might be wired directly to b_in only after both removals;
+         handle the general case by removing the two boundary vertices and
+         reconnecting their neighbours. *)
+      if w1 = b_in then begin
+        (* direct identity wire a_out -- b_in: neighbour of b_in is a_out *)
+        let w2, k2 = boundary_wire c b_in in
+        ignore w2;
+        ignore k2;
+        (* degenerate: a whole qubit wire with no spiders; fuse the two
+           boundary wires by looking through both. *)
+        failwith "Diagram.compose: degenerate boundary-boundary wire"
+      end
+      else begin
+        let w2, k2 = boundary_wire c b_in in
+        remove_all_edges c a_out w1;
+        remove_all_edges c b_in w2;
+        (* force-remove boundary vertices *)
+        Hashtbl.remove c.adj a_out;
+        Hashtbl.remove c.verts a_out;
+        Hashtbl.remove c.adj b_in;
+        Hashtbl.remove c.verts b_in;
+        if w1 = w2 then begin
+          (* wire loops back onto the same spider: self-loop *)
+          let s, h = edge_counts c w1 w1 in
+          match combine_edge_kinds k1 k2 with
+          | Simple -> set_counts c w1 w1 (s + 1, h)
+          | Had -> set_counts c w1 w1 (s, h + 1)
+        end
+        else connect c w1 w2 (combine_edge_kinds k1 k2)
+      end)
+    a_outs;
+  c.outs <- List.map (fun v -> v + shift) b.outs;
+  c.scal <- Qdt_linalg.Cx.mul a.scal b.scal;
+  c
+
+let adjoint d =
+  let c = copy d in
+  c.scal <- Qdt_linalg.Cx.conj d.scal;
+  List.iter
+    (fun v ->
+      let vd = Hashtbl.find c.verts v in
+      if vd.vkind <> Boundary then vd.vphase <- Phase.neg vd.vphase)
+    (vertices c);
+  let ins = c.ins in
+  c.ins <- c.outs;
+  c.outs <- ins;
+  c
+
+let validate d =
+  Array.iter
+    (fun v ->
+      if degree d v <> 1 then
+        failwith (Printf.sprintf "Diagram.validate: boundary %d has degree %d" v (degree d v)))
+    (Array.append (inputs d) (outputs d));
+  Hashtbl.iter
+    (fun v table ->
+      if not (Hashtbl.mem d.verts v) then failwith "Diagram.validate: dangling adjacency";
+      Hashtbl.iter
+        (fun w _ ->
+          if not (Hashtbl.mem d.verts w) then
+            failwith (Printf.sprintf "Diagram.validate: edge %d-%d to dead vertex" v w))
+        table)
+    d.adj
+
+let pp ppf d =
+  Format.fprintf ppf "@[<v 0>zx-diagram: %d vertices, %d edges@," (num_vertices d)
+    (num_edges d);
+  List.iter
+    (fun v ->
+      let k = match kind d v with Z -> "Z" | X -> "X" | Boundary -> "B" in
+      Format.fprintf ppf "  %s%d(%a):" k v Phase.pp (phase d v);
+      List.iter
+        (fun (w, (s, h)) ->
+          for _ = 1 to s do
+            Format.fprintf ppf " -%d" w
+          done;
+          for _ = 1 to h do
+            Format.fprintf ppf " =%d" w
+          done)
+        (neighbors d v);
+      Format.fprintf ppf "@,")
+    (vertices d);
+  Format.fprintf ppf "@]"
+
+let to_dot d =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph zx {\n  rankdir=LR;\n";
+  List.iter
+    (fun v ->
+      let style =
+        match kind d v with
+        | Z ->
+            Printf.sprintf "shape=circle,style=filled,fillcolor=palegreen,label=\"%s\""
+              (Phase.to_string (phase d v))
+        | X ->
+            Printf.sprintf "shape=circle,style=filled,fillcolor=salmon,label=\"%s\""
+              (Phase.to_string (phase d v))
+        | Boundary -> "shape=point"
+      in
+      Buffer.add_string buf (Printf.sprintf "  v%d [%s];\n" v style))
+    (vertices d);
+  List.iter
+    (fun v ->
+      List.iter
+        (fun (w, (s, h)) ->
+          if w >= v then begin
+            for _ = 1 to s do
+              Buffer.add_string buf (Printf.sprintf "  v%d -- v%d;\n" v w)
+            done;
+            for _ = 1 to h do
+              Buffer.add_string buf
+                (Printf.sprintf "  v%d -- v%d [style=dashed,color=blue];\n" v w)
+            done
+          end)
+        (neighbors d v))
+    (vertices d);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,96 @@
+(** ZX-diagrams (Section V of the paper).
+
+    An open multigraph: spiders are green (Z) or red (X) with a phase;
+    boundary vertices mark the ordered inputs and outputs; wires are
+    plain or carry a Hadamard box (the compressed [-□-] notation the
+    paper introduces for graph-like diagrams).  "Only connectivity
+    matters": the structure is exactly this graph, nothing more.
+
+    Diagrams carry an explicit global scalar ({!scalar}): the denoted map
+    is [scalar · tensor-of-the-graph].  {!Translate} sets it so circuit
+    diagrams are exact, and every rewrite in {!Rules}/{!Simplify}
+    compensates its tensor factor, so exactness — including global
+    phase — survives full simplification ({!Eval.to_matrix_exact}). *)
+
+type kind = Z | X | Boundary
+type edge_kind = Simple | Had
+
+type t
+
+val create : unit -> t
+val copy : t -> t
+
+(** The tracked global scalar: the diagram's linear map equals
+    [scalar d · (tensor of the graph)].  Translation and every rewrite
+    keep this exact; hand-built diagrams start at 1. *)
+val scalar : t -> Qdt_linalg.Cx.t
+
+(** [scale_scalar d c] multiplies the tracked scalar. *)
+val scale_scalar : t -> Qdt_linalg.Cx.t -> unit
+
+(** [add_vertex d kind phase] returns the fresh vertex id. *)
+val add_vertex : t -> kind -> Phase.t -> int
+
+(** [add_input d] / [add_output d] append a boundary vertex and register
+    it as the next input/output port. *)
+val add_input : t -> int
+
+val add_output : t -> int
+
+(** [connect d v w ek] adds one edge (parallel edges accumulate). *)
+val connect : t -> int -> int -> edge_kind -> unit
+
+(** [disconnect_one d v w ek] removes one such edge.
+    @raise Invalid_argument if absent. *)
+val disconnect_one : t -> int -> int -> edge_kind -> unit
+
+(** [remove_all_edges d v w] deletes every edge between [v] and [w]. *)
+val remove_all_edges : t -> int -> int -> unit
+
+(** [remove_vertex d v] removes [v] and its incident edges; boundary
+    vertices cannot be removed. *)
+val remove_vertex : t -> int -> unit
+
+val kind : t -> int -> kind
+val phase : t -> int -> Phase.t
+val set_phase : t -> int -> Phase.t -> unit
+val add_phase : t -> int -> Phase.t -> unit
+val set_kind : t -> int -> kind -> unit
+
+(** [edge_counts d v w] is [(simple, hadamard)] multiplicities. *)
+val edge_counts : t -> int -> int -> int * int
+
+(** [neighbors d v] — distinct neighbours with multiplicities. *)
+val neighbors : t -> int -> (int * (int * int)) list
+
+(** [degree d v] — incident edge count (multiplicities included;
+    self-loops count twice). *)
+val degree : t -> int -> int
+
+val mem : t -> int -> bool
+val vertices : t -> int list
+val num_vertices : t -> int
+val num_edges : t -> int
+val inputs : t -> int array
+val outputs : t -> int array
+
+(** [spiders d] — non-boundary vertices. *)
+val spiders : t -> int list
+
+(** [compose a b] glues [a]'s outputs to [b]'s inputs ("first [a], then
+    [b]").
+    @raise Invalid_argument on arity mismatch. *)
+val compose : t -> t -> t
+
+(** [adjoint d] — dagger: inputs/outputs swapped, phases negated. *)
+val adjoint : t -> t
+
+(** [validate d] checks structural invariants (boundaries have degree 1,
+    edges point at live vertices); raises [Failure] with a description
+    otherwise. *)
+val validate : t -> unit
+
+val pp : Format.formatter -> t -> unit
+
+(** Graphviz rendering (spiders coloured, Hadamard edges dashed blue). *)
+val to_dot : t -> string

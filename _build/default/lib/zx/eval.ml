@@ -1,0 +1,145 @@
+open Qdt_linalg
+open Qdt_tensornet
+
+let h_tensor l1 l2 = Tensor.of_mat ~row_labels:[| l1 |] ~col_labels:[| l2 |] Gates.h
+
+let id_tensor l1 l2 =
+  Tensor.of_mat ~row_labels:[| l1 |] ~col_labels:[| l2 |] Gates.id2
+
+let z_spider_tensor ~legs ~phase =
+  let d = Array.length legs in
+  if d = 0 then Tensor.scalar (Cx.add Cx.one (Cx.exp_i (Phase.to_radians phase)))
+  else
+    Tensor.init ~shape:(Array.make d 2) ~labels:legs (fun idx ->
+        if Array.for_all (( = ) 0) idx then Cx.one
+        else if Array.for_all (( = ) 1) idx then Cx.exp_i (Phase.to_radians phase)
+        else Cx.zero)
+
+let to_network d =
+  let fresh = ref 0 in
+  let new_label () =
+    let l = !fresh in
+    incr fresh;
+    l
+  in
+  let legs : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  let leg_of v =
+    match Hashtbl.find_opt legs v with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.replace legs v r;
+        r
+  in
+  let connectors = ref [] in
+  (* Assign labels per edge instance. *)
+  let vertices = Diagram.vertices d in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun (w, (s, h)) ->
+          if w >= v then begin
+            for _ = 1 to s do
+              if v = w then begin
+                (* simple self-loop: two legs tied by an identity *)
+                let l1 = new_label () and l2 = new_label () in
+                leg_of v := l2 :: l1 :: !(leg_of v);
+                connectors := id_tensor l1 l2 :: !connectors
+              end
+              else if Diagram.kind d v = Diagram.Boundary && Diagram.kind d w = Diagram.Boundary
+              then begin
+                (* a bare boundary-boundary wire: no spider carries its
+                   label, so materialise an identity tensor *)
+                let l1 = new_label () and l2 = new_label () in
+                leg_of v := l1 :: !(leg_of v);
+                leg_of w := l2 :: !(leg_of w);
+                connectors := id_tensor l1 l2 :: !connectors
+              end
+              else begin
+                let l = new_label () in
+                leg_of v := l :: !(leg_of v);
+                leg_of w := l :: !(leg_of w)
+              end
+            done;
+            for _ = 1 to h do
+              let l1 = new_label () and l2 = new_label () in
+              leg_of v := l1 :: !(leg_of v);
+              leg_of w := l2 :: !(leg_of w);
+              connectors := h_tensor l1 l2 :: !connectors
+            done
+          end)
+        (Diagram.neighbors d v))
+    vertices;
+  let spider_tensors =
+    List.filter_map
+      (fun v ->
+        match Diagram.kind d v with
+        | Diagram.Boundary -> None
+        | Diagram.Z ->
+            Some
+              (z_spider_tensor
+                 ~legs:(Array.of_list !(leg_of v))
+                 ~phase:(Diagram.phase d v))
+        | Diagram.X ->
+            (* conjugate every leg by H *)
+            let leg_list = !(leg_of v) in
+            let inner = List.map (fun _ -> new_label ()) leg_list in
+            let z =
+              z_spider_tensor ~legs:(Array.of_list inner) ~phase:(Diagram.phase d v)
+            in
+            let hs = List.map2 (fun outer i -> h_tensor outer i) leg_list inner in
+            Some (List.fold_left Tensor.contract z hs))
+      vertices
+  in
+  let port_label v =
+    match !(leg_of v) with
+    | [ l ] -> l
+    | _ -> failwith "Eval: boundary vertex without exactly one leg"
+  in
+  let input_labels = Array.map port_label (Diagram.inputs d) in
+  let output_labels = Array.map port_label (Diagram.outputs d) in
+  (Network.of_list (spider_tensors @ !connectors), input_labels, output_labels)
+
+let to_matrix d =
+  let net, input_labels, output_labels = to_network d in
+  let result, _stats = Network.contract_all ~plan:Network.Greedy net in
+  let n_out = Array.length output_labels and n_in = Array.length input_labels in
+  let order =
+    Array.append
+      (Array.init n_out (fun k -> output_labels.(n_out - 1 - k)))
+      (Array.init n_in (fun k -> input_labels.(n_in - 1 - k)))
+  in
+  let flat = Tensor.to_vec result ~order in
+  let rows = 1 lsl n_out and cols = 1 lsl n_in in
+  Mat.init rows cols (fun r c -> Vec.get flat ((r * cols) + c))
+
+let to_matrix_exact d = Mat.scale (Diagram.scalar d) (to_matrix d)
+
+let to_vector d =
+  if Array.length (Diagram.inputs d) <> 0 then
+    invalid_arg "Eval.to_vector: diagram has inputs";
+  let m = to_matrix d in
+  Vec.init (Mat.rows m) (fun k -> Mat.get m k 0)
+
+let proportional ?(eps = 1e-7) a b =
+  Mat.rows a = Mat.rows b && Mat.cols a = Mat.cols b
+  &&
+  (* find the largest entry of a *)
+  let pr = ref 0 and pc = ref 0 and best = ref 0.0 in
+  for r = 0 to Mat.rows a - 1 do
+    for c = 0 to Mat.cols a - 1 do
+      let m = Cx.norm2 (Mat.get a r c) in
+      if m > !best then begin
+        best := m;
+        pr := r;
+        pc := c
+      end
+    done
+  done;
+  if !best < eps *. eps then
+    (* a ≈ 0: proportional iff b ≈ 0 *)
+    Mat.approx_equal ~eps b (Mat.create (Mat.rows b) (Mat.cols b))
+  else if Cx.norm2 (Mat.get b !pr !pc) < 1e-20 then false
+  else
+    let factor = Cx.div (Mat.get a !pr !pc) (Mat.get b !pr !pc) in
+    Mat.approx_equal ~eps a (Mat.scale factor b)

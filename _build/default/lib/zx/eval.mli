@@ -1,0 +1,30 @@
+(** Evaluating ZX-diagrams to matrices, through the tensor-network
+    backend — the cross-validation bridge between Sections IV and V.
+
+    Every spider becomes a tensor ([Z(α)] has entries 1 at [0…0] and
+    [e^{iα}] at [1…1]; an X spider is the same conjugated by Hadamards on
+    every leg), every Hadamard edge an H matrix, and the diagram is
+    contracted.  Feasible for small diagrams only.
+
+    Scalars: the rewrite engine tracks the global scalar exactly
+    ({!Diagram.scalar}), so {!to_matrix_exact} equals the represented
+    unitary including its global phase; {!proportional} remains for
+    comparisons of hand-built diagrams. *)
+
+(** [to_matrix d] — the tensor of [d]'s graph, rows indexed by outputs
+    (output port [q] = bit [q]), columns by inputs.  The tracked global
+    scalar is {e not} applied; see {!to_matrix_exact}. *)
+val to_matrix : Diagram.t -> Qdt_linalg.Mat.t
+
+(** [to_matrix_exact d] — [scalar d · to_matrix d]: for diagrams produced
+    by {!Translate.of_circuit} (and rewritten by {!Simplify}), this is
+    the circuit's unitary {e exactly}, global phase included. *)
+val to_matrix_exact : Diagram.t -> Qdt_linalg.Mat.t
+
+(** [to_vector d] — for diagrams with no inputs (states): the output
+    state vector. *)
+val to_vector : Diagram.t -> Qdt_linalg.Vec.t
+
+(** [proportional ?eps a b] — [a = c·b] for some [c ≠ 0]; equality of
+    diagrams up to the untracked global scalar. *)
+val proportional : ?eps:float -> Qdt_linalg.Mat.t -> Qdt_linalg.Mat.t -> bool

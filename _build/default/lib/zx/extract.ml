@@ -1,0 +1,352 @@
+open Qdt_circuit
+
+exception Extraction_failed of string
+
+let fail msg = raise (Extraction_failed msg)
+
+(* Gates are collected back-to-front: each newly peeled gate is *earlier*
+   in the final circuit than everything collected so far, so we prepend. *)
+
+let extract original =
+  let d = Diagram.copy original in
+  if not (Rules.is_graph_like d) then Rules.to_graph_like d;
+  let outputs = Diagram.outputs d in
+  let inputs = Diagram.inputs d in
+  let n = Array.length outputs in
+  if Array.length inputs <> n then fail "diagram is not a unitary (arity mismatch)";
+  let input_port = Hashtbl.create 8 in
+  Array.iteri (fun p v -> Hashtbl.replace input_port v p) inputs;
+  let is_input v = Hashtbl.mem input_port v in
+  let is_output v = Array.exists (( = ) v) outputs in
+  let acc = ref [] in
+  let emit instr = acc := instr :: !acc in
+  (* frontier.(q): either the spider currently on wire q, or the input
+     boundary vertex once the wire is fully extracted. *)
+  let frontier = Array.make n (-1) in
+  Array.iteri
+    (fun q out ->
+      match Diagram.neighbors d out with
+      | [ (w, (1, 0)) ] -> frontier.(q) <- w
+      | [ (w, (0, 1)) ] ->
+          (* Hadamard on the output wire: emit H, make the edge plain. *)
+          emit (Circuit.Apply { gate = Gate.H; controls = []; target = q });
+          Diagram.disconnect_one d out w Diagram.Had;
+          Diagram.connect d out w Diagram.Simple;
+          frontier.(q) <- w
+      | _ -> fail "output boundary is not a single wire")
+    outputs;
+  let qubit_of = Hashtbl.create 8 in
+  let refresh_qubit_of () =
+    Hashtbl.reset qubit_of;
+    Array.iteri (fun q v -> Hashtbl.replace qubit_of v q) frontier
+  in
+  refresh_qubit_of ();
+
+  let extract_phases_and_czs () =
+    Array.iteri
+      (fun q v ->
+        if not (is_input v) then begin
+          let p = Diagram.phase d v in
+          if not (Phase.is_zero p) then begin
+            emit
+              (Circuit.Apply
+                 { gate = Gate.Phase (Phase.to_radians p); controls = []; target = q });
+            Diagram.set_phase d v Phase.zero
+          end
+        end)
+      frontier;
+    (* CZ for every H edge inside the frontier *)
+    for qa = 0 to n - 1 do
+      for qb = qa + 1 to n - 1 do
+        let va = frontier.(qa) and vb = frontier.(qb) in
+        if va <> vb && (not (is_input va)) && not (is_input vb) then begin
+          let _, h = Diagram.edge_counts d va vb in
+          if h > 0 then begin
+            Diagram.disconnect_one d va vb Diagram.Had;
+            emit (Circuit.Apply { gate = Gate.Z; controls = [ qa ]; target = qb })
+          end
+        end
+      done
+    done
+  in
+
+  let interior_neighbors v =
+    List.filter_map
+      (fun (w, _) ->
+        if is_input w || is_output w || Hashtbl.mem qubit_of w then None else Some w)
+      (Diagram.neighbors d v)
+  in
+
+  let debug = Sys.getenv_opt "QDT_EXTRACT_DEBUG" <> None in
+  let progress = ref true in
+  while
+    !progress
+    && Array.exists (fun v -> (not (is_input v)) && interior_neighbors v <> []) frontier
+  do
+    extract_phases_and_czs ();
+    refresh_qubit_of ();
+    if debug then begin
+      Printf.eprintf "frontier:";
+      Array.iteri (fun q v -> Printf.eprintf " q%d=%d(%s)" q v
+        (if is_input v then "IN" else String.concat "," (List.map string_of_int (interior_neighbors v)))) frontier;
+      prerr_newline ()
+    end;
+    (* Collect the interior neighbourhood and build the GF(2) biadjacency. *)
+    let cols = Hashtbl.create 16 in
+    let col_list = ref [] in
+    Array.iter
+      (fun v ->
+        if not (is_input v) then
+          List.iter
+            (fun w ->
+              if not (Hashtbl.mem cols w) then begin
+                Hashtbl.replace cols w (List.length !col_list);
+                col_list := !col_list @ [ w ]
+              end)
+            (interior_neighbors v))
+      frontier;
+    let cols_arr = Array.of_list !col_list in
+    let ncols = Array.length cols_arr in
+    if ncols = 0 then progress := false
+    else begin
+      let m = Array.make_matrix n ncols false in
+      Array.iteri
+        (fun q v ->
+          if not (is_input v) then
+            List.iter
+              (fun w -> m.(q).(Hashtbl.find cols w) <- true)
+              (interior_neighbors v))
+        frontier;
+      (* Gauss-Jordan elimination; each row operation row_t ^= row_s is a
+         CNOT(control = qubit s, target = qubit t) pushed into the circuit
+         and mirrored on the diagram. *)
+      let row_ops = ref [] in
+      let row_add src dst =
+        for c = 0 to ncols - 1 do
+          m.(dst).(c) <- m.(dst).(c) <> m.(src).(c)
+        done;
+        row_ops := (src, dst) :: !row_ops
+      in
+      (* Pivots stay where they are, and — crucially — a pivot row's
+         frontier vertex must not hold an input edge: the CNOT realising a
+         row operation also XORs the source's input connectivity, which
+         the matrix does not model.  Columns whose only candidate rows are
+         input-adjacent are left alone. *)
+      let clean_row =
+        Array.map
+          (fun v ->
+            (not (is_input v))
+            && not (List.exists (fun (w, _) -> is_input w) (Diagram.neighbors d v)))
+          frontier
+      in
+      let used = Array.make n false in
+      for col = 0 to ncols - 1 do
+        let pivot = ref (-1) in
+        for r = n - 1 downto 0 do
+          if (not used.(r)) && clean_row.(r) && m.(r).(col) then pivot := r
+        done;
+        if !pivot >= 0 then begin
+          used.(!pivot) <- true;
+          for r = 0 to n - 1 do
+            if r <> !pivot && m.(r).(col) then row_add !pivot r
+          done
+        end
+      done;
+      (* Mirror the row operations on the diagram: row_t ^= row_s toggles
+         the H edges between frontier t and the interior neighbours of
+         frontier s — which is exactly what the matrix already records, so
+         rewrite the frontier-interior edges wholesale from [m]. *)
+      Array.iteri
+        (fun q v ->
+          if not (is_input v) then begin
+            List.iter (fun w -> Diagram.remove_all_edges d v w) (interior_neighbors v);
+            for c = 0 to ncols - 1 do
+              if m.(q).(c) then Diagram.connect d v cols_arr.(c) Diagram.Had
+            done
+          end)
+        frontier;
+      (* Peeling happens in recording order: emit o1 first so that o1 ends
+         up latest in the final circuit.  A CNOT with control a and target
+         b pushed through the frontier adds row b into row a, so the row
+         operation dst ^= src is CNOT(control = dst, target = src). *)
+      List.iter
+        (fun (src, dst) ->
+          emit (Circuit.Apply { gate = Gate.X; controls = [ dst ]; target = src }))
+        (List.rev !row_ops);
+      (* Extract every frontier row with a single interior neighbour. *)
+      let extracted_any = ref false in
+      let replaceable v =
+        (not (is_input v))
+        && Phase.is_zero (Diagram.phase d v)
+        && not (List.exists (fun (w, _) -> is_input w) (Diagram.neighbors d v))
+      in
+      let try_extract q =
+        let v = frontier.(q) in
+        if replaceable v then begin
+          match interior_neighbors v with
+          | [ w ] ->
+              let other_frontier_edges =
+                List.filter
+                  (fun (u, _) -> Hashtbl.mem qubit_of u && u <> v)
+                  (Diagram.neighbors d v)
+              in
+              if other_frontier_edges = [] then begin
+                (* v sits between output wire q and w via an H edge: replace
+                   v by w and emit the H. *)
+                let out = outputs.(q) in
+                Diagram.remove_all_edges d v w;
+                Diagram.remove_all_edges d v out;
+                Diagram.remove_vertex d v;
+                Diagram.connect d out w Diagram.Simple;
+                emit (Circuit.Apply { gate = Gate.H; controls = []; target = q });
+                frontier.(q) <- w;
+                Hashtbl.remove qubit_of v;
+                Hashtbl.replace qubit_of w q;
+                extracted_any := true
+              end
+          | _ -> ()
+        end
+      in
+      for q = 0 to n - 1 do
+        try_extract q
+      done;
+      if not !extracted_any then begin
+        (* Unblocking pass: a wire whose frontier vertex still holds an
+           input edge can never advance by replacement, but its row can be
+           added into a replaceable wire's row whenever the XOR has weight
+           one; extract there. *)
+        let weight row = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 row in
+        (try
+           for dst = 0 to n - 1 do
+             if replaceable frontier.(dst) then
+               for src = 0 to n - 1 do
+                 if src <> dst && clean_row.(src) && weight m.(src) > 0 then begin
+                   let combined =
+                     Array.init ncols (fun c -> m.(dst).(c) <> m.(src).(c))
+                   in
+                   if weight combined = 1 then begin
+                     row_add src dst;
+                     emit
+                       (Circuit.Apply { gate = Gate.X; controls = [ dst ]; target = src });
+                     (* re-sync dst's graph edges with its new row *)
+                     let v = frontier.(dst) in
+                     List.iter
+                       (fun w -> Diagram.remove_all_edges d v w)
+                       (interior_neighbors v);
+                     for c = 0 to ncols - 1 do
+                       if m.(dst).(c) then Diagram.connect d v cols_arr.(c) Diagram.Had
+                     done;
+                     try_extract dst;
+                     if !extracted_any then raise Exit
+                   end
+                 end
+               done
+           done
+         with Exit -> ())
+      end;
+      if not !extracted_any then begin
+        (* Phase gadgets block the frontier (Toffoli-style diagrams): find a
+           frontier vertex v and an interior Pauli-phase neighbour w whose
+           neighbours are all spiders, split v's output wire so v becomes
+           interior, and pivot the pair away. *)
+        let gadget_pivot =
+          let found = ref None in
+          Array.iteri
+            (fun q v ->
+              if
+                !found = None
+                && (not (is_input v))
+                && Phase.is_zero (Diagram.phase d v)
+                && not (List.exists (fun (u, _) -> is_input u) (Diagram.neighbors d v))
+              then
+                List.iter
+                  (fun w ->
+                    if
+                      !found = None
+                      && Phase.is_pauli (Diagram.phase d w)
+                      && List.for_all
+                           (fun (u, _) -> Diagram.kind d u <> Diagram.Boundary)
+                           (Diagram.neighbors d w)
+                    then found := Some (q, v, w))
+                  (interior_neighbors v))
+            frontier;
+          !found
+        in
+        match gadget_pivot with
+        | Some (q, v, w) ->
+            let out = outputs.(q) in
+            (* out –– v   becomes   out –– a =H= b =H= v  (an identity) *)
+            let a = Diagram.add_vertex d Diagram.Z Phase.zero in
+            let b = Diagram.add_vertex d Diagram.Z Phase.zero in
+            Diagram.remove_all_edges d out v;
+            Diagram.connect d out a Diagram.Simple;
+            Diagram.connect d a b Diagram.Had;
+            Diagram.connect d b v Diagram.Had;
+            Rules.pivot_about d v w;
+            frontier.(q) <- a;
+            refresh_qubit_of ()
+        | None ->
+            if debug then begin
+              Printf.eprintf "STALL. diagram:\n%s\n" (Format.asprintf "%a" Diagram.pp d)
+            end;
+            progress := false
+      end
+    end
+  done;
+  if Array.exists (fun v -> (not (is_input v)) && interior_neighbors v <> []) frontier
+  then fail "no extractable vertex found (diagram has no causal flow?)";
+  (* Final frontier cleanup: remaining phases and CZs. *)
+  extract_phases_and_czs ();
+  (* Each wire now ends in either the input boundary itself (bare wire) or
+     a spider connected to exactly one input. *)
+  let inp_of_wire = Array.make n (-1) in
+  Array.iteri
+    (fun q v ->
+      if is_input v then inp_of_wire.(q) <- Hashtbl.find input_port v
+      else begin
+        match
+          List.filter (fun (w, _) -> is_input w) (Diagram.neighbors d v)
+        with
+        | [ (w, (s, h)) ] ->
+            if s + h <> 1 then fail "input wire multiplicity";
+            (* the spider itself is an identity once phase-free; the edge
+               from spider to input may be plain or Hadamard, and the edge
+               from spider to output is plain *)
+            if h = 1 then emit (Circuit.Apply { gate = Gate.H; controls = []; target = q });
+            (* check the spider has no other connections *)
+            List.iter
+              (fun (u, _) ->
+                if u <> w && not (is_output u) then
+                  fail "leftover connectivity at the input frontier")
+              (Diagram.neighbors d v);
+            inp_of_wire.(q) <- Hashtbl.find input_port w
+        | [] -> fail "wire disconnected from the inputs"
+        | _ -> fail "frontier vertex touches several inputs"
+      end)
+    frontier;
+  (* Wire q carries input port inp_of_wire.(q): prepend the permutation as
+     swaps (cycle decomposition). *)
+  let perm = Array.copy inp_of_wire in
+  Array.iteri
+    (fun q p -> if p < 0 then fail (Printf.sprintf "wire %d unmatched" q) |> ignore)
+    perm;
+  (* realise: start from identity placement; swap until position q holds p=q *)
+  let current = Array.copy perm in
+  for q = 0 to n - 1 do
+    if current.(q) <> q then begin
+      (* find where q currently sits *)
+      let j = ref (-1) in
+      Array.iteri (fun k p -> if p = q then j := k) current;
+      if !j < 0 then fail "invalid permutation";
+      emit (Circuit.Swap { controls = []; a = q; b = !j });
+      let tmp = current.(q) in
+      current.(q) <- current.(!j);
+      current.(!j) <- tmp
+    end
+  done;
+  List.fold_left (fun c instr -> Circuit.add instr c) (Circuit.empty n) !acc
+
+let optimize_circuit c =
+  let d = Translate.of_circuit c in
+  ignore (Simplify.full_reduce d);
+  extract d

@@ -1,0 +1,24 @@
+(** Circuit extraction from graph-like ZX-diagrams.
+
+    The back-to-front frontier algorithm of Duncan, Kissinger, Perdrix &
+    van de Wetering (ref [38] of the paper): peel phases and CZs off the
+    frontier, then use GF(2) Gaussian elimination on the
+    frontier/neighbour biadjacency matrix — each row operation is a CNOT
+    — until a neighbour can be pulled onto a wire.  Diagrams produced by
+    reducing circuit translations have gflow, so extraction succeeds on
+    them; arbitrary diagrams may not.
+
+    The extracted circuit equals the diagram's map up to global scalar. *)
+
+exception Extraction_failed of string
+
+(** [extract d] — a circuit over {CZ, CX, H, phase gates, SWAP}.
+    [d] must be graph-like (run {!Rules.to_graph_like} or a simplifier
+    first); it is not modified (extraction works on a copy).
+    @raise Extraction_failed when no gflow-compatible step exists. *)
+val extract : Diagram.t -> Qdt_circuit.Circuit.t
+
+(** [optimize_circuit c] — the full ZX optimization pipeline: translate,
+    fully reduce, extract back.  The result realises the same unitary up
+    to global phase, usually with fewer T gates. *)
+val optimize_circuit : Qdt_circuit.Circuit.t -> Qdt_circuit.Circuit.t

@@ -1,0 +1,85 @@
+(* Rational phases are stored as num/den in units of π with
+   0 ≤ num < 2·den and gcd(num, den) = 1. *)
+type t =
+  | Rat of int * int
+  | Irr of float
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let normalise num den =
+  if den = 0 then invalid_arg "Phase.of_rational: zero denominator";
+  let num, den = if den < 0 then (-num, -den) else (num, den) in
+  let modulus = 2 * den in
+  let num = ((num mod modulus) + modulus) mod modulus in
+  if num = 0 then Rat (0, 1)
+  else
+    let g = gcd num den in
+    Rat (num / g, den / g)
+
+let zero = Rat (0, 1)
+let pi = Rat (1, 1)
+let half_pi = Rat (1, 2)
+let quarter_pi = Rat (1, 4)
+let of_rational num den = normalise num den
+
+let two_pi = 2.0 *. Float.pi
+
+let of_radians theta =
+  let r = theta /. Float.pi in
+  let max_den = 96 in
+  let rec try_den d =
+    if d > max_den then
+      let m = Float.rem theta two_pi in
+      Irr (if m < 0.0 then m +. two_pi else m)
+    else
+      let scaled = r *. Float.of_int d in
+      let rounded = Float.round scaled in
+      if Float.abs (scaled -. rounded) < 1e-9 && Float.abs rounded < 1e9 then
+        normalise (int_of_float rounded) d
+      else try_den (d + 1)
+  in
+  try_den 1
+
+let to_radians = function
+  | Rat (num, den) -> Float.pi *. Float.of_int num /. Float.of_int den
+  | Irr theta -> theta
+
+let add a b =
+  match (a, b) with
+  | Rat (n1, d1), Rat (n2, d2) -> normalise ((n1 * d2) + (n2 * d1)) (d1 * d2)
+  | _ -> of_radians (to_radians a +. to_radians b)
+
+let neg = function
+  | Rat (num, den) -> normalise (-num) den
+  | Irr theta -> Irr (two_pi -. theta)
+
+let sub a b = add a (neg b)
+
+let equal a b =
+  match (a, b) with
+  | Rat (n1, d1), Rat (n2, d2) -> n1 = n2 && d1 = d2
+  | _ ->
+      let d = Float.abs (to_radians a -. to_radians b) in
+      let d = Float.rem d two_pi in
+      d < 1e-9 || two_pi -. d < 1e-9
+
+let is_zero t = equal t zero
+let is_pi = function Rat (1, 1) -> true | _ -> false
+let is_pauli = function Rat (0, 1) | Rat (1, 1) -> true | _ -> false
+let is_proper_clifford = function Rat (1, 2) | Rat (3, 2) -> true | _ -> false
+
+let is_clifford = function
+  | Rat (_, 1) | Rat (_, 2) -> true
+  | Rat _ | Irr _ -> false
+
+let is_t_like = function Rat (_, 4) -> true | _ -> false
+
+let pp ppf = function
+  | Rat (0, 1) -> Format.pp_print_string ppf "0"
+  | Rat (1, 1) -> Format.pp_print_string ppf "π"
+  | Rat (num, 1) -> Format.fprintf ppf "%dπ" num
+  | Rat (1, den) -> Format.fprintf ppf "π/%d" den
+  | Rat (num, den) -> Format.fprintf ppf "%dπ/%d" num den
+  | Irr theta -> Format.fprintf ppf "%.6f" theta
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,48 @@
+(** Spider phases: multiples of π, exact where possible.
+
+    The ZX rewrite rules dispatch on exact phase classes — local
+    complementation needs ±π/2, pivoting needs 0/π, T-counting needs odd
+    multiples of π/4 — so phases are kept as exact rationals whenever the
+    angle is a rational multiple of π (denominator ≤ 96); arbitrary
+    angles fall back to a float that still participates in addition. *)
+
+type t
+
+val zero : t
+val pi : t
+val half_pi : t
+val quarter_pi : t
+
+(** [of_rational num den] is [num·π/den] (normalised mod 2π, gcd-reduced).
+    @raise Invalid_argument if [den = 0]. *)
+val of_rational : int -> int -> t
+
+(** [of_radians theta] snaps to a rational multiple of π when one with
+    denominator ≤ 96 matches within [1e-9]; otherwise stores the float. *)
+val of_radians : float -> t
+
+val to_radians : t -> float
+val add : t -> t -> t
+val neg : t -> t
+val sub : t -> t -> t
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+(** [is_pi t] — exactly π. *)
+val is_pi : t -> bool
+
+(** [is_pauli t] — 0 or π (the pivot-rule precondition). *)
+val is_pauli : t -> bool
+
+(** [is_proper_clifford t] — ±π/2 (the local-complementation
+    precondition). *)
+val is_proper_clifford : t -> bool
+
+(** [is_clifford t] — a multiple of π/2. *)
+val is_clifford : t -> bool
+
+(** [is_t_like t] — an odd multiple of π/4 (counts toward T-count). *)
+val is_t_like : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,363 @@
+(* Rewrites preserve semantics up to global scalar; see Diagram's doc. *)
+
+let is_spider d v = Diagram.kind d v <> Diagram.Boundary
+
+(* ------------------------------------------------------------------ *)
+(* Colour change: make every spider green                              *)
+(* ------------------------------------------------------------------ *)
+
+let color_change_to_z d =
+  let xs = List.filter (fun v -> Diagram.kind d v = Diagram.X) (Diagram.vertices d) in
+  let x_set = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace x_set v ()) xs;
+  (* An edge (v,w) toggles kind once per X endpoint; self-loops toggle
+     twice, i.e. stay. *)
+  let edges = ref [] in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun (w, counts) -> if w >= v then edges := (v, w, counts) :: !edges)
+        (Diagram.neighbors d v))
+    (Diagram.vertices d);
+  List.iter
+    (fun (v, w, (s, h)) ->
+      let flips =
+        (if Hashtbl.mem x_set v then 1 else 0) + (if Hashtbl.mem x_set w then 1 else 0)
+      in
+      if v <> w && flips mod 2 = 1 then begin
+        Diagram.remove_all_edges d v w;
+        for _ = 1 to s do
+          Diagram.connect d v w Diagram.Had
+        done;
+        for _ = 1 to h do
+          Diagram.connect d v w Diagram.Simple
+        done
+      end)
+    !edges;
+  List.iter (fun v -> Diagram.set_kind d v Diagram.Z) xs
+
+(* ------------------------------------------------------------------ *)
+(* Fusion and normalisation                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Fuse w into v along one plain edge (both Z spiders). *)
+let fuse_pair d v w =
+  Diagram.add_phase d v (Diagram.phase d w);
+  let s_vw, h_vw = Diagram.edge_counts d v w in
+  assert (s_vw >= 1);
+  (* The consumed edge disappears; remaining parallel edges between v and w
+     become self-loops on v. *)
+  let extra_simple = s_vw - 1 and extra_had = h_vw in
+  Diagram.remove_all_edges d v w;
+  List.iter
+    (fun (u, (s, h)) ->
+      if u <> v && u <> w then begin
+        Diagram.remove_all_edges d w u;
+        for _ = 1 to s do
+          Diagram.connect d v u Diagram.Simple
+        done;
+        for _ = 1 to h do
+          Diagram.connect d v u Diagram.Had
+        done
+      end)
+    (Diagram.neighbors d w);
+  (* self-loops of w migrate to v *)
+  let s_ww, h_ww = Diagram.edge_counts d w w in
+  for _ = 1 to s_ww + extra_simple do
+    Diagram.connect d v v Diagram.Simple
+  done;
+  for _ = 1 to h_ww + extra_had do
+    Diagram.connect d v v Diagram.Had
+  done;
+  Diagram.remove_vertex d w
+
+let fuse_spiders d =
+  let fired = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let candidate =
+      List.find_opt
+        (fun v ->
+          is_spider d v
+          && List.exists
+               (fun (w, (s, _)) ->
+                 w <> v && s > 0 && is_spider d w
+                 && Diagram.kind d w = Diagram.kind d v)
+               (Diagram.neighbors d v))
+        (Diagram.vertices d)
+    in
+    match candidate with
+    | None -> ()
+    | Some v ->
+        let w, _ =
+          List.find
+            (fun (w, (s, _)) ->
+              w <> v && s > 0 && is_spider d w
+              && Diagram.kind d w = Diagram.kind d v)
+            (Diagram.neighbors d v)
+        in
+        fuse_pair d v w;
+        incr fired;
+        continue_ := true
+  done;
+  !fired
+
+let sqrt1_2_c = Qdt_linalg.Cx.of_float (1.0 /. Float.sqrt 2.0)
+let half_c = Qdt_linalg.Cx.of_float 0.5
+
+(* Self-loops: plain loops vanish (factor 1); each Hadamard loop adds π at
+   a 1/√2 tensor factor.  Parallel Hadamard edges between spiders cancel
+   mod 2 (Hopf), each removed pair being a tensor factor of 1/2.  Isolated
+   spiders evaluate to the scalar (1 + e^{iα}).  All factors are folded
+   into the diagram's tracked scalar, keeping the represented map exact. *)
+let resolve_loops_and_parallels d =
+  let changed = ref 0 in
+  List.iter
+    (fun v ->
+      if is_spider d v then begin
+        let s, h = Diagram.edge_counts d v v in
+        if s > 0 || h > 0 then begin
+          Diagram.remove_all_edges d v v;
+          if h mod 2 = 1 then Diagram.add_phase d v Phase.pi;
+          for _ = 1 to h do
+            Diagram.scale_scalar d sqrt1_2_c
+          done;
+          changed := !changed + s + h
+        end;
+        List.iter
+          (fun (w, (s, h)) ->
+            if w > v && is_spider d w && h > 1 then begin
+              Diagram.remove_all_edges d v w;
+              for _ = 1 to s do
+                Diagram.connect d v w Diagram.Simple
+              done;
+              if h mod 2 = 1 then Diagram.connect d v w Diagram.Had;
+              for _ = 1 to (h - (h mod 2)) / 2 do
+                Diagram.scale_scalar d half_c
+              done;
+              changed := !changed + (h - (h mod 2))
+            end)
+          (Diagram.neighbors d v)
+      end)
+    (Diagram.vertices d);
+  (* isolated spiders become scalars *)
+  List.iter
+    (fun v ->
+      if is_spider d v && Diagram.degree d v = 0 then begin
+        let alpha = Phase.to_radians (Diagram.phase d v) in
+        Diagram.scale_scalar d
+          (Qdt_linalg.Cx.add Qdt_linalg.Cx.one (Qdt_linalg.Cx.exp_i alpha));
+        Diagram.remove_vertex d v;
+        incr changed
+      end)
+    (Diagram.vertices d);
+  !changed
+
+let to_graph_like d =
+  color_change_to_z d;
+  let continue_ = ref true in
+  while !continue_ do
+    let a = fuse_spiders d in
+    let b = resolve_loops_and_parallels d in
+    continue_ := a + b > 0
+  done
+
+let is_graph_like d =
+  List.for_all
+    (fun v ->
+      match Diagram.kind d v with
+      | Diagram.X -> false
+      | Diagram.Boundary -> true
+      | Diagram.Z ->
+          List.for_all
+            (fun (w, (s, h)) ->
+              if w = v then false
+              else if is_spider d w then s = 0 && h <= 1
+              else true)
+            (Diagram.neighbors d v))
+    (Diagram.vertices d)
+
+(* ------------------------------------------------------------------ *)
+(* Identity removal                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let remove_identities d =
+  let fired = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let candidate =
+      List.find_opt
+        (fun v ->
+          is_spider d v
+          && Phase.is_zero (Diagram.phase d v)
+          && Diagram.degree d v = 2
+          && (let s, h = Diagram.edge_counts d v v in
+              s = 0 && h = 0))
+        (Diagram.vertices d)
+    in
+    match candidate with
+    | None -> ()
+    | Some v -> (
+        let incident =
+          List.concat_map
+            (fun (w, (s, h)) ->
+              List.init s (fun _ -> (w, Diagram.Simple))
+              @ List.init h (fun _ -> (w, Diagram.Had)))
+            (Diagram.neighbors d v)
+        in
+        match incident with
+        | [ (n1, k1); (n2, k2) ] ->
+            let combined =
+              if k1 = k2 then Diagram.Simple else Diagram.Had
+            in
+            Diagram.remove_vertex d v;
+            if n1 = n2 then begin
+              (* becomes a self-loop; resolve immediately *)
+              if combined = Diagram.Had && is_spider d n1 then begin
+                Diagram.add_phase d n1 Phase.pi;
+                Diagram.scale_scalar d sqrt1_2_c
+              end
+              (* plain self-loop: nothing *)
+            end
+            else Diagram.connect d n1 n2 combined;
+            ignore (resolve_loops_and_parallels d);
+            ignore (fuse_spiders d);
+            ignore (resolve_loops_and_parallels d);
+            incr fired;
+            continue_ := true
+        | _ -> ())
+  done;
+  !fired
+
+(* ------------------------------------------------------------------ *)
+(* Local complementation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let toggle_h_edge d a b =
+  let _, h = Diagram.edge_counts d a b in
+  if h > 0 then begin
+    (* removing an existing H edge is "add parallel + Hopf": tensor ×2,
+       so the tracked scalar halves *)
+    Diagram.disconnect_one d a b Diagram.Had;
+    Diagram.scale_scalar d half_c
+  end
+  else Diagram.connect d a b Diagram.Had
+
+let interior_spider_neighbors d v =
+  let ns = List.map fst (Diagram.neighbors d v) in
+  if List.for_all (fun w -> w <> v && is_spider d w) ns then Some ns else None
+
+let local_complementations d =
+  let fired = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let candidate =
+      List.find_opt
+        (fun v ->
+          is_spider d v
+          && Phase.is_proper_clifford (Diagram.phase d v)
+          && interior_spider_neighbors d v <> None)
+        (Diagram.vertices d)
+    in
+    match candidate with
+    | None -> ()
+    | Some v ->
+        let ns = Option.get (interior_spider_neighbors d v) in
+        let minus_alpha = Phase.neg (Diagram.phase d v) in
+        (* base scalar of local complementation: e^{±iπ/4}·√2^{(d−1)(d−2)/2}
+           (edge removals add their own Hopf halves via toggle_h_edge) *)
+        let deg = List.length ns in
+        let eps = if Phase.equal (Diagram.phase d v) Phase.half_pi then 1.0 else -1.0 in
+        Diagram.scale_scalar d
+          (Qdt_linalg.Cx.mul
+             (Qdt_linalg.Cx.exp_i (eps *. Float.pi /. 4.0))
+             (Qdt_linalg.Cx.of_float
+                (Float.pow (Float.sqrt 2.0) (Float.of_int ((deg - 1) * (deg - 2) / 2)))));
+        let rec pairs = function
+          | [] -> ()
+          | a :: rest ->
+              List.iter (fun b -> toggle_h_edge d a b) rest;
+              pairs rest
+        in
+        pairs ns;
+        List.iter (fun a -> Diagram.add_phase d a minus_alpha) ns;
+        Diagram.remove_vertex d v;
+        incr fired;
+        continue_ := true
+  done;
+  !fired
+
+(* ------------------------------------------------------------------ *)
+(* Pivoting                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Pivot about the H edge (u, v); both must be interior Z spiders with
+   Pauli phase.  Exposed for the extraction routine, which uses it to
+   eliminate phase gadgets blocking the frontier. *)
+let pivot_about d u v =
+  let nu = List.map fst (Diagram.neighbors d u) |> List.filter (( <> ) v) in
+  let nv = List.map fst (Diagram.neighbors d v) |> List.filter (( <> ) u) in
+  let mem x l = List.mem x l in
+  let common = List.filter (fun x -> mem x nv) nu in
+  let only_u = List.filter (fun x -> not (mem x nv)) nu in
+  let only_v = List.filter (fun x -> not (mem x nu)) nv in
+  (* base scalar of the pivot (edge removals add Hopf halves separately):
+     (−1)^{[p_u=π]·[p_v=π]} · √2^{ab+ac+bc−a−b−2c+1} for a = |A\B|,
+     b = |B\A|, c = |A∩B| — calibrated against exact tensor evaluation *)
+  let a = List.length only_u and b = List.length only_v and c = List.length common in
+  let e = (a * b) + (a * c) + (b * c) - a - b - (2 * c) + 1 in
+  let sign =
+    if Phase.is_pi (Diagram.phase d u) && Phase.is_pi (Diagram.phase d v) then -1.0
+    else 1.0
+  in
+  Diagram.scale_scalar d
+    (Qdt_linalg.Cx.of_float (sign *. Float.pow (Float.sqrt 2.0) (Float.of_int e)));
+  List.iter (fun a -> List.iter (fun b -> toggle_h_edge d a b) only_v) only_u;
+  List.iter (fun a -> List.iter (fun c -> toggle_h_edge d a c) common) only_u;
+  List.iter (fun b -> List.iter (fun c -> toggle_h_edge d b c) common) only_v;
+  let pu = Diagram.phase d u and pv = Diagram.phase d v in
+  List.iter (fun a -> Diagram.add_phase d a pv) only_u;
+  List.iter (fun b -> Diagram.add_phase d b pu) only_v;
+  List.iter
+    (fun c -> Diagram.add_phase d c (Phase.add (Phase.add pu pv) Phase.pi))
+    common;
+  Diagram.remove_vertex d u;
+  Diagram.remove_vertex d v
+
+let pivots d =
+  let fired = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    (* find an interior H-edge whose endpoints both carry Pauli phases *)
+    let candidate =
+      List.find_map
+        (fun u ->
+          if
+            is_spider d u
+            && Phase.is_pauli (Diagram.phase d u)
+            && interior_spider_neighbors d u <> None
+          then
+            List.find_map
+              (fun (v, (_, h)) ->
+                if
+                  h > 0 && v <> u && is_spider d v
+                  && Phase.is_pauli (Diagram.phase d v)
+                  && interior_spider_neighbors d v <> None
+                then Some (u, v)
+                else None)
+              (Diagram.neighbors d u)
+          else None)
+        (Diagram.vertices d)
+    in
+    match candidate with
+    | None -> ()
+    | Some (u, v) ->
+        pivot_about d u v;
+        incr fired;
+        continue_ := true
+  done;
+  !fired

@@ -1,0 +1,41 @@
+(** ZX rewrite rules.
+
+    The graph-like normal form and the rewrite set of Duncan, Kissinger,
+    Perdrix & van de Wetering (ref [38] of the paper): spider fusion,
+    colour change, identity removal, local complementation and pivoting.
+    Every rule preserves the diagram's linear map {e exactly}: the tensor
+    factor it introduces (Hopf halves, lcomp/pivot powers of √2 and
+    eighth-root phases — calibrated against tensor evaluation) is folded
+    into {!Diagram.scalar}.
+
+    All functions mutate their argument; counters report how many rule
+    instances fired. *)
+
+(** [to_graph_like d] — turn every X spider green (toggling incident edge
+    kinds), fuse along plain edges, and resolve self-loops and parallel
+    edges.  Afterwards: only Z spiders, single Hadamard edges between
+    distinct spiders, no self-loops. *)
+val to_graph_like : Diagram.t -> unit
+
+(** [is_graph_like d] checks the above invariant. *)
+val is_graph_like : Diagram.t -> bool
+
+(** [fuse_spiders d] — merge plain-edge-connected same-colour spiders. *)
+val fuse_spiders : Diagram.t -> int
+
+(** [remove_identities d] — drop phase-0 arity-2 Z spiders, composing
+    their two edge kinds ([–H–H– = –]).  Requires graph-like [d]. *)
+val remove_identities : Diagram.t -> int
+
+(** [local_complementations d] — eliminate interior ±π/2 spiders by local
+    complementation.  Requires graph-like [d]. *)
+val local_complementations : Diagram.t -> int
+
+(** [pivots d] — eliminate interior Pauli-phase (0/π) spider pairs by
+    pivoting along their connecting edge.  Requires graph-like [d]. *)
+val pivots : Diagram.t -> int
+
+(** [pivot_about d u v] — pivot about the Hadamard edge (u,v); both must
+    be interior Z spiders with Pauli (0/π) phases.  Used by circuit
+    extraction to clear phase gadgets off the frontier. *)
+val pivot_about : Diagram.t -> int -> int -> unit

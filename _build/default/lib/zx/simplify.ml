@@ -1,0 +1,92 @@
+type report = {
+  fusions : int;
+  identities : int;
+  local_complementations : int;
+  pivots : int;
+  rounds : int;
+}
+
+let interior_clifford_simp d =
+  Rules.to_graph_like d;
+  let fusions = ref 0
+  and identities = ref 0
+  and lcomps = ref 0
+  and pivs = ref 0
+  and rounds = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    incr rounds;
+    let i = Rules.remove_identities d in
+    let l = Rules.local_complementations d in
+    let f1 = Rules.fuse_spiders d in
+    let p = Rules.pivots d in
+    let f2 = Rules.fuse_spiders d in
+    Rules.to_graph_like d;
+    identities := !identities + i;
+    lcomps := !lcomps + l;
+    pivs := !pivs + p;
+    fusions := !fusions + f1 + f2;
+    continue_ := i + l + p > 0
+  done;
+  {
+    fusions = !fusions;
+    identities = !identities;
+    local_complementations = !lcomps;
+    pivots = !pivs;
+    rounds = !rounds;
+  }
+
+let full_reduce = interior_clifford_simp
+
+let t_count d =
+  List.length
+    (List.filter (fun v -> not (Phase.is_clifford (Diagram.phase d v))) (Diagram.spiders d))
+
+let clifford_spider_count d =
+  List.length
+    (List.filter (fun v -> Phase.is_clifford (Diagram.phase d v)) (Diagram.spiders d))
+
+let wire_targets d =
+  (* For each input: the vertex at the other end of its wire and whether
+     the edge is plain. *)
+  let ins = Diagram.inputs d in
+  Array.map
+    (fun i ->
+      match Diagram.neighbors d i with
+      | [ (w, (1, 0)) ] -> Some (w, true)
+      | [ (w, (0, 1)) ] -> Some (w, false)
+      | _ -> None)
+    ins
+
+let is_identity_up_to_permutation d =
+  if Diagram.spiders d <> [] then None
+  else begin
+    let outs = Diagram.outputs d in
+    let out_port = Hashtbl.create 8 in
+    Array.iteri (fun q v -> Hashtbl.replace out_port v q) outs;
+    let targets = wire_targets d in
+    let n = Array.length targets in
+    if Array.length outs <> n then None
+    else begin
+      let perm = Array.make n (-1) in
+      let ok = ref true in
+      Array.iteri
+        (fun q target ->
+          match target with
+          | Some (w, true) -> (
+              match Hashtbl.find_opt out_port w with
+              | Some p -> perm.(q) <- p
+              | None -> ok := false)
+          | Some (_, false) | None -> ok := false)
+        targets;
+      if !ok && Array.for_all (fun p -> p >= 0) perm then Some perm else None
+    end
+  end
+
+let is_identity d =
+  match is_identity_up_to_permutation d with
+  | Some perm ->
+      let ok = ref true in
+      Array.iteri (fun q p -> if q <> p then ok := false) perm;
+      !ok
+  | None -> false

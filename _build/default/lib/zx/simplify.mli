@@ -1,0 +1,40 @@
+(** Simplification strategies (the "terminating rewriting procedure" of
+    Section V, after Duncan et al., ref [38]).
+
+    The driver normalises to graph-like form, then interleaves identity
+    removal, local complementation and pivoting until no rule fires.
+    Interior Clifford spiders are eliminated entirely, which is both the
+    T-count optimization of ref [39] (non-Clifford spiders are what
+    remains) and the equivalence-checking engine (an identity circuit
+    reduces to bare wires). *)
+
+type report = {
+  fusions : int;
+  identities : int;
+  local_complementations : int;
+  pivots : int;
+  rounds : int;
+}
+
+(** [interior_clifford_simp d] — mutates [d] to a fixpoint of the rule
+    set; returns what fired. *)
+val interior_clifford_simp : Diagram.t -> report
+
+(** [full_reduce d] — currently {!interior_clifford_simp} (the gadget
+    rules of ref [39] are future work; see DESIGN.md). *)
+val full_reduce : Diagram.t -> report
+
+(** [t_count d] — spiders with non-Clifford phase. *)
+val t_count : Diagram.t -> int
+
+(** [clifford_spider_count d] — interior spiders with Clifford phase. *)
+val clifford_spider_count : Diagram.t -> int
+
+(** [is_identity d] — [d] consists only of bare wires connecting input
+    [q] to output [q] with plain edges: the canonical witness of circuit
+    equivalence (up to global scalar). *)
+val is_identity : Diagram.t -> bool
+
+(** [is_identity_up_to_permutation d] — bare plain wires input→output,
+    but in any order; returns the permutation if so. *)
+val is_identity_up_to_permutation : Diagram.t -> int array option

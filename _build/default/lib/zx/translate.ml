@@ -1,0 +1,93 @@
+open Qdt_circuit
+
+type wire = { mutable vertex : int; mutable pending_h : bool }
+
+(* Append a fresh spider of [kind] on qubit [q]'s wire, consuming the
+   pending Hadamard, and make it the wire's new end. *)
+let append_spider d wires q kind phase =
+  let v = Diagram.add_vertex d kind phase in
+  let w = wires.(q) in
+  Diagram.connect d w.vertex v (if w.pending_h then Diagram.Had else Diagram.Simple);
+  w.vertex <- v;
+  w.pending_h <- false;
+  v
+
+let gate_phase gate =
+  match gate with
+  | Gate.Z | Gate.X -> Phase.pi
+  | Gate.S -> Phase.half_pi
+  | Gate.Sdg -> Phase.of_rational (-1) 2
+  | Gate.T -> Phase.quarter_pi
+  | Gate.Tdg -> Phase.of_rational (-1) 4
+  | Gate.Rz theta | Gate.Rx theta | Gate.Phase theta -> Phase.of_radians theta
+  | Gate.I -> Phase.zero
+  | _ -> invalid_arg "Translate: gate outside the ZX basis"
+
+let sqrt2 = Qdt_linalg.Cx.of_float (Float.sqrt 2.0)
+
+let translate_instruction d wires instr =
+  match instr with
+  | Circuit.Barrier _ -> ()
+  | Circuit.Measure _ | Circuit.Reset _ ->
+      invalid_arg "Translate.of_circuit: circuit measures or resets"
+  | Circuit.Swap { controls = []; a; b } ->
+      (* only connectivity matters: cross the wires *)
+      let wa = wires.(a) in
+      wires.(a) <- wires.(b);
+      wires.(b) <- wa
+  | Circuit.Apply { gate = Gate.H; controls = []; target } ->
+      wires.(target).pending_h <- not wires.(target).pending_h
+  | Circuit.Apply { gate = Gate.I; controls = []; _ } -> ()
+  | Circuit.Apply
+      { gate = (Gate.Z | Gate.S | Gate.Sdg | Gate.T | Gate.Tdg | Gate.Rz _ | Gate.Phase _) as gate;
+        controls = [];
+        target } ->
+      (* a phase-θ Z spider is diag(1, e^{iθ}) = Phase(θ); Rz(θ) carries an
+         extra global e^{−iθ/2} *)
+      (match gate with
+      | Gate.Rz theta -> Diagram.scale_scalar d (Qdt_linalg.Cx.exp_i (-.theta /. 2.0))
+      | _ -> ());
+      ignore (append_spider d wires target Diagram.Z (gate_phase gate))
+  | Circuit.Apply { gate = (Gate.X | Gate.Rx _) as gate; controls = []; target } ->
+      (match gate with
+      | Gate.Rx theta -> Diagram.scale_scalar d (Qdt_linalg.Cx.exp_i (-.theta /. 2.0))
+      | _ -> ());
+      ignore (append_spider d wires target Diagram.X (gate_phase gate))
+  | Circuit.Apply { gate = Gate.Z; controls = [ ctl ]; target } ->
+      (* CZ: two Z spiders joined by a Hadamard edge; the graph tensor is
+         CZ/√2, so compensate *)
+      Diagram.scale_scalar d sqrt2;
+      let vc = append_spider d wires ctl Diagram.Z Phase.zero in
+      let vt = append_spider d wires target Diagram.Z Phase.zero in
+      Diagram.connect d vc vt Diagram.Had
+  | Circuit.Apply { gate = Gate.X; controls = [ ctl ]; target } ->
+      (* CX: Z spider on the control, X spider on the target; graph tensor
+         is CX/√2 *)
+      Diagram.scale_scalar d sqrt2;
+      let vc = append_spider d wires ctl Diagram.Z Phase.zero in
+      let vt = append_spider d wires target Diagram.X Phase.zero in
+      Diagram.connect d vc vt Diagram.Simple
+  | Circuit.Apply _ | Circuit.Swap _ ->
+      invalid_arg "Translate: instruction outside the ZX basis (lower first)"
+
+let of_lowered c =
+  let n = Circuit.num_qubits c in
+  let d = Diagram.create () in
+  let wires =
+    Array.init n (fun _ -> { vertex = Diagram.add_input d; pending_h = false })
+  in
+  List.iter (translate_instruction d wires) (Circuit.instructions c);
+  Array.iter
+    (fun w ->
+      let out = Diagram.add_output d in
+      Diagram.connect d w.vertex out (if w.pending_h then Diagram.Had else Diagram.Simple))
+    wires;
+  d
+
+let of_circuit c =
+  if not (Circuit.is_unitary_only c) then
+    invalid_arg "Translate.of_circuit: circuit measures or resets";
+  of_lowered (Qdt_compile.Decompose.lower ~basis:Qdt_compile.Decompose.Zx_ready c)
+
+let equivalence_diagram c1 c2 =
+  Diagram.compose (of_circuit c1) (Diagram.adjoint (of_circuit c2))

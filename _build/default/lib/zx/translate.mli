@@ -1,0 +1,19 @@
+(** Circuit → ZX-diagram translation ("any quantum circuit can be
+    interpreted as a ZX-diagram", Section V).
+
+    Circuits are first lowered to the ZX-friendly basis of
+    {!Qdt_compile.Decompose} ({H, diagonal Z-phases, X-phases, CX, CZ,
+    SWAP}), then mapped: phase gates become spiders on the wire, H toggles
+    the pending edge kind (only connectivity matters, so a Hadamard is
+    just an edge decoration), CZ becomes a Hadamard edge between two Z
+    spiders, CX a plain edge between a Z spider (control) and an X spider
+    (target), SWAP a wire crossing. *)
+
+(** [of_circuit c] — diagram with one input and one output per qubit;
+    input/output port [q] is qubit [q].
+    @raise Invalid_argument if [c] measures or resets. *)
+val of_circuit : Qdt_circuit.Circuit.t -> Diagram.t
+
+(** [equivalence_diagram c1 c2] — the diagram of [c1 ; c2†], which is the
+    identity iff the circuits are equivalent (up to global phase). *)
+val equivalence_diagram : Qdt_circuit.Circuit.t -> Qdt_circuit.Circuit.t -> Diagram.t

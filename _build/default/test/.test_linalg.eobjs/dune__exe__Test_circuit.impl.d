@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Circuit Draw Float Gate Generators List Qasm Qdt_circuit Qdt_linalg String

@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest Circuit Coupling Cx Decompose Gate Gates Generators List Mat Optimize Printf QCheck QCheck_alcotest Qdt_arraysim Qdt_circuit Qdt_compile Qdt_linalg Router

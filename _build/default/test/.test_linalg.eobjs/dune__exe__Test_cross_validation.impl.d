@@ -1,0 +1,1 @@
+test/test_cross_validation.ml: Alcotest Circuit Float Generators List Option Qdt Qdt_circuit Qdt_linalg

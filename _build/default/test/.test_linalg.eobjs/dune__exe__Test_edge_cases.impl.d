@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Circuit Cx Float Gate Generators List Mat Qasm Qdt Qdt_arraysim Qdt_circuit Qdt_compile Qdt_dd Qdt_linalg Qdt_stabilizer Qdt_zx Svd Vec

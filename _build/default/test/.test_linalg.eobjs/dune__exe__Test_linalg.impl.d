@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Cx Float Gates List Mat Printf QCheck QCheck_alcotest Qdt_linalg Random Svd Vec

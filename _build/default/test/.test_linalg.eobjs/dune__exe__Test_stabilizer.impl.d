@@ -1,0 +1,1 @@
+test/test_stabilizer.ml: Alcotest Circuit Float Generators Hashtbl List Printf QCheck QCheck_alcotest Qdt_arraysim Qdt_circuit Qdt_stabilizer Random Tableau

@@ -1,0 +1,1 @@
+test/test_stabilizer_rank.ml: Alcotest Ch_form Circuit Float Gate Generators List Printf QCheck QCheck_alcotest Qdt_arraysim Qdt_circuit Qdt_linalg Qdt_stabilizer Stabilizer_rank

@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Circuit Coupling Decompose Equiv Generators List Mutate Optimize Printf QCheck QCheck_alcotest Qdt_circuit Qdt_compile Qdt_verify Router

@@ -1,0 +1,1 @@
+test/test_zx.ml: Alcotest Array Circuit Cx Diagram Eval Float Generators List Mat Phase Printf QCheck QCheck_alcotest Qdt_arraysim Qdt_circuit Qdt_linalg Qdt_zx Rules Simplify String Translate Vec

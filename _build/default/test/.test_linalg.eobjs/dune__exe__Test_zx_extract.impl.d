@@ -1,0 +1,1 @@
+test/test_zx_extract.ml: Alcotest Circuit Eval Extract Gate Generators List Mat Phase Printf QCheck QCheck_alcotest Qdt_arraysim Qdt_circuit Qdt_linalg Qdt_zx Rules Simplify Translate

@@ -1,0 +1,429 @@
+open Qdt_linalg
+open Qdt_circuit
+open Qdt_arraysim
+
+let s2 = Cx.of_float Cx.sqrt1_2
+
+let check_state msg expect sv =
+  if not (Vec.approx_equal ~eps:1e-9 expect (Statevector.to_vec sv)) then
+    Alcotest.failf "%s:@.expected %a@.got %a" msg Vec.pp expect Vec.pp
+      (Statevector.to_vec sv)
+
+let check_state_phase msg expect sv =
+  if not (Vec.equal_up_to_global_phase ~eps:1e-8 expect (Statevector.to_vec sv)) then
+    Alcotest.failf "%s (up to phase):@.expected %a@.got %a" msg Vec.pp expect Vec.pp
+      (Statevector.to_vec sv)
+
+(* ------------------------------------------------------------------ *)
+(* Statevector basics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_initial_state () =
+  let sv = Statevector.create 3 in
+  Alcotest.(check (float 1e-12)) "p(|000>)" 1.0 (Statevector.probability sv 0);
+  Alcotest.(check (float 1e-12)) "norm" 1.0 (Statevector.norm sv)
+
+let test_bell_example1 () =
+  (* Paper Example 1: end-to-end Bell preparation. *)
+  let sv, _ = Statevector.run Generators.bell in
+  check_state "bell" (Vec.of_array [| s2; Cx.zero; Cx.zero; s2 |]) sv;
+  Alcotest.(check (float 1e-12)) "p(00)" 0.5 (Statevector.probability sv 0);
+  Alcotest.(check (float 1e-12)) "p(11)" 0.5 (Statevector.probability sv 3)
+
+let test_gate_application_strides () =
+  (* X on each qubit of |000> lands on the right basis state. *)
+  List.iter
+    (fun q ->
+      let sv = Statevector.create 3 in
+      Statevector.apply_gate sv Gate.X ~controls:[] ~target:q;
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "X on qubit %d" q)
+        1.0
+        (Statevector.probability sv (1 lsl q)))
+    [ 0; 1; 2 ]
+
+let test_controlled_gate () =
+  let sv = Statevector.create 2 in
+  (* control not satisfied: nothing happens *)
+  Statevector.apply_gate sv Gate.X ~controls:[ 1 ] ~target:0;
+  Alcotest.(check (float 1e-12)) "inactive" 1.0 (Statevector.probability sv 0);
+  (* set control, now it fires *)
+  Statevector.apply_gate sv Gate.X ~controls:[] ~target:1;
+  Statevector.apply_gate sv Gate.X ~controls:[ 1 ] ~target:0;
+  Alcotest.(check (float 1e-12)) "active" 1.0 (Statevector.probability sv 3)
+
+let test_toffoli () =
+  let run_input bits =
+    let sv = Statevector.create 3 in
+    List.iteri
+      (fun q bit ->
+        if bit = 1 then Statevector.apply_gate sv Gate.X ~controls:[] ~target:q)
+      bits;
+    Statevector.apply_gate sv Gate.X ~controls:[ 1; 2 ] ~target:0;
+    Statevector.probabilities sv
+  in
+  (* only |.11> inputs flip qubit 0: bits listed as [q0; q1; q2] *)
+  Alcotest.(check (float 1e-12)) "110 -> 111" 1.0 (run_input [ 0; 1; 1 ]).(7);
+  Alcotest.(check (float 1e-12)) "010 stays" 1.0 (run_input [ 0; 1; 0 ]).(2);
+  Alcotest.(check (float 1e-12)) "111 -> 110" 1.0 (run_input [ 1; 1; 1 ]).(6)
+
+let test_swap () =
+  let sv = Statevector.create 2 in
+  Statevector.apply_gate sv Gate.X ~controls:[] ~target:0;
+  Statevector.apply_swap sv ~controls:[] 0 1;
+  Alcotest.(check (float 1e-12)) "swapped" 1.0 (Statevector.probability sv 2);
+  (* controlled swap with control low: no-op *)
+  let sv2 = Statevector.create 3 in
+  Statevector.apply_gate sv2 Gate.X ~controls:[] ~target:0;
+  Statevector.apply_swap sv2 ~controls:[ 2 ] 0 1;
+  Alcotest.(check (float 1e-12)) "fredkin inactive" 1.0 (Statevector.probability sv2 1)
+
+let test_expectation_z () =
+  let sv, _ = Statevector.run Circuit.(empty 1 |> h 0) in
+  Alcotest.(check (float 1e-10)) "<Z> of |+>" 0.0 (Statevector.expectation_z sv 0);
+  let sv1, _ = Statevector.run Circuit.(empty 1 |> x 0) in
+  Alcotest.(check (float 1e-10)) "<Z> of |1>" (-1.0) (Statevector.expectation_z sv1 0)
+
+(* ------------------------------------------------------------------ *)
+(* Generator semantics                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_ghz_semantics () =
+  List.iter
+    (fun n ->
+      let sv, _ = Statevector.run (Generators.ghz n) in
+      let dim = 1 lsl n in
+      Alcotest.(check (float 1e-10)) "p(0...0)" 0.5 (Statevector.probability sv 0);
+      Alcotest.(check (float 1e-10)) "p(1...1)" 0.5 (Statevector.probability sv (dim - 1)))
+    [ 1; 2; 3; 5; 8 ]
+
+let test_w_state_semantics () =
+  List.iter
+    (fun n ->
+      let sv, _ = Statevector.run (Generators.w_state n) in
+      let expect = 1.0 /. Float.of_int n in
+      for q = 0 to n - 1 do
+        Alcotest.(check (float 1e-10))
+          (Printf.sprintf "W_%d one-hot %d" n q)
+          expect
+          (Statevector.probability sv (1 lsl q))
+      done;
+      Alcotest.(check (float 1e-10)) "no |0...0>" 0.0 (Statevector.probability sv 0))
+    [ 1; 2; 3; 4; 6 ]
+
+let test_qft_matches_dft () =
+  List.iter
+    (fun n ->
+      let dim = 1 lsl n in
+      let u = Unitary_builder.unitary (Generators.qft n) in
+      let omega = 2.0 *. Float.pi /. Float.of_int dim in
+      let dft =
+        Mat.init dim dim (fun r c ->
+            Cx.scale (1.0 /. Float.sqrt (Float.of_int dim))
+              (Cx.exp_i (omega *. Float.of_int (r * c))))
+      in
+      if not (Mat.approx_equal ~eps:1e-9 dft u) then
+        Alcotest.failf "QFT(%d) is not the DFT matrix:@.%a" n Mat.pp u)
+    [ 1; 2; 3; 4 ]
+
+let test_grover_amplifies () =
+  let n = 4 and marked = 11 in
+  let sv, _ = Statevector.run (Generators.grover ~marked n) in
+  let p = Statevector.probability sv marked in
+  Alcotest.(check bool) (Printf.sprintf "p(marked)=%f > 0.9" p) true (p > 0.9)
+
+let test_bernstein_vazirani () =
+  let n = 5 in
+  List.iter
+    (fun secret ->
+      let sv, _ = Statevector.run (Generators.bernstein_vazirani ~secret n) in
+      (* query register should be exactly |secret>; ancilla is in |-> *)
+      let p = ref 0.0 in
+      for anc = 0 to 1 do
+        p := !p +. Statevector.probability sv (secret lor (anc lsl n))
+      done;
+      Alcotest.(check (float 1e-10)) (Printf.sprintf "secret %d" secret) 1.0 !p)
+    [ 0; 1; 19; 31 ]
+
+let test_deutsch_jozsa () =
+  let n = 3 in
+  let sv_const, _ = Statevector.run (Generators.deutsch_jozsa ~balanced:false n) in
+  let p_zero = ref 0.0 in
+  for anc = 0 to 1 do
+    p_zero := !p_zero +. Statevector.probability sv_const (anc lsl n)
+  done;
+  Alcotest.(check (float 1e-10)) "constant -> |0..0>" 1.0 !p_zero;
+  let sv_bal, _ = Statevector.run (Generators.deutsch_jozsa ~balanced:true n) in
+  let p_zero_bal = ref 0.0 in
+  for anc = 0 to 1 do
+    p_zero_bal := !p_zero_bal +. Statevector.probability sv_bal (anc lsl n)
+  done;
+  Alcotest.(check (float 1e-10)) "balanced -> not |0..0>" 0.0 !p_zero_bal
+
+let test_cuccaro_adder () =
+  let n = 3 in
+  let circuit = Generators.cuccaro_adder n in
+  let add_case a b =
+    (* prepare inputs: qubit 2i+1 = b_i, 2i+2 = a_i *)
+    let prep = ref (Circuit.empty (Circuit.num_qubits circuit)) in
+    for i = 0 to n - 1 do
+      if b land (1 lsl i) <> 0 then prep := Circuit.x ((2 * i) + 1) !prep;
+      if a land (1 lsl i) <> 0 then prep := Circuit.x ((2 * i) + 2) !prep
+    done;
+    let sv, _ = Statevector.run (Circuit.append !prep circuit) in
+    (* decode: find the basis state with probability 1 *)
+    let probs = Statevector.probabilities sv in
+    let idx = ref 0 in
+    Array.iteri (fun k p -> if p > 0.5 then idx := k) probs;
+    let result = ref 0 in
+    for i = 0 to n - 1 do
+      if !idx land (1 lsl ((2 * i) + 1)) <> 0 then result := !result lor (1 lsl i)
+    done;
+    if !idx land (1 lsl ((2 * n) + 1)) <> 0 then result := !result lor (1 lsl n);
+    (* a register must be preserved *)
+    let a_out = ref 0 in
+    for i = 0 to n - 1 do
+      if !idx land (1 lsl ((2 * i) + 2)) <> 0 then a_out := !a_out lor (1 lsl i)
+    done;
+    Alcotest.(check int) (Printf.sprintf "a preserved (%d+%d)" a b) a !a_out;
+    Alcotest.(check int) (Printf.sprintf "%d+%d" a b) (a + b) !result
+  in
+  List.iter (fun (a, b) -> add_case a b)
+    [ (0, 0); (1, 1); (3, 5); (7, 7); (4, 3); (6, 7); (5, 5) ]
+
+let test_phase_estimation () =
+  let bits = 4 in
+  List.iter
+    (fun k ->
+      let phase = Float.of_int k /. 16.0 in
+      let sv, _ = Statevector.run (Generators.phase_estimation ~phase bits) in
+      (* counting register is qubits 1..bits; eigenstate qubit 0 stays |1> *)
+      let probs = Statevector.probabilities sv in
+      let best = ref 0 and best_p = ref 0.0 in
+      Array.iteri
+        (fun idx p ->
+          if p > !best_p then begin
+            best := idx;
+            best_p := p
+          end)
+        probs;
+      let counting = (!best lsr 1) land ((1 lsl bits) - 1) in
+      Alcotest.(check bool) "eigenstate intact" true (!best land 1 = 1);
+      Alcotest.(check int) (Printf.sprintf "phase %d/16" k) k counting;
+      Alcotest.(check bool) "confident" true (!best_p > 0.99))
+    [ 0; 1; 5; 11; 15 ]
+
+(* ------------------------------------------------------------------ *)
+(* Measurement, sampling                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_measurement_collapse () =
+  let sv, _ = Statevector.run Generators.bell in
+  let rng = Random.State.make [| 123 |] in
+  let bit0 = Statevector.measure_qubit sv ~rng 0 in
+  (* After measuring one half of a Bell pair, the other is determined. *)
+  let bit1 = Statevector.measure_qubit sv ~rng 1 in
+  Alcotest.(check int) "correlated" bit0 bit1;
+  Alcotest.(check (float 1e-12)) "norm preserved" 1.0 (Statevector.norm sv)
+
+let test_run_with_measurement () =
+  let c = Circuit.measure_all Generators.bell in
+  let seen = Hashtbl.create 4 in
+  for seed = 0 to 99 do
+    let _, clbits = Statevector.run ~seed c in
+    Alcotest.(check int) "correlated clbits" clbits.(0) clbits.(1);
+    Hashtbl.replace seen clbits.(0) ()
+  done;
+  Alcotest.(check int) "both outcomes occur" 2 (Hashtbl.length seen)
+
+let test_reset () =
+  let c = Circuit.(empty 1 |> h 0 |> reset 0) in
+  let sv, _ = Statevector.run ~seed:7 c in
+  Alcotest.(check (float 1e-12)) "reset to |0>" 1.0 (Statevector.probability sv 0)
+
+let test_sampling () =
+  let sv, _ = Statevector.run Generators.bell in
+  let counts = Statevector.sample ~seed:5 sv ~shots:2000 in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 counts in
+  Alcotest.(check int) "all shots" 2000 total;
+  List.iter
+    (fun (k, c) ->
+      Alcotest.(check bool) "only 00/11" true (k = 0 || k = 3);
+      Alcotest.(check bool) "roughly half" true (c > 850 && c < 1150))
+    counts
+
+(* ------------------------------------------------------------------ *)
+(* Unitary builder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_unitary_bell () =
+  let u = Unitary_builder.unitary Generators.bell in
+  let expect =
+    Mat.scale (Cx.of_float Cx.sqrt1_2)
+      (Mat.of_rows
+         [|
+           [| Cx.one; Cx.zero; Cx.one; Cx.zero |];
+           [| Cx.zero; Cx.one; Cx.zero; Cx.one |];
+           [| Cx.zero; Cx.one; Cx.zero; Cx.scale (-1.0) Cx.one |];
+           [| Cx.one; Cx.zero; Cx.scale (-1.0) Cx.one; Cx.zero |];
+         |])
+  in
+  if not (Mat.approx_equal ~eps:1e-10 expect u) then
+    Alcotest.failf "bell unitary mismatch:@.%a" Mat.pp u
+
+let test_unitary_methods_agree () =
+  List.iter
+    (fun c ->
+      let a = Unitary_builder.unitary c in
+      let b = Unitary_builder.unitary_by_columns c in
+      if not (Mat.approx_equal ~eps:1e-9 a b) then Alcotest.fail "methods disagree")
+    [
+      Generators.qft 3;
+      Generators.grover ~marked:2 2;
+      Generators.random_circuit ~seed:9 ~depth:4 3;
+      Circuit.(empty 3 |> cswap 2 0 1 |> ccx 0 1 2);
+    ]
+
+let test_unitary_is_unitary () =
+  let u = Unitary_builder.unitary (Generators.random_circuit ~seed:2 ~depth:5 4) in
+  Alcotest.(check bool) "unitary" true (Mat.is_unitary ~eps:1e-8 u)
+
+(* ------------------------------------------------------------------ *)
+(* Density matrices and noise                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_density_pure () =
+  let d = Density.run Generators.bell in
+  Alcotest.(check (float 1e-10)) "trace" 1.0 (Density.trace d);
+  Alcotest.(check (float 1e-10)) "purity" 1.0 (Density.purity d);
+  let sv, _ = Statevector.run Generators.bell in
+  Alcotest.(check (float 1e-10)) "fidelity" 1.0 (Density.fidelity_to_pure d sv);
+  let probs = Density.probabilities d in
+  Alcotest.(check (float 1e-10)) "p00" 0.5 probs.(0);
+  Alcotest.(check (float 1e-10)) "p11" 0.5 probs.(3)
+
+let test_density_matches_statevector () =
+  let c = Generators.random_circuit ~seed:4 ~depth:3 3 in
+  let d = Density.run c in
+  let sv, _ = Statevector.run c in
+  Alcotest.(check (float 1e-8)) "pure fidelity" 1.0 (Density.fidelity_to_pure d sv)
+
+let test_depolarizing_mixes () =
+  let d = Density.run ~noise:(fun () -> Density.depolarizing 0.2) Generators.bell in
+  Alcotest.(check (float 1e-10)) "trace preserved" 1.0 (Density.trace d);
+  Alcotest.(check bool) "purity dropped" true (Density.purity d < 0.99);
+  let sv, _ = Statevector.run Generators.bell in
+  Alcotest.(check bool) "fidelity dropped" true (Density.fidelity_to_pure d sv < 0.999)
+
+let test_amplitude_damping () =
+  (* Fully damping |1> returns it to |0>. *)
+  let d = Density.run Circuit.(empty 1 |> x 0) in
+  Density.apply_channel d (Density.amplitude_damping 1.0) 0;
+  let probs = Density.probabilities d in
+  Alcotest.(check (float 1e-10)) "damped to ground" 1.0 probs.(0)
+
+let test_channels_trace_preserving () =
+  List.iter
+    (fun (name, ch) ->
+      (* Σ K†K = I is the CPTP condition. *)
+      let acc =
+        List.fold_left
+          (fun acc k -> Mat.add acc (Mat.mul (Mat.dagger k) k))
+          (Mat.create 2 2) ch
+      in
+      if not (Mat.approx_equal ~eps:1e-10 (Mat.identity 2) acc) then
+        Alcotest.failf "%s is not trace preserving" name)
+    [
+      ("depolarizing", Density.depolarizing 0.3);
+      ("amplitude_damping", Density.amplitude_damping 0.4);
+      ("phase_damping", Density.phase_damping 0.2);
+      ("bit_flip", Density.bit_flip 0.1);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_norm_preserved =
+  QCheck.Test.make ~name:"unitary circuits preserve norm" ~count:30
+    (QCheck.make QCheck.Gen.(pair (int_range 1 5) (int_range 0 1000)))
+    (fun (n, seed) ->
+      let c = Generators.random_circuit ~seed ~depth:3 n in
+      let sv, _ = Statevector.run c in
+      Float.abs (Statevector.norm sv -. 1.0) < 1e-9)
+
+let prop_double_application_identity =
+  QCheck.Test.make ~name:"self-inverse gates square to identity" ~count:30
+    (QCheck.make QCheck.Gen.(pair (int_range 1 4) (int_range 0 3)))
+    (fun (n, which) ->
+      let g = List.nth [ Gate.X; Gate.Y; Gate.Z; Gate.H ] which in
+      let sv = Statevector.create n in
+      (* randomise the state a bit first *)
+      Statevector.apply_gate sv Gate.H ~controls:[] ~target:0;
+      let before = Statevector.to_vec sv in
+      Statevector.apply_gate sv g ~controls:[] ~target:(n - 1);
+      Statevector.apply_gate sv g ~controls:[] ~target:(n - 1);
+      Vec.approx_equal ~eps:1e-10 before (Statevector.to_vec sv))
+
+let prop_unitary_builder_consistent =
+  QCheck.Test.make ~name:"matrix path = kernel path" ~count:20
+    (QCheck.make QCheck.Gen.(int_range 0 1000))
+    (fun seed ->
+      let c = Generators.random_circuit ~seed ~depth:2 3 in
+      let u = Unitary_builder.unitary c in
+      let sv, _ = Statevector.run c in
+      let via_matrix = Mat.mul_vec u (Vec.basis ~dim:8 0) in
+      Vec.approx_equal ~eps:1e-9 via_matrix (Statevector.to_vec sv))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_norm_preserved; prop_double_application_identity; prop_unitary_builder_consistent ]
+
+let () =
+  ignore check_state_phase;
+  Alcotest.run "qdt_arraysim"
+    [
+      ( "statevector",
+        [
+          Alcotest.test_case "initial state" `Quick test_initial_state;
+          Alcotest.test_case "paper example 1" `Quick test_bell_example1;
+          Alcotest.test_case "strides" `Quick test_gate_application_strides;
+          Alcotest.test_case "controlled" `Quick test_controlled_gate;
+          Alcotest.test_case "toffoli" `Quick test_toffoli;
+          Alcotest.test_case "swap" `Quick test_swap;
+          Alcotest.test_case "expectation" `Quick test_expectation_z;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "ghz" `Quick test_ghz_semantics;
+          Alcotest.test_case "w state" `Quick test_w_state_semantics;
+          Alcotest.test_case "qft = dft" `Quick test_qft_matches_dft;
+          Alcotest.test_case "grover" `Quick test_grover_amplifies;
+          Alcotest.test_case "bernstein-vazirani" `Quick test_bernstein_vazirani;
+          Alcotest.test_case "deutsch-jozsa" `Quick test_deutsch_jozsa;
+          Alcotest.test_case "cuccaro adder" `Quick test_cuccaro_adder;
+          Alcotest.test_case "phase estimation" `Quick test_phase_estimation;
+        ] );
+      ( "measurement",
+        [
+          Alcotest.test_case "collapse" `Quick test_measurement_collapse;
+          Alcotest.test_case "run+measure" `Quick test_run_with_measurement;
+          Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "sampling" `Quick test_sampling;
+        ] );
+      ( "unitary",
+        [
+          Alcotest.test_case "bell" `Quick test_unitary_bell;
+          Alcotest.test_case "methods agree" `Quick test_unitary_methods_agree;
+          Alcotest.test_case "unitarity" `Quick test_unitary_is_unitary;
+        ] );
+      ( "density",
+        [
+          Alcotest.test_case "pure" `Quick test_density_pure;
+          Alcotest.test_case "matches statevector" `Quick test_density_matches_statevector;
+          Alcotest.test_case "depolarizing" `Quick test_depolarizing_mixes;
+          Alcotest.test_case "amplitude damping" `Quick test_amplitude_damping;
+          Alcotest.test_case "CPTP" `Quick test_channels_trace_preserving;
+        ] );
+      ("properties", props);
+    ]

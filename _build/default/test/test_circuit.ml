@@ -1,0 +1,326 @@
+open Qdt_circuit
+module Mat = Qdt_linalg.Mat
+
+(* ------------------------------------------------------------------ *)
+(* Gate                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let all_gates =
+  [
+    Gate.I; Gate.X; Gate.Y; Gate.Z; Gate.H; Gate.S; Gate.Sdg; Gate.T; Gate.Tdg;
+    Gate.Sx; Gate.Sxdg; Gate.Rx 0.3; Gate.Ry 1.2; Gate.Rz (-0.5); Gate.Phase 0.8;
+    Gate.U3 { theta = 0.4; phi = 1.5; lambda = -0.2 };
+  ]
+
+let test_gate_adjoint () =
+  List.iter
+    (fun g ->
+      let m = Gate.matrix g and madj = Gate.matrix (Gate.adjoint g) in
+      if not (Mat.approx_equal ~eps:1e-10 (Mat.dagger m) madj) then
+        Alcotest.failf "adjoint mismatch for %s" (Gate.to_string g))
+    all_gates
+
+let test_gate_unitary () =
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) (Gate.to_string g ^ " unitary") true
+        (Mat.is_unitary (Gate.matrix g)))
+    all_gates
+
+let test_gate_names () =
+  Alcotest.(check string) "h" "h" (Gate.name Gate.H);
+  Alcotest.(check string) "sdg" "sdg" (Gate.name Gate.Sdg);
+  Alcotest.(check string) "rz" "rz" (Gate.name (Gate.Rz 0.1));
+  Alcotest.(check (list (float 1e-12))) "u3 params" [ 1.0; 2.0; 3.0 ]
+    (Gate.params (Gate.U3 { theta = 1.0; phi = 2.0; lambda = 3.0 }))
+
+let test_gate_predicates () =
+  Alcotest.(check bool) "h clifford" true (Gate.is_clifford Gate.H);
+  Alcotest.(check bool) "t not clifford" false (Gate.is_clifford Gate.T);
+  Alcotest.(check bool) "rz diagonal" true (Gate.is_diagonal (Gate.Rz 0.3));
+  Alcotest.(check bool) "h not diagonal" false (Gate.is_diagonal Gate.H);
+  Alcotest.(check bool) "gate equal" true (Gate.equal (Gate.Rz 0.3) (Gate.Rz 0.3));
+  Alcotest.(check bool) "gate not equal" false (Gate.equal (Gate.Rz 0.3) (Gate.Rz 0.4))
+
+(* ------------------------------------------------------------------ *)
+(* Circuit                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_builder () =
+  let c = Generators.bell in
+  Alcotest.(check int) "qubits" 2 (Circuit.num_qubits c);
+  Alcotest.(check int) "length" 2 (Circuit.length c);
+  match Circuit.instructions c with
+  | [ Circuit.Apply { gate = Gate.H; controls = []; target = 1 };
+      Circuit.Apply { gate = Gate.X; controls = [ 1 ]; target = 0 } ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected bell instructions"
+
+let test_validation () =
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Circuit.add: qubit 2 out of range [0,2)") (fun () ->
+      ignore Circuit.(empty 2 |> h 2));
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Circuit.add: repeated qubit operands") (fun () ->
+      ignore Circuit.(empty 2 |> cx 1 1));
+  Alcotest.check_raises "no qubits"
+    (Invalid_argument "Circuit.empty: need at least one qubit") (fun () ->
+      ignore (Circuit.empty 0))
+
+let test_append_adjoint () =
+  let c = Generators.bell in
+  let cc = Circuit.append c (Circuit.adjoint c) in
+  Alcotest.(check int) "appended length" 4 (Circuit.length cc);
+  (match Circuit.instructions (Circuit.adjoint Circuit.(empty 1 |> t 0 |> s 0)) with
+  | [ Circuit.Apply { gate = Gate.Sdg; _ }; Circuit.Apply { gate = Gate.Tdg; _ } ] -> ()
+  | _ -> Alcotest.fail "adjoint should reverse and invert");
+  Alcotest.check_raises "adjoint of measurement"
+    (Invalid_argument "Circuit.adjoint: circuit contains measurements or resets")
+    (fun () -> ignore (Circuit.adjoint Circuit.(measure_all (empty 1))))
+
+let test_stats () =
+  let c = Circuit.(empty 3 |> h 0 |> t 1 |> tdg 2 |> cx 0 1 |> ccx 0 1 2 |> swap 1 2) in
+  Alcotest.(check int) "total" 6 (Circuit.count_total c);
+  Alcotest.(check int) "two qubit" 2 (Circuit.count_two_qubit c);
+  Alcotest.(check int) "t count" 2 (Circuit.t_count c);
+  let counts = Circuit.gate_counts c in
+  Alcotest.(check (option int)) "ccx" (Some 1) (List.assoc_opt "ccx" counts);
+  Alcotest.(check (option int)) "cx" (Some 1) (List.assoc_opt "cx" counts);
+  Alcotest.(check (option int)) "swap" (Some 1) (List.assoc_opt "swap" counts)
+
+let test_depth () =
+  (* h0 and h1 are parallel; cx serialises them. *)
+  let c = Circuit.(empty 2 |> h 0 |> h 1 |> cx 0 1) in
+  Alcotest.(check int) "depth 2" 2 (Circuit.depth c);
+  let c2 = Circuit.(empty 2 |> h 0 |> h 0 |> h 0) in
+  Alcotest.(check int) "sequential" 3 (Circuit.depth c2);
+  Alcotest.(check int) "empty" 0 (Circuit.depth (Circuit.empty 3))
+
+let test_remap () =
+  let c = Circuit.(empty 3 |> cx 0 1) in
+  let swapped = Circuit.remap (fun q -> 2 - q) c in
+  (match Circuit.instructions swapped with
+  | [ Circuit.Apply { controls = [ 2 ]; target = 1; _ } ] -> ()
+  | _ -> Alcotest.fail "remap failed");
+  Alcotest.(check bool) "equal self" true (Circuit.equal c c);
+  Alcotest.(check bool) "not equal" false (Circuit.equal c swapped)
+
+(* ------------------------------------------------------------------ *)
+(* Generators (structure-level; semantics tested in test_arraysim)     *)
+(* ------------------------------------------------------------------ *)
+
+let test_generators_shape () =
+  Alcotest.(check int) "ghz qubits" 5 (Circuit.num_qubits (Generators.ghz 5));
+  Alcotest.(check int) "ghz gates" 5 (Circuit.count_total (Generators.ghz 5));
+  Alcotest.(check int) "w qubits" 4 (Circuit.num_qubits (Generators.w_state 4));
+  Alcotest.(check int) "qft gates" 6 (Circuit.count_total (Generators.qft ~swaps:false 3));
+  Alcotest.(check int) "qft+swaps" 7 (Circuit.count_total (Generators.qft 3));
+  Alcotest.(check int) "adder qubits" 8 (Circuit.num_qubits (Generators.cuccaro_adder 3));
+  Alcotest.(check int) "bv qubits" 5 (Circuit.num_qubits (Generators.bernstein_vazirani ~secret:5 4));
+  Alcotest.(check bool) "random deterministic" true
+    (Circuit.equal
+       (Generators.random_circuit ~seed:3 ~depth:4 5)
+       (Generators.random_circuit ~seed:3 ~depth:4 5));
+  Alcotest.(check bool) "random seeds differ" false
+    (Circuit.equal
+       (Generators.random_circuit ~seed:3 ~depth:4 5)
+       (Generators.random_circuit ~seed:4 ~depth:4 5))
+
+let test_clifford_t_generator () =
+  let c = Generators.random_clifford_t ~seed:11 ~gates:200 ~t_fraction:0.3 5 in
+  Alcotest.(check int) "gate count" 200 (Circuit.count_total c);
+  let tc = Circuit.t_count c in
+  Alcotest.(check bool) "t gates present" true (tc > 20 && tc < 120);
+  let cliff = Generators.random_clifford ~seed:11 ~gates:100 4 in
+  Alcotest.(check int) "clifford count" 100 (Circuit.count_total cliff);
+  Alcotest.(check int) "clifford t-free" 0 (Circuit.t_count cliff)
+
+(* ------------------------------------------------------------------ *)
+(* QASM round trip                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip c =
+  let text = Qasm.to_string c in
+  let parsed = Qasm.of_string text in
+  if not (Circuit.equal c parsed) then
+    Alcotest.failf "roundtrip failed:@.%s@.parsed:@.%a" text Circuit.pp parsed
+
+let test_qasm_roundtrip () =
+  roundtrip Generators.bell;
+  roundtrip (Generators.ghz 4);
+  roundtrip (Generators.qft 4);
+  roundtrip (Generators.w_state 3);
+  roundtrip (Generators.grover ~marked:3 3);
+  roundtrip (Generators.random_circuit ~seed:5 ~depth:3 4);
+  roundtrip (Circuit.measure_all (Generators.bell));
+  roundtrip Circuit.(empty 3 |> cswap 0 1 2 |> swap 0 2 |> ccx 0 1 2)
+
+let test_qasm_parse () =
+  let src =
+    {|OPENQASM 2.0;
+include "qelib1.inc";
+// a comment
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+rz(pi/4) q[2];
+rx(-pi) q[1];
+u3(0.1,0.2,0.3) q[0];
+barrier q[0],q[1];
+measure q[0] -> c[0];
+|}
+  in
+  let c = Qasm.of_string src in
+  Alcotest.(check int) "qubits" 3 (Circuit.num_qubits c);
+  Alcotest.(check int) "instructions" 7 (Circuit.length c);
+  match List.nth (Circuit.instructions c) 2 with
+  | Circuit.Apply { gate = Gate.Rz theta; _ } ->
+      Alcotest.(check (float 1e-12)) "pi/4" (Float.pi /. 4.0) theta
+  | _ -> Alcotest.fail "expected rz"
+
+let test_qasm_angle_expressions () =
+  let c = Qasm.of_string "qreg q[1]; rz(2*pi/3) q[0]; rz(1.5e-2) q[0]; rz(-(pi+1)/2) q[0];" in
+  match Circuit.instructions c with
+  | [ Circuit.Apply { gate = Gate.Rz a; _ };
+      Circuit.Apply { gate = Gate.Rz b; _ };
+      Circuit.Apply { gate = Gate.Rz d; _ } ] ->
+      Alcotest.(check (float 1e-12)) "2pi/3" (2.0 *. Float.pi /. 3.0) a;
+      Alcotest.(check (float 1e-12)) "1.5e-2" 0.015 b;
+      Alcotest.(check (float 1e-12)) "-(pi+1)/2" (-.(Float.pi +. 1.0) /. 2.0) d
+  | _ -> Alcotest.fail "expected three rz"
+
+let test_qasm_gate_definitions () =
+  let src =
+    {|qreg q[3];
+gate mybell a, b { h a; cx a, b; }
+gate rot(theta) a { rz(theta/2) a; rz(theta/2) a; }
+gate wrapper(x) a, b { mybell a, b; rot(x) b; }
+mybell q[2], q[1];
+rot(pi) q[0];
+wrapper(pi/2) q[0], q[2];
+|}
+  in
+  let c = Qasm.of_string src in
+  (* mybell = 2 instrs; rot = 2; wrapper = 2 + 2 *)
+  Alcotest.(check int) "expanded length" 8 (Circuit.length c);
+  (match Circuit.instructions c with
+  | Circuit.Apply { gate = Gate.H; target = 2; _ }
+    :: Circuit.Apply { gate = Gate.X; controls = [ 2 ]; target = 1 }
+    :: Circuit.Apply { gate = Gate.Rz a1; target = 0; _ }
+    :: Circuit.Apply { gate = Gate.Rz a2; target = 0; _ }
+    :: Circuit.Apply { gate = Gate.H; target = 0; _ }
+    :: Circuit.Apply { gate = Gate.X; controls = [ 0 ]; target = 2 }
+    :: Circuit.Apply { gate = Gate.Rz b1; target = 2; _ }
+    :: _ ->
+      Alcotest.(check (float 1e-12)) "pi/2" (Float.pi /. 2.0) a1;
+      Alcotest.(check (float 1e-12)) "pi/2" (Float.pi /. 2.0) a2;
+      Alcotest.(check (float 1e-12)) "pi/4" (Float.pi /. 4.0) b1
+  | _ -> Alcotest.fail "unexpected expansion");
+  (* semantics: user-defined bell equals the builtin construction *)
+  let via_def = Qasm.of_string "qreg q[2]; gate b a, c { h a; cx a, c; } b q[1], q[0];" in
+  Alcotest.(check bool) "equals generator" true (Circuit.equal via_def Generators.bell)
+
+let test_qasm_gate_definition_errors () =
+  let expect_error src =
+    match Qasm.of_string src with
+    | exception Qasm.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" src
+  in
+  expect_error "qreg q[2]; gate g a { h a; } g q[0], q[1];";
+  expect_error "qreg q[2]; gate g(t) a { rz(t) a; } g q[0];";
+  expect_error "qreg q[1]; gate g a { rz(zzz) a; } g(0.3) q[0];";
+  expect_error "qreg q[1]; gate g a { h b; } g q[0];";
+  expect_error "qreg q[1]; gate g a { h a; } gate g a { x a; } g q[0];";
+  expect_error "qreg q[1]; gate g a { h a; "
+
+let test_qasm_errors () =
+  let expect_error src =
+    match Qasm.of_string src with
+    | exception Qasm.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" src
+  in
+  expect_error "qreg q[2]; zz q[0];";
+  expect_error "h q[0];";
+  expect_error "qreg q[2]; h q[5];";
+  expect_error "qreg q[2]; h q[0]";
+  expect_error "qreg q[2]; rz() q[0];";
+  expect_error "qreg q[2]; cx q[0];"
+
+(* ------------------------------------------------------------------ *)
+(* Draw                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec loop k = k + nl <= hl && (String.sub haystack k nl = needle || loop (k + 1)) in
+  loop 0
+
+let test_draw_bell () =
+  let text = Draw.render Generators.bell in
+  Alcotest.(check bool) "has [h]" true (contains ~needle:"[h]" text);
+  Alcotest.(check bool) "has control dot" true (contains ~needle:"●" text);
+  Alcotest.(check bool) "has q1 label" true (contains ~needle:"q1" text);
+  Alcotest.(check bool) "two wire rows + gap" true
+    (List.length (String.split_on_char '\n' (String.trim text)) = 3)
+
+let test_draw_packing () =
+  (* parallel single-qubit gates share one column *)
+  let c = Circuit.(empty 3 |> h 0 |> h 1 |> h 2) in
+  let lines = String.split_on_char '\n' (String.trim (Draw.render c)) in
+  let widths = List.map String.length lines in
+  (* all rows equally short: one packed column *)
+  Alcotest.(check bool) "single column" true
+    (List.for_all (fun w -> w < 16) widths);
+  (* overlapping spans force separate columns: cx(0,2) then h 1 must not
+     merge into the crossing region *)
+  let c2 = Circuit.(empty 3 |> cx 0 2 |> h 1) in
+  let r = Draw.render c2 in
+  Alcotest.(check bool) "renders" true (String.length r > 0)
+
+let test_draw_swap_measure () =
+  let c = Circuit.(measure_all (empty 2 |> swap 0 1)) in
+  let text = Draw.render c in
+  Alcotest.(check bool) "swap glyph" true (contains ~needle:"✕" text);
+  Alcotest.(check bool) "measure glyph" true (contains ~needle:"[M]" text)
+
+let () =
+  Alcotest.run "qdt_circuit"
+    [
+      ( "gate",
+        [
+          Alcotest.test_case "adjoint" `Quick test_gate_adjoint;
+          Alcotest.test_case "unitary" `Quick test_gate_unitary;
+          Alcotest.test_case "names" `Quick test_gate_names;
+          Alcotest.test_case "predicates" `Quick test_gate_predicates;
+        ] );
+      ( "circuit",
+        [
+          Alcotest.test_case "builder" `Quick test_builder;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "append/adjoint" `Quick test_append_adjoint;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "depth" `Quick test_depth;
+          Alcotest.test_case "remap" `Quick test_remap;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "shapes" `Quick test_generators_shape;
+          Alcotest.test_case "clifford+t" `Quick test_clifford_t_generator;
+        ] );
+      ( "qasm",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_qasm_roundtrip;
+          Alcotest.test_case "parse" `Quick test_qasm_parse;
+          Alcotest.test_case "angles" `Quick test_qasm_angle_expressions;
+          Alcotest.test_case "errors" `Quick test_qasm_errors;
+          Alcotest.test_case "gate definitions" `Quick test_qasm_gate_definitions;
+          Alcotest.test_case "gate definition errors" `Quick test_qasm_gate_definition_errors;
+        ] );
+      ( "draw",
+        [
+          Alcotest.test_case "bell" `Quick test_draw_bell;
+          Alcotest.test_case "swap+measure" `Quick test_draw_swap_measure;
+          Alcotest.test_case "column packing" `Quick test_draw_packing;
+        ] );
+    ]

@@ -1,0 +1,339 @@
+open Qdt_linalg
+open Qdt_circuit
+open Qdt_compile
+module UB = Qdt_arraysim.Unitary_builder
+
+let check_equiv_phase msg a b =
+  let ua = UB.unitary a and ub = UB.unitary b in
+  if not (Mat.equal_up_to_global_phase ~eps:1e-7 ua ub) then
+    Alcotest.failf "%s: circuits differ:@.%a@.vs@.%a" msg Mat.pp ua Mat.pp ub
+
+let check_equiv_exact msg a b =
+  let ua = UB.unitary a and ub = UB.unitary b in
+  if not (Mat.approx_equal ~eps:1e-7 ua ub) then
+    Alcotest.failf "%s: circuits differ exactly:@.%a@.vs@.%a" msg Mat.pp ua Mat.pp ub
+
+(* ------------------------------------------------------------------ *)
+(* ZYZ / sqrt                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let interesting_unitaries =
+  [
+    ("h", Gates.h); ("x", Gates.x); ("y", Gates.y); ("z", Gates.z);
+    ("s", Gates.s); ("t", Gates.t); ("sx", Gates.sx);
+    ("rx", Gates.rx 0.7); ("ry", Gates.ry (-1.3)); ("rz", Gates.rz 2.1);
+    ("phase", Gates.phase 0.4);
+    ("u3", Gates.u3 ~theta:1.1 ~phi:0.2 ~lambda:(-2.0));
+    ("u3b", Gates.u3 ~theta:3.0 ~phi:(-0.4) ~lambda:1.9);
+    ("id", Gates.id2);
+  ]
+
+let test_zyz () =
+  List.iter
+    (fun (name, u) ->
+      let alpha, theta, phi, lambda = Decompose.zyz u in
+      let rebuilt =
+        Mat.scale (Cx.exp_i alpha)
+          (Mat.mul (Gates.rz phi) (Mat.mul (Gates.ry theta) (Gates.rz lambda)))
+      in
+      if not (Mat.approx_equal ~eps:1e-7 u rebuilt) then
+        Alcotest.failf "zyz %s does not reconstruct" name)
+    interesting_unitaries
+
+let test_sqrt_unitary () =
+  List.iter
+    (fun (name, u) ->
+      let v = Decompose.sqrt_unitary u in
+      Alcotest.(check bool) (name ^ " sqrt unitary") true (Mat.is_unitary ~eps:1e-8 v);
+      if not (Mat.approx_equal ~eps:1e-8 u (Mat.mul v v)) then
+        Alcotest.failf "sqrt %s: v*v <> u" name)
+    interesting_unitaries
+
+(* ------------------------------------------------------------------ *)
+(* Lowering                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let lowering_cases =
+  [
+    ("toffoli", Circuit.(empty 3 |> ccx 2 1 0));
+    ("toffoli rev", Circuit.(empty 3 |> ccx 0 1 2));
+    ("cccx", Circuit.(empty 4 |> cgate Gate.X ~controls:[ 1; 2; 3 ] ~target:0));
+    ("ccz", Circuit.(empty 3 |> ccz 0 1 2));
+    ("fredkin", Circuit.(empty 3 |> cswap 2 0 1));
+    ("swap", Circuit.(empty 2 |> swap 0 1));
+    ("controlled-h", Circuit.(empty 2 |> ch 1 0));
+    ("controlled-t", Circuit.(empty 2 |> cgate Gate.T ~controls:[ 0 ] ~target:1));
+    ("controlled-ry", Circuit.(empty 2 |> cry 0.8 0 1));
+    ("cphase", Circuit.(empty 2 |> cphase 1.1 0 1));
+    ("y/sx/u3 mix",
+     Circuit.(empty 2 |> y 0 |> sx 1 |> u3 ~theta:0.3 ~phi:1.0 ~lambda:(-0.2) 0 |> ry 0.9 1));
+    ("grover", Generators.grover_iterations ~marked:2 ~iterations:1 3);
+    ("adder", Generators.cuccaro_adder 2);
+  ]
+
+let test_lower_two_qubit () =
+  List.iter
+    (fun (name, c) ->
+      let lowered = Decompose.lower ~basis:Decompose.Two_qubit c in
+      Alcotest.(check bool) (name ^ " conforms") true
+        (Decompose.conforms ~basis:Decompose.Two_qubit lowered);
+      List.iter
+        (fun instr ->
+          Alcotest.(check bool) "≤2 qubits" true
+            (List.length (Circuit.qubits_of_instruction instr) <= 2))
+        (Circuit.unitary_instructions lowered);
+      check_equiv_phase (name ^ " preserved") c lowered)
+    lowering_cases
+
+let test_lower_two_qubit_exact () =
+  (* The Two_qubit lowering is built from exact constructions; spot-check
+     exactness (not just up-to-phase) on multi-controlled gates. *)
+  List.iter
+    (fun (name, c) ->
+      let lowered = Decompose.lower ~basis:Decompose.Two_qubit c in
+      check_equiv_exact name c lowered)
+    [
+      ("toffoli", Circuit.(empty 3 |> ccx 2 1 0));
+      ("fredkin", Circuit.(empty 3 |> cswap 2 0 1));
+      ("cccz", Circuit.(empty 4 |> cgate Gate.Z ~controls:[ 1; 2; 3 ] ~target:0));
+    ]
+
+let test_lower_zx_ready () =
+  List.iter
+    (fun (name, c) ->
+      let lowered = Decompose.lower ~basis:Decompose.Zx_ready c in
+      Alcotest.(check bool) (name ^ " conforms") true
+        (Decompose.conforms ~basis:Decompose.Zx_ready lowered);
+      check_equiv_phase (name ^ " preserved") c lowered)
+    lowering_cases
+
+let test_lower_cx_rz_h () =
+  List.iter
+    (fun (name, c) ->
+      let lowered = Decompose.lower ~basis:Decompose.Cx_rz_h c in
+      Alcotest.(check bool) (name ^ " conforms") true
+        (Decompose.conforms ~basis:Decompose.Cx_rz_h lowered);
+      (* only CX, Rz, H remain *)
+      List.iter
+        (fun instr ->
+          match instr with
+          | Circuit.Apply { gate = Gate.Rz _ | Gate.H; controls = []; _ } -> ()
+          | Circuit.Apply { gate = Gate.X; controls = [ _ ]; _ } -> ()
+          | _ -> Alcotest.failf "%s: foreign instruction survived" name)
+        (Circuit.unitary_instructions lowered);
+      check_equiv_phase (name ^ " preserved") c lowered)
+    lowering_cases
+
+(* ------------------------------------------------------------------ *)
+(* Coupling                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_coupling_topologies () =
+  let l = Coupling.line 5 in
+  Alcotest.(check bool) "line adj" true (Coupling.connected l 2 3);
+  Alcotest.(check bool) "line non-adj" false (Coupling.connected l 0 4);
+  Alcotest.(check int) "line distance" 4 (Coupling.distance l 0 4);
+  let r = Coupling.ring 6 in
+  Alcotest.(check int) "ring wraps" 1 (Coupling.distance r 0 5);
+  Alcotest.(check int) "ring across" 3 (Coupling.distance r 0 3);
+  let g = Coupling.grid ~rows:3 ~cols:3 in
+  Alcotest.(check int) "grid manhattan" 4 (Coupling.distance g 0 8);
+  let s = Coupling.star 5 in
+  Alcotest.(check int) "star through hub" 2 (Coupling.distance s 1 4);
+  Alcotest.(check int) "qx5 qubits" 16 (Coupling.num_qubits Coupling.ibm_qx5);
+  let f = Coupling.fully_connected 4 in
+  Alcotest.(check int) "full edges" 6 (List.length (Coupling.edges f))
+
+let test_shortest_path () =
+  let g = Coupling.grid ~rows:2 ~cols:3 in
+  let path = Coupling.shortest_path g 0 5 in
+  Alcotest.(check int) "path length" 4 (List.length path);
+  Alcotest.(check int) "starts" 0 (List.hd path);
+  Alcotest.(check int) "ends" 5 (List.nth path 3);
+  (* consecutive vertices adjacent *)
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "adjacent" true (Coupling.connected g a b);
+        pairs rest
+    | _ -> ()
+  in
+  pairs path
+
+(* ------------------------------------------------------------------ *)
+(* Router                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let routing_cases =
+  [
+    ("qft4/line", Generators.qft 4, Coupling.line 4);
+    ("qft4/ring", Generators.qft 4, Coupling.ring 4);
+    ("ghz5/line", Generators.ghz 5, Coupling.line 5);
+    ("random/grid", Generators.random_circuit ~seed:7 ~depth:4 6, Coupling.grid ~rows:2 ~cols:3);
+    ("adder/line", Generators.cuccaro_adder 1, Coupling.line 4);
+    ("grover/line", Generators.grover_iterations ~marked:3 ~iterations:1 3, Coupling.line 3);
+  ]
+
+let test_router_respects_coupling () =
+  List.iter
+    (fun (name, c, coupling) ->
+      let result = Router.route c coupling in
+      Alcotest.(check bool) (name ^ " respects") true
+        (Router.respects result.Router.routed coupling))
+    routing_cases
+
+let test_router_preserves_functionality () =
+  List.iter
+    (fun (name, c, coupling) ->
+      let result = Router.route c coupling in
+      let restored = Router.undo_final_permutation result in
+      (* With the identity initial layout, restored must equal the original
+         (padded to the device size) up to global phase. *)
+      let padded =
+        List.fold_left
+          (fun acc i -> Circuit.add i acc)
+          (Circuit.empty (Coupling.num_qubits coupling))
+          (Circuit.instructions c)
+      in
+      check_equiv_phase (name ^ " functional") padded restored)
+    (List.filter (fun (_, c, k) -> Circuit.num_qubits c = Coupling.num_qubits k) routing_cases)
+
+let test_router_line_overhead () =
+  (* A CX between the ends of a line must insert swaps. *)
+  let c = Circuit.(empty 5 |> cx 0 4) in
+  let result = Router.route c (Coupling.line 5) in
+  Alcotest.(check bool) "swaps added" true (result.Router.added_swaps >= 3);
+  let free = Router.route c (Coupling.fully_connected 5) in
+  Alcotest.(check int) "no swaps on full graph" 0 free.Router.added_swaps
+
+let test_router_measurements () =
+  let c = Circuit.measure_all (Generators.ghz 4) in
+  let result = Router.route c (Coupling.line 4) in
+  let measures =
+    List.filter
+      (function Circuit.Measure _ -> true | _ -> false)
+      (Circuit.instructions result.Router.routed)
+  in
+  Alcotest.(check int) "measurements kept" 4 (List.length measures)
+
+(* ------------------------------------------------------------------ *)
+(* Optimize                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_cancel_inverses () =
+  let c = Circuit.(empty 2 |> h 0 |> h 0 |> cx 0 1 |> cx 0 1 |> t 1 |> tdg 1) in
+  let optimized, stats = Optimize.cancel_inverses c in
+  Alcotest.(check int) "all cancelled" 0 (Circuit.count_total optimized);
+  Alcotest.(check int) "six removed" 6 stats.Optimize.removed
+
+let test_cancel_nested () =
+  let c = Circuit.(empty 2 |> cx 0 1 |> h 0 |> h 0 |> cx 0 1) in
+  let optimized, _ = Optimize.cancel_inverses c in
+  Alcotest.(check int) "nested cascade" 0 (Circuit.count_total optimized)
+
+let test_cancel_blocked () =
+  (* An intervening gate on a shared qubit blocks cancellation. *)
+  let c = Circuit.(empty 2 |> h 0 |> cx 0 1 |> h 0) in
+  let optimized, _ = Optimize.cancel_inverses c in
+  Alcotest.(check int) "nothing cancelled" 3 (Circuit.count_total optimized)
+
+let test_merge_rotations () =
+  let c = Circuit.(empty 1 |> t 0 |> t 0 |> s 0 |> rz 0.5 0) in
+  let optimized, stats = Optimize.merge_rotations c in
+  Alcotest.(check int) "merged to one" 1 (Circuit.count_total optimized);
+  Alcotest.(check bool) "merges counted" true (stats.Optimize.merged >= 3);
+  check_equiv_phase "merge preserves" c optimized
+
+let test_merge_to_identity () =
+  let c = Circuit.(empty 1 |> s 0 |> s 0 |> z 0) in
+  let optimized, _ = Optimize.optimize c in
+  Alcotest.(check int) "S·S·Z = I dropped" 0 (Circuit.count_total optimized)
+
+let test_optimize_preserves_semantics () =
+  List.iter
+    (fun seed ->
+      let c = Generators.random_clifford_t ~seed ~gates:80 ~t_fraction:0.3 4 in
+      let optimized, _ = Optimize.optimize c in
+      Alcotest.(check bool) "not longer" true
+        (Circuit.count_total optimized <= Circuit.count_total c);
+      check_equiv_phase "optimize preserves" c optimized)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_optimize_reduces_redundant () =
+  (* C · C† optimizes down substantially. *)
+  let c = Generators.random_clifford ~seed:3 ~gates:30 3 in
+  let cc = Circuit.append c (Circuit.adjoint c) in
+  let optimized, _ = Optimize.optimize cc in
+  Alcotest.(check bool)
+    (Printf.sprintf "reduced %d -> %d" (Circuit.count_total cc) (Circuit.count_total optimized))
+    true
+    (Circuit.count_total optimized < Circuit.count_total cc / 2)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_lowering_preserves =
+  QCheck.Test.make ~name:"lowering preserves unitary (up to phase)" ~count:20
+    (QCheck.make QCheck.Gen.(pair (int_range 2 4) (int_range 0 1000)))
+    (fun (n, seed) ->
+      let c = Generators.random_circuit ~seed ~depth:2 n in
+      let lowered = Decompose.lower ~basis:Decompose.Cx_rz_h c in
+      Mat.equal_up_to_global_phase ~eps:1e-6 (UB.unitary c) (UB.unitary lowered))
+
+let prop_routing_preserves =
+  QCheck.Test.make ~name:"routing preserves unitary (up to phase)" ~count:15
+    (QCheck.make QCheck.Gen.(int_range 0 1000))
+    (fun seed ->
+      let c = Generators.random_circuit ~seed ~depth:3 4 in
+      let result = Router.route c (Coupling.line 4) in
+      let restored = Router.undo_final_permutation result in
+      Mat.equal_up_to_global_phase ~eps:1e-6 (UB.unitary c) (UB.unitary restored))
+
+let prop_optimize_preserves =
+  QCheck.Test.make ~name:"optimize preserves unitary (up to phase)" ~count:15
+    (QCheck.make QCheck.Gen.(pair (int_range 1 4) (int_range 0 1000)))
+    (fun (n, seed) ->
+      let c = Generators.random_clifford_t ~seed ~gates:40 ~t_fraction:0.3 n in
+      let optimized, _ = Optimize.optimize c in
+      Mat.equal_up_to_global_phase ~eps:1e-6 (UB.unitary c) (UB.unitary optimized))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_lowering_preserves; prop_routing_preserves; prop_optimize_preserves ]
+
+let () =
+  Alcotest.run "qdt_compile"
+    [
+      ( "decompose",
+        [
+          Alcotest.test_case "zyz" `Quick test_zyz;
+          Alcotest.test_case "sqrt" `Quick test_sqrt_unitary;
+          Alcotest.test_case "two-qubit basis" `Quick test_lower_two_qubit;
+          Alcotest.test_case "two-qubit exact" `Quick test_lower_two_qubit_exact;
+          Alcotest.test_case "zx basis" `Quick test_lower_zx_ready;
+          Alcotest.test_case "cx+rz+h basis" `Quick test_lower_cx_rz_h;
+        ] );
+      ( "coupling",
+        [
+          Alcotest.test_case "topologies" `Quick test_coupling_topologies;
+          Alcotest.test_case "shortest path" `Quick test_shortest_path;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "respects coupling" `Quick test_router_respects_coupling;
+          Alcotest.test_case "preserves functionality" `Quick test_router_preserves_functionality;
+          Alcotest.test_case "line overhead" `Quick test_router_line_overhead;
+          Alcotest.test_case "measurements" `Quick test_router_measurements;
+        ] );
+      ( "optimize",
+        [
+          Alcotest.test_case "cancel" `Quick test_cancel_inverses;
+          Alcotest.test_case "nested cascade" `Quick test_cancel_nested;
+          Alcotest.test_case "blocked" `Quick test_cancel_blocked;
+          Alcotest.test_case "merge" `Quick test_merge_rotations;
+          Alcotest.test_case "merge to identity" `Quick test_merge_to_identity;
+          Alcotest.test_case "random preserved" `Quick test_optimize_preserves_semantics;
+          Alcotest.test_case "reduces C·C†" `Quick test_optimize_reduces_redundant;
+        ] );
+      ("properties", props);
+    ]

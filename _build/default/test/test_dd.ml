@@ -1,0 +1,390 @@
+open Qdt_linalg
+open Qdt_circuit
+open Qdt_dd
+
+let s2 = Cx.of_float Cx.sqrt1_2
+
+let check_vec msg expect got =
+  if not (Vec.approx_equal ~eps:1e-8 expect got) then
+    Alcotest.failf "%s:@.expected %a@.got %a" msg Vec.pp expect Vec.pp got
+
+let check_mat msg expect got =
+  if not (Mat.approx_equal ~eps:1e-8 expect got) then
+    Alcotest.failf "%s:@.expected@.%a@.got@.%a" msg Mat.pp expect Mat.pp got
+
+(* ------------------------------------------------------------------ *)
+(* Cnum_table                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_cnum_canonical () =
+  let t = Cnum_table.create () in
+  let id1, v1 = Cnum_table.canonical t (Cx.make 0.5 0.0) in
+  let id2, v2 = Cnum_table.canonical t (Cx.make (0.5 +. 1e-12) 0.0) in
+  Alcotest.(check int) "same id" id1 id2;
+  Alcotest.(check bool) "same value" true (Cx.equal v1 v2);
+  let id3, _ = Cnum_table.canonical t (Cx.make 0.6 0.0) in
+  Alcotest.(check bool) "distinct id" true (id3 <> id1);
+  let idz, vz = Cnum_table.canonical t (Cx.make 1e-13 (-1e-13)) in
+  Alcotest.(check int) "zero id" Cnum_table.zero_id idz;
+  Alcotest.(check bool) "zero value" true (Cx.equal vz Cx.zero);
+  let ido, _ = Cnum_table.canonical t (Cx.make 1.0 1e-12) in
+  Alcotest.(check int) "one id" Cnum_table.one_id ido
+
+let test_cnum_boundary () =
+  (* Values straddling a quantisation boundary must still unify. *)
+  let t = Cnum_table.create ~eps:1e-9 () in
+  let a = 0.1234567895 (* sits near a 1e-9 grid line *) in
+  let id1, _ = Cnum_table.canonical t (Cx.make (a -. 4e-10) 0.0) in
+  let id2, _ = Cnum_table.canonical t (Cx.make (a +. 4e-10) 0.0) in
+  Alcotest.(check int) "straddling values unify" id1 id2
+
+(* ------------------------------------------------------------------ *)
+(* Construction / canonicity                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_basis_states () =
+  let mgr = Pkg.create () in
+  for k = 0 to 7 do
+    let e = Build.basis_state mgr 3 k in
+    check_vec
+      (Printf.sprintf "|%d>" k)
+      (Vec.basis ~dim:8 k)
+      (Pkg.to_vec mgr e ~num_qubits:3);
+    Alcotest.(check int) "chain length" 3 (Pkg.node_count e)
+  done
+
+let test_from_vec_roundtrip () =
+  let mgr = Pkg.create () in
+  let st = Random.State.make [| 31 |] in
+  for _trial = 1 to 5 do
+    let v =
+      Vec.normalize
+        (Vec.init 8 (fun _ ->
+             Cx.make (Random.State.float st 2.0 -. 1.0) (Random.State.float st 2.0 -. 1.0)))
+    in
+    check_vec "roundtrip" v (Pkg.to_vec mgr (Build.from_vec mgr v) ~num_qubits:3)
+  done
+
+let test_hash_consing () =
+  let mgr = Pkg.create () in
+  let a = Build.from_vec mgr (Vec.of_array [| s2; Cx.zero; Cx.zero; s2 |]) in
+  let b = Build.from_vec mgr (Vec.of_array [| s2; Cx.zero; Cx.zero; s2 |]) in
+  Alcotest.(check bool) "same edge" true (Pkg.edge_equal a b);
+  (match (a.Pkg.target, b.Pkg.target) with
+  | Pkg.Node n1, Pkg.Node n2 -> Alcotest.(check int) "same node id" n1.Pkg.id n2.Pkg.id
+  | _ -> Alcotest.fail "expected nodes")
+
+let test_bell_dd_fig1 () =
+  (* Fig. 1 of the paper: the Bell state as a DD.  Root weight 1/√2,
+     amplitude reconstruction by multiplying path weights. *)
+  let mgr = Pkg.create () in
+  let bell = Build.from_vec mgr (Vec.of_array [| s2; Cx.zero; Cx.zero; s2 |]) in
+  Alcotest.(check bool) "root weight = 1/sqrt2" true
+    (Cx.approx_equal ~eps:1e-9 bell.Pkg.w s2);
+  Alcotest.(check int) "3 nodes (q1 + two q0)" 3 (Pkg.node_count bell);
+  Alcotest.(check bool) "amp |00>" true
+    (Cx.approx_equal ~eps:1e-9 s2 (Pkg.amplitude mgr bell 0));
+  Alcotest.(check bool) "amp |01> = 0" true (Cx.is_zero (Pkg.amplitude mgr bell 1));
+  Alcotest.(check bool) "amp |11>" true
+    (Cx.approx_equal ~eps:1e-9 s2 (Pkg.amplitude mgr bell 3))
+
+let test_ghz_nodes_linear () =
+  (* The headline redundancy claim of Section III: GHZ needs O(n) nodes
+     while the array needs 2^n amplitudes. *)
+  let mgr = Pkg.create () in
+  List.iter
+    (fun n ->
+      let st = Sim.make mgr n in
+      let rng = Random.State.make [| 0 |] in
+      List.iter
+        (fun instr -> Sim.apply_instruction st instr ~rng ~clbits:[| 0 |])
+        (Circuit.instructions (Generators.ghz n));
+      Alcotest.(check int)
+        (Printf.sprintf "ghz(%d) nodes" n)
+        (2 * n - 1)
+        (Sim.node_count st))
+    [ 2; 4; 8; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* Gate DDs                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_identity_dd () =
+  let mgr = Pkg.create () in
+  let e = Build.identity mgr 3 in
+  check_mat "I8" (Mat.identity 8) (Pkg.to_mat mgr e ~num_qubits:3);
+  Alcotest.(check int) "identity chain" 3 (Pkg.node_count e)
+
+let test_gate_dd_matches_arrays () =
+  let cases =
+    [
+      ("h q0 of 1", 1, Circuit.Apply { gate = Gate.H; controls = []; target = 0 });
+      ("h q1 of 3", 3, Circuit.Apply { gate = Gate.H; controls = []; target = 1 });
+      ("x q2 of 3", 3, Circuit.Apply { gate = Gate.X; controls = []; target = 2 });
+      ("cx 2->0", 3, Circuit.Apply { gate = Gate.X; controls = [ 2 ]; target = 0 });
+      ("cx 0->2", 3, Circuit.Apply { gate = Gate.X; controls = [ 0 ]; target = 2 });
+      ("cz 1,2", 3, Circuit.Apply { gate = Gate.Z; controls = [ 1 ]; target = 2 });
+      ("ccx", 3, Circuit.Apply { gate = Gate.X; controls = [ 1; 2 ]; target = 0 });
+      ("ccx mixed", 4, Circuit.Apply { gate = Gate.X; controls = [ 0; 3 ]; target = 1 });
+      ("ct", 3, Circuit.Apply { gate = Gate.T; controls = [ 0 ]; target = 2 });
+      ("swap 0,2", 3, Circuit.Swap { controls = []; a = 0; b = 2 });
+      ("cswap", 3, Circuit.Swap { controls = [ 2 ]; a = 0; b = 1 });
+      ("rz", 2, Circuit.Apply { gate = Gate.Rz 0.7; controls = []; target = 1 });
+    ]
+  in
+  List.iter
+    (fun (name, n, instr) ->
+      let mgr = Pkg.create () in
+      let dd = Build.instruction mgr ~num_qubits:n instr in
+      let expect = Qdt_arraysim.Unitary_builder.instruction_matrix ~num_qubits:n instr in
+      check_mat name expect (Pkg.to_mat mgr dd ~num_qubits:n))
+    cases
+
+let test_circuit_unitary_dd () =
+  List.iter
+    (fun (name, c) ->
+      let mgr = Pkg.create () in
+      let dd = Build.circuit_unitary mgr c in
+      let expect = Qdt_arraysim.Unitary_builder.unitary c in
+      check_mat name expect (Pkg.to_mat mgr dd ~num_qubits:(Circuit.num_qubits c)))
+    [
+      ("bell", Generators.bell);
+      ("qft3", Generators.qft 3);
+      ("random", Generators.random_circuit ~seed:17 ~depth:3 3);
+      ("grover", Generators.grover_iterations ~marked:1 ~iterations:1 2);
+    ]
+
+let test_projector () =
+  let mgr = Pkg.create () in
+  let p = Build.projector_ones mgr 2 [ 1 ] in
+  let expect =
+    Mat.init 4 4 (fun r c -> if r = c && r land 2 <> 0 then Cx.one else Cx.zero)
+  in
+  check_mat "P(q1=1)" expect (Pkg.to_mat mgr p ~num_qubits:2)
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_add () =
+  let mgr = Pkg.create () in
+  let v1 = Vec.of_array [| Cx.one; Cx.zero; Cx.i; Cx.zero |] in
+  let v2 = Vec.of_array [| Cx.zero; Cx.of_float 2.0; Cx.i; Cx.one |] in
+  let sum = Pkg.add mgr (Build.from_vec mgr v1) (Build.from_vec mgr v2) in
+  check_vec "add" (Vec.add v1 v2) (Pkg.to_vec mgr sum ~num_qubits:2)
+
+let test_add_cancellation () =
+  let mgr = Pkg.create () in
+  let v = Build.from_vec mgr (Vec.of_array [| s2; Cx.zero; Cx.zero; s2 |]) in
+  let neg = Pkg.scale mgr Cx.minus_one v in
+  let sum = Pkg.add mgr v neg in
+  Alcotest.(check bool) "cancels to zero edge" true (Pkg.is_zero sum)
+
+let test_mul_mm_adjoint_trace () =
+  let mgr = Pkg.create () in
+  let c = Generators.random_circuit ~seed:3 ~depth:3 3 in
+  let u = Build.circuit_unitary mgr c in
+  let udag = Pkg.adjoint mgr u in
+  let prod = Pkg.mul_mm mgr udag u in
+  check_mat "U†U = I" (Mat.identity 8) (Pkg.to_mat mgr prod ~num_qubits:3);
+  let tr = Pkg.trace mgr prod in
+  Alcotest.(check bool) "trace = 8" true (Cx.approx_equal ~eps:1e-7 (Cx.of_float 8.0) tr)
+
+let test_kron () =
+  let mgr = Pkg.create () in
+  let upper = Build.from_vec mgr (Vec.of_array [| s2; s2 |]) in
+  let lower = Build.from_vec mgr (Vec.of_array [| Cx.zero; Cx.one |]) in
+  let prod = Pkg.kron mgr ~lower_qubits:1 upper lower in
+  check_vec "kron |+>|1>"
+    (Vec.of_array [| Cx.zero; s2; Cx.zero; s2 |])
+    (Pkg.to_vec mgr prod ~num_qubits:2);
+  (* matrix kron: H ⊗ I = gate dd of H on q1 *)
+  let h_up = Build.gate mgr ~num_qubits:1 ~controls:[] ~target:0 Gates.h in
+  let id1 = Build.identity mgr 1 in
+  let hk = Pkg.kron mgr ~lower_qubits:1 h_up id1 in
+  let expect = Build.gate mgr ~num_qubits:2 ~controls:[] ~target:1 Gates.h in
+  Alcotest.(check bool) "H⊗I shares node" true (Pkg.edge_equal hk expect)
+
+let test_inner () =
+  let mgr = Pkg.create () in
+  let a = Build.from_vec mgr (Vec.of_array [| s2; Cx.zero; Cx.zero; s2 |]) in
+  let b = Build.basis_state mgr 2 0 in
+  Alcotest.(check bool) "<bell|00>" true
+    (Cx.approx_equal ~eps:1e-9 s2 (Pkg.inner mgr a b));
+  Alcotest.(check bool) "<bell|bell>" true
+    (Cx.approx_equal ~eps:1e-9 Cx.one (Pkg.inner mgr a a))
+
+(* ------------------------------------------------------------------ *)
+(* Simulation agrees with arrays                                       *)
+(* ------------------------------------------------------------------ *)
+
+let circuits_to_cross_check =
+  [
+    ("bell", Generators.bell);
+    ("ghz5", Generators.ghz 5);
+    ("w4", Generators.w_state 4);
+    ("qft4", Generators.qft 4);
+    ("grover3", Generators.grover ~marked:5 3);
+    ("bv", Generators.bernstein_vazirani ~secret:11 4);
+    ("adder", Generators.cuccaro_adder 2);
+    ("random1", Generators.random_circuit ~seed:1 ~depth:4 4);
+    ("random2", Generators.random_circuit ~seed:2 ~depth:6 3);
+    ("clifford_t", Generators.random_clifford_t ~seed:5 ~gates:60 ~t_fraction:0.2 4);
+    ("phase_est", Generators.phase_estimation ~phase:0.3125 4);
+  ]
+
+let test_sim_matches_arrays () =
+  List.iter
+    (fun (name, c) ->
+      let dd = Sim.run_unitary c in
+      let sv = Qdt_arraysim.Statevector.run_unitary c in
+      check_vec name (Qdt_arraysim.Statevector.to_vec sv) (Sim.to_vec dd))
+    circuits_to_cross_check
+
+let test_sim_measurement () =
+  let c = Circuit.measure_all Generators.bell in
+  let seen = Hashtbl.create 4 in
+  for seed = 0 to 63 do
+    let _, clbits = Sim.run ~seed c in
+    Alcotest.(check int) "correlated" clbits.(0) clbits.(1);
+    Hashtbl.replace seen clbits.(0) ()
+  done;
+  Alcotest.(check int) "both outcomes" 2 (Hashtbl.length seen)
+
+let test_sim_sampling () =
+  let st, _ = Sim.run (Generators.ghz 6) in
+  let counts = Sim.sample ~seed:9 st ~shots:1000 in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 counts in
+  Alcotest.(check int) "all shots" 1000 total;
+  List.iter
+    (fun (k, c) ->
+      Alcotest.(check bool) "only extremes" true (k = 0 || k = 63);
+      Alcotest.(check bool) "balanced" true (c > 400 && c < 600))
+    counts
+
+let test_sim_w_sampling () =
+  let st, _ = Sim.run (Generators.w_state 5) in
+  let counts = Sim.sample ~seed:4 st ~shots:2000 in
+  List.iter
+    (fun (k, _) ->
+      Alcotest.(check bool) "one-hot only" true (List.mem k [ 1; 2; 4; 8; 16 ]))
+    counts;
+  Alcotest.(check int) "all five appear" 5 (List.length counts)
+
+let test_prob_expectation () =
+  let st, _ = Sim.run (Generators.w_state 4) in
+  Alcotest.(check (float 1e-9)) "prob_one" 0.25 (Sim.prob_one st 2);
+  Alcotest.(check (float 1e-9)) "<Z>" 0.5 (Sim.expectation_z st 2)
+
+let test_sim_fidelity () =
+  let mgr = Pkg.create () in
+  let a = Sim.make mgr 3 and b = Sim.make mgr 3 in
+  let rng = Random.State.make [| 0 |] in
+  List.iter
+    (fun instr -> Sim.apply_instruction a instr ~rng ~clbits:[| 0 |])
+    (Circuit.instructions (Generators.ghz 3));
+  Alcotest.(check (float 1e-9)) "<ghz|000>^2" 0.5 (Sim.fidelity a b);
+  Alcotest.(check (float 1e-9)) "self" 1.0 (Sim.fidelity a a)
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec loop k = k + nl <= hl && (String.sub haystack k nl = needle || loop (k + 1)) in
+  loop 0
+
+let test_dot_export () =
+  let mgr = Pkg.create () in
+  let bell = Build.from_vec mgr (Vec.of_array [| s2; Cx.zero; Cx.zero; s2 |]) in
+  let dot = Export.to_dot mgr bell in
+  Alcotest.(check bool) "digraph" true (contains ~needle:"digraph dd" dot);
+  Alcotest.(check bool) "q1 node" true (contains ~needle:"q1" dot);
+  Alcotest.(check bool) "0-stub" true (contains ~needle:"shape=square" dot)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_dd_matches_array_sim =
+  QCheck.Test.make ~name:"DD sim = array sim on random circuits" ~count:25
+    (QCheck.make QCheck.Gen.(pair (int_range 1 5) (int_range 0 10000)))
+    (fun (n, seed) ->
+      let c = Generators.random_circuit ~seed ~depth:3 n in
+      let dd = Sim.run_unitary c in
+      let sv = Qdt_arraysim.Statevector.run_unitary c in
+      Vec.approx_equal ~eps:1e-7 (Qdt_arraysim.Statevector.to_vec sv) (Sim.to_vec dd))
+
+let prop_canonicity =
+  QCheck.Test.make ~name:"same vector -> same edge" ~count:25
+    (QCheck.make QCheck.Gen.(int_range 0 10000))
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let mgr = Pkg.create () in
+      let v =
+        Vec.normalize
+          (Vec.init 16 (fun _ ->
+               Cx.make
+                 (Random.State.float st 2.0 -. 1.0)
+                 (Random.State.float st 2.0 -. 1.0)))
+      in
+      let a = Build.from_vec mgr v and b = Build.from_vec mgr v in
+      Pkg.edge_equal a b)
+
+let prop_unitarity_preserved =
+  QCheck.Test.make ~name:"DD norm preserved" ~count:20
+    (QCheck.make QCheck.Gen.(pair (int_range 1 4) (int_range 0 1000)))
+    (fun (n, seed) ->
+      let c = Generators.random_clifford_t ~seed ~gates:40 ~t_fraction:0.25 n in
+      let st = Sim.run_unitary c in
+      let mgr = Sim.manager st in
+      Float.abs ((Pkg.inner mgr (Sim.root st) (Sim.root st)).Cx.re -. 1.0) < 1e-7)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_dd_matches_array_sim; prop_canonicity; prop_unitarity_preserved ]
+
+let () =
+  Alcotest.run "qdt_dd"
+    [
+      ( "cnum",
+        [
+          Alcotest.test_case "canonical" `Quick test_cnum_canonical;
+          Alcotest.test_case "boundary" `Quick test_cnum_boundary;
+        ] );
+      ( "build",
+        [
+          Alcotest.test_case "basis states" `Quick test_basis_states;
+          Alcotest.test_case "from_vec roundtrip" `Quick test_from_vec_roundtrip;
+          Alcotest.test_case "hash consing" `Quick test_hash_consing;
+          Alcotest.test_case "paper fig 1" `Quick test_bell_dd_fig1;
+          Alcotest.test_case "ghz linear" `Quick test_ghz_nodes_linear;
+          Alcotest.test_case "identity" `Quick test_identity_dd;
+          Alcotest.test_case "projector" `Quick test_projector;
+        ] );
+      ( "gates",
+        [
+          Alcotest.test_case "gate dds vs arrays" `Quick test_gate_dd_matches_arrays;
+          Alcotest.test_case "circuit unitary" `Quick test_circuit_unitary_dd;
+        ] );
+      ( "arithmetic",
+        [
+          Alcotest.test_case "add" `Quick test_add;
+          Alcotest.test_case "cancellation" `Quick test_add_cancellation;
+          Alcotest.test_case "mul/adjoint/trace" `Quick test_mul_mm_adjoint_trace;
+          Alcotest.test_case "kron" `Quick test_kron;
+          Alcotest.test_case "inner" `Quick test_inner;
+        ] );
+      ( "simulation",
+        [
+          Alcotest.test_case "matches arrays" `Quick test_sim_matches_arrays;
+          Alcotest.test_case "measurement" `Quick test_sim_measurement;
+          Alcotest.test_case "sampling ghz" `Quick test_sim_sampling;
+          Alcotest.test_case "sampling w" `Quick test_sim_w_sampling;
+          Alcotest.test_case "prob/expectation" `Quick test_prob_expectation;
+          Alcotest.test_case "fidelity" `Quick test_sim_fidelity;
+        ] );
+      ("export", [ Alcotest.test_case "dot" `Quick test_dot_export ]);
+      ("properties", props);
+    ]

@@ -1,0 +1,402 @@
+(* Tests for the extension modules: noise trajectories, DD approximation,
+   phase-polynomial optimization, lookahead routing, and the extra
+   workload generators. *)
+
+open Qdt_linalg
+open Qdt_circuit
+open Qdt_arraysim
+module UB = Unitary_builder
+
+let check_equiv_phase msg a b =
+  if not (Mat.equal_up_to_global_phase ~eps:1e-7 (UB.unitary a) (UB.unitary b)) then
+    Alcotest.failf "%s: circuits differ" msg
+
+(* ------------------------------------------------------------------ *)
+(* Trajectories                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_trajectories_noiseless_limit () =
+  (* depolarizing(0) must reproduce the ideal state exactly *)
+  let c = Generators.ghz 4 in
+  let sv = Trajectories.run_single ~noise:(Trajectories.depolarizing 0.0) c in
+  let ideal = Statevector.run_unitary c in
+  Alcotest.(check (float 1e-10)) "fidelity 1" 1.0 (Statevector.fidelity ideal sv)
+
+let test_trajectories_match_density () =
+  (* averaged trajectories converge to the density-matrix diagonal *)
+  let c = Generators.bell in
+  let noise = Trajectories.depolarizing 0.1 in
+  let avg = Trajectories.average_probabilities ~seed:3 ~noise ~trajectories:800 c in
+  let dm = Density.run ~noise:(fun () -> Density.depolarizing 0.1) c in
+  let exact = Density.probabilities dm in
+  Array.iteri
+    (fun k p ->
+      if Float.abs (p -. exact.(k)) > 0.05 then
+        Alcotest.failf "p(%d): trajectories %.3f vs density %.3f" k p exact.(k))
+    avg
+
+let test_trajectories_amplitude_damping () =
+  (* full damping returns |1> to |0> on every trajectory *)
+  let c = Circuit.(empty 1 |> x 0) in
+  let sv = Trajectories.run_single ~noise:(Trajectories.amplitude_damping 1.0) c in
+  Alcotest.(check (float 1e-10)) "ground state" 1.0 (Statevector.probability sv 0)
+
+let test_trajectories_fidelity_decays () =
+  let c = Generators.ghz 3 in
+  let f01 =
+    Trajectories.average_fidelity ~seed:1 ~noise:(Trajectories.depolarizing 0.02)
+      ~trajectories:60 c
+  in
+  let f10 =
+    Trajectories.average_fidelity ~seed:1 ~noise:(Trajectories.depolarizing 0.2)
+      ~trajectories:60 c
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "more noise, less fidelity (%.3f vs %.3f)" f01 f10)
+    true (f10 < f01);
+  Alcotest.(check bool) "light noise keeps most fidelity" true (f01 > 0.8)
+
+(* ------------------------------------------------------------------ *)
+(* DD approximation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_approx_zero_threshold_is_identity () =
+  let st = Qdt_dd.Sim.run_unitary (Generators.random_circuit ~seed:5 ~depth:3 5) in
+  let before = Qdt_dd.Sim.root st in
+  let fidelity = Qdt_dd.Approx.prune_state st ~threshold:0.0 in
+  Alcotest.(check (float 1e-10)) "fidelity 1" 1.0 fidelity;
+  Alcotest.(check bool) "same edge" true (Qdt_dd.Pkg.edge_equal before (Qdt_dd.Sim.root st))
+
+let test_approx_shrinks_with_fidelity_bound () =
+  (* a random state plus a tiny perturbation branch: pruning removes it *)
+  let st = Qdt_dd.Sim.run_unitary (Generators.random_circuit ~seed:9 ~depth:4 8) in
+  let nodes_before = Qdt_dd.Sim.node_count st in
+  let fidelity = Qdt_dd.Approx.prune_state st ~threshold:1e-4 in
+  let nodes_after = Qdt_dd.Sim.node_count st in
+  Alcotest.(check bool)
+    (Printf.sprintf "nodes %d -> %d" nodes_before nodes_after)
+    true
+    (nodes_after <= nodes_before);
+  Alcotest.(check bool)
+    (Printf.sprintf "fidelity %.6f stays high" fidelity)
+    true (fidelity > 0.98);
+  (* state renormalised *)
+  let mgr = Qdt_dd.Sim.manager st in
+  let n2 = (Qdt_dd.Pkg.inner mgr (Qdt_dd.Sim.root st) (Qdt_dd.Sim.root st)).Cx.re in
+  Alcotest.(check (float 1e-9)) "norm 1" 1.0 n2
+
+let test_approx_aggressive_threshold_prunes_more () =
+  let run threshold =
+    let st = Qdt_dd.Sim.run_unitary (Generators.random_circuit ~seed:2 ~depth:4 8) in
+    let f = Qdt_dd.Approx.prune_state st ~threshold in
+    (Qdt_dd.Sim.node_count st, f)
+  in
+  let nodes_light, f_light = run 1e-6 in
+  let nodes_heavy, f_heavy = run 1e-2 in
+  Alcotest.(check bool) "heavier pruning, fewer nodes" true (nodes_heavy <= nodes_light);
+  Alcotest.(check bool) "heavier pruning, lower fidelity" true (f_heavy <= f_light +. 1e-12)
+
+let test_approx_ghz_robust () =
+  (* GHZ has two equal branches: moderate thresholds must keep both *)
+  let st = Qdt_dd.Sim.run_unitary (Generators.ghz 8) in
+  let f = Qdt_dd.Approx.prune_state st ~threshold:0.01 in
+  Alcotest.(check (float 1e-9)) "nothing pruned" 1.0 f;
+  Alcotest.(check (float 1e-9)) "p(1...1) intact" 0.5
+    (Qdt_dd.Sim.probability st 255)
+
+(* ------------------------------------------------------------------ *)
+(* DD density matrices (noise-aware DD simulation, ref [13])           *)
+(* ------------------------------------------------------------------ *)
+
+module NS = Qdt_dd.Noise_sim
+
+let test_noise_sim_pure () =
+  let st = NS.run Generators.bell in
+  Alcotest.(check (float 1e-9)) "trace" 1.0 (NS.trace st);
+  Alcotest.(check (float 1e-9)) "purity" 1.0 (NS.purity st);
+  Alcotest.(check (float 1e-9)) "p(00)" 0.5 (NS.probability st 0);
+  Alcotest.(check (float 1e-9)) "p(11)" 0.5 (NS.probability st 3);
+  Alcotest.(check (float 1e-9)) "p(01)" 0.0 (NS.probability st 1)
+
+let test_noise_sim_matches_dense_density () =
+  List.iter
+    (fun p ->
+      let noise_dd () = [ Gates.x |> Mat.scale (Qdt_linalg.Cx.of_float (Float.sqrt p));
+                          Gates.id2 |> Mat.scale (Qdt_linalg.Cx.of_float (Float.sqrt (1.0 -. p))) ] in
+      let dd = NS.run ~noise:noise_dd (Generators.ghz 3) in
+      let dense = Density.run ~noise:(fun () -> Density.bit_flip p) (Generators.ghz 3) in
+      (* same Kraus set up to ordering: compare matrices *)
+      let m_dd = NS.to_mat dd in
+      let m_dense = Density.matrix dense in
+      if not (Mat.approx_equal ~eps:1e-8 m_dense m_dd) then
+        Alcotest.failf "p=%f: DD density disagrees with dense density" p)
+    [ 0.0; 0.05; 0.25 ]
+
+let test_noise_sim_channels () =
+  let st = NS.run ~noise:(fun () -> Density.depolarizing 0.2) Generators.bell in
+  Alcotest.(check (float 1e-8)) "trace preserved" 1.0 (NS.trace st);
+  Alcotest.(check bool) "purity dropped" true (NS.purity st < 0.99);
+  let ideal = Qdt_arraysim.Statevector.to_vec (Qdt_arraysim.Statevector.run_unitary Generators.bell) in
+  let f = NS.fidelity_to_pure st ideal in
+  let dense = Density.run ~noise:(fun () -> Density.depolarizing 0.2) Generators.bell in
+  let f_dense = Density.fidelity_to_pure dense (Qdt_arraysim.Statevector.run_unitary Generators.bell) in
+  Alcotest.(check (float 1e-8)) "fidelity matches dense" f_dense f
+
+let test_noise_sim_structured_stays_small () =
+  (* a GHZ density matrix under phase damping keeps a compact DD while the
+     dense representation is 4^n *)
+  let n = 8 in
+  let st = NS.run ~noise:(fun () -> Density.phase_damping 0.1) (Generators.ghz n) in
+  Alcotest.(check (float 1e-7)) "trace" 1.0 (NS.trace st);
+  Alcotest.(check bool)
+    (Printf.sprintf "DD nodes %d << %d dense entries" (NS.node_count st) (1 lsl (2 * n)))
+    true
+    (NS.node_count st * 50 < 1 lsl (2 * n))
+
+(* ------------------------------------------------------------------ *)
+(* Phase polynomial                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module PP = Qdt_compile.Phase_poly
+
+let test_phase_poly_merges_parities () =
+  (* T(x0); CX; T(x0⊕x1); CX; T(x0): merges to S(x0) + T(x0⊕x1) *)
+  let c = Circuit.(empty 2 |> t 0 |> cx 1 0 |> t 0 |> cx 1 0 |> t 0) in
+  let poly = PP.of_circuit c in
+  let ts = PP.terms poly in
+  Alcotest.(check int) "two parities" 2 (List.length ts);
+  Alcotest.(check bool) "x0 has angle pi/2" true
+    (List.exists
+       (fun (mask, theta) -> mask = 1 && Float.abs (theta -. (Float.pi /. 2.0)) < 1e-12)
+       ts);
+  Alcotest.(check bool) "x0^x1 has angle pi/4" true
+    (List.exists
+       (fun (mask, theta) -> mask = 3 && Float.abs (theta -. (Float.pi /. 4.0)) < 1e-12)
+       ts)
+
+let test_phase_poly_roundtrip () =
+  List.iter
+    (fun (name, c) ->
+      let optimized = PP.optimize c in
+      check_equiv_phase name c optimized)
+    [
+      ("t-cx ladder", Circuit.(empty 2 |> t 0 |> cx 1 0 |> t 0 |> cx 1 0 |> t 0));
+      ("cx only", Circuit.(empty 3 |> cx 0 1 |> cx 1 2 |> cx 2 0));
+      ("diagonal only", Circuit.(empty 2 |> t 0 |> s 1 |> rz 0.3 0));
+      ( "dense block",
+        Circuit.(
+          empty 3 |> cx 2 1 |> t 1 |> cx 1 0 |> rz 0.7 0 |> cx 2 0 |> tdg 0 |> cx 1 0
+          |> s 2 |> cx 2 1) );
+      ("empty", Circuit.empty 2);
+    ]
+
+let test_phase_poly_reduces_t_count () =
+  let c = Circuit.(empty 2 |> t 0 |> cx 1 0 |> t 0 |> cx 1 0 |> t 0) in
+  Alcotest.(check int) "before" 3 (Circuit.t_count c);
+  let optimized = PP.optimize c in
+  (* surviving non-Clifford rotations *)
+  let non_clifford =
+    List.length
+      (List.filter
+         (function
+           | Circuit.Apply { gate = Gate.Phase theta; _ } ->
+               not (Qdt_zx.Phase.is_clifford (Qdt_zx.Phase.of_radians theta))
+           | _ -> false)
+         (Circuit.instructions optimized))
+  in
+  Alcotest.(check int) "one T-like phase left" 1 non_clifford
+
+let test_phase_poly_rejects_foreign () =
+  Alcotest.(check bool) "h not block" false
+    (PP.is_block_instruction (Circuit.Apply { gate = Gate.H; controls = []; target = 0 }));
+  match PP.of_circuit Circuit.(empty 1 |> h 0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+let test_phase_poly_blocks () =
+  (* H gates split the circuit into two optimizable blocks *)
+  let c =
+    Circuit.(
+      empty 2 |> t 0 |> cx 1 0 |> t 0 |> cx 1 0 |> t 0 |> h 0 |> t 0 |> t 0)
+  in
+  let optimized = PP.optimize_blocks c in
+  check_equiv_phase "blocks preserved" c optimized;
+  Alcotest.(check bool) "shrunk" true
+    (Circuit.count_total optimized < Circuit.count_total c)
+
+let prop_phase_poly_preserves =
+  QCheck.Test.make ~name:"phase-poly optimize preserves semantics" ~count:25
+    (QCheck.make QCheck.Gen.(pair (int_range 2 4) (int_range 0 5000)))
+    (fun (n, seed) ->
+      (* random CNOT+diagonal circuit *)
+      let st = Random.State.make [| seed; n |] in
+      let c = ref (Circuit.empty n) in
+      for _ = 1 to 25 do
+        match Random.State.int st 4 with
+        | 0 -> c := Circuit.t (Random.State.int st n) !c
+        | 1 -> c := Circuit.rz (Random.State.float st 6.28) (Random.State.int st n) !c
+        | 2 -> c := Circuit.s (Random.State.int st n) !c
+        | _ ->
+            let a = Random.State.int st n in
+            let b = (a + 1 + Random.State.int st (n - 1)) mod n in
+            c := Circuit.cx a b !c
+      done;
+      let optimized = PP.optimize !c in
+      Mat.equal_up_to_global_phase ~eps:1e-7 (UB.unitary !c) (UB.unitary optimized))
+
+(* ------------------------------------------------------------------ *)
+(* Lookahead router                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module LR = Qdt_compile.Lookahead_router
+module Router = Qdt_compile.Router
+module Coupling = Qdt_compile.Coupling
+
+let test_lookahead_respects_coupling () =
+  List.iter
+    (fun (name, c, coupling) ->
+      let result = LR.route c coupling in
+      Alcotest.(check bool) (name ^ " respects") true
+        (Router.respects result.Router.routed coupling))
+    [
+      ("qft5/line", Generators.qft 5, Coupling.line 5);
+      ("qft6/grid", Generators.qft 6, Coupling.grid ~rows:2 ~cols:3);
+      ("random/ring", Generators.random_circuit ~seed:4 ~depth:4 6, Coupling.ring 6);
+      ("adder/line", Generators.cuccaro_adder 2, Coupling.line 6);
+    ]
+
+let test_lookahead_preserves_functionality () =
+  List.iter
+    (fun (name, c, coupling) ->
+      let result = LR.route c coupling in
+      let restored = Router.undo_final_permutation result in
+      check_equiv_phase name c restored)
+    [
+      ("qft4/line", Generators.qft 4, Coupling.line 4);
+      ("qft5/ring", Generators.qft 5, Coupling.ring 5);
+      ("random/line", Generators.random_circuit ~seed:8 ~depth:3 5, Coupling.line 5);
+    ]
+
+let test_lookahead_vs_greedy_overhead () =
+  (* the lookahead router should not be dramatically worse, and is usually
+     better on interleaved long-range circuits *)
+  let wins = ref 0 and total = ref 0 in
+  List.iter
+    (fun seed ->
+      let c = Generators.random_circuit ~seed ~depth:5 8 in
+      let coupling = Coupling.line 8 in
+      let greedy = (Router.route c coupling).Router.added_swaps in
+      let look = (LR.route c coupling).Router.added_swaps in
+      incr total;
+      if look <= greedy then incr wins)
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ];
+  Alcotest.(check bool)
+    (Printf.sprintf "lookahead wins or ties %d/%d" !wins !total)
+    true
+    (!wins >= !total / 2)
+
+let prop_lookahead_preserves =
+  QCheck.Test.make ~name:"lookahead routing preserves unitary" ~count:10
+    (QCheck.make QCheck.Gen.(int_range 0 1000))
+    (fun seed ->
+      let c = Generators.random_circuit ~seed ~depth:3 4 in
+      let result = LR.route c (Coupling.line 4) in
+      let restored = Router.undo_final_permutation result in
+      Mat.equal_up_to_global_phase ~eps:1e-6 (UB.unitary c) (UB.unitary restored))
+
+(* ------------------------------------------------------------------ *)
+(* New generators                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_qaoa_shape () =
+  let c = Generators.qaoa_maxcut ~seed:7 ~layers:2 6 in
+  Alcotest.(check int) "qubits" 6 (Circuit.num_qubits c);
+  Alcotest.(check bool) "has rz and rx" true
+    (List.exists (fun (name, _) -> name = "rz") (Circuit.gate_counts c)
+     && List.exists (fun (name, _) -> name = "rx") (Circuit.gate_counts c));
+  Alcotest.(check bool) "deterministic" true
+    (Circuit.equal c (Generators.qaoa_maxcut ~seed:7 ~layers:2 6));
+  (* unit norm sanity *)
+  let sv = Statevector.run_unitary c in
+  Alcotest.(check (float 1e-9)) "norm" 1.0 (Statevector.norm sv)
+
+let test_hidden_shift_recovers_shift () =
+  List.iter
+    (fun (n, shift) ->
+      let c = Generators.hidden_shift ~shift n in
+      let sv = Statevector.run_unitary c in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "n=%d shift=%d" n shift)
+        1.0
+        (Statevector.probability sv shift))
+    [ (2, 0); (2, 3); (4, 5); (4, 10); (6, 37); (8, 200) ]
+
+let test_hidden_shift_is_clifford () =
+  let c = Generators.hidden_shift ~shift:11 6 in
+  Alcotest.(check bool) "stabilizer-simulable" true (Qdt_stabilizer.Tableau.supports c);
+  (* and the tableau agrees with the dense simulator *)
+  let t, _ = Qdt_stabilizer.Tableau.run c in
+  for q = 0 to 5 do
+    let expected = if 11 land (1 lsl q) <> 0 then -1 else 1 in
+    Alcotest.(check int) (Printf.sprintf "qubit %d" q) expected
+      (Qdt_stabilizer.Tableau.expectation_z t q)
+  done
+
+let test_quantum_volume_shape () =
+  let c = Generators.quantum_volume ~seed:3 ~depth:3 6 in
+  Alcotest.(check int) "qubits" 6 (Circuit.num_qubits c);
+  Alcotest.(check bool) "cx present" true
+    (List.mem_assoc "cx" (Circuit.gate_counts c));
+  let sv = Statevector.run_unitary c in
+  Alcotest.(check (float 1e-9)) "norm" 1.0 (Statevector.norm sv)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest [ prop_phase_poly_preserves; prop_lookahead_preserves ]
+
+let () =
+  Alcotest.run "qdt_extensions"
+    [
+      ( "trajectories",
+        [
+          Alcotest.test_case "noiseless limit" `Quick test_trajectories_noiseless_limit;
+          Alcotest.test_case "matches density" `Slow test_trajectories_match_density;
+          Alcotest.test_case "amplitude damping" `Quick test_trajectories_amplitude_damping;
+          Alcotest.test_case "fidelity decay" `Quick test_trajectories_fidelity_decays;
+        ] );
+      ( "dd-approximation",
+        [
+          Alcotest.test_case "zero threshold" `Quick test_approx_zero_threshold_is_identity;
+          Alcotest.test_case "shrink with fidelity" `Quick test_approx_shrinks_with_fidelity_bound;
+          Alcotest.test_case "threshold monotone" `Quick test_approx_aggressive_threshold_prunes_more;
+          Alcotest.test_case "ghz robust" `Quick test_approx_ghz_robust;
+        ] );
+      ( "dd-noise",
+        [
+          Alcotest.test_case "pure" `Quick test_noise_sim_pure;
+          Alcotest.test_case "matches dense" `Quick test_noise_sim_matches_dense_density;
+          Alcotest.test_case "channels" `Quick test_noise_sim_channels;
+          Alcotest.test_case "structured compact" `Quick test_noise_sim_structured_stays_small;
+        ] );
+      ( "phase-polynomial",
+        [
+          Alcotest.test_case "merges parities" `Quick test_phase_poly_merges_parities;
+          Alcotest.test_case "roundtrip" `Quick test_phase_poly_roundtrip;
+          Alcotest.test_case "t-count" `Quick test_phase_poly_reduces_t_count;
+          Alcotest.test_case "rejects foreign" `Quick test_phase_poly_rejects_foreign;
+          Alcotest.test_case "blocks" `Quick test_phase_poly_blocks;
+        ] );
+      ( "lookahead-router",
+        [
+          Alcotest.test_case "respects coupling" `Quick test_lookahead_respects_coupling;
+          Alcotest.test_case "preserves functionality" `Quick test_lookahead_preserves_functionality;
+          Alcotest.test_case "overhead vs greedy" `Quick test_lookahead_vs_greedy_overhead;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "qaoa" `Quick test_qaoa_shape;
+          Alcotest.test_case "hidden shift" `Quick test_hidden_shift_recovers_shift;
+          Alcotest.test_case "hidden shift clifford" `Quick test_hidden_shift_is_clifford;
+          Alcotest.test_case "quantum volume" `Quick test_quantum_volume_shape;
+        ] );
+      ("properties", props);
+    ]

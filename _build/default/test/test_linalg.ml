@@ -1,0 +1,320 @@
+open Qdt_linalg
+
+let cx = Alcotest.testable Cx.pp (fun a b -> Cx.approx_equal a b)
+
+let check_mat msg a b =
+  if not (Mat.approx_equal ~eps:1e-9 a b) then
+    Alcotest.failf "%s:@.%a@.vs@.%a" msg Mat.pp a Mat.pp b
+
+let check_vec msg a b =
+  if not (Vec.approx_equal ~eps:1e-9 a b) then
+    Alcotest.failf "%s:@.%a@.vs@.%a" msg Vec.pp a Vec.pp b
+
+(* ------------------------------------------------------------------ *)
+(* Cx                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_cx_basic () =
+  Alcotest.check cx "add" (Cx.make 3.0 4.0) (Cx.add (Cx.make 1.0 1.0) (Cx.make 2.0 3.0));
+  Alcotest.check cx "mul i*i" Cx.minus_one (Cx.mul Cx.i Cx.i);
+  Alcotest.check cx "conj" (Cx.make 1.0 (-2.0)) (Cx.conj (Cx.make 1.0 2.0));
+  Alcotest.check cx "inv" (Cx.make 0.5 0.0) (Cx.inv (Cx.make 2.0 0.0));
+  Alcotest.(check (float 1e-12)) "norm2" 25.0 (Cx.norm2 (Cx.make 3.0 4.0));
+  Alcotest.(check (float 1e-12)) "norm" 5.0 (Cx.norm (Cx.make 3.0 4.0))
+
+let test_cx_polar () =
+  let z = Cx.of_polar ~mag:2.0 ~phase:(Float.pi /. 2.0) in
+  Alcotest.check cx "polar" (Cx.make 0.0 2.0) z;
+  Alcotest.(check (float 1e-12)) "phase" (Float.pi /. 4.0) (Cx.phase (Cx.make 1.0 1.0));
+  Alcotest.check cx "exp_i pi" Cx.minus_one (Cx.exp_i Float.pi)
+
+let test_cx_predicates () =
+  Alcotest.(check bool) "is_zero" true (Cx.is_zero (Cx.make 1e-12 (-1e-12)));
+  Alcotest.(check bool) "not zero" false (Cx.is_zero (Cx.make 1e-3 0.0));
+  Alcotest.(check bool) "is_one" true (Cx.is_one (Cx.make 1.0 0.0));
+  Alcotest.(check bool) "approx" true (Cx.approx_equal (Cx.make 1.0 0.0) (Cx.make (1.0 +. 1e-12) 0.0));
+  Alcotest.(check bool) "compare eq" true (Cx.compare Cx.one Cx.one = 0);
+  Alcotest.(check bool) "compare lt" true (Cx.compare Cx.zero Cx.one < 0)
+
+let test_cx_hash_key () =
+  let a = Cx.make 0.70710678118 0.0 and b = Cx.make 0.70710678119 0.0 in
+  Alcotest.(check bool) "quantised equal" true (Cx.hash_key ~eps:1e-9 a = Cx.hash_key ~eps:1e-9 b)
+
+(* ------------------------------------------------------------------ *)
+(* Vec                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_vec_basis () =
+  let v = Vec.basis ~dim:4 2 in
+  Alcotest.check cx "entry 2" Cx.one (Vec.get v 2);
+  Alcotest.check cx "entry 0" Cx.zero (Vec.get v 0);
+  Alcotest.(check (float 1e-12)) "norm" 1.0 (Vec.norm v)
+
+let test_vec_ops () =
+  let a = Vec.of_array [| Cx.one; Cx.i |] in
+  let b = Vec.of_array [| Cx.i; Cx.one |] in
+  check_vec "add" (Vec.of_array [| Cx.make 1.0 1.0; Cx.make 1.0 1.0 |]) (Vec.add a b);
+  check_vec "sub" (Vec.of_array [| Cx.make 1.0 (-1.0); Cx.make (-1.0) 1.0 |]) (Vec.sub a b);
+  (* ⟨a|b⟩ = conj(1)·i + conj(i)·1 = i + (−i)·1 = 0 *)
+  Alcotest.check cx "dot" Cx.zero (Vec.dot a b);
+  Alcotest.check cx "dot self" (Cx.of_float 2.0) (Vec.dot a a)
+
+let test_vec_kron () =
+  let v0 = Vec.basis ~dim:2 0 and v1 = Vec.basis ~dim:2 1 in
+  let v01 = Vec.kron v0 v1 in
+  check_vec "|01>" (Vec.basis ~dim:4 1) v01;
+  let plus = Vec.of_array [| Cx.of_float Cx.sqrt1_2; Cx.of_float Cx.sqrt1_2 |] in
+  let pp = Vec.kron plus plus in
+  Alcotest.(check (float 1e-12)) "uniform" 0.25 (Vec.probabilities pp).(3)
+
+let test_vec_global_phase () =
+  let a = Vec.of_array [| Cx.of_float Cx.sqrt1_2; Cx.zero; Cx.zero; Cx.of_float Cx.sqrt1_2 |] in
+  let b = Vec.scale (Cx.exp_i 0.7) a in
+  Alcotest.(check bool) "phase equal" true (Vec.equal_up_to_global_phase a b);
+  let c = Vec.of_array [| Cx.of_float Cx.sqrt1_2; Cx.zero; Cx.zero; Cx.scale (-1.0) (Cx.of_float Cx.sqrt1_2) |] in
+  Alcotest.(check bool) "not equal" false (Vec.equal_up_to_global_phase a c);
+  Alcotest.(check bool) "not plain equal" false (Vec.approx_equal a b)
+
+let test_vec_normalize () =
+  let v = Vec.of_array [| Cx.of_float 3.0; Cx.of_float 4.0 |] in
+  Alcotest.(check (float 1e-12)) "normalised" 1.0 (Vec.norm (Vec.normalize v));
+  Alcotest.check_raises "zero vector" (Invalid_argument "Vec.normalize: zero vector")
+    (fun () -> ignore (Vec.normalize (Vec.create 4)))
+
+let test_vec_fidelity () =
+  let a = Vec.basis ~dim:4 0 and b = Vec.basis ~dim:4 1 in
+  Alcotest.(check (float 1e-12)) "orthogonal" 0.0 (Vec.fidelity a b);
+  Alcotest.(check (float 1e-12)) "self" 1.0 (Vec.fidelity a a)
+
+(* ------------------------------------------------------------------ *)
+(* Mat                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_mat_identity () =
+  let id = Mat.identity 4 in
+  check_mat "I·I" id (Mat.mul id id);
+  let v = Vec.of_array [| Cx.one; Cx.i; Cx.zero; Cx.minus_one |] in
+  check_vec "I·v" v (Mat.mul_vec id v)
+
+let test_mat_mul () =
+  let a = Mat.of_rows [| [| Cx.one; Cx.i |]; [| Cx.zero; Cx.one |] |] in
+  let b = Mat.of_rows [| [| Cx.one; Cx.zero |]; [| Cx.i; Cx.one |] |] in
+  let expect = Mat.of_rows [| [| Cx.zero; Cx.i |]; [| Cx.i; Cx.one |] |] in
+  check_mat "a·b" expect (Mat.mul a b)
+
+let test_mat_dagger () =
+  let a = Mat.of_rows [| [| Cx.make 1.0 2.0; Cx.make 3.0 4.0 |]; [| Cx.zero; Cx.i |] |] in
+  let d = Mat.dagger a in
+  Alcotest.check cx "transposed conj" (Cx.make 3.0 (-4.0)) (Mat.get d 1 0);
+  check_mat "dagger involutive" a (Mat.dagger d)
+
+let test_mat_kron () =
+  (* CNOT = |0><0| ⊗ I + |1><1| ⊗ X, and CX matches Gates.cx. *)
+  let p0 = Mat.of_rows [| [| Cx.one; Cx.zero |]; [| Cx.zero; Cx.zero |] |] in
+  let p1 = Mat.of_rows [| [| Cx.zero; Cx.zero |]; [| Cx.zero; Cx.one |] |] in
+  let cnot = Mat.add (Mat.kron p0 Gates.id2) (Mat.kron p1 Gates.x) in
+  check_mat "cnot" Gates.cx cnot
+
+let test_mat_unitarity () =
+  List.iter
+    (fun (name, m) ->
+      Alcotest.(check bool) (name ^ " unitary") true (Mat.is_unitary m))
+    [
+      ("x", Gates.x); ("y", Gates.y); ("z", Gates.z); ("h", Gates.h);
+      ("s", Gates.s); ("t", Gates.t); ("sx", Gates.sx);
+      ("rx", Gates.rx 0.3); ("ry", Gates.ry 1.1); ("rz", Gates.rz (-0.7));
+      ("u3", Gates.u3 ~theta:0.4 ~phi:1.2 ~lambda:(-0.5));
+      ("cx", Gates.cx); ("cz", Gates.cz); ("swap", Gates.swap);
+      ("iswap", Gates.iswap); ("ccx", Gates.ccx); ("cswap", Gates.cswap);
+      ("cphase", Gates.cphase 0.9);
+    ];
+  let not_unitary = Mat.of_rows [| [| Cx.one; Cx.one |]; [| Cx.zero; Cx.one |] |] in
+  Alcotest.(check bool) "shear not unitary" false (Mat.is_unitary not_unitary)
+
+let test_mat_trace_hs () =
+  Alcotest.check cx "trace I4" (Cx.of_float 4.0) (Mat.trace (Mat.identity 4));
+  Alcotest.check cx "hs self" (Cx.of_float 4.0) (Mat.hilbert_schmidt Gates.cx Gates.cx);
+  Alcotest.(check bool) "global phase"
+    true
+    (Mat.equal_up_to_global_phase Gates.z (Mat.scale (Cx.exp_i 1.3) Gates.z));
+  Alcotest.(check bool) "x vs z" false (Mat.equal_up_to_global_phase Gates.x Gates.z)
+
+let test_gate_identities () =
+  check_mat "H·H = I" Gates.id2 (Mat.mul Gates.h Gates.h);
+  check_mat "S·S = Z" Gates.z (Mat.mul Gates.s Gates.s);
+  check_mat "T·T = S" Gates.s (Mat.mul Gates.t Gates.t);
+  check_mat "S·Sdg = I" Gates.id2 (Mat.mul Gates.s Gates.sdg);
+  check_mat "T·Tdg = I" Gates.id2 (Mat.mul Gates.t Gates.tdg);
+  check_mat "SX·SX = X" Gates.x (Mat.mul Gates.sx Gates.sx);
+  check_mat "HZH = X" Gates.x (Mat.mul Gates.h (Mat.mul Gates.z Gates.h));
+  check_mat "HXH = Z" Gates.z (Mat.mul Gates.h (Mat.mul Gates.x Gates.h));
+  check_mat "swap² = I" (Mat.identity 4) (Mat.mul Gates.swap Gates.swap);
+  Alcotest.(check bool) "rz(pi) ~ Z" true
+    (Mat.equal_up_to_global_phase Gates.z (Gates.rz Float.pi));
+  Alcotest.(check bool) "u3 = rz.ry.rz phases" true
+    (Mat.equal_up_to_global_phase
+       (Gates.u3 ~theta:0.7 ~phi:0.3 ~lambda:0.9)
+       (Mat.mul (Gates.rz 0.3) (Mat.mul (Gates.ry 0.7) (Gates.rz 0.9))))
+
+let test_controlled () =
+  check_mat "controlled x = cx" Gates.cx (Gates.controlled Gates.x);
+  check_mat "controlled cx = ccx" Gates.ccx (Gates.controlled Gates.cx);
+  Alcotest.(check bool) "ctrl unitary" true (Mat.is_unitary (Gates.controlled Gates.h))
+
+let test_bell_example1 () =
+  (* Example 1 of the paper: CNOT applied to 1/√2·[1 0 1 0]^T gives the
+     Bell state 1/√2·[1 0 0 1]^T. *)
+  let s = Cx.of_float Cx.sqrt1_2 in
+  let input = Vec.of_array [| s; Cx.zero; s; Cx.zero |] in
+  let bell = Mat.mul_vec Gates.cx input in
+  check_vec "bell" (Vec.of_array [| s; Cx.zero; Cx.zero; s |]) bell;
+  let probs = Vec.probabilities bell in
+  Alcotest.(check (float 1e-12)) "p(00)" 0.5 probs.(0);
+  Alcotest.(check (float 1e-12)) "p(11)" 0.5 probs.(3)
+
+(* ------------------------------------------------------------------ *)
+(* Svd                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let random_mat st rows cols =
+  Mat.init rows cols (fun _ _ ->
+      Cx.make (QCheck.Gen.float_range (-1.0) 1.0 st) (QCheck.Gen.float_range (-1.0) 1.0 st))
+
+let test_svd_reconstruct () =
+  let st = Random.State.make [| 42 |] in
+  List.iter
+    (fun (rows, cols) ->
+      let a = random_mat st rows cols in
+      let d = Svd.decompose a in
+      let b = Svd.reconstruct d in
+      if not (Mat.approx_equal ~eps:1e-8 a b) then
+        Alcotest.failf "svd reconstruct %dx%d failed" rows cols;
+      (* descending singular values *)
+      Array.iteri
+        (fun k s -> if k > 0 then Alcotest.(check bool) "descending" true (s <= d.Svd.sigma.(k - 1)))
+        d.Svd.sigma)
+    [ (2, 2); (4, 4); (4, 2); (2, 4); (8, 3); (3, 8); (1, 5); (5, 1) ]
+
+let test_svd_orthonormal () =
+  let st = Random.State.make [| 7 |] in
+  let a = random_mat st 6 4 in
+  let d = Svd.decompose a in
+  check_mat "u†u = I" (Mat.identity 4) (Mat.mul (Mat.dagger d.Svd.u) d.Svd.u);
+  check_mat "v v† = I" (Mat.identity 4) (Mat.mul d.Svd.vdag (Mat.dagger d.Svd.vdag))
+
+let test_svd_rank_one () =
+  (* |00⟩+|11⟩ reshaped is rank 2 with equal singular values (Schmidt). *)
+  let s = Cx.of_float Cx.sqrt1_2 in
+  let bell = Mat.of_rows [| [| s; Cx.zero |]; [| Cx.zero; s |] |] in
+  let d = Svd.decompose bell in
+  Alcotest.(check (float 1e-10)) "schmidt 1" Cx.sqrt1_2 d.Svd.sigma.(0);
+  Alcotest.(check (float 1e-10)) "schmidt 2" Cx.sqrt1_2 d.Svd.sigma.(1);
+  (* product state |00⟩ has Schmidt rank 1 *)
+  let prod = Mat.of_rows [| [| Cx.one; Cx.zero |]; [| Cx.zero; Cx.zero |] |] in
+  let d2 = Svd.decompose prod in
+  Alcotest.(check (float 1e-10)) "rank-1 top" 1.0 d2.Svd.sigma.(0);
+  Alcotest.(check (float 1e-10)) "rank-1 rest" 0.0 d2.Svd.sigma.(1)
+
+let test_svd_truncate () =
+  let st = Random.State.make [| 9 |] in
+  let a = random_mat st 6 6 in
+  let d = Svd.decompose a in
+  let t, dropped = Svd.truncate ~max_rank:3 ~cutoff:0.0 d in
+  Alcotest.(check int) "rank" 3 (Array.length t.Svd.sigma);
+  Alcotest.(check bool) "dropped weight" true (dropped >= 0.0);
+  Alcotest.(check int) "u cols" 3 (Mat.cols t.Svd.u);
+  Alcotest.(check int) "vdag rows" 3 (Mat.rows t.Svd.vdag)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cx =
+  QCheck.make
+    ~print:Cx.to_string
+    QCheck.Gen.(map2 Cx.make (float_range (-10.) 10.) (float_range (-10.) 10.))
+
+let prop_conj_involutive =
+  QCheck.Test.make ~name:"conj involutive" ~count:200 gen_cx (fun z ->
+      Cx.equal (Cx.conj (Cx.conj z)) z)
+
+let prop_mul_norm =
+  QCheck.Test.make ~name:"|ab| = |a||b|" ~count:200 (QCheck.pair gen_cx gen_cx)
+    (fun (a, b) ->
+      Float.abs (Cx.norm (Cx.mul a b) -. (Cx.norm a *. Cx.norm b)) < 1e-6)
+
+let gen_unitary2 =
+  (* u3 over random angles is a uniform-enough family of 2×2 unitaries. *)
+  QCheck.make
+    ~print:(fun (a, b, c) -> Printf.sprintf "(%f,%f,%f)" a b c)
+    QCheck.Gen.(
+      triple (float_range 0.0 Float.pi)
+        (float_range 0.0 (2.0 *. Float.pi))
+        (float_range 0.0 (2.0 *. Float.pi)))
+
+let prop_u3_unitary =
+  QCheck.Test.make ~name:"u3 always unitary" ~count:100 gen_unitary2
+    (fun (theta, phi, lambda) -> Mat.is_unitary (Gates.u3 ~theta ~phi ~lambda))
+
+let prop_kron_mixed_product =
+  QCheck.Test.make ~name:"(A⊗B)(C⊗D) = AC⊗BD" ~count:50
+    (QCheck.quad gen_unitary2 gen_unitary2 gen_unitary2 gen_unitary2)
+    (fun (p, q, r, s) ->
+      let u (a, b, c) = Gates.u3 ~theta:a ~phi:b ~lambda:c in
+      let a = u p and b = u q and c = u r and d = u s in
+      Mat.approx_equal ~eps:1e-9
+        (Mat.mul (Mat.kron a b) (Mat.kron c d))
+        (Mat.kron (Mat.mul a c) (Mat.mul b d)))
+
+let prop_svd_roundtrip =
+  QCheck.Test.make ~name:"svd roundtrip" ~count:30
+    (QCheck.make QCheck.Gen.(pair (int_range 1 6) (int_range 1 6)))
+    (fun (rows, cols) ->
+      let st = Random.State.make [| rows; cols; 5 |] in
+      let a = random_mat st rows cols in
+      Mat.approx_equal ~eps:1e-7 a (Svd.reconstruct (Svd.decompose a)))
+
+let props = List.map QCheck_alcotest.to_alcotest
+  [ prop_conj_involutive; prop_mul_norm; prop_u3_unitary;
+    prop_kron_mixed_product; prop_svd_roundtrip ]
+
+let () =
+  Alcotest.run "qdt_linalg"
+    [
+      ( "cx",
+        [
+          Alcotest.test_case "basic ops" `Quick test_cx_basic;
+          Alcotest.test_case "polar" `Quick test_cx_polar;
+          Alcotest.test_case "predicates" `Quick test_cx_predicates;
+          Alcotest.test_case "hash key" `Quick test_cx_hash_key;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "basis" `Quick test_vec_basis;
+          Alcotest.test_case "ops" `Quick test_vec_ops;
+          Alcotest.test_case "kron" `Quick test_vec_kron;
+          Alcotest.test_case "global phase" `Quick test_vec_global_phase;
+          Alcotest.test_case "normalize" `Quick test_vec_normalize;
+          Alcotest.test_case "fidelity" `Quick test_vec_fidelity;
+        ] );
+      ( "mat",
+        [
+          Alcotest.test_case "identity" `Quick test_mat_identity;
+          Alcotest.test_case "mul" `Quick test_mat_mul;
+          Alcotest.test_case "dagger" `Quick test_mat_dagger;
+          Alcotest.test_case "kron" `Quick test_mat_kron;
+          Alcotest.test_case "unitarity" `Quick test_mat_unitarity;
+          Alcotest.test_case "trace/hs" `Quick test_mat_trace_hs;
+          Alcotest.test_case "gate identities" `Quick test_gate_identities;
+          Alcotest.test_case "controlled" `Quick test_controlled;
+          Alcotest.test_case "paper example 1" `Quick test_bell_example1;
+        ] );
+      ( "svd",
+        [
+          Alcotest.test_case "reconstruct" `Quick test_svd_reconstruct;
+          Alcotest.test_case "orthonormal" `Quick test_svd_orthonormal;
+          Alcotest.test_case "schmidt" `Quick test_svd_rank_one;
+          Alcotest.test_case "truncate" `Quick test_svd_truncate;
+        ] );
+      ("properties", props);
+    ]

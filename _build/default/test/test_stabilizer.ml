@@ -1,0 +1,193 @@
+open Qdt_circuit
+open Qdt_stabilizer
+
+(* ------------------------------------------------------------------ *)
+(* Basic states                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_initial () =
+  let t = Tableau.create 3 in
+  Alcotest.(check (list string)) "stabilizers" [ "+Z.."; "+.Z."; "+..Z" ]
+    (Tableau.stabilizer_strings t);
+  Alcotest.(check int) "<Z0>" 1 (Tableau.expectation_z t 0)
+
+let test_x_flips () =
+  let t = Tableau.create 2 in
+  Tableau.x t 0;
+  Alcotest.(check (list string)) "stabilizers" [ "-Z."; "+.Z" ]
+    (Tableau.stabilizer_strings t);
+  Alcotest.(check int) "<Z0> = -1" (-1) (Tableau.expectation_z t 0);
+  Alcotest.(check int) "<Z1> = +1" 1 (Tableau.expectation_z t 1)
+
+let test_plus_state () =
+  let t = Tableau.create 1 in
+  Tableau.h t 0;
+  Alcotest.(check (list string)) "X stabilizer" [ "+X" ] (Tableau.stabilizer_strings t);
+  Alcotest.(check int) "<Z> = 0" 0 (Tableau.expectation_z t 0)
+
+let test_bell_stabilizers () =
+  let t, _ = Tableau.run Generators.bell in
+  let strings = List.sort compare (Tableau.stabilizer_strings t) in
+  Alcotest.(check (list string)) "XX and ZZ" [ "+XX"; "+ZZ" ] strings
+
+let test_s_gate () =
+  (* S|+> has stabilizer Y *)
+  let t = Tableau.create 1 in
+  Tableau.h t 0;
+  Tableau.s t 0;
+  Alcotest.(check (list string)) "Y" [ "+Y" ] (Tableau.stabilizer_strings t);
+  Tableau.sdg t 0;
+  Alcotest.(check (list string)) "back to X" [ "+X" ] (Tableau.stabilizer_strings t)
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_bell_measurement_correlated () =
+  let seen = Hashtbl.create 4 in
+  for seed = 0 to 63 do
+    let t, _ = Tableau.run ~seed Generators.bell in
+    let rng = Random.State.make [| seed |] in
+    let b0 = Tableau.measure t ~rng 0 in
+    let b1 = Tableau.measure t ~rng 1 in
+    Alcotest.(check int) "correlated" b0 b1;
+    Hashtbl.replace seen b0 ()
+  done;
+  Alcotest.(check int) "both outcomes" 2 (Hashtbl.length seen)
+
+let test_repeated_measurement_stable () =
+  let t = Tableau.create 1 in
+  Tableau.h t 0;
+  let rng = Random.State.make [| 5 |] in
+  let first = Tableau.measure t ~rng 0 in
+  for _ = 1 to 5 do
+    Alcotest.(check int) "repeatable" first (Tableau.measure t ~rng 0)
+  done
+
+let test_ghz_sampling () =
+  let t, _ = Tableau.run (Generators.ghz 6) in
+  let counts = Tableau.sample ~seed:3 t ~shots:500 in
+  List.iter
+    (fun (k, _) -> Alcotest.(check bool) "extremes only" true (k = 0 || k = 63))
+    counts;
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 counts in
+  Alcotest.(check int) "all shots" 500 total
+
+let test_reset () =
+  let c = Circuit.(empty 2 |> h 0 |> cx 0 1 |> reset 0) in
+  let t, _ = Tableau.run ~seed:1 c in
+  Alcotest.(check int) "reset qubit reads 0" 1 (Tableau.expectation_z t 0)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation against the dense simulator                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_matches_statevector () =
+  List.iter
+    (fun seed ->
+      let c = Generators.random_clifford ~seed ~gates:60 5 in
+      let t, _ = Tableau.run c in
+      let sv = Qdt_arraysim.Statevector.run_unitary c in
+      for q = 0 to 4 do
+        let exact = Qdt_arraysim.Statevector.expectation_z sv q in
+        let stab = Tableau.expectation_z t q in
+        let expected_class =
+          if exact > 0.5 then 1 else if exact < -0.5 then -1 else 0
+        in
+        if Float.abs exact > 0.5 && Float.abs (Float.abs exact -. 1.0) > 1e-9 then
+          Alcotest.failf "statevector <Z> of a stabilizer state must be -1/0/1, got %f"
+            exact;
+        Alcotest.(check int)
+          (Printf.sprintf "seed %d qubit %d" seed q)
+          expected_class stab
+      done)
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
+let test_supports () =
+  Alcotest.(check bool) "clifford ok" true
+    (Tableau.supports (Generators.random_clifford ~seed:1 ~gates:30 4));
+  Alcotest.(check bool) "bell ok" true (Tableau.supports Generators.bell);
+  Alcotest.(check bool) "t rejected" false
+    (Tableau.supports Circuit.(empty 1 |> t 0));
+  Alcotest.(check bool) "toffoli rejected" false
+    (Tableau.supports Circuit.(empty 3 |> ccx 0 1 2));
+  Alcotest.check_raises "t raises" (Invalid_argument "Tableau: non-Clifford gate")
+    (fun () -> ignore (Tableau.run Circuit.(empty 1 |> t 0)))
+
+(* ------------------------------------------------------------------ *)
+(* Scale: hundreds of qubits are instant                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_large_ghz () =
+  let n = 200 in
+  let t, _ = Tableau.run (Generators.ghz n) in
+  Alcotest.(check int) "<Z0> undetermined" 0 (Tableau.expectation_z t 0);
+  let rng = Random.State.make [| 9 |] in
+  let first = Tableau.measure t ~rng 0 in
+  (* after one measurement the whole register is pinned *)
+  Alcotest.(check int) "<Z199> pinned" (if first = 1 then -1 else 1)
+    (Tableau.expectation_z t (n - 1));
+  Alcotest.(check bool) "quadratic memory only" true (Tableau.memory_bytes t < 1_000_000)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_matches_statevector =
+  QCheck.Test.make ~name:"stabilizer <Z> matches dense <Z>" ~count:25
+    (QCheck.make QCheck.Gen.(pair (int_range 1 5) (int_range 0 5000)))
+    (fun (n, seed) ->
+      let c = Generators.random_clifford ~seed ~gates:40 n in
+      let t, _ = Tableau.run c in
+      let sv = Qdt_arraysim.Statevector.run_unitary c in
+      let ok = ref true in
+      for q = 0 to n - 1 do
+        let exact = Qdt_arraysim.Statevector.expectation_z sv q in
+        let expected = if exact > 0.5 then 1 else if exact < -0.5 then -1 else 0 in
+        if expected <> Tableau.expectation_z t q then ok := false
+      done;
+      !ok)
+
+let prop_measurement_agrees_with_collapse =
+  QCheck.Test.make ~name:"measured tableau stays consistent" ~count:20
+    (QCheck.make QCheck.Gen.(pair (int_range 2 5) (int_range 0 5000)))
+    (fun (n, seed) ->
+      let c = Generators.random_clifford ~seed ~gates:30 n in
+      let t, _ = Tableau.run c in
+      let rng = Random.State.make [| seed |] in
+      (* measuring twice gives the same answer; expectation becomes ±1 *)
+      let q = seed mod n in
+      let b = Tableau.measure t ~rng q in
+      Tableau.measure t ~rng q = b
+      && Tableau.expectation_z t q = (if b = 1 then -1 else 1))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_matches_statevector; prop_measurement_agrees_with_collapse ]
+
+let () =
+  Alcotest.run "qdt_stabilizer"
+    [
+      ( "states",
+        [
+          Alcotest.test_case "initial" `Quick test_initial;
+          Alcotest.test_case "x" `Quick test_x_flips;
+          Alcotest.test_case "plus" `Quick test_plus_state;
+          Alcotest.test_case "bell" `Quick test_bell_stabilizers;
+          Alcotest.test_case "s gate" `Quick test_s_gate;
+        ] );
+      ( "measurement",
+        [
+          Alcotest.test_case "bell correlation" `Quick test_bell_measurement_correlated;
+          Alcotest.test_case "repeatable" `Quick test_repeated_measurement_stable;
+          Alcotest.test_case "ghz sampling" `Quick test_ghz_sampling;
+          Alcotest.test_case "reset" `Quick test_reset;
+        ] );
+      ( "cross-validation",
+        [
+          Alcotest.test_case "matches statevector" `Quick test_matches_statevector;
+          Alcotest.test_case "supports" `Quick test_supports;
+          Alcotest.test_case "200 qubits" `Quick test_large_ghz;
+        ] );
+      ("properties", props);
+    ]

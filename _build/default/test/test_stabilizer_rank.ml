@@ -1,0 +1,192 @@
+open Qdt_circuit
+open Qdt_stabilizer
+module Vec = Qdt_linalg.Vec
+module Cx = Qdt_linalg.Cx
+
+let check_vec msg expect got =
+  if not (Vec.approx_equal ~eps:1e-7 expect got) then
+    Alcotest.failf "%s:@.expected %a@.got %a" msg Vec.pp expect Vec.pp got
+
+(* ------------------------------------------------------------------ *)
+(* CH form: exact (phase-true) Clifford states                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_ch_initial () =
+  let st = Ch_form.create 3 in
+  check_vec "|000>" (Vec.basis ~dim:8 0) (Ch_form.to_vec st);
+  Alcotest.(check bool) "omega = 1" true (Cx.approx_equal Cx.one (Ch_form.global_scalar st))
+
+let test_ch_named_states () =
+  (* plus state *)
+  let st = Ch_form.create 1 in
+  Ch_form.h st 0;
+  check_vec "|+>"
+    (Vec.of_array [| Cx.of_float Cx.sqrt1_2; Cx.of_float Cx.sqrt1_2 |])
+    (Ch_form.to_vec st);
+  (* bell with exact phases *)
+  let bell = Ch_form.run Generators.bell in
+  check_vec "bell"
+    (Vec.of_array [| Cx.of_float Cx.sqrt1_2; Cx.zero; Cx.zero; Cx.of_float Cx.sqrt1_2 |])
+    (Ch_form.to_vec bell);
+  (* S|+> = (|0> + i|1>)/√2 — the phase matters *)
+  let sp = Ch_form.create 1 in
+  Ch_form.h sp 0;
+  Ch_form.s sp 0;
+  check_vec "S|+>"
+    (Vec.of_array [| Cx.of_float Cx.sqrt1_2; Cx.scale Cx.sqrt1_2 Cx.i |])
+    (Ch_form.to_vec sp)
+
+let test_ch_global_phase_tracked () =
+  (* Y = iXZ: applying Y to |0> gives i|1>, not just |1> *)
+  let st = Ch_form.create 1 in
+  Ch_form.y st 0;
+  check_vec "Y|0> = i|1>" (Vec.of_array [| Cx.zero; Cx.i |]) (Ch_form.to_vec st);
+  (* Z·X vs X·Z differ by a sign *)
+  let zx = Ch_form.create 1 in
+  Ch_form.x zx 0;
+  Ch_form.z zx 0;
+  check_vec "ZX|0> = -|1>... is Z after X" (Vec.of_array [| Cx.zero; Cx.minus_one |])
+    (Ch_form.to_vec zx)
+
+let test_ch_matches_statevector_exactly () =
+  List.iter
+    (fun seed ->
+      let c = Generators.random_clifford ~seed ~gates:60 4 in
+      let ch = Ch_form.run c in
+      let sv = Qdt_arraysim.Statevector.run_unitary c in
+      check_vec (Printf.sprintf "seed %d" seed)
+        (Qdt_arraysim.Statevector.to_vec sv)
+        (Ch_form.to_vec ch))
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+
+let test_ch_hidden_shift () =
+  let c = Generators.hidden_shift ~shift:13 6 in
+  let ch = Ch_form.run c in
+  Alcotest.(check (float 1e-9)) "deterministic shift" 1.0
+    (Cx.norm2 (Ch_form.amplitude ch 13))
+
+let test_ch_rejects_non_clifford () =
+  let st = Ch_form.create 1 in
+  Alcotest.check_raises "t" (Invalid_argument "Ch_form: non-Clifford gate") (fun () ->
+      Ch_form.apply_instruction st (Circuit.Apply { gate = Gate.T; controls = []; target = 0 }))
+
+(* ------------------------------------------------------------------ *)
+(* Stabilizer-rank Clifford+T amplitudes                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_rank_pure_clifford_is_one_branch () =
+  let p = Stabilizer_rank.prepare (Generators.random_clifford ~seed:4 ~gates:40 4) in
+  Alcotest.(check int) "t = 0" 0 (Stabilizer_rank.t_count p);
+  Alcotest.(check int) "1 branch" 1 (Stabilizer_rank.num_branches p)
+
+let test_rank_t_gate_decomposition () =
+  (* T|+> = (|0> + e^{iπ/4}|1>)/√2 through a 2-term decomposition *)
+  let c = Circuit.(empty 1 |> h 0 |> t 0) in
+  let p = Stabilizer_rank.prepare c in
+  Alcotest.(check int) "one branch point" 1 (Stabilizer_rank.t_count p);
+  check_vec "T|+>"
+    (Vec.of_array
+       [| Cx.of_float Cx.sqrt1_2; Cx.scale Cx.sqrt1_2 (Cx.exp_i (Float.pi /. 4.0)) |])
+    (Stabilizer_rank.statevector p)
+
+let test_rank_matches_arrays_exactly () =
+  List.iter
+    (fun seed ->
+      let c = Generators.random_clifford_t ~seed ~gates:30 ~t_fraction:0.2 3 in
+      let p = Stabilizer_rank.prepare c in
+      if Stabilizer_rank.t_count p <= 10 then
+        check_vec (Printf.sprintf "seed %d" seed)
+          (Qdt_arraysim.Statevector.to_vec (Qdt_arraysim.Statevector.run_unitary c))
+          (Stabilizer_rank.statevector p))
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
+let test_rank_arbitrary_rotations () =
+  (* arbitrary Rz angles branch too *)
+  let c = Circuit.(empty 2 |> h 0 |> rz 0.7 0 |> cx 0 1 |> rz (-1.3) 1 |> h 1) in
+  let p = Stabilizer_rank.prepare c in
+  Alcotest.(check int) "two branch points" 2 (Stabilizer_rank.t_count p);
+  check_vec "rotations"
+    (Qdt_arraysim.Statevector.to_vec (Qdt_arraysim.Statevector.run_unitary c))
+    (Stabilizer_rank.statevector p)
+
+let test_rank_toffoli () =
+  (* Toffoli lowers to 7 T-like rotations; amplitudes must be exact *)
+  let c = Circuit.(empty 3 |> x 1 |> x 2 |> ccx 2 1 0) in
+  let p = Stabilizer_rank.prepare c in
+  Alcotest.(check bool)
+    (Printf.sprintf "t-count %d reasonable" (Stabilizer_rank.t_count p))
+    true
+    (Stabilizer_rank.t_count p <= 12);
+  Alcotest.(check (float 1e-9)) "|111> amplitude" 1.0 (Stabilizer_rank.probability p 7)
+
+let test_rank_oracle_probability () =
+  (* end-to-end: a CCZ oracle between Hadamard layers, the core of a
+     Grover iteration, via stabilizer-rank *)
+  let h_all c = Circuit.(c |> h 0 |> h 1 |> h 2) in
+  let c = Circuit.empty 3 |> h_all |> Circuit.ccz 2 1 0 |> h_all in
+  let p = Stabilizer_rank.prepare c in
+  let sv = Qdt_arraysim.Statevector.run_unitary c in
+  for k = 0 to 7 do
+    Alcotest.(check (float 1e-7))
+      (Printf.sprintf "p(%d)" k)
+      (Qdt_arraysim.Statevector.probability sv k)
+      (Stabilizer_rank.probability p k)
+  done
+
+let test_rank_cost_guard () =
+  let c = Generators.random_clifford_t ~seed:1 ~gates:300 ~t_fraction:0.5 4 in
+  match Stabilizer_rank.prepare c with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected branch-point guard to trip"
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_ch_exact =
+  QCheck.Test.make ~name:"CH form = dense statevector (with phase)" ~count:30
+    (QCheck.make QCheck.Gen.(pair (int_range 1 5) (int_range 0 10000)))
+    (fun (n, seed) ->
+      let c = Generators.random_clifford ~seed ~gates:40 n in
+      let ch = Ch_form.run c in
+      Vec.approx_equal ~eps:1e-8
+        (Qdt_arraysim.Statevector.to_vec (Qdt_arraysim.Statevector.run_unitary c))
+        (Ch_form.to_vec ch))
+
+let prop_rank_exact =
+  QCheck.Test.make ~name:"stabilizer-rank amplitude = dense amplitude" ~count:20
+    (QCheck.make QCheck.Gen.(triple (int_range 1 3) (int_range 0 5000) (int_range 0 7)))
+    (fun (n, seed, k) ->
+      let c = Generators.random_clifford_t ~seed ~gates:20 ~t_fraction:0.25 n in
+      let p = Stabilizer_rank.prepare c in
+      let k = k land ((1 lsl n) - 1) in
+      Cx.approx_equal ~eps:1e-7
+        (Qdt_arraysim.Statevector.amplitude (Qdt_arraysim.Statevector.run_unitary c) k)
+        (Stabilizer_rank.amplitude p k))
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_ch_exact; prop_rank_exact ]
+
+let () =
+  Alcotest.run "qdt_stabilizer_rank"
+    [
+      ( "ch-form",
+        [
+          Alcotest.test_case "initial" `Quick test_ch_initial;
+          Alcotest.test_case "named states" `Quick test_ch_named_states;
+          Alcotest.test_case "global phase" `Quick test_ch_global_phase_tracked;
+          Alcotest.test_case "matches statevector" `Quick test_ch_matches_statevector_exactly;
+          Alcotest.test_case "hidden shift" `Quick test_ch_hidden_shift;
+          Alcotest.test_case "rejects T" `Quick test_ch_rejects_non_clifford;
+        ] );
+      ( "stabilizer-rank",
+        [
+          Alcotest.test_case "clifford = 1 branch" `Quick test_rank_pure_clifford_is_one_branch;
+          Alcotest.test_case "T decomposition" `Quick test_rank_t_gate_decomposition;
+          Alcotest.test_case "matches arrays" `Quick test_rank_matches_arrays_exactly;
+          Alcotest.test_case "arbitrary rotations" `Quick test_rank_arbitrary_rotations;
+          Alcotest.test_case "toffoli" `Quick test_rank_toffoli;
+          Alcotest.test_case "oracle sandwich" `Quick test_rank_oracle_probability;
+          Alcotest.test_case "cost guard" `Quick test_rank_cost_guard;
+        ] );
+      ("properties", props);
+    ]

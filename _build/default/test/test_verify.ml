@@ -1,0 +1,209 @@
+open Qdt_circuit
+open Qdt_verify
+open Qdt_compile
+
+let check_verdict msg expect got =
+  Alcotest.(check string) msg (Equiv.verdict_to_string expect) (Equiv.verdict_to_string got)
+
+(* Equivalent pairs: a circuit and a nontrivially different realisation. *)
+let equivalent_pairs =
+  [
+    ("hh vs id", Circuit.(empty 1 |> h 0 |> h 0), Circuit.empty 1);
+    ("hxh vs z", Circuit.(empty 1 |> h 0 |> x 0 |> h 0), Circuit.(empty 1 |> z 0));
+    ( "cx via cz",
+      Circuit.(empty 2 |> cx 1 0),
+      Circuit.(empty 2 |> h 0 |> cz 1 0 |> h 0) );
+    ( "swap via cx",
+      Circuit.(empty 2 |> swap 0 1),
+      Circuit.(empty 2 |> cx 0 1 |> cx 1 0 |> cx 0 1) );
+    ( "bell vs optimized bell",
+      Circuit.append Generators.bell Circuit.(empty 2 |> t 0 |> tdg 0),
+      Generators.bell );
+  ]
+
+let inequivalent_pairs =
+  [
+    ("x vs z", Circuit.(empty 1 |> x 0), Circuit.(empty 1 |> z 0));
+    ("bell vs flipped", Generators.bell, Circuit.(empty 2 |> h 0 |> cx 0 1));
+    ("ghz vs ghz+z", Generators.ghz 3, Circuit.(Generators.ghz 3 |> z 0));
+    ("cx direction", Circuit.(empty 2 |> cx 1 0), Circuit.(empty 2 |> cx 0 1));
+  ]
+
+let test_arrays () =
+  List.iter
+    (fun (name, a, b) -> check_verdict name Equiv.Equivalent (Equiv.arrays a b))
+    equivalent_pairs;
+  List.iter
+    (fun (name, a, b) -> check_verdict name Equiv.Not_equivalent (Equiv.arrays a b))
+    inequivalent_pairs
+
+let test_dd () =
+  List.iter
+    (fun (name, a, b) -> check_verdict name Equiv.Equivalent (Equiv.dd a b))
+    equivalent_pairs;
+  List.iter
+    (fun (name, a, b) -> check_verdict name Equiv.Not_equivalent (Equiv.dd a b))
+    inequivalent_pairs
+
+let test_dd_alternating () =
+  List.iter
+    (fun (name, a, b) -> check_verdict name Equiv.Equivalent (Equiv.dd_alternating a b))
+    equivalent_pairs;
+  List.iter
+    (fun (name, a, b) ->
+      check_verdict name Equiv.Not_equivalent (Equiv.dd_alternating a b))
+    inequivalent_pairs
+
+let test_tn () =
+  List.iter
+    (fun (name, a, b) -> check_verdict name Equiv.Equivalent (Equiv.tn a b))
+    equivalent_pairs;
+  List.iter
+    (fun (name, a, b) -> check_verdict name Equiv.Not_equivalent (Equiv.tn a b))
+    inequivalent_pairs
+
+let test_zx () =
+  (* ZX is sound but incomplete: Equivalent answers must be correct, and on
+     these Clifford-flavoured pairs it should actually conclude. *)
+  List.iter
+    (fun (name, a, b) ->
+      match Equiv.zx a b with
+      | Equiv.Equivalent -> ()
+      | v -> Alcotest.failf "%s: zx says %s" name (Equiv.verdict_to_string v))
+    equivalent_pairs;
+  List.iter
+    (fun (name, a, b) ->
+      match Equiv.zx a b with
+      | Equiv.Equivalent -> Alcotest.failf "%s: zx wrongly certified equivalence" name
+      | Equiv.Not_equivalent | Equiv.Inconclusive -> ())
+    inequivalent_pairs
+
+let test_simulation () =
+  List.iter
+    (fun (name, a, b) ->
+      match Equiv.simulation ~trials:6 a b with
+      | Equiv.Not_equivalent -> Alcotest.failf "%s: simulation found a mismatch" name
+      | Equiv.Equivalent | Equiv.Inconclusive -> ())
+    equivalent_pairs;
+  List.iter
+    (fun (name, a, b) ->
+      check_verdict name Equiv.Not_equivalent (Equiv.simulation ~trials:8 a b))
+    inequivalent_pairs
+
+let test_methods_agree_on_compiled () =
+  (* E9/E10: compiling (routing + optimizing) preserves equivalence and all
+     exact methods agree on it. *)
+  let original = Generators.qft 4 in
+  let result = Router.route original (Coupling.line 4) in
+  let restored = Router.undo_final_permutation result in
+  let optimized, _ = Optimize.optimize restored in
+  check_verdict "arrays" Equiv.Equivalent (Equiv.arrays original optimized);
+  check_verdict "dd" Equiv.Equivalent (Equiv.dd original optimized);
+  check_verdict "dd alt" Equiv.Equivalent (Equiv.dd_alternating original optimized);
+  check_verdict "tn" Equiv.Equivalent (Equiv.tn original optimized);
+  match Equiv.simulation original optimized with
+  | Equiv.Not_equivalent -> Alcotest.fail "simulation disagrees"
+  | _ -> ()
+
+let test_mutations_detected () =
+  (* Some mutations are accidentally harmless (flipping a symmetric cphase,
+     say), so the ground truth is the array method; DD must agree with it,
+     and a decent share of mutations must actually be caught. *)
+  let base = Generators.qft 3 in
+  let caught = ref 0 in
+  List.iter
+    (fun seed ->
+      let m = Mutate.random ~seed base in
+      let truth = Equiv.arrays base m.Mutate.circuit in
+      let via_dd = Equiv.dd base m.Mutate.circuit in
+      if truth <> via_dd then
+        Alcotest.failf "dd disagrees with arrays on %S" m.Mutate.description;
+      if truth = Equiv.Not_equivalent then incr caught)
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11 ];
+  Alcotest.(check bool)
+    (Printf.sprintf "%d/12 mutations caught" !caught)
+    true (!caught >= 8)
+
+let test_mutation_kinds () =
+  let base = Generators.ghz 3 in
+  let m1 = Mutate.drop_gate ~seed:1 base in
+  Alcotest.(check int) "drop removes one" (Circuit.length base - 1)
+    (Circuit.length m1.Mutate.circuit);
+  let m2 = Mutate.add_gate ~seed:1 base in
+  Alcotest.(check int) "add inserts one" (Circuit.length base + 1)
+    (Circuit.length m2.Mutate.circuit);
+  let m3 = Mutate.flip_operands ~seed:1 base in
+  Alcotest.(check int) "flip keeps length" (Circuit.length base)
+    (Circuit.length m3.Mutate.circuit);
+  (* perturbation on a rotation-free circuit falls back to add_gate *)
+  let m4 = Mutate.perturb_angle ~seed:1 base in
+  Alcotest.(check bool) "fallback works" true
+    (Circuit.length m4.Mutate.circuit >= Circuit.length base)
+
+let test_small_angle_perturbation_caught_by_arrays () =
+  let base = Circuit.(empty 1 |> rz 0.7 0) in
+  let m = Mutate.perturb_angle ~seed:0 ~delta:1e-4 base in
+  check_verdict "arrays catch 1e-4" Equiv.Not_equivalent
+    (Equiv.arrays base m.Mutate.circuit)
+
+let test_arity_mismatch () =
+  Alcotest.check_raises "different arity"
+    (Invalid_argument "Equiv: circuits act on different numbers of qubits") (fun () ->
+      ignore (Equiv.dd (Circuit.empty 2) (Circuit.empty 3)))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_methods_agree =
+  QCheck.Test.make ~name:"arrays/dd/dd_alt/tn agree on random pairs" ~count:20
+    (QCheck.make QCheck.Gen.(triple (int_range 1 4) (int_range 0 500) bool))
+    (fun (n, seed, mutate) ->
+      let c1 = Generators.random_clifford_t ~seed ~gates:25 ~t_fraction:0.25 n in
+      let c2 =
+        if mutate then (Mutate.random ~seed:(seed + 1) c1).Mutate.circuit
+        else
+          (* a genuinely different-but-equivalent realisation *)
+          fst (Optimize.optimize (Decompose.lower ~basis:Decompose.Cx_rz_h c1))
+      in
+      let a = Equiv.arrays c1 c2 in
+      let b = Equiv.dd c1 c2 in
+      let c = Equiv.dd_alternating c1 c2 in
+      let d = Equiv.tn c1 c2 in
+      a = b && b = c && c = d)
+
+let prop_zx_sound =
+  QCheck.Test.make ~name:"zx never certifies a mutated circuit" ~count:20
+    (QCheck.make QCheck.Gen.(pair (int_range 1 3) (int_range 0 500)))
+    (fun (n, seed) ->
+      let c1 = Generators.random_clifford_t ~seed ~gates:20 ~t_fraction:0.2 n in
+      let c2 = (Mutate.random ~seed:(seed + 7) c1).Mutate.circuit in
+      match (Equiv.arrays c1 c2, Equiv.zx c1 c2) with
+      | Equiv.Not_equivalent, Equiv.Equivalent -> false
+      | Equiv.Equivalent, Equiv.Not_equivalent -> false
+      | _ -> true)
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_methods_agree; prop_zx_sound ]
+
+let () =
+  Alcotest.run "qdt_verify"
+    [
+      ( "methods",
+        [
+          Alcotest.test_case "arrays" `Quick test_arrays;
+          Alcotest.test_case "dd" `Quick test_dd;
+          Alcotest.test_case "dd alternating" `Quick test_dd_alternating;
+          Alcotest.test_case "zx" `Quick test_zx;
+          Alcotest.test_case "tn" `Quick test_tn;
+          Alcotest.test_case "simulation" `Quick test_simulation;
+          Alcotest.test_case "compiled circuits" `Quick test_methods_agree_on_compiled;
+          Alcotest.test_case "arity mismatch" `Quick test_arity_mismatch;
+        ] );
+      ( "mutations",
+        [
+          Alcotest.test_case "detected" `Quick test_mutations_detected;
+          Alcotest.test_case "kinds" `Quick test_mutation_kinds;
+          Alcotest.test_case "small angles" `Quick test_small_angle_perturbation_caught_by_arrays;
+        ] );
+      ("properties", props);
+    ]

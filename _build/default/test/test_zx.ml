@@ -1,0 +1,398 @@
+open Qdt_linalg
+open Qdt_circuit
+open Qdt_zx
+module UB = Qdt_arraysim.Unitary_builder
+
+let check_proportional msg expect got =
+  if not (Eval.proportional ~eps:1e-6 expect got) then
+    Alcotest.failf "%s:@.expected (up to scalar)@.%a@.got@.%a" msg Mat.pp expect Mat.pp got
+
+let circuit_matrix c = UB.unitary c
+
+(* ------------------------------------------------------------------ *)
+(* Phase                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_phase_arith () =
+  let open Phase in
+  Alcotest.(check bool) "pi+pi=0" true (is_zero (add pi pi));
+  Alcotest.(check bool) "pi/2+pi/2=pi" true (is_pi (add half_pi half_pi));
+  Alcotest.(check bool) "t+t=s" true (equal half_pi (add quarter_pi quarter_pi));
+  Alcotest.(check bool) "neg" true (equal (of_rational 3 2) (neg half_pi));
+  Alcotest.(check bool) "sub" true (is_zero (sub pi pi));
+  Alcotest.(check (float 1e-12)) "radians" (Float.pi /. 4.0) (to_radians quarter_pi)
+
+let test_phase_classes () =
+  let open Phase in
+  Alcotest.(check bool) "0 pauli" true (is_pauli zero);
+  Alcotest.(check bool) "pi pauli" true (is_pauli pi);
+  Alcotest.(check bool) "pi/2 not pauli" false (is_pauli half_pi);
+  Alcotest.(check bool) "pi/2 proper clifford" true (is_proper_clifford half_pi);
+  Alcotest.(check bool) "-pi/2 proper clifford" true (is_proper_clifford (neg half_pi));
+  Alcotest.(check bool) "pi not proper" false (is_proper_clifford pi);
+  Alcotest.(check bool) "pi/4 t-like" true (is_t_like quarter_pi);
+  Alcotest.(check bool) "3pi/4 t-like" true (is_t_like (of_rational 3 4));
+  Alcotest.(check bool) "pi/2 not t-like" false (is_t_like half_pi);
+  Alcotest.(check bool) "pi/4 not clifford" false (is_clifford quarter_pi)
+
+let test_phase_of_radians () =
+  let open Phase in
+  Alcotest.(check bool) "snap pi/4" true (equal quarter_pi (of_radians (Float.pi /. 4.0)));
+  Alcotest.(check bool) "snap -pi/2" true
+    (equal (of_rational 3 2) (of_radians (-.Float.pi /. 2.0)));
+  let irr = of_radians 0.12345 in
+  Alcotest.(check bool) "irrational kept" false (is_clifford irr);
+  Alcotest.(check (float 1e-9)) "irrational value" 0.12345 (to_radians irr);
+  (* addition still works across representations *)
+  Alcotest.(check (float 1e-9)) "mixed add"
+    (0.12345 +. (Float.pi /. 2.0))
+    (to_radians (add irr half_pi))
+
+(* ------------------------------------------------------------------ *)
+(* Diagram basics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_diagram_basics () =
+  let d = Diagram.create () in
+  let i = Diagram.add_input d in
+  let o = Diagram.add_output d in
+  let v = Diagram.add_vertex d Diagram.Z Phase.half_pi in
+  Diagram.connect d i v Diagram.Simple;
+  Diagram.connect d v o Diagram.Had;
+  Diagram.validate d;
+  Alcotest.(check int) "vertices" 3 (Diagram.num_vertices d);
+  Alcotest.(check int) "edges" 2 (Diagram.num_edges d);
+  Alcotest.(check int) "degree" 2 (Diagram.degree d v);
+  Alcotest.(check int) "spiders" 1 (List.length (Diagram.spiders d));
+  Alcotest.(check bool) "phase" true (Phase.equal Phase.half_pi (Diagram.phase d v));
+  Diagram.add_phase d v Phase.half_pi;
+  Alcotest.(check bool) "added phase" true (Phase.is_pi (Diagram.phase d v))
+
+let test_diagram_multi_edges () =
+  let d = Diagram.create () in
+  let a = Diagram.add_vertex d Diagram.Z Phase.zero in
+  let b = Diagram.add_vertex d Diagram.Z Phase.zero in
+  Diagram.connect d a b Diagram.Simple;
+  Diagram.connect d a b Diagram.Simple;
+  Diagram.connect d a b Diagram.Had;
+  Alcotest.(check (pair int int)) "counts" (2, 1) (Diagram.edge_counts d a b);
+  Diagram.disconnect_one d a b Diagram.Simple;
+  Alcotest.(check (pair int int)) "after remove" (1, 1) (Diagram.edge_counts d a b);
+  Alcotest.(check int) "degree with multi" 2 (Diagram.degree d a)
+
+let test_diagram_adjoint_eval () =
+  let c = Circuit.(empty 2 |> t 0 |> cx 1 0 |> s 1) in
+  let d = Translate.of_circuit c in
+  let m = Eval.to_matrix d in
+  let mdag = Eval.to_matrix (Diagram.adjoint d) in
+  check_proportional "adjoint = dagger" (Mat.dagger m) mdag
+
+(* ------------------------------------------------------------------ *)
+(* Translation and evaluation                                          *)
+(* ------------------------------------------------------------------ *)
+
+let translation_cases =
+  [
+    ("h", Circuit.(empty 1 |> h 0));
+    ("t", Circuit.(empty 1 |> t 0));
+    ("x", Circuit.(empty 1 |> x 0));
+    ("rx", Circuit.(empty 1 |> rx 0.7 0));
+    ("rz", Circuit.(empty 1 |> rz (-1.2) 0));
+    ("hsh", Circuit.(empty 1 |> h 0 |> s 0 |> h 0));
+    ("cx", Circuit.(empty 2 |> cx 1 0));
+    ("cx rev", Circuit.(empty 2 |> cx 0 1));
+    ("cz", Circuit.(empty 2 |> cz 0 1));
+    ("swap", Circuit.(empty 2 |> x 0 |> swap 0 1));
+    ("bell", Generators.bell);
+    ("ghz3", Generators.ghz 3);
+    ("w3 (needs lowering)", Generators.w_state 3);
+    ("qft2", Generators.qft 2);
+    ("toffoli", Circuit.(empty 3 |> ccx 2 1 0));
+    ("clifford_t", Generators.random_clifford_t ~seed:3 ~gates:25 ~t_fraction:0.3 3);
+    ("random u3", Generators.random_circuit ~seed:4 ~depth:2 2);
+  ]
+
+let test_translate_eval () =
+  List.iter
+    (fun (name, c) ->
+      let d = Translate.of_circuit c in
+      Diagram.validate d;
+      check_proportional name (circuit_matrix c) (Eval.to_matrix d))
+    translation_cases
+
+let test_bell_state_example5 () =
+  (* Example 5: plug |0⟩ states into the Bell circuit diagram and simplify:
+     the Bell state comes out.  |0⟩ ∝ a phase-0 X spider of arity 1. *)
+  let zero_states n =
+    let d = Diagram.create () in
+    for _q = 1 to n do
+      let o = Diagram.add_output d in
+      let x = Diagram.add_vertex d Diagram.X Phase.zero in
+      Diagram.connect d x o Diagram.Simple
+    done;
+    d
+  in
+  let plugged = Diagram.compose (zero_states 2) (Translate.of_circuit Generators.bell) in
+  Diagram.validate plugged;
+  let bell =
+    Vec.of_array [| Cx.of_float Cx.sqrt1_2; Cx.zero; Cx.zero; Cx.of_float Cx.sqrt1_2 |]
+  in
+  let check_state msg =
+    let v = Vec.normalize (Eval.to_vector plugged) in
+    Alcotest.(check bool) msg true (Vec.equal_up_to_global_phase ~eps:1e-6 bell v)
+  in
+  check_state "bell state before simplification";
+  let _ = Simplify.full_reduce plugged in
+  check_state "bell state after simplification"
+
+(* ------------------------------------------------------------------ *)
+(* Rewrite soundness (each pass preserves semantics up to scalar)      *)
+(* ------------------------------------------------------------------ *)
+
+let test_graph_like_sound () =
+  List.iter
+    (fun (name, c) ->
+      let d = Translate.of_circuit c in
+      let before = Eval.to_matrix d in
+      Rules.to_graph_like d;
+      Diagram.validate d;
+      Alcotest.(check bool) (name ^ " graph-like") true (Rules.is_graph_like d);
+      check_proportional (name ^ " preserved") before (Eval.to_matrix d))
+    translation_cases
+
+let test_full_reduce_sound () =
+  List.iter
+    (fun (name, c) ->
+      let d = Translate.of_circuit c in
+      let before = Eval.to_matrix d in
+      let _report = Simplify.full_reduce d in
+      Diagram.validate d;
+      check_proportional (name ^ " reduced") before (Eval.to_matrix d))
+    translation_cases
+
+let test_clifford_reduces_small () =
+  (* Interior Clifford spiders must be gone after full reduction. *)
+  let c = Generators.random_clifford ~seed:11 ~gates:60 4 in
+  let d = Translate.of_circuit c in
+  let _ = Simplify.full_reduce d in
+  List.iter
+    (fun v ->
+      let interior =
+        List.for_all
+          (fun (w, _) -> Diagram.kind d w <> Diagram.Boundary)
+          (Diagram.neighbors d v)
+      in
+      if interior then
+        Alcotest.(check bool) "interior spider is non-Clifford" false
+          (Phase.is_clifford (Diagram.phase d v)))
+    (Diagram.spiders d);
+  Alcotest.(check bool)
+    (Printf.sprintf "few spiders remain (%d)" (List.length (Diagram.spiders d)))
+    true
+    (List.length (Diagram.spiders d) <= 8)
+
+let test_t_count_reduction () =
+  (* E8: ZX reduction lowers T-count on redundant Clifford+T circuits. *)
+  let c = Generators.random_clifford_t ~seed:17 ~gates:120 ~t_fraction:0.35 4 in
+  let d = Translate.of_circuit c in
+  let before = Simplify.t_count d in
+  let _ = Simplify.full_reduce d in
+  let after = Simplify.t_count d in
+  Alcotest.(check bool)
+    (Printf.sprintf "t-count %d -> %d" before after)
+    true (after <= before);
+  (* semantics preserved *)
+  check_proportional "still the same unitary" (circuit_matrix c) (Eval.to_matrix d)
+
+let test_tt_fuses () =
+  (* T;T on one wire must fuse to a single S spider. *)
+  let c = Circuit.(empty 1 |> t 0 |> t 0) in
+  let d = Translate.of_circuit c in
+  let before = Simplify.t_count d in
+  Alcotest.(check int) "two T spiders" 2 before;
+  let _ = Simplify.full_reduce d in
+  Alcotest.(check int) "t-count 0 after fuse" 0 (Simplify.t_count d)
+
+(* ------------------------------------------------------------------ *)
+(* Exact scalar tracking                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_exact msg expect got =
+  if not (Mat.approx_equal ~eps:1e-6 expect got) then
+    Alcotest.failf "%s:@.expected@.%a@.got@.%a" msg Mat.pp expect Mat.pp got
+
+let test_translate_exact_scalar () =
+  List.iter
+    (fun (name, c) ->
+      let d = Translate.of_circuit c in
+      check_exact name (circuit_matrix c) (Eval.to_matrix_exact d))
+    translation_cases
+
+let test_reduce_exact_scalar () =
+  List.iter
+    (fun (name, c) ->
+      let d = Translate.of_circuit c in
+      ignore (Simplify.full_reduce d);
+      check_exact (name ^ " reduced") (circuit_matrix c) (Eval.to_matrix_exact d))
+    translation_cases
+
+let test_identity_scalar_is_one () =
+  (* C;C† reduces to bare wires with scalar exactly 1: a complete
+     diagrammatic equality proof, global phase included *)
+  List.iter
+    (fun seed ->
+      let c = Generators.random_clifford ~seed ~gates:30 3 in
+      let d = Translate.equivalence_diagram c c in
+      ignore (Simplify.full_reduce d);
+      Alcotest.(check bool) "identity" true (Simplify.is_identity d);
+      Alcotest.(check bool)
+        (Printf.sprintf "scalar %s = 1" (Cx.to_string (Diagram.scalar d)))
+        true
+        (Cx.approx_equal ~eps:1e-7 Cx.one (Diagram.scalar d)))
+    [ 1; 2; 3; 4; 5 ]
+
+let prop_reduce_exact =
+  QCheck.Test.make ~name:"full_reduce preserves the exact unitary" ~count:25
+    (QCheck.make QCheck.Gen.(pair (int_range 1 4) (int_range 0 5000)))
+    (fun (n, seed) ->
+      let c = Generators.random_clifford_t ~seed ~gates:25 ~t_fraction:0.2 n in
+      let d = Translate.of_circuit c in
+      ignore (Simplify.full_reduce d);
+      Mat.approx_equal ~eps:1e-6 (circuit_matrix c) (Eval.to_matrix_exact d))
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence checking via reduction to identity                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_equivalence_identity () =
+  List.iter
+    (fun (name, c) ->
+      let d = Translate.equivalence_diagram c c in
+      let before = Eval.to_matrix d in
+      check_proportional (name ^ " C;C† = I") (Mat.identity (Mat.rows before)) before;
+      let _ = Simplify.full_reduce d in
+      Alcotest.(check bool) (name ^ " reduces to identity") true (Simplify.is_identity d))
+    [
+      ("h", Circuit.(empty 1 |> h 0));
+      ("s", Circuit.(empty 1 |> s 0));
+      ("hsh", Circuit.(empty 1 |> h 0 |> s 0 |> h 0));
+      ("cx", Circuit.(empty 2 |> cx 1 0));
+      ("bell", Generators.bell);
+      ("ghz3", Generators.ghz 3);
+      ("clifford", Generators.random_clifford ~seed:5 ~gates:40 3);
+      ("clifford_t", Generators.random_clifford_t ~seed:6 ~gates:30 ~t_fraction:0.2 3);
+    ]
+
+let test_inequivalence_not_identity () =
+  let c1 = Generators.bell in
+  let c2 = Circuit.(empty 2 |> h 1 |> cx 1 0 |> z 0) in
+  let d = Translate.equivalence_diagram c1 c2 in
+  let _ = Simplify.full_reduce d in
+  Alcotest.(check bool) "different circuits do not reduce to identity" false
+    (Simplify.is_identity d)
+
+let test_swap_is_permutation () =
+  let c = Circuit.(empty 2 |> swap 0 1) in
+  let d = Translate.of_circuit c in
+  let _ = Simplify.full_reduce d in
+  match Simplify.is_identity_up_to_permutation d with
+  | Some perm ->
+      Alcotest.(check int) "0 -> 1" 1 perm.(0);
+      Alcotest.(check int) "1 -> 0" 0 perm.(1)
+  | None -> Alcotest.fail "swap should be a bare permutation"
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec loop k = k + nl <= hl && (String.sub haystack k nl = needle || loop (k + 1)) in
+  loop 0
+
+let test_dot () =
+  let d = Translate.of_circuit Generators.bell in
+  let dot = Diagram.to_dot d in
+  Alcotest.(check bool) "graph" true (contains ~needle:"graph zx" dot);
+  Alcotest.(check bool) "green spider" true (contains ~needle:"palegreen" dot);
+  Alcotest.(check bool) "red spider" true (contains ~needle:"salmon" dot)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_translate_sound =
+  QCheck.Test.make ~name:"translation preserves semantics (up to scalar)" ~count:15
+    (QCheck.make QCheck.Gen.(pair (int_range 1 3) (int_range 0 1000)))
+    (fun (n, seed) ->
+      let c = Generators.random_clifford_t ~seed ~gates:20 ~t_fraction:0.3 n in
+      let d = Translate.of_circuit c in
+      Eval.proportional ~eps:1e-6 (circuit_matrix c) (Eval.to_matrix d))
+
+let prop_reduce_sound =
+  QCheck.Test.make ~name:"full_reduce preserves semantics (up to scalar)" ~count:15
+    (QCheck.make QCheck.Gen.(pair (int_range 1 3) (int_range 0 1000)))
+    (fun (n, seed) ->
+      let c = Generators.random_clifford_t ~seed ~gates:25 ~t_fraction:0.25 n in
+      let d = Translate.of_circuit c in
+      let before = Eval.to_matrix d in
+      let _ = Simplify.full_reduce d in
+      Eval.proportional ~eps:1e-6 before (Eval.to_matrix d))
+
+let prop_self_equivalence_reduces =
+  QCheck.Test.make ~name:"C;C† reduces to the identity diagram" ~count:15
+    (QCheck.make QCheck.Gen.(pair (int_range 1 3) (int_range 0 1000)))
+    (fun (n, seed) ->
+      let c = Generators.random_clifford ~seed ~gates:25 n in
+      let d = Translate.equivalence_diagram c c in
+      let _ = Simplify.full_reduce d in
+      Simplify.is_identity d)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_translate_sound; prop_reduce_sound; prop_self_equivalence_reduces;
+      prop_reduce_exact ]
+
+let () =
+  Alcotest.run "qdt_zx"
+    [
+      ( "phase",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_phase_arith;
+          Alcotest.test_case "classes" `Quick test_phase_classes;
+          Alcotest.test_case "of_radians" `Quick test_phase_of_radians;
+        ] );
+      ( "diagram",
+        [
+          Alcotest.test_case "basics" `Quick test_diagram_basics;
+          Alcotest.test_case "multi edges" `Quick test_diagram_multi_edges;
+          Alcotest.test_case "adjoint" `Quick test_diagram_adjoint_eval;
+        ] );
+      ( "translate",
+        [
+          Alcotest.test_case "eval matches circuits" `Quick test_translate_eval;
+          Alcotest.test_case "paper example 5" `Quick test_bell_state_example5;
+        ] );
+      ( "rewriting",
+        [
+          Alcotest.test_case "graph-like sound" `Quick test_graph_like_sound;
+          Alcotest.test_case "full reduce sound" `Quick test_full_reduce_sound;
+          Alcotest.test_case "clifford reduces" `Quick test_clifford_reduces_small;
+          Alcotest.test_case "t-count reduction" `Quick test_t_count_reduction;
+          Alcotest.test_case "T·T fuses" `Quick test_tt_fuses;
+        ] );
+      ( "exact-scalars",
+        [
+          Alcotest.test_case "translation" `Quick test_translate_exact_scalar;
+          Alcotest.test_case "full reduce" `Quick test_reduce_exact_scalar;
+          Alcotest.test_case "identity scalar" `Quick test_identity_scalar_is_one;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "C;C† = identity" `Quick test_equivalence_identity;
+          Alcotest.test_case "inequivalent detected" `Quick test_inequivalence_not_identity;
+          Alcotest.test_case "swap permutation" `Quick test_swap_is_permutation;
+        ] );
+      ("export", [ Alcotest.test_case "dot" `Quick test_dot ]);
+      ("properties", props);
+    ]

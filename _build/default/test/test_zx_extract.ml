@@ -1,0 +1,162 @@
+open Qdt_linalg
+open Qdt_circuit
+open Qdt_zx
+module UB = Qdt_arraysim.Unitary_builder
+
+let check_proportional msg expect got =
+  if not (Eval.proportional ~eps:1e-6 expect got) then
+    Alcotest.failf "%s:@.expected (up to scalar)@.%a@.got@.%a" msg Mat.pp expect Mat.pp got
+
+(* Extraction correctness: translate, reduce, extract; the extracted
+   circuit must implement the same unitary (up to global phase/scalar). *)
+let roundtrip ?(reduce = true) name c =
+  let d = Translate.of_circuit c in
+  if reduce then ignore (Simplify.full_reduce d) else Rules.to_graph_like d;
+  let extracted =
+    try Extract.extract d
+    with Extract.Extraction_failed msg -> Alcotest.failf "%s: extraction failed: %s" name msg
+  in
+  check_proportional name (UB.unitary c) (UB.unitary extracted);
+  extracted
+
+let test_extract_wire_cases () =
+  ignore (roundtrip "identity wire" (Circuit.empty 1));
+  ignore (roundtrip "identity 3 wires" (Circuit.empty 3));
+  ignore (roundtrip "h" Circuit.(empty 1 |> h 0));
+  ignore (roundtrip "hh" Circuit.(empty 1 |> h 0 |> h 0));
+  ignore (roundtrip "swap" Circuit.(empty 2 |> swap 0 1));
+  ignore (roundtrip "three-cycle" Circuit.(empty 3 |> swap 0 1 |> swap 1 2))
+
+let test_extract_phase_gates () =
+  ignore (roundtrip "s" Circuit.(empty 1 |> s 0));
+  ignore (roundtrip "t" Circuit.(empty 1 |> t 0));
+  ignore (roundtrip "rz" Circuit.(empty 1 |> rz 0.77 0));
+  ignore (roundtrip "hsh" Circuit.(empty 1 |> h 0 |> s 0 |> h 0));
+  ignore (roundtrip "hth" Circuit.(empty 1 |> h 0 |> t 0 |> h 0));
+  ignore (roundtrip "x" Circuit.(empty 1 |> x 0));
+  ignore (roundtrip "rx" Circuit.(empty 1 |> rx 1.3 0))
+
+let test_extract_two_qubit () =
+  ignore (roundtrip "cz" Circuit.(empty 2 |> cz 0 1));
+  ignore (roundtrip "cx" Circuit.(empty 2 |> cx 1 0));
+  ignore (roundtrip "cx other way" Circuit.(empty 2 |> cx 0 1));
+  ignore (roundtrip "bell" Generators.bell);
+  ignore (roundtrip "cx chain" Circuit.(empty 3 |> cx 2 1 |> cx 1 0));
+  ignore (roundtrip "ghz3" (Generators.ghz 3))
+
+let test_extract_structured () =
+  ignore (roundtrip "qft2" (Generators.qft 2));
+  ignore (roundtrip "qft3" (Generators.qft 3));
+  ignore (roundtrip "toffoli" Circuit.(empty 3 |> ccx 2 1 0));
+  ignore (roundtrip "w3" (Generators.w_state 3))
+
+let test_extract_random_clifford () =
+  List.iter
+    (fun seed ->
+      ignore
+        (roundtrip
+           (Printf.sprintf "clifford seed %d" seed)
+           (Generators.random_clifford ~seed ~gates:30 3)))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_extract_random_clifford_t () =
+  List.iter
+    (fun seed ->
+      ignore
+        (roundtrip
+           (Printf.sprintf "clifford+t seed %d" seed)
+           (Generators.random_clifford_t ~seed ~gates:25 ~t_fraction:0.3 3)))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_extract_without_reduction () =
+  (* extraction straight after graph-like conversion (no lcomp/pivot) *)
+  List.iter
+    (fun (name, c) -> ignore (roundtrip ~reduce:false name c))
+    [
+      ("bell raw", Generators.bell);
+      ("qft2 raw", Generators.qft 2);
+      ("clifford raw", Generators.random_clifford ~seed:9 ~gates:20 3);
+    ]
+
+let test_optimize_circuit_preserves () =
+  List.iter
+    (fun (name, c) ->
+      let optimized = Extract.optimize_circuit c in
+      if
+        not
+          (Mat.equal_up_to_global_phase ~eps:1e-6 (UB.unitary c) (UB.unitary optimized))
+      then Alcotest.failf "%s: optimize_circuit changed the unitary" name)
+    [
+      ("bell", Generators.bell);
+      ("qft3", Generators.qft 3);
+      ("toffoli", Circuit.(empty 3 |> ccx 2 1 0));
+      ("clifford+t", Generators.random_clifford_t ~seed:2 ~gates:40 ~t_fraction:0.3 3);
+    ]
+
+let test_optimize_reduces_t_count () =
+  (* On redundant Clifford+T circuits the pipeline should not increase the
+     T-count, and usually decrease it. *)
+  let total_before = ref 0 and total_after = ref 0 in
+  List.iter
+    (fun seed ->
+      let c = Generators.random_clifford_t ~seed ~gates:60 ~t_fraction:0.3 4 in
+      let optimized = Extract.optimize_circuit c in
+      (* count non-Clifford phase gates in both *)
+      let t_of c =
+        List.fold_left
+          (fun acc instr ->
+            match instr with
+            | Circuit.Apply { gate = Gate.T | Gate.Tdg; _ } -> acc + 1
+            | Circuit.Apply { gate = Gate.Phase theta | Gate.Rz theta; _ } ->
+                let p = Phase.of_radians theta in
+                if Phase.is_clifford p then acc else acc + 1
+            | _ -> acc)
+          0
+          (Circuit.instructions c)
+      in
+      total_before := !total_before + t_of c;
+      total_after := !total_after + t_of optimized;
+      if
+        not
+          (Mat.equal_up_to_global_phase ~eps:1e-6 (UB.unitary c) (UB.unitary optimized))
+      then Alcotest.failf "seed %d: semantics broken" seed)
+    [ 1; 2; 3 ];
+  Alcotest.(check bool)
+    (Printf.sprintf "t-count %d -> %d" !total_before !total_after)
+    true
+    (!total_after <= !total_before)
+
+let prop_extract_roundtrip =
+  QCheck.Test.make ~name:"extract(reduce(translate(c))) ~ c" ~count:20
+    (QCheck.make QCheck.Gen.(pair (int_range 1 3) (int_range 0 2000)))
+    (fun (n, seed) ->
+      let c = Generators.random_clifford_t ~seed ~gates:20 ~t_fraction:0.25 n in
+      let d = Translate.of_circuit c in
+      ignore (Simplify.full_reduce d);
+      match Extract.extract d with
+      | extracted ->
+          Mat.equal_up_to_global_phase ~eps:1e-6 (UB.unitary c) (UB.unitary extracted)
+      | exception Extract.Extraction_failed _ -> false)
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_extract_roundtrip ]
+
+let () =
+  Alcotest.run "qdt_zx_extract"
+    [
+      ( "extract",
+        [
+          Alcotest.test_case "wires" `Quick test_extract_wire_cases;
+          Alcotest.test_case "phase gates" `Quick test_extract_phase_gates;
+          Alcotest.test_case "two qubit" `Quick test_extract_two_qubit;
+          Alcotest.test_case "structured" `Quick test_extract_structured;
+          Alcotest.test_case "random clifford" `Quick test_extract_random_clifford;
+          Alcotest.test_case "random clifford+t" `Quick test_extract_random_clifford_t;
+          Alcotest.test_case "without reduction" `Quick test_extract_without_reduction;
+        ] );
+      ( "optimize",
+        [
+          Alcotest.test_case "preserves semantics" `Quick test_optimize_circuit_preserves;
+          Alcotest.test_case "reduces t-count" `Quick test_optimize_reduces_t_count;
+        ] );
+      ("properties", props);
+    ]
