@@ -634,8 +634,67 @@ let e14 () =
           ignore (Qdt.Stabilizer.Ch_form.run (Generators.random_clifford ~seed:3 ~gates:100 8)));
     ]
 
+(* ------------------------------------------------------------------ *)
+(* E15: backend portfolio — auto-dispatch choices + unified telemetry  *)
+(* ------------------------------------------------------------------ *)
+
+let e15 () =
+  header "E15" "Backend portfolio: auto-dispatch choices and unified run telemetry";
+  let nn_chain n =
+    (* nearest-neighbour entangler ladder with non-Clifford rotations:
+       bounded entanglement, the MPS sweet spot *)
+    let c = ref (Circuit.empty n) in
+    for q = 0 to n - 1 do
+      c := Circuit.ry 0.3 q !c
+    done;
+    for q = 0 to n - 2 do
+      c := Circuit.cx q (q + 1) !c
+    done;
+    !c
+  in
+  let workloads =
+    [
+      ("clifford(24)", Generators.random_clifford ~seed:1 ~gates:120 24);
+      ("nn-chain(16)", nn_chain 16);
+      ("clifford+t(5)", Generators.random_clifford_t ~seed:1 ~gates:100 ~t_fraction:0.3 5);
+      ("qft(10)", Generators.qft 10);
+      ("ghz(18)", Generators.ghz 18);
+    ]
+  in
+  Printf.printf "auto choice per workload (operation: expectation of Z_0):\n";
+  List.iter
+    (fun (name, c) ->
+      let (module B : Qdt.Backend.BACKEND), reason =
+        Qdt.Auto.choose ~op:Qdt.Backend.Expectation_z c
+      in
+      Printf.printf "  %-16s -> %-18s %s\n" name B.name reason)
+    workloads;
+  Printf.printf "\nunified telemetry, same circuit through every capable backend:\n";
+  let c = Generators.ghz 12 in
+  List.iter
+    (fun (module B : Qdt.Backend.BACKEND) ->
+      match B.expectation_z c 0 with
+      | Ok (v, stats) ->
+          Printf.printf "  <Z0|ghz12> = %+.3f  %s\n" v (Qdt.Backend.stats_to_string stats)
+      | Error e -> Printf.printf "  skipped: %s\n" (Qdt.Backend.error_to_string e))
+    (Qdt.Registry.all ());
+  let sample_via name shots =
+    match Qdt.Registry.find name with
+    | Some (module B : Qdt.Backend.BACKEND) -> fun c ->
+        (match B.sample ~shots c with Ok _ -> () | Error _ -> ())
+    | None -> fun _ -> ()
+  in
+  run_timings ~name:"e15"
+    [
+      bench "auto-sample-clifford24" (fun () ->
+          sample_via "auto" 100 (Generators.random_clifford ~seed:1 ~gates:120 24));
+      bench "auto-sample-qft10" (fun () -> sample_via "auto" 100 (Generators.qft 10));
+      bench "dd-sample-qft10" (fun () ->
+          sample_via "decision-diagrams" 100 (Generators.qft 10));
+    ]
+
 let () =
-  print_endline "QDT benchmark harness — experiments E1..E14 (see DESIGN.md / EXPERIMENTS.md)";
+  print_endline "QDT benchmark harness — experiments E1..E15 (see DESIGN.md / EXPERIMENTS.md)";
   e1 ();
   e2 ();
   e3 ();
@@ -652,4 +711,5 @@ let () =
   e12 ();
   e13 ();
   e14 ();
+  e15 ();
   print_endline "\nAll experiments complete."

@@ -49,14 +49,26 @@ let show_cmd =
 (* ------------------------------------------------------------------ *)
 
 let backend_arg =
-  let all =
-    List.map (fun b -> (Qdt.backend_name b, b)) (Qdt.all_backends @ [ Qdt.Stabilizer_backend ])
-  in
-  Arg.(value & opt (enum all) Qdt.Decision_diagrams & info [ "backend"; "b" ] ~docv:"BACKEND"
-         ~doc:"Simulation backend: arrays, decision-diagrams, tensor-network or mps.")
+  let all = List.map (fun name -> (name, name)) (Qdt.Registry.names ()) in
+  Arg.(value & opt (enum all) "decision-diagrams" & info [ "backend"; "b" ] ~docv:"BACKEND"
+         ~doc:"Simulation backend: arrays, decision-diagrams, tensor-network, mps, \
+               stabilizer, or auto (portfolio dispatch).")
+
+let print_stats stats = Printf.printf "stats: %s\n" (Qdt.Backend.stats_to_string stats)
+
+let backend_failure err =
+  prerr_endline (Qdt.Backend.error_to_string err);
+  exit 1
 
 let simulate_cmd =
-  let run c backend shots seed threshold =
+  let run c backend_name shots seed threshold =
+    let (module B : Qdt.Backend.BACKEND) =
+      match Qdt.Registry.find backend_name with
+      | Some m -> m
+      | None ->
+          prerr_endline ("unknown backend " ^ backend_name);
+          exit 1
+    in
     let unitary_part =
       List.fold_left
         (fun acc i ->
@@ -67,25 +79,30 @@ let simulate_cmd =
         (Circuit.instructions c)
     in
     let n = Circuit.num_qubits c in
-    if shots = 0 && backend = Qdt.Stabilizer_backend then
-      prerr_endline "the stabilizer backend has no amplitudes; use --shots N"
-    else if shots = 0 then begin
-      let state = Qdt.simulate ~backend unitary_part in
-      Printf.printf "final state (backend: %s):\n" (Qdt.backend_name backend);
-      Qdt.Linalg.Vec.iteri
-        (fun k amp ->
-          let p = Qdt.Linalg.Cx.norm2 amp in
-          if p > threshold then
-            Printf.printf "  |%s>  %-22s  p=%.6f\n" (bitstring n k)
-              (Qdt.Linalg.Cx.to_string amp) p)
-        state
+    if shots = 0 then begin
+      match B.simulate unitary_part with
+      | Error err -> backend_failure err
+      | Ok (state, stats) ->
+          Printf.printf "final state (backend: %s):\n" stats.Qdt.Backend.backend;
+          Qdt.Linalg.Vec.iteri
+            (fun k amp ->
+              let p = Qdt.Linalg.Cx.norm2 amp in
+              if p > threshold then
+                Printf.printf "  |%s>  %-22s  p=%.6f\n" (bitstring n k)
+                  (Qdt.Linalg.Cx.to_string amp) p)
+            state;
+          print_stats stats
     end
     else begin
-      let counts = Qdt.sample ~backend ~seed ~shots unitary_part in
-      Printf.printf "counts over %d shots (backend: %s):\n" shots (Qdt.backend_name backend);
-      List.iter
-        (fun (k, count) -> Printf.printf "  %s  %d\n" (bitstring n k) count)
-        counts
+      match B.sample ~seed ~shots unitary_part with
+      | Error err -> backend_failure err
+      | Ok (counts, stats) ->
+          Printf.printf "counts over %d shots (backend: %s):\n" shots
+            stats.Qdt.Backend.backend;
+          List.iter
+            (fun (k, count) -> Printf.printf "  %s  %d\n" (bitstring n k) count)
+            counts;
+          print_stats stats
     end
   in
   let shots =
@@ -99,6 +116,33 @@ let simulate_cmd =
     Term.(const run $ file_pos ~doc:"OpenQASM file to simulate" 0 $ backend_arg $ shots $ seed $ threshold)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate a circuit with a chosen data structure") term
+
+(* ------------------------------------------------------------------ *)
+(* backends                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let backends_cmd =
+  let run () =
+    let mark b = if b then "yes" else "-" in
+    Printf.printf "%-18s %-6s %-5s %-7s %-7s %-11s %-9s %s\n" "backend" "state"
+      "amp" "sample" "<Z>" "measure" "clifford" "max-qubits";
+    List.iter
+      (fun (module B : Qdt.Backend.BACKEND) ->
+        let c = B.capabilities in
+        Printf.printf "%-18s %-6s %-5s %-7s %-7s %-11s %-9s %s\n" B.name
+          (mark c.Qdt.Backend.full_state)
+          (mark c.Qdt.Backend.amplitude)
+          (mark c.Qdt.Backend.sample)
+          (mark c.Qdt.Backend.expectation_z)
+          (mark c.Qdt.Backend.supports_nonunitary)
+          (if c.Qdt.Backend.clifford_only then "only" else "-")
+          (match c.Qdt.Backend.max_qubits with
+          | Some m -> string_of_int m
+          | None -> "unbounded"))
+      (Qdt.Registry.all ())
+  in
+  let term = Term.(const run $ const ()) in
+  Cmd.v (Cmd.info "backends" ~doc:"List registered backends and their capabilities") term
 
 (* ------------------------------------------------------------------ *)
 (* compile                                                             *)
@@ -297,6 +341,7 @@ let optimize_cmd =
 let main =
   let doc = "quantum design tools: arrays, decision diagrams, tensor networks, ZX-calculus" in
   Cmd.group (Cmd.info "qdt" ~version:"1.0.0" ~doc)
-    [ show_cmd; simulate_cmd; compile_cmd; verify_cmd; gen_cmd; export_cmd; optimize_cmd ]
+    [ show_cmd; simulate_cmd; backends_cmd; compile_cmd; verify_cmd; gen_cmd; export_cmd;
+      optimize_cmd ]
 
 let () = exit (Cmd.eval main)

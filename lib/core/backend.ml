@@ -1,0 +1,139 @@
+(* First-class backend abstraction: the module type every simulation
+   backend implements, the capability record the portfolio dispatcher
+   queries, and the unified run-telemetry (stats) record every operation
+   returns.  See DESIGN.md, "Backend layer". *)
+
+type capabilities = {
+  full_state : bool;
+  amplitude : bool;
+  sample : bool;
+  expectation_z : bool;
+  supports_nonunitary : bool;
+  clifford_only : bool;
+  max_qubits : int option;
+}
+
+type dd_stats = {
+  peak_nodes : int;
+  final_nodes : int;
+  unique_table_size : int;
+  cnum_table_size : int;
+  unique_hit_rate : float;
+  compute_hit_rate : float;
+}
+
+type mps_stats = { max_bond_dim : int; truncation_error : float }
+
+type stats = {
+  backend : string;
+  wall_s : float;
+  dd : dd_stats option;
+  mps : mps_stats option;
+  tableau_bytes : int option;
+  note : string option;
+}
+
+type error = { backend : string; operation : string; reason : string }
+type 'a outcome = ('a * stats, error) result
+
+type operation = Full_state | Amplitude | Sample | Expectation_z
+
+let operation_name = function
+  | Full_state -> "simulate"
+  | Amplitude -> "amplitude"
+  | Sample -> "sample"
+  | Expectation_z -> "expectation-z"
+
+let supports caps = function
+  | Full_state -> caps.full_state
+  | Amplitude -> caps.amplitude
+  | Sample -> caps.sample
+  | Expectation_z -> caps.expectation_z
+
+let unsupported ~backend ~operation reason =
+  Error { backend; operation = operation_name operation; reason }
+
+let error_to_string e =
+  Printf.sprintf "backend %s does not support %s: %s" e.backend e.operation e.reason
+
+let base_stats ?note name wall_s =
+  { backend = name; wall_s; dd = None; mps = None; tableau_bytes = None; note }
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let stats_to_string (s : stats) =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (Printf.sprintf "backend=%s wall=%.6fs" s.backend s.wall_s);
+  (match s.dd with
+  | Some d ->
+      Buffer.add_string b
+        (Printf.sprintf
+           " dd{peak-nodes=%d final-nodes=%d unique-table=%d cnum-table=%d \
+            unique-hit=%.1f%% cache-hit=%.1f%%}"
+           d.peak_nodes d.final_nodes d.unique_table_size d.cnum_table_size
+           (100.0 *. d.unique_hit_rate)
+           (100.0 *. d.compute_hit_rate))
+  | None -> ());
+  (match s.mps with
+  | Some m ->
+      Buffer.add_string b
+        (Printf.sprintf " mps{max-bond=%d trunc-err=%.3e}" m.max_bond_dim
+           m.truncation_error)
+  | None -> ());
+  (match s.tableau_bytes with
+  | Some bytes -> Buffer.add_string b (Printf.sprintf " tableau{bytes=%d}" bytes)
+  | None -> ());
+  (match s.note with
+  | Some note -> Buffer.add_string b (Printf.sprintf "\nchoice: %s" note)
+  | None -> ());
+  Buffer.contents b
+
+let pp_stats ppf s = Format.pp_print_string ppf (stats_to_string s)
+
+module type BACKEND = sig
+  val name : string
+  val capabilities : capabilities
+
+  (** Final state of a unitary circuit from [|0…0⟩]. *)
+  val simulate : Qdt_circuit.Circuit.t -> Qdt_linalg.Vec.t outcome
+
+  (** [amplitude c k] — ⟨k|C|0…0⟩. *)
+  val amplitude : Qdt_circuit.Circuit.t -> int -> Qdt_linalg.Cx.t outcome
+
+  (** [sample ?seed ~shots c] — measurement counts over all qubits. *)
+  val sample : ?seed:int -> shots:int -> Qdt_circuit.Circuit.t -> (int * int) list outcome
+
+  (** [expectation_z ?seed c q] — [⟨Z_q⟩] of the final state ([seed] drives
+      mid-circuit measurement collapse where the backend supports it). *)
+  val expectation_z : ?seed:int -> Qdt_circuit.Circuit.t -> int -> float outcome
+end
+
+type t = (module BACKEND)
+
+(* Shared admission guard used by the adapters: operation capability,
+   qubit-count limit, and measurement/reset handling.  [Full_state] and
+   [Amplitude] always require a unitary circuit (a collapsed state is not
+   "the" final state); [Sample]/[Expectation_z] admit measurements exactly
+   when the backend executes them ([supports_nonunitary]). *)
+let admit ~name ~caps ~operation c =
+  if not (supports caps operation) then
+    unsupported ~backend:name ~operation "operation not provided by this backend"
+  else
+    match caps.max_qubits with
+    | Some m when Qdt_circuit.Circuit.num_qubits c > m ->
+        unsupported ~backend:name ~operation
+          (Printf.sprintf "circuit has %d qubits, backend limit is %d"
+             (Qdt_circuit.Circuit.num_qubits c)
+             m)
+    | _ ->
+        if Qdt_circuit.Circuit.is_unitary_only c then Ok ()
+        else if
+          caps.supports_nonunitary
+          && (operation = Sample || operation = Expectation_z)
+        then Ok ()
+        else
+          unsupported ~backend:name ~operation
+            "circuit contains measurements or resets"

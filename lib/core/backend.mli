@@ -1,0 +1,95 @@
+(** First-class simulation backends (the architecture the paper's
+    complementarity argument asks for): a common module type over the four
+    data structures plus the stabilizer formalism, a machine-readable
+    capability record, and a unified telemetry record so callers — CLI,
+    bench harness, portfolio dispatcher — can discover what a backend can
+    do and what a run cost. *)
+
+(** What a backend can do.  The portfolio dispatcher ({!Backend_auto})
+    filters on this before applying its heuristics. *)
+type capabilities = {
+  full_state : bool;  (** can produce the dense final state *)
+  amplitude : bool;  (** can produce a single amplitude *)
+  sample : bool;  (** can draw measurement counts *)
+  expectation_z : bool;  (** can compute [⟨Z_q⟩] *)
+  supports_nonunitary : bool;  (** executes measurements / resets *)
+  clifford_only : bool;  (** restricted to the Clifford group *)
+  max_qubits : int option;  (** hard qubit limit, [None] = unbounded *)
+}
+
+(** Decision-diagram telemetry ({!Qdt_dd.Pkg}). *)
+type dd_stats = {
+  peak_nodes : int;  (** largest state DD during the run *)
+  final_nodes : int;
+  unique_table_size : int;
+  cnum_table_size : int;
+  unique_hit_rate : float;  (** share of node constructions answered by hash-consing *)
+  compute_hit_rate : float;  (** share of operation-cache lookups that hit *)
+}
+
+(** Matrix-product-state telemetry ({!Qdt_tensornet.Mps}). *)
+type mps_stats = { max_bond_dim : int; truncation_error : float }
+
+(** The unified run record: every backend operation returns one. *)
+type stats = {
+  backend : string;  (** backend that actually ran (Auto reports its pick) *)
+  wall_s : float;  (** wall-clock seconds *)
+  dd : dd_stats option;
+  mps : mps_stats option;
+  tableau_bytes : int option;  (** stabilizer tableau footprint *)
+  note : string option;  (** Auto: why this backend was chosen *)
+}
+
+(** Typed unsupported-operation report (replaces the seed's
+    [invalid_arg]-raising dispatcher arms). *)
+type error = { backend : string; operation : string; reason : string }
+
+type 'a outcome = ('a * stats, error) result
+
+type operation = Full_state | Amplitude | Sample | Expectation_z
+
+val operation_name : operation -> string
+
+(** [supports caps op] — capability query for one operation. *)
+val supports : capabilities -> operation -> bool
+
+val unsupported : backend:string -> operation:operation -> string -> ('a, error) result
+val error_to_string : error -> string
+
+val base_stats : ?note:string -> string -> float -> stats
+
+(** [timed f] — run [f] and return its result with elapsed wall seconds. *)
+val timed : (unit -> 'a) -> 'a * float
+
+val stats_to_string : stats -> string
+val pp_stats : Format.formatter -> stats -> unit
+
+(** The signature every backend adapter implements. *)
+module type BACKEND = sig
+  val name : string
+  val capabilities : capabilities
+
+  (** Final state of a unitary circuit from [|0…0⟩]. *)
+  val simulate : Qdt_circuit.Circuit.t -> Qdt_linalg.Vec.t outcome
+
+  (** [amplitude c k] — ⟨k|C|0…0⟩. *)
+  val amplitude : Qdt_circuit.Circuit.t -> int -> Qdt_linalg.Cx.t outcome
+
+  (** [sample ?seed ~shots c] — measurement counts over all qubits. *)
+  val sample : ?seed:int -> shots:int -> Qdt_circuit.Circuit.t -> (int * int) list outcome
+
+  (** [expectation_z ?seed c q] — [⟨Z_q⟩] of the final state ([seed] drives
+      mid-circuit measurement collapse where the backend supports it). *)
+  val expectation_z : ?seed:int -> Qdt_circuit.Circuit.t -> int -> float outcome
+end
+
+type t = (module BACKEND)
+
+(** [admit ~name ~caps ~operation c] — the shared admission guard:
+    capability, qubit limit, and measurement/reset handling. *)
+val admit :
+  name:string ->
+  caps:capabilities ->
+  operation:operation ->
+  Qdt_circuit.Circuit.t ->
+  (unit, error) result

@@ -1,0 +1,51 @@
+(* Backend adapter: dense state-vector simulation (Section II). *)
+
+module Circuit = Qdt_circuit.Circuit
+module Sv = Qdt_arraysim.Statevector
+
+let name = "arrays"
+
+let capabilities =
+  {
+    Backend.full_state = true;
+    amplitude = true;
+    sample = true;
+    expectation_z = true;
+    supports_nonunitary = true;
+    clifford_only = false;
+    max_qubits = Some 24;
+  }
+
+let admit operation c = Backend.admit ~name ~caps:capabilities ~operation c
+
+let ( let* ) r f = Result.bind r f
+
+let stats wall = Backend.base_stats name wall
+
+let simulate c =
+  let* () = admit Backend.Full_state c in
+  let state, wall = Backend.timed (fun () -> Sv.run_unitary c) in
+  Ok (Sv.to_vec state, stats wall)
+
+let amplitude c k =
+  let* () = admit Backend.Amplitude c in
+  let amp, wall = Backend.timed (fun () -> Sv.amplitude (Sv.run_unitary c) k) in
+  Ok (amp, stats wall)
+
+let sample ?(seed = 0) ~shots c =
+  let* () = admit Backend.Sample c in
+  let counts, wall =
+    Backend.timed (fun () ->
+        let state, _clbits = Sv.run ~seed c in
+        Sv.sample ~seed:(seed + 1) state ~shots)
+  in
+  Ok (counts, stats wall)
+
+let expectation_z ?(seed = 0) c q =
+  let* () = admit Backend.Expectation_z c in
+  let v, wall =
+    Backend.timed (fun () ->
+        let state, _clbits = Sv.run ~seed c in
+        Sv.expectation_z state q)
+  in
+  Ok (v, stats wall)

@@ -1,0 +1,141 @@
+(* The portfolio backend: inspects the circuit and routes each operation to
+   the backend the selection heuristics of Burgholzer/Ploier/Wille,
+   "Tensor Networks or Decision Diagrams? Guidelines for Classical Quantum
+   Circuit Simulation" (2023) favour:
+
+     1. pure Clifford                  -> stabilizer tableau (O(n^2))
+     2. nearest-neighbour interactions -> MPS (bond dimension stays small)
+     3. T-heavy                        -> decision diagrams
+     4. small generic                  -> dense arrays
+     5. anything else                  -> decision diagrams
+
+   Each rule only fires when the target backend admits the requested
+   operation on the given circuit, so e.g. a full-state request on a
+   Clifford circuit falls through to a state-producing backend.  The chosen
+   backend and the reason are logged in the [note] field of the returned
+   stats record. *)
+
+module Circuit = Qdt_circuit.Circuit
+
+let name = "auto"
+
+let capabilities =
+  {
+    Backend.full_state = true;
+    amplitude = true;
+    sample = true;
+    expectation_z = true;
+    supports_nonunitary = true;
+    clifford_only = false;
+    max_qubits = None;
+  }
+
+type features = {
+  qubits : int;
+  gates : int;
+  two_qubit : int;
+  t_count : int;
+  clifford : bool;
+  nn_fraction : float;
+}
+
+let features c =
+  let two_qubit = ref 0 and nn = ref 0 in
+  List.iter
+    (fun instr ->
+      let qs =
+        match instr with
+        | Circuit.Apply { controls; target; _ } -> controls @ [ target ]
+        | Circuit.Swap { controls; a; b } -> controls @ [ a; b ]
+        | Circuit.Measure _ | Circuit.Reset _ | Circuit.Barrier _ -> []
+      in
+      match qs with
+      | [ a; b ] ->
+          incr two_qubit;
+          if abs (a - b) = 1 then incr nn
+      | _ -> ())
+    (Circuit.instructions c);
+  {
+    qubits = Circuit.num_qubits c;
+    gates = Circuit.count_total c;
+    two_qubit = !two_qubit;
+    t_count = Circuit.t_count c;
+    clifford = Qdt_stabilizer.Tableau.supports c;
+    nn_fraction =
+      (if !two_qubit = 0 then 1.0
+       else float_of_int !nn /. float_of_int !two_qubit);
+  }
+
+(* A circuit is "T-heavy" when its T-count is substantial in absolute terms
+   or as a fraction of the gate count — the regime where stabilizer-based
+   methods are out and decision diagrams are the method of choice. *)
+let t_heavy f = f.t_count >= 8 || (f.t_count > 0 && f.t_count * 5 >= f.gates)
+
+let admits (module B : Backend.BACKEND) ~op c =
+  match Backend.admit ~name:B.name ~caps:B.capabilities ~operation:op c with
+  | Ok () -> true
+  | Error _ -> false
+
+let choose ~op c =
+  let f = features c in
+  let rules =
+    [
+      ( f.clifford,
+        (module Backend_stabilizer : Backend.BACKEND),
+        Printf.sprintf
+          "pure Clifford circuit on %d qubits: stabilizer tableau is O(n^2)"
+          f.qubits );
+      ( f.qubits >= 12 && f.two_qubit > 0
+        && f.nn_fraction >= 0.95
+        && not (op = Backend.Full_state && f.qubits > Backend_mps.max_dense_qubits),
+        (module Backend_mps : Backend.BACKEND),
+        Printf.sprintf
+          "%.0f%% of two-qubit gates are nearest-neighbour: low entanglement \
+           growth, MPS bond dimension stays small"
+          (100.0 *. f.nn_fraction) );
+      ( t_heavy f,
+        (module Backend_dd : Backend.BACKEND),
+        Printf.sprintf
+          "T-heavy circuit (t-count %d of %d gates): decision diagrams \
+           exploit Clifford+T structure"
+          f.t_count f.gates );
+      ( f.qubits <= 20,
+        (module Backend_arrays : Backend.BACKEND),
+        Printf.sprintf
+          "generic circuit on %d <= 20 qubits: dense state vector is \
+           simplest and fastest"
+          f.qubits );
+    ]
+  in
+  let fallback =
+    ( (module Backend_dd : Backend.BACKEND),
+      Printf.sprintf
+        "generic circuit on %d qubits: decision diagrams exploit redundancy \
+         without the 2^n array"
+        f.qubits )
+  in
+  let rec pick = function
+    | [] -> fallback
+    | (cond, m, reason) :: rest -> if cond && admits m ~op c then (m, reason) else pick rest
+  in
+  pick rules
+
+let annotate reason = function
+  | Ok (v, stats) -> Ok (v, { stats with Backend.note = Some reason })
+  | Error e -> Error e
+
+let simulate c =
+  let (module B : Backend.BACKEND), reason = choose ~op:Backend.Full_state c in
+  annotate reason (B.simulate c)
+
+let amplitude c k =
+  let (module B : Backend.BACKEND), reason = choose ~op:Backend.Amplitude c in
+  annotate reason (B.amplitude c k)
+
+let sample ?seed ~shots c =
+  let (module B : Backend.BACKEND), reason = choose ~op:Backend.Sample c in
+  annotate reason (B.sample ?seed ~shots c)
+
+let expectation_z ?seed c q =
+  let (module B : Backend.BACKEND), reason = choose ~op:Backend.Expectation_z c in
+  annotate reason (B.expectation_z ?seed c q)

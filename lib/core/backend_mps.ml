@@ -1,0 +1,83 @@
+(* Backend adapter: matrix-product-state simulation (Section IV).  Gates
+   beyond two qubits are lowered first (as the seed's MPS arm did); the
+   telemetry reports the run's maximal bond dimension and accumulated
+   truncation error. *)
+
+module Circuit = Qdt_circuit.Circuit
+module Decompose = Qdt_compile.Decompose
+module Mps = Qdt_tensornet.Mps
+
+let name = "mps"
+
+let capabilities =
+  {
+    Backend.full_state = true;
+    amplitude = true;
+    sample = true;
+    expectation_z = true;
+    supports_nonunitary = false;
+    clifford_only = false;
+    max_qubits = None;
+  }
+
+let admit operation c = Backend.admit ~name ~caps:capabilities ~operation c
+
+let ( let* ) r f = Result.bind r f
+
+(* Densifying the full state is exponential regardless of bond dimension. *)
+let max_dense_qubits = 22
+
+let run c = Mps.run (Decompose.lower ~basis:Decompose.Two_qubit c)
+
+let stats_of wall mps =
+  {
+    (Backend.base_stats name wall) with
+    Backend.mps =
+      Some
+        {
+          Backend.max_bond_dim = Mps.max_bond_dim mps;
+          truncation_error = Mps.truncation_error mps;
+        };
+  }
+
+let simulate c =
+  let* () = admit Backend.Full_state c in
+  if Circuit.num_qubits c > max_dense_qubits then
+    Backend.unsupported ~backend:name ~operation:Backend.Full_state
+      (Printf.sprintf "densifying %d qubits exceeds the %d-qubit dense limit"
+         (Circuit.num_qubits c) max_dense_qubits)
+  else
+    let (mps, state), wall =
+      Backend.timed (fun () ->
+          let mps = run c in
+          (mps, Mps.to_vec mps))
+    in
+    Ok (state, stats_of wall mps)
+
+let amplitude c k =
+  let* () = admit Backend.Amplitude c in
+  let (mps, amp), wall =
+    Backend.timed (fun () ->
+        let mps = run c in
+        (mps, Mps.amplitude mps k))
+  in
+  Ok (amp, stats_of wall mps)
+
+let sample ?(seed = 0) ~shots c =
+  let* () = admit Backend.Sample c in
+  let (mps, counts), wall =
+    Backend.timed (fun () ->
+        let mps = run c in
+        (mps, Mps.sample ~seed:(seed + 1) mps ~shots))
+  in
+  Ok (counts, stats_of wall mps)
+
+let expectation_z ?seed c q =
+  ignore seed;
+  let* () = admit Backend.Expectation_z c in
+  let (mps, v), wall =
+    Backend.timed (fun () ->
+        let mps = run c in
+        (mps, Mps.expectation_z mps q))
+  in
+  Ok (v, stats_of wall mps)

@@ -1,0 +1,62 @@
+(* Backend adapter: Aaronson–Gottesman stabilizer tableau (ref [11]).
+   Clifford circuits only; no amplitude access, but thousands of qubits. *)
+
+module Circuit = Qdt_circuit.Circuit
+module Tableau = Qdt_stabilizer.Tableau
+
+let name = "stabilizer"
+
+let capabilities =
+  {
+    Backend.full_state = false;
+    amplitude = false;
+    sample = true;
+    expectation_z = true;
+    supports_nonunitary = true;
+    clifford_only = true;
+    max_qubits = None;
+  }
+
+let ( let* ) r f = Result.bind r f
+
+let admit operation c =
+  let* () = Backend.admit ~name ~caps:capabilities ~operation c in
+  if Tableau.supports c then Ok ()
+  else
+    Backend.unsupported ~backend:name ~operation
+      "circuit contains non-Clifford gates"
+
+let stats_of wall tab =
+  {
+    (Backend.base_stats name wall) with
+    Backend.tableau_bytes = Some (Tableau.memory_bytes tab);
+  }
+
+let simulate c =
+  ignore (Circuit.num_qubits c);
+  Backend.unsupported ~backend:name ~operation:Backend.Full_state
+    "stabilizer tableaus have no amplitude access"
+
+let amplitude c k =
+  ignore (Circuit.num_qubits c);
+  ignore k;
+  Backend.unsupported ~backend:name ~operation:Backend.Amplitude
+    "stabilizer tableaus have no amplitude access"
+
+let sample ?(seed = 0) ~shots c =
+  let* () = admit Backend.Sample c in
+  let (tab, counts), wall =
+    Backend.timed (fun () ->
+        let tab, _clbits = Tableau.run ~seed c in
+        (tab, Tableau.sample ~seed:(seed + 1) tab ~shots))
+  in
+  Ok (counts, stats_of wall tab)
+
+let expectation_z ?(seed = 0) c q =
+  let* () = admit Backend.Expectation_z c in
+  let (tab, v), wall =
+    Backend.timed (fun () ->
+        let tab, _clbits = Tableau.run ~seed c in
+        (tab, Float.of_int (Tableau.expectation_z tab q)))
+  in
+  Ok (v, stats_of wall tab)

@@ -1,0 +1,54 @@
+(* Backend adapter: full tensor-network contraction (Section IV).  Computes
+   single quantities by contraction; no sampling, no measurements. *)
+
+module Circuit = Qdt_circuit.Circuit
+module Tn = Qdt_tensornet.Circuit_tn
+
+let name = "tensor-network"
+
+(* Full-state contraction materialises 2^n outputs; keep the dense limit. *)
+let capabilities =
+  {
+    Backend.full_state = true;
+    amplitude = true;
+    sample = false;
+    expectation_z = true;
+    supports_nonunitary = false;
+    clifford_only = false;
+    max_qubits = Some 24;
+  }
+
+let admit operation c = Backend.admit ~name ~caps:capabilities ~operation c
+
+let ( let* ) r f = Result.bind r f
+
+let stats wall = Backend.base_stats name wall
+
+let simulate c =
+  let* () = admit Backend.Full_state c in
+  let (state, _contraction), wall =
+    Backend.timed (fun () -> Tn.statevector (Tn.of_circuit c))
+  in
+  Ok (state, stats wall)
+
+let amplitude c k =
+  let* () = admit Backend.Amplitude c in
+  let (amp, _contraction), wall =
+    Backend.timed (fun () -> Tn.amplitude (Tn.of_circuit c) k)
+  in
+  Ok (amp, stats wall)
+
+let sample ?seed ~shots c =
+  ignore seed;
+  ignore shots;
+  Backend.unsupported ~backend:name ~operation:Backend.Sample
+    (Printf.sprintf
+       "tensor-network contraction yields single quantities, not samples \
+        (circuit on %d qubits)"
+       (Circuit.num_qubits c))
+
+let expectation_z ?seed c q =
+  ignore seed;
+  let* () = admit Backend.Expectation_z c in
+  let (v, _contraction), wall = Backend.timed (fun () -> Tn.expectation_z c q) in
+  Ok (v, stats wall)

@@ -8,12 +8,19 @@ module Compile = Qdt_compile
 module Verify = Qdt_verify
 module Stabilizer = Qdt_stabilizer
 
+(* The backend layer: module type + capabilities + stats, the registry of
+   adapters, and the portfolio dispatcher. *)
+module Backend = Backend
+module Registry = Registry
+module Auto = Backend_auto
+
 type backend =
   | Arrays_backend
   | Decision_diagrams
   | Tensor_network
   | Mps
   | Stabilizer_backend
+  | Auto_backend
 
 let backend_name = function
   | Arrays_backend -> "arrays"
@@ -21,57 +28,37 @@ let backend_name = function
   | Tensor_network -> "tensor-network"
   | Mps -> "mps"
   | Stabilizer_backend -> "stabilizer"
+  | Auto_backend -> "auto"
 
 let all_backends = [ Arrays_backend; Decision_diagrams; Tensor_network; Mps ]
 
+(* Every variant is registered at startup by {!Registry}. *)
+let backend_module b : Backend.t =
+  match Registry.find (backend_name b) with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Qdt: backend %s not registered" (backend_name b))
+
+(* Compatibility shim: the historical API raised [Invalid_argument] on
+   unsupported combinations; the registry returns typed errors. *)
+let lift op = function
+  | Ok (v, _stats) -> v
+  | Error e -> invalid_arg (Printf.sprintf "Qdt.%s: %s" op (Backend.error_to_string e))
+
 let simulate ~backend c =
-  match backend with
-  | Arrays_backend -> Qdt_arraysim.Statevector.to_vec (Qdt_arraysim.Statevector.run_unitary c)
-  | Decision_diagrams -> Qdt_dd.Sim.to_vec (Qdt_dd.Sim.run_unitary c)
-  | Tensor_network ->
-      fst (Qdt_tensornet.Circuit_tn.statevector (Qdt_tensornet.Circuit_tn.of_circuit c))
-  | Mps ->
-      let lowered = Qdt_compile.Decompose.lower ~basis:Qdt_compile.Decompose.Two_qubit c in
-      Qdt_tensornet.Mps.to_vec (Qdt_tensornet.Mps.run lowered)
-  | Stabilizer_backend ->
-      invalid_arg "Qdt.simulate: the stabilizer backend has no amplitude access"
+  let (module B : Backend.BACKEND) = backend_module backend in
+  lift "simulate" (B.simulate c)
 
 let amplitude ~backend c k =
-  match backend with
-  | Arrays_backend ->
-      Qdt_arraysim.Statevector.amplitude (Qdt_arraysim.Statevector.run_unitary c) k
-  | Decision_diagrams -> Qdt_dd.Sim.amplitude (Qdt_dd.Sim.run_unitary c) k
-  | Tensor_network ->
-      fst (Qdt_tensornet.Circuit_tn.amplitude (Qdt_tensornet.Circuit_tn.of_circuit c) k)
-  | Mps ->
-      let lowered = Qdt_compile.Decompose.lower ~basis:Qdt_compile.Decompose.Two_qubit c in
-      Qdt_tensornet.Mps.amplitude (Qdt_tensornet.Mps.run lowered) k
-  | Stabilizer_backend ->
-      invalid_arg "Qdt.amplitude: the stabilizer backend has no amplitude access"
+  let (module B : Backend.BACKEND) = backend_module backend in
+  lift "amplitude" (B.amplitude c k)
 
 let sample ~backend ?(seed = 0) ~shots c =
-  match backend with
-  | Arrays_backend ->
-      Qdt_arraysim.Statevector.sample ~seed (Qdt_arraysim.Statevector.run_unitary c) ~shots
-  | Decision_diagrams -> Qdt_dd.Sim.sample ~seed (Qdt_dd.Sim.run_unitary c) ~shots
-  | Stabilizer_backend ->
-      let t, _ = Qdt_stabilizer.Tableau.run ~seed c in
-      Qdt_stabilizer.Tableau.sample ~seed:(seed + 1) t ~shots
-  | Tensor_network | Mps ->
-      invalid_arg "Qdt.sample: sampling is provided by the array, DD and stabilizer backends"
+  let (module B : Backend.BACKEND) = backend_module backend in
+  lift "sample" (B.sample ~seed ~shots c)
 
-let expectation_z ~backend c q =
-  match backend with
-  | Arrays_backend ->
-      Qdt_arraysim.Statevector.expectation_z (Qdt_arraysim.Statevector.run_unitary c) q
-  | Decision_diagrams -> Qdt_dd.Sim.expectation_z (Qdt_dd.Sim.run_unitary c) q
-  | Stabilizer_backend ->
-      let t, _ = Qdt_stabilizer.Tableau.run c in
-      Float.of_int (Qdt_stabilizer.Tableau.expectation_z t q)
-  | Tensor_network -> fst (Qdt_tensornet.Circuit_tn.expectation_z c q)
-  | Mps ->
-      let lowered = Qdt_compile.Decompose.lower ~basis:Qdt_compile.Decompose.Two_qubit c in
-      Qdt_tensornet.Mps.expectation_z (Qdt_tensornet.Mps.run lowered) q
+let expectation_z ~backend ?(seed = 0) c q =
+  let (module B : Backend.BACKEND) = backend_module backend in
+  lift "expectation_z" (B.expectation_z ~seed c q)
 
 type compiled = {
   circuit : Qdt_circuit.Circuit.t;

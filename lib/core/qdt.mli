@@ -24,7 +24,33 @@ module Compile = Qdt_compile
 module Verify = Qdt_verify
 module Stabilizer = Qdt_stabilizer
 
-(** {1 Simulation} *)
+(** {1 The backend layer}
+
+    {!Backend} defines the [BACKEND] module type (capability record,
+    unified stats record, typed unsupported-operation errors);
+    {!Registry} holds the registered adapters (["arrays"],
+    ["decision-diagrams"], ["tensor-network"], ["mps"], ["stabilizer"],
+    ["auto"]); {!Auto} is the portfolio dispatcher that picks a backend
+    per circuit and logs its choice in the stats record.
+
+    {[
+      let (module B : Qdt.Backend.BACKEND) =
+        Option.get (Qdt.Registry.find "auto")
+      in
+      match B.sample ~shots:100 circuit with
+      | Ok (counts, stats) -> (* stats.backend says what actually ran *)
+      | Error e -> prerr_endline (Qdt.Backend.error_to_string e)
+    ]} *)
+
+module Backend = Backend
+module Registry = Registry
+module Auto = Backend_auto
+
+(** {1 Simulation}
+
+    The historical closed-variant front door, kept as a shim over the
+    registry: unsupported combinations raise [Invalid_argument] as they
+    always did (the registry API returns typed errors instead). *)
 
 type backend =
   | Arrays_backend          (** dense state vector (Section II) *)
@@ -34,9 +60,15 @@ type backend =
   | Stabilizer_backend
       (** tableau simulation — Clifford circuits only; supports
           {!sample} and {!expectation_z} but not amplitudes *)
+  | Auto_backend
+      (** portfolio: routes each call to the backend the selection
+          heuristics favour (see {!Auto}) *)
 
 val backend_name : backend -> string
 val all_backends : backend list
+
+(** [backend_module b] — the registered adapter behind variant [b]. *)
+val backend_module : backend -> Backend.t
 
 (** [simulate ~backend c] — final state of the unitary circuit [c] from
     [|0…0⟩]; all backends agree up to numerical noise. *)
@@ -46,13 +78,14 @@ val simulate : backend:backend -> Qdt_circuit.Circuit.t -> Qdt_linalg.Vec.t
     whole state (TN and MPS compute just the one amplitude). *)
 val amplitude : backend:backend -> Qdt_circuit.Circuit.t -> int -> Qdt_linalg.Cx.t
 
-(** [sample ~backend ?seed ~shots c] — measurement counts (array, DD and
-    stabilizer backends). *)
+(** [sample ~backend ?seed ~shots c] — measurement counts (array, DD, MPS
+    and stabilizer backends). *)
 val sample :
   backend:backend -> ?seed:int -> shots:int -> Qdt_circuit.Circuit.t -> (int * int) list
 
-(** [expectation_z ~backend c q] — [⟨Z_q⟩] of the final state. *)
-val expectation_z : backend:backend -> Qdt_circuit.Circuit.t -> int -> float
+(** [expectation_z ~backend ?seed c q] — [⟨Z_q⟩] of the final state;
+    [seed] drives mid-circuit measurement collapse where supported. *)
+val expectation_z : backend:backend -> ?seed:int -> Qdt_circuit.Circuit.t -> int -> float
 
 (** {1 Compilation} *)
 

@@ -1,0 +1,32 @@
+(* The backend registry: the single place the CLI, bench harness, examples
+   and tests discover simulation backends.  Built-in backends are
+   registered at module initialisation; [register] lets future backends
+   plug in without touching any consumer. *)
+
+let table : (string, Backend.t) Hashtbl.t = Hashtbl.create 8
+let order : string list ref = ref []
+
+let register (module B : Backend.BACKEND) =
+  if not (Hashtbl.mem table B.name) then order := B.name :: !order;
+  Hashtbl.replace table B.name (module B : Backend.BACKEND)
+
+let find name : Backend.t option = Hashtbl.find_opt table name
+
+let names () = List.rev !order
+
+let all () =
+  List.filter_map (fun name -> Hashtbl.find_opt table name) (names ())
+
+let capabilities_of name =
+  Option.map (fun (module B : Backend.BACKEND) -> B.capabilities) (find name)
+
+let () =
+  List.iter register
+    [
+      (module Backend_arrays : Backend.BACKEND);
+      (module Backend_dd : Backend.BACKEND);
+      (module Backend_tensornet : Backend.BACKEND);
+      (module Backend_mps : Backend.BACKEND);
+      (module Backend_stabilizer : Backend.BACKEND);
+      (module Backend_auto : Backend.BACKEND);
+    ]

@@ -18,6 +18,17 @@ type t = {
   adjoint_cache : (int, edge) Hashtbl.t;
   kron_cache : (int * int * int, edge) Hashtbl.t;
   inner_cache : (int * int, Cx.t) Hashtbl.t;
+  mutable n_unique_lookups : int;
+  mutable n_unique_hits : int;
+  mutable n_compute_lookups : int;
+  mutable n_compute_hits : int;
+}
+
+type cache_stats = {
+  unique_lookups : int;
+  unique_hits : int;
+  compute_lookups : int;
+  compute_hits : int;
 }
 
 let create ?eps () =
@@ -31,7 +42,29 @@ let create ?eps () =
     adjoint_cache = Hashtbl.create 1024;
     kron_cache = Hashtbl.create 1024;
     inner_cache = Hashtbl.create 1024;
+    n_unique_lookups = 0;
+    n_unique_hits = 0;
+    n_compute_lookups = 0;
+    n_compute_hits = 0;
   }
+
+let cache_stats mgr =
+  {
+    unique_lookups = mgr.n_unique_lookups;
+    unique_hits = mgr.n_unique_hits;
+    compute_lookups = mgr.n_compute_lookups;
+    compute_hits = mgr.n_compute_hits;
+  }
+
+(* All compute caches funnel through this lookup so hit rates cover every
+   cached operation uniformly. *)
+let cache_find mgr tbl key =
+  mgr.n_compute_lookups <- mgr.n_compute_lookups + 1;
+  match Hashtbl.find_opt tbl key with
+  | Some _ as hit ->
+      mgr.n_compute_hits <- mgr.n_compute_hits + 1;
+      hit
+  | None -> None
 
 let canonical mgr z = Cnum_table.canonical mgr.ctab z
 
@@ -49,8 +82,11 @@ let edge_equal a b = a.w_id = b.w_id && target_id a.target = target_id b.target
 
 let hashcons mgr ~var edges =
   let key = (var, Array.map (fun e -> (e.w_id, target_id e.target)) edges) in
+  mgr.n_unique_lookups <- mgr.n_unique_lookups + 1;
   match Hashtbl.find_opt mgr.unique key with
-  | Some n -> n
+  | Some n ->
+      mgr.n_unique_hits <- mgr.n_unique_hits + 1;
+      n
   | None ->
       let n = { id = mgr.next_id; var; edges } in
       mgr.next_id <- n.id + 1;
@@ -115,7 +151,7 @@ let rec add mgr e1 e2 =
         let ratio_id, ratio = canonical mgr (Cx.div e2.w e1.w) in
         let key = (n1.id, ratio_id, n2.id) in
         let body =
-          match Hashtbl.find_opt mgr.add_cache key with
+          match cache_find mgr mgr.add_cache key with
           | Some cached -> cached
           | None ->
               let children =
@@ -143,7 +179,7 @@ let rec mul_mv mgr m v =
         assert (mn.var = vn.var && Array.length mn.edges = 4 && Array.length vn.edges = 2);
         let key = (mn.id, vn.id) in
         let body =
-          match Hashtbl.find_opt mgr.mul_mv_cache key with
+          match cache_find mgr mgr.mul_mv_cache key with
           | Some cached -> cached
           | None ->
               let row r =
@@ -168,7 +204,7 @@ let rec mul_mm mgr a b =
         assert (an.var = bn.var && Array.length an.edges = 4 && Array.length bn.edges = 4);
         let key = (an.id, bn.id) in
         let body =
-          match Hashtbl.find_opt mgr.mul_mm_cache key with
+          match cache_find mgr mgr.mul_mm_cache key with
           | Some cached -> cached
           | None ->
               let entry r c =
@@ -194,7 +230,7 @@ let rec adjoint mgr m =
     | Node n ->
         assert (Array.length n.edges = 4);
         let body =
-          match Hashtbl.find_opt mgr.adjoint_cache n.id with
+          match cache_find mgr mgr.adjoint_cache n.id with
           | Some cached -> cached
           | None ->
               let result =
@@ -219,7 +255,7 @@ let rec kron mgr ~lower_qubits upper lower =
     | Node n ->
         let key = (n.id, target_id lower.target, lower.w_id) in
         let body =
-          match Hashtbl.find_opt mgr.kron_cache key with
+          match cache_find mgr mgr.kron_cache key with
           | Some cached -> cached
           | None ->
               let children =
@@ -239,7 +275,7 @@ let rec inner mgr a b =
     | Node an, Node bn ->
         let key = (an.id, bn.id) in
         let body =
-          match Hashtbl.find_opt mgr.inner_cache key with
+          match cache_find mgr mgr.inner_cache key with
           | Some cached -> cached
           | None ->
               let acc = ref Cx.zero in

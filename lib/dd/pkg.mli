@@ -94,3 +94,15 @@ val to_mat : t -> edge -> num_qubits:int -> Qdt_linalg.Mat.t
 val unique_table_size : t -> int
 
 val cnum_table_size : t -> int
+
+type cache_stats = {
+  unique_lookups : int;  (** hash-cons attempts (node constructions) *)
+  unique_hits : int;  (** attempts answered by an existing node *)
+  compute_lookups : int;  (** lookups across all operation caches *)
+  compute_hits : int;  (** operation-cache hits *)
+}
+
+(** [cache_stats mgr] — cumulative unique-table and compute-cache counters
+    since [create]; hit rates are the backend-telemetry signal for how much
+    sharing/memoisation the workload exposes. *)
+val cache_stats : t -> cache_stats

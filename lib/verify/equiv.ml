@@ -110,6 +110,9 @@ let basis_state_prep rng n =
 let simulation ?(seed = 0) ?(trials = 8) c1 c2 =
   require_same_arity c1 c2;
   let n = Circuit.num_qubits c1 in
+  (* One classical register slot per declared clbit — a single shared slot
+     would alias measurements beyond clbit 0. *)
+  let num_clbits = max (Circuit.num_clbits c1) (Circuit.num_clbits c2) in
   let rng = Random.State.make [| seed |] in
   let mismatch = ref false in
   let trial t =
@@ -122,8 +125,9 @@ let simulation ?(seed = 0) ?(trials = 8) c1 c2 =
     let run c =
       let st = Qdt_dd.Sim.make mgr n in
       let rng' = Random.State.make [| 0 |] in
+      let clbits = Array.make (max 1 num_clbits) 0 in
       List.iter
-        (fun instr -> Qdt_dd.Sim.apply_instruction st instr ~rng:rng' ~clbits:[| 0 |])
+        (fun instr -> Qdt_dd.Sim.apply_instruction st instr ~rng:rng' ~clbits)
         (Circuit.instructions (Circuit.append prep c));
       st
     in

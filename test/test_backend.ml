@@ -1,0 +1,229 @@
+(* Tests for the backend layer: registry contents, capability queries,
+   typed unsupported-operation errors, the Auto dispatcher's routing, the
+   unified stats record, and shim consistency of the old Qdt API. *)
+
+open Qdt_circuit
+module Backend = Qdt.Backend
+module Registry = Qdt.Registry
+module Vec = Qdt_linalg.Vec
+
+let get name =
+  match Registry.find name with
+  | Some m -> m
+  | None -> Alcotest.failf "backend %s not registered" name
+
+let nn_chain n =
+  let c = ref (Circuit.empty n) in
+  for q = 0 to n - 1 do
+    c := Circuit.ry 0.3 q !c
+  done;
+  for q = 0 to n - 2 do
+    c := Circuit.cx q (q + 1) !c
+  done;
+  !c
+
+let t_heavy = Generators.random_clifford_t ~seed:3 ~gates:100 ~t_fraction:0.3 5
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_contents () =
+  let names = Registry.names () in
+  List.iter
+    (fun expected ->
+      if not (List.mem expected names) then Alcotest.failf "%s missing" expected)
+    [ "arrays"; "decision-diagrams"; "tensor-network"; "mps"; "stabilizer"; "auto" ];
+  Alcotest.(check int) "six backends" 6 (List.length (Registry.all ()));
+  Alcotest.(check bool) "unknown name" true (Registry.find "qubit-frobnicator" = None)
+
+let test_capability_queries () =
+  let caps name = Option.get (Registry.capabilities_of name) in
+  let stab = caps "stabilizer" in
+  Alcotest.(check bool) "stabilizer clifford-only" true stab.Backend.clifford_only;
+  Alcotest.(check bool) "stabilizer no state" false stab.Backend.full_state;
+  Alcotest.(check bool) "stabilizer no amplitude" false
+    (Backend.supports stab Backend.Amplitude);
+  Alcotest.(check bool) "stabilizer samples" true (Backend.supports stab Backend.Sample);
+  let tn = caps "tensor-network" in
+  Alcotest.(check bool) "tn no sampling" false (Backend.supports tn Backend.Sample);
+  Alcotest.(check bool) "tn no measurements" false tn.Backend.supports_nonunitary;
+  let arrays = caps "arrays" in
+  Alcotest.(check bool) "arrays bounded" true (arrays.Backend.max_qubits <> None);
+  List.iter
+    (fun (module B : Backend.BACKEND) ->
+      Alcotest.(check bool)
+        (B.name ^ " expectation-z")
+        true
+        (Backend.supports B.capabilities Backend.Expectation_z))
+    (Registry.all ())
+
+(* ------------------------------------------------------------------ *)
+(* Typed errors instead of exceptions                                  *)
+(* ------------------------------------------------------------------ *)
+
+let expect_error name = function
+  | Ok _ -> Alcotest.failf "%s: expected a typed error" name
+  | Error (e : Backend.error) ->
+      if e.Backend.reason = "" then Alcotest.failf "%s: empty reason" name
+
+let test_typed_errors () =
+  let bell = Generators.bell in
+  let (module Tn : Backend.BACKEND) = get "tensor-network" in
+  expect_error "tn sample" (Tn.sample ~shots:10 bell);
+  let (module Stab : Backend.BACKEND) = get "stabilizer" in
+  expect_error "stabilizer simulate" (Stab.simulate bell);
+  expect_error "stabilizer amplitude" (Stab.amplitude bell 0);
+  expect_error "stabilizer non-clifford" (Stab.sample ~shots:10 t_heavy);
+  let measured = Circuit.(empty 2 ~clbits:2 |> h 0 |> measure ~qubit:0 ~clbit:0) in
+  let (module Mps : Backend.BACKEND) = get "mps" in
+  expect_error "mps measurements" (Mps.sample ~shots:10 measured);
+  let (module Arrays : Backend.BACKEND) = get "arrays" in
+  expect_error "arrays full state of measured circuit" (Arrays.simulate measured);
+  expect_error "arrays too wide"
+    (Arrays.simulate (Circuit.empty 30 |> Circuit.h 0));
+  (* ...but the same measured circuit is samplable where supported *)
+  (match Arrays.sample ~shots:5 measured with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "arrays sample measured: %s" (Backend.error_to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Auto dispatcher routing                                             *)
+(* ------------------------------------------------------------------ *)
+
+let choice op c =
+  let (module B : Backend.BACKEND), _reason = Qdt.Auto.choose ~op c in
+  B.name
+
+let test_auto_routing () =
+  let clifford = Generators.random_clifford ~seed:5 ~gates:80 6 in
+  Alcotest.(check string) "clifford -> stabilizer" "stabilizer"
+    (choice Backend.Sample clifford);
+  Alcotest.(check string) "low entanglement -> mps" "mps"
+    (choice Backend.Expectation_z (nn_chain 16));
+  Alcotest.(check string) "t-heavy -> dd" "decision-diagrams"
+    (choice Backend.Full_state t_heavy);
+  Alcotest.(check string) "generic small -> arrays" "arrays"
+    (choice Backend.Full_state (Generators.qft 6));
+  (* capability-aware fallthrough: stabilizer cannot produce the state *)
+  Alcotest.(check bool) "clifford full state avoids stabilizer" true
+    (choice Backend.Full_state clifford <> "stabilizer")
+
+let test_auto_results_and_note () =
+  let (module Auto : Backend.BACKEND) = get "auto" in
+  let c = Generators.ghz 5 in
+  match Auto.sample ~seed:1 ~shots:200 c with
+  | Error e -> Alcotest.failf "auto sample: %s" (Backend.error_to_string e)
+  | Ok (counts, stats) ->
+      Alcotest.(check string) "ghz is clifford" "stabilizer" stats.Backend.backend;
+      Alcotest.(check bool) "choice logged" true (stats.Backend.note <> None);
+      Alcotest.(check bool) "tableau telemetry" true (stats.Backend.tableau_bytes <> None);
+      let total = List.fold_left (fun acc (_, n) -> acc + n) 0 counts in
+      Alcotest.(check int) "all shots" 200 total;
+      List.iter
+        (fun (k, _) ->
+          if k <> 0 && k <> 31 then Alcotest.failf "ghz outcome %d" k)
+        counts
+
+(* ------------------------------------------------------------------ *)
+(* Unified stats                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_dd_telemetry () =
+  let (module Dd : Backend.BACKEND) = get "decision-diagrams" in
+  match Dd.simulate (Generators.qft 6) with
+  | Error e -> Alcotest.failf "dd simulate: %s" (Backend.error_to_string e)
+  | Ok (_, stats) -> (
+      match stats.Backend.dd with
+      | None -> Alcotest.fail "dd stats missing"
+      | Some d ->
+          Alcotest.(check bool) "peak >= final" true
+            (d.Backend.peak_nodes >= d.Backend.final_nodes);
+          Alcotest.(check bool) "peak > 0" true (d.Backend.peak_nodes > 0);
+          Alcotest.(check bool) "unique table populated" true
+            (d.Backend.unique_table_size > 0);
+          Alcotest.(check bool) "hit rates in [0,1]" true
+            (d.Backend.unique_hit_rate >= 0.0
+            && d.Backend.unique_hit_rate <= 1.0
+            && d.Backend.compute_hit_rate >= 0.0
+            && d.Backend.compute_hit_rate <= 1.0))
+
+let test_mps_telemetry () =
+  let (module Mps : Backend.BACKEND) = get "mps" in
+  match Mps.simulate (Generators.ghz 8) with
+  | Error e -> Alcotest.failf "mps simulate: %s" (Backend.error_to_string e)
+  | Ok (_, stats) -> (
+      match stats.Backend.mps with
+      | None -> Alcotest.fail "mps stats missing"
+      | Some m ->
+          Alcotest.(check int) "ghz bond dimension" 2 m.Backend.max_bond_dim;
+          Alcotest.(check (float 1e-12)) "no truncation" 0.0 m.Backend.truncation_error)
+
+(* ------------------------------------------------------------------ *)
+(* Shim consistency and cross-backend agreement                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_shim_matches_registry () =
+  let c = Generators.qft 5 in
+  let via_shim = Qdt.simulate ~backend:Qdt.Decision_diagrams c in
+  let (module Dd : Backend.BACKEND) = get "decision-diagrams" in
+  let via_registry = match Dd.simulate c with Ok (v, _) -> v | Error _ -> assert false in
+  Alcotest.(check bool) "identical states" true
+    (Vec.approx_equal ~eps:1e-12 via_shim via_registry);
+  (* the shim still raises on unsupported combinations *)
+  (match Qdt.simulate ~backend:Qdt.Stabilizer_backend c with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "stabilizer simulate should raise through the shim");
+  Alcotest.(check string) "auto variant registered" "auto"
+    (Qdt.backend_name Qdt.Auto_backend)
+
+let test_backends_agree () =
+  let c = Generators.w_state 6 in
+  let reference = Qdt.simulate ~backend:Qdt.Arrays_backend c in
+  List.iter
+    (fun (module B : Backend.BACKEND) ->
+      match B.simulate c with
+      | Ok (state, _) ->
+          if not (Vec.approx_equal ~eps:1e-7 reference state) then
+            Alcotest.failf "%s disagrees on w(6)" B.name
+      | Error _ -> () (* stabilizer: no state access *))
+    (Registry.all ())
+
+let test_seeded_determinism () =
+  (* mid-circuit measurement: same seed, same expectation (the seed-drop
+     bug made the stabilizer arm nondeterministic) *)
+  let c =
+    Circuit.(
+      empty 2 ~clbits:2 |> h 0 |> measure ~qubit:0 ~clbit:0 |> cx 0 1)
+  in
+  let v1 = Qdt.expectation_z ~backend:Qdt.Stabilizer_backend ~seed:7 c 1 in
+  let v2 = Qdt.expectation_z ~backend:Qdt.Stabilizer_backend ~seed:7 c 1 in
+  Alcotest.(check (float 0.0)) "same seed same result" v1 v2;
+  Alcotest.(check bool) "collapsed" true (Float.abs v1 = 1.0)
+
+let () =
+  Alcotest.run "qdt_backend"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "contents" `Quick test_registry_contents;
+          Alcotest.test_case "capabilities" `Quick test_capability_queries;
+        ] );
+      ("errors", [ Alcotest.test_case "typed unsupported" `Quick test_typed_errors ]);
+      ( "auto",
+        [
+          Alcotest.test_case "routing" `Quick test_auto_routing;
+          Alcotest.test_case "results + note" `Quick test_auto_results_and_note;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "dd" `Quick test_dd_telemetry;
+          Alcotest.test_case "mps" `Quick test_mps_telemetry;
+        ] );
+      ( "shim",
+        [
+          Alcotest.test_case "matches registry" `Quick test_shim_matches_registry;
+          Alcotest.test_case "backends agree" `Quick test_backends_agree;
+          Alcotest.test_case "seeded determinism" `Quick test_seeded_determinism;
+        ] );
+    ]
