@@ -3,7 +3,13 @@
    Experiment ids follow DESIGN.md; measured-vs-paper is recorded in
    EXPERIMENTS.md.
 
-   Run with: dune exec bench/main.exe *)
+   Run with:  dune exec bench/main.exe                (all experiments)
+              dune exec bench/main.exe -- e16         (one experiment)
+              dune exec bench/main.exe -- e16 --smoke (small sizes, CI)
+
+   Each experiment additionally writes machine-readable results to
+   BENCH_<id>.json in the working directory: every bechamel timing plus
+   any experiment-specific metrics (e.g. e16's GC counters). *)
 
 open Bechamel
 open Toolkit
@@ -11,6 +17,45 @@ module Circuit = Qdt.Circuit.Circuit
 module Generators = Qdt.Circuit.Generators
 module Vec = Qdt.Linalg.Vec
 module Cx = Qdt.Linalg.Cx
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results (BENCH_<id>.json)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Accumulated per experiment, reset by the driver before each run. *)
+let json_timings : (string * float) list ref = ref []
+let json_metrics : (string * string) list ref = ref []
+
+(* [metric key json] records one experiment-specific value; [json] must
+   already be a serialised JSON value (number, string, object, ...). *)
+let metric key json = json_metrics := (key, json) :: !json_metrics
+let metric_int key v = metric key (string_of_int v)
+let metric_float key v = metric key (Printf.sprintf "%.6g" v)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json ~experiment ~smoke =
+  let file = Printf.sprintf "BENCH_%s.json" experiment in
+  let oc = open_out file in
+  let field (k, v) = Printf.sprintf "    \"%s\": %s" (json_escape k) v in
+  let obj entries = String.concat ",\n" (List.map field entries) in
+  Printf.fprintf oc "{\n  \"experiment\": \"%s\",\n  \"smoke\": %b,\n" (json_escape experiment) smoke;
+  Printf.fprintf oc "  \"timings_ns\": {\n%s\n  },\n"
+    (obj (List.rev_map (fun (k, ns) -> (k, Printf.sprintf "%.1f" ns)) !json_timings));
+  Printf.fprintf oc "  \"metrics\": {\n%s\n  }\n}\n" (obj (List.rev !json_metrics));
+  close_out oc;
+  Printf.printf "wrote %s\n" file
 
 (* ------------------------------------------------------------------ *)
 (* Timing machinery                                                    *)
@@ -30,6 +75,7 @@ let run_timings ~name tests =
     (fun (label, v) ->
       match Analyze.OLS.estimates v with
       | Some [ ns ] ->
+          json_timings := (label, ns) :: !json_timings;
           let pretty =
             if ns > 1e9 then Printf.sprintf "%8.3f s " (ns /. 1e9)
             else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
@@ -83,6 +129,7 @@ let e2 () =
   Printf.printf "amplitude |01>: %s (0-stub)\n" (Cx.to_string (Qdt.Dd.Sim.amplitude dd 1));
   run_timings ~name:"e2"
     [
+      bench "dd-manager-create" (fun () -> ignore (Qdt.Dd.Pkg.create ()));
       bench "dd-bell-simulation" (fun () ->
           ignore (Qdt.Dd.Sim.run_unitary Generators.bell));
       bench "dd-bell-sample-1000" (fun () ->
@@ -693,23 +740,133 @@ let e15 () =
           sample_via "decision-diagrams" 100 (Generators.qft 10));
     ]
 
+(* ------------------------------------------------------------------ *)
+(* E16: DD memory management — GC keeps deep simulations bounded       *)
+(* ------------------------------------------------------------------ *)
+
+(* Run a DD simulation on an explicitly configured manager and return the
+   memory-management counters.  gc_threshold = 0 disables collection, so
+   the same run doubles as the unbounded baseline. *)
+let e16_run ~gc_threshold c =
+  let mgr = Qdt.Dd.Pkg.create ~gc_threshold () in
+  let st = Qdt.Dd.Sim.make mgr (Circuit.num_qubits c) in
+  let rng = Random.State.make [| 0 |] in
+  let clbits = Array.make (max 1 (Circuit.num_clbits c)) 0 in
+  let (), wall =
+    Qdt.Backend.timed (fun () ->
+        List.iter
+          (fun instr -> Qdt.Dd.Sim.apply_instruction st instr ~rng ~clbits)
+          (Circuit.instructions c))
+  in
+  let stats = Qdt.Dd.Pkg.cache_stats mgr in
+  let rate h l = if l = 0 then 0.0 else 100.0 *. float_of_int h /. float_of_int l in
+  ( wall,
+    stats,
+    Qdt.Dd.Pkg.peak_unique_table_size mgr,
+    Qdt.Dd.Pkg.unique_table_size mgr,
+    Qdt.Dd.Pkg.cnum_live_entries mgr,
+    rate stats.Qdt.Dd.Pkg.compute_hits stats.Qdt.Dd.Pkg.compute_lookups )
+
+let e16 ~smoke () =
+  header "E16" "DD memory management: mark-and-sweep GC bounds deep simulations";
+  let workloads =
+    if smoke then
+      [
+        ("clifford-t-deep", Generators.random_clifford_t ~seed:7 ~gates:400 ~t_fraction:0.2 8);
+        ("qft", Generators.qft 10);
+      ]
+    else
+      [
+        (* ~100 layers of one gate per qubit *)
+        ("clifford-t-deep", Generators.random_clifford_t ~seed:7 ~gates:1200 ~t_fraction:0.2 12);
+        ("qft", Generators.qft 16);
+      ]
+  in
+  let gc_threshold = if smoke then 1024 else 8192 in
+  Printf.printf "gc threshold: %d unique-table entries (0 = collection off)\n\n" gc_threshold;
+  Printf.printf "%18s | %6s | %9s | %10s | %8s | %9s | %9s | %7s\n" "workload" "gc"
+    "wall (ms)" "peak nodes" "final" "collected" "cnum live" "cache%";
+  List.iter
+    (fun (name, c) ->
+      let report tag threshold =
+        let wall, stats, peak, final, cnum_live, cache_pct = e16_run ~gc_threshold:threshold c in
+        Printf.printf "%18s | %6s | %9.2f | %10d | %8d | %9d | %9d | %6.1f%%\n" name tag
+          (1000.0 *. wall) peak final stats.Qdt.Dd.Pkg.nodes_collected cnum_live cache_pct;
+        let m key v = metric_int (Printf.sprintf "%s.%s.%s" name tag key) v in
+        metric_float (Printf.sprintf "%s.%s.wall_ms" name tag) (1000.0 *. wall);
+        m "peak_unique_table" peak;
+        m "final_unique_table" final;
+        m "gc_runs" stats.Qdt.Dd.Pkg.gc_runs;
+        m "nodes_collected" stats.Qdt.Dd.Pkg.nodes_collected;
+        m "cnums_collected" stats.Qdt.Dd.Pkg.cnums_collected;
+        m "cnum_live_entries" cnum_live;
+        metric_float (Printf.sprintf "%s.%s.compute_hit_pct" name tag) cache_pct;
+        (wall, peak, final)
+      in
+      let _, peak_off, _ = report "off" 0 in
+      let _, peak_on, final_on = report "on" gc_threshold in
+      Printf.printf
+        "  -> GC bounds the table to %.1fx the final live size (unbounded peak: %.1fx)\n"
+        (float_of_int peak_on /. float_of_int (max 1 final_on))
+        (float_of_int peak_off /. float_of_int (max 1 final_on)))
+    workloads;
+  let deep = List.assoc "clifford-t-deep" workloads in
+  run_timings ~name:"e16"
+    [
+      bench "deep-clifford-t-gc-off" (fun () -> ignore (e16_run ~gc_threshold:0 deep));
+      bench "deep-clifford-t-gc-on" (fun () -> ignore (e16_run ~gc_threshold deep));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let experiments : (string * (smoke:bool -> unit)) list =
+  [
+    ("e1", fun ~smoke:_ -> e1 ());
+    ("e2", fun ~smoke:_ -> e2 ());
+    ("e3", fun ~smoke:_ -> e3 ());
+    ("e4", fun ~smoke:_ -> e4 ());
+    ("e5", fun ~smoke:_ -> e5 ());
+    ("e6", fun ~smoke:_ -> e6 ());
+    ("e7", fun ~smoke:_ -> e7 ());
+    ("e8", fun ~smoke:_ -> e8 ());
+    ("e8b", fun ~smoke:_ -> e8b ());
+    ("e9", fun ~smoke:_ -> e9 ());
+    ("e9b", fun ~smoke:_ -> e9b ());
+    ("e10", fun ~smoke:_ -> e10 ());
+    ("e11", fun ~smoke:_ -> e11 ());
+    ("e12", fun ~smoke:_ -> e12 ());
+    ("e13", fun ~smoke:_ -> e13 ());
+    ("e14", fun ~smoke:_ -> e14 ());
+    ("e15", fun ~smoke:_ -> e15 ());
+    ("e16", fun ~smoke -> e16 ~smoke ());
+  ]
+
 let () =
-  print_endline "QDT benchmark harness — experiments E1..E15 (see DESIGN.md / EXPERIMENTS.md)";
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e8b ();
-  e9 ();
-  e9b ();
-  e10 ();
-  e11 ();
-  e12 ();
-  e13 ();
-  e14 ();
-  e15 ();
+  let smoke = ref false in
+  let selected = ref [] in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--smoke" -> smoke := true
+        | name when List.mem_assoc name experiments -> selected := name :: !selected
+        | name ->
+            Printf.eprintf "unknown experiment %S (known: %s, plus --smoke)\n" name
+              (String.concat " " (List.map fst experiments));
+            exit 2)
+    Sys.argv;
+  let to_run =
+    if !selected = [] then experiments
+    else List.filter (fun (name, _) -> List.mem name !selected) experiments
+  in
+  print_endline "QDT benchmark harness — experiments E1..E16 (see DESIGN.md / EXPERIMENTS.md)";
+  List.iter
+    (fun (name, fn) ->
+      json_timings := [];
+      json_metrics := [];
+      fn ~smoke:!smoke;
+      write_json ~experiment:name ~smoke:!smoke)
+    to_run;
   print_endline "\nAll experiments complete."

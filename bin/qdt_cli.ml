@@ -61,7 +61,25 @@ let backend_failure err =
   exit 1
 
 let simulate_cmd =
-  let run c backend_name shots seed threshold =
+  let run c backend_name shots seed threshold gc_threshold cache_bits =
+    (* The registry hands out backends behind the fixed BACKEND signature,
+       so DD memory-management knobs travel through the package defaults. *)
+    (match gc_threshold with
+    | Some t ->
+        if t < 0 then begin
+          prerr_endline "--dd-gc-threshold must be >= 0 (0 disables GC)";
+          exit 1
+        end;
+        Qdt.Dd.Pkg.default_gc_threshold := t
+    | None -> ());
+    (match cache_bits with
+    | Some b ->
+        if b < 1 || b > 24 then begin
+          prerr_endline "--dd-cache-bits must be between 1 and 24";
+          exit 1
+        end;
+        Qdt.Dd.Pkg.default_cache_bits := b
+    | None -> ());
     let (module B : Qdt.Backend.BACKEND) =
       match Qdt.Registry.find backend_name with
       | Some m -> m
@@ -112,8 +130,18 @@ let simulate_cmd =
   let threshold =
     Arg.(value & opt float 1e-9 & info [ "threshold" ] ~doc:"Hide amplitudes below this probability.")
   in
+  let gc_threshold =
+    Arg.(value & opt (some int) None & info [ "dd-gc-threshold" ] ~docv:"NODES"
+           ~doc:"DD backend: run mark-and-sweep GC when the unique table grows past \
+                 NODES entries (0 disables collection).")
+  in
+  let cache_bits =
+    Arg.(value & opt (some int) None & info [ "dd-cache-bits" ] ~docv:"BITS"
+           ~doc:"DD backend: each bounded compute cache holds 2^BITS entries.")
+  in
   let term =
-    Term.(const run $ file_pos ~doc:"OpenQASM file to simulate" 0 $ backend_arg $ shots $ seed $ threshold)
+    Term.(const run $ file_pos ~doc:"OpenQASM file to simulate" 0 $ backend_arg $ shots $ seed
+          $ threshold $ gc_threshold $ cache_bits)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate a circuit with a chosen data structure") term
 

@@ -35,7 +35,13 @@ let control_mask controls =
   List.fold_left (fun mask q -> mask lor (1 lsl q)) 0 controls
 
 (* Core kernel: iterate over all basis indices with target bit 0 and all
-   control bits 1, updating the (k, k + 2^target) amplitude pair. *)
+   control bits 1, updating the (k, k + 2^target) amplitude pair.
+
+   Diagonal (Z, S, T, Rz, phase) and anti-diagonal (X, Y) gates get a fast
+   path: one complex multiply per amplitude instead of the full 2x2
+   combine.  The gate constructors in {!Qdt_linalg.Gates} place exact
+   [Cx.zero] in the off/on-diagonal entries, so an exact test suffices —
+   a matrix that is merely numerically close keeps the general kernel. *)
 let apply_matrix sv m ~controls ~target =
   if Mat.rows m <> 2 || Mat.cols m <> 2 then
     invalid_arg "Statevector.apply_matrix: need a 2x2 matrix";
@@ -45,15 +51,42 @@ let apply_matrix sv m ~controls ~target =
   let cmask = control_mask controls in
   let amps = sv.amps in
   let size = Array.length amps in
-  let k = ref 0 in
-  while !k < size do
-    if !k land stride = 0 && !k land cmask = cmask then begin
-      let a0 = amps.(!k) and a1 = amps.(!k + stride) in
-      amps.(!k) <- Cx.add (Cx.mul u00 a0) (Cx.mul u01 a1);
-      amps.(!k + stride) <- Cx.add (Cx.mul u10 a0) (Cx.mul u11 a1)
-    end;
-    incr k
-  done
+  let exact_zero (z : Cx.t) = z.Cx.re = 0.0 && z.Cx.im = 0.0 in
+  if exact_zero u01 && exact_zero u10 then begin
+    (* Diagonal: amp(k) picks up u00 or u11 from its target bit alone. *)
+    let one_like (z : Cx.t) = z.Cx.re = 1.0 && z.Cx.im = 0.0 in
+    let skip00 = one_like u00 and skip11 = one_like u11 in
+    for k = 0 to size - 1 do
+      if k land cmask = cmask then
+        if k land stride = 0 then begin
+          if not skip00 then amps.(k) <- Cx.mul u00 amps.(k)
+        end
+        else if not skip11 then amps.(k) <- Cx.mul u11 amps.(k)
+    done
+  end
+  else if exact_zero u00 && exact_zero u11 then begin
+    (* Anti-diagonal: the pair swaps with scaling; one multiply each. *)
+    let k = ref 0 in
+    while !k < size do
+      if !k land stride = 0 && !k land cmask = cmask then begin
+        let a0 = amps.(!k) and a1 = amps.(!k + stride) in
+        amps.(!k) <- Cx.mul u01 a1;
+        amps.(!k + stride) <- Cx.mul u10 a0
+      end;
+      incr k
+    done
+  end
+  else begin
+    let k = ref 0 in
+    while !k < size do
+      if !k land stride = 0 && !k land cmask = cmask then begin
+        let a0 = amps.(!k) and a1 = amps.(!k + stride) in
+        amps.(!k) <- Cx.add (Cx.mul u00 a0) (Cx.mul u01 a1);
+        amps.(!k + stride) <- Cx.add (Cx.mul u10 a0) (Cx.mul u11 a1)
+      end;
+      incr k
+    done
+  end
 
 let apply_gate sv gate ~controls ~target =
   apply_matrix sv (Gate.matrix gate) ~controls ~target

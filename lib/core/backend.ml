@@ -20,6 +20,13 @@ type dd_stats = {
   cnum_table_size : int;
   unique_hit_rate : float;
   compute_hit_rate : float;
+  (* Memory-management telemetry (PR 2): collections run, unique-table
+     entries reclaimed, and the peak unique-table population (live + dead
+     between collections) — the bounded-memory signal. *)
+  gc_runs : int;
+  nodes_collected : int;
+  peak_live_nodes : int;
+  compute_cache_fill : float;  (* occupied fraction across bounded caches *)
 }
 
 type mps_stats = { max_bond_dim : int; truncation_error : float }
@@ -72,10 +79,13 @@ let stats_to_string (s : stats) =
       Buffer.add_string b
         (Printf.sprintf
            " dd{peak-nodes=%d final-nodes=%d unique-table=%d cnum-table=%d \
-            unique-hit=%.1f%% cache-hit=%.1f%%}"
+            unique-hit=%.1f%% cache-hit=%.1f%% cache-fill=%.1f%% gc-runs=%d \
+            collected=%d peak-live=%d}"
            d.peak_nodes d.final_nodes d.unique_table_size d.cnum_table_size
            (100.0 *. d.unique_hit_rate)
-           (100.0 *. d.compute_hit_rate))
+           (100.0 *. d.compute_hit_rate)
+           (100.0 *. d.compute_cache_fill)
+           d.gc_runs d.nodes_collected d.peak_live_nodes)
   | None -> ());
   (match s.mps with
   | Some m ->

@@ -25,6 +25,10 @@ type dd_stats = {
   cnum_table_size : int;
   unique_hit_rate : float;  (** share of node constructions answered by hash-consing *)
   compute_hit_rate : float;  (** share of operation-cache lookups that hit *)
+  gc_runs : int;  (** mark-and-sweep collections during the run *)
+  nodes_collected : int;  (** unique-table entries reclaimed by GC *)
+  peak_live_nodes : int;  (** peak unique-table population (the bounded-memory signal) *)
+  compute_cache_fill : float;  (** occupied fraction across the bounded compute caches *)
 }
 
 (** Matrix-product-state telemetry ({!Qdt_tensornet.Mps}). *)

@@ -42,6 +42,8 @@ let rate hits lookups = if lookups = 0 then 0.0 else float_of_int hits /. float_
 let stats_of ~wall ~peak st =
   let mgr = Sim.manager st in
   let c = Pkg.cache_stats mgr in
+  let slots = List.fold_left (fun acc t -> acc + t.Pkg.slots) 0 c.Pkg.caches in
+  let fill = List.fold_left (fun acc t -> acc + t.Pkg.fill) 0 c.Pkg.caches in
   {
     (Backend.base_stats name wall) with
     Backend.dd =
@@ -50,9 +52,13 @@ let stats_of ~wall ~peak st =
           Backend.peak_nodes = peak;
           final_nodes = Sim.node_count st;
           unique_table_size = Pkg.unique_table_size mgr;
-          cnum_table_size = Pkg.cnum_table_size mgr;
+          cnum_table_size = Pkg.cnum_live_entries mgr;
           unique_hit_rate = rate c.Pkg.unique_hits c.Pkg.unique_lookups;
           compute_hit_rate = rate c.Pkg.compute_hits c.Pkg.compute_lookups;
+          gc_runs = c.Pkg.gc_runs;
+          nodes_collected = c.Pkg.nodes_collected;
+          peak_live_nodes = c.Pkg.peak_nodes;
+          compute_cache_fill = rate fill slots;
         };
   }
 

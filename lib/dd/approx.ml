@@ -65,4 +65,7 @@ let prune_state st ~threshold =
   let before = Sim.root st in
   let after = prune mgr before ~threshold in
   Sim.set_root st after;
-  Cx.norm2 (Pkg.inner mgr before after)
+  let fidelity = Cx.norm2 (Pkg.inner mgr before after) in
+  (* The pruned-away subtrees are garbage now; reclaim them eagerly. *)
+  Pkg.maybe_gc mgr;
+  fidelity

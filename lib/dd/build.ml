@@ -122,6 +122,19 @@ let circuit_unitary mgr c =
   if not (Circuit.is_unitary_only c) then
     invalid_arg "Build.circuit_unitary: circuit measures or resets";
   let n = Circuit.num_qubits c in
-  List.fold_left
-    (fun acc instr -> Pkg.mul_mm mgr (instruction mgr ~num_qubits:n instr) acc)
-    (identity mgr n) (Circuit.instructions c)
+  (* Pin the running product so each retired partial unitary (and its gate
+     DDs) can be collected at the per-instruction boundary. *)
+  let start = identity mgr n in
+  Pkg.ref_edge mgr start;
+  let result =
+    List.fold_left
+      (fun acc instr ->
+        let next = Pkg.mul_mm mgr (instruction mgr ~num_qubits:n instr) acc in
+        Pkg.ref_edge mgr next;
+        Pkg.unref_edge mgr acc;
+        Pkg.maybe_gc mgr;
+        next)
+      start (Circuit.instructions c)
+  in
+  Pkg.unref_edge mgr result;
+  result

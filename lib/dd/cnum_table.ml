@@ -4,13 +4,14 @@ type t = {
   eps : float;
   buckets : (int * int, (int * Cx.t) list ref) Hashtbl.t;
   mutable next_id : int;
+  mutable live : int;
 }
 
 let zero_id = 0
 let one_id = 1
 
 let create ?(eps = 1e-9) () =
-  let table = { eps; buckets = Hashtbl.create 4096; next_id = 2 } in
+  let table = { eps; buckets = Hashtbl.create 4096; next_id = 2; live = 0 } in
   (* Pre-seed zero and one so their ids are stable. *)
   let seed id z =
     let kr = int_of_float (Float.round (z.Cx.re /. eps)) in
@@ -23,7 +24,8 @@ let create ?(eps = 1e-9) () =
           Hashtbl.replace table.buckets (kr, ki) b;
           b
     in
-    bucket := (id, z) :: !bucket
+    bucket := (id, z) :: !bucket;
+    table.live <- table.live + 1
   in
   seed zero_id Cx.zero;
   seed one_id Cx.one;
@@ -69,7 +71,34 @@ let canonical t z =
               b
         in
         bucket := (id, z) :: !bucket;
+        t.live <- t.live + 1;
         (id, z)
   end
 
+let sweep t ~live =
+  (* Ids are monotonic and never reused: a swept value that reappears is
+     simply assigned a fresh id, so stale ids held outside the table can
+     never collide with future entries. *)
+  let removed = ref 0 in
+  let empty = ref [] in
+  Hashtbl.iter
+    (fun key bucket ->
+      let kept =
+        List.filter
+          (fun (id, _) ->
+            if live id then true
+            else begin
+              incr removed;
+              false
+            end)
+          !bucket
+      in
+      bucket := kept;
+      if kept = [] then empty := key :: !empty)
+    t.buckets;
+  List.iter (Hashtbl.remove t.buckets) !empty;
+  t.live <- t.live - !removed;
+  !removed
+
 let size t = t.next_id
+let live_entries t = t.live

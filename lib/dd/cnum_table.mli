@@ -26,5 +26,15 @@ val zero_id : int
 
 val one_id : int
 
-(** Number of distinct values stored. *)
+(** [sweep table ~live] removes every entry whose id fails the [live]
+    predicate (the GC's dead-weight sweep; [zero_id]/[one_id] must be kept
+    live by the caller).  Ids are never reused, so values held outside the
+    table stay valid; a swept value that reappears gets a fresh id.
+    Returns the number of entries removed. *)
+val sweep : t -> live:(int -> bool) -> int
+
+(** Number of ids ever allocated (monotonic; not decreased by {!sweep}). *)
 val size : t -> int
+
+(** Number of entries currently stored ({!size} minus swept entries). *)
+val live_entries : t -> int

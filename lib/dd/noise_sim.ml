@@ -18,15 +18,26 @@ let density_of_basis mgr n k =
   in
   level 0 (Pkg.one_edge mgr)
 
-let make mgr n = { mgr; n; rho = density_of_basis mgr n 0 }
+let make mgr n =
+  let rho = density_of_basis mgr n 0 in
+  Pkg.ref_edge mgr rho;
+  { mgr; n; rho }
+
 let init n = make (Pkg.create ()) n
 let num_qubits st = st.n
 let manager st = st.mgr
 let root st = st.rho
 
+(* Pin the new ρ before releasing the old, then let dead intermediates go. *)
+let set_rho st e =
+  Pkg.ref_edge st.mgr e;
+  Pkg.unref_edge st.mgr st.rho;
+  st.rho <- e;
+  Pkg.maybe_gc st.mgr
+
 let conjugate st u =
   let udag = Pkg.adjoint st.mgr u in
-  st.rho <- Pkg.mul_mm st.mgr u (Pkg.mul_mm st.mgr st.rho udag)
+  set_rho st (Pkg.mul_mm st.mgr u (Pkg.mul_mm st.mgr st.rho udag))
 
 let apply_instruction st instr =
   match instr with
@@ -47,7 +58,7 @@ let apply_channel st kraus q =
       kraus
   in
   match terms with
-  | first :: rest -> st.rho <- List.fold_left (Pkg.add st.mgr) first rest
+  | first :: rest -> set_rho st (List.fold_left (Pkg.add st.mgr) first rest)
   | [] -> assert false
 
 let run ?noise circuit =

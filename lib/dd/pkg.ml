@@ -1,6 +1,6 @@
 open Qdt_linalg
 
-type node = { id : int; var : int; edges : edge array }
+type node = { id : int; var : int; edges : edge array; mutable rc : int }
 and edge = { w_id : int; w : Cx.t; target : target }
 and target = Terminal | Node of node
 
@@ -8,20 +8,100 @@ and target = Terminal | Node of node
    -1 encodes the terminal. *)
 type key = int * (int * int) array
 
+(* ------------------------------------------------------------------ *)
+(* Bounded compute caches                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Fixed-size direct-mapped cache: 2^bits slots, a store replaces whatever
+   occupies its slot.  Keys are up to three ints (node / weight ids, which
+   the manager never reuses); unused key positions are 0.  This keeps
+   compute-cache memory O(1) per manager where the previous Hashtbls grew
+   without bound. *)
+module Ccache = struct
+  type 'a slot = Free | Slot of { k1 : int; k2 : int; k3 : int; v : 'a }
+
+  type 'a t = {
+    name : string;
+    mask : int;
+    (* Allocated on first store: a manager that never exercises an
+       operation never pays for its cache, which keeps [create] cheap for
+       the create-per-run callers (benches, equivalence checks). *)
+    mutable slots : 'a slot array;
+    mutable lookups : int;
+    mutable hits : int;
+    mutable fill : int;
+    mutable evictions : int;
+  }
+
+  let create ~name ~bits =
+    let bits = max 1 (min 24 bits) in
+    let size = 1 lsl bits in
+    { name; mask = size - 1; slots = [||];
+      lookups = 0; hits = 0; fill = 0; evictions = 0 }
+
+  let index t k1 k2 k3 =
+    let h = (k1 * 0x9e3779b1) lxor (k2 * 0x85ebca77) lxor (k3 * 0xc2b2ae35) in
+    (h lxor (h lsr 17)) land t.mask
+
+  let find t k1 k2 k3 =
+    t.lookups <- t.lookups + 1;
+    if Array.length t.slots = 0 then None
+    else
+      match t.slots.(index t k1 k2 k3) with
+      | Slot s when s.k1 = k1 && s.k2 = k2 && s.k3 = k3 ->
+          t.hits <- t.hits + 1;
+          Some s.v
+      | _ -> None
+
+  let store t k1 k2 k3 v =
+    if Array.length t.slots = 0 then t.slots <- Array.make (t.mask + 1) Free;
+    let i = index t k1 k2 k3 in
+    (match t.slots.(i) with
+    | Free -> t.fill <- t.fill + 1
+    | Slot _ -> t.evictions <- t.evictions + 1);
+    t.slots.(i) <- Slot { k1; k2; k3; v }
+
+  let clear t =
+    if t.fill > 0 then begin
+      Array.fill t.slots 0 (Array.length t.slots) Free;
+      t.fill <- 0
+    end
+end
+
 type t = {
   ctab : Cnum_table.t;
   unique : (key, node) Hashtbl.t;
   mutable next_id : int;
-  add_cache : (int * int * int, edge) Hashtbl.t;
-  mul_mv_cache : (int * int, edge) Hashtbl.t;
-  mul_mm_cache : (int * int, edge) Hashtbl.t;
-  adjoint_cache : (int, edge) Hashtbl.t;
-  kron_cache : (int * int * int, edge) Hashtbl.t;
-  inner_cache : (int * int, Cx.t) Hashtbl.t;
+  (* External pins (from [ref_edge]) on complex ids, so GC keeps the weight
+     of a root edge alive in the complex table. *)
+  pinned_cnums : (int, int) Hashtbl.t;
+  add_cache : edge Ccache.t;
+  mul_mv_cache : edge Ccache.t;
+  mul_mm_cache : edge Ccache.t;
+  adjoint_cache : edge Ccache.t;
+  kron_cache : edge Ccache.t;
+  inner_cache : Cx.t Ccache.t;
+  trace_cache : Cx.t Ccache.t;
+  (* GC policy: [gc_threshold] is the configured floor (0 disables
+     automatic collection); [gc_limit] is the live-node count that triggers
+     the next collection and doubles with the surviving population. *)
+  gc_threshold : int;
+  mutable gc_limit : int;
+  mutable gc_runs : int;
+  mutable nodes_collected : int;
+  mutable cnums_collected : int;
+  mutable peak_nodes : int;
   mutable n_unique_lookups : int;
   mutable n_unique_hits : int;
-  mutable n_compute_lookups : int;
-  mutable n_compute_hits : int;
+}
+
+type cache_telemetry = {
+  cache_name : string;
+  slots : int;
+  fill : int;
+  lookups : int;
+  hits : int;
+  evictions : int;
 }
 
 type cache_stats = {
@@ -29,42 +109,81 @@ type cache_stats = {
   unique_hits : int;
   compute_lookups : int;
   compute_hits : int;
+  gc_runs : int;
+  nodes_collected : int;
+  cnums_collected : int;
+  peak_nodes : int;
+  live_nodes : int;
+  caches : cache_telemetry list;
 }
 
-let create ?eps () =
+let default_gc_threshold = ref 16384
+let default_cache_bits = ref 12
+
+let create ?eps ?gc_threshold ?cache_bits () =
+  let gc_threshold = Option.value gc_threshold ~default:!default_gc_threshold in
+  let bits = Option.value cache_bits ~default:!default_cache_bits in
   {
     ctab = Cnum_table.create ?eps ();
     unique = Hashtbl.create 4096;
     next_id = 0;
-    add_cache = Hashtbl.create 4096;
-    mul_mv_cache = Hashtbl.create 4096;
-    mul_mm_cache = Hashtbl.create 4096;
-    adjoint_cache = Hashtbl.create 1024;
-    kron_cache = Hashtbl.create 1024;
-    inner_cache = Hashtbl.create 1024;
+    pinned_cnums = Hashtbl.create 64;
+    add_cache = Ccache.create ~name:"add" ~bits;
+    mul_mv_cache = Ccache.create ~name:"mul-mv" ~bits;
+    mul_mm_cache = Ccache.create ~name:"mul-mm" ~bits;
+    adjoint_cache = Ccache.create ~name:"adjoint" ~bits;
+    kron_cache = Ccache.create ~name:"kron" ~bits;
+    inner_cache = Ccache.create ~name:"inner" ~bits;
+    trace_cache = Ccache.create ~name:"trace" ~bits;
+    gc_threshold;
+    gc_limit = gc_threshold;
+    gc_runs = 0;
+    nodes_collected = 0;
+    cnums_collected = 0;
+    peak_nodes = 0;
     n_unique_lookups = 0;
     n_unique_hits = 0;
-    n_compute_lookups = 0;
-    n_compute_hits = 0;
   }
 
+let all_caches mgr =
+  [
+    Ccache.(mgr.add_cache.name, mgr.add_cache.mask + 1, mgr.add_cache.fill,
+            mgr.add_cache.lookups, mgr.add_cache.hits, mgr.add_cache.evictions);
+    Ccache.(mgr.mul_mv_cache.name, mgr.mul_mv_cache.mask + 1, mgr.mul_mv_cache.fill,
+            mgr.mul_mv_cache.lookups, mgr.mul_mv_cache.hits, mgr.mul_mv_cache.evictions);
+    Ccache.(mgr.mul_mm_cache.name, mgr.mul_mm_cache.mask + 1, mgr.mul_mm_cache.fill,
+            mgr.mul_mm_cache.lookups, mgr.mul_mm_cache.hits, mgr.mul_mm_cache.evictions);
+    Ccache.(mgr.adjoint_cache.name, mgr.adjoint_cache.mask + 1, mgr.adjoint_cache.fill,
+            mgr.adjoint_cache.lookups, mgr.adjoint_cache.hits, mgr.adjoint_cache.evictions);
+    Ccache.(mgr.kron_cache.name, mgr.kron_cache.mask + 1, mgr.kron_cache.fill,
+            mgr.kron_cache.lookups, mgr.kron_cache.hits, mgr.kron_cache.evictions);
+    Ccache.(mgr.inner_cache.name, mgr.inner_cache.mask + 1, mgr.inner_cache.fill,
+            mgr.inner_cache.lookups, mgr.inner_cache.hits, mgr.inner_cache.evictions);
+    Ccache.(mgr.trace_cache.name, mgr.trace_cache.mask + 1, mgr.trace_cache.fill,
+            mgr.trace_cache.lookups, mgr.trace_cache.hits, mgr.trace_cache.evictions);
+  ]
+
 let cache_stats mgr =
+  let caches =
+    List.map
+      (fun (cache_name, slots, fill, lookups, hits, evictions) ->
+        { cache_name; slots; fill; lookups; hits; evictions })
+      (all_caches mgr)
+  in
+  let compute_lookups = List.fold_left (fun acc c -> acc + c.lookups) 0 caches in
+  let compute_hits = List.fold_left (fun acc c -> acc + c.hits) 0 caches in
   {
     unique_lookups = mgr.n_unique_lookups;
     unique_hits = mgr.n_unique_hits;
-    compute_lookups = mgr.n_compute_lookups;
-    compute_hits = mgr.n_compute_hits;
+    compute_lookups;
+    compute_hits;
+    gc_runs = mgr.gc_runs;
+    nodes_collected = mgr.nodes_collected;
+    cnums_collected = mgr.cnums_collected;
+    peak_nodes = max mgr.peak_nodes (Hashtbl.length mgr.unique);
+    live_nodes = Hashtbl.length mgr.unique;
+    caches;
   }
-
-(* All compute caches funnel through this lookup so hit rates cover every
-   cached operation uniformly. *)
-let cache_find mgr tbl key =
-  mgr.n_compute_lookups <- mgr.n_compute_lookups + 1;
-  match Hashtbl.find_opt tbl key with
-  | Some _ as hit ->
-      mgr.n_compute_hits <- mgr.n_compute_hits + 1;
-      hit
-  | None -> None
 
 let canonical mgr z = Cnum_table.canonical mgr.ctab z
 
@@ -80,6 +199,84 @@ let target_id = function Terminal -> -1 | Node n -> n.id
 
 let edge_equal a b = a.w_id = b.w_id && target_id a.target = target_id b.target
 
+(* ------------------------------------------------------------------ *)
+(* Reference counting and garbage collection                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The protocol: an edge a client keeps across a potential collection
+   point must be pinned with [ref_edge] and released with [unref_edge].
+   The count lives on the target node; the edge's own weight id is pinned
+   separately so the complex-table sweep keeps it.  Intermediate edges
+   local to one arithmetic call need no pinning: [gc] only runs from
+   [maybe_gc], which clients call at operation boundaries. *)
+
+let ref_edge mgr e =
+  (match e.target with Node n -> n.rc <- n.rc + 1 | Terminal -> ());
+  Hashtbl.replace mgr.pinned_cnums e.w_id
+    (1 + Option.value ~default:0 (Hashtbl.find_opt mgr.pinned_cnums e.w_id))
+
+let unref_edge mgr e =
+  (match e.target with
+  | Node n -> if n.rc > 0 then n.rc <- n.rc - 1
+  | Terminal -> ());
+  match Hashtbl.find_opt mgr.pinned_cnums e.w_id with
+  | Some 1 -> Hashtbl.remove mgr.pinned_cnums e.w_id
+  | Some c -> Hashtbl.replace mgr.pinned_cnums e.w_id (c - 1)
+  | None -> ()
+
+let clear_caches mgr =
+  Ccache.clear mgr.add_cache;
+  Ccache.clear mgr.mul_mv_cache;
+  Ccache.clear mgr.mul_mm_cache;
+  Ccache.clear mgr.adjoint_cache;
+  Ccache.clear mgr.kron_cache;
+  Ccache.clear mgr.inner_cache;
+  Ccache.clear mgr.trace_cache
+
+let gc (mgr : t) =
+  mgr.peak_nodes <- max mgr.peak_nodes (Hashtbl.length mgr.unique);
+  (* Mark: everything reachable from a pinned node stays, as do the
+     complex ids those nodes' edges (and pinned root edges) use. *)
+  let marked = Hashtbl.create (max 64 (Hashtbl.length mgr.unique / 2)) in
+  let live_cnums = Hashtbl.create 256 in
+  Hashtbl.replace live_cnums Cnum_table.zero_id ();
+  Hashtbl.replace live_cnums Cnum_table.one_id ();
+  Hashtbl.iter (fun id _ -> Hashtbl.replace live_cnums id ()) mgr.pinned_cnums;
+  let rec mark n =
+    if not (Hashtbl.mem marked n.id) then begin
+      Hashtbl.replace marked n.id ();
+      Array.iter
+        (fun e ->
+          Hashtbl.replace live_cnums e.w_id ();
+          match e.target with Node c -> mark c | Terminal -> ())
+        n.edges
+    end
+  in
+  Hashtbl.iter (fun _ n -> if n.rc > 0 then mark n) mgr.unique;
+  (* Sweep the unique table, then the complex table entries only dead
+     nodes referenced.  Node and complex ids are never reused, so an
+     unpinned edge a client still holds stays numerically valid — it just
+     loses sharing with future nodes. *)
+  let dead =
+    Hashtbl.fold
+      (fun key n acc -> if Hashtbl.mem marked n.id then acc else key :: acc)
+      mgr.unique []
+  in
+  List.iter (Hashtbl.remove mgr.unique) dead;
+  let collected = List.length dead in
+  let swept = Cnum_table.sweep mgr.ctab ~live:(Hashtbl.mem live_cnums) in
+  (* Cached results may reference swept nodes; drop them wholesale. *)
+  clear_caches mgr;
+  mgr.gc_runs <- mgr.gc_runs + 1;
+  mgr.nodes_collected <- mgr.nodes_collected + collected;
+  mgr.cnums_collected <- mgr.cnums_collected + swept;
+  mgr.gc_limit <- max mgr.gc_threshold (2 * Hashtbl.length mgr.unique);
+  collected
+
+let maybe_gc mgr =
+  if mgr.gc_threshold > 0 && Hashtbl.length mgr.unique > mgr.gc_limit then
+    ignore (gc mgr)
+
 let hashcons mgr ~var edges =
   let key = (var, Array.map (fun e -> (e.w_id, target_id e.target)) edges) in
   mgr.n_unique_lookups <- mgr.n_unique_lookups + 1;
@@ -88,9 +285,11 @@ let hashcons mgr ~var edges =
       mgr.n_unique_hits <- mgr.n_unique_hits + 1;
       n
   | None ->
-      let n = { id = mgr.next_id; var; edges } in
+      let n = { id = mgr.next_id; var; edges; rc = 0 } in
       mgr.next_id <- n.id + 1;
       Hashtbl.replace mgr.unique key n;
+      let size = Hashtbl.length mgr.unique in
+      if size > mgr.peak_nodes then mgr.peak_nodes <- size;
       n
 
 let make_node mgr ~var edges =
@@ -149,9 +348,8 @@ let rec add mgr e1 e2 =
         assert (n1.var = n2.var && Array.length n1.edges = Array.length n2.edges);
         (* Factor out w1: e1 + e2 = w1 · (n1 + (w2/w1)·n2). *)
         let ratio_id, ratio = canonical mgr (Cx.div e2.w e1.w) in
-        let key = (n1.id, ratio_id, n2.id) in
         let body =
-          match cache_find mgr mgr.add_cache key with
+          match Ccache.find mgr.add_cache n1.id ratio_id n2.id with
           | Some cached -> cached
           | None ->
               let children =
@@ -159,7 +357,7 @@ let rec add mgr e1 e2 =
                     add mgr n1.edges.(k) (scale mgr ratio n2.edges.(k)))
               in
               let result = make_node mgr ~var:n1.var children in
-              Hashtbl.replace mgr.add_cache key result;
+              Ccache.store mgr.add_cache n1.id ratio_id n2.id result;
               result
         in
         scale mgr e1.w body
@@ -177,9 +375,8 @@ let rec mul_mv mgr m v =
     | Terminal, Terminal -> terminal mgr (Cx.mul m.w v.w)
     | Node mn, Node vn ->
         assert (mn.var = vn.var && Array.length mn.edges = 4 && Array.length vn.edges = 2);
-        let key = (mn.id, vn.id) in
         let body =
-          match cache_find mgr mgr.mul_mv_cache key with
+          match Ccache.find mgr.mul_mv_cache mn.id vn.id 0 with
           | Some cached -> cached
           | None ->
               let row r =
@@ -188,7 +385,7 @@ let rec mul_mv mgr m v =
                   (mul_mv mgr mn.edges.((2 * r) + 1) vn.edges.(1))
               in
               let result = make_node mgr ~var:mn.var [| row 0; row 1 |] in
-              Hashtbl.replace mgr.mul_mv_cache key result;
+              Ccache.store mgr.mul_mv_cache mn.id vn.id 0 result;
               result
         in
         scale mgr (Cx.mul m.w v.w) body
@@ -202,9 +399,8 @@ let rec mul_mm mgr a b =
     | Terminal, Terminal -> terminal mgr (Cx.mul a.w b.w)
     | Node an, Node bn ->
         assert (an.var = bn.var && Array.length an.edges = 4 && Array.length bn.edges = 4);
-        let key = (an.id, bn.id) in
         let body =
-          match cache_find mgr mgr.mul_mm_cache key with
+          match Ccache.find mgr.mul_mm_cache an.id bn.id 0 with
           | Some cached -> cached
           | None ->
               let entry r c =
@@ -215,7 +411,7 @@ let rec mul_mm mgr a b =
               let result =
                 make_node mgr ~var:an.var [| entry 0 0; entry 0 1; entry 1 0; entry 1 1 |]
               in
-              Hashtbl.replace mgr.mul_mm_cache key result;
+              Ccache.store mgr.mul_mm_cache an.id bn.id 0 result;
               result
         in
         scale mgr (Cx.mul a.w b.w) body
@@ -230,7 +426,7 @@ let rec adjoint mgr m =
     | Node n ->
         assert (Array.length n.edges = 4);
         let body =
-          match cache_find mgr mgr.adjoint_cache n.id with
+          match Ccache.find mgr.adjoint_cache n.id 0 0 with
           | Some cached -> cached
           | None ->
               let result =
@@ -242,7 +438,7 @@ let rec adjoint mgr m =
                     adjoint mgr n.edges.(3);
                   |]
               in
-              Hashtbl.replace mgr.adjoint_cache n.id result;
+              Ccache.store mgr.adjoint_cache n.id 0 0 result;
               result
         in
         scale mgr (Cx.conj m.w) body
@@ -253,16 +449,15 @@ let rec kron mgr ~lower_qubits upper lower =
     match upper.target with
     | Terminal -> scale mgr upper.w lower
     | Node n ->
-        let key = (n.id, target_id lower.target, lower.w_id) in
         let body =
-          match cache_find mgr mgr.kron_cache key with
+          match Ccache.find mgr.kron_cache n.id (target_id lower.target) lower.w_id with
           | Some cached -> cached
           | None ->
               let children =
                 Array.map (fun e -> kron mgr ~lower_qubits e lower) n.edges
               in
               let result = make_node mgr ~var:(n.var + lower_qubits) children in
-              Hashtbl.replace mgr.kron_cache key result;
+              Ccache.store mgr.kron_cache n.id (target_id lower.target) lower.w_id result;
               result
         in
         scale mgr upper.w body
@@ -273,29 +468,36 @@ let rec inner mgr a b =
     match (a.target, b.target) with
     | Terminal, Terminal -> Cx.mul (Cx.conj a.w) b.w
     | Node an, Node bn ->
-        let key = (an.id, bn.id) in
         let body =
-          match cache_find mgr mgr.inner_cache key with
+          match Ccache.find mgr.inner_cache an.id bn.id 0 with
           | Some cached -> cached
           | None ->
               let acc = ref Cx.zero in
               for k = 0 to Array.length an.edges - 1 do
                 acc := Cx.add !acc (inner mgr an.edges.(k) bn.edges.(k))
               done;
-              Hashtbl.replace mgr.inner_cache key !acc;
+              Ccache.store mgr.inner_cache an.id bn.id 0 !acc;
               !acc
         in
         Cx.mul (Cx.mul (Cx.conj a.w) b.w) body
     | Terminal, Node _ | Node _, Terminal -> invalid_arg "Pkg.inner: level mismatch"
 
-let rec trace _mgr m =
+let rec trace mgr m =
   if is_zero m then Cx.zero
   else
     match m.target with
     | Terminal -> m.w
     | Node n ->
         assert (Array.length n.edges = 4);
-        Cx.mul m.w (Cx.add (trace _mgr n.edges.(0)) (trace _mgr n.edges.(3)))
+        let body =
+          match Ccache.find mgr.trace_cache n.id 0 0 with
+          | Some cached -> cached
+          | None ->
+              let v = Cx.add (trace mgr n.edges.(0)) (trace mgr n.edges.(3)) in
+              Ccache.store mgr.trace_cache n.id 0 0 v;
+              v
+        in
+        Cx.mul m.w body
 
 (* ------------------------------------------------------------------ *)
 (* Inspection                                                          *)
@@ -358,3 +560,7 @@ let to_mat mgr e ~num_qubits =
 
 let unique_table_size mgr = Hashtbl.length mgr.unique
 let cnum_table_size mgr = Cnum_table.size mgr.ctab
+let cnum_live_entries mgr = Cnum_table.live_entries mgr.ctab
+let peak_unique_table_size (mgr : t) =
+  max mgr.peak_nodes (Hashtbl.length mgr.unique)
+let refcount e = match e.target with Terminal -> 0 | Node n -> n.rc

@@ -8,11 +8,34 @@
     quasi-reduced: every path visits every variable, as in the QMDD
     literature (refs [28], [29]).
 
-    All state lives in a manager value [t]; no global mutable state. *)
+    All state lives in a manager value [t]; no global mutable state.
 
-type node = private { id : int; var : int; edges : edge array }
+    {2 Memory management}
+
+    The manager reclaims memory in two ways (see DESIGN.md, "DD memory
+    management"):
+
+    - {b Reference-counted mark-and-sweep GC} over the unique table.
+      Clients pin the edges they keep across operations with {!ref_edge}
+      (released with {!unref_edge}); {!gc} marks everything reachable from
+      a pinned node and sweeps the rest — including the {!Cnum_table}
+      entries only dead nodes referenced.  {!maybe_gc} runs a collection
+      automatically once the live-node count passes an adaptive threshold
+      (configured floor [gc_threshold]; doubles with the surviving
+      population), and is called by [Sim], [Noise_sim] and [Build] at
+      instruction boundaries.  Node and complex ids are never reused, so
+      an unpinned edge held across a collection stays numerically valid —
+      it only loses sharing with nodes built later.
+
+    - {b Bounded compute caches}: the seven operation caches (add, mat-vec,
+      mat-mat, adjoint, kron, inner, trace) are fixed-size direct-mapped
+      arrays of [2^cache_bits] slots with replace-on-collision, so cache
+      memory is O(1) per manager; they are invalidated wholesale on GC. *)
+
+type node = private { id : int; var : int; edges : edge array; mutable rc : int }
 (** [edges] has length 2 (vector node) or 4 (matrix node, row-major:
-    indices [2r + c]). *)
+    indices [2r + c]).  [rc] is the external reference count maintained by
+    {!ref_edge}/{!unref_edge}; read-only outside the package. *)
 
 and edge = { w_id : int; w : Qdt_linalg.Cx.t; target : target }
 and target = Terminal | Node of node
@@ -20,7 +43,20 @@ and target = Terminal | Node of node
 type t
 (** Manager: unique tables, the complex table and the compute caches. *)
 
-val create : ?eps:float -> unit -> t
+(** Defaults used by {!create} when the corresponding argument is absent,
+    settable by front ends (the CLI's [--dd-gc-threshold] and
+    [--dd-cache-bits] flags write here).  [default_gc_threshold = 16384]
+    live nodes ([0] disables automatic GC); [default_cache_bits = 12]
+    (4096 slots per compute cache). *)
+val default_gc_threshold : int ref
+
+val default_cache_bits : int ref
+
+(** [create ?eps ?gc_threshold ?cache_bits ()] — [gc_threshold] is the
+    live-node floor that arms automatic collection (0 disables it);
+    [cache_bits] sizes every compute cache at [2^cache_bits] slots
+    (clamped to [1..24]). *)
+val create : ?eps:float -> ?gc_threshold:int -> ?cache_bits:int -> unit -> t
 
 (** {1 Edges} *)
 
@@ -41,6 +77,31 @@ val make_node : t -> var:int -> edge array -> edge
 
 (** [scale mgr c e] multiplies the edge weight by [c]. *)
 val scale : t -> Qdt_linalg.Cx.t -> edge -> edge
+
+(** {1 Reference counting and garbage collection} *)
+
+(** [ref_edge mgr e] pins [e]: increments the target node's reference
+    count and keeps the edge weight alive in the complex table across
+    collections.  Every [ref_edge] must be balanced by {!unref_edge}. *)
+val ref_edge : t -> edge -> unit
+
+val unref_edge : t -> edge -> unit
+
+(** [gc mgr] — mark-and-sweep collection: marks every node reachable from
+    a node with a positive reference count, sweeps the rest from the
+    unique table together with the complex-table entries only they used,
+    and invalidates the compute caches.  Returns the number of nodes
+    collected.  Safe at any operation boundary; edges currently pinned
+    (and their sub-diagrams) are never touched. *)
+val gc : t -> int
+
+(** [maybe_gc mgr] — run {!gc} if automatic collection is enabled and the
+    live-node count exceeds the adaptive threshold. *)
+val maybe_gc : t -> unit
+
+(** [refcount e] — current external reference count of the target node
+    (0 for terminal edges). *)
+val refcount : edge -> int
 
 (** {1 Arithmetic} — all results canonical and cached. *)
 
@@ -95,14 +156,37 @@ val unique_table_size : t -> int
 
 val cnum_table_size : t -> int
 
+(** Complex-table entries currently stored (ids minus swept entries). *)
+val cnum_live_entries : t -> int
+
+(** Largest unique-table population seen, including dead nodes between
+    collections — the bounded-memory signal of experiment E16. *)
+val peak_unique_table_size : t -> int
+
+(** Per-cache telemetry of one bounded compute cache. *)
+type cache_telemetry = {
+  cache_name : string;
+  slots : int;  (** capacity (2^cache_bits) *)
+  fill : int;  (** occupied slots *)
+  lookups : int;
+  hits : int;
+  evictions : int;  (** stores that replaced a colliding entry *)
+}
+
 type cache_stats = {
   unique_lookups : int;  (** hash-cons attempts (node constructions) *)
   unique_hits : int;  (** attempts answered by an existing node *)
   compute_lookups : int;  (** lookups across all operation caches *)
   compute_hits : int;  (** operation-cache hits *)
+  gc_runs : int;  (** collections since [create] *)
+  nodes_collected : int;  (** unique-table entries swept, cumulative *)
+  cnums_collected : int;  (** complex-table entries swept, cumulative *)
+  peak_nodes : int;  (** peak unique-table population *)
+  live_nodes : int;  (** current unique-table population *)
+  caches : cache_telemetry list;  (** one record per compute cache *)
 }
 
-(** [cache_stats mgr] — cumulative unique-table and compute-cache counters
-    since [create]; hit rates are the backend-telemetry signal for how much
-    sharing/memoisation the workload exposes. *)
+(** [cache_stats mgr] — cumulative unique-table, compute-cache and GC
+    counters since [create]; hit rates are the backend-telemetry signal for
+    how much sharing/memoisation the workload exposes. *)
 val cache_stats : t -> cache_stats

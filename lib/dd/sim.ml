@@ -3,12 +3,22 @@ open Qdt_circuit
 
 type state = { mgr : Pkg.t; n : int; mutable edge : Pkg.edge }
 
-let make mgr n = { mgr; n; edge = Build.zero_state mgr n }
+let make mgr n =
+  let edge = Build.zero_state mgr n in
+  Pkg.ref_edge mgr edge;
+  { mgr; n; edge }
+
 let init n = make (Pkg.create ()) n
 let num_qubits st = st.n
 let manager st = st.mgr
 let root st = st.edge
-let set_root st e = st.edge <- e
+
+(* The state root is the only edge pinned across instructions: pin the new
+   root before releasing the old one (they may be the same edge). *)
+let set_root st e =
+  Pkg.ref_edge st.mgr e;
+  Pkg.unref_edge st.mgr st.edge;
+  st.edge <- e
 
 let amplitude st k = Pkg.amplitude st.mgr st.edge k
 let probability st k = Cx.norm2 (amplitude st k)
@@ -32,10 +42,10 @@ let project st q bit =
       Build.gate st.mgr ~num_qubits:st.n ~controls:[] ~target:q p0
     end
   in
-  st.edge <- Pkg.mul_mv st.mgr proj st.edge;
+  set_root st (Pkg.mul_mv st.mgr proj st.edge);
   let n2 = norm2 st in
   if n2 < 1e-14 then invalid_arg "Sim.project: zero-probability branch";
-  st.edge <- Pkg.scale st.mgr (Cx.of_float (1.0 /. Float.sqrt n2)) st.edge
+  set_root st (Pkg.scale st.mgr (Cx.of_float (1.0 /. Float.sqrt n2)) st.edge)
 
 let measure_qubit st ~rng q =
   let p1 = prob_one st q in
@@ -44,18 +54,20 @@ let measure_qubit st ~rng q =
   bit
 
 let apply_instruction st instr ~rng ~clbits =
-  match instr with
+  (match instr with
   | Circuit.Apply _ | Circuit.Swap _ ->
       let op = Build.instruction st.mgr ~num_qubits:st.n instr in
-      st.edge <- Pkg.mul_mv st.mgr op st.edge
+      set_root st (Pkg.mul_mv st.mgr op st.edge)
   | Circuit.Measure { qubit; clbit } -> clbits.(clbit) <- measure_qubit st ~rng qubit
   | Circuit.Reset q ->
       let bit = measure_qubit st ~rng q in
       if bit = 1 then begin
         let op = Build.gate st.mgr ~num_qubits:st.n ~controls:[] ~target:q Gates.x in
-        st.edge <- Pkg.mul_mv st.mgr op st.edge
+        set_root st (Pkg.mul_mv st.mgr op st.edge)
       end
-  | Circuit.Barrier _ -> ()
+  | Circuit.Barrier _ -> ());
+  (* Only the root is pinned now; dead intermediates are collectable. *)
+  Pkg.maybe_gc st.mgr
 
 let run ?(seed = 0) circuit =
   let st = init (Circuit.num_qubits circuit) in

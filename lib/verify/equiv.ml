@@ -40,8 +40,11 @@ let dd c1 c2 =
   let n = Circuit.num_qubits c1 in
   let mgr = Qdt_dd.Pkg.create () in
   let u1 = Qdt_dd.Build.circuit_unitary mgr c1 in
+  (* Pin U1: building U2 may garbage-collect at instruction boundaries. *)
+  Qdt_dd.Pkg.ref_edge mgr u1;
   let u2 = Qdt_dd.Build.circuit_unitary mgr c2 in
   let prod = Qdt_dd.Pkg.mul_mm mgr (Qdt_dd.Pkg.adjoint mgr u2) u1 in
+  Qdt_dd.Pkg.unref_edge mgr u1;
   if dd_is_identity_up_to_phase mgr prod n then Equivalent else Not_equivalent
 
 let dd_alternating c1 c2 =
@@ -52,6 +55,13 @@ let dd_alternating c1 c2 =
   let gates2 = Array.of_list (Circuit.unitary_instructions c2) in
   let m = Array.length gates1 and k = Array.length gates2 in
   let e = ref (Qdt_dd.Build.identity mgr n) in
+  Qdt_dd.Pkg.ref_edge mgr !e;
+  let advance e' =
+    Qdt_dd.Pkg.ref_edge mgr e';
+    Qdt_dd.Pkg.unref_edge mgr !e;
+    e := e';
+    Qdt_dd.Pkg.maybe_gc mgr
+  in
   let i = ref 0 and j = ref 0 in
   (* Keep i/m ≈ j/k so E stays close to the identity throughout. *)
   while !i < m || !j < k do
@@ -62,15 +72,16 @@ let dd_alternating c1 c2 =
     in
     if take_left then begin
       let g = Qdt_dd.Build.instruction mgr ~num_qubits:n gates1.(!i) in
-      e := Qdt_dd.Pkg.mul_mm mgr g !e;
+      advance (Qdt_dd.Pkg.mul_mm mgr g !e);
       incr i
     end
     else begin
       let h = Qdt_dd.Build.instruction mgr ~num_qubits:n gates2.(!j) in
-      e := Qdt_dd.Pkg.mul_mm mgr !e (Qdt_dd.Pkg.adjoint mgr h);
+      advance (Qdt_dd.Pkg.mul_mm mgr !e (Qdt_dd.Pkg.adjoint mgr h));
       incr j
     end
   done;
+  Qdt_dd.Pkg.unref_edge mgr !e;
   if dd_is_identity_up_to_phase mgr !e n then Equivalent else Not_equivalent
 
 let zx c1 c2 =

@@ -42,6 +42,40 @@ let test_gate_application_strides () =
         (Statevector.probability sv (1 lsl q)))
     [ 0; 1; 2 ]
 
+let test_diagonal_fast_paths () =
+  (* Diagonal (Z/S/T/Rz) and anti-diagonal (X/Y) gates take a specialised
+     kernel; check it against the full circuit unitary from a state with
+     every amplitude distinct, controls included. *)
+  let n = 3 in
+  let st = Random.State.make [| 42 |] in
+  let v0 =
+    Vec.normalize
+      (Vec.init (1 lsl n) (fun _ ->
+           Cx.make (Random.State.float st 2.0 -. 1.0) (Random.State.float st 2.0 -. 1.0)))
+  in
+  List.iter
+    (fun (name, gate, controls, target) ->
+      let sv = Statevector.of_vec n v0 in
+      Statevector.apply_gate sv gate ~controls ~target;
+      let c =
+        Circuit.add (Circuit.Apply { gate; controls; target }) (Circuit.empty n)
+      in
+      let expect = Mat.mul_vec (Unitary_builder.unitary c) v0 in
+      if not (Vec.approx_equal ~eps:1e-9 expect (Statevector.to_vec sv)) then
+        Alcotest.failf "%s: fast path disagrees with the circuit unitary" name)
+    [
+      ("Z", Gate.Z, [], 1);
+      ("S", Gate.S, [], 0);
+      ("T", Gate.T, [], 2);
+      ("Rz", Gate.Rz 0.7, [], 1);
+      ("X", Gate.X, [], 1);
+      ("Y", Gate.Y, [], 2);
+      ("CZ", Gate.Z, [ 0 ], 2);
+      ("CX", Gate.X, [ 2 ], 0);
+      ("CCRz", Gate.Rz 1.3, [ 0; 2 ], 1);
+      ("H (general kernel)", Gate.H, [], 1);
+    ]
+
 let test_controlled_gate () =
   let sv = Statevector.create 2 in
   (* control not satisfied: nothing happens *)
@@ -388,6 +422,7 @@ let () =
           Alcotest.test_case "initial state" `Quick test_initial_state;
           Alcotest.test_case "paper example 1" `Quick test_bell_example1;
           Alcotest.test_case "strides" `Quick test_gate_application_strides;
+          Alcotest.test_case "diagonal fast paths" `Quick test_diagonal_fast_paths;
           Alcotest.test_case "controlled" `Quick test_controlled_gate;
           Alcotest.test_case "toffoli" `Quick test_toffoli;
           Alcotest.test_case "swap" `Quick test_swap;

@@ -304,6 +304,67 @@ let test_dot_export () =
   Alcotest.(check bool) "0-stub" true (contains ~needle:"shape=square" dot)
 
 (* ------------------------------------------------------------------ *)
+(* Memory management: refcounts, GC, bounded caches                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_refcount () =
+  let mgr = Pkg.create () in
+  let e = Build.basis_state mgr 3 1 in
+  Alcotest.(check int) "fresh node rc" 0 (Pkg.refcount e);
+  Pkg.ref_edge mgr e;
+  Pkg.ref_edge mgr e;
+  Alcotest.(check int) "rc after two refs" 2 (Pkg.refcount e);
+  Pkg.unref_edge mgr e;
+  Alcotest.(check int) "rc after unref" 1 (Pkg.refcount e);
+  Pkg.unref_edge mgr e
+
+let test_gc_collects () =
+  let mgr = Pkg.create ~gc_threshold:0 () in
+  let st = Random.State.make [| 11 |] in
+  let random_vec () =
+    Vec.normalize
+      (Vec.init 16 (fun _ ->
+           Cx.make (Random.State.float st 2.0 -. 1.0) (Random.State.float st 2.0 -. 1.0)))
+  in
+  let keep = Build.from_vec mgr (random_vec ()) in
+  Pkg.ref_edge mgr keep;
+  let keep_vec = Pkg.to_vec mgr keep ~num_qubits:4 in
+  for _ = 1 to 8 do
+    ignore (Build.from_vec mgr (random_vec ()))
+  done;
+  let before = Pkg.unique_table_size mgr in
+  let collected = Pkg.gc mgr in
+  Alcotest.(check bool) "collected garbage" true (collected > 0);
+  Alcotest.(check bool) "table shrank" true (Pkg.unique_table_size mgr < before);
+  Alcotest.(check int) "only the pinned state survives" (Pkg.node_count keep)
+    (Pkg.unique_table_size mgr);
+  check_vec "pinned amplitudes intact" keep_vec (Pkg.to_vec mgr keep ~num_qubits:4);
+  Pkg.unref_edge mgr keep;
+  ignore (Pkg.gc mgr);
+  Alcotest.(check int) "everything collected once unpinned" 0 (Pkg.unique_table_size mgr);
+  Alcotest.(check int) "cnum table back to {0, 1}" 2 (Pkg.cnum_live_entries mgr);
+  let stats = Pkg.cache_stats mgr in
+  Alcotest.(check int) "gc runs counted" 2 stats.Pkg.gc_runs;
+  Alcotest.(check bool) "cnums swept" true (stats.Pkg.cnums_collected > 0)
+
+let test_auto_gc_trigger () =
+  let mgr = Pkg.create ~gc_threshold:64 () in
+  let c = Generators.random_clifford_t ~seed:3 ~gates:120 ~t_fraction:0.3 5 in
+  let st = Sim.make mgr 5 in
+  let rng = Random.State.make [| 0 |] in
+  let clbits = Array.make 1 0 in
+  List.iter
+    (fun instr -> Sim.apply_instruction st instr ~rng ~clbits)
+    (Circuit.instructions c);
+  let stats = Pkg.cache_stats mgr in
+  Alcotest.(check bool) "threshold triggered collections" true (stats.Pkg.gc_runs > 0);
+  Alcotest.(check bool) "peak recorded" true (stats.Pkg.peak_nodes >= stats.Pkg.live_nodes);
+  let sv = Qdt_arraysim.Statevector.run_unitary c in
+  check_vec "state matches arrays despite GC"
+    (Qdt_arraysim.Statevector.to_vec sv)
+    (Sim.to_vec st)
+
+(* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -341,9 +402,72 @@ let prop_unitarity_preserved =
       let mgr = Sim.manager st in
       Float.abs ((Pkg.inner mgr (Sim.root st) (Sim.root st)).Cx.re -. 1.0) < 1e-7)
 
+(* Run a circuit on [mgr], forcing a full collection after every
+   instruction when [force_gc] — the harshest schedule the refcount
+   protocol must survive. *)
+let run_on_manager ?(force_gc = false) mgr c =
+  let st = Sim.make mgr (Circuit.num_qubits c) in
+  let rng = Random.State.make [| 0 |] in
+  let clbits = Array.make (max 1 (Circuit.num_clbits c)) 0 in
+  List.iter
+    (fun instr ->
+      Sim.apply_instruction st instr ~rng ~clbits;
+      if force_gc then ignore (Pkg.gc mgr))
+    (Circuit.instructions c);
+  st
+
+let prop_gc_preserves_results =
+  QCheck.Test.make ~name:"forced GC after every instruction preserves the state"
+    ~count:20
+    (QCheck.make QCheck.Gen.(pair (int_range 1 5) (int_range 0 10000)))
+    (fun (n, seed) ->
+      let c = Generators.random_circuit ~seed ~depth:3 n in
+      let st = run_on_manager ~force_gc:true (Pkg.create ~gc_threshold:0 ()) c in
+      let sv = Qdt_arraysim.Statevector.run_unitary c in
+      Vec.approx_equal ~eps:1e-7 (Qdt_arraysim.Statevector.to_vec sv) (Sim.to_vec st))
+
+let prop_canonicity_across_gc =
+  QCheck.Test.make ~name:"canonicity survives a collection" ~count:25
+    (QCheck.make QCheck.Gen.(int_range 0 10000))
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let mgr = Pkg.create ~gc_threshold:0 () in
+      let random_vec () =
+        Vec.normalize
+          (Vec.init 16 (fun _ ->
+               Cx.make
+                 (Random.State.float st 2.0 -. 1.0)
+                 (Random.State.float st 2.0 -. 1.0)))
+      in
+      let v = random_vec () in
+      let a = Build.from_vec mgr v in
+      Pkg.ref_edge mgr a;
+      ignore (Build.from_vec mgr (random_vec ()));
+      ignore (Pkg.gc mgr);
+      (* Rebuilding the same vector must hash-cons onto the survivor. *)
+      let b = Build.from_vec mgr v in
+      Pkg.edge_equal a b)
+
+let prop_tiny_cache_safe =
+  QCheck.Test.make ~name:"cache eviction never changes results" ~count:20
+    (QCheck.make QCheck.Gen.(pair (int_range 1 5) (int_range 0 10000)))
+    (fun (n, seed) ->
+      let c = Generators.random_circuit ~seed ~depth:3 n in
+      (* Two slots per compute cache: almost every store evicts. *)
+      let st = run_on_manager (Pkg.create ~cache_bits:1 ()) c in
+      let sv = Qdt_arraysim.Statevector.run_unitary c in
+      Vec.approx_equal ~eps:1e-7 (Qdt_arraysim.Statevector.to_vec sv) (Sim.to_vec st))
+
 let props =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_dd_matches_array_sim; prop_canonicity; prop_unitarity_preserved ]
+    [
+      prop_dd_matches_array_sim;
+      prop_canonicity;
+      prop_unitarity_preserved;
+      prop_gc_preserves_results;
+      prop_canonicity_across_gc;
+      prop_tiny_cache_safe;
+    ]
 
 let () =
   Alcotest.run "qdt_dd"
@@ -384,6 +508,12 @@ let () =
           Alcotest.test_case "sampling w" `Quick test_sim_w_sampling;
           Alcotest.test_case "prob/expectation" `Quick test_prob_expectation;
           Alcotest.test_case "fidelity" `Quick test_sim_fidelity;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "refcounts" `Quick test_refcount;
+          Alcotest.test_case "gc collects" `Quick test_gc_collects;
+          Alcotest.test_case "auto gc trigger" `Quick test_auto_gc_trigger;
         ] );
       ("export", [ Alcotest.test_case "dot" `Quick test_dot_export ]);
       ("properties", props);
