@@ -8,8 +8,9 @@
               dune exec bench/main.exe -- e16 --smoke (small sizes, CI)
 
    Each experiment additionally writes machine-readable results to
-   BENCH_<id>.json in the working directory: every bechamel timing plus
-   any experiment-specific metrics (e.g. e16's GC counters). *)
+   BENCH_<id>.json in the working directory: every bechamel timing, any
+   experiment-specific metrics (e.g. e16's GC counters), and the full
+   Qdt_obs metrics registry accumulated while the experiment ran. *)
 
 open Bechamel
 open Toolkit
@@ -53,7 +54,11 @@ let write_json ~experiment ~smoke =
   Printf.fprintf oc "{\n  \"experiment\": \"%s\",\n  \"smoke\": %b,\n" (json_escape experiment) smoke;
   Printf.fprintf oc "  \"timings_ns\": {\n%s\n  },\n"
     (obj (List.rev_map (fun (k, ns) -> (k, Printf.sprintf "%.1f" ns)) !json_timings));
-  Printf.fprintf oc "  \"metrics\": {\n%s\n  }\n}\n" (obj (List.rev !json_metrics));
+  Printf.fprintf oc "  \"metrics\": {\n%s\n  },\n" (obj (List.rev !json_metrics));
+  (* Everything the Qdt_obs registry accumulated while this experiment ran
+     (the driver resets it per experiment). *)
+  Printf.fprintf oc "  \"obs_metrics\": %s\n}\n"
+    (Qdt.Obs.Metrics.to_json (Qdt.Obs.Metrics.snapshot ()));
   close_out oc;
   Printf.printf "wrote %s\n" file
 
@@ -752,12 +757,13 @@ let e16_run ~gc_threshold c =
   let st = Qdt.Dd.Sim.make mgr (Circuit.num_qubits c) in
   let rng = Random.State.make [| 0 |] in
   let clbits = Array.make (max 1 (Circuit.num_clbits c)) 0 in
-  let (), wall =
+  let (), measure =
     Qdt.Backend.timed (fun () ->
         List.iter
           (fun instr -> Qdt.Dd.Sim.apply_instruction st instr ~rng ~clbits)
           (Circuit.instructions c))
   in
+  let wall = measure.Qdt.Backend.wall_s in
   let stats = Qdt.Dd.Pkg.cache_stats mgr in
   let rate h l = if l = 0 then 0.0 else 100.0 *. float_of_int h /. float_of_int l in
   ( wall,
@@ -818,6 +824,131 @@ let e16 ~smoke () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* E17: observability overhead — traced vs untraced simulation         *)
+(* ------------------------------------------------------------------ *)
+
+(* The observability contract (DESIGN.md): a disabled instrumentation site
+   costs one flag check.  This experiment measures three things on a deep
+   Clifford+T DD simulation:
+     1. wall time with both subsystems disabled (the shipping default),
+     2. wall time with metrics enabled,
+     3. wall time with tracing enabled;
+   and then bounds the *disabled-mode* overhead directly: the per-call
+   cost of a disabled primitive (measured in a tight loop) times the
+   number of instrumentation calls the run executes (counted by running
+   once with metrics on).  The experiment FAILS if that bound exceeds 2%
+   of the untraced runtime. *)
+
+let e17_overhead_budget_pct = 2.0
+
+let e17 ~smoke () =
+  header "E17" "Observability overhead: traced vs untraced deep Clifford+T";
+  let n = if smoke then 8 else 10 in
+  let gates = if smoke then 400 else 2000 in
+  let c = Generators.random_clifford_t ~seed:11 ~gates ~t_fraction:0.2 n in
+  let reps = if smoke then 3 else 5 in
+  let run_once () =
+    let mgr = Qdt.Dd.Pkg.create () in
+    let st = Qdt.Dd.Sim.make mgr (Circuit.num_qubits c) in
+    let rng = Random.State.make [| 0 |] in
+    let clbits = Array.make (max 1 (Circuit.num_clbits c)) 0 in
+    List.iter
+      (fun instr -> Qdt.Dd.Sim.apply_instruction st instr ~rng ~clbits)
+      (Circuit.instructions c)
+  in
+  let time_reps () =
+    (* best-of-reps damps scheduler noise for a fair ratio *)
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Qdt.Obs.Clock.now_ns () in
+      run_once ();
+      best := Float.min !best (float_of_int (Qdt.Obs.Clock.elapsed_ns t0))
+    done;
+    !best
+  in
+  (* Both subsystems off: the shipping default and the e17 baseline. *)
+  Qdt.Obs.Metrics.set_enabled false;
+  Qdt.Obs.Trace.set_enabled false;
+  run_once () (* warm up *);
+  let t_disabled = time_reps () in
+  (* Metrics on. *)
+  Qdt.Obs.Metrics.set_enabled true;
+  let t_metrics = time_reps () in
+  (* Count the instrumentation calls one run executes: per instruction one
+     counter increment plus a begin/end span bracket, and per compute-cache
+     probe a lookup increment plus (on hit) a hit increment. *)
+  Qdt.Obs.Metrics.reset ();
+  run_once ();
+  let counted name =
+    match List.assoc_opt name (Qdt.Obs.Metrics.flatten (Qdt.Obs.Metrics.snapshot ())) with
+    | Some v -> int_of_float v
+    | None -> 0
+  in
+  let instr_sites = counted "dd.gates" + counted "dd.measurements" in
+  let ops_per_run =
+    (3 * instr_sites) + counted "dd.cache.lookups" + counted "dd.cache.hits"
+    + (4 * counted "dd.gc.runs")
+  in
+  Qdt.Obs.Metrics.set_enabled false;
+  (* Tracing on (ring sized so nothing wraps mid-measurement). *)
+  Qdt.Obs.Trace.configure ~capacity:(1 lsl 18) ();
+  Qdt.Obs.Trace.set_enabled true;
+  let t_traced = time_reps () in
+  Qdt.Obs.Trace.set_enabled false;
+  Qdt.Obs.Trace.clear ();
+  (* Per-call cost of a disabled primitive, measured in a tight loop. *)
+  let probe = Qdt.Obs.Metrics.counter "e17.probe" in
+  let probe_iters = 5_000_000 in
+  let t0 = Qdt.Obs.Clock.now_ns () in
+  for _ = 1 to probe_iters do
+    Qdt.Obs.Metrics.incr probe;
+    Qdt.Obs.Trace.emit_begin "e17.probe"
+  done;
+  let per_op_ns =
+    float_of_int (Qdt.Obs.Clock.elapsed_ns t0) /. float_of_int (2 * probe_iters)
+  in
+  let disabled_bound_pct =
+    100.0 *. (float_of_int ops_per_run *. per_op_ns) /. t_disabled
+  in
+  let pct t = 100.0 *. ((t -. t_disabled) /. t_disabled) in
+  Printf.printf "workload: random Clifford+T, n=%d, %d gates (DD backend, %d reps, best-of)\n\n"
+    n gates reps;
+  Printf.printf "  untraced (obs disabled)   %9.2f ms\n" (t_disabled /. 1e6);
+  Printf.printf "  metrics enabled           %9.2f ms  (%+.2f%%)\n" (t_metrics /. 1e6) (pct t_metrics);
+  Printf.printf "  trace enabled             %9.2f ms  (%+.2f%%)\n" (t_traced /. 1e6) (pct t_traced);
+  Printf.printf "\n  instrumentation calls per run: %d (%.1f per gate)\n" ops_per_run
+    (float_of_int ops_per_run /. float_of_int (max 1 instr_sites));
+  Printf.printf "  disabled primitive cost: %.2f ns/call\n" per_op_ns;
+  Printf.printf "  disabled-mode overhead bound: %.3f%% of untraced wall (budget: %.1f%%)\n"
+    disabled_bound_pct e17_overhead_budget_pct;
+  metric_float "untraced_wall_ms" (t_disabled /. 1e6);
+  metric_float "metrics_wall_ms" (t_metrics /. 1e6);
+  metric_float "traced_wall_ms" (t_traced /. 1e6);
+  metric_float "metrics_overhead_pct" (pct t_metrics);
+  metric_float "traced_overhead_pct" (pct t_traced);
+  metric_int "instrumentation_calls_per_run" ops_per_run;
+  metric_float "disabled_per_call_ns" per_op_ns;
+  metric_float "disabled_overhead_bound_pct" disabled_bound_pct;
+  metric_float "disabled_overhead_budget_pct" e17_overhead_budget_pct;
+  if disabled_bound_pct > e17_overhead_budget_pct then begin
+    Printf.eprintf
+      "E17 FAILED: disabled-mode observability overhead bound %.3f%% exceeds the %.1f%% budget\n"
+      disabled_bound_pct e17_overhead_budget_pct;
+    exit 1
+  end;
+  Qdt.Obs.Metrics.set_enabled true;
+  run_timings ~name:"e17"
+    [
+      bench "deep-clifford-t-untraced" (fun () ->
+          Qdt.Obs.Metrics.set_enabled false;
+          Qdt.Obs.Trace.set_enabled false;
+          run_once ());
+      bench "deep-clifford-t-metrics" (fun () ->
+          Qdt.Obs.Metrics.set_enabled true;
+          run_once ());
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -841,6 +972,7 @@ let experiments : (string * (smoke:bool -> unit)) list =
     ("e14", fun ~smoke:_ -> e14 ());
     ("e15", fun ~smoke:_ -> e15 ());
     ("e16", fun ~smoke -> e16 ~smoke ());
+    ("e17", fun ~smoke -> e17 ~smoke ());
   ]
 
 let () =
@@ -861,11 +993,16 @@ let () =
     if !selected = [] then experiments
     else List.filter (fun (name, _) -> List.mem name !selected) experiments
   in
-  print_endline "QDT benchmark harness — experiments E1..E16 (see DESIGN.md / EXPERIMENTS.md)";
+  print_endline "QDT benchmark harness — experiments E1..E17 (see DESIGN.md / EXPERIMENTS.md)";
   List.iter
     (fun (name, fn) ->
       json_timings := [];
       json_metrics := [];
+      (* Per-experiment Qdt_obs accounting: the registry totals are
+         embedded into BENCH_<id>.json by [write_json].  (E17 toggles the
+         flag itself to measure the disabled path.) *)
+      Qdt.Obs.Metrics.set_enabled true;
+      Qdt.Obs.Metrics.reset ();
       fn ~smoke:!smoke;
       write_json ~experiment:name ~smoke:!smoke)
     to_run;

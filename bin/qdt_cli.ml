@@ -31,6 +31,51 @@ let bitstring n k =
   String.init n (fun i -> if k land (1 lsl (n - 1 - i)) <> 0 then '1' else '0')
 
 (* ------------------------------------------------------------------ *)
+(* Observability flags (shared by simulate / compile / verify)         *)
+(* ------------------------------------------------------------------ *)
+
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Record nested spans of the run and write them to FILE \
+               (Chrome trace-event JSON by default — load it in Perfetto \
+               or chrome://tracing).")
+
+let trace_format_arg =
+  Arg.(value & opt (enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ]) `Chrome
+       & info [ "trace-format" ] ~docv:"FORMAT"
+           ~doc:"Trace output format: chrome (one JSON document) or jsonl \
+                 (one event per line).")
+
+let metrics_arg =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Enable the metrics registry (counters, gauges, histograms) \
+               and print every instrument after the run.")
+
+(* [with_obs] enables the requested subsystems, runs [f], then exports the
+   trace and prints the metrics.  Early [exit]s inside [f] skip the export
+   on purpose: a partial trace of a failed run would be misleading. *)
+let with_obs ~trace ~trace_format ~metrics f =
+  if metrics then Qdt.Obs.Metrics.set_enabled true;
+  if trace <> None then Qdt.Obs.Trace.set_enabled true;
+  let result = f () in
+  (match trace with
+  | None -> ()
+  | Some path ->
+      (match trace_format with
+      | `Chrome -> Qdt.Obs.Trace.export_chrome path
+      | `Jsonl -> Qdt.Obs.Trace.export_jsonl path);
+      let n = List.length (Qdt.Obs.Trace.events ()) in
+      let dropped = Qdt.Obs.Trace.dropped_events () in
+      if dropped > 0 then
+        Printf.eprintf "trace: ring full, %d oldest events dropped\n%!" dropped;
+      Printf.printf "trace: wrote %d events to %s\n" n path);
+  if metrics then begin
+    print_string "metrics:\n";
+    print_string (Qdt.Obs.Metrics.render (Qdt.Obs.Metrics.snapshot ()))
+  end;
+  result
+
+(* ------------------------------------------------------------------ *)
 (* show                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -61,7 +106,8 @@ let backend_failure err =
   exit 1
 
 let simulate_cmd =
-  let run c backend_name shots seed threshold gc_threshold cache_bits =
+  let run c backend_name shots seed threshold gc_threshold cache_bits trace
+      trace_format metrics =
     (* The registry hands out backends behind the fixed BACKEND signature,
        so DD memory-management knobs travel through the package defaults. *)
     (match gc_threshold with
@@ -97,6 +143,7 @@ let simulate_cmd =
         (Circuit.instructions c)
     in
     let n = Circuit.num_qubits c in
+    with_obs ~trace ~trace_format ~metrics @@ fun () ->
     if shots = 0 then begin
       match B.simulate unitary_part with
       | Error err -> backend_failure err
@@ -141,7 +188,8 @@ let simulate_cmd =
   in
   let term =
     Term.(const run $ file_pos ~doc:"OpenQASM file to simulate" 0 $ backend_arg $ shots $ seed
-          $ threshold $ gc_threshold $ cache_bits)
+          $ threshold $ gc_threshold $ cache_bits $ trace_arg $ trace_format_arg
+          $ metrics_arg)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate a circuit with a chosen data structure") term
 
@@ -193,8 +241,11 @@ let coupling_arg =
   Arg.conv (parse, print)
 
 let compile_cmd =
-  let run c coupling no_optimize output =
-    let compiled = Qdt.compile ~optimize:(not no_optimize) ~coupling c in
+  let run c coupling no_optimize output trace trace_format metrics =
+    let compiled =
+      with_obs ~trace ~trace_format ~metrics (fun () ->
+          Qdt.compile ~optimize:(not no_optimize) ~coupling c)
+    in
     Printf.printf "added swaps: %d  removed gates: %d  depth: %d -> %d\n"
       compiled.Qdt.added_swaps compiled.Qdt.removed_gates (Circuit.depth c)
       (Circuit.depth compiled.Qdt.circuit);
@@ -214,7 +265,8 @@ let compile_cmd =
   let no_optimize = Arg.(value & flag & info [ "no-optimize" ] ~doc:"Skip peephole optimization.") in
   let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE") in
   let term =
-    Term.(const run $ file_pos ~doc:"OpenQASM file to compile" 0 $ coupling $ no_optimize $ output)
+    Term.(const run $ file_pos ~doc:"OpenQASM file to compile" 0 $ coupling $ no_optimize $ output
+          $ trace_arg $ trace_format_arg $ metrics_arg)
   in
   Cmd.v (Cmd.info "compile" ~doc:"Route a circuit onto a coupling map and optimize it") term
 
@@ -223,8 +275,10 @@ let compile_cmd =
 (* ------------------------------------------------------------------ *)
 
 let verify_cmd =
-  let run c1 c2 checker =
-    let verdict = Qdt.equivalent ~checker c1 c2 in
+  let run c1 c2 checker trace trace_format metrics =
+    let verdict =
+      with_obs ~trace ~trace_format ~metrics (fun () -> Qdt.equivalent ~checker c1 c2)
+    in
     Printf.printf "%s: %s\n" (Qdt.checker_name checker)
       (Qdt.Verify.Equiv.verdict_to_string verdict);
     match verdict with
@@ -240,7 +294,7 @@ let verify_cmd =
     Term.(const run
           $ file_pos ~doc:"First OpenQASM file" 0
           $ file_pos ~doc:"Second OpenQASM file" 1
-          $ checker)
+          $ checker $ trace_arg $ trace_format_arg $ metrics_arg)
   in
   Cmd.v (Cmd.info "verify" ~doc:"Check two circuits for equivalence") term
 

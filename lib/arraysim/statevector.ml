@@ -137,14 +137,34 @@ let measure_qubit sv ~rng q =
   renormalise sv;
   bit
 
+(* Observability: instruments are bound once at module init, and the trace
+   brackets are manual [emit_begin]/[emit_end] pairs — no closure allocation
+   on the per-instruction path, one flag check each when disabled. *)
+let m_gates = Qdt_obs.Metrics.counter "sv.gates"
+let m_measurements = Qdt_obs.Metrics.counter "sv.measurements"
+
 let apply_instruction sv instr ~rng ~clbits =
   match instr with
-  | Circuit.Apply { gate; controls; target } -> apply_gate sv gate ~controls ~target
-  | Circuit.Swap { controls; a; b } -> apply_swap sv ~controls a b
-  | Circuit.Measure { qubit; clbit } -> clbits.(clbit) <- measure_qubit sv ~rng qubit
+  | Circuit.Apply { gate; controls; target } ->
+      Qdt_obs.Trace.emit_begin "sv.gate";
+      Qdt_obs.Metrics.incr m_gates;
+      apply_gate sv gate ~controls ~target;
+      Qdt_obs.Trace.emit_end "sv.gate"
+  | Circuit.Swap { controls; a; b } ->
+      Qdt_obs.Trace.emit_begin "sv.gate";
+      Qdt_obs.Metrics.incr m_gates;
+      apply_swap sv ~controls a b;
+      Qdt_obs.Trace.emit_end "sv.gate"
+  | Circuit.Measure { qubit; clbit } ->
+      Qdt_obs.Trace.emit_begin "sv.measure";
+      Qdt_obs.Metrics.incr m_measurements;
+      clbits.(clbit) <- measure_qubit sv ~rng qubit;
+      Qdt_obs.Trace.emit_end "sv.measure"
   | Circuit.Reset q ->
+      Qdt_obs.Trace.emit_begin "sv.reset";
       let bit = measure_qubit sv ~rng q in
-      if bit = 1 then apply_gate sv Gate.X ~controls:[] ~target:q
+      if bit = 1 then apply_gate sv Gate.X ~controls:[] ~target:q;
+      Qdt_obs.Trace.emit_end "sv.reset"
   | Circuit.Barrier _ -> ()
 
 let run ?(seed = 0) circuit =
@@ -172,6 +192,7 @@ let expectation_z sv q =
   !acc
 
 let sample ?(seed = 0) sv ~shots =
+  Qdt_obs.Trace.with_span "sv.sample" @@ fun () ->
   let rng = Random.State.make [| seed |] in
   let probs = probabilities sv in
   let counts = Hashtbl.create 64 in

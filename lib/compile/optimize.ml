@@ -159,7 +159,11 @@ let merge_rotations circuit =
       | _ -> Keep)
     circuit
 
+let m_removed = Qdt_obs.Metrics.counter "compile.gates_removed"
+let m_merged = Qdt_obs.Metrics.counter "compile.gates_merged"
+
 let optimize circuit =
+  Qdt_obs.Trace.with_span "compile.peephole" @@ fun () ->
   let rec loop c acc_removed acc_merged rounds =
     if rounds = 0 then (c, { removed = acc_removed; merged = acc_merged })
     else
@@ -173,4 +177,7 @@ let optimize circuit =
           (acc_merged + s1.merged + s2.merged)
           (rounds - 1)
   in
-  loop circuit 0 0 20
+  let optimized, stats = loop circuit 0 0 20 in
+  Qdt_obs.Metrics.add m_removed stats.removed;
+  Qdt_obs.Metrics.add m_merged stats.merged;
+  (optimized, stats)

@@ -18,7 +18,10 @@ let respects circuit coupling =
 
 let apply_layout_permutation ~layout c = Circuit.remap (fun q -> layout.(q)) c
 
+let m_swaps = Qdt_obs.Metrics.counter "compile.swaps_added"
+
 let route ?initial_layout circuit coupling =
+  Qdt_obs.Trace.with_span "compile.route" @@ fun () ->
   let n = Circuit.num_qubits circuit in
   if Coupling.num_qubits coupling < n then
     invalid_arg "Router.route: coupling map too small";
@@ -83,6 +86,7 @@ let route ?initial_layout circuit coupling =
       | Circuit.Apply _ | Circuit.Swap _ ->
           invalid_arg "Router.route: lowering left a >2-qubit instruction")
     (Circuit.instructions lowered);
+  Qdt_obs.Metrics.add m_swaps !added_swaps;
   {
     routed = !out;
     initial_layout;

@@ -31,12 +31,23 @@ type dd_stats = {
 
 type mps_stats = { max_bond_dim : int; truncation_error : float }
 
+(* OCaml-heap telemetry captured around each run (Gc.quick_stat deltas),
+   so memory claims are measured rather than inferred from data-structure
+   byte counts. *)
+type heap_stats = {
+  minor_words : float;
+  major_words : float;
+  top_heap_words : int;
+}
+
 type stats = {
   backend : string;
   wall_s : float;
   dd : dd_stats option;
   mps : mps_stats option;
   tableau_bytes : int option;
+  heap : heap_stats option;
+  metrics : (string * float) list;
   note : string option;
 }
 
@@ -63,13 +74,62 @@ let unsupported ~backend ~operation reason =
 let error_to_string e =
   Printf.sprintf "backend %s does not support %s: %s" e.backend e.operation e.reason
 
-let base_stats ?note name wall_s =
-  { backend = name; wall_s; dd = None; mps = None; tableau_bytes = None; note }
+(* Everything [timed] observed about one run: wall clock (via the shared
+   monotonic clock), heap activity, and — when metrics are enabled — the
+   change in every registered instrument over the run. *)
+type measure = {
+  wall_s : float;
+  heap : heap_stats;
+  metrics : (string * float) list;
+}
 
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  let result = f () in
-  (result, Unix.gettimeofday () -. t0)
+let base_stats ?note name (m : measure) =
+  {
+    backend = name;
+    wall_s = m.wall_s;
+    dd = None;
+    mps = None;
+    tableau_bytes = None;
+    heap = Some m.heap;
+    metrics = m.metrics;
+    note;
+  }
+
+let timed ?span f =
+  let run () =
+    let g0 = Gc.quick_stat () in
+    let t0 = Qdt_obs.Clock.now_ns () in
+    let result = f () in
+    let elapsed = Qdt_obs.Clock.elapsed_ns t0 in
+    let g1 = Gc.quick_stat () in
+    (result, elapsed, g0, g1)
+  in
+  let before =
+    if Qdt_obs.Metrics.enabled () then Some (Qdt_obs.Metrics.snapshot ()) else None
+  in
+  let result, elapsed, g0, g1 =
+    match span with
+    | Some name -> Qdt_obs.Trace.with_span name run
+    | None -> run ()
+  in
+  let metrics =
+    match before with
+    | None -> []
+    | Some before ->
+        Qdt_obs.Metrics.flatten
+          (Qdt_obs.Metrics.diff ~before ~after:(Qdt_obs.Metrics.snapshot ()))
+  in
+  ( result,
+    {
+      wall_s = Qdt_obs.Clock.ns_to_s elapsed;
+      heap =
+        {
+          minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+          major_words = g1.Gc.major_words -. g0.Gc.major_words;
+          top_heap_words = g1.Gc.top_heap_words;
+        };
+      metrics;
+    } )
 
 let stats_to_string (s : stats) =
   let b = Buffer.create 128 in
@@ -96,6 +156,20 @@ let stats_to_string (s : stats) =
   (match s.tableau_bytes with
   | Some bytes -> Buffer.add_string b (Printf.sprintf " tableau{bytes=%d}" bytes)
   | None -> ());
+  (match s.heap with
+  | Some h ->
+      Buffer.add_string b
+        (Printf.sprintf " heap{minor-mw=%.3f major-mw=%.3f top-heap-mw=%.3f}"
+           (h.minor_words /. 1e6) (h.major_words /. 1e6)
+           (float_of_int h.top_heap_words /. 1e6))
+  | None -> ());
+  (match s.metrics with
+  | [] -> ()
+  | metrics ->
+      Buffer.add_string b "\nmetrics:";
+      List.iter
+        (fun (k, v) -> Buffer.add_string b (Printf.sprintf " %s=%g" k v))
+        metrics);
   (match s.note with
   | Some note -> Buffer.add_string b (Printf.sprintf "\nchoice: %s" note)
   | None -> ());

@@ -34,13 +34,25 @@ type dd_stats = {
 (** Matrix-product-state telemetry ({!Qdt_tensornet.Mps}). *)
 type mps_stats = { max_bond_dim : int; truncation_error : float }
 
+(** OCaml-heap telemetry: [Gc.quick_stat] deltas captured around the run
+    by {!timed}, so memory claims are measured rather than inferred. *)
+type heap_stats = {
+  minor_words : float;  (** words allocated in the minor heap during the run *)
+  major_words : float;  (** words allocated in the major heap during the run *)
+  top_heap_words : int;  (** process-lifetime peak major-heap size *)
+}
+
 (** The unified run record: every backend operation returns one. *)
 type stats = {
   backend : string;  (** backend that actually ran (Auto reports its pick) *)
-  wall_s : float;  (** wall-clock seconds *)
+  wall_s : float;  (** wall-clock seconds (shared clock: {!Qdt_obs.Clock}) *)
   dd : dd_stats option;
   mps : mps_stats option;
   tableau_bytes : int option;  (** stabilizer tableau footprint *)
+  heap : heap_stats option;
+  metrics : (string * float) list;
+      (** change in every {!Qdt_obs.Metrics} instrument over the run;
+          empty unless metrics were enabled *)
   note : string option;  (** Auto: why this backend was chosen *)
 }
 
@@ -60,10 +72,20 @@ val supports : capabilities -> operation -> bool
 val unsupported : backend:string -> operation:operation -> string -> ('a, error) result
 val error_to_string : error -> string
 
-val base_stats : ?note:string -> string -> float -> stats
+(** Everything {!timed} observed about one run. *)
+type measure = {
+  wall_s : float;
+  heap : heap_stats;
+  metrics : (string * float) list;
+}
 
-(** [timed f] — run [f] and return its result with elapsed wall seconds. *)
-val timed : (unit -> 'a) -> 'a * float
+val base_stats : ?note:string -> string -> measure -> stats
+
+(** [timed ?span f] — run [f] and return its result with the run's
+    measure: wall time on the shared monotonic clock, heap activity, and
+    (when metrics are enabled) the per-instrument change.  With [?span]
+    the run is additionally bracketed in a {!Qdt_obs.Trace} span. *)
+val timed : ?span:string -> (unit -> 'a) -> 'a * measure
 
 val stats_to_string : stats -> string
 val pp_stats : Format.formatter -> stats -> unit

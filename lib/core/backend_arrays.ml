@@ -20,32 +20,34 @@ let admit operation c = Backend.admit ~name ~caps:capabilities ~operation c
 
 let ( let* ) r f = Result.bind r f
 
-let stats wall = Backend.base_stats name wall
+let stats m = Backend.base_stats name m
 
 let simulate c =
   let* () = admit Backend.Full_state c in
-  let state, wall = Backend.timed (fun () -> Sv.run_unitary c) in
-  Ok (Sv.to_vec state, stats wall)
+  let state, m = Backend.timed ~span:"arrays.simulate" (fun () -> Sv.run_unitary c) in
+  Ok (Sv.to_vec state, stats m)
 
 let amplitude c k =
   let* () = admit Backend.Amplitude c in
-  let amp, wall = Backend.timed (fun () -> Sv.amplitude (Sv.run_unitary c) k) in
-  Ok (amp, stats wall)
+  let amp, m =
+    Backend.timed ~span:"arrays.amplitude" (fun () -> Sv.amplitude (Sv.run_unitary c) k)
+  in
+  Ok (amp, stats m)
 
 let sample ?(seed = 0) ~shots c =
   let* () = admit Backend.Sample c in
-  let counts, wall =
-    Backend.timed (fun () ->
+  let counts, m =
+    Backend.timed ~span:"arrays.sample" (fun () ->
         let state, _clbits = Sv.run ~seed c in
         Sv.sample ~seed:(seed + 1) state ~shots)
   in
-  Ok (counts, stats wall)
+  Ok (counts, stats m)
 
 let expectation_z ?(seed = 0) c q =
   let* () = admit Backend.Expectation_z c in
-  let v, wall =
-    Backend.timed (fun () ->
+  let v, m =
+    Backend.timed ~span:"arrays.expectation-z" (fun () ->
         let state, _clbits = Sv.run ~seed c in
         Sv.expectation_z state q)
   in
-  Ok (v, stats wall)
+  Ok (v, stats m)

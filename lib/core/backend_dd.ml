@@ -39,13 +39,13 @@ let run_tracked ~seed c =
 
 let rate hits lookups = if lookups = 0 then 0.0 else float_of_int hits /. float_of_int lookups
 
-let stats_of ~wall ~peak st =
+let stats_of ~m ~peak st =
   let mgr = Sim.manager st in
   let c = Pkg.cache_stats mgr in
   let slots = List.fold_left (fun acc t -> acc + t.Pkg.slots) 0 c.Pkg.caches in
   let fill = List.fold_left (fun acc t -> acc + t.Pkg.fill) 0 c.Pkg.caches in
   {
-    (Backend.base_stats name wall) with
+    (Backend.base_stats name m) with
     Backend.dd =
       Some
         {
@@ -64,28 +64,28 @@ let stats_of ~wall ~peak st =
 
 let simulate c =
   let* () = admit Backend.Full_state c in
-  let (st, peak), wall = Backend.timed (fun () -> run_tracked ~seed:0 c) in
-  Ok (Sim.to_vec st, stats_of ~wall ~peak st)
+  let (st, peak), m = Backend.timed ~span:"dd.simulate" (fun () -> run_tracked ~seed:0 c) in
+  Ok (Sim.to_vec st, stats_of ~m ~peak st)
 
 let amplitude c k =
   let* () = admit Backend.Amplitude c in
-  let (st, peak), wall = Backend.timed (fun () -> run_tracked ~seed:0 c) in
-  Ok (Sim.amplitude st k, stats_of ~wall ~peak st)
+  let (st, peak), m = Backend.timed ~span:"dd.amplitude" (fun () -> run_tracked ~seed:0 c) in
+  Ok (Sim.amplitude st k, stats_of ~m ~peak st)
 
 let sample ?(seed = 0) ~shots c =
   let* () = admit Backend.Sample c in
-  let ((st, peak), counts), wall =
-    Backend.timed (fun () ->
+  let ((st, peak), counts), m =
+    Backend.timed ~span:"dd.sample" (fun () ->
         let st, peak = run_tracked ~seed c in
         ((st, peak), Sim.sample ~seed:(seed + 1) st ~shots))
   in
-  Ok (counts, stats_of ~wall ~peak st)
+  Ok (counts, stats_of ~m ~peak st)
 
 let expectation_z ?(seed = 0) c q =
   let* () = admit Backend.Expectation_z c in
-  let ((st, peak), v), wall =
-    Backend.timed (fun () ->
+  let ((st, peak), v), m =
+    Backend.timed ~span:"dd.expectation-z" (fun () ->
         let st, peak = run_tracked ~seed c in
         ((st, peak), Sim.expectation_z st q))
   in
-  Ok (v, stats_of ~wall ~peak st)
+  Ok (v, stats_of ~m ~peak st)

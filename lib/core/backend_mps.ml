@@ -29,9 +29,9 @@ let max_dense_qubits = 22
 
 let run c = Mps.run (Decompose.lower ~basis:Decompose.Two_qubit c)
 
-let stats_of wall mps =
+let stats_of m mps =
   {
-    (Backend.base_stats name wall) with
+    (Backend.base_stats name m) with
     Backend.mps =
       Some
         {
@@ -47,37 +47,37 @@ let simulate c =
       (Printf.sprintf "densifying %d qubits exceeds the %d-qubit dense limit"
          (Circuit.num_qubits c) max_dense_qubits)
   else
-    let (mps, state), wall =
-      Backend.timed (fun () ->
+    let (mps, state), m =
+      Backend.timed ~span:"mps.simulate" (fun () ->
           let mps = run c in
           (mps, Mps.to_vec mps))
     in
-    Ok (state, stats_of wall mps)
+    Ok (state, stats_of m mps)
 
 let amplitude c k =
   let* () = admit Backend.Amplitude c in
-  let (mps, amp), wall =
-    Backend.timed (fun () ->
+  let (mps, amp), m =
+    Backend.timed ~span:"mps.amplitude" (fun () ->
         let mps = run c in
         (mps, Mps.amplitude mps k))
   in
-  Ok (amp, stats_of wall mps)
+  Ok (amp, stats_of m mps)
 
 let sample ?(seed = 0) ~shots c =
   let* () = admit Backend.Sample c in
-  let (mps, counts), wall =
-    Backend.timed (fun () ->
+  let (mps, counts), m =
+    Backend.timed ~span:"mps.sample" (fun () ->
         let mps = run c in
         (mps, Mps.sample ~seed:(seed + 1) mps ~shots))
   in
-  Ok (counts, stats_of wall mps)
+  Ok (counts, stats_of m mps)
 
 let expectation_z ?seed c q =
   ignore seed;
   let* () = admit Backend.Expectation_z c in
-  let (mps, v), wall =
-    Backend.timed (fun () ->
+  let (mps, v), m =
+    Backend.timed ~span:"mps.expectation-z" (fun () ->
         let mps = run c in
         (mps, Mps.expectation_z mps q))
   in
-  Ok (v, stats_of wall mps)
+  Ok (v, stats_of m mps)

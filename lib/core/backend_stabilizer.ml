@@ -26,9 +26,9 @@ let admit operation c =
     Backend.unsupported ~backend:name ~operation
       "circuit contains non-Clifford gates"
 
-let stats_of wall tab =
+let stats_of m tab =
   {
-    (Backend.base_stats name wall) with
+    (Backend.base_stats name m) with
     Backend.tableau_bytes = Some (Tableau.memory_bytes tab);
   }
 
@@ -45,18 +45,18 @@ let amplitude c k =
 
 let sample ?(seed = 0) ~shots c =
   let* () = admit Backend.Sample c in
-  let (tab, counts), wall =
-    Backend.timed (fun () ->
+  let (tab, counts), m =
+    Backend.timed ~span:"stabilizer.sample" (fun () ->
         let tab, _clbits = Tableau.run ~seed c in
         (tab, Tableau.sample ~seed:(seed + 1) tab ~shots))
   in
-  Ok (counts, stats_of wall tab)
+  Ok (counts, stats_of m tab)
 
 let expectation_z ?(seed = 0) c q =
   let* () = admit Backend.Expectation_z c in
-  let (tab, v), wall =
-    Backend.timed (fun () ->
+  let (tab, v), m =
+    Backend.timed ~span:"stabilizer.expectation-z" (fun () ->
         let tab, _clbits = Tableau.run ~seed c in
         (tab, Float.of_int (Tableau.expectation_z tab q)))
   in
-  Ok (v, stats_of wall tab)
+  Ok (v, stats_of m tab)

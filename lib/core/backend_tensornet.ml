@@ -22,21 +22,21 @@ let admit operation c = Backend.admit ~name ~caps:capabilities ~operation c
 
 let ( let* ) r f = Result.bind r f
 
-let stats wall = Backend.base_stats name wall
+let stats m = Backend.base_stats name m
 
 let simulate c =
   let* () = admit Backend.Full_state c in
-  let (state, _contraction), wall =
-    Backend.timed (fun () -> Tn.statevector (Tn.of_circuit c))
+  let (state, _contraction), m =
+    Backend.timed ~span:"tn.simulate" (fun () -> Tn.statevector (Tn.of_circuit c))
   in
-  Ok (state, stats wall)
+  Ok (state, stats m)
 
 let amplitude c k =
   let* () = admit Backend.Amplitude c in
-  let (amp, _contraction), wall =
-    Backend.timed (fun () -> Tn.amplitude (Tn.of_circuit c) k)
+  let (amp, _contraction), m =
+    Backend.timed ~span:"tn.amplitude" (fun () -> Tn.amplitude (Tn.of_circuit c) k)
   in
-  Ok (amp, stats wall)
+  Ok (amp, stats m)
 
 let sample ?seed ~shots c =
   ignore seed;
@@ -50,5 +50,7 @@ let sample ?seed ~shots c =
 let expectation_z ?seed c q =
   ignore seed;
   let* () = admit Backend.Expectation_z c in
-  let (v, _contraction), wall = Backend.timed (fun () -> Tn.expectation_z c q) in
-  Ok (v, stats wall)
+  let (v, _contraction), m =
+    Backend.timed ~span:"tn.expectation-z" (fun () -> Tn.expectation_z c q)
+  in
+  Ok (v, stats m)

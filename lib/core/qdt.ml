@@ -7,6 +7,7 @@ module Zx = Qdt_zx
 module Compile = Qdt_compile
 module Verify = Qdt_verify
 module Stabilizer = Qdt_stabilizer
+module Obs = Qdt_obs
 
 (* The backend layer: module type + capabilities + stats, the registry of
    adapters, and the portfolio dispatcher. *)

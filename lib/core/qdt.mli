@@ -24,6 +24,13 @@ module Compile = Qdt_compile
 module Verify = Qdt_verify
 module Stabilizer = Qdt_stabilizer
 
+(** Observability: {!Qdt_obs.Metrics} (counters / gauges / histograms),
+    {!Qdt_obs.Trace} (nested spans, Chrome-trace and JSONL exporters) and
+    {!Qdt_obs.Clock} (the shared monotonic clock).  Both subsystems are
+    off by default and cost one flag check per instrumentation site until
+    enabled. *)
+module Obs = Qdt_obs
+
 (** {1 The backend layer}
 
     {!Backend} defines the [BACKEND] module type (capability record,

@@ -43,13 +43,21 @@ module Ccache = struct
     let h = (k1 * 0x9e3779b1) lxor (k2 * 0x85ebca77) lxor (k3 * 0xc2b2ae35) in
     (h lxor (h lsr 17)) land t.mask
 
+  (* Process-global compute-cache counters shared by every manager — the
+     per-manager tallies above feed [cache_stats]; these feed the metrics
+     registry (one flag check each when disabled). *)
+  let m_lookups = Qdt_obs.Metrics.counter "dd.cache.lookups"
+  let m_hits = Qdt_obs.Metrics.counter "dd.cache.hits"
+
   let find t k1 k2 k3 =
     t.lookups <- t.lookups + 1;
+    Qdt_obs.Metrics.incr m_lookups;
     if Array.length t.slots = 0 then None
     else
       match t.slots.(index t k1 k2 k3) with
       | Slot s when s.k1 = k1 && s.k2 = k2 && s.k3 = k3 ->
           t.hits <- t.hits + 1;
+          Qdt_obs.Metrics.incr m_hits;
           Some s.v
       | _ -> None
 
@@ -233,7 +241,16 @@ let clear_caches mgr =
   Ccache.clear mgr.inner_cache;
   Ccache.clear mgr.trace_cache
 
+(* Observability: instruments bound once at module init; recording is a
+   single flag check when disabled. *)
+let m_gc_runs = Qdt_obs.Metrics.counter "dd.gc.runs"
+let m_gc_collected = Qdt_obs.Metrics.counter "dd.gc.nodes_collected"
+let m_gc_pause = Qdt_obs.Metrics.histogram "dd.gc.pause_ns"
+let m_live_nodes = Qdt_obs.Metrics.gauge "dd.live_nodes"
+
 let gc (mgr : t) =
+  Qdt_obs.Trace.emit_begin "dd.gc";
+  let t0 = Qdt_obs.Clock.now_ns () in
   mgr.peak_nodes <- max mgr.peak_nodes (Hashtbl.length mgr.unique);
   (* Mark: everything reachable from a pinned node stays, as do the
      complex ids those nodes' edges (and pinned root edges) use. *)
@@ -271,6 +288,11 @@ let gc (mgr : t) =
   mgr.nodes_collected <- mgr.nodes_collected + collected;
   mgr.cnums_collected <- mgr.cnums_collected + swept;
   mgr.gc_limit <- max mgr.gc_threshold (2 * Hashtbl.length mgr.unique);
+  Qdt_obs.Metrics.incr m_gc_runs;
+  Qdt_obs.Metrics.add m_gc_collected collected;
+  Qdt_obs.Metrics.observe m_gc_pause (Qdt_obs.Clock.elapsed_ns t0);
+  Qdt_obs.Metrics.set m_live_nodes (float_of_int (Hashtbl.length mgr.unique));
+  Qdt_obs.Trace.emit_end "dd.gc";
   collected
 
 let maybe_gc mgr =

@@ -53,12 +53,30 @@ let measure_qubit st ~rng q =
   project st q bit;
   bit
 
+(* Observability: manual span brackets (no closure on the per-instruction
+   path) chosen by instruction kind.  [Pkg.maybe_gc] runs inside the
+   bracket, so "dd.gc" spans nest under the instruction that triggered
+   them. *)
+let m_gates = Qdt_obs.Metrics.counter "dd.gates"
+let m_measurements = Qdt_obs.Metrics.counter "dd.measurements"
+
+let span_of_instr = function
+  | Circuit.Apply _ | Circuit.Swap _ -> "dd.gate"
+  | Circuit.Measure _ -> "dd.measure"
+  | Circuit.Reset _ -> "dd.reset"
+  | Circuit.Barrier _ -> ""
+
 let apply_instruction st instr ~rng ~clbits =
+  let span = span_of_instr instr in
+  if span <> "" then Qdt_obs.Trace.emit_begin span;
   (match instr with
   | Circuit.Apply _ | Circuit.Swap _ ->
+      Qdt_obs.Metrics.incr m_gates;
       let op = Build.instruction st.mgr ~num_qubits:st.n instr in
       set_root st (Pkg.mul_mv st.mgr op st.edge)
-  | Circuit.Measure { qubit; clbit } -> clbits.(clbit) <- measure_qubit st ~rng qubit
+  | Circuit.Measure { qubit; clbit } ->
+      Qdt_obs.Metrics.incr m_measurements;
+      clbits.(clbit) <- measure_qubit st ~rng qubit
   | Circuit.Reset q ->
       let bit = measure_qubit st ~rng q in
       if bit = 1 then begin
@@ -67,7 +85,8 @@ let apply_instruction st instr ~rng ~clbits =
       end
   | Circuit.Barrier _ -> ());
   (* Only the root is pinned now; dead intermediates are collectable. *)
-  Pkg.maybe_gc st.mgr
+  Pkg.maybe_gc st.mgr;
+  if span <> "" then Qdt_obs.Trace.emit_end span
 
 let run ?(seed = 0) circuit =
   let st = init (Circuit.num_qubits circuit) in
@@ -106,6 +125,7 @@ let subtree_norms edge =
   cache
 
 let sample ?(seed = 0) st ~shots =
+  Qdt_obs.Trace.with_span "dd.sample" @@ fun () ->
   let rng = Random.State.make [| seed |] in
   let norms = subtree_norms st.edge in
   let norm_of (e : Pkg.edge) =

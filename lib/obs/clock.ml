@@ -1,0 +1,21 @@
+(* One clock for the whole process.  OCaml's stdlib has no monotonic
+   clock, so we monotonise gettimeofday: readings are clamped to never run
+   backwards (NTP steps, leap adjustments).  Readings are ints relative to
+   process start, which keeps them immediate (unboxed) and makes trace
+   timestamps start near zero. *)
+
+let base_ns = int_of_float (Unix.gettimeofday () *. 1e9)
+let epoch_ns = base_ns
+let last = ref 0
+
+let now_ns () =
+  let t = int_of_float (Unix.gettimeofday () *. 1e9) - base_ns in
+  if t > !last then begin
+    last := t;
+    t
+  end
+  else !last
+
+let elapsed_ns t0 = now_ns () - t0
+let ns_to_s ns = float_of_int ns *. 1e-9
+let ns_to_us ns = float_of_int ns *. 1e-3

@@ -1,0 +1,22 @@
+(** The process-wide clock every reported duration shares.
+
+    All timing in the repository — [Backend.timed], trace spans, the bench
+    harness — goes through [now_ns] so durations from different layers are
+    directly comparable.  The clock is monotonised: successive reads never
+    go backwards even if the underlying wall clock is stepped. *)
+
+(** Nanoseconds since {!epoch_ns} (process start), as an immediate [int]
+    (63 bits hold ~146 years of nanoseconds — no boxing on the fast path). *)
+val now_ns : unit -> int
+
+(** The wall-clock origin of the [now_ns] timeline, in nanoseconds since
+    the Unix epoch, captured once at module initialisation. *)
+val epoch_ns : int
+
+(** [elapsed_ns t0] — nanoseconds since the earlier reading [t0]. *)
+val elapsed_ns : int -> int
+
+(** Unit conversions for reporting. *)
+val ns_to_s : int -> float
+
+val ns_to_us : int -> float

@@ -1,0 +1,212 @@
+(* All state is process-global: the registry maps names to mutable
+   instruments, and the hot path touches only the instrument record it was
+   handed plus the [on] flag.  Nothing here allocates while disabled. *)
+
+let on = ref false
+let set_enabled b = on := b
+let enabled () = !on
+
+(* 48 buckets cover durations up to 2^46 ns (~20 h) before overflowing —
+   ample for anything a single run observes. *)
+let num_buckets = 48
+
+type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable level : float }
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_max : int;
+  buckets : int array;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+
+let get_or_register name make classify describe =
+  match Hashtbl.find_opt registry name with
+  | Some i -> (
+      match classify i with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Qdt_obs.Metrics: %S already registered as a %s" name
+               (describe i)))
+  | None ->
+      let v = make () in
+      v
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let counter name =
+  get_or_register name
+    (fun () ->
+      let c = { c_name = name; count = 0 } in
+      Hashtbl.replace registry name (C c);
+      c)
+    (function C c -> Some c | _ -> None)
+    kind_name
+
+let gauge name =
+  get_or_register name
+    (fun () ->
+      let g = { g_name = name; level = 0.0 } in
+      Hashtbl.replace registry name (G g);
+      g)
+    (function G g -> Some g | _ -> None)
+    kind_name
+
+let histogram name =
+  get_or_register name
+    (fun () ->
+      let h =
+        { h_name = name; h_count = 0; h_sum = 0; h_max = 0;
+          buckets = Array.make num_buckets 0 }
+      in
+      Hashtbl.replace registry name (H h);
+      h)
+    (function H h -> Some h | _ -> None)
+    kind_name
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let incr c = if !on then c.count <- c.count + 1
+let add c n = if !on then c.count <- c.count + n
+let set g v = if !on then g.level <- v
+
+(* Bucket index = number of significant bits of v (so bucket i holds
+   [2^(i-1), 2^i)), clamped into the overflow bucket. *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let bits = ref 0 and x = ref v in
+    while !x > 0 do
+      bits := !bits + 1;
+      x := !x lsr 1
+    done;
+    min !bits (num_buckets - 1)
+  end
+
+let observe h v =
+  if !on then begin
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum + v;
+    if v > h.h_max then h.h_max <- v;
+    let b = bucket_of v in
+    h.buckets.(b) <- h.buckets.(b) + 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of { count : int; sum : int; max_value : int; buckets : int array }
+
+type snapshot = (string * value) list
+
+let snapshot () =
+  Hashtbl.fold
+    (fun name i acc ->
+      let v =
+        match i with
+        | C c -> Counter_v c.count
+        | G g -> Gauge_v g.level
+        | H h ->
+            Histogram_v
+              { count = h.h_count; sum = h.h_sum; max_value = h.h_max;
+                buckets = Array.copy h.buckets }
+      in
+      (name, v) :: acc)
+    registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let diff ~before ~after =
+  List.filter_map
+    (fun (name, v_after) ->
+      match (List.assoc_opt name before, v_after) with
+      | None, v -> Some (name, v)
+      | Some (Counter_v b), Counter_v a -> Some (name, Counter_v (a - b))
+      | Some (Gauge_v _), (Gauge_v _ as v) -> Some (name, v)
+      | Some (Histogram_v b), Histogram_v a ->
+          Some
+            ( name,
+              Histogram_v
+                {
+                  count = a.count - b.count;
+                  sum = a.sum - b.sum;
+                  max_value = a.max_value;
+                  buckets = Array.mapi (fun k n -> n - b.buckets.(k)) a.buckets;
+                } )
+      | Some _, v ->
+          (* A name that changed kind between snapshots: report as-is. *)
+          Some (name, v))
+    after
+
+let reset () =
+  Hashtbl.iter
+    (fun _ i ->
+      match i with
+      | C c -> c.count <- 0
+      | G g -> g.level <- 0.0
+      | H h ->
+          h.h_count <- 0;
+          h.h_sum <- 0;
+          h.h_max <- 0;
+          Array.fill h.buckets 0 num_buckets 0)
+    registry
+
+let flatten s =
+  List.concat_map
+    (fun (name, v) ->
+      match v with
+      | Counter_v n -> [ (name, float_of_int n) ]
+      | Gauge_v g -> [ (name, g) ]
+      | Histogram_v h ->
+          [
+            (name ^ ".count", float_of_int h.count);
+            (name ^ ".sum", float_of_int h.sum);
+            (name ^ ".max", float_of_int h.max_value);
+          ])
+    s
+
+let to_json s =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Json.string name);
+      Buffer.add_string b ": ";
+      match v with
+      | Counter_v n -> Buffer.add_string b (Json.int n)
+      | Gauge_v g -> Buffer.add_string b (Json.float g)
+      | Histogram_v h ->
+          Buffer.add_string b
+            (Printf.sprintf "{\"count\": %d, \"sum\": %d, \"max\": %d, \"buckets\": [%s]}"
+               h.count h.sum h.max_value
+               (String.concat ", " (Array.to_list (Array.map string_of_int h.buckets)))))
+    s;
+  Buffer.add_string b "}";
+  Buffer.contents b
+
+let render s =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter_v n -> Buffer.add_string b (Printf.sprintf "  %-36s %d\n" name n)
+      | Gauge_v g -> Buffer.add_string b (Printf.sprintf "  %-36s %g\n" name g)
+      | Histogram_v h ->
+          let mean = if h.count = 0 then 0.0 else float_of_int h.sum /. float_of_int h.count in
+          Buffer.add_string b
+            (Printf.sprintf "  %-36s count=%d mean=%.1f max=%d\n" name h.count mean
+               h.max_value))
+    s;
+  Buffer.contents b

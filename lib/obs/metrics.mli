@@ -1,0 +1,78 @@
+(** Process-global metrics registry: named counters, gauges, and
+    log₂-bucketed histograms.
+
+    Design constraints (see DESIGN.md, "Observability"):
+    - instruments are created once (usually at module initialisation) and
+      held in a binding, so the hot path never performs a name lookup;
+    - every recording operation starts with a single check of the global
+      enabled flag and allocates nothing — when metrics are disabled the
+      cost is one load and one branch.
+
+    Instruments are identified by name: [counter "x"] called twice returns
+    the same instrument.  Values survive {!set_enabled}; {!reset} zeroes
+    every instrument but keeps registrations. *)
+
+type counter
+type gauge
+type histogram
+
+(** {1 Global switch} *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+(** {1 Instruments (get-or-create by name)} *)
+
+val counter : string -> counter
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+(** {1 Recording (no-ops while disabled)} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> float -> unit
+val observe : histogram -> int -> unit
+
+(** {1 Histogram geometry}
+
+    Bucket [0] counts observations [v <= 0]; bucket [i >= 1] counts
+    [2{^i-1} <= v < 2{^i}]; the last bucket ({!num_buckets}[- 1]) is the
+    overflow bucket and also absorbs everything at or above
+    [2{^num_buckets - 2}]. *)
+
+val num_buckets : int
+
+(** [bucket_of v] — the bucket index [observe] files [v] under. *)
+val bucket_of : int -> int
+
+(** {1 Snapshots} *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of { count : int; sum : int; max_value : int; buckets : int array }
+
+type snapshot = (string * value) list
+
+(** Current values of every registered instrument, sorted by name. *)
+val snapshot : unit -> snapshot
+
+(** [diff ~before ~after] — per-instrument change: counters and histograms
+    subtract, gauges keep the [after] reading.  Instruments absent from
+    [before] are reported as-is. *)
+val diff : before:snapshot -> after:snapshot -> snapshot
+
+(** Zero every instrument (registrations survive). *)
+val reset : unit -> unit
+
+(** [flatten s] — scalar view for embedding into records: a counter or
+    gauge becomes one entry; a histogram becomes [name.count], [name.sum]
+    and [name.max]. *)
+val flatten : snapshot -> (string * float) list
+
+(** JSON object [{ "name": value, ... }]; histograms carry their buckets. *)
+val to_json : snapshot -> string
+
+(** Human-readable multi-line rendering (one instrument per line). *)
+val render : snapshot -> string

@@ -1,0 +1,62 @@
+(** Nested-span tracing into a pre-allocated ring buffer.
+
+    Spans record where time goes inside a run: every instrumented layer
+    wraps its phases in {!with_span}, and the resulting begin/end event
+    stream exports to Chrome trace-event JSON (open in Perfetto or
+    chrome://tracing) or to JSONL for ad-hoc processing.
+
+    Overhead contract: while tracing is disabled, {!with_span} is a single
+    flag check before calling the thunk; no event storage is touched and
+    nothing is allocated by this module.  While enabled, each event writes
+    into a slot of a pre-allocated ring — when the ring wraps, the oldest
+    events are overwritten and counted in {!dropped_events}. *)
+
+(** {1 Global switch and configuration} *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+(** [configure ?capacity ()] — (re)allocate the ring with room for
+    [capacity] events (default 131072, two per span) and clear it. *)
+val configure : ?capacity:int -> unit -> unit
+
+(** Drop recorded events (capacity and enabled flag survive). *)
+val clear : unit -> unit
+
+(** {1 Recording} *)
+
+(** [with_span name f] runs [f ()] bracketed by begin/end events.  The end
+    event is emitted even when [f] raises.  [attrs] become the span's
+    [args] in the exported trace; pass only cheap, already-built lists on
+    hot paths. *)
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** Manual bracket for call sites where a closure is unaffordable; the
+    caller must guarantee the matching [emit_end].  Unbalanced brackets
+    only distort the exported nesting — they cannot corrupt state. *)
+val emit_begin : ?attrs:(string * string) list -> string -> unit
+
+val emit_end : string -> unit
+
+(** {1 Inspection and export} *)
+
+type phase = Begin | End
+
+type event = { name : string; ts_ns : int; phase : phase; attrs : (string * string) list }
+
+(** Recorded events, oldest first. *)
+val events : unit -> event list
+
+(** Events overwritten by ring wrap-around since the last {!configure} /
+    {!clear}. *)
+val dropped_events : unit -> int
+
+(** Current nesting depth of live (begun, unfinished) spans. *)
+val depth : unit -> int
+
+(** [export_chrome path] — write the Chrome trace-event JSON object
+    ([{"traceEvents": [...]}], timestamps in microseconds). *)
+val export_chrome : string -> unit
+
+(** [export_jsonl path] — one JSON object per event per line. *)
+val export_jsonl : string -> unit

@@ -53,9 +53,17 @@ let apply_gate1 mps u q =
   done;
   mps.sites.(q) <- { s with data }
 
+(* Observability: instruments bound once at module init.  The two-qubit
+   apply is the MPS hot path; the bond-dimension histogram records the
+   kept rank after every SVD truncation. *)
+let m_gates2 = Qdt_obs.Metrics.counter "mps.gates2"
+let m_bond = Qdt_obs.Metrics.histogram "mps.bond_dim"
+
 let apply_gate2 mps ?(max_bond = max_int) ?(cutoff = 1e-12) u q =
   if Mat.rows u <> 4 || Mat.cols u <> 4 then invalid_arg "Mps.apply_gate2: need 4x4";
   if q < 0 || q + 1 >= mps.n then invalid_arg "Mps.apply_gate2: pair out of range";
+  Qdt_obs.Trace.emit_begin "mps.apply2";
+  Qdt_obs.Metrics.incr m_gates2;
   let a = mps.sites.(q) and b = mps.sites.(q + 1) in
   assert (a.dr = b.dl);
   let dl = a.dl and dm = a.dr and dr = b.dr in
@@ -102,10 +110,13 @@ let apply_gate2 mps ?(max_bond = max_int) ?(cutoff = 1e-12) u q =
       let p1 = col / dr and r = col mod dr in
       theta'.(theta_idx l p0 p1 r))
   in
+  Qdt_obs.Trace.emit_begin "mps.svd";
   let d = Svd.decompose m in
   let truncated, dropped = Svd.truncate ~max_rank:max_bond ~cutoff d in
+  Qdt_obs.Trace.emit_end "mps.svd";
   mps.dropped <- mps.dropped +. dropped;
   let k = Array.length truncated.Svd.sigma in
+  Qdt_obs.Metrics.observe m_bond k;
   let a_data = Array.make (dl * 2 * k) Cx.zero in
   for row = 0 to (dl * 2) - 1 do
     for c = 0 to k - 1 do
@@ -121,7 +132,8 @@ let apply_gate2 mps ?(max_bond = max_int) ?(cutoff = 1e-12) u q =
     done
   done;
   mps.sites.(q) <- { dl; dr = k; data = a_data };
-  mps.sites.(q + 1) <- { dl = k; dr; data = b_data }
+  mps.sites.(q + 1) <- { dl = k; dr; data = b_data };
+  Qdt_obs.Trace.emit_end "mps.apply2"
 
 let swap_matrix = Gates.swap
 

@@ -15,6 +15,7 @@ let require_same_arity c1 c2 =
     invalid_arg "Equiv: circuits act on different numbers of qubits"
 
 let arrays c1 c2 =
+  Qdt_obs.Trace.with_span "verify.arrays" @@ fun () ->
   require_same_arity c1 c2;
   if Circuit.num_qubits c1 > max_array_qubits then
     invalid_arg "Equiv.arrays: too many qubits for the array method";
@@ -36,6 +37,7 @@ let dd_is_identity_up_to_phase mgr edge n =
   same_node && Float.abs (Cx.norm edge.Qdt_dd.Pkg.w -. 1.0) < 1e-7
 
 let dd c1 c2 =
+  Qdt_obs.Trace.with_span "verify.dd" @@ fun () ->
   require_same_arity c1 c2;
   let n = Circuit.num_qubits c1 in
   let mgr = Qdt_dd.Pkg.create () in
@@ -48,6 +50,7 @@ let dd c1 c2 =
   if dd_is_identity_up_to_phase mgr prod n then Equivalent else Not_equivalent
 
 let dd_alternating c1 c2 =
+  Qdt_obs.Trace.with_span "verify.dd-alternating" @@ fun () ->
   require_same_arity c1 c2;
   let n = Circuit.num_qubits c1 in
   let mgr = Qdt_dd.Pkg.create () in
@@ -85,6 +88,7 @@ let dd_alternating c1 c2 =
   if dd_is_identity_up_to_phase mgr !e n then Equivalent else Not_equivalent
 
 let zx c1 c2 =
+  Qdt_obs.Trace.with_span "verify.zx" @@ fun () ->
   require_same_arity c1 c2;
   let d = Qdt_zx.Translate.equivalence_diagram c1 c2 in
   let _report = Qdt_zx.Simplify.full_reduce d in
@@ -96,6 +100,7 @@ let zx c1 c2 =
   | None -> Inconclusive
 
 let tn c1 c2 =
+  Qdt_obs.Trace.with_span "verify.tn" @@ fun () ->
   require_same_arity c1 c2;
   let n = Circuit.num_qubits c1 in
   let overlap, _stats = Qdt_tensornet.Circuit_tn.hilbert_schmidt_overlap c1 c2 in
@@ -119,6 +124,7 @@ let basis_state_prep rng n =
   !c
 
 let simulation ?(seed = 0) ?(trials = 8) c1 c2 =
+  Qdt_obs.Trace.with_span "verify.simulation" @@ fun () ->
   require_same_arity c1 c2;
   let n = Circuit.num_qubits c1 in
   (* One classical register slot per declared clbit — a single shared slot

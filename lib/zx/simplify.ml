@@ -6,7 +6,16 @@ type report = {
   rounds : int;
 }
 
+(* Observability: per-rule rewrite counters plus a span per fixpoint
+   round, so a trace shows which rule family dominated each round. *)
+let m_identities = Qdt_obs.Metrics.counter "zx.identities_removed"
+let m_lcomps = Qdt_obs.Metrics.counter "zx.local_complementations"
+let m_fusions = Qdt_obs.Metrics.counter "zx.fusions"
+let m_pivots = Qdt_obs.Metrics.counter "zx.pivots"
+let m_rounds = Qdt_obs.Metrics.counter "zx.rounds"
+
 let interior_clifford_simp d =
+  Qdt_obs.Trace.with_span "zx.simplify" @@ fun () ->
   Rules.to_graph_like d;
   let fusions = ref 0
   and identities = ref 0
@@ -16,12 +25,19 @@ let interior_clifford_simp d =
   let continue_ = ref true in
   while !continue_ do
     incr rounds;
-    let i = Rules.remove_identities d in
-    let l = Rules.local_complementations d in
-    let f1 = Rules.fuse_spiders d in
-    let p = Rules.pivots d in
-    let f2 = Rules.fuse_spiders d in
+    Qdt_obs.Metrics.incr m_rounds;
+    Qdt_obs.Trace.emit_begin "zx.round";
+    let i = Qdt_obs.Trace.with_span "zx.identities" (fun () -> Rules.remove_identities d) in
+    let l = Qdt_obs.Trace.with_span "zx.local-comp" (fun () -> Rules.local_complementations d) in
+    let f1 = Qdt_obs.Trace.with_span "zx.fuse" (fun () -> Rules.fuse_spiders d) in
+    let p = Qdt_obs.Trace.with_span "zx.pivot" (fun () -> Rules.pivots d) in
+    let f2 = Qdt_obs.Trace.with_span "zx.fuse" (fun () -> Rules.fuse_spiders d) in
     Rules.to_graph_like d;
+    Qdt_obs.Trace.emit_end "zx.round";
+    Qdt_obs.Metrics.add m_identities i;
+    Qdt_obs.Metrics.add m_lcomps l;
+    Qdt_obs.Metrics.add m_fusions (f1 + f2);
+    Qdt_obs.Metrics.add m_pivots p;
     identities := !identities + i;
     lcomps := !lcomps + l;
     pivs := !pivs + p;

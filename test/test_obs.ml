@@ -1,0 +1,376 @@
+(* Tests for the observability library (Qdt_obs): clock monotonicity,
+   metrics (counter reset, histogram bucket geometry and overflow,
+   snapshot diff), trace (balanced span nesting, exception safety, ring
+   wrap-around), and JSON validity of both trace exporters for a Bell
+   run on every registered backend — checked with a self-contained
+   recursive-descent JSON parser, since the repo deliberately carries no
+   JSON dependency. *)
+
+module Clock = Qdt_obs.Clock
+module Metrics = Qdt_obs.Metrics
+module Trace = Qdt_obs.Trace
+module Generators = Qdt_circuit.Generators
+
+(* ------------------------------------------------------------------ *)
+(* A minimal JSON validity checker                                      *)
+(* ------------------------------------------------------------------ *)
+
+let validate_json ~what s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = Alcotest.failf "%s: invalid JSON at offset %d: %s" what !pos msg in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let keyword k =
+    if !pos + String.length k <= n && String.sub s !pos (String.length k) = k then
+      pos := !pos + String.length k
+    else fail (Printf.sprintf "expected %s" k)
+  in
+  let digits () =
+    let start = !pos in
+    while !pos < n && (match s.[!pos] with '0' .. '9' -> true | _ -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected digits"
+  in
+  let number () =
+    if peek () = Some '-' then advance ();
+    digits ();
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ())
+  in
+  let string_lit () =
+    expect '"';
+    let closed = ref false in
+    while not !closed do
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' ->
+          advance ();
+          closed := true
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail "bad \\u escape"
+              done
+          | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "control character in string"
+      | Some _ -> advance ()
+    done
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some 't' -> keyword "true"
+    | Some 'f' -> keyword "false"
+    | Some 'n' -> keyword "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail "expected a value"
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then advance ()
+    else begin
+      let continue_ = ref true in
+      while !continue_ do
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance ()
+        | Some '}' ->
+            advance ();
+            continue_ := false
+        | _ -> fail "expected , or }"
+      done
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then advance ()
+    else begin
+      let continue_ = ref true in
+      while !continue_ do
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance ()
+        | Some ']' ->
+            advance ();
+            continue_ := false
+        | _ -> fail "expected , or ]"
+      done
+    end
+  in
+  value ();
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage"
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* Every test leaves both subsystems disabled and the registry zeroed. *)
+let isolated f () =
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  Trace.configure ();
+  Trace.set_enabled false;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ();
+      Trace.set_enabled false;
+      Trace.clear ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock_monotone () =
+  let prev = ref (Clock.now_ns ()) in
+  for _ = 1 to 10_000 do
+    let t = Clock.now_ns () in
+    if t < !prev then Alcotest.failf "clock went backwards: %d < %d" t !prev;
+    prev := t
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_buckets () =
+  (* bucket 0: v <= 0; bucket i >= 1: 2^(i-1) <= v < 2^i; last = overflow *)
+  Alcotest.(check int) "v=0" 0 (Metrics.bucket_of 0);
+  Alcotest.(check int) "v<0" 0 (Metrics.bucket_of (-17));
+  Alcotest.(check int) "v=1" 1 (Metrics.bucket_of 1);
+  Alcotest.(check int) "v=2" 2 (Metrics.bucket_of 2);
+  Alcotest.(check int) "v=3" 2 (Metrics.bucket_of 3);
+  Alcotest.(check int) "v=4" 3 (Metrics.bucket_of 4);
+  for i = 1 to Metrics.num_buckets - 2 do
+    let lo = 1 lsl (i - 1) in
+    Alcotest.(check int) (Printf.sprintf "lower edge 2^%d" (i - 1)) i (Metrics.bucket_of lo);
+    if i < Metrics.num_buckets - 2 then
+      Alcotest.(check int)
+        (Printf.sprintf "upper edge 2^%d - 1" i)
+        i
+        (Metrics.bucket_of ((2 * lo) - 1))
+  done;
+  Alcotest.(check int) "overflow" (Metrics.num_buckets - 1) (Metrics.bucket_of max_int)
+
+let test_histogram_observe =
+  isolated @@ fun () ->
+  let h = Metrics.histogram "test.h" in
+  List.iter (Metrics.observe h) [ 1; 3; 3; 100 ];
+  match List.assoc "test.h" (Metrics.snapshot ()) with
+  | Metrics.Histogram_v { count; sum; max_value; buckets } ->
+      Alcotest.(check int) "count" 4 count;
+      Alcotest.(check int) "sum" 107 sum;
+      Alcotest.(check int) "max" 100 max_value;
+      Alcotest.(check int) "bucket of 1" 1 buckets.(Metrics.bucket_of 1);
+      Alcotest.(check int) "bucket of 3" 2 buckets.(Metrics.bucket_of 3);
+      Alcotest.(check int) "bucket of 100" 1 buckets.(Metrics.bucket_of 100);
+      Alcotest.(check int) "total bucketed" 4 (Array.fold_left ( + ) 0 buckets)
+  | _ -> Alcotest.fail "test.h is not a histogram"
+
+let test_counter_reset =
+  isolated @@ fun () ->
+  let c = Metrics.counter "test.c" in
+  Metrics.incr c;
+  Metrics.add c 41;
+  (match List.assoc "test.c" (Metrics.snapshot ()) with
+  | Metrics.Counter_v v -> Alcotest.(check int) "counted" 42 v
+  | _ -> Alcotest.fail "test.c is not a counter");
+  Metrics.reset ();
+  (match List.assoc "test.c" (Metrics.snapshot ()) with
+  | Metrics.Counter_v v -> Alcotest.(check int) "reset to zero" 0 v
+  | _ -> Alcotest.fail "test.c lost by reset");
+  (* disabled recording is a no-op *)
+  Metrics.set_enabled false;
+  Metrics.incr c;
+  Metrics.set_enabled true;
+  match List.assoc "test.c" (Metrics.snapshot ()) with
+  | Metrics.Counter_v v -> Alcotest.(check int) "no-op while disabled" 0 v
+  | _ -> Alcotest.fail "test.c vanished"
+
+let test_diff =
+  isolated @@ fun () ->
+  let c = Metrics.counter "test.d" in
+  let g = Metrics.gauge "test.g" in
+  Metrics.add c 10;
+  Metrics.set g 5.0;
+  let before = Metrics.snapshot () in
+  Metrics.add c 7;
+  Metrics.set g 2.0;
+  let d = Metrics.diff ~before ~after:(Metrics.snapshot ()) in
+  (match List.assoc "test.d" d with
+  | Metrics.Counter_v v -> Alcotest.(check int) "counter delta" 7 v
+  | _ -> Alcotest.fail "diff lost counter");
+  match List.assoc "test.g" d with
+  | Metrics.Gauge_v v -> Alcotest.(check (float 1e-9)) "gauge keeps after" 2.0 v
+  | _ -> Alcotest.fail "diff lost gauge"
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Replay the event list against a stack: every End must match the
+   innermost open Begin, and nothing may stay open. *)
+let check_balanced events =
+  let stack = ref [] in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.phase with
+      | Trace.Begin -> stack := e.Trace.name :: !stack
+      | Trace.End -> (
+          match !stack with
+          | top :: rest ->
+              Alcotest.(check string) "end matches innermost begin" top e.Trace.name;
+              stack := rest
+          | [] -> Alcotest.failf "end %s without begin" e.Trace.name))
+    events;
+  Alcotest.(check (list string)) "all spans closed" [] !stack
+
+let test_span_nesting =
+  isolated @@ fun () ->
+  Trace.set_enabled true;
+  Trace.with_span "outer" (fun () ->
+      Trace.with_span "inner" (fun () -> ());
+      Trace.with_span "inner2" (fun () -> ()));
+  (try Trace.with_span "raises" (fun () -> failwith "boom") with Failure _ -> ());
+  let events = Trace.events () in
+  Alcotest.(check int) "8 events" 8 (List.length events);
+  check_balanced events;
+  Alcotest.(check int) "depth back to 0" 0 (Trace.depth ());
+  let ts = List.map (fun (e : Trace.event) -> e.Trace.ts_ns) events in
+  Alcotest.(check bool) "timestamps ordered" true (List.sort compare ts = ts)
+
+let test_ring_wrap =
+  isolated @@ fun () ->
+  Trace.configure ~capacity:4 ();
+  Trace.set_enabled true;
+  for i = 1 to 5 do
+    Trace.with_span (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  let events = Trace.events () in
+  Alcotest.(check int) "ring holds capacity" 4 (List.length events);
+  Alcotest.(check int) "drops counted" 6 (Trace.dropped_events ());
+  (* the survivors are the newest events *)
+  match List.rev events with
+  | last :: _ -> Alcotest.(check string) "newest survives" "s5" last.Trace.name
+  | [] -> Alcotest.fail "empty ring"
+
+(* Mid-circuit measurement goes through Sim.run (the CLI's final-state
+   path strips measures), so drive it directly and check the span mix. *)
+let test_measure_span =
+  isolated @@ fun () ->
+  Trace.set_enabled true;
+  let c = Qdt_circuit.Circuit.measure_all Generators.bell in
+  let _ = Qdt_dd.Sim.run ~seed:7 c in
+  let events = Trace.events () in
+  check_balanced events;
+  let names =
+    List.sort_uniq compare
+      (List.map (fun (e : Trace.event) -> e.Trace.name) events)
+  in
+  Alcotest.(check bool) "gate span present" true (List.mem "dd.gate" names);
+  Alcotest.(check bool) "measure span present" true (List.mem "dd.measure" names)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters: Bell circuit on every registered backend                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_exporters_every_backend =
+  isolated @@ fun () ->
+  let bell = Generators.bell in
+  List.iter
+    (fun (module B : Qdt.Backend.BACKEND) ->
+      Trace.configure ();
+      Trace.set_enabled true;
+      (* Exercise whatever Bell operations the backend offers (e.g. the
+         tensor-network backend computes quantities but cannot sample). *)
+      let ran = ref 0 in
+      (match B.sample ~shots:20 bell with Ok _ -> incr ran | Error _ -> ());
+      (match B.simulate bell with Ok _ -> incr ran | Error _ -> ());
+      (match B.expectation_z bell 0 with Ok _ -> incr ran | Error _ -> ());
+      if !ran = 0 then Alcotest.failf "backend %s ran no Bell operation" B.name;
+      Trace.set_enabled false;
+      if Trace.events () = [] then Alcotest.failf "backend %s recorded no spans" B.name;
+      check_balanced (Trace.events ());
+      let chrome = Filename.temp_file "qdt_trace" ".json" in
+      let jsonl = Filename.temp_file "qdt_trace" ".jsonl" in
+      Fun.protect
+        ~finally:(fun () ->
+          Sys.remove chrome;
+          Sys.remove jsonl)
+        (fun () ->
+          Trace.export_chrome chrome;
+          Trace.export_jsonl jsonl;
+          validate_json ~what:(B.name ^ " chrome trace") (read_file chrome);
+          String.split_on_char '\n' (read_file jsonl)
+          |> List.iter (fun line ->
+                 if String.trim line <> "" then
+                   validate_json ~what:(B.name ^ " jsonl line") line));
+      Trace.clear ())
+    (Qdt.Registry.all ());
+  (* the metrics JSON dump is valid too *)
+  validate_json ~what:"metrics json" (Metrics.to_json (Metrics.snapshot ()))
+
+let () =
+  Alcotest.run "qdt_obs"
+    [
+      ("clock", [ Alcotest.test_case "monotone" `Quick test_clock_monotone ]);
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
+          Alcotest.test_case "counter reset" `Quick test_counter_reset;
+          Alcotest.test_case "snapshot diff" `Quick test_diff;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "balanced nesting" `Quick test_span_nesting;
+          Alcotest.test_case "ring wrap" `Quick test_ring_wrap;
+          Alcotest.test_case "mid-circuit measure span" `Quick test_measure_span;
+        ] );
+      ( "exporters",
+        [
+          Alcotest.test_case "bell on every backend" `Quick test_exporters_every_backend;
+        ] );
+    ]
