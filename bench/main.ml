@@ -949,6 +949,145 @@ let e17 ~smoke () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* E18: unboxed numeric substrate — boxed vs flat-float kernels        *)
+(* ------------------------------------------------------------------ *)
+
+(* The tentpole claim of the unboxed substrate refactor: storing
+   amplitudes as one flat interleaved float array (instead of an array of
+   boxed Cx.t records) makes the statevector and MPS hot paths both
+   faster and allocation-free per gate.  This experiment runs the e16/e17
+   workloads plus a QFT and a nearest-neighbour MPS ansatz through the
+   current engines AND through the retained boxed reference
+   implementations (test/ref, linked as qdt_ref), measuring best-of-reps
+   wall time and GC minor words per gate for each.  The experiment FAILS
+   if the unboxed statevector is slower than the boxed one anywhere. *)
+
+(* Nearest-neighbour layered ansatz: Ry on every qubit then CX down the
+   chain, per layer — every two-qubit gate is adjacent, so the MPS engine
+   never routes and the bond dimension is exercised directly. *)
+let e18_mps_ansatz ~layers n =
+  let c = ref (Circuit.empty n) in
+  for layer = 0 to layers - 1 do
+    for q = 0 to n - 1 do
+      c := Circuit.ry (0.37 +. (0.11 *. float_of_int ((layer * n) + q))) q !c
+    done;
+    for q = 0 to n - 2 do
+      c := Circuit.cx q (q + 1) !c
+    done
+  done;
+  !c
+
+(* Best-of-reps wall time plus minor-words-per-run for [run].  Allocation
+   is measured on a dedicated run (after warmup) so bechamel-style timing
+   noise cannot leak into the GC delta. *)
+let e18_measure ~reps run =
+  ignore (run ()) (* warm up *);
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Qdt.Obs.Clock.now_ns () in
+    ignore (run ());
+    best := Float.min !best (float_of_int (Qdt.Obs.Clock.elapsed_ns t0))
+  done;
+  let w0 = Gc.minor_words () in
+  ignore (run ());
+  let minor = Gc.minor_words () -. w0 in
+  (!best, minor)
+
+let e18 ~smoke () =
+  header "E18" "Unboxed numeric substrate: boxed vs flat-float engines";
+  let reps = if smoke then 3 else 5 in
+  let sv_workloads =
+    if smoke then
+      [
+        ( "clifford-t-deep",
+          Generators.random_clifford_t ~seed:7 ~gates:400 ~t_fraction:0.2 8 );
+        ( "clifford-t",
+          Generators.random_clifford_t ~seed:11 ~gates:400 ~t_fraction:0.2 8 );
+        ("qft", Generators.qft 10);
+      ]
+    else
+      [
+        (* e16's deep Clifford+T workload *)
+        ( "clifford-t-deep",
+          Generators.random_clifford_t ~seed:7 ~gates:1200 ~t_fraction:0.2 12 );
+        (* e17's observability workload *)
+        ( "clifford-t",
+          Generators.random_clifford_t ~seed:11 ~gates:2000 ~t_fraction:0.2 10 );
+        ("qft", Generators.qft 14);
+      ]
+  in
+  Printf.printf "%16s | %12s | %12s | %7s | %13s | %13s | %6s\n" "workload"
+    "boxed (ms)" "unboxed (ms)" "speedup" "boxed w/gate" "unbox w/gate" "alloc/";
+  let min_speedup = ref infinity in
+  List.iter
+    (fun (name, c) ->
+      let gates = float_of_int (max 1 (Circuit.count_total c)) in
+      let boxed_ns, boxed_minor =
+        e18_measure ~reps (fun () -> Qdt_ref.Sv_ref.run_unitary c)
+      in
+      let unboxed_ns, unboxed_minor =
+        e18_measure ~reps (fun () -> Qdt.Arrays.Statevector.run_unitary c)
+      in
+      let speedup = boxed_ns /. unboxed_ns in
+      let boxed_wpg = boxed_minor /. gates and unboxed_wpg = unboxed_minor /. gates in
+      let alloc_reduction = boxed_wpg /. Float.max unboxed_wpg 1e-9 in
+      min_speedup := Float.min !min_speedup speedup;
+      Printf.printf "%16s | %12.3f | %12.3f | %6.2fx | %13.0f | %13.1f | %5.0fx\n" name
+        (boxed_ns /. 1e6) (unboxed_ns /. 1e6) speedup boxed_wpg unboxed_wpg
+        alloc_reduction;
+      let m key v = metric_float (Printf.sprintf "sv.%s.%s" name key) v in
+      m "boxed_wall_ms" (boxed_ns /. 1e6);
+      m "unboxed_wall_ms" (unboxed_ns /. 1e6);
+      m "speedup" speedup;
+      m "boxed_minor_words_per_gate" boxed_wpg;
+      m "unboxed_minor_words_per_gate" unboxed_wpg;
+      m "minor_words_reduction" alloc_reduction;
+      metric_int (Printf.sprintf "sv.%s.gates" name) (int_of_float gates))
+    sv_workloads;
+  (* MPS: same comparison through the boxed reference two-qubit/SVD path. *)
+  let mps_n = if smoke then 8 else 12 in
+  let mps_layers = if smoke then 3 else 6 in
+  let mps_c = e18_mps_ansatz ~layers:mps_layers mps_n in
+  let max_bond = 32 in
+  let mps_gates = float_of_int (max 1 (Circuit.count_total mps_c)) in
+  let boxed_ns, boxed_minor =
+    e18_measure ~reps (fun () -> Qdt_ref.Mps_ref.run ~max_bond mps_c)
+  in
+  let unboxed_ns, unboxed_minor =
+    e18_measure ~reps (fun () -> Qdt.Tensornet.Mps.run ~max_bond mps_c)
+  in
+  let speedup = boxed_ns /. unboxed_ns in
+  let boxed_wpg = boxed_minor /. mps_gates and unboxed_wpg = unboxed_minor /. mps_gates in
+  Printf.printf "%16s | %12.3f | %12.3f | %6.2fx | %13.0f | %13.0f | %5.1fx\n"
+    (Printf.sprintf "mps-ansatz-%d" mps_n)
+    (boxed_ns /. 1e6) (unboxed_ns /. 1e6) speedup boxed_wpg unboxed_wpg
+    (boxed_wpg /. Float.max unboxed_wpg 1e-9);
+  metric_float "mps.boxed_wall_ms" (boxed_ns /. 1e6);
+  metric_float "mps.unboxed_wall_ms" (unboxed_ns /. 1e6);
+  metric_float "mps.speedup" speedup;
+  metric_float "mps.boxed_minor_words_per_gate" boxed_wpg;
+  metric_float "mps.unboxed_minor_words_per_gate" unboxed_wpg;
+  metric_int "mps.num_qubits" mps_n;
+  metric_int "mps.gates" (int_of_float mps_gates);
+  metric_float "min_sv_speedup" !min_speedup;
+  Printf.printf "\n  minimum statevector speedup: %.2fx (guard: must be >= 1)\n"
+    !min_speedup;
+  if !min_speedup < 1.0 then begin
+    Printf.eprintf
+      "E18 FAILED: unboxed statevector is slower than the boxed baseline (%.2fx)\n"
+      !min_speedup;
+    exit 1
+  end;
+  let deep = List.assoc "clifford-t-deep" sv_workloads in
+  run_timings ~name:"e18"
+    [
+      bench "sv-boxed" (fun () -> ignore (Qdt_ref.Sv_ref.run_unitary deep));
+      bench "sv-unboxed" (fun () -> ignore (Qdt.Arrays.Statevector.run_unitary deep));
+      bench "mps-boxed" (fun () -> ignore (Qdt_ref.Mps_ref.run ~max_bond mps_c));
+      bench "mps-unboxed" (fun () -> ignore (Qdt.Tensornet.Mps.run ~max_bond mps_c));
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -973,6 +1112,7 @@ let experiments : (string * (smoke:bool -> unit)) list =
     ("e15", fun ~smoke:_ -> e15 ());
     ("e16", fun ~smoke -> e16 ~smoke ());
     ("e17", fun ~smoke -> e17 ~smoke ());
+    ("e18", fun ~smoke -> e18 ~smoke ());
   ]
 
 let () =
@@ -993,7 +1133,7 @@ let () =
     if !selected = [] then experiments
     else List.filter (fun (name, _) -> List.mem name !selected) experiments
   in
-  print_endline "QDT benchmark harness — experiments E1..E17 (see DESIGN.md / EXPERIMENTS.md)";
+  print_endline "QDT benchmark harness — experiments E1..E18 (see DESIGN.md / EXPERIMENTS.md)";
   List.iter
     (fun (name, fn) ->
       json_timings := [];

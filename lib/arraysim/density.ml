@@ -1,7 +1,11 @@
 open Qdt_linalg
 open Qdt_circuit
 
-type t = { n : int; mutable rho : Mat.t }
+(* [scratch] holds one dim×dim matrix reused by {!conjugate} — with it the
+   per-gate cost is two {!Mat.mul_into} passes plus one dagger, instead of
+   two fresh product matrices per gate. *)
+type t = { n : int; mutable rho : Mat.t; mutable scratch : Mat.t }
+
 type channel = Mat.t list
 
 let create n =
@@ -9,22 +13,36 @@ let create n =
   let dim = 1 lsl n in
   let rho = Mat.create dim dim in
   Mat.set rho 0 0 Cx.one;
-  { n; rho }
+  { n; rho; scratch = Mat.create dim dim }
 
 let of_statevector sv =
-  let v = Statevector.to_vec sv in
+  let v = Statevector.vec_view sv in
   let dim = Vec.length v in
-  let rho =
-    Mat.init dim dim (fun r c -> Cx.mul (Vec.get v r) (Cx.conj (Vec.get v c)))
-  in
-  { n = Statevector.num_qubits sv; rho }
+  let vb = Vec.buffer v in
+  let rho = Mat.create dim dim in
+  let rb = Mat.buffer rho in
+  (* rho[r,c] = v_r · conj v_c over the raw buffers. *)
+  for r = 0 to dim - 1 do
+    let ar = vb.(2 * r) and ai = vb.((2 * r) + 1) in
+    for c = 0 to dim - 1 do
+      let br = vb.(2 * c) and bi = vb.((2 * c) + 1) in
+      let o = 2 * ((r * dim) + c) in
+      rb.(o) <- (ar *. br) +. (ai *. bi);
+      rb.(o + 1) <- (ai *. br) -. (ar *. bi)
+    done
+  done;
+  { n = Statevector.num_qubits sv; rho; scratch = Mat.create dim dim }
 
 let num_qubits d = d.n
 let matrix d = Mat.copy d.rho
 let trace d = (Mat.trace d.rho).Cx.re
 let purity d = (Mat.trace (Mat.mul d.rho d.rho)).Cx.re
 
-let conjugate d u = d.rho <- Mat.mul u (Mat.mul d.rho (Mat.dagger u))
+let conjugate d u =
+  (* scratch ← rho·u†; rho ← u·scratch.  Reusing the scratch matrix keeps
+     the per-gate allocation down to the dagger alone. *)
+  Mat.mul_into ~out:d.scratch d.rho (Mat.dagger u);
+  Mat.mul_into ~out:d.rho u d.scratch
 
 let apply_instruction d instr =
   match instr with

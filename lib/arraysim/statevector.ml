@@ -1,41 +1,78 @@
 open Qdt_linalg
 open Qdt_circuit
 
-type t = { n : int; amps : Cx.t array }
+(* The amplitudes live in one flat interleaved float buffer (amplitude k
+   at offsets 2k / 2k+1 — the Vec layout, see vec.mli "Storage"), so the
+   gate kernels below update pairs of raw floats in place and allocate
+   nothing per gate.  [scratch] is a lazily grown buffer reused across
+   calls that need a dim-sized temporary (sampling); its size is exported
+   through the [qdt.sv.scratch_bytes] gauge. *)
+type t = { n : int; buf : float array; mutable scratch : float array }
+
+let g_scratch = Qdt_obs.Metrics.gauge "qdt.sv.scratch_bytes"
+
+let scratch_floats sv n =
+  if Array.length sv.scratch < n then begin
+    sv.scratch <- Array.make n 0.0;
+    Qdt_obs.Metrics.set g_scratch (float_of_int (8 * n))
+  end;
+  sv.scratch
+
+let scratch_bytes sv = 8 * Array.length sv.scratch
 
 let create n =
   if n < 1 || n > 26 then invalid_arg "Statevector.create: unsupported qubit count";
-  let amps = Array.make (1 lsl n) Cx.zero in
-  amps.(0) <- Cx.one;
-  { n; amps }
+  let buf = Array.make (2 * (1 lsl n)) 0.0 in
+  buf.(0) <- 1.0;
+  { n; buf; scratch = [||] }
 
 let of_vec n v =
   if Vec.length v <> 1 lsl n then invalid_arg "Statevector.of_vec: wrong length";
-  { n; amps = Vec.to_array v }
+  { n; buf = Array.copy (Vec.buffer v); scratch = [||] }
 
-let to_vec sv = Vec.of_array sv.amps
+let to_vec sv = Vec.of_buffer (Array.copy sv.buf)
+
+(* Zero-copy view: mutating the statevector mutates the returned vector. *)
+let vec_view sv = Vec.of_buffer sv.buf
 
 let overwrite sv v =
-  if Vec.length v <> Array.length sv.amps then
+  if 2 * Vec.length v <> Array.length sv.buf then
     invalid_arg "Statevector.overwrite: length mismatch";
-  Vec.iteri (fun k z -> sv.amps.(k) <- z) v
+  Array.blit (Vec.buffer v) 0 sv.buf 0 (Array.length sv.buf)
 
-let copy sv = { sv with amps = Array.copy sv.amps }
+let copy sv = { sv with buf = Array.copy sv.buf; scratch = [||] }
 let num_qubits sv = sv.n
-let amplitude sv k = sv.amps.(k)
-let probability sv k = Cx.norm2 sv.amps.(k)
-let probabilities sv = Array.map Cx.norm2 sv.amps
 
-let norm sv =
+let amplitude sv k = { Cx.re = sv.buf.(2 * k); im = sv.buf.((2 * k) + 1) }
+
+let probability sv k =
+  let re = sv.buf.(2 * k) and im = sv.buf.((2 * k) + 1) in
+  (re *. re) +. (im *. im)
+
+let probabilities sv = Array.init (1 lsl sv.n) (probability sv)
+
+(* Probabilities into [dst] (first [2^n] entries), no allocation. *)
+let probabilities_into sv dst =
+  for k = 0 to (1 lsl sv.n) - 1 do
+    dst.(k) <- probability sv k
+  done
+
+let norm2 sv =
   let acc = ref 0.0 in
-  Array.iter (fun z -> acc := !acc +. Cx.norm2 z) sv.amps;
-  Float.sqrt !acc
+  let buf = sv.buf in
+  for i = 0 to Array.length buf - 1 do
+    acc := !acc +. (buf.(i) *. buf.(i))
+  done;
+  !acc
+
+let norm sv = Float.sqrt (norm2 sv)
 
 let control_mask controls =
   List.fold_left (fun mask q -> mask lor (1 lsl q)) 0 controls
 
 (* Core kernel: iterate over all basis indices with target bit 0 and all
-   control bits 1, updating the (k, k + 2^target) amplitude pair.
+   control bits 1, updating the (k, k + 2^target) amplitude pair over the
+   raw floats.
 
    Diagonal (Z, S, T, Rz, phase) and anti-diagonal (X, Y) gates get a fast
    path: one complex multiply per amplitude instead of the full 2x2
@@ -45,48 +82,109 @@ let control_mask controls =
 let apply_matrix sv m ~controls ~target =
   if Mat.rows m <> 2 || Mat.cols m <> 2 then
     invalid_arg "Statevector.apply_matrix: need a 2x2 matrix";
-  let u00 = Mat.get m 0 0 and u01 = Mat.get m 0 1 in
-  let u10 = Mat.get m 1 0 and u11 = Mat.get m 1 1 in
+  let mb = Mat.buffer m in
+  let u00r = mb.(0) and u00i = mb.(1) and u01r = mb.(2) and u01i = mb.(3) in
+  let u10r = mb.(4) and u10i = mb.(5) and u11r = mb.(6) and u11i = mb.(7) in
   let stride = 1 lsl target in
   let cmask = control_mask controls in
-  let amps = sv.amps in
-  let size = Array.length amps in
-  let exact_zero (z : Cx.t) = z.Cx.re = 0.0 && z.Cx.im = 0.0 in
-  if exact_zero u01 && exact_zero u10 then begin
+  let buf = sv.buf in
+  let size = 1 lsl sv.n in
+  if u01r = 0.0 && u01i = 0.0 && u10r = 0.0 && u10i = 0.0 then begin
     (* Diagonal: amp(k) picks up u00 or u11 from its target bit alone. *)
-    let one_like (z : Cx.t) = z.Cx.re = 1.0 && z.Cx.im = 0.0 in
-    let skip00 = one_like u00 and skip11 = one_like u11 in
+    let skip00 = u00r = 1.0 && u00i = 0.0 in
+    let skip11 = u11r = 1.0 && u11i = 0.0 in
     for k = 0 to size - 1 do
       if k land cmask = cmask then
         if k land stride = 0 then begin
-          if not skip00 then amps.(k) <- Cx.mul u00 amps.(k)
+          if not skip00 then begin
+            let o = 2 * k in
+            let ar = buf.(o) and ai = buf.(o + 1) in
+            buf.(o) <- (u00r *. ar) -. (u00i *. ai);
+            buf.(o + 1) <- (u00r *. ai) +. (u00i *. ar)
+          end
         end
-        else if not skip11 then amps.(k) <- Cx.mul u11 amps.(k)
+        else if not skip11 then begin
+          let o = 2 * k in
+          let ar = buf.(o) and ai = buf.(o + 1) in
+          buf.(o) <- (u11r *. ar) -. (u11i *. ai);
+          buf.(o + 1) <- (u11r *. ai) +. (u11i *. ar)
+        end
     done
   end
-  else if exact_zero u00 && exact_zero u11 then begin
+  else if u00r = 0.0 && u00i = 0.0 && u11r = 0.0 && u11i = 0.0 then begin
     (* Anti-diagonal: the pair swaps with scaling; one multiply each. *)
-    let k = ref 0 in
-    while !k < size do
-      if !k land stride = 0 && !k land cmask = cmask then begin
-        let a0 = amps.(!k) and a1 = amps.(!k + stride) in
-        amps.(!k) <- Cx.mul u01 a1;
-        amps.(!k + stride) <- Cx.mul u10 a0
-      end;
-      incr k
+    for k = 0 to size - 1 do
+      if k land stride = 0 && k land cmask = cmask then begin
+        let o0 = 2 * k and o1 = 2 * (k + stride) in
+        let a0r = buf.(o0) and a0i = buf.(o0 + 1) in
+        let a1r = buf.(o1) and a1i = buf.(o1 + 1) in
+        buf.(o0) <- (u01r *. a1r) -. (u01i *. a1i);
+        buf.(o0 + 1) <- (u01r *. a1i) +. (u01i *. a1r);
+        buf.(o1) <- (u10r *. a0r) -. (u10i *. a0i);
+        buf.(o1 + 1) <- (u10r *. a0i) +. (u10i *. a0r)
+      end
     done
   end
-  else begin
-    let k = ref 0 in
-    while !k < size do
-      if !k land stride = 0 && !k land cmask = cmask then begin
-        let a0 = amps.(!k) and a1 = amps.(!k + stride) in
-        amps.(!k) <- Cx.add (Cx.mul u00 a0) (Cx.mul u01 a1);
-        amps.(!k + stride) <- Cx.add (Cx.mul u10 a0) (Cx.mul u11 a1)
-      end;
-      incr k
+  else
+    for k = 0 to size - 1 do
+      if k land stride = 0 && k land cmask = cmask then begin
+        let o0 = 2 * k and o1 = 2 * (k + stride) in
+        let a0r = buf.(o0) and a0i = buf.(o0 + 1) in
+        let a1r = buf.(o1) and a1i = buf.(o1 + 1) in
+        buf.(o0) <- (u00r *. a0r) -. (u00i *. a0i) +. ((u01r *. a1r) -. (u01i *. a1i));
+        buf.(o0 + 1) <- (u00r *. a0i) +. (u00i *. a0r) +. ((u01r *. a1i) +. (u01i *. a1r));
+        buf.(o1) <- (u10r *. a0r) -. (u10i *. a0i) +. ((u11r *. a1r) -. (u11i *. a1i));
+        buf.(o1 + 1) <- (u10r *. a0i) +. (u10i *. a0r) +. ((u11r *. a1i) +. (u11i *. a1r))
+      end
     done
-  end
+
+(* Fused two-qubit kernel: one pass applying a dense 4x4 to every
+   (q0, q1) amplitude quadruple.  Matrix index convention matches
+   {!Unitary_builder.instruction_matrix} on 2 qubits: bit 0 of the matrix
+   index is qubit [q0], bit 1 is qubit [q1]. *)
+let apply_matrix2 sv m ~controls ~q0 ~q1 =
+  if Mat.rows m <> 4 || Mat.cols m <> 4 then
+    invalid_arg "Statevector.apply_matrix2: need a 4x4 matrix";
+  if q0 = q1 then invalid_arg "Statevector.apply_matrix2: distinct qubits required";
+  let mb = Mat.buffer m in
+  let b0 = 1 lsl q0 and b1 = 1 lsl q1 in
+  let pair_mask = b0 lor b1 in
+  let cmask = control_mask controls in
+  let buf = sv.buf in
+  let size = 1 lsl sv.n in
+  for k = 0 to size - 1 do
+    if k land pair_mask = 0 && k land cmask = cmask then begin
+      let o0 = 2 * k
+      and o1 = 2 * (k + b0)
+      and o2 = 2 * (k + b1)
+      and o3 = 2 * (k + b0 + b1) in
+      let a0r = buf.(o0) and a0i = buf.(o0 + 1) in
+      let a1r = buf.(o1) and a1i = buf.(o1 + 1) in
+      let a2r = buf.(o2) and a2i = buf.(o2 + 1) in
+      let a3r = buf.(o3) and a3i = buf.(o3 + 1) in
+      let row_re j =
+        let b = 8 * j in
+        (mb.(b) *. a0r) -. (mb.(b + 1) *. a0i)
+        +. ((mb.(b + 2) *. a1r) -. (mb.(b + 3) *. a1i))
+        +. ((mb.(b + 4) *. a2r) -. (mb.(b + 5) *. a2i))
+        +. ((mb.(b + 6) *. a3r) -. (mb.(b + 7) *. a3i))
+      and row_im j =
+        let b = 8 * j in
+        (mb.(b) *. a0i) +. (mb.(b + 1) *. a0r)
+        +. ((mb.(b + 2) *. a1i) +. (mb.(b + 3) *. a1r))
+        +. ((mb.(b + 4) *. a2i) +. (mb.(b + 5) *. a2r))
+        +. ((mb.(b + 6) *. a3i) +. (mb.(b + 7) *. a3r))
+      in
+      buf.(o0) <- row_re 0;
+      buf.(o0 + 1) <- row_im 0;
+      buf.(o1) <- row_re 1;
+      buf.(o1 + 1) <- row_im 1;
+      buf.(o2) <- row_re 2;
+      buf.(o2 + 1) <- row_im 2;
+      buf.(o3) <- row_re 3;
+      buf.(o3 + 1) <- row_im 3
+    end
+  done
 
 let apply_gate sv gate ~controls ~target =
   apply_matrix sv (Gate.matrix gate) ~controls ~target
@@ -94,40 +192,77 @@ let apply_gate sv gate ~controls ~target =
 let apply_swap sv ~controls a b =
   let cmask = control_mask controls in
   let ba = 1 lsl a and bb = 1 lsl b in
-  let amps = sv.amps in
-  for k = 0 to Array.length amps - 1 do
+  let buf = sv.buf in
+  for k = 0 to (1 lsl sv.n) - 1 do
     (* Swap amplitudes of index pairs that differ as (a=1,b=0) ↔ (a=0,b=1);
        visiting only the (a=1,b=0) representative avoids double swaps. *)
     if k land ba <> 0 && k land bb = 0 && k land cmask = cmask then begin
       let partner = k lxor ba lxor bb in
-      let tmp = amps.(k) in
-      amps.(k) <- amps.(partner);
-      amps.(partner) <- tmp
+      let ok = 2 * k and op = 2 * partner in
+      let tr = buf.(ok) and ti = buf.(ok + 1) in
+      buf.(ok) <- buf.(op);
+      buf.(ok + 1) <- buf.(op + 1);
+      buf.(op) <- tr;
+      buf.(op + 1) <- ti
     end
+  done
+
+let rescale sv s =
+  let buf = sv.buf in
+  for i = 0 to Array.length buf - 1 do
+    buf.(i) <- s *. buf.(i)
   done
 
 let renormalise sv =
   let n = norm sv in
   if n < 1e-14 then invalid_arg "Statevector: state collapsed to zero norm";
-  let inv = 1.0 /. n in
-  Array.iteri (fun k z -> sv.amps.(k) <- Cx.scale inv z) sv.amps
+  rescale sv (1.0 /. n)
+
+(* [kraus_weight sv k ~target] is ‖K|ψ⟩‖² for a single-qubit Kraus
+   operator [K] on [target], computed by pure arithmetic over the pairs —
+   no copy of the state, no allocation.  Used by the trajectory sampler
+   to pick a branch before committing to the in-place application. *)
+let kraus_weight sv m ~target =
+  if Mat.rows m <> 2 || Mat.cols m <> 2 then
+    invalid_arg "Statevector.kraus_weight: need a 2x2 matrix";
+  let mb = Mat.buffer m in
+  let u00r = mb.(0) and u00i = mb.(1) and u01r = mb.(2) and u01i = mb.(3) in
+  let u10r = mb.(4) and u10i = mb.(5) and u11r = mb.(6) and u11i = mb.(7) in
+  let stride = 1 lsl target in
+  let buf = sv.buf in
+  let acc = ref 0.0 in
+  for k = 0 to (1 lsl sv.n) - 1 do
+    if k land stride = 0 then begin
+      let o0 = 2 * k and o1 = 2 * (k + stride) in
+      let a0r = buf.(o0) and a0i = buf.(o0 + 1) in
+      let a1r = buf.(o1) and a1i = buf.(o1 + 1) in
+      let n0r = (u00r *. a0r) -. (u00i *. a0i) +. ((u01r *. a1r) -. (u01i *. a1i)) in
+      let n0i = (u00r *. a0i) +. (u00i *. a0r) +. ((u01r *. a1i) +. (u01i *. a1r)) in
+      let n1r = (u10r *. a0r) -. (u10i *. a0i) +. ((u11r *. a1r) -. (u11i *. a1i)) in
+      let n1i = (u10r *. a0i) +. (u10i *. a0r) +. ((u11r *. a1i) +. (u11i *. a1r)) in
+      acc := !acc +. (n0r *. n0r) +. (n0i *. n0i) +. (n1r *. n1r) +. (n1i *. n1i)
+    end
+  done;
+  !acc
 
 let project sv q bit =
   let mask = 1 lsl q in
-  Array.iteri
-    (fun k _z ->
-      let has = if k land mask <> 0 then 1 else 0 in
-      if has <> bit then sv.amps.(k) <- Cx.zero)
-    sv.amps
+  let buf = sv.buf in
+  for k = 0 to (1 lsl sv.n) - 1 do
+    let has = if k land mask <> 0 then 1 else 0 in
+    if has <> bit then begin
+      buf.(2 * k) <- 0.0;
+      buf.((2 * k) + 1) <- 0.0
+    end
+  done
 
 let prob_of_bit sv q bit =
   let mask = 1 lsl q in
   let acc = ref 0.0 in
-  Array.iteri
-    (fun k z ->
-      let has = if k land mask <> 0 then 1 else 0 in
-      if has = bit then acc := !acc +. Cx.norm2 z)
-    sv.amps;
+  for k = 0 to (1 lsl sv.n) - 1 do
+    let has = if k land mask <> 0 then 1 else 0 in
+    if has = bit then acc := !acc +. probability sv k
+  done;
   !acc
 
 let measure_qubit sv ~rng q =
@@ -184,31 +319,33 @@ let run_unitary circuit =
 let expectation_z sv q =
   let mask = 1 lsl q in
   let acc = ref 0.0 in
-  Array.iteri
-    (fun k z ->
-      let sign = if k land mask = 0 then 1.0 else -1.0 in
-      acc := !acc +. (sign *. Cx.norm2 z))
-    sv.amps;
+  for k = 0 to (1 lsl sv.n) - 1 do
+    let p = probability sv k in
+    if k land mask = 0 then acc := !acc +. p else acc := !acc -. p
+  done;
   !acc
 
 let sample ?(seed = 0) sv ~shots =
   Qdt_obs.Trace.with_span "sv.sample" @@ fun () ->
   let rng = Random.State.make [| seed |] in
-  let probs = probabilities sv in
+  let dim = 1 lsl sv.n in
+  (* The probability table lives in the reusable scratch buffer — repeated
+     sampling allocates nothing beyond the counts table. *)
+  let probs = scratch_floats sv dim in
+  probabilities_into sv probs;
   let counts = Hashtbl.create 64 in
   for _shot = 1 to shots do
     let r = Random.State.float rng 1.0 in
-    let acc = ref 0.0 and chosen = ref (Array.length probs - 1) in
-    (try
-       Array.iteri
-         (fun k p ->
-           acc := !acc +. p;
-           if !acc >= r then begin
-             chosen := k;
-             raise Exit
-           end)
-         probs
-     with Exit -> ());
+    let acc = ref 0.0 and chosen = ref (dim - 1) and k = ref 0 in
+    let continue = ref true in
+    while !continue && !k < dim do
+      acc := !acc +. probs.(!k);
+      if !acc >= r then begin
+        chosen := !k;
+        continue := false
+      end;
+      incr k
+    done;
     Hashtbl.replace counts !chosen
       (1 + Option.value ~default:0 (Hashtbl.find_opt counts !chosen))
   done;
@@ -217,17 +354,17 @@ let sample ?(seed = 0) sv ~shots =
 
 let fidelity a b =
   if a.n <> b.n then invalid_arg "Statevector.fidelity: size mismatch";
-  Vec.fidelity (to_vec a) (to_vec b)
+  Vec.fidelity (vec_view a) (vec_view b)
 
-let memory_bytes sv = 16 * Array.length sv.amps
+let memory_bytes sv = 8 * Array.length sv.buf
 
 let bitstring n k = String.init n (fun i -> if k land (1 lsl (n - 1 - i)) <> 0 then '1' else '0')
 
 let pp ppf sv =
   Format.fprintf ppf "@[<v 0>";
-  Array.iteri
-    (fun k z ->
-      if not (Cx.is_zero ~eps:1e-12 z) then
-        Format.fprintf ppf "|%s⟩: %a@," (bitstring sv.n k) Cx.pp z)
-    sv.amps;
+  for k = 0 to (1 lsl sv.n) - 1 do
+    let z = amplitude sv k in
+    if not (Cx.is_zero ~eps:1e-12 z) then
+      Format.fprintf ppf "|%s⟩: %a@," (bitstring sv.n k) Cx.pp z
+  done;
   Format.fprintf ppf "@]"

@@ -4,7 +4,13 @@
     gates are applied in place with stride-[2^target] kernels rather than
     by materialising the full [2^n × 2^n] operator.  This is the baseline
     the other backends are measured against: simple, cache-friendly, and
-    exponential in memory. *)
+    exponential in memory.
+
+    {b Storage.}  Amplitudes live in one flat interleaved [float array]
+    (the {!Qdt_linalg.Vec} layout); the gate kernels update raw float
+    pairs in place and allocate nothing per gate.  A lazily grown scratch
+    buffer (reported via the [qdt.sv.scratch_bytes] gauge) is reused
+    across calls that need a dim-sized temporary, e.g. {!sample}. *)
 
 type t
 
@@ -15,6 +21,13 @@ val create : int -> t
 val of_vec : int -> Qdt_linalg.Vec.t -> t
 
 val to_vec : t -> Qdt_linalg.Vec.t
+
+(** [vec_view sv] {e borrows} the amplitudes as a vector without copying:
+    mutating [sv] mutates the view and vice versa.  Use for read-mostly
+    consumers (expectation values, fidelity, column extraction) that would
+    otherwise pay a full copy per call; take {!to_vec} when the result
+    must outlive further evolution of [sv]. *)
+val vec_view : t -> Qdt_linalg.Vec.t
 
 (** [overwrite sv v] replaces the amplitudes of [sv] in place.
     @raise Invalid_argument on length mismatch. *)
@@ -39,8 +52,30 @@ val apply_gate : t -> Qdt_circuit.Gate.t -> controls:int list -> target:int -> u
 (** [apply_matrix sv m ~controls ~target] applies an arbitrary 2×2 unitary. *)
 val apply_matrix : t -> Qdt_linalg.Mat.t -> controls:int list -> target:int -> unit
 
+(** [apply_matrix2 sv m ~controls ~q0 ~q1] applies an arbitrary 4×4
+    unitary to the qubit pair [(q0, q1)] in one fused pass.  Matrix index
+    convention: bit 0 of the matrix row/column index is qubit [q0], bit 1
+    is qubit [q1] — the same convention as
+    {!Unitary_builder.instruction_matrix} on two qubits. *)
+val apply_matrix2 :
+  t -> Qdt_linalg.Mat.t -> controls:int list -> q0:int -> q1:int -> unit
+
 (** [apply_swap sv ~controls a b] swaps qubits [a] and [b]. *)
 val apply_swap : t -> controls:int list -> int -> int -> unit
+
+(** [kraus_weight sv k ~target] is [‖K|ψ⟩‖²] for a 2×2 Kraus operator [K]
+    acting on [target], computed without copying or modifying the state.
+    Lets a trajectory sampler weigh every branch before committing one
+    in place. *)
+val kraus_weight : t -> Qdt_linalg.Mat.t -> target:int -> float
+
+(** [renormalise sv] rescales to unit norm in place.
+    @raise Invalid_argument when the norm is numerically zero. *)
+val renormalise : t -> unit
+
+(** [scratch_bytes sv] — current size of the reusable scratch buffer
+    (also exported as the [qdt.sv.scratch_bytes] gauge). *)
+val scratch_bytes : t -> int
 
 (** [apply_instruction sv instr ~rng ~clbits] executes one instruction;
     measurements collapse the state using [rng] and record into [clbits]. *)

@@ -1,4 +1,3 @@
-open Qdt_linalg
 open Qdt_circuit
 
 type noise_model = { channel : unit -> Density.channel; label : string }
@@ -14,29 +13,24 @@ let phase_damping lambda =
 let bit_flip p = { channel = (fun () -> Density.bit_flip p); label = "bit-flip" }
 
 let apply_channel_stochastic sv ch q ~rng =
-  (* Branch weights ‖K_i|ψ⟩‖²; they sum to 1 for a CPTP channel. *)
-  let candidates =
-    List.map
-      (fun k ->
-        let branch = Statevector.copy sv in
-        Statevector.apply_matrix branch k ~controls:[] ~target:q;
-        let w = Statevector.norm branch in
-        (branch, w *. w))
-      ch
-  in
-  if candidates = [] then invalid_arg "Trajectories: empty channel";
-  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 candidates in
+  (* Branch weights ‖K_i|ψ⟩‖² (they sum to 1 for a CPTP channel), computed
+     by {!Statevector.kraus_weight} without copying the state.  Only the
+     chosen Kraus operator is then applied, in place — the old
+     copy-per-branch scheme allocated [|ch|] full statevectors per
+     instruction qubit. *)
+  if ch = [] then invalid_arg "Trajectories: empty channel";
+  let weights = List.map (fun k -> (k, Statevector.kraus_weight sv k ~target:q)) ch in
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 weights in
   let r = Random.State.float rng total in
   let rec pick acc = function
     | [] -> assert false
-    | [ (branch, _) ] -> branch
-    | (branch, w) :: rest -> if acc +. w >= r then branch else pick (acc +. w) rest
+    | [ (k, w) ] -> (k, w)
+    | (k, w) :: rest -> if acc +. w >= r then (k, w) else pick (acc +. w) rest
   in
-  let chosen = pick 0.0 candidates in
-  let norm = Statevector.norm chosen in
-  if norm < 1e-14 then invalid_arg "Trajectories: zero-probability branch chosen";
-  Statevector.overwrite sv
-    (Vec.scale (Cx.of_float (1.0 /. norm)) (Statevector.to_vec chosen))
+  let chosen, w = pick 0.0 weights in
+  if w < 1e-28 then invalid_arg "Trajectories: zero-probability branch chosen";
+  Statevector.apply_matrix sv chosen ~controls:[] ~target:q;
+  Statevector.renormalise sv
 
 let run_single ?(seed = 0) ~noise circuit =
   let sv = Statevector.create (Circuit.num_qubits circuit) in

@@ -48,14 +48,24 @@ let unitary_by_columns circuit =
     invalid_arg "Unitary_builder.unitary_by_columns: circuit measures or resets";
   let n = Circuit.num_qubits circuit in
   let dim = 1 lsl n in
-  let columns =
-    Array.init dim (fun k ->
-        let sv = Statevector.of_vec n (Vec.basis ~dim k) in
-        let rng = Random.State.make [| 0 |] in
-        let clbits = [| 0 |] in
-        List.iter
-          (fun instr -> Statevector.apply_instruction sv instr ~rng ~clbits)
-          (Circuit.instructions circuit);
-        Statevector.to_vec sv)
-  in
-  Mat.init dim dim (fun row col -> Vec.get columns.(col) row)
+  let out = Mat.create dim dim in
+  let ob = Mat.buffer out in
+  let rng = Random.State.make [| 0 |] in
+  let clbits = [| 0 |] in
+  let instrs = Circuit.instructions circuit in
+  let sv = Statevector.create n in
+  let sb = Vec.buffer (Statevector.vec_view sv) in
+  for col = 0 to dim - 1 do
+    (* Reuse one statevector: reset it to |col⟩ in place, evolve, and
+       scatter the column straight from its borrowed buffer into the
+       row-major matrix storage — no per-column vector copies. *)
+    Array.fill sb 0 (Array.length sb) 0.0;
+    sb.(2 * col) <- 1.0;
+    List.iter (fun instr -> Statevector.apply_instruction sv instr ~rng ~clbits) instrs;
+    for row = 0 to dim - 1 do
+      let dst = 2 * ((row * dim) + col) in
+      ob.(dst) <- sb.(2 * row);
+      ob.(dst + 1) <- sb.((2 * row) + 1)
+    done
+  done;
+  out

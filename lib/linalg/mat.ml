@@ -1,11 +1,37 @@
-type t = { rows : int; cols : int; data : Cx.t array }
+(* Unboxed storage: a [rows × cols] complex matrix is one flat
+   [float array] of [2·rows·cols] raw floats, row-major, entry (r, c)
+   interleaved at offsets [2(r·cols + c)] (re) and [2(r·cols + c) + 1]
+   (im).  See vec.ml for the rationale; [Cx.t] appears only at API
+   boundaries. *)
 
-let create rows cols = { rows; cols; data = Array.make (rows * cols) Cx.zero }
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols = { rows; cols; data = Array.make (2 * rows * cols) 0.0 }
+
+let get m r c =
+  let o = 2 * ((r * m.cols) + c) in
+  { Cx.re = m.data.(o); im = m.data.(o + 1) }
+
+let set m r c (z : Cx.t) =
+  let o = 2 * ((r * m.cols) + c) in
+  m.data.(o) <- z.Cx.re;
+  m.data.(o + 1) <- z.Cx.im
 
 let init rows cols f =
-  { rows; cols; data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+  let m = create rows cols in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      set m r c (f r c)
+    done
+  done;
+  m
 
-let identity n = init n n (fun r c -> if r = c then Cx.one else Cx.zero)
+let identity n =
+  let m = create n n in
+  for k = 0 to n - 1 do
+    m.data.(2 * ((k * n) + k)) <- 1.0
+  done;
+  m
 
 let of_rows rows_arr =
   let rows = Array.length rows_arr in
@@ -18,64 +44,152 @@ let of_rows rows_arr =
 
 let rows m = m.rows
 let cols m = m.cols
-let get m r c = m.data.((r * m.cols) + c)
-let set m r c z = m.data.((r * m.cols) + c) <- z
+let buffer m = m.data
+
+let of_buffer ~rows ~cols data =
+  if Array.length data <> 2 * rows * cols then invalid_arg "Mat.of_buffer: wrong length";
+  { rows; cols; data }
+
 let to_rows m = Array.init m.rows (fun r -> Array.init m.cols (fun c -> get m r c))
 let copy m = { m with data = Array.copy m.data }
 
-let binop op a b =
-  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Mat: shape mismatch";
-  { a with data = Array.init (Array.length a.data) (fun k -> op a.data.(k) b.data.(k)) }
+let binop name op a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg name;
+  let len = Array.length a.data in
+  let data = Array.make len 0.0 in
+  for i = 0 to len - 1 do
+    data.(i) <- op a.data.(i) b.data.(i)
+  done;
+  { a with data }
 
-let add = binop Cx.add
-let sub = binop Cx.sub
-let scale s m = { m with data = Array.map (Cx.mul s) m.data }
+let add = binop "Mat: shape mismatch" ( +. )
+let sub = binop "Mat: shape mismatch" ( -. )
+
+let scale (s : Cx.t) m =
+  let sr = s.Cx.re and si = s.Cx.im in
+  let data = Array.make (Array.length m.data) 0.0 in
+  for k = 0 to (m.rows * m.cols) - 1 do
+    let o = 2 * k in
+    let re = m.data.(o) and im = m.data.(o + 1) in
+    data.(o) <- (sr *. re) -. (si *. im);
+    data.(o + 1) <- (sr *. im) +. (si *. re)
+  done;
+  { m with data }
+
+(* Shared in-place product kernel: [out ← a·b] over the raw float
+   buffers, skipping exact-zero left entries (gate matrices are sparse). *)
+let mul_kernel ~out a b =
+  let ad = a.data and bd = b.data and od = out.data in
+  Array.fill od 0 (Array.length od) 0.0;
+  let n = b.cols in
+  for r = 0 to a.rows - 1 do
+    let arow = 2 * r * a.cols and orow = 2 * r * n in
+    for k = 0 to a.cols - 1 do
+      let ar = ad.(arow + (2 * k)) and ai = ad.(arow + (2 * k) + 1) in
+      if ar <> 0.0 || ai <> 0.0 then begin
+        let brow = 2 * k * n in
+        for c = 0 to n - 1 do
+          let br = bd.(brow + (2 * c)) and bi = bd.(brow + (2 * c) + 1) in
+          od.(orow + (2 * c)) <- od.(orow + (2 * c)) +. ((ar *. br) -. (ai *. bi));
+          od.(orow + (2 * c) + 1) <-
+            od.(orow + (2 * c) + 1) +. ((ar *. bi) +. (ai *. br))
+        done
+      end
+    done
+  done
 
 let mul a b =
   if a.cols <> b.rows then invalid_arg "Mat.mul: shape mismatch";
   let out = create a.rows b.cols in
-  for r = 0 to a.rows - 1 do
-    for k = 0 to a.cols - 1 do
-      let aik = a.data.((r * a.cols) + k) in
-      if not (Cx.is_zero aik) then
-        for c = 0 to b.cols - 1 do
-          out.data.((r * b.cols) + c) <-
-            Cx.mul_add out.data.((r * b.cols) + c) aik b.data.((k * b.cols) + c)
+  mul_kernel ~out a b;
+  out
+
+let mul_into ~out a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mul_into: shape mismatch";
+  if out.rows <> a.rows || out.cols <> b.cols then
+    invalid_arg "Mat.mul_into: output shape mismatch";
+  if out.data == a.data || out.data == b.data then
+    invalid_arg "Mat.mul_into: output aliases an input";
+  mul_kernel ~out a b
+
+let mul_vec m v =
+  if m.cols <> Vec.length v then invalid_arg "Mat.mul_vec: shape mismatch";
+  let out = Vec.create m.rows in
+  let ob = Vec.buffer out and vb = Vec.buffer v in
+  let md = m.data in
+  for r = 0 to m.rows - 1 do
+    let row = 2 * r * m.cols in
+    let accr = ref 0.0 and acci = ref 0.0 in
+    for c = 0 to m.cols - 1 do
+      let mr = md.(row + (2 * c)) and mi = md.(row + (2 * c) + 1) in
+      let xr = vb.(2 * c) and xi = vb.((2 * c) + 1) in
+      accr := !accr +. ((mr *. xr) -. (mi *. xi));
+      acci := !acci +. ((mr *. xi) +. (mi *. xr))
+    done;
+    ob.(2 * r) <- !accr;
+    ob.((2 * r) + 1) <- !acci
+  done;
+  out
+
+let transpose m =
+  let out = create m.cols m.rows in
+  for r = 0 to m.rows - 1 do
+    for c = 0 to m.cols - 1 do
+      let src = 2 * ((r * m.cols) + c) and dst = 2 * ((c * m.rows) + r) in
+      out.data.(dst) <- m.data.(src);
+      out.data.(dst + 1) <- m.data.(src + 1)
+    done
+  done;
+  out
+
+let dagger m =
+  let out = create m.cols m.rows in
+  for r = 0 to m.rows - 1 do
+    for c = 0 to m.cols - 1 do
+      let src = 2 * ((r * m.cols) + c) and dst = 2 * ((c * m.rows) + r) in
+      out.data.(dst) <- m.data.(src);
+      out.data.(dst + 1) <- -.m.data.(src + 1)
+    done
+  done;
+  out
+
+let kron a b =
+  let out = create (a.rows * b.rows) (a.cols * b.cols) in
+  let oc = out.cols in
+  for ra = 0 to a.rows - 1 do
+    for ca = 0 to a.cols - 1 do
+      let oa = 2 * ((ra * a.cols) + ca) in
+      let ar = a.data.(oa) and ai = a.data.(oa + 1) in
+      if ar <> 0.0 || ai <> 0.0 then
+        for rb = 0 to b.rows - 1 do
+          for cb = 0 to b.cols - 1 do
+            let ob = 2 * ((rb * b.cols) + cb) in
+            let br = b.data.(ob) and bi = b.data.(ob + 1) in
+            let dst = 2 * ((((ra * b.rows) + rb) * oc) + (ca * b.cols) + cb) in
+            out.data.(dst) <- (ar *. br) -. (ai *. bi);
+            out.data.(dst + 1) <- (ar *. bi) +. (ai *. br)
+          done
         done
     done
   done;
   out
 
-let mul_vec m v =
-  if m.cols <> Vec.length v then invalid_arg "Mat.mul_vec: shape mismatch";
-  Vec.init m.rows (fun r ->
-      let acc = ref Cx.zero in
-      for c = 0 to m.cols - 1 do
-        acc := Cx.mul_add !acc m.data.((r * m.cols) + c) (Vec.get v c)
-      done;
-      !acc)
-
-let transpose m = init m.cols m.rows (fun r c -> get m c r)
-let dagger m = init m.cols m.rows (fun r c -> Cx.conj (get m c r))
-
-let kron a b =
-  init (a.rows * b.rows) (a.cols * b.cols) (fun r c ->
-      Cx.mul (get a (r / b.rows) (c / b.cols)) (get b (r mod b.rows) (c mod b.cols)))
-
 let trace m =
   let n = min m.rows m.cols in
-  let acc = ref Cx.zero in
+  let accr = ref 0.0 and acci = ref 0.0 in
   for k = 0 to n - 1 do
-    acc := Cx.add !acc (get m k k)
+    let o = 2 * ((k * m.cols) + k) in
+    accr := !accr +. m.data.(o);
+    acci := !acci +. m.data.(o + 1)
   done;
-  !acc
+  { Cx.re = !accr; im = !acci }
 
-let approx_equal ?eps a b =
+let approx_equal ?(eps = Cx.default_eps) a b =
   a.rows = b.rows && a.cols = b.cols
   && (let ok = ref true in
-      Array.iteri
-        (fun k z -> if not (Cx.approx_equal ?eps z b.data.(k)) then ok := false)
-        a.data;
+      for i = 0 to Array.length a.data - 1 do
+        if Float.abs (a.data.(i) -. b.data.(i)) > eps then ok := false
+      done;
       !ok)
 
 let is_unitary ?(eps = 1e-9) m =
@@ -87,25 +201,36 @@ let equal_up_to_global_phase ?(eps = 1e-8) a b =
   a.rows = b.rows && a.cols = b.cols
   &&
   let pivot = ref (-1) and best = ref 0.0 in
-  Array.iteri
-    (fun k z ->
-      let m2 = Cx.norm2 z in
-      if m2 > !best then begin best := m2; pivot := k end)
-    a.data;
+  for k = 0 to (a.rows * a.cols) - 1 do
+    let re = a.data.(2 * k) and im = a.data.((2 * k) + 1) in
+    let m2 = (re *. re) +. (im *. im) in
+    if m2 > !best then begin
+      best := m2;
+      pivot := k
+    end
+  done;
+  let entry m k = { Cx.re = m.data.(2 * k); im = m.data.((2 * k) + 1) } in
   if !pivot < 0 then
-    Array.for_all (fun z -> Cx.is_zero ~eps z) b.data
-  else if Cx.norm2 b.data.(!pivot) < 1e-20 then false
+    let all_zero = ref true in
+    for k = 0 to (b.rows * b.cols) - 1 do
+      if not (Cx.is_zero ~eps (entry b k)) then all_zero := false
+    done;
+    !all_zero
+  else if Cx.norm2 (entry b !pivot) < 1e-20 then false
   else
-    let factor = Cx.div a.data.(!pivot) b.data.(!pivot) in
+    let factor = Cx.div (entry a !pivot) (entry b !pivot) in
     approx_equal ~eps a (scale factor b)
 
 let frobenius_distance a b =
-  let d = sub a b in
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Mat: shape mismatch";
   let acc = ref 0.0 in
-  Array.iter (fun z -> acc := !acc +. Cx.norm2 z) d.data;
+  for i = 0 to Array.length a.data - 1 do
+    let d = a.data.(i) -. b.data.(i) in
+    acc := !acc +. (d *. d)
+  done;
   Float.sqrt !acc
 
-let memory_bytes m = 16 * Array.length m.data
+let memory_bytes m = 8 * Array.length m.data
 
 let pp ppf m =
   Format.fprintf ppf "@[<v 0>";

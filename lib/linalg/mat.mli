@@ -2,7 +2,17 @@
 
     The array representation of quantum operations from Section II of the
     paper: an [n]-qubit operation is a [2^n × 2^n] unitary matrix applied
-    by matrix-vector multiplication. *)
+    by matrix-vector multiplication.
+
+    {b Storage (unboxed substrate).}  A matrix is one flat [float array]
+    of [2·rows·cols] raw floats, row-major, entry [(r, c)] interleaved at
+    offsets [2(r·cols + c)] and [2(r·cols + c) + 1].  [Cx.t] appears only
+    at the API boundary; the product kernels run box-free.
+
+    {b Ownership and aliasing.}  Functions returning [t] allocate fresh
+    storage unless documented otherwise; {!buffer} borrows and
+    {!of_buffer} adopts storage without copying.  {!mul_into} writes its
+    result in place and rejects aliased outputs. *)
 
 type t
 
@@ -17,6 +27,16 @@ val of_rows : Cx.t array array -> t
 val to_rows : t -> Cx.t array array
 val rows : t -> int
 val cols : t -> int
+
+(** [buffer m] {e borrows} the flat float storage of [m] (layout above).
+    No copy: writes through the buffer mutate [m]. *)
+val buffer : t -> float array
+
+(** [of_buffer ~rows ~cols data] {e adopts} [data] (length
+    [2·rows·cols]) as a matrix without copying — the inverse of
+    {!buffer}.  The caller gives up ownership of [data]. *)
+val of_buffer : rows:int -> cols:int -> float array -> t
+
 val get : t -> int -> int -> Cx.t
 val set : t -> int -> int -> Cx.t -> unit
 val copy : t -> t
@@ -26,6 +46,11 @@ val scale : Cx.t -> t -> t
 
 (** [mul a b] is the matrix product [a·b]. *)
 val mul : t -> t -> t
+
+(** [mul_into ~out a b] computes [a·b] into the preallocated [out]
+    (overwriting it) without allocating — the scratch-reuse variant of
+    {!mul} for per-gate hot loops.  [out] must not alias [a] or [b]. *)
+val mul_into : out:t -> t -> t -> unit
 
 (** [mul_vec m v] is the matrix-vector product [m·v]. *)
 val mul_vec : t -> Vec.t -> Vec.t

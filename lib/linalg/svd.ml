@@ -3,27 +3,51 @@ type decomposition = { u : Mat.t; sigma : float array; vdag : Mat.t }
 (* One-sided Jacobi: right-multiply [a] by unitary plane rotations until its
    columns are pairwise orthogonal.  The rotations are accumulated into [v];
    on convergence the column norms of [a] are the singular values, the
-   normalised columns form [u], and [vdag = v†]. *)
+   normalised columns form [u], and [vdag = v†].
 
-let column_dot a p q =
-  (* ⟨a_p | a_q⟩ with conjugation on the first argument. *)
-  let acc = ref Cx.zero in
-  for r = 0 to Mat.rows a - 1 do
-    acc := Cx.mul_add !acc (Cx.conj (Mat.get a r p)) (Mat.get a r q)
+   All column operations run directly on the flat interleaved float buffer
+   of the work matrices (see mat.mli, "Storage"), so a full sweep performs
+   no complex boxing; this is the inner loop of every MPS bond
+   truncation. *)
+
+let column_dot_re buf ~rows ~cols p q =
+  (* Re⟨a_p | a_q⟩ with conjugation on the first argument. *)
+  let acc = ref 0.0 in
+  for r = 0 to rows - 1 do
+    let op = 2 * ((r * cols) + p) and oq = 2 * ((r * cols) + q) in
+    acc := !acc +. ((buf.(op) *. buf.(oq)) +. (buf.(op + 1) *. buf.(oq + 1)))
   done;
   !acc
 
-let rotate_columns m p q ~cs ~sn_pq ~sn_qp =
+let column_dot buf ~rows ~cols p q =
+  let accr = ref 0.0 and acci = ref 0.0 in
+  for r = 0 to rows - 1 do
+    let op = 2 * ((r * cols) + p) and oq = 2 * ((r * cols) + q) in
+    let ar = buf.(op) and ai = buf.(op + 1) in
+    let br = buf.(oq) and bi = buf.(oq + 1) in
+    accr := !accr +. ((ar *. br) +. (ai *. bi));
+    acci := !acci +. ((ar *. bi) -. (ai *. br))
+  done;
+  { Cx.re = !accr; im = !acci }
+
+let rotate_columns buf ~rows ~cols p q ~cs ~sn_pq ~sn_qp =
   (* col_p ← cs·col_p + sn_pq·col_q ; col_q ← sn_qp·col_p + cs·col_q *)
-  let ccs = Cx.of_float cs in
-  for r = 0 to Mat.rows m - 1 do
-    let vp = Mat.get m r p and vq = Mat.get m r q in
-    Mat.set m r p (Cx.add (Cx.mul ccs vp) (Cx.mul sn_pq vq));
-    Mat.set m r q (Cx.add (Cx.mul sn_qp vp) (Cx.mul ccs vq))
+  let pqr = sn_pq.Cx.re and pqi = sn_pq.Cx.im in
+  let qpr = sn_qp.Cx.re and qpi = sn_qp.Cx.im in
+  for r = 0 to rows - 1 do
+    let op = 2 * ((r * cols) + p) and oq = 2 * ((r * cols) + q) in
+    let vpr = buf.(op) and vpi = buf.(op + 1) in
+    let vqr = buf.(oq) and vqi = buf.(oq + 1) in
+    buf.(op) <- (cs *. vpr) +. ((pqr *. vqr) -. (pqi *. vqi));
+    buf.(op + 1) <- (cs *. vpi) +. ((pqr *. vqi) +. (pqi *. vqr));
+    buf.(oq) <- ((qpr *. vpr) -. (qpi *. vpi)) +. (cs *. vqr);
+    buf.(oq + 1) <- ((qpr *. vpi) +. (qpi *. vpr)) +. (cs *. vqi)
   done
 
 let jacobi_sweeps a v =
   let n = Mat.cols a in
+  let rows_a = Mat.rows a in
+  let abuf = Mat.buffer a and vbuf = Mat.buffer v in
   let tol = 1e-14 in
   let max_sweeps = 60 in
   let converged = ref false in
@@ -33,9 +57,9 @@ let jacobi_sweeps a v =
     converged := true;
     for p = 0 to n - 2 do
       for q = p + 1 to n - 1 do
-        let alpha = (column_dot a p p).Cx.re in
-        let beta = (column_dot a q q).Cx.re in
-        let gamma = column_dot a p q in
+        let alpha = column_dot_re abuf ~rows:rows_a ~cols:n p p in
+        let beta = column_dot_re abuf ~rows:rows_a ~cols:n q q in
+        let gamma = column_dot abuf ~rows:rows_a ~cols:n p q in
         let g = Cx.norm gamma in
         if g > tol *. Float.sqrt (alpha *. beta) && g > 1e-300 then begin
           converged := false;
@@ -54,8 +78,8 @@ let jacobi_sweeps a v =
           let e_m = Cx.exp_i (-.phi) and e_p = Cx.exp_i phi in
           let sn_pq = Cx.scale sn e_m in
           let sn_qp = Cx.scale (-.sn) e_p in
-          rotate_columns a p q ~cs ~sn_pq ~sn_qp;
-          rotate_columns v p q ~cs ~sn_pq ~sn_qp
+          rotate_columns abuf ~rows:rows_a ~cols:n p q ~cs ~sn_pq ~sn_qp;
+          rotate_columns vbuf ~rows:n ~cols:n p q ~cs ~sn_pq ~sn_qp
         end
       done
     done
@@ -66,24 +90,37 @@ let decompose_tall a =
   let work = Mat.copy a in
   let v = Mat.identity n in
   jacobi_sweeps work v;
+  let wbuf = Mat.buffer work in
   let norms =
-    Array.init n (fun j ->
-        let acc = ref 0.0 in
-        for r = 0 to m - 1 do
-          acc := !acc +. Cx.norm2 (Mat.get work r j)
-        done;
-        Float.sqrt !acc)
+    Array.init n (fun j -> Float.sqrt (column_dot_re wbuf ~rows:m ~cols:n j j))
   in
   let order = Array.init n (fun j -> j) in
   Array.sort (fun i j -> Float.compare norms.(j) norms.(i)) order;
   let sigma = Array.map (fun j -> norms.(j)) order in
-  let u =
-    Mat.init m n (fun r c ->
-        let j = order.(c) in
-        if norms.(j) > 1e-300 then Cx.scale (1.0 /. norms.(j)) (Mat.get work r j)
-        else Cx.zero)
-  in
-  let vdag = Mat.init n n (fun r c -> Cx.conj (Mat.get v c order.(r))) in
+  let u = Mat.create m n in
+  let ubuf = Mat.buffer u in
+  for c = 0 to n - 1 do
+    let j = order.(c) in
+    if norms.(j) > 1e-300 then begin
+      let inv = 1.0 /. norms.(j) in
+      for r = 0 to m - 1 do
+        let src = 2 * ((r * n) + j) and dst = 2 * ((r * n) + c) in
+        ubuf.(dst) <- inv *. wbuf.(src);
+        ubuf.(dst + 1) <- inv *. wbuf.(src + 1)
+      done
+    end
+  done;
+  let vdag = Mat.create n n in
+  let vbuf = Mat.buffer v and vdbuf = Mat.buffer vdag in
+  for r = 0 to n - 1 do
+    let j = order.(r) in
+    for c = 0 to n - 1 do
+      (* vdag[r, c] = conj (v[c, order r]) *)
+      let src = 2 * ((c * n) + j) and dst = 2 * ((r * n) + c) in
+      vdbuf.(dst) <- vbuf.(src);
+      vdbuf.(dst + 1) <- -.vbuf.(src + 1)
+    done
+  done;
   { u; sigma; vdag }
 
 let decompose a =
@@ -109,8 +146,17 @@ let truncate ~max_rank ~cutoff d =
   for j = k to r - 1 do
     dropped := !dropped +. (d.sigma.(j) *. d.sigma.(j))
   done;
-  let u = Mat.init (Mat.rows d.u) k (fun row col -> Mat.get d.u row col) in
-  let vdag = Mat.init k (Mat.cols d.vdag) (fun row col -> Mat.get d.vdag row col) in
+  (* Column/row submatrices by raw blits over the flat buffers. *)
+  let um = Mat.rows d.u in
+  let u = Mat.create um k in
+  let usrc = Mat.buffer d.u and udst = Mat.buffer u in
+  let ucols = Mat.cols d.u in
+  for row = 0 to um - 1 do
+    Array.blit usrc (2 * row * ucols) udst (2 * row * k) (2 * k)
+  done;
+  let vn = Mat.cols d.vdag in
+  let vdag = Mat.create k vn in
+  Array.blit (Mat.buffer d.vdag) 0 (Mat.buffer vdag) 0 (2 * k * vn);
   ({ u; sigma = Array.sub d.sigma 0 k; vdag }, !dropped)
 
 let reconstruct d =

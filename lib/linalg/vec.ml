@@ -1,60 +1,159 @@
-type t = Cx.t array
+(* Unboxed storage: a length-[n] complex vector is a flat [float array] of
+   [2n] raw floats, interleaved [re0; im0; re1; im1; ...].  OCaml stores
+   float arrays as unboxed blocks, so this representation holds the whole
+   vector in one heap object instead of one box per amplitude, and the
+   kernels below run without allocating intermediates.  [Cx.t] appears
+   only at API boundaries ([get] / [set] / [init] / [of_array] / ...). *)
 
-let create len = Array.make len Cx.zero
-let init = Array.init
-let of_array = Array.copy
-let to_array = Array.copy
+type t = float array
+
+let length (v : t) = Array.length v / 2
+let create len = Array.make (2 * len) 0.0
+
+let get (v : t) k = { Cx.re = v.(2 * k); im = v.((2 * k) + 1) }
+
+let set (v : t) k (z : Cx.t) =
+  v.(2 * k) <- z.Cx.re;
+  v.((2 * k) + 1) <- z.Cx.im
+
+let init len f =
+  let v = create len in
+  for k = 0 to len - 1 do
+    set v k (f k)
+  done;
+  v
+
+let of_array a = init (Array.length a) (Array.get a)
+let to_array (v : t) = Array.init (length v) (get v)
+
+let buffer (v : t) : float array = v
+
+let of_buffer (b : float array) : t =
+  if Array.length b land 1 <> 0 then invalid_arg "Vec.of_buffer: odd length";
+  b
 
 let basis ~dim k =
   if k < 0 || k >= dim then invalid_arg "Vec.basis: index out of range";
   let v = create dim in
-  v.(k) <- Cx.one;
+  v.(2 * k) <- 1.0;
   v
 
-let length = Array.length
-let get = Array.get
-let set = Array.set
 let copy = Array.copy
-let map = Array.map
-let iteri = Array.iteri
 
-let binop op a b =
-  if Array.length a <> Array.length b then
-    invalid_arg "Vec: length mismatch";
-  Array.init (Array.length a) (fun k -> op a.(k) b.(k))
+let blit src dst =
+  if Array.length src <> Array.length dst then invalid_arg "Vec.blit: length mismatch";
+  Array.blit src 0 dst 0 (Array.length src)
 
-let add = binop Cx.add
-let sub = binop Cx.sub
-let scale s = Array.map (Cx.mul s)
+let fill_zero (v : t) = Array.fill v 0 (Array.length v) 0.0
+let map f v = init (length v) (fun k -> f (get v k))
 
-let dot a b =
+let iteri f v =
+  for k = 0 to length v - 1 do
+    f k (get v k)
+  done
+
+let binop name op (a : t) (b : t) : t =
+  let len = Array.length a in
+  if len <> Array.length b then invalid_arg name;
+  let out = Array.make len 0.0 in
+  for i = 0 to len - 1 do
+    out.(i) <- op a.(i) b.(i)
+  done;
+  out
+
+(* Complex add/sub act componentwise, so they are plain float-array maps. *)
+let add = binop "Vec: length mismatch" ( +. )
+let sub = binop "Vec: length mismatch" ( -. )
+
+let scale (s : Cx.t) (v : t) : t =
+  let sr = s.Cx.re and si = s.Cx.im in
+  let out = Array.make (Array.length v) 0.0 in
+  for k = 0 to length v - 1 do
+    let o = 2 * k in
+    let re = v.(o) and im = v.(o + 1) in
+    out.(o) <- (sr *. re) -. (si *. im);
+    out.(o + 1) <- (sr *. im) +. (si *. re)
+  done;
+  out
+
+let scale_inplace (s : Cx.t) (v : t) =
+  let sr = s.Cx.re and si = s.Cx.im in
+  for k = 0 to length v - 1 do
+    let o = 2 * k in
+    let re = v.(o) and im = v.(o + 1) in
+    v.(o) <- (sr *. re) -. (si *. im);
+    v.(o + 1) <- (sr *. im) +. (si *. re)
+  done
+
+let rescale_inplace s (v : t) =
+  for i = 0 to Array.length v - 1 do
+    v.(i) <- s *. v.(i)
+  done
+
+let axpy ~alpha (x : t) (y : t) =
+  if Array.length x <> Array.length y then invalid_arg "Vec.axpy: length mismatch";
+  let ar = alpha.Cx.re and ai = alpha.Cx.im in
+  for k = 0 to length x - 1 do
+    let o = 2 * k in
+    let xr = x.(o) and xi = x.(o + 1) in
+    y.(o) <- y.(o) +. ((ar *. xr) -. (ai *. xi));
+    y.(o + 1) <- y.(o + 1) +. ((ar *. xi) +. (ai *. xr))
+  done
+
+let dot (a : t) (b : t) =
   if Array.length a <> Array.length b then invalid_arg "Vec.dot: length mismatch";
-  let acc = ref Cx.zero in
-  for k = 0 to Array.length a - 1 do
-    acc := Cx.mul_add !acc (Cx.conj a.(k)) b.(k)
+  let accr = ref 0.0 and acci = ref 0.0 in
+  for k = 0 to length a - 1 do
+    let o = 2 * k in
+    let ar = a.(o) and ai = a.(o + 1) in
+    let br = b.(o) and bi = b.(o + 1) in
+    (* conj(a) · b *)
+    accr := !accr +. ((ar *. br) +. (ai *. bi));
+    acci := !acci +. ((ar *. bi) -. (ai *. br))
+  done;
+  { Cx.re = !accr; im = !acci }
+
+let norm2 (v : t) =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length v - 1 do
+    acc := !acc +. (v.(i) *. v.(i))
   done;
   !acc
 
-let norm v =
-  let acc = ref 0.0 in
-  Array.iter (fun z -> acc := !acc +. Cx.norm2 z) v;
-  Float.sqrt !acc
+let norm v = Float.sqrt (norm2 v)
 
 let normalize v =
   let n = norm v in
   if n < 1e-14 then invalid_arg "Vec.normalize: zero vector";
-  scale (Cx.of_float (1.0 /. n)) v
+  let out = copy v in
+  rescale_inplace (1.0 /. n) out;
+  out
 
-let kron a b =
-  let la = Array.length a and lb = Array.length b in
-  Array.init (la * lb) (fun k -> Cx.mul a.(k / lb) b.(k mod lb))
+let kron (a : t) (b : t) : t =
+  let la = length a and lb = length b in
+  let out = create (la * lb) in
+  for i = 0 to la - 1 do
+    let ar = a.(2 * i) and ai = a.((2 * i) + 1) in
+    let base = 2 * i * lb in
+    for j = 0 to lb - 1 do
+      let br = b.(2 * j) and bi = b.((2 * j) + 1) in
+      out.(base + (2 * j)) <- (ar *. br) -. (ai *. bi);
+      out.(base + (2 * j) + 1) <- (ar *. bi) +. (ai *. br)
+    done
+  done;
+  out
 
-let probabilities = Array.map Cx.norm2
+let probabilities (v : t) =
+  Array.init (length v) (fun k ->
+      let re = v.(2 * k) and im = v.((2 * k) + 1) in
+      (re *. re) +. (im *. im))
 
-let approx_equal ?eps a b =
+let approx_equal ?(eps = Cx.default_eps) (a : t) (b : t) =
   Array.length a = Array.length b
   && (let ok = ref true in
-      Array.iteri (fun k z -> if not (Cx.approx_equal ?eps z b.(k)) then ok := false) a;
+      for i = 0 to Array.length a - 1 do
+        if Float.abs (a.(i) -. b.(i)) > eps then ok := false
+      done;
       !ok)
 
 let equal_up_to_global_phase ?(eps = 1e-8) a b =
@@ -63,26 +162,29 @@ let equal_up_to_global_phase ?(eps = 1e-8) a b =
   (* Align on the largest-magnitude entry of [a] to avoid dividing by a
      numerically tiny amplitude. *)
   let pivot = ref (-1) and best = ref 0.0 in
-  Array.iteri
-    (fun k z ->
-      let m = Cx.norm2 z in
-      if m > !best then begin best := m; pivot := k end)
-    a;
+  for k = 0 to length a - 1 do
+    let re = a.(2 * k) and im = a.((2 * k) + 1) in
+    let m = (re *. re) +. (im *. im) in
+    if m > !best then begin
+      best := m;
+      pivot := k
+    end
+  done;
   if !pivot < 0 then norm b <= eps
-  else if Cx.norm2 b.(!pivot) < 1e-20 then false
+  else if Cx.norm2 (get b !pivot) < 1e-20 then false
   else
-    let factor = Cx.div a.(!pivot) b.(!pivot) in
+    let factor = Cx.div (get a !pivot) (get b !pivot) in
     approx_equal ~eps a (scale factor b)
 
 let fidelity a b =
   let d = dot a b in
   Cx.norm2 d
 
-let memory_bytes v = 16 * Array.length v
+let memory_bytes (v : t) = 8 * Array.length v
 
 let pp ppf v =
   Format.fprintf ppf "@[<hov 1>[";
-  Array.iteri
+  iteri
     (fun k z ->
       if k > 0 then Format.fprintf ppf ";@ ";
       Cx.pp ppf z)

@@ -1,7 +1,21 @@
 (** Dense complex vectors.
 
     The array representation of quantum states from Section II of the
-    paper: an [n]-qubit register is a vector of [2^n] amplitudes. *)
+    paper: an [n]-qubit register is a vector of [2^n] amplitudes.
+
+    {b Storage (unboxed substrate).}  A vector is one flat [float array]
+    of [2n] raw floats, interleaved [re0; im0; re1; im1; ...] — OCaml
+    stores float arrays as unboxed blocks, so the whole vector is a
+    single heap object and the arithmetic kernels below never allocate a
+    box per amplitude.  [Cx.t] values appear only at the API boundary.
+
+    {b Ownership and aliasing.}  Functions returning [t] return freshly
+    allocated storage unless documented otherwise.  {!buffer} and
+    {!of_buffer} {e borrow}/{e adopt} storage without copying: a caller
+    holding the underlying buffer of a vector may observe (and cause)
+    in-place mutation.  The in-place kernels ([*_inplace], {!axpy},
+    {!blit}, {!fill_zero}) mutate their last argument and must not be
+    given aliased arguments unless stated. *)
 
 type t
 
@@ -17,6 +31,18 @@ val of_array : Cx.t array -> t
 (** [to_array v] is a copy of the entries of [v]. *)
 val to_array : t -> Cx.t array
 
+(** [buffer v] {e borrows} the underlying flat float storage of [v]
+    (length [2 · length v], interleaved re/im, entry [k] at offsets
+    [2k, 2k+1]).  No copy: writes through the buffer mutate [v].  Do not
+    resize or retain it past the lifetime of [v]'s logical value. *)
+val buffer : t -> float array
+
+(** [of_buffer b] {e adopts} [b] (even length required) as a vector of
+    length [Array.length b / 2] without copying — the inverse of
+    {!buffer}.  The caller must not mutate [b] afterwards unless it
+    intends to mutate the vector. *)
+val of_buffer : float array -> t
+
 (** [basis ~dim k] is the computational basis vector [|k⟩]. *)
 val basis : dim:int -> int -> t
 
@@ -24,14 +50,35 @@ val length : t -> int
 val get : t -> int -> Cx.t
 val set : t -> int -> Cx.t -> unit
 val copy : t -> t
+
+(** [blit src dst] copies [src] over [dst] in place (equal lengths). *)
+val blit : t -> t -> unit
+
+(** [fill_zero v] zeroes [v] in place. *)
+val fill_zero : t -> unit
+
 val map : (Cx.t -> Cx.t) -> t -> t
 val iteri : (int -> Cx.t -> unit) -> t -> unit
 val add : t -> t -> t
 val sub : t -> t -> t
 val scale : Cx.t -> t -> t
 
-(** [dot a b] is the Hermitian inner product [⟨a|b⟩] (conjugating [a]). *)
+(** [scale_inplace s v] — [v ← s·v] without allocating. *)
+val scale_inplace : Cx.t -> t -> unit
+
+(** [rescale_inplace s v] — [v ← s·v] for a real scalar [s]. *)
+val rescale_inplace : float -> t -> unit
+
+(** [axpy ~alpha x y] — [y ← y + alpha·x] without allocating.
+    [x] and [y] must not alias. *)
+val axpy : alpha:Cx.t -> t -> t -> unit
+
+(** [dot a b] is the Hermitian inner product [⟨a|b⟩] (conjugating [a]).
+    Runs box-free over the flat buffers. *)
 val dot : t -> t -> Cx.t
+
+(** [norm2 v] is [⟨v|v⟩] (a real number), computed without intermediates. *)
+val norm2 : t -> float
 
 (** [norm v] is the Euclidean norm [√⟨v|v⟩]. *)
 val norm : t -> float

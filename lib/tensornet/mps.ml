@@ -2,25 +2,34 @@ open Qdt_linalg
 open Qdt_circuit
 
 (* Site tensor A[l][p][r]: left bond, physical bit, right bond; stored
-   row-major as data.((l*2 + p) * dr + r). *)
-type site = { dl : int; dr : int; data : Cx.t array }
+   row-major in one flat interleaved float buffer — entry (l, p, r) at
+   linear offset ((l*2 + p) * dr + r), float pair at twice that (the
+   {!Qdt_linalg.Vec} layout).  The two-qubit hot path below moves raw
+   float pairs only; [Cx.t] survives in the cold contraction helpers. *)
+type site = { dl : int; dr : int; data : float array }
 
 type t = {
   n : int;
   sites : site array;
   mutable dropped : float;
+  (* Reused theta workspace for {!apply_gate2}; grown geometrically, never
+     shrunk, so steady-state gate application allocates only the exact
+     theta' handed off to the SVD. *)
+  mutable scratch : float array;
 }
 
-let site_get s l p r = s.data.((((l * 2) + p) * s.dr) + r)
+let site_get s l p r =
+  let o = 2 * ((((l * 2) + p) * s.dr) + r) in
+  { Cx.re = s.data.(o); im = s.data.(o + 1) }
 
 let create n =
   if n < 1 then invalid_arg "Mps.create: need n >= 1";
   let site0 =
-    let data = Array.make 2 Cx.zero in
-    data.(0) <- Cx.one;
+    let data = Array.make 4 0.0 in
+    data.(0) <- 1.0;
     { dl = 1; dr = 1; data }
   in
-  { n; sites = Array.init n (fun _ -> site0); dropped = 0.0 }
+  { n; sites = Array.init n (fun _ -> site0); dropped = 0.0; scratch = [||] }
 
 let num_qubits mps = mps.n
 
@@ -33,22 +42,29 @@ let max_bond_dim mps =
 let truncation_error mps = mps.dropped
 
 let memory_bytes mps =
-  Array.fold_left (fun acc s -> acc + (16 * Array.length s.data)) 0 mps.sites
+  Array.fold_left (fun acc s -> acc + (8 * Array.length s.data)) 0 mps.sites
 
 let apply_gate1 mps u q =
   if Mat.rows u <> 2 || Mat.cols u <> 2 then invalid_arg "Mps.apply_gate1: need 2x2";
   if q < 0 || q >= mps.n then invalid_arg "Mps.apply_gate1: qubit out of range";
   let s = mps.sites.(q) in
-  let data = Array.make (Array.length s.data) Cx.zero in
+  let ub = Mat.buffer u in
+  let u00r = ub.(0) and u00i = ub.(1) and u01r = ub.(2) and u01i = ub.(3) in
+  let u10r = ub.(4) and u10i = ub.(5) and u11r = ub.(6) and u11i = ub.(7) in
+  let sd = s.data in
+  let data = Array.make (Array.length sd) 0.0 in
+  (* For each (l, r) the physical pair sits [2·dr] floats apart. *)
   for l = 0 to s.dl - 1 do
+    let base = 2 * l * 2 * s.dr in
     for r = 0 to s.dr - 1 do
-      for p' = 0 to 1 do
-        let acc = ref Cx.zero in
-        for p = 0 to 1 do
-          acc := Cx.mul_add !acc (Mat.get u p' p) (site_get s l p r)
-        done;
-        data.((((l * 2) + p') * s.dr) + r) <- !acc
-      done
+      let o0 = base + (2 * r) in
+      let o1 = o0 + (2 * s.dr) in
+      let a0r = sd.(o0) and a0i = sd.(o0 + 1) in
+      let a1r = sd.(o1) and a1i = sd.(o1 + 1) in
+      data.(o0) <- (u00r *. a0r) -. (u00i *. a0i) +. ((u01r *. a1r) -. (u01i *. a1i));
+      data.(o0 + 1) <- (u00r *. a0i) +. (u00i *. a0r) +. ((u01r *. a1i) +. (u01i *. a1r));
+      data.(o1) <- (u10r *. a0r) -. (u10i *. a0i) +. ((u11r *. a1r) -. (u11i *. a1i));
+      data.(o1 + 1) <- (u10r *. a0i) +. (u10i *. a0r) +. ((u11r *. a1i) +. (u11i *. a1r))
     done
   done;
   mps.sites.(q) <- { s with data }
@@ -59,6 +75,10 @@ let apply_gate1 mps u q =
 let m_gates2 = Qdt_obs.Metrics.counter "mps.gates2"
 let m_bond = Qdt_obs.Metrics.histogram "mps.bond_dim"
 
+let scratch_floats mps n =
+  if Array.length mps.scratch < n then mps.scratch <- Array.make n 0.0;
+  mps.scratch
+
 let apply_gate2 mps ?(max_bond = max_int) ?(cutoff = 1e-12) u q =
   if Mat.rows u <> 4 || Mat.cols u <> 4 then invalid_arg "Mps.apply_gate2: need 4x4";
   if q < 0 || q + 1 >= mps.n then invalid_arg "Mps.apply_gate2: pair out of range";
@@ -67,49 +87,78 @@ let apply_gate2 mps ?(max_bond = max_int) ?(cutoff = 1e-12) u q =
   let a = mps.sites.(q) and b = mps.sites.(q + 1) in
   assert (a.dr = b.dl);
   let dl = a.dl and dm = a.dr and dr = b.dr in
-  (* theta[l][p0][p1][r] = Σ_m A[l][p0][m] · B[m][p1][r], then the gate:
-     matrix index is p1·2 + p0 (bit 0 = qubit q). *)
-  let theta = Array.make (dl * 4 * dr) Cx.zero in
-  let theta_idx l p0 p1 r = ((((l * 2) + p0) * 2 + p1) * dr) + r in
+  let len = dl * 4 * dr in
+  (* theta[l][p0][p1][r] = Σ_m A[l][p0][m] · B[m][p1][r]; the float pair of
+     (l, p0, p1, r) sits at 2·((((l·2 + p0)·2 + p1)·dr) + r).  theta lives
+     in the reused scratch buffer. *)
+  let theta = scratch_floats mps (2 * len) in
+  Array.fill theta 0 (2 * len) 0.0;
+  let ad = a.data and bd = b.data in
   for l = 0 to dl - 1 do
     for p0 = 0 to 1 do
+      let arow = 2 * (((l * 2) + p0) * dm) in
+      let trow = 2 * (((l * 2) + p0) * 2 * dr) in
       for m = 0 to dm - 1 do
-        let av = site_get a l p0 m in
-        if not (Cx.is_zero ~eps:0.0 av) then
+        let avr = ad.(arow + (2 * m)) and avi = ad.(arow + (2 * m) + 1) in
+        if avr <> 0.0 || avi <> 0.0 then
           for p1 = 0 to 1 do
+            let brow = 2 * (((m * 2) + p1) * dr) in
+            let torow = trow + (2 * p1 * dr) in
             for r = 0 to dr - 1 do
-              theta.(theta_idx l p0 p1 r) <-
-                Cx.mul_add (theta.(theta_idx l p0 p1 r)) av (site_get b m p1 r)
+              let bvr = bd.(brow + (2 * r)) and bvi = bd.(brow + (2 * r) + 1) in
+              theta.(torow + (2 * r)) <-
+                theta.(torow + (2 * r)) +. ((avr *. bvr) -. (avi *. bvi));
+              theta.(torow + (2 * r) + 1) <-
+                theta.(torow + (2 * r) + 1) +. ((avr *. bvi) +. (avi *. bvr))
             done
           done
       done
     done
   done;
-  let theta' = Array.make (dl * 4 * dr) Cx.zero in
+  (* Gate application: matrix index is p1·2 + p0 (bit 0 = qubit q).  The
+     result goes to a fresh exact-size buffer whose layout — rows (l, p0),
+     cols (p1, r) — is precisely the row-major (dl·2) × (2·dr) matrix the
+     SVD wants, so the matrix below adopts it without copying. *)
+  let theta' = Array.make (2 * len) 0.0 in
+  let ub = Mat.buffer u in
   for l = 0 to dl - 1 do
+    let lbase = 2 * (l * 4 * dr) in
     for r = 0 to dr - 1 do
-      for p0' = 0 to 1 do
-        for p1' = 0 to 1 do
-          let acc = ref Cx.zero in
-          for p0 = 0 to 1 do
-            for p1 = 0 to 1 do
-              acc :=
-                Cx.mul_add !acc
-                  (Mat.get u ((p1' * 2) + p0') ((p1 * 2) + p0))
-                  theta.(theta_idx l p0 p1 r)
-            done
-          done;
-          theta'.(theta_idx l p0' p1' r) <- !acc
-        done
-      done
+      (* offsets of (p0, p1) = (0,0), (1,0), (0,1), (1,1) — matrix index
+         order 0, 1, 2, 3 — for this (l, r) *)
+      let o0 = lbase + (2 * r) in
+      let o1 = o0 + (2 * 2 * dr) in
+      let o2 = o0 + (2 * dr) in
+      let o3 = o1 + (2 * dr) in
+      let a0r = theta.(o0) and a0i = theta.(o0 + 1) in
+      let a1r = theta.(o1) and a1i = theta.(o1 + 1) in
+      let a2r = theta.(o2) and a2i = theta.(o2 + 1) in
+      let a3r = theta.(o3) and a3i = theta.(o3 + 1) in
+      let row_re j =
+        let bse = 8 * j in
+        (ub.(bse) *. a0r) -. (ub.(bse + 1) *. a0i)
+        +. ((ub.(bse + 2) *. a1r) -. (ub.(bse + 3) *. a1i))
+        +. ((ub.(bse + 4) *. a2r) -. (ub.(bse + 5) *. a2i))
+        +. ((ub.(bse + 6) *. a3r) -. (ub.(bse + 7) *. a3i))
+      and row_im j =
+        let bse = 8 * j in
+        (ub.(bse) *. a0i) +. (ub.(bse + 1) *. a0r)
+        +. ((ub.(bse + 2) *. a1i) +. (ub.(bse + 3) *. a1r))
+        +. ((ub.(bse + 4) *. a2i) +. (ub.(bse + 5) *. a2r))
+        +. ((ub.(bse + 6) *. a3i) +. (ub.(bse + 7) *. a3r))
+      in
+      theta'.(o0) <- row_re 0;
+      theta'.(o0 + 1) <- row_im 0;
+      theta'.(o1) <- row_re 1;
+      theta'.(o1 + 1) <- row_im 1;
+      theta'.(o2) <- row_re 2;
+      theta'.(o2 + 1) <- row_im 2;
+      theta'.(o3) <- row_re 3;
+      theta'.(o3 + 1) <- row_im 3
     done
   done;
   (* Split with SVD: rows (l, p0), cols (p1, r). *)
-  let m = Mat.init (dl * 2) (2 * dr) (fun row col ->
-      let l = row / 2 and p0 = row mod 2 in
-      let p1 = col / dr and r = col mod dr in
-      theta'.(theta_idx l p0 p1 r))
-  in
+  let m = Mat.of_buffer ~rows:(dl * 2) ~cols:(2 * dr) theta' in
   Qdt_obs.Trace.emit_begin "mps.svd";
   let d = Svd.decompose m in
   let truncated, dropped = Svd.truncate ~max_rank:max_bond ~cutoff d in
@@ -117,21 +166,20 @@ let apply_gate2 mps ?(max_bond = max_int) ?(cutoff = 1e-12) u q =
   mps.dropped <- mps.dropped +. dropped;
   let k = Array.length truncated.Svd.sigma in
   Qdt_obs.Metrics.observe m_bond k;
-  let a_data = Array.make (dl * 2 * k) Cx.zero in
-  for row = 0 to (dl * 2) - 1 do
-    for c = 0 to k - 1 do
-      a_data.((row * k) + c) <- Mat.get truncated.Svd.u row c
-    done
-  done;
-  let b_data = Array.make (k * 2 * dr) Cx.zero in
+  (* Both factors come out of [Svd.truncate] freshly allocated with
+     exactly the site layouts we need — adopt their buffers.  Left site:
+     u is (dl·2) × k row-major = (l, p0, rk).  Right site: fold the
+     singular values into vdag's rows in place; k × (2·dr) row-major =
+     (rk, p1, r). *)
+  let b_data = Mat.buffer truncated.Svd.vdag in
   for rk = 0 to k - 1 do
-    for col = 0 to (2 * dr) - 1 do
-      (* fold the singular values into the right factor *)
-      b_data.((rk * 2 * dr) + col) <-
-        Cx.scale truncated.Svd.sigma.(rk) (Mat.get truncated.Svd.vdag rk col)
+    let s = truncated.Svd.sigma.(rk) in
+    let row = 2 * rk * 2 * dr in
+    for i = row to row + (4 * dr) - 1 do
+      b_data.(i) <- s *. b_data.(i)
     done
   done;
-  mps.sites.(q) <- { dl; dr = k; data = a_data };
+  mps.sites.(q) <- { dl; dr = k; data = Mat.buffer truncated.Svd.u };
   mps.sites.(q + 1) <- { dl = k; dr; data = b_data };
   Qdt_obs.Trace.emit_end "mps.apply2"
 

@@ -1,6 +1,13 @@
 open Qdt_linalg
 
-type t = { shape : int array; labels : int array; data : Cx.t array }
+(* Unboxed storage: entries live in one flat interleaved [float array]
+   (entry at linear offset [k] occupies floats [2k] / [2k+1]), row-major
+   over the shape.  [Cx.t] appears only at the [get]/[set]/[init]
+   boundary; permutation and contraction move raw float pairs.  The
+   layout matches {!Qdt_linalg.Vec} and {!Qdt_linalg.Mat}, so
+   vector/matrix conversions are single [Array.copy]s (or, for
+   {!to_vec}, a zero-copy adoption). *)
+type t = { shape : int array; labels : int array; data : float array }
 
 let validate shape labels =
   if Array.length shape <> Array.length labels then
@@ -17,7 +24,11 @@ let total shape = Array.fold_left ( * ) 1 shape
 
 let create ~shape ~labels =
   validate shape labels;
-  { shape = Array.copy shape; labels = Array.copy labels; data = Array.make (total shape) Cx.zero }
+  {
+    shape = Array.copy shape;
+    labels = Array.copy labels;
+    data = Array.make (2 * total shape) 0.0;
+  }
 
 (* Row-major strides: last axis has stride 1. *)
 let strides shape =
@@ -44,11 +55,16 @@ let index_of_offset shape off =
   idx
 
 let init ~shape ~labels f =
-  validate shape labels;
-  let data = Array.init (total shape) (fun off -> f (index_of_offset shape off)) in
-  { shape = Array.copy shape; labels = Array.copy labels; data }
+  let t = create ~shape ~labels in
+  let n = total shape in
+  for off = 0 to n - 1 do
+    let z = f (index_of_offset shape off) in
+    t.data.(2 * off) <- z.Cx.re;
+    t.data.((2 * off) + 1) <- z.Cx.im
+  done;
+  t
 
-let scalar z = { shape = [||]; labels = [||]; data = [| z |] }
+let scalar (z : Cx.t) = { shape = [||]; labels = [||]; data = [| z.Cx.re; z.Cx.im |] }
 
 let log2_exact len =
   let rec go acc k = if k = 1 then acc else go (acc + 1) (k / 2) in
@@ -61,7 +77,8 @@ let of_vec ~labels v =
   if Array.length labels <> n then invalid_arg "Tensor.of_vec: need one label per qubit";
   let shape = Array.make n 2 in
   validate shape labels;
-  { shape; labels = Array.copy labels; data = Vec.to_array v }
+  (* The flat row-major qubit layout is exactly the Vec layout. *)
+  { shape; labels = Array.copy labels; data = Array.copy (Vec.buffer v) }
 
 let of_mat ~row_labels ~col_labels m =
   let r = log2_exact (Mat.rows m) and c = log2_exact (Mat.cols m) in
@@ -70,21 +87,26 @@ let of_mat ~row_labels ~col_labels m =
   let shape = Array.make (r + c) 2 in
   let labels = Array.append row_labels col_labels in
   validate shape labels;
-  let data =
-    Array.init (total shape) (fun off -> Mat.get m (off / Mat.cols m) (off mod Mat.cols m))
-  in
-  { shape; labels; data }
+  (* Row axes first, row-major: identical to the Mat buffer layout. *)
+  { shape; labels; data = Array.copy (Mat.buffer m) }
 
 let rank t = Array.length t.shape
 let shape t = Array.copy t.shape
 let labels t = Array.copy t.labels
-let size t = Array.length t.data
-let get t idx = t.data.(offset_of (strides t.shape) idx)
-let set t idx z = t.data.(offset_of (strides t.shape) idx) <- z
+let size t = Array.length t.data / 2
+
+let get t idx =
+  let o = 2 * offset_of (strides t.shape) idx in
+  { Cx.re = t.data.(o); im = t.data.(o + 1) }
+
+let set t idx (z : Cx.t) =
+  let o = 2 * offset_of (strides t.shape) idx in
+  t.data.(o) <- z.Cx.re;
+  t.data.(o + 1) <- z.Cx.im
 
 let to_scalar t =
   if rank t <> 0 then invalid_arg "Tensor.to_scalar: rank is not 0";
-  t.data.(0)
+  { Cx.re = t.data.(0); im = t.data.(1) }
 
 let axis_of_label t l =
   let found = ref (-1) in
@@ -98,16 +120,37 @@ let permute t order =
   let new_shape = Array.map (fun a -> t.shape.(a)) axes in
   let old_strides = strides t.shape in
   let new_strides_in_old = Array.map (fun a -> old_strides.(a)) axes in
-  let data =
-    Array.init (Array.length t.data) (fun off ->
-        let idx = index_of_offset new_shape off in
-        t.data.(offset_of new_strides_in_old idx))
-  in
+  let n = size t in
+  let rk = Array.length new_shape in
+  let data = Array.make (2 * n) 0.0 in
+  (* Odometer over the destination index; the source offset is maintained
+     incrementally, so the copy moves raw float pairs with no per-entry
+     index allocation. *)
+  let idx = Array.make rk 0 in
+  let src = ref 0 in
+  for off = 0 to n - 1 do
+    data.(2 * off) <- t.data.(2 * !src);
+    data.((2 * off) + 1) <- t.data.((2 * !src) + 1);
+    let k = ref (rk - 1) in
+    let carrying = ref (rk > 0) in
+    while !carrying && !k >= 0 do
+      idx.(!k) <- idx.(!k) + 1;
+      src := !src + new_strides_in_old.(!k);
+      if idx.(!k) < new_shape.(!k) then carrying := false
+      else begin
+        src := !src - (new_shape.(!k) * new_strides_in_old.(!k));
+        idx.(!k) <- 0;
+        decr k
+      end
+    done
+  done;
   { shape = new_shape; labels = Array.copy order; data }
 
 let to_vec t ~order =
+  (* [permute] returns freshly allocated storage, so the vector can adopt
+     it without copying. *)
   let flat = permute t order in
-  Vec.of_array flat.data
+  Vec.of_buffer flat.data
 
 let relabel t f =
   let labels = Array.map f t.labels in
@@ -126,7 +169,7 @@ let contract a b =
   let shared = shared_labels a b in
   let free_a = free_labels a b and free_b = free_labels b a in
   (* Bring [a] to [free_a; shared] and [b] to [shared; free_b] and
-     matrix-multiply. *)
+     matrix-multiply over the raw float buffers. *)
   let a' = permute a (Array.of_list (free_a @ shared)) in
   let b' = permute b (Array.of_list (shared @ free_b)) in
   let dim l = List.fold_left ( * ) 1 l in
@@ -135,15 +178,21 @@ let contract a b =
   let n = dim (dims_of b free_b) in
   let out_shape = Array.of_list (dims_of a free_a @ dims_of b free_b) in
   let out_labels = Array.of_list (free_a @ free_b) in
-  let data = Array.make (m * n) Cx.zero in
+  let data = Array.make (2 * m * n) 0.0 in
+  let ad = a'.data and bd = b'.data in
   for row = 0 to m - 1 do
+    let arow = 2 * row * k and orow = 2 * row * n in
     for kk = 0 to k - 1 do
-      let av = a'.data.((row * k) + kk) in
-      if not (Cx.is_zero ~eps:0.0 av) then
+      let ar = ad.(arow + (2 * kk)) and ai = ad.(arow + (2 * kk) + 1) in
+      if ar <> 0.0 || ai <> 0.0 then begin
+        let brow = 2 * kk * n in
         for col = 0 to n - 1 do
-          data.((row * n) + col) <-
-            Cx.mul_add data.((row * n) + col) av b'.data.((kk * n) + col)
+          let br = bd.(brow + (2 * col)) and bi = bd.(brow + (2 * col) + 1) in
+          data.(orow + (2 * col)) <- data.(orow + (2 * col)) +. ((ar *. br) -. (ai *. bi));
+          data.(orow + (2 * col) + 1) <-
+            data.(orow + (2 * col) + 1) +. ((ar *. bi) +. (ai *. br))
         done
+      end
     done
   done;
   { shape = out_shape; labels = out_labels; data }
@@ -164,32 +213,35 @@ let fix t ~label ~value =
     Array.of_list (List.filteri (fun k _ -> k <> axis) (Array.to_list t.labels))
   in
   let old_strides = strides t.shape in
-  let data =
-    Array.init (total new_shape) (fun off ->
-        let idx = index_of_offset new_shape off in
-        (* splice [value] back at [axis] *)
-        let full = Array.make (rank t) 0 in
-        let j = ref 0 in
-        for k = 0 to rank t - 1 do
-          if k = axis then full.(k) <- value
-          else begin
-            full.(k) <- idx.(!j);
-            incr j
-          end
-        done;
-        t.data.(offset_of old_strides full))
-  in
+  let n = total new_shape in
+  let data = Array.make (2 * n) 0.0 in
+  let full = Array.make (rank t) 0 in
+  for off = 0 to n - 1 do
+    let idx = index_of_offset new_shape off in
+    (* splice [value] back at [axis] *)
+    let j = ref 0 in
+    for k = 0 to rank t - 1 do
+      if k = axis then full.(k) <- value
+      else begin
+        full.(k) <- idx.(!j);
+        incr j
+      end
+    done;
+    let src = 2 * offset_of old_strides full in
+    data.(2 * off) <- t.data.(src);
+    data.((2 * off) + 1) <- t.data.(src + 1)
+  done;
   { shape = new_shape; labels = new_labels; data }
 
-let approx_equal ?eps a b =
+let approx_equal ?(eps = Cx.default_eps) a b =
   a.shape = b.shape && a.labels = b.labels
   && (let ok = ref true in
-      Array.iteri
-        (fun k z -> if not (Cx.approx_equal ?eps z b.data.(k)) then ok := false)
-        a.data;
+      for i = 0 to Array.length a.data - 1 do
+        if Float.abs (a.data.(i) -. b.data.(i)) > eps then ok := false
+      done;
       !ok)
 
-let memory_bytes t = 16 * Array.length t.data
+let memory_bytes t = 8 * Array.length t.data
 
 let pp ppf t =
   Format.fprintf ppf "tensor(shape=[%s], labels=[%s])"

@@ -4,7 +4,14 @@
     carry integer labels; contracting two tensors sums over their shared
     labels (Example 3: matrix product as contraction of two rank-2
     tensors over the shared index k).  Storage is row-major: the first
-    axis varies slowest. *)
+    axis varies slowest.
+
+    {b Storage (unboxed substrate).}  Entries live in one flat
+    interleaved [float array] (the {!Qdt_linalg.Vec} layout), so
+    {!of_vec}/{!of_mat} are single buffer copies, {!to_vec} adopts the
+    permuted storage without copying, and {!contract} runs a box-free
+    float kernel.  All functions returning [t] allocate fresh storage;
+    no function aliases its argument's storage. *)
 
 type t
 

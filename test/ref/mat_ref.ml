@@ -1,0 +1,124 @@
+(* Boxed reference implementation of Mat (pre-unboxing); see vec_ref.ml. *)
+open Qdt_linalg
+
+type t = { rows : int; cols : int; data : Cx.t array }
+
+let create rows cols = { rows; cols; data = Array.make (rows * cols) Cx.zero }
+
+let init rows cols f =
+  { rows; cols; data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+
+let identity n = init n n (fun r c -> if r = c then Cx.one else Cx.zero)
+
+let of_rows rows_arr =
+  let rows = Array.length rows_arr in
+  if rows = 0 then invalid_arg "Mat.of_rows: empty";
+  let cols = Array.length rows_arr.(0) in
+  Array.iter
+    (fun row -> if Array.length row <> cols then invalid_arg "Mat.of_rows: ragged rows")
+    rows_arr;
+  init rows cols (fun r c -> rows_arr.(r).(c))
+
+let rows m = m.rows
+let cols m = m.cols
+let get m r c = m.data.((r * m.cols) + c)
+let set m r c z = m.data.((r * m.cols) + c) <- z
+let to_rows m = Array.init m.rows (fun r -> Array.init m.cols (fun c -> get m r c))
+let copy m = { m with data = Array.copy m.data }
+
+let binop op a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Mat: shape mismatch";
+  { a with data = Array.init (Array.length a.data) (fun k -> op a.data.(k) b.data.(k)) }
+
+let add = binop Cx.add
+let sub = binop Cx.sub
+let scale s m = { m with data = Array.map (Cx.mul s) m.data }
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mul: shape mismatch";
+  let out = create a.rows b.cols in
+  for r = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.((r * a.cols) + k) in
+      if not (Cx.is_zero aik) then
+        for c = 0 to b.cols - 1 do
+          out.data.((r * b.cols) + c) <-
+            Cx.mul_add out.data.((r * b.cols) + c) aik b.data.((k * b.cols) + c)
+        done
+    done
+  done;
+  out
+
+let mul_vec m v =
+  if m.cols <> Vec_ref.length v then invalid_arg "Mat.mul_vec: shape mismatch";
+  Vec_ref.init m.rows (fun r ->
+      let acc = ref Cx.zero in
+      for c = 0 to m.cols - 1 do
+        acc := Cx.mul_add !acc m.data.((r * m.cols) + c) (Vec_ref.get v c)
+      done;
+      !acc)
+
+let transpose m = init m.cols m.rows (fun r c -> get m c r)
+let dagger m = init m.cols m.rows (fun r c -> Cx.conj (get m c r))
+
+let kron a b =
+  init (a.rows * b.rows) (a.cols * b.cols) (fun r c ->
+      Cx.mul (get a (r / b.rows) (c / b.cols)) (get b (r mod b.rows) (c mod b.cols)))
+
+let trace m =
+  let n = min m.rows m.cols in
+  let acc = ref Cx.zero in
+  for k = 0 to n - 1 do
+    acc := Cx.add !acc (get m k k)
+  done;
+  !acc
+
+let approx_equal ?eps a b =
+  a.rows = b.rows && a.cols = b.cols
+  && (let ok = ref true in
+      Array.iteri
+        (fun k z -> if not (Cx.approx_equal ?eps z b.data.(k)) then ok := false)
+        a.data;
+      !ok)
+
+let is_unitary ?(eps = 1e-9) m =
+  m.rows = m.cols && approx_equal ~eps (mul (dagger m) m) (identity m.rows)
+
+let hilbert_schmidt a b = trace (mul (dagger a) b)
+
+let equal_up_to_global_phase ?(eps = 1e-8) a b =
+  a.rows = b.rows && a.cols = b.cols
+  &&
+  let pivot = ref (-1) and best = ref 0.0 in
+  Array.iteri
+    (fun k z ->
+      let m2 = Cx.norm2 z in
+      if m2 > !best then begin best := m2; pivot := k end)
+    a.data;
+  if !pivot < 0 then
+    Array.for_all (fun z -> Cx.is_zero ~eps z) b.data
+  else if Cx.norm2 b.data.(!pivot) < 1e-20 then false
+  else
+    let factor = Cx.div a.data.(!pivot) b.data.(!pivot) in
+    approx_equal ~eps a (scale factor b)
+
+let frobenius_distance a b =
+  let d = sub a b in
+  let acc = ref 0.0 in
+  Array.iter (fun z -> acc := !acc +. Cx.norm2 z) d.data;
+  Float.sqrt !acc
+
+let memory_bytes m = 16 * Array.length m.data
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v 0>";
+  for r = 0 to m.rows - 1 do
+    if r > 0 then Format.fprintf ppf "@,";
+    Format.fprintf ppf "@[<hov 1>[";
+    for c = 0 to m.cols - 1 do
+      if c > 0 then Format.fprintf ppf ";@ ";
+      Cx.pp ppf (get m r c)
+    done;
+    Format.fprintf ppf "]@]"
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,210 @@
+(* Boxed reference MPS simulator (pre-unboxing), using the boxed
+   Mat_ref/Svd_ref stack for its theta/SVD path so the e18 baseline
+   measures the old allocation behaviour end to end.  Gate matrices
+   arrive as (unboxed) Qdt_linalg.Mat.t and are read entrywise via
+   Mat.get at the boundary.  Observability instrumentation stripped;
+   see sv_ref.ml. *)
+open Qdt_linalg
+open Qdt_circuit
+
+(* Site tensor A[l][p][r]: left bond, physical bit, right bond; stored
+   row-major as data.((l*2 + p) * dr + r). *)
+type site = { dl : int; dr : int; data : Cx.t array }
+
+type t = {
+  n : int;
+  sites : site array;
+  mutable dropped : float;
+}
+
+let site_get s l p r = s.data.((((l * 2) + p) * s.dr) + r)
+
+let create n =
+  if n < 1 then invalid_arg "Mps_ref.create: need n >= 1";
+  let site0 =
+    let data = Array.make 2 Cx.zero in
+    data.(0) <- Cx.one;
+    { dl = 1; dr = 1; data }
+  in
+  { n; sites = Array.init n (fun _ -> site0); dropped = 0.0 }
+
+let num_qubits mps = mps.n
+
+let max_bond_dim mps =
+  Array.fold_left (fun acc s -> max acc (max s.dl s.dr)) 1 mps.sites
+
+let truncation_error mps = mps.dropped
+
+let memory_bytes mps =
+  Array.fold_left (fun acc s -> acc + (16 * Array.length s.data)) 0 mps.sites
+
+let apply_gate1 mps u q =
+  if Mat.rows u <> 2 || Mat.cols u <> 2 then invalid_arg "Mps_ref.apply_gate1: need 2x2";
+  if q < 0 || q >= mps.n then invalid_arg "Mps_ref.apply_gate1: qubit out of range";
+  let s = mps.sites.(q) in
+  let data = Array.make (Array.length s.data) Cx.zero in
+  for l = 0 to s.dl - 1 do
+    for r = 0 to s.dr - 1 do
+      for p' = 0 to 1 do
+        let acc = ref Cx.zero in
+        for p = 0 to 1 do
+          acc := Cx.mul_add !acc (Mat.get u p' p) (site_get s l p r)
+        done;
+        data.((((l * 2) + p') * s.dr) + r) <- !acc
+      done
+    done
+  done;
+  mps.sites.(q) <- { s with data }
+
+let apply_gate2 mps ?(max_bond = max_int) ?(cutoff = 1e-12) u q =
+  if Mat.rows u <> 4 || Mat.cols u <> 4 then invalid_arg "Mps_ref.apply_gate2: need 4x4";
+  if q < 0 || q + 1 >= mps.n then invalid_arg "Mps_ref.apply_gate2: pair out of range";
+  let a = mps.sites.(q) and b = mps.sites.(q + 1) in
+  assert (a.dr = b.dl);
+  let dl = a.dl and dm = a.dr and dr = b.dr in
+  (* theta[l][p0][p1][r] = Σ_m A[l][p0][m] · B[m][p1][r], then the gate:
+     matrix index is p1·2 + p0 (bit 0 = qubit q). *)
+  let theta = Array.make (dl * 4 * dr) Cx.zero in
+  let theta_idx l p0 p1 r = ((((l * 2) + p0) * 2 + p1) * dr) + r in
+  for l = 0 to dl - 1 do
+    for p0 = 0 to 1 do
+      for m = 0 to dm - 1 do
+        let av = site_get a l p0 m in
+        if not (Cx.is_zero ~eps:0.0 av) then
+          for p1 = 0 to 1 do
+            for r = 0 to dr - 1 do
+              theta.(theta_idx l p0 p1 r) <-
+                Cx.mul_add (theta.(theta_idx l p0 p1 r)) av (site_get b m p1 r)
+            done
+          done
+      done
+    done
+  done;
+  let theta' = Array.make (dl * 4 * dr) Cx.zero in
+  for l = 0 to dl - 1 do
+    for r = 0 to dr - 1 do
+      for p0' = 0 to 1 do
+        for p1' = 0 to 1 do
+          let acc = ref Cx.zero in
+          for p0 = 0 to 1 do
+            for p1 = 0 to 1 do
+              acc :=
+                Cx.mul_add !acc
+                  (Mat.get u ((p1' * 2) + p0') ((p1 * 2) + p0))
+                  theta.(theta_idx l p0 p1 r)
+            done
+          done;
+          theta'.(theta_idx l p0' p1' r) <- !acc
+        done
+      done
+    done
+  done;
+  (* Split with SVD: rows (l, p0), cols (p1, r). *)
+  let m = Mat_ref.init (dl * 2) (2 * dr) (fun row col ->
+      let l = row / 2 and p0 = row mod 2 in
+      let p1 = col / dr and r = col mod dr in
+      theta'.(theta_idx l p0 p1 r))
+  in
+  let d = Svd_ref.decompose m in
+  let truncated, dropped = Svd_ref.truncate ~max_rank:max_bond ~cutoff d in
+  mps.dropped <- mps.dropped +. dropped;
+  let k = Array.length truncated.Svd_ref.sigma in
+  let a_data = Array.make (dl * 2 * k) Cx.zero in
+  for row = 0 to (dl * 2) - 1 do
+    for c = 0 to k - 1 do
+      a_data.((row * k) + c) <- Mat_ref.get truncated.Svd_ref.u row c
+    done
+  done;
+  let b_data = Array.make (k * 2 * dr) Cx.zero in
+  for rk = 0 to k - 1 do
+    for col = 0 to (2 * dr) - 1 do
+      (* fold the singular values into the right factor *)
+      b_data.((rk * 2 * dr) + col) <-
+        Cx.scale truncated.Svd_ref.sigma.(rk) (Mat_ref.get truncated.Svd_ref.vdag rk col)
+    done
+  done;
+  mps.sites.(q) <- { dl; dr = k; data = a_data };
+  mps.sites.(q + 1) <- { dl = k; dr; data = b_data }
+
+let swap_matrix = Gates.swap
+
+let rec apply_instruction mps ?max_bond ?cutoff instr =
+  match instr with
+  | Circuit.Barrier _ -> ()
+  | Circuit.Measure _ | Circuit.Reset _ ->
+      invalid_arg "Mps_ref.apply_instruction: non-unitary instruction"
+  | Circuit.Apply { gate; controls = []; target } ->
+      apply_gate1 mps (Gate.matrix gate) target
+  | Circuit.Apply { gate = _; controls = _ :: _ :: _; _ } ->
+      invalid_arg "Mps_ref.apply_instruction: gates on 3+ qubits not supported"
+  | Circuit.Swap { controls = _ :: _; _ } ->
+      invalid_arg "Mps_ref.apply_instruction: gates on 3+ qubits not supported"
+  | Circuit.Apply { gate; controls = [ ctl ]; target } ->
+      let lo = min ctl target and hi = max ctl target in
+      if hi - lo > 1 then route mps ?max_bond ?cutoff instr
+      else begin
+        (* 4×4 on (lo, lo+1); local bit 0 = lo. *)
+        let local_ctl = if ctl = lo then 0 else 1 in
+        let local_tgt = 1 - local_ctl in
+        let u =
+          Qdt_arraysim.Unitary_builder.instruction_matrix ~num_qubits:2
+            (Circuit.Apply { gate; controls = [ local_ctl ]; target = local_tgt })
+        in
+        apply_gate2 mps ?max_bond ?cutoff u lo
+      end
+  | Circuit.Swap { controls = []; a; b } ->
+      let lo = min a b and hi = max a b in
+      if hi - lo > 1 then route mps ?max_bond ?cutoff instr
+      else apply_gate2 mps ?max_bond ?cutoff swap_matrix lo
+
+(* Bring the two operands adjacent with swaps, apply, and swap back. *)
+and route mps ?max_bond ?cutoff instr =
+  let lo, hi, rebuild =
+    match instr with
+    | Circuit.Apply { gate; controls = [ ctl ]; target } ->
+        let lo = min ctl target and hi = max ctl target in
+        ( lo,
+          hi,
+          fun hi' ->
+            let ctl' = if ctl < target then lo else hi' in
+            let tgt' = if ctl < target then hi' else lo in
+            Circuit.Apply { gate; controls = [ ctl' ]; target = tgt' } )
+    | Circuit.Swap { controls = []; a; b } ->
+        let lo = min a b and hi = max a b in
+        (lo, hi, fun hi' -> Circuit.Swap { controls = []; a = lo; b = hi' })
+    | _ -> assert false
+  in
+  for k = hi - 1 downto lo + 1 do
+    apply_gate2 mps ?max_bond ?cutoff swap_matrix k
+  done;
+  apply_instruction mps ?max_bond ?cutoff (rebuild (lo + 1));
+  for k = lo + 1 to hi - 1 do
+    apply_gate2 mps ?max_bond ?cutoff swap_matrix k
+  done
+
+let run ?max_bond ?cutoff circuit =
+  if not (Circuit.is_unitary_only circuit) then
+    invalid_arg "Mps_ref.run: circuit measures or resets";
+  let mps = create (Circuit.num_qubits circuit) in
+  List.iter (apply_instruction mps ?max_bond ?cutoff) (Circuit.instructions circuit);
+  mps
+
+let amplitude mps k =
+  (* Left-to-right product of the selected 1×D slices. *)
+  let vec = ref [| Cx.one |] in
+  for q = 0 to mps.n - 1 do
+    let s = mps.sites.(q) in
+    let bit = (k lsr q) land 1 in
+    let next = Array.make s.dr Cx.zero in
+    for r = 0 to s.dr - 1 do
+      let acc = ref Cx.zero in
+      for l = 0 to s.dl - 1 do
+        acc := Cx.mul_add !acc !vec.(l) (site_get s l bit r)
+      done;
+      next.(r) <- !acc
+    done;
+    vec := next
+  done;
+  (!vec).(0)
+
+let to_vec mps = Vec_ref.init (1 lsl mps.n) (fun k -> amplitude mps k)

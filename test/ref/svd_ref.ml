@@ -1,0 +1,124 @@
+(* Boxed reference implementation of Svd (pre-unboxing); see vec_ref.ml. *)
+open Qdt_linalg
+
+type decomposition = { u : Mat_ref.t; sigma : float array; vdag : Mat_ref.t }
+
+(* One-sided Jacobi: right-multiply [a] by unitary plane rotations until its
+   columns are pairwise orthogonal.  The rotations are accumulated into [v];
+   on convergence the column norms of [a] are the singular values, the
+   normalised columns form [u], and [vdag = v†]. *)
+
+let column_dot a p q =
+  (* ⟨a_p | a_q⟩ with conjugation on the first argument. *)
+  let acc = ref Cx.zero in
+  for r = 0 to Mat_ref.rows a - 1 do
+    acc := Cx.mul_add !acc (Cx.conj (Mat_ref.get a r p)) (Mat_ref.get a r q)
+  done;
+  !acc
+
+let rotate_columns m p q ~cs ~sn_pq ~sn_qp =
+  (* col_p ← cs·col_p + sn_pq·col_q ; col_q ← sn_qp·col_p + cs·col_q *)
+  let ccs = Cx.of_float cs in
+  for r = 0 to Mat_ref.rows m - 1 do
+    let vp = Mat_ref.get m r p and vq = Mat_ref.get m r q in
+    Mat_ref.set m r p (Cx.add (Cx.mul ccs vp) (Cx.mul sn_pq vq));
+    Mat_ref.set m r q (Cx.add (Cx.mul sn_qp vp) (Cx.mul ccs vq))
+  done
+
+let jacobi_sweeps a v =
+  let n = Mat_ref.cols a in
+  let tol = 1e-14 in
+  let max_sweeps = 60 in
+  let converged = ref false in
+  let sweep = ref 0 in
+  while (not !converged) && !sweep < max_sweeps do
+    incr sweep;
+    converged := true;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        let alpha = (column_dot a p p).Cx.re in
+        let beta = (column_dot a q q).Cx.re in
+        let gamma = column_dot a p q in
+        let g = Cx.norm gamma in
+        if g > tol *. Float.sqrt (alpha *. beta) && g > 1e-300 then begin
+          converged := false;
+          (* Phase that makes the off-diagonal real positive. *)
+          let phi = Cx.phase gamma in
+          let tau = (alpha -. beta) /. (2.0 *. g) in
+          let t =
+            let s = if tau >= 0.0 then 1.0 else -1.0 in
+            s /. (Float.abs tau +. Float.sqrt (1.0 +. (tau *. tau)))
+          in
+          let cs = 1.0 /. Float.sqrt (1.0 +. (t *. t)) in
+          let sn = t *. cs in
+          (* J = [[cs, -e^{iφ}·sn], [e^{-iφ}·sn, cs]] applied on the right:
+             col_p ← cs·col_p + e^{-iφ}·sn·col_q
+             col_q ← -e^{iφ}·sn·col_p + cs·col_q *)
+          let e_m = Cx.exp_i (-.phi) and e_p = Cx.exp_i phi in
+          let sn_pq = Cx.scale sn e_m in
+          let sn_qp = Cx.scale (-.sn) e_p in
+          rotate_columns a p q ~cs ~sn_pq ~sn_qp;
+          rotate_columns v p q ~cs ~sn_pq ~sn_qp
+        end
+      done
+    done
+  done
+
+let decompose_tall a =
+  let m = Mat_ref.rows a and n = Mat_ref.cols a in
+  let work = Mat_ref.copy a in
+  let v = Mat_ref.identity n in
+  jacobi_sweeps work v;
+  let norms =
+    Array.init n (fun j ->
+        let acc = ref 0.0 in
+        for r = 0 to m - 1 do
+          acc := !acc +. Cx.norm2 (Mat_ref.get work r j)
+        done;
+        Float.sqrt !acc)
+  in
+  let order = Array.init n (fun j -> j) in
+  Array.sort (fun i j -> Float.compare norms.(j) norms.(i)) order;
+  let sigma = Array.map (fun j -> norms.(j)) order in
+  let u =
+    Mat_ref.init m n (fun r c ->
+        let j = order.(c) in
+        if norms.(j) > 1e-300 then Cx.scale (1.0 /. norms.(j)) (Mat_ref.get work r j)
+        else Cx.zero)
+  in
+  let vdag = Mat_ref.init n n (fun r c -> Cx.conj (Mat_ref.get v c order.(r))) in
+  { u; sigma; vdag }
+
+let decompose a =
+  if Mat_ref.rows a >= Mat_ref.cols a then decompose_tall a
+  else
+    (* SVD of A† and swap the factors: A = (V Σ U†)† = U Σ V†. *)
+    let d = decompose_tall (Mat_ref.dagger a) in
+    { u = Mat_ref.dagger d.vdag; sigma = d.sigma; vdag = Mat_ref.dagger d.u }
+
+let truncate ~max_rank ~cutoff d =
+  let r = Array.length d.sigma in
+  let total = Array.fold_left (fun acc s -> acc +. (s *. s)) 0.0 d.sigma in
+  let threshold = cutoff *. Float.sqrt (Float.max total 1e-300) in
+  let keep = ref 0 in
+  while
+    !keep < r && !keep < max_rank && d.sigma.(!keep) > threshold
+  do
+    incr keep
+  done;
+  let k = max 1 !keep in
+  let k = min k r in
+  let dropped = ref 0.0 in
+  for j = k to r - 1 do
+    dropped := !dropped +. (d.sigma.(j) *. d.sigma.(j))
+  done;
+  let u = Mat_ref.init (Mat_ref.rows d.u) k (fun row col -> Mat_ref.get d.u row col) in
+  let vdag = Mat_ref.init k (Mat_ref.cols d.vdag) (fun row col -> Mat_ref.get d.vdag row col) in
+  ({ u; sigma = Array.sub d.sigma 0 k; vdag }, !dropped)
+
+let reconstruct d =
+  let k = Array.length d.sigma in
+  let scaled =
+    Mat_ref.init (Mat_ref.rows d.u) k (fun r c -> Cx.scale d.sigma.(c) (Mat_ref.get d.u r c))
+  in
+  Mat_ref.mul scaled d.vdag

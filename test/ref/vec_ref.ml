@@ -1,0 +1,95 @@
+(* Boxed reference implementation of Vec (pre-unboxing), retained for
+   cross-validation tests and the e18 boxed baselines.  Do not use in
+   production code. *)
+open Qdt_linalg
+
+type t = Cx.t array
+
+let create len = Array.make len Cx.zero
+let init = Array.init
+let of_array = Array.copy
+let to_array = Array.copy
+
+let basis ~dim k =
+  if k < 0 || k >= dim then invalid_arg "Vec.basis: index out of range";
+  let v = create dim in
+  v.(k) <- Cx.one;
+  v
+
+let length = Array.length
+let get = Array.get
+let set = Array.set
+let copy = Array.copy
+let map = Array.map
+let iteri = Array.iteri
+
+let binop op a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vec: length mismatch";
+  Array.init (Array.length a) (fun k -> op a.(k) b.(k))
+
+let add = binop Cx.add
+let sub = binop Cx.sub
+let scale s = Array.map (Cx.mul s)
+
+let dot a b =
+  if Array.length a <> Array.length b then invalid_arg "Vec.dot: length mismatch";
+  let acc = ref Cx.zero in
+  for k = 0 to Array.length a - 1 do
+    acc := Cx.mul_add !acc (Cx.conj a.(k)) b.(k)
+  done;
+  !acc
+
+let norm v =
+  let acc = ref 0.0 in
+  Array.iter (fun z -> acc := !acc +. Cx.norm2 z) v;
+  Float.sqrt !acc
+
+let normalize v =
+  let n = norm v in
+  if n < 1e-14 then invalid_arg "Vec.normalize: zero vector";
+  scale (Cx.of_float (1.0 /. n)) v
+
+let kron a b =
+  let la = Array.length a and lb = Array.length b in
+  Array.init (la * lb) (fun k -> Cx.mul a.(k / lb) b.(k mod lb))
+
+let probabilities = Array.map Cx.norm2
+
+let approx_equal ?eps a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri (fun k z -> if not (Cx.approx_equal ?eps z b.(k)) then ok := false) a;
+      !ok)
+
+let equal_up_to_global_phase ?(eps = 1e-8) a b =
+  Array.length a = Array.length b
+  &&
+  (* Align on the largest-magnitude entry of [a] to avoid dividing by a
+     numerically tiny amplitude. *)
+  let pivot = ref (-1) and best = ref 0.0 in
+  Array.iteri
+    (fun k z ->
+      let m = Cx.norm2 z in
+      if m > !best then begin best := m; pivot := k end)
+    a;
+  if !pivot < 0 then norm b <= eps
+  else if Cx.norm2 b.(!pivot) < 1e-20 then false
+  else
+    let factor = Cx.div a.(!pivot) b.(!pivot) in
+    approx_equal ~eps a (scale factor b)
+
+let fidelity a b =
+  let d = dot a b in
+  Cx.norm2 d
+
+let memory_bytes v = 16 * Array.length v
+
+let pp ppf v =
+  Format.fprintf ppf "@[<hov 1>[";
+  Array.iteri
+    (fun k z ->
+      if k > 0 then Format.fprintf ppf ";@ ";
+      Cx.pp ppf z)
+    v;
+  Format.fprintf ppf "]@]"
