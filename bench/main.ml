@@ -3,29 +3,42 @@
    Experiment ids follow DESIGN.md; measured-vs-paper is recorded in
    EXPERIMENTS.md.
 
-   Run with:  dune exec bench/main.exe                (all experiments)
-              dune exec bench/main.exe -- e16         (one experiment)
-              dune exec bench/main.exe -- e16 --smoke (small sizes, CI)
+   Run with:  dune exec bench/main.exe                 (all experiments)
+              dune exec bench/main.exe -- e16          (one experiment)
+              dune exec bench/main.exe -- e16 --smoke  (small sizes, CI)
+              dune exec bench/main.exe -- e18 --smoke --reps 3 --compare
+                                        (gate against bench/baselines/)
+
+   Every timing is measured --reps times (default 5, 3 under --smoke)
+   and summarised as {median, mad, min, max, reps} — Qdt_obs.Stats —
+   so BENCH_<id>.json carries a noise model, not one number.  --compare
+   diffs the summaries against the committed bench/baselines/<id>.json
+   with a MAD-scaled threshold (Qdt_obs.Baseline) and exits nonzero on
+   regression; --update-baselines blesses the current run instead.
 
    Each experiment additionally writes machine-readable results to
-   BENCH_<id>.json in the working directory: every bechamel timing, any
+   BENCH_<id>.json in the working directory: every timing summary, any
    experiment-specific metrics (e.g. e16's GC counters), and the full
    Qdt_obs metrics registry accumulated while the experiment ran. *)
 
-open Bechamel
-open Toolkit
 module Circuit = Qdt.Circuit.Circuit
 module Generators = Qdt.Circuit.Generators
 module Vec = Qdt.Linalg.Vec
 module Cx = Qdt.Linalg.Cx
+module Stats = Qdt.Obs.Stats
+module Baseline = Qdt.Obs.Baseline
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable results (BENCH_<id>.json)                          *)
 (* ------------------------------------------------------------------ *)
 
 (* Accumulated per experiment, reset by the driver before each run. *)
-let json_timings : (string * float) list ref = ref []
+let json_timings : (string * Stats.summary) list ref = ref []
 let json_metrics : (string * string) list ref = ref []
+
+(* Timing repetitions per test; the driver sets this from --reps (default
+   5, or 3 under --smoke).  e17/e18's internal best-of loops use it too. *)
+let reps_flag = ref 5
 
 (* [metric key json] records one experiment-specific value; [json] must
    already be a serialised JSON value (number, string, object, ...). *)
@@ -53,7 +66,7 @@ let write_json ~experiment ~smoke =
   let obj entries = String.concat ",\n" (List.map field entries) in
   Printf.fprintf oc "{\n  \"experiment\": \"%s\",\n  \"smoke\": %b,\n" (json_escape experiment) smoke;
   Printf.fprintf oc "  \"timings_ns\": {\n%s\n  },\n"
-    (obj (List.rev_map (fun (k, ns) -> (k, Printf.sprintf "%.1f" ns)) !json_timings));
+    (obj (List.rev_map (fun (k, s) -> (k, Stats.summary_to_json s)) !json_timings));
   Printf.fprintf oc "  \"metrics\": {\n%s\n  },\n" (obj (List.rev !json_metrics));
   (* Everything the Qdt_obs registry accumulated while this experiment ran
      (the driver resets it per experiment). *)
@@ -66,32 +79,60 @@ let write_json ~experiment ~smoke =
 (* Timing machinery                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let run_timings ~name tests =
-  let grouped = Test.make_grouped ~name ~fmt:"%s/%s" tests in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None () in
-  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
-  let ols =
-    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
-  in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun label v acc -> (label, v) :: acc) results [] in
-  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
-  List.iter
-    (fun (label, v) ->
-      match Analyze.OLS.estimates v with
-      | Some [ ns ] ->
-          json_timings := (label, ns) :: !json_timings;
-          let pretty =
-            if ns > 1e9 then Printf.sprintf "%8.3f s " (ns /. 1e9)
-            else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
-            else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
-            else Printf.sprintf "%8.1f ns" ns
-          in
-          Printf.printf "  %-44s %s\n" label pretty
-      | _ -> Printf.printf "  %-44s (no estimate)\n" label)
-    rows
+(* Each timing is sampled [!reps_flag] times and summarised by
+   median/MAD (Qdt_obs.Stats) — robust against the heavy-tailed noise of
+   preemption and GC.  Fast thunks are batched: the batch size doubles
+   until one batch runs >= 1 ms, so a sample is never dominated by clock
+   granularity; each sample is then batch time / batch size. *)
 
-let bench name fn = Test.make ~name (Staged.stage fn)
+let calibration_target_ns = 1_000_000
+let max_batch = 65_536
+
+let time_batch fn iters =
+  let t0 = Qdt.Obs.Clock.now_ns () in
+  for _ = 1 to iters do
+    ignore (Sys.opaque_identity (fn ()))
+  done;
+  Qdt.Obs.Clock.elapsed_ns t0
+
+let calibrate fn =
+  let iters = ref 1 in
+  let continue_ = ref true in
+  while !continue_ do
+    let dt = time_batch fn !iters in
+    if dt >= calibration_target_ns || !iters >= max_batch then continue_ := false
+    else iters := !iters * 2
+  done;
+  !iters
+
+let measure_summary ~reps fn =
+  ignore (Sys.opaque_identity (fn ())) (* warm up *);
+  let iters = calibrate fn in
+  let samples =
+    Array.init (max 1 reps) (fun _ ->
+        float_of_int (time_batch fn iters) /. float_of_int iters)
+  in
+  (Stats.summary samples, iters)
+
+let pretty_ns ns =
+  if ns > 1e9 then Printf.sprintf "%8.3f s " (ns /. 1e9)
+  else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+  else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+  else Printf.sprintf "%8.1f ns" ns
+
+let run_timings ~name tests =
+  List.iter
+    (fun (test_name, fn) ->
+      let label = name ^ "/" ^ test_name in
+      let s, iters = measure_summary ~reps:!reps_flag fn in
+      json_timings := (label, s) :: !json_timings;
+      Printf.printf "  %-44s %s  ± %-10s (%d reps × %d)\n" label
+        (pretty_ns s.Stats.median)
+        (String.trim (pretty_ns s.Stats.mad))
+        s.Stats.reps iters)
+    tests
+
+let bench name fn = (name, fun () -> fn ())
 
 let header id title =
   Printf.printf "\n================================================================\n";
@@ -846,7 +887,7 @@ let e17 ~smoke () =
   let n = if smoke then 8 else 10 in
   let gates = if smoke then 400 else 2000 in
   let c = Generators.random_clifford_t ~seed:11 ~gates ~t_fraction:0.2 n in
-  let reps = if smoke then 3 else 5 in
+  let reps = !reps_flag in
   let run_once () =
     let mgr = Qdt.Dd.Pkg.create () in
     let st = Qdt.Dd.Sim.make mgr (Circuit.num_qubits c) in
@@ -907,6 +948,9 @@ let e17 ~smoke () =
   let per_op_ns =
     float_of_int (Qdt.Obs.Clock.elapsed_ns t0) /. float_of_int (2 * probe_iters)
   in
+  (* The probe counter is measurement scaffolding, not a result — drop it
+     from the registry so it never ships in BENCH_*.json obs_metrics. *)
+  Qdt.Obs.Metrics.remove "e17.probe";
   let disabled_bound_pct =
     100.0 *. (float_of_int ops_per_run *. per_op_ns) /. t_disabled
   in
@@ -995,7 +1039,7 @@ let e18_measure ~reps run =
 
 let e18 ~smoke () =
   header "E18" "Unboxed numeric substrate: boxed vs flat-float engines";
-  let reps = if smoke then 3 else 5 in
+  let reps = !reps_flag in
   let sv_workloads =
     if smoke then
       [
@@ -1115,25 +1159,101 @@ let experiments : (string * (smoke:bool -> unit)) list =
     ("e18", fun ~smoke -> e18 ~smoke ());
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Baseline gate                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let baseline_dir = "bench" ^ Filename.dir_sep ^ "baselines"
+let baseline_path id = Filename.concat baseline_dir (id ^ ".json")
+
+let current_baseline ~experiment ~smoke =
+  {
+    Baseline.experiment;
+    smoke;
+    timings =
+      List.rev_map
+        (fun (label, s) -> { Baseline.label; timing = s })
+        !json_timings;
+  }
+
+(* Returns [Some reason] when the experiment regressed (or cannot be
+   gated when it should be), [None] when it passes. *)
+let compare_against_baseline ~experiment ~smoke =
+  let path = baseline_path experiment in
+  match Baseline.read ~path with
+  | Error msg ->
+      Printf.printf "\n[%s] no usable baseline: %s\n" experiment msg;
+      Printf.printf "  run with --update-baselines to record one\n";
+      Some "missing baseline"
+  | Ok base ->
+      if base.Baseline.smoke <> smoke then begin
+        Printf.printf
+          "\n[%s] baseline is a %s run but this is a %s run — comparison skipped\n"
+          experiment
+          (if base.Baseline.smoke then "smoke" else "full")
+          (if smoke then "smoke" else "full");
+        None
+      end
+      else begin
+        let cmp =
+          Baseline.compare ~baseline:base
+            ~current:(current_baseline ~experiment ~smoke)
+            ()
+        in
+        Printf.printf
+          "\n[%s] vs %s (gate: best rep > max(median × %.2g, median + %g·MAD)):\n"
+          experiment path Baseline.default_min_ratio Baseline.default_mad_k;
+        print_string (Baseline.render cmp);
+        if cmp.Baseline.any_regressed then Some "timing regression" else None
+      end
+
+let update_baseline ~experiment ~smoke =
+  if not (Sys.file_exists baseline_dir) then Sys.mkdir baseline_dir 0o755;
+  let path = baseline_path experiment in
+  Baseline.write ~path (current_baseline ~experiment ~smoke);
+  Printf.printf "wrote baseline %s\n" path
+
+let usage () =
+  Printf.eprintf
+    "usage: bench [EXPERIMENT...] [--smoke] [--reps N] [--compare] [--update-baselines]\n\
+     known experiments: %s\n"
+    (String.concat " " (List.map fst experiments))
+
 let () =
   let smoke = ref false in
+  let compare_ = ref false in
+  let update = ref false in
+  let reps = ref None in
   let selected = ref [] in
-  Array.iteri
-    (fun i arg ->
-      if i > 0 then
-        match arg with
-        | "--smoke" -> smoke := true
-        | name when List.mem_assoc name experiments -> selected := name :: !selected
-        | name ->
-            Printf.eprintf "unknown experiment %S (known: %s, plus --smoke)\n" name
-              (String.concat " " (List.map fst experiments));
+  let argc = Array.length Sys.argv in
+  let i = ref 1 in
+  while !i < argc do
+    (match Sys.argv.(!i) with
+    | "--smoke" -> smoke := true
+    | "--compare" -> compare_ := true
+    | "--update-baselines" -> update := true
+    | "--reps" ->
+        incr i;
+        (match if !i < argc then int_of_string_opt Sys.argv.(!i) else None with
+        | Some n when n >= 1 -> reps := Some n
+        | _ ->
+            Printf.eprintf "--reps needs an integer argument >= 1\n";
             exit 2)
-    Sys.argv;
+    | name when List.mem_assoc name experiments -> selected := name :: !selected
+    | name ->
+        Printf.eprintf "unknown argument %S\n" name;
+        usage ();
+        exit 2);
+    incr i
+  done;
+  reps_flag := (match !reps with Some n -> n | None -> if !smoke then 3 else 5);
   let to_run =
     if !selected = [] then experiments
     else List.filter (fun (name, _) -> List.mem name !selected) experiments
   in
   print_endline "QDT benchmark harness — experiments E1..E18 (see DESIGN.md / EXPERIMENTS.md)";
+  Printf.printf "timing: %d reps per measurement (median ± MAD)\n" !reps_flag;
+  let failures = ref [] in
   List.iter
     (fun (name, fn) ->
       json_timings := [];
@@ -1144,6 +1264,19 @@ let () =
       Qdt.Obs.Metrics.set_enabled true;
       Qdt.Obs.Metrics.reset ();
       fn ~smoke:!smoke;
-      write_json ~experiment:name ~smoke:!smoke)
+      write_json ~experiment:name ~smoke:!smoke;
+      if !update then update_baseline ~experiment:name ~smoke:!smoke
+      else if !compare_ then
+        match compare_against_baseline ~experiment:name ~smoke:!smoke with
+        | Some reason -> failures := (name, reason) :: !failures
+        | None -> ())
     to_run;
-  print_endline "\nAll experiments complete."
+  print_endline "\nAll experiments complete.";
+  match List.rev !failures with
+  | [] -> ()
+  | failures ->
+      List.iter
+        (fun (name, reason) ->
+          Printf.eprintf "PERF GATE FAILED: %s (%s)\n" name reason)
+        failures;
+      exit 1

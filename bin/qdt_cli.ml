@@ -51,12 +51,42 @@ let metrics_arg =
          ~doc:"Enable the metrics registry (counters, gauges, histograms) \
                and print every instrument after the run.")
 
+let profile_arg =
+  Arg.(value & opt ~vopt:(Some "profile.folded") (some string) None
+       & info [ "profile" ] ~docv:"FILE"
+           ~doc:"Profile the run: aggregate the span trace into a hotspot \
+                 table (printed after the run) and write folded stacks to \
+                 FILE (default profile.folded) for flamegraph.pl or \
+                 speedscope.")
+
+let top_arg =
+  Arg.(value & opt int 10 & info [ "top" ]
+         ~doc:"Number of rows in the profile hotspot table.")
+
+let warn_dropped what =
+  let dropped = Qdt.Obs.Trace.dropped_events () in
+  if dropped > 0 then
+    Printf.eprintf
+      "%s: ring full, %d oldest events dropped — enlarge the ring or shrink the run\n%!"
+      what dropped
+
+let print_profile ~top ~folded_path =
+  let p = Qdt.Obs.Profile.of_events (Qdt.Obs.Trace.events ()) in
+  warn_dropped "profile";
+  print_string (Qdt.Obs.Profile.render ~top p);
+  let oc = open_out folded_path in
+  output_string oc (Qdt.Obs.Profile.folded_stacks p);
+  close_out oc;
+  Printf.printf "folded stacks: wrote %s (%d stacks)\n" folded_path
+    (List.length (Qdt.Obs.Profile.folded p))
+
 (* [with_obs] enables the requested subsystems, runs [f], then exports the
-   trace and prints the metrics.  Early [exit]s inside [f] skip the export
-   on purpose: a partial trace of a failed run would be misleading. *)
-let with_obs ~trace ~trace_format ~metrics f =
+   trace, prints the profile, and prints the metrics.  Early [exit]s
+   inside [f] skip the export on purpose: a partial trace of a failed run
+   would be misleading. *)
+let with_obs ?(profile = None) ?(top = 10) ~trace ~trace_format ~metrics f =
   if metrics then Qdt.Obs.Metrics.set_enabled true;
-  if trace <> None then Qdt.Obs.Trace.set_enabled true;
+  if trace <> None || profile <> None then Qdt.Obs.Trace.set_enabled true;
   let result = f () in
   (match trace with
   | None -> ()
@@ -65,10 +95,11 @@ let with_obs ~trace ~trace_format ~metrics f =
       | `Chrome -> Qdt.Obs.Trace.export_chrome path
       | `Jsonl -> Qdt.Obs.Trace.export_jsonl path);
       let n = List.length (Qdt.Obs.Trace.events ()) in
-      let dropped = Qdt.Obs.Trace.dropped_events () in
-      if dropped > 0 then
-        Printf.eprintf "trace: ring full, %d oldest events dropped\n%!" dropped;
+      warn_dropped "trace";
       Printf.printf "trace: wrote %d events to %s\n" n path);
+  (match profile with
+  | None -> ()
+  | Some folded_path -> print_profile ~top ~folded_path);
   if metrics then begin
     print_string "metrics:\n";
     print_string (Qdt.Obs.Metrics.render (Qdt.Obs.Metrics.snapshot ()))
@@ -107,7 +138,7 @@ let backend_failure err =
 
 let simulate_cmd =
   let run c backend_name shots seed threshold gc_threshold cache_bits trace
-      trace_format metrics =
+      trace_format metrics profile top =
     (* The registry hands out backends behind the fixed BACKEND signature,
        so DD memory-management knobs travel through the package defaults. *)
     (match gc_threshold with
@@ -143,9 +174,12 @@ let simulate_cmd =
         (Circuit.instructions c)
     in
     let n = Circuit.num_qubits c in
-    with_obs ~trace ~trace_format ~metrics @@ fun () ->
+    with_obs ~profile ~top ~trace ~trace_format ~metrics @@ fun () ->
+    (* The root span brackets only the backend call (not result printing),
+       so the profile's total matches the stats wall time. *)
+    let spanned f = Qdt.Obs.Trace.with_span "qdt.simulate" f in
     if shots = 0 then begin
-      match B.simulate unitary_part with
+      match spanned (fun () -> B.simulate unitary_part) with
       | Error err -> backend_failure err
       | Ok (state, stats) ->
           Printf.printf "final state (backend: %s):\n" stats.Qdt.Backend.backend;
@@ -159,7 +193,7 @@ let simulate_cmd =
           print_stats stats
     end
     else begin
-      match B.sample ~seed ~shots unitary_part with
+      match spanned (fun () -> B.sample ~seed ~shots unitary_part) with
       | Error err -> backend_failure err
       | Ok (counts, stats) ->
           Printf.printf "counts over %d shots (backend: %s):\n" shots
@@ -189,9 +223,85 @@ let simulate_cmd =
   let term =
     Term.(const run $ file_pos ~doc:"OpenQASM file to simulate" 0 $ backend_arg $ shots $ seed
           $ threshold $ gc_threshold $ cache_bits $ trace_arg $ trace_format_arg
-          $ metrics_arg)
+          $ metrics_arg $ profile_arg $ top_arg)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate a circuit with a chosen data structure") term
+
+(* ------------------------------------------------------------------ *)
+(* profile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* [qdt profile] is [simulate] minus the state dump plus the hotspot
+   table: run the circuit once with tracing on, aggregate the span ring
+   into a profile (Qdt_obs.Profile), print the top-N table and write
+   folded stacks. *)
+let profile_cmd =
+  let run c backend_name shots seed top folded capacity =
+    if capacity < 2 then begin
+      prerr_endline "--ring-capacity must be >= 2";
+      exit 1
+    end;
+    let (module B : Qdt.Backend.BACKEND) =
+      match Qdt.Registry.find backend_name with
+      | Some m -> m
+      | None ->
+          prerr_endline ("unknown backend " ^ backend_name);
+          exit 1
+    in
+    let unitary_part =
+      List.fold_left
+        (fun acc i ->
+          match i with
+          | Circuit.Measure _ | Circuit.Reset _ -> acc
+          | _ -> Circuit.add i acc)
+        (Circuit.empty (Circuit.num_qubits c))
+        (Circuit.instructions c)
+    in
+    Qdt.Obs.Trace.configure ~capacity ();
+    Qdt.Obs.Trace.set_enabled true;
+    let outcome =
+      Qdt.Obs.Trace.with_span "qdt.profile" (fun () ->
+          if shots = 0 then
+            match B.simulate unitary_part with
+            | Ok (_, stats) -> Ok stats
+            | Error e -> Error e
+          else
+            match B.sample ~seed ~shots unitary_part with
+            | Ok (_, stats) -> Ok stats
+            | Error e -> Error e)
+    in
+    Qdt.Obs.Trace.set_enabled false;
+    match outcome with
+    | Error err -> backend_failure err
+    | Ok stats ->
+        Printf.printf "profiled %s (%d qubits, %d instructions, backend: %s)\n"
+          (if shots = 0 then "simulate" else Printf.sprintf "sample --shots %d" shots)
+          (Circuit.num_qubits c) (Circuit.count_total c) stats.Qdt.Backend.backend;
+        print_profile ~top ~folded_path:folded;
+        print_stats stats
+  in
+  let shots =
+    Arg.(value & opt int 0 & info [ "shots" ]
+           ~doc:"Profile sampling N shots instead of full simulation.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"RNG seed.") in
+  let folded =
+    Arg.(value & opt string "profile.folded" & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Where to write the folded stacks (flamegraph.pl / speedscope).")
+  in
+  let capacity =
+    Arg.(value & opt int (1 lsl 20) & info [ "ring-capacity" ] ~docv:"EVENTS"
+           ~doc:"Trace ring capacity in events (two per span); profiles of \
+                 runs that overflow it are truncated and flagged.")
+  in
+  let term =
+    Term.(const run $ file_pos ~doc:"OpenQASM file to profile" 0 $ backend_arg $ shots
+          $ seed $ top_arg $ folded $ capacity)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run a circuit under the span tracer and print where the time went")
+    term
 
 (* ------------------------------------------------------------------ *)
 (* backends                                                            *)
@@ -423,7 +533,7 @@ let optimize_cmd =
 let main =
   let doc = "quantum design tools: arrays, decision diagrams, tensor networks, ZX-calculus" in
   Cmd.group (Cmd.info "qdt" ~version:"1.0.0" ~doc)
-    [ show_cmd; simulate_cmd; backends_cmd; compile_cmd; verify_cmd; gen_cmd; export_cmd;
-      optimize_cmd ]
+    [ show_cmd; simulate_cmd; profile_cmd; backends_cmd; compile_cmd; verify_cmd; gen_cmd;
+      export_cmd; optimize_cmd ]
 
 let () = exit (Cmd.eval main)

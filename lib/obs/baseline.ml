@@ -1,0 +1,192 @@
+(* Baseline store and comparison for bench timings.
+
+   A baseline file (bench/baselines/<id>.json, committed) records the
+   per-timing {median, mad, min, max, reps} summaries of a blessed run.
+   [compare] diffs a current run against it with a MAD-scaled threshold:
+
+     regression  <=>  current.min > max(base.median * min_ratio,
+                                        base.median + mad_k * base.mad)
+
+   Two deliberate asymmetries make the gate robust on shared/noisy
+   machines (measured here: back-to-back medians of a microsecond-scale
+   timing vary by up to ~1.8x under load):
+
+   - the *current* statistic is the min, not the median: a genuine
+     regression is in the code and slows every repetition, while
+     scheduler/load noise rarely inflates all reps at once — so gating on
+     the best rep rejects noise without missing real slowdowns;
+   - the threshold scales with the baseline's own measured noise
+     (mad_k * mad) but never drops below a min_ratio multiple of the
+     median, so near-deterministic timings (mad ~ 0) don't flag on
+     jitter.
+
+   Defaults (mad_k = 5, min_ratio = 2.0) pass same-machine reruns under
+   load and still catch anything >= 2x slower — the CI gate's target is
+   order-of-magnitude regressions (a lost fast path, an accidental
+   O(n^2)), not percent-level drift. *)
+
+type entry = { label : string; timing : Stats.summary }
+type t = { experiment : string; smoke : bool; timings : entry list }
+
+let default_mad_k = 5.0
+let default_min_ratio = 2.0
+
+let to_json t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"experiment\": %s,\n" (Json.string t.experiment));
+  Buffer.add_string b (Printf.sprintf "  \"smoke\": %b,\n" t.smoke);
+  Buffer.add_string b "  \"timings_ns\": {\n";
+  let sorted =
+    List.sort (fun a b -> String.compare a.label b.label) t.timings
+  in
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf "    %s: %s" (Json.string e.label)
+           (Stats.summary_to_json e.timing)))
+    sorted;
+  Buffer.add_string b "\n  }\n}\n";
+  Buffer.contents b
+
+let write ~path t =
+  let oc = open_out path in
+  output_string oc (to_json t);
+  close_out oc
+
+let of_json j =
+  let ( let* ) r f = Result.bind r f in
+  let* experiment =
+    match Option.bind (Json.member "experiment" j) Json.to_string with
+    | Some s -> Ok s
+    | None -> Error "missing or non-string \"experiment\""
+  in
+  let* smoke =
+    match Option.bind (Json.member "smoke" j) Json.to_bool with
+    | Some b -> Ok b
+    | None -> Error "missing or non-boolean \"smoke\""
+  in
+  let* fields =
+    match Json.member "timings_ns" j with
+    | Some (Json.Object fields) -> Ok fields
+    | _ -> Error "missing or non-object \"timings_ns\""
+  in
+  let* timings =
+    List.fold_left
+      (fun acc (label, v) ->
+        let* acc = acc in
+        match Stats.summary_of_json v with
+        | Ok timing -> Ok ({ label; timing } :: acc)
+        | Error e -> Error (Printf.sprintf "timing %S: %s" label e))
+      (Ok []) fields
+  in
+  Ok { experiment; smoke; timings = List.rev timings }
+
+let read ~path =
+  match
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  with
+  | exception Sys_error msg -> Error msg
+  | src -> (
+      match Json.parse src with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok j -> (
+          match of_json j with
+          | Ok t -> Ok t
+          | Error e -> Error (Printf.sprintf "%s: %s" path e)))
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type verdict = {
+  v_label : string;
+  baseline : Stats.summary;
+  current : Stats.summary;
+  threshold_ns : float;
+  ratio : float;
+  regressed : bool;
+}
+
+type comparison = {
+  verdicts : verdict list;
+  only_in_baseline : string list;
+  only_in_current : string list;
+  any_regressed : bool;
+}
+
+let threshold ?(mad_k = default_mad_k) ?(min_ratio = default_min_ratio)
+    (b : Stats.summary) =
+  Float.max (b.Stats.median *. min_ratio) (b.Stats.median +. (mad_k *. b.Stats.mad))
+
+let compare ?mad_k ?min_ratio ~baseline ~current () =
+  let verdicts =
+    List.filter_map
+      (fun (e : entry) ->
+        match
+          List.find_opt (fun (b : entry) -> b.label = e.label) baseline.timings
+        with
+        | None -> None
+        | Some b ->
+            let limit = threshold ?mad_k ?min_ratio b.timing in
+            let ratio =
+              if b.timing.Stats.median <= 0.0 then Float.infinity
+              else e.timing.Stats.median /. b.timing.Stats.median
+            in
+            Some
+              {
+                v_label = e.label;
+                baseline = b.timing;
+                current = e.timing;
+                threshold_ns = limit;
+                ratio;
+                (* Gate on the best rep: see the threshold note above. *)
+                regressed = e.timing.Stats.min > limit;
+              })
+      current.timings
+  in
+  let labels entries = List.map (fun (e : entry) -> e.label) entries in
+  let diff a b = List.filter (fun l -> not (List.mem l b)) a in
+  {
+    verdicts;
+    only_in_baseline = diff (labels baseline.timings) (labels current.timings);
+    only_in_current = diff (labels current.timings) (labels baseline.timings);
+    any_regressed = List.exists (fun v -> v.regressed) verdicts;
+  }
+
+let pretty_ns ns =
+  if ns > 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+  else if ns > 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+  else if ns > 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+  else Printf.sprintf "%.1f ns" ns
+
+let render c =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "  %-44s %12s %12s %12s %7s %12s  %s\n" "timing" "baseline"
+       "current" "best" "ratio" "threshold" "status");
+  List.iter
+    (fun v ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-44s %12s %12s %12s %6.2fx %12s  %s\n" v.v_label
+           (pretty_ns v.baseline.Stats.median)
+           (pretty_ns v.current.Stats.median)
+           (pretty_ns v.current.Stats.min)
+           v.ratio
+           (pretty_ns v.threshold_ns)
+           (if v.regressed then "REGRESSED" else "ok")))
+    c.verdicts;
+  List.iter
+    (fun l -> Buffer.add_string b (Printf.sprintf "  %-44s (missing from current run)\n" l))
+    c.only_in_baseline;
+  List.iter
+    (fun l ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-44s (new timing, no baseline — not gated)\n" l))
+    c.only_in_current;
+  Buffer.contents b

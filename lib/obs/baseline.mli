@@ -1,0 +1,75 @@
+(** Baseline store and perf-regression comparison for bench timings.
+
+    A baseline is a committed JSON file recording the per-timing
+    {!Stats.summary} of a blessed run:
+
+    {v
+    { "experiment": "e18",
+      "smoke": true,
+      "timings_ns": {
+        "e18/sv-unboxed": {"median": 1.1e6, "mad": 2e4,
+                           "min": 1.0e6, "max": 1.3e6, "reps": 3},
+        ... } }
+    v}
+
+    {!compare} diffs a current run against it label by label.  A timing
+    regresses when the current run's {e best} repetition (its [min] —
+    noise inflates some reps, a code regression inflates all of them)
+    exceeds the MAD-scaled threshold
+
+    {v max(base.median * min_ratio, base.median + mad_k * base.mad) v}
+
+    — the [mad_k·mad] term scales the allowance with the baseline's own
+    measured noise, and the [min_ratio] floor keeps near-deterministic
+    timings (MAD ≈ 0) from flagging on scheduler jitter.  Timings present
+    on only one side are reported but never gate.  Baselines are
+    machine-specific: compare against files produced on the same class of
+    machine (CI compares smoke baselines recorded by
+    [--update-baselines]). *)
+
+type entry = { label : string; timing : Stats.summary }
+type t = { experiment : string; smoke : bool; timings : entry list }
+
+val default_mad_k : float
+(** 5.0 *)
+
+val default_min_ratio : float
+(** 2.0 *)
+
+(** Serialise (timings sorted by label, so diffs are stable). *)
+val to_json : t -> string
+
+val write : path:string -> t -> unit
+
+(** Read a file written by {!write}. *)
+val read : path:string -> (t, string) result
+
+(** Parse an already-decoded document. *)
+val of_json : Json.t -> (t, string) result
+
+(** [threshold summary] — the maximum non-regressed median, in the same
+    unit as the summary. *)
+val threshold : ?mad_k:float -> ?min_ratio:float -> Stats.summary -> float
+
+type verdict = {
+  v_label : string;
+  baseline : Stats.summary;
+  current : Stats.summary;
+  threshold_ns : float;
+  ratio : float;  (** current.median / baseline.median *)
+  regressed : bool;
+}
+
+type comparison = {
+  verdicts : verdict list;  (** labels present in both runs *)
+  only_in_baseline : string list;
+  only_in_current : string list;
+  any_regressed : bool;
+}
+
+val compare :
+  ?mad_k:float -> ?min_ratio:float -> baseline:t -> current:t -> unit -> comparison
+
+(** Human-readable comparison table (one line per verdict, then the
+    one-sided labels). *)
+val render : comparison -> string

@@ -91,6 +91,8 @@ let bucket_of v =
     min !bits (num_buckets - 1)
   end
 
+let remove name = Hashtbl.remove registry name
+
 let observe h v =
   if !on then begin
     h.h_count <- h.h_count + 1;
@@ -162,7 +164,13 @@ let reset () =
           Array.fill h.buckets 0 num_buckets 0)
     registry
 
+(* [snapshot] already sorts, but [flatten]/[to_json] also accept
+   hand-assembled or [diff]-produced lists — sort here too so every
+   rendering (BENCH_*.json, baselines) is deterministic by construction. *)
+let by_name s = List.sort (fun (a, _) (b, _) -> String.compare a b) s
+
 let flatten s =
+  let s = by_name s in
   List.concat_map
     (fun (name, v) ->
       match v with
@@ -177,6 +185,7 @@ let flatten s =
     s
 
 let to_json s =
+  let s = by_name s in
   let b = Buffer.create 512 in
   Buffer.add_string b "{";
   List.iteri

@@ -27,6 +27,14 @@ val counter : string -> counter
 val gauge : string -> gauge
 val histogram : string -> histogram
 
+(** [remove name] — unregister the instrument, so it no longer appears in
+    snapshots (and hence in BENCH_*.json / stats embeddings).  Holders of
+    the old handle keep recording into a detached record, harmlessly; a
+    later [counter name] etc. registers a fresh instrument.  Meant for
+    probe instruments a measurement creates and must not ship in its
+    results. *)
+val remove : string -> unit
+
 (** {1 Recording (no-ops while disabled)} *)
 
 val incr : counter -> unit
@@ -68,10 +76,12 @@ val reset : unit -> unit
 
 (** [flatten s] — scalar view for embedding into records: a counter or
     gauge becomes one entry; a histogram becomes [name.count], [name.sum]
-    and [name.max]. *)
+    and [name.max].  Output is sorted by name regardless of the input
+    order, so embedded renderings diff stably across runs. *)
 val flatten : snapshot -> (string * float) list
 
-(** JSON object [{ "name": value, ... }]; histograms carry their buckets. *)
+(** JSON object [{ "name": value, ... }]; histograms carry their buckets.
+    Keys are sorted by name regardless of the input order. *)
 val to_json : snapshot -> string
 
 (** Human-readable multi-line rendering (one instrument per line). *)

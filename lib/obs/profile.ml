@@ -1,0 +1,180 @@
+(* Aggregate the trace ring into a profile: walk the begin/end event
+   stream with an explicit frame stack, attributing to every span
+   instance an inclusive duration (end − begin) and an exclusive "self"
+   duration (inclusive − time spent in child spans).  Two views are
+   built in one pass:
+     - per span name: count / total / self / min / max,
+     - per stack path ("root;child;leaf"): summed self time, the folded
+       form flamegraph.pl and speedscope consume directly.
+
+   The stream may be truncated on either side by ring wrap-around, so the
+   walk is defensive: an End with no open frame is counted in
+   [orphan_ends] and skipped (its Begin was overwritten); frames still
+   open when the stream ends are closed at the last seen timestamp and
+   counted in [unclosed] (their Ends were never recorded — e.g. the
+   export happened mid-run). *)
+
+type row = {
+  name : string;
+  count : int;
+  total_ns : int;
+  self_ns : int;
+  min_ns : int;
+  max_ns : int;
+}
+
+type t = {
+  rows : row list;
+  folded : (string * int) list;
+  total_ns : int;
+  span_count : int;
+  orphan_ends : int;
+  unclosed : int;
+}
+
+type frame = { f_name : string; f_begin : int; mutable f_child : int }
+
+type acc = {
+  mutable a_count : int;
+  mutable a_total : int;
+  mutable a_self : int;
+  mutable a_min : int;
+  mutable a_max : int;
+}
+
+let of_events events =
+  let per_name : (string, acc) Hashtbl.t = Hashtbl.create 32 in
+  let per_stack : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let stack = ref [] in
+  let root_ns = ref 0 in
+  let span_count = ref 0 in
+  let orphan_ends = ref 0 in
+  let last_ts = ref 0 in
+  let record_name name ~dur ~self =
+    match Hashtbl.find_opt per_name name with
+    | Some a ->
+        a.a_count <- a.a_count + 1;
+        a.a_total <- a.a_total + dur;
+        a.a_self <- a.a_self + self;
+        if dur < a.a_min then a.a_min <- dur;
+        if dur > a.a_max then a.a_max <- dur
+    | None ->
+        Hashtbl.replace per_name name
+          { a_count = 1; a_total = dur; a_self = self; a_min = dur; a_max = dur }
+  in
+  (* Close [frame] at [end_ts]; [parents] is the stack below it. *)
+  let close frame ~end_ts ~parents =
+    let dur = max 0 (end_ts - frame.f_begin) in
+    let self = max 0 (dur - frame.f_child) in
+    incr span_count;
+    record_name frame.f_name ~dur ~self;
+    let path =
+      String.concat ";"
+        (List.rev_map (fun f -> f.f_name) (frame :: parents))
+    in
+    Hashtbl.replace per_stack path
+      (self + Option.value ~default:0 (Hashtbl.find_opt per_stack path));
+    match parents with
+    | parent :: _ -> parent.f_child <- parent.f_child + dur
+    | [] -> root_ns := !root_ns + dur
+  in
+  List.iter
+    (fun (e : Trace.event) ->
+      last_ts := max !last_ts e.Trace.ts_ns;
+      match e.Trace.phase with
+      | Trace.Begin ->
+          stack := { f_name = e.Trace.name; f_begin = e.Trace.ts_ns; f_child = 0 } :: !stack
+      | Trace.End -> (
+          match !stack with
+          | top :: rest ->
+              stack := rest;
+              close top ~end_ts:e.Trace.ts_ns ~parents:rest
+          | [] -> incr orphan_ends))
+    events;
+  let unclosed = List.length !stack in
+  let rec drain = function
+    | [] -> ()
+    | top :: rest ->
+        close top ~end_ts:!last_ts ~parents:rest;
+        drain rest
+  in
+  drain !stack;
+  let rows =
+    Hashtbl.fold
+      (fun name a acc ->
+        {
+          name;
+          count = a.a_count;
+          total_ns = a.a_total;
+          self_ns = a.a_self;
+          min_ns = a.a_min;
+          max_ns = a.a_max;
+        }
+        :: acc)
+      per_name []
+    |> List.sort (fun a b ->
+           match compare b.self_ns a.self_ns with
+           | 0 -> String.compare a.name b.name
+           | c -> c)
+  in
+  let folded =
+    Hashtbl.fold (fun path self acc -> (path, self) :: acc) per_stack []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  {
+    rows;
+    folded;
+    total_ns = !root_ns;
+    span_count = !span_count;
+    orphan_ends = !orphan_ends;
+    unclosed;
+  }
+
+let rows t = t.rows
+let hotspots ?(top = 10) t = List.filteri (fun i _ -> i < top) t.rows
+let folded t = t.folded
+let total_ns t = t.total_ns
+let span_count t = t.span_count
+let orphan_ends t = t.orphan_ends
+let unclosed t = t.unclosed
+
+let ms ns = float_of_int ns /. 1e6
+
+let render ?(top = 10) t =
+  let b = Buffer.create 1024 in
+  let shown = hotspots ~top t in
+  Buffer.add_string b
+    (Printf.sprintf "hotspots (top %d of %d span names, by self time):\n"
+       (List.length shown) (List.length t.rows));
+  Buffer.add_string b
+    (Printf.sprintf "  %-28s %9s %12s %7s %12s %12s %12s\n" "span" "count"
+       "self (ms)" "self%" "total (ms)" "min (us)" "max (us)");
+  List.iter
+    (fun r ->
+      let pct =
+        if t.total_ns = 0 then 0.0
+        else 100.0 *. float_of_int r.self_ns /. float_of_int t.total_ns
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  %-28s %9d %12.3f %6.1f%% %12.3f %12.2f %12.2f\n" r.name
+           r.count (ms r.self_ns) pct (ms r.total_ns)
+           (float_of_int r.min_ns /. 1e3)
+           (float_of_int r.max_ns /. 1e3)))
+    shown;
+  Buffer.add_string b
+    (Printf.sprintf "  total profiled: %.3f ms over %d spans\n" (ms t.total_ns)
+       t.span_count);
+  if t.orphan_ends > 0 || t.unclosed > 0 then
+    Buffer.add_string b
+      (Printf.sprintf
+         "  (truncated stream: %d orphan end events, %d spans closed at stream end)\n"
+         t.orphan_ends t.unclosed);
+  Buffer.contents b
+
+let folded_stacks t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (path, self) ->
+      if self > 0 then Buffer.add_string b (Printf.sprintf "%s %d\n" path self))
+    t.folded;
+  Buffer.contents b

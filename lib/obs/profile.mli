@@ -1,0 +1,66 @@
+(** Span-tree profile aggregated from the trace ring.
+
+    [of_events (Trace.events ())] turns the raw begin/end stream into the
+    two views a performance investigation needs:
+
+    - {b per span name} ({!rows}, {!hotspots}, {!render}): how many times
+      each instrumented phase ran, its inclusive ("total") and exclusive
+      ("self") time, and its per-instance min/max.  Self times partition
+      the profiled wall clock — summed over all rows they equal
+      {!total_ns} — so the rendered table's percentages answer "which
+      span dominates?" directly.
+    - {b per stack path} ({!folded}, {!folded_stacks}): self time keyed
+      by the semicolon-joined ancestry ("dd.gate;dd.gc"), the folded
+      format consumed by flamegraph.pl and speedscope.
+
+    Truncated streams are handled, not rejected: when the ring wrapped,
+    End events whose Begin was overwritten are counted in {!orphan_ends}
+    and skipped; spans still open when the stream ends are closed at the
+    last recorded timestamp and counted in {!unclosed}.  A profile with
+    either counter nonzero under-reports the spans it lost — callers
+    should surface [Trace.dropped_events] next to it. *)
+
+type row = {
+  name : string;
+  count : int;  (** completed span instances with this name *)
+  total_ns : int;
+      (** summed inclusive durations; nested recursion double-counts here
+          (each instance counts its full extent) — use [self_ns] for
+          additive accounting *)
+  self_ns : int;  (** summed exclusive durations; additive across rows *)
+  min_ns : int;  (** smallest inclusive duration of one instance *)
+  max_ns : int;  (** largest inclusive duration of one instance *)
+}
+
+type t
+
+val of_events : Trace.event list -> t
+
+(** All rows, largest self time first (ties broken by name). *)
+val rows : t -> row list
+
+(** First [top] (default 10) rows of {!rows}. *)
+val hotspots : ?top:int -> t -> row list
+
+(** Self time per stack path ("a;b;c"), sorted by path. *)
+val folded : t -> (string * int) list
+
+(** Sum of root-span inclusive durations — the profiled wall clock. *)
+val total_ns : t -> int
+
+val span_count : t -> int
+
+(** End events with no matching Begin in the stream (ring wrapped). *)
+val orphan_ends : t -> int
+
+(** Spans closed at stream end because their End was never recorded. *)
+val unclosed : t -> int
+
+(** Hotspot table: header, top rows with self/total/min/max and self%%
+    of {!total_ns}, a totals line, and a truncation note when
+    {!orphan_ends} or {!unclosed} is nonzero. *)
+val render : ?top:int -> t -> string
+
+(** One line per stack path, ["a;b;c <self_ns>\n"], zero-self paths
+    omitted — pipe into flamegraph.pl or load in speedscope. *)
+val folded_stacks : t -> string

@@ -1,0 +1,33 @@
+(** Robust statistics over repeated samples (timings in particular).
+
+    Timing samples are heavy-tailed — scheduler preemption and GC pauses
+    inflate individual runs but never deflate them — so the centre and
+    spread reported here are the median and the median absolute deviation
+    (MAD), which ignore outliers, rather than mean and standard
+    deviation, which don't.  The bench harness records a {!summary} per
+    timing and the baseline comparison thresholds regressions at
+    [median + k·MAD] (see [Baseline]). *)
+
+(** [percentile ~p samples] — the [p]-th percentile ([0 <= p <= 100]) by
+    linear interpolation between closest ranks.  Raises [Invalid_argument]
+    on an empty array or [p] outside the range. *)
+val percentile : p:float -> float array -> float
+
+(** Median ([percentile ~p:50]). *)
+val median : float array -> float
+
+(** Median absolute deviation: [median (|x_i - median samples|)]. *)
+val mad : float array -> float
+
+type summary = { median : float; mad : float; min : float; max : float; reps : int }
+
+(** Raises [Invalid_argument] on an empty array. *)
+val summary : float array -> summary
+
+(** JSON object [{"median": m, "mad": d, "min": lo, "max": hi, "reps": n}]
+    — the per-timing record stored in BENCH_<id>.json and baselines. *)
+val summary_to_json : summary -> string
+
+(** Parse the object written by {!summary_to_json} (already decoded with
+    [Json.parse]). *)
+val summary_of_json : Json.t -> (summary, string) result

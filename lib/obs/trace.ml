@@ -106,13 +106,21 @@ let event_json e =
     (args_json e.attrs)
 
 let export_chrome path =
+  let evs = events () in
   let oc = open_out path in
-  output_string oc "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n";
+  (* The metadata block carries the ring's drop count so a truncated
+     profile is never silently trusted: viewers ignore unknown top-level
+     fields, tooling can check dropped_events = 0 before drawing
+     conclusions. *)
+  Printf.fprintf oc
+    "{\"displayTimeUnit\": \"ns\", \"metadata\": {\"dropped_events\": %d, \
+     \"recorded_events\": %d}, \"traceEvents\": [\n"
+    (dropped_events ()) (List.length evs);
   List.iteri
     (fun i e ->
       if i > 0 then output_string oc ",\n";
       output_string oc ("  " ^ event_json e))
-    (events ());
+    evs;
   output_string oc "\n]}\n";
   close_out oc
 

@@ -55,7 +55,10 @@ val dropped_events : unit -> int
 val depth : unit -> int
 
 (** [export_chrome path] — write the Chrome trace-event JSON object
-    ([{"traceEvents": [...]}], timestamps in microseconds). *)
+    ([{"traceEvents": [...]}], timestamps in microseconds).  The
+    top-level ["metadata"] object records [dropped_events] and
+    [recorded_events], so consumers can detect a wrapped (truncated)
+    ring without trusting the caller to have checked. *)
 val export_chrome : string -> unit
 
 (** [export_jsonl path] — one JSON object per event per line. *)

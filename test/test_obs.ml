@@ -229,6 +229,62 @@ let test_counter_reset =
   | Metrics.Counter_v v -> Alcotest.(check int) "no-op while disabled" 0 v
   | _ -> Alcotest.fail "test.c vanished"
 
+let test_remove =
+  isolated @@ fun () ->
+  let c = Metrics.counter "test.keep" in
+  let probe = Metrics.counter "test.probe" in
+  Metrics.incr c;
+  Metrics.incr probe;
+  Metrics.remove "test.probe";
+  let snap = Metrics.snapshot () in
+  Alcotest.(check bool) "removed name gone" true
+    (List.assoc_opt "test.probe" snap = None);
+  (match List.assoc_opt "test.keep" snap with
+  | Some (Metrics.Counter_v v) -> Alcotest.(check int) "others untouched" 1 v
+  | _ -> Alcotest.fail "test.keep lost");
+  (* the detached handle stays usable but invisible... *)
+  Metrics.incr probe;
+  Alcotest.(check bool) "detached increments invisible" true
+    (List.assoc_opt "test.probe" (Metrics.snapshot ()) = None);
+  (* ...and re-requesting the name registers a fresh instrument *)
+  Metrics.incr (Metrics.counter "test.probe");
+  match List.assoc_opt "test.probe" (Metrics.snapshot ()) with
+  | Some (Metrics.Counter_v v) -> Alcotest.(check int) "fresh registration" 1 v
+  | _ -> Alcotest.fail "name cannot be reused after remove"
+
+let test_sorted_rendering =
+  isolated @@ fun () ->
+  (* register deliberately out of order *)
+  List.iter (fun n -> Metrics.incr (Metrics.counter n)) [ "z.last"; "a.first"; "m.mid" ];
+  Metrics.set (Metrics.gauge "b.gauge") 1.5;
+  let snap = Metrics.snapshot () in
+  (* instrument order is sorted by name (histograms expand to a
+     count/sum/max triplet in place, so only base names are compared) *)
+  let keys = List.map fst (Metrics.flatten snap) in
+  let ours = List.filter (fun k -> List.mem k [ "a.first"; "b.gauge"; "m.mid"; "z.last" ]) keys in
+  Alcotest.(check (list string)) "flatten sorted by name"
+    [ "a.first"; "b.gauge"; "m.mid"; "z.last" ] ours;
+  (* and the rendering is deterministic call to call *)
+  Alcotest.(check (list string)) "flatten deterministic" keys
+    (List.map fst (Metrics.flatten snap));
+  let json = Metrics.to_json snap in
+  validate_json ~what:"sorted metrics json" json;
+  (* keys appear in sorted order in the serialised text too *)
+  let offset k =
+    let needle = "\"" ^ k ^ "\"" in
+    let rec find i =
+      if i + String.length needle > String.length json then
+        Alcotest.failf "key %s missing from json" k
+      else if String.sub json i (String.length needle) = needle then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  Alcotest.(check bool) "json key order deterministic" true
+    (offset "a.first" < offset "b.gauge"
+    && offset "b.gauge" < offset "m.mid"
+    && offset "m.mid" < offset "z.last")
+
 let test_diff =
   isolated @@ fun () ->
   let c = Metrics.counter "test.d" in
@@ -296,6 +352,43 @@ let test_ring_wrap =
   | last :: _ -> Alcotest.(check string) "newest survives" "s5" last.Trace.name
   | [] -> Alcotest.fail "empty ring"
 
+(* After a ring wrap the Chrome export's metadata must carry the drop
+   count, so a consumer can detect truncation from the file alone. *)
+let test_chrome_drop_metadata =
+  isolated @@ fun () ->
+  Trace.configure ~capacity:4 ();
+  Trace.set_enabled true;
+  for i = 1 to 5 do
+    Trace.with_span (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  Trace.set_enabled false;
+  Alcotest.(check int) "drops happened" 6 (Trace.dropped_events ());
+  let path = Filename.temp_file "qdt_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.export_chrome path;
+      let src = read_file path in
+      validate_json ~what:"wrapped chrome trace" src;
+      match Qdt_obs.Json.parse src with
+      | Error e -> Alcotest.failf "chrome export does not parse: %s" e
+      | Ok j -> (
+          match Qdt_obs.Json.member "metadata" j with
+          | None -> Alcotest.fail "no top-level metadata object"
+          | Some meta ->
+              (match
+                 Option.bind (Qdt_obs.Json.member "dropped_events" meta)
+                   Qdt_obs.Json.to_number
+               with
+              | Some d -> Alcotest.(check (float 0.0)) "dropped_events recorded" 6.0 d
+              | None -> Alcotest.fail "metadata lacks dropped_events");
+              (match
+                 Option.bind (Qdt_obs.Json.member "recorded_events" meta)
+                   Qdt_obs.Json.to_number
+               with
+              | Some r -> Alcotest.(check (float 0.0)) "recorded_events recorded" 4.0 r
+              | None -> Alcotest.fail "metadata lacks recorded_events")))
+
 (* Mid-circuit measurement goes through Sim.run (the CLI's final-state
    path strips measures), so drive it directly and check the span mix. *)
 let test_measure_span =
@@ -361,12 +454,15 @@ let () =
           Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
           Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
           Alcotest.test_case "counter reset" `Quick test_counter_reset;
+          Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "sorted rendering" `Quick test_sorted_rendering;
           Alcotest.test_case "snapshot diff" `Quick test_diff;
         ] );
       ( "trace",
         [
           Alcotest.test_case "balanced nesting" `Quick test_span_nesting;
           Alcotest.test_case "ring wrap" `Quick test_ring_wrap;
+          Alcotest.test_case "chrome export drop metadata" `Quick test_chrome_drop_metadata;
           Alcotest.test_case "mid-circuit measure span" `Quick test_measure_span;
         ] );
       ( "exporters",
