@@ -1132,6 +1132,90 @@ let e18 ~smoke () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* E19: dynamic circuits — static sampling path vs per-shot execution  *)
+(* ------------------------------------------------------------------ *)
+
+(* The shot engine keeps two fast paths for static circuits (simulate
+   once, sample the final state) and falls back to per-shot re-execution
+   only when the circuit is genuinely dynamic (mid-circuit measurement
+   feeding later operations, reset, or classical control).  This
+   experiment measures sampling throughput (shots/sec) on both sides of
+   that split: GHZ with terminal measurements exercises the static
+   paths, while teleportation, repeat-until-success and a repetition-code
+   cycle exercise per-shot execution on arrays, decision diagrams and
+   the stabilizer tableau. *)
+
+let e19_measure_all c =
+  let n = Circuit.num_qubits c in
+  let base =
+    List.fold_left
+      (fun acc i -> Circuit.add i acc)
+      (Circuit.empty n ~clbits:n)
+      (Circuit.instructions c)
+  in
+  let rec go q acc =
+    if q >= n then acc else go (q + 1) (Circuit.measure ~qubit:q ~clbit:q acc)
+  in
+  go 0 base
+
+let e19 ~smoke () =
+  header "E19" "Dynamic circuits: static sampling path vs per-shot execution";
+  let shots = if smoke then 200 else 2000 in
+  let n = if smoke then 8 else 12 in
+  let static_unitary = Generators.ghz n in
+  let static_final = e19_measure_all static_unitary in
+  let teleport = Generators.teleportation () in
+  let rus = Generators.repeat_until_success ~rounds:3 () in
+  let repetition = Generators.repetition_code ~cycles:(if smoke then 1 else 3) () in
+  let sample backend c () = ignore (Qdt.sample ~backend ~seed:5 ~shots c) in
+  let workloads =
+    [
+      ("ghz-unitary-arrays", Qdt.Arrays_backend, static_unitary);
+      ("ghz-measured-arrays", Qdt.Arrays_backend, static_final);
+      ("ghz-measured-dd", Qdt.Decision_diagrams, static_final);
+      ("teleport-arrays", Qdt.Arrays_backend, teleport);
+      ("teleport-dd", Qdt.Decision_diagrams, teleport);
+      ("teleport-stabilizer", Qdt.Stabilizer_backend, teleport);
+      ("rus-arrays", Qdt.Arrays_backend, rus);
+      ("repetition-stabilizer", Qdt.Stabilizer_backend, repetition);
+    ]
+  in
+  Printf.printf "%24s | %12s | %12s | %7s\n" "workload" "wall (ms)"
+    "shots/sec" "dynamic";
+  let throughput = ref [] in
+  List.iter
+    (fun (wname, backend, c) ->
+      let best_ns, _minor = e18_measure ~reps:!reps_flag (sample backend c) in
+      let sps = float_of_int shots /. (best_ns /. 1e9) in
+      throughput := (wname, sps) :: !throughput;
+      Printf.printf "%24s | %12.3f | %12.0f | %7s\n" wname (best_ns /. 1e6) sps
+        (if Circuit.is_dynamic c then "yes" else "-");
+      metric_float (wname ^ ".wall_ms") (best_ns /. 1e6);
+      metric_float (wname ^ ".shots_per_sec") sps)
+    workloads;
+  (* Headline number: how much the per-shot path costs relative to the
+     simulate-once-then-sample path on the same backend. *)
+  (match
+     ( List.assoc_opt "ghz-measured-arrays" !throughput,
+       List.assoc_opt "teleport-arrays" !throughput )
+   with
+  | Some static_sps, Some dyn_sps when dyn_sps > 0.0 ->
+      let ratio = static_sps /. dyn_sps in
+      Printf.printf
+        "\n  arrays static-path / per-shot-path throughput: %.1fx\n" ratio;
+      metric_float "arrays.static_over_dynamic_ratio" ratio
+  | _ -> ());
+  metric_int "shots" shots;
+  metric_int "ghz_qubits" n;
+  run_timings ~name:"e19"
+    [
+      bench "ghz-measured-arrays" (sample Qdt.Arrays_backend static_final);
+      bench "teleport-arrays" (sample Qdt.Arrays_backend teleport);
+      bench "teleport-dd" (sample Qdt.Decision_diagrams teleport);
+      bench "repetition-stabilizer" (sample Qdt.Stabilizer_backend repetition);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1157,6 +1241,7 @@ let experiments : (string * (smoke:bool -> unit)) list =
     ("e16", fun ~smoke -> e16 ~smoke ());
     ("e17", fun ~smoke -> e17 ~smoke ());
     ("e18", fun ~smoke -> e18 ~smoke ());
+    ("e19", fun ~smoke -> e19 ~smoke ());
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -1251,7 +1336,7 @@ let () =
     if !selected = [] then experiments
     else List.filter (fun (name, _) -> List.mem name !selected) experiments
   in
-  print_endline "QDT benchmark harness — experiments E1..E18 (see DESIGN.md / EXPERIMENTS.md)";
+  print_endline "QDT benchmark harness — experiments E1..E19 (see DESIGN.md / EXPERIMENTS.md)";
   Printf.printf "timing: %d reps per measurement (median ± MAD)\n" !reps_flag;
   let failures = ref [] in
   List.iter

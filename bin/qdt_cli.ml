@@ -168,12 +168,15 @@ let simulate_cmd =
       List.fold_left
         (fun acc i ->
           match i with
-          | Circuit.Measure _ | Circuit.Reset _ -> acc
+          | Circuit.Measure _ | Circuit.Reset _ | Circuit.If _ -> acc
           | _ -> Circuit.add i acc)
         (Circuit.empty (Circuit.num_qubits c))
         (Circuit.instructions c)
     in
     let n = Circuit.num_qubits c in
+    (* Counts of a measuring circuit are keyed by the classical register;
+       a measure-free circuit samples all qubits. *)
+    let key_bits = if Circuit.has_measure c then Circuit.num_clbits c else n in
     with_obs ~profile ~top ~trace ~trace_format ~metrics @@ fun () ->
     (* The root span brackets only the backend call (not result printing),
        so the profile's total matches the stats wall time. *)
@@ -193,13 +196,13 @@ let simulate_cmd =
           print_stats stats
     end
     else begin
-      match spanned (fun () -> B.sample ~seed ~shots unitary_part) with
+      match spanned (fun () -> B.sample ~seed ~shots c) with
       | Error err -> backend_failure err
       | Ok (counts, stats) ->
           Printf.printf "counts over %d shots (backend: %s):\n" shots
             stats.Qdt.Backend.backend;
           List.iter
-            (fun (k, count) -> Printf.printf "  %s  %d\n" (bitstring n k) count)
+            (fun (k, count) -> Printf.printf "  %s  %d\n" (bitstring key_bits k) count)
             counts;
           print_stats stats
     end
@@ -252,7 +255,7 @@ let profile_cmd =
       List.fold_left
         (fun acc i ->
           match i with
-          | Circuit.Measure _ | Circuit.Reset _ -> acc
+          | Circuit.Measure _ | Circuit.Reset _ | Circuit.If _ -> acc
           | _ -> Circuit.add i acc)
         (Circuit.empty (Circuit.num_qubits c))
         (Circuit.instructions c)
@@ -266,7 +269,7 @@ let profile_cmd =
             | Ok (_, stats) -> Ok stats
             | Error e -> Error e
           else
-            match B.sample ~seed ~shots unitary_part with
+            match B.sample ~seed ~shots c with
             | Ok (_, stats) -> Ok stats
             | Error e -> Error e)
     in
@@ -310,17 +313,18 @@ let profile_cmd =
 let backends_cmd =
   let run () =
     let mark b = if b then "yes" else "-" in
-    Printf.printf "%-18s %-6s %-5s %-7s %-7s %-11s %-9s %s\n" "backend" "state"
-      "amp" "sample" "<Z>" "measure" "clifford" "max-qubits";
+    Printf.printf "%-18s %-6s %-5s %-7s %-7s %-11s %-9s %-9s %s\n" "backend" "state"
+      "amp" "sample" "<Z>" "measure" "dynamic" "clifford" "max-qubits";
     List.iter
       (fun (module B : Qdt.Backend.BACKEND) ->
         let c = B.capabilities in
-        Printf.printf "%-18s %-6s %-5s %-7s %-7s %-11s %-9s %s\n" B.name
+        Printf.printf "%-18s %-6s %-5s %-7s %-7s %-11s %-9s %-9s %s\n" B.name
           (mark c.Qdt.Backend.full_state)
           (mark c.Qdt.Backend.amplitude)
           (mark c.Qdt.Backend.sample)
           (mark c.Qdt.Backend.expectation_z)
           (mark c.Qdt.Backend.supports_nonunitary)
+          (mark c.Qdt.Backend.dynamic)
           (if c.Qdt.Backend.clifford_only then "only" else "-")
           (match c.Qdt.Backend.max_qubits with
           | Some m -> string_of_int m
@@ -426,6 +430,9 @@ let gen_cmd =
       | "random" -> Generators.random_circuit ~seed ~depth:n 4
       | "clifford" -> Generators.random_clifford ~seed ~gates:(10 * n) n
       | "clifford-t" -> Generators.random_clifford_t ~seed ~gates:(10 * n) ~t_fraction:0.25 n
+      | "teleport" -> Generators.teleportation ()
+      | "rus" -> Generators.repeat_until_success ~rounds:(max 1 n) ()
+      | "repetition" -> Generators.repetition_code ~cycles:(max 1 n) ()
       | other -> failwith (Printf.sprintf "unknown family %S" other)
     in
     let text = Qasm.to_string circuit in
@@ -438,7 +445,8 @@ let gen_cmd =
   in
   let family =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FAMILY"
-           ~doc:"bell, ghz, w, qft, grover, bv, adder, random, clifford, clifford-t")
+           ~doc:"bell, ghz, w, qft, grover, bv, adder, random, clifford, clifford-t, \
+                 teleport, rus, repetition")
   in
   let n = Arg.(value & opt int 3 & info [ "n" ] ~doc:"Size parameter.") in
   let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"RNG seed.") in

@@ -49,7 +49,7 @@ let apply_instruction d instr =
   | Circuit.Apply _ | Circuit.Swap _ ->
       conjugate d (Unitary_builder.instruction_matrix ~num_qubits:d.n instr)
   | Circuit.Barrier _ -> ()
-  | Circuit.Measure _ | Circuit.Reset _ ->
+  | Circuit.Measure _ | Circuit.Reset _ | Circuit.If _ ->
       invalid_arg "Density.apply_instruction: measurement not supported"
 
 let embed_kraus n k q =

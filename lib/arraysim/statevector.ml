@@ -278,8 +278,10 @@ let measure_qubit sv ~rng q =
 let m_gates = Qdt_obs.Metrics.counter "sv.gates"
 let m_measurements = Qdt_obs.Metrics.counter "sv.measurements"
 
-let apply_instruction sv instr ~rng ~clbits =
+let rec apply_instruction sv instr ~rng ~clbits =
   match instr with
+  | Circuit.If { value; instr } ->
+      if Circuit.creg_value clbits = value then apply_instruction sv instr ~rng ~clbits
   | Circuit.Apply { gate; controls; target } ->
       Qdt_obs.Trace.emit_begin "sv.gate";
       Qdt_obs.Metrics.incr m_gates;

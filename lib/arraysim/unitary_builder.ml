@@ -31,7 +31,7 @@ let instruction_matrix ~num_qubits instr =
           in
           if row = image then Cx.one else Cx.zero)
   | Circuit.Barrier _ -> Mat.identity dim
-  | Circuit.Measure _ | Circuit.Reset _ ->
+  | Circuit.Measure _ | Circuit.Reset _ | Circuit.If _ ->
       invalid_arg "Unitary_builder: non-unitary instruction"
 
 let unitary circuit =

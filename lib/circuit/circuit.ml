@@ -4,6 +4,7 @@ type instruction =
   | Measure of { qubit : int; clbit : int }
   | Reset of int
   | Barrier of int list
+  | If of { value : int; instr : instruction }
 
 type t = {
   num_qubits : int;
@@ -22,18 +23,19 @@ let num_clbits c = c.num_clbits
 let instructions c = List.rev c.rev_instrs
 let length c = c.len
 
-let qubits_of_instruction = function
+let rec qubits_of_instruction = function
   | Apply { controls; target; _ } -> target :: controls
   | Swap { controls; a; b } -> a :: b :: controls
   | Measure { qubit; _ } -> [ qubit ]
   | Reset q -> [ q ]
   | Barrier qs -> qs
+  | If { instr; _ } -> qubits_of_instruction instr
 
 let rec distinct = function
   | [] -> true
   | q :: rest -> (not (List.mem q rest)) && distinct rest
 
-let validate c instr =
+let rec validate c instr =
   let qs = qubits_of_instruction instr in
   List.iter
     (fun q ->
@@ -47,6 +49,20 @@ let validate c instr =
   | Measure { clbit; _ } ->
       if clbit < 0 || clbit >= c.num_clbits then
         invalid_arg (Printf.sprintf "Circuit.add: clbit %d out of range" clbit)
+  | If { value; instr = inner } -> (
+      if c.num_clbits <= 0 then
+        invalid_arg "Circuit.add: classical condition requires a classical register";
+      if value < 0 then
+        invalid_arg "Circuit.add: negative classical condition value";
+      if c.num_clbits < Sys.int_size - 2 && value lsr c.num_clbits <> 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Circuit.add: condition value %d exceeds the %d-bit classical register"
+             value c.num_clbits);
+      match inner with
+      | If _ -> invalid_arg "Circuit.add: nested classical conditions not supported"
+      | Barrier _ -> invalid_arg "Circuit.add: conditional barrier not supported"
+      | Apply _ | Swap _ | Measure _ | Reset _ -> validate c inner)
   | Apply _ | Swap _ | Reset _ | Barrier _ -> ()
 
 let add instr c =
@@ -95,6 +111,10 @@ let measure_all c =
 
 let reset q c = add (Reset q) c
 let barrier c = add (Barrier (List.init c.num_qubits (fun q -> q))) c
+let if_eq value instr c = add (If { value; instr }) c
+let if_gate value g target c = if_eq value (Apply { gate = g; controls = []; target }) c
+let if_x value q c = if_gate value Gate.X q c
+let if_z value q c = if_gate value Gate.Z q c
 
 let append a b =
   if a.num_qubits <> b.num_qubits then
@@ -108,13 +128,55 @@ let append a b =
 
 let is_unitary_only c =
   List.for_all
-    (function Measure _ | Reset _ -> false | Apply _ | Swap _ | Barrier _ -> true)
+    (function
+      | Measure _ | Reset _ | If _ -> false | Apply _ | Swap _ | Barrier _ -> true)
     c.rev_instrs
 
 let unitary_instructions c =
   List.filter
-    (function Apply _ | Swap _ -> true | Measure _ | Reset _ | Barrier _ -> false)
+    (function
+      | Apply _ | Swap _ -> true | Measure _ | Reset _ | Barrier _ | If _ -> false)
     (instructions c)
+
+let has_conditionals c = List.exists (function If _ -> true | _ -> false) c.rev_instrs
+
+let rec instr_measures = function
+  | Measure _ -> true
+  | If { instr; _ } -> instr_measures instr
+  | Apply _ | Swap _ | Reset _ | Barrier _ -> false
+
+let has_measure c = List.exists instr_measures c.rev_instrs
+
+(* A circuit is dynamic when its shot-loop outcome depends on per-shot
+   classical state: any conditional or reset, or a measurement whose qubit
+   is used again afterwards (mid-circuit measurement).  mqt-core draws the
+   same line in [sample] — static circuits are simulated once and sampled,
+   dynamic circuits re-execute per shot.  [rev_instrs] is reverse program
+   order, so one pass marks "used later" qubits. *)
+let is_dynamic c =
+  let used = Array.make c.num_qubits false in
+  let rec scan = function
+    | [] -> false
+    | instr :: rest -> (
+        match instr with
+        | If _ | Reset _ -> true
+        | Measure { qubit; _ } ->
+            if used.(qubit) then true
+            else begin
+              used.(qubit) <- true;
+              scan rest
+            end
+        | Barrier _ -> scan rest
+        | Apply _ | Swap _ ->
+            List.iter (fun q -> used.(q) <- true) (qubits_of_instruction instr);
+            scan rest)
+  in
+  scan c.rev_instrs
+
+let creg_value clbits =
+  let v = ref 0 in
+  Array.iteri (fun k bit -> if bit <> 0 then v := !v lor (1 lsl k)) clbits;
+  !v
 
 let adjoint c =
   if not (is_unitary_only c) then
@@ -124,24 +186,25 @@ let adjoint c =
         Apply { gate = Gate.adjoint gate; controls; target }
     | Swap _ as sw -> sw
     | Barrier _ as bar -> bar
-    | Measure _ | Reset _ -> assert false
+    | Measure _ | Reset _ | If _ -> assert false
   in
   (* Reversal of program order is exactly keeping [rev_instrs] order. *)
   { c with rev_instrs = List.rev_map invert c.rev_instrs }
 
 let remap f c =
-  let g = function
+  let rec g = function
     | Apply { gate; controls; target } ->
         Apply { gate; controls = List.map f controls; target = f target }
     | Swap { controls; a; b } -> Swap { controls = List.map f controls; a = f a; b = f b }
     | Measure { qubit; clbit } -> Measure { qubit = f qubit; clbit }
     | Reset q -> Reset (f q)
     | Barrier qs -> Barrier (List.map f qs)
+    | If { value; instr } -> If { value; instr = g instr }
   in
   let remapped = List.rev_map g c.rev_instrs in
   List.fold_left (fun acc instr -> add instr acc) { c with rev_instrs = []; len = 0 } remapped
 
-let mnemonic = function
+let rec mnemonic = function
   | Apply { gate; controls; target = _ } ->
       String.concat "" (List.map (fun _ -> "c") controls) ^ Gate.name gate
   | Swap { controls; _ } ->
@@ -149,6 +212,7 @@ let mnemonic = function
   | Measure _ -> "measure"
   | Reset _ -> "reset"
   | Barrier _ -> "barrier"
+  | If { instr; _ } -> "if(" ^ mnemonic instr ^ ")"
 
 let gate_counts c =
   let table = Hashtbl.create 16 in
@@ -167,20 +231,21 @@ let count_total c =
   List.length (List.filter (function Barrier _ -> false | _ -> true) c.rev_instrs)
 
 let count_two_qubit c =
-  List.length
-    (List.filter
-       (fun instr ->
-         match instr with
-         | Apply { controls = [ _ ]; _ } -> true
-         | Swap { controls = []; _ } -> true
-         | Apply _ | Swap _ | Measure _ | Reset _ | Barrier _ -> false)
-       c.rev_instrs)
+  let rec two_qubit = function
+    | Apply { controls = [ _ ]; _ } -> true
+    | Swap { controls = []; _ } -> true
+    | If { instr; _ } -> two_qubit instr
+    | Apply _ | Swap _ | Measure _ | Reset _ | Barrier _ -> false
+  in
+  List.length (List.filter two_qubit c.rev_instrs)
 
 let t_count c =
-  List.length
-    (List.filter
-       (function Apply { gate = Gate.T | Gate.Tdg; _ } -> true | _ -> false)
-       c.rev_instrs)
+  let rec is_t = function
+    | Apply { gate = Gate.T | Gate.Tdg; _ } -> true
+    | If { instr; _ } -> is_t instr
+    | _ -> false
+  in
+  List.length (List.filter is_t c.rev_instrs)
 
 let depth c =
   let level = Array.make c.num_qubits 0 in
@@ -197,7 +262,7 @@ let depth c =
     (instructions c);
   Array.fold_left max 0 level
 
-let instruction_equal a b =
+let rec instruction_equal a b =
   match (a, b) with
   | Apply x, Apply y ->
       Gate.equal x.gate y.gate
@@ -209,14 +274,16 @@ let instruction_equal a b =
   | Measure x, Measure y -> x.qubit = y.qubit && x.clbit = y.clbit
   | Reset p, Reset q -> p = q
   | Barrier p, Barrier q -> List.sort compare p = List.sort compare q
-  | (Apply _ | Swap _ | Measure _ | Reset _ | Barrier _), _ -> false
+  | If x, If y -> x.value = y.value && instruction_equal x.instr y.instr
+  | (Apply _ | Swap _ | Measure _ | Reset _ | Barrier _ | If _), _ -> false
 
 let equal a b =
   a.num_qubits = b.num_qubits && a.len = b.len
   && List.for_all2 instruction_equal a.rev_instrs b.rev_instrs
 
-let pp_instruction ppf instr =
+let rec pp_instruction ppf instr =
   match instr with
+  | If { value; instr } -> Format.fprintf ppf "if(c==%d) %a" value pp_instruction instr
   | Apply { gate; controls; target } ->
       let ops = List.map string_of_int (controls @ [ target ]) in
       Format.fprintf ppf "%s%a %s"

@@ -19,6 +19,11 @@ type instruction =
   | Measure of { qubit : int; clbit : int }
   | Reset of int
   | Barrier of int list
+  | If of { value : int; instr : instruction }
+      (** Classically-controlled operation (OpenQASM 2 [if (c==value) ...]):
+          run [instr] when the whole classical register equals [value].
+          [instr] may be any gate, measure or reset — not a barrier and not
+          another conditional. *)
 
 type t
 
@@ -72,6 +77,19 @@ val measure_all : t -> t
 val reset : int -> t -> t
 val barrier : t -> t
 
+(** [if_eq value instr c] appends [instr] conditioned on the classical
+    register equalling [value].
+    @raise Invalid_argument when the circuit has no classical register,
+    [value] is negative or does not fit the register, or [instr] is a
+    barrier or a nested conditional. *)
+val if_eq : int -> instruction -> t -> t
+
+(** [if_gate value g q c] — conditional single-qubit gate. *)
+val if_gate : int -> Gate.t -> int -> t -> t
+
+val if_x : int -> int -> t -> t
+val if_z : int -> int -> t -> t
+
 (** {1 Whole-circuit operations} *)
 
 (** [append a b] runs [a] then [b].
@@ -85,11 +103,28 @@ val adjoint : t -> t
 (** [remap f c] renames qubits through [f] (must be injective on use). *)
 val remap : (int -> int) -> t -> t
 
-(** [is_unitary_only c] holds when [c] has no measurement/reset. *)
+(** [is_unitary_only c] holds when [c] has no measurement/reset/conditional. *)
 val is_unitary_only : t -> bool
 
-(** [unitary_instructions c] drops measurements, resets and barriers. *)
+(** [unitary_instructions c] drops measurements, resets, barriers and
+    conditionals. *)
 val unitary_instructions : t -> instruction list
+
+(** [has_conditionals c] — does [c] contain an [If]? *)
+val has_conditionals : t -> bool
+
+(** [has_measure c] — does [c] measure anything (conditionals included)? *)
+val has_measure : t -> bool
+
+(** [is_dynamic c] — the shot-loop classification: true when [c] contains a
+    conditional, a reset, or a mid-circuit measurement (a measured qubit
+    that is used again later).  Static circuits can be simulated once and
+    sampled; dynamic circuits must re-execute per shot. *)
+val is_dynamic : t -> bool
+
+(** [creg_value clbits] packs a classical-bit array into an integer
+    (clbit [k] is bit [k]) — the value OpenQASM 2 [if (c==n)] tests. *)
+val creg_value : int array -> int
 
 (** {1 Statistics} *)
 

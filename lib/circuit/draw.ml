@@ -30,19 +30,27 @@ let column_of_instruction n instr =
           spans.(gap) <- true
         done
   in
-  (match instr with
-  | Circuit.Apply { gate; controls; target } ->
-      cells.(target) <- gate_label gate;
-      List.iter (fun ctl -> cells.(ctl) <- "●") controls;
-      mark_span (target :: controls)
-  | Circuit.Swap { controls; a; b } ->
-      cells.(a) <- "✕";
-      cells.(b) <- "✕";
-      List.iter (fun ctl -> cells.(ctl) <- "●") controls;
-      mark_span (a :: b :: controls)
-  | Circuit.Measure { qubit; _ } -> cells.(qubit) <- "[M]"
-  | Circuit.Reset q -> cells.(q) <- "[0]"
-  | Circuit.Barrier qs -> List.iter (fun q -> cells.(q) <- "░") qs);
+  let rec fill instr =
+    match instr with
+    | Circuit.Apply { gate; controls; target } ->
+        cells.(target) <- gate_label gate;
+        List.iter (fun ctl -> cells.(ctl) <- "●") controls;
+        mark_span (target :: controls)
+    | Circuit.Swap { controls; a; b } ->
+        cells.(a) <- "✕";
+        cells.(b) <- "✕";
+        List.iter (fun ctl -> cells.(ctl) <- "●") controls;
+        mark_span (a :: b :: controls)
+    | Circuit.Measure { qubit; _ } -> cells.(qubit) <- "[M]"
+    | Circuit.Reset q -> cells.(q) <- "[0]"
+    | Circuit.Barrier qs -> List.iter (fun q -> cells.(q) <- "░") qs
+    | Circuit.If { value; instr } ->
+        (* render the guarded op, then tag its cells with the condition *)
+        fill instr;
+        let tag = Printf.sprintf "?%d" value in
+        Array.iteri (fun q cell -> if cell <> "" then cells.(q) <- cell ^ tag) cells
+  in
+  fill instr;
   { cells; spans }
 
 let pad_wire cell width =

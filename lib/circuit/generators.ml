@@ -200,7 +200,7 @@ let random_clifford ~seed ~gates n =
 let embed ~into f sub =
   List.fold_left
     (fun acc instr ->
-      let remap_instr =
+      let rec remap instr =
         match instr with
         | Circuit.Apply { gate; controls; target } ->
             Circuit.Apply { gate; controls = List.map f controls; target = f target }
@@ -209,8 +209,9 @@ let embed ~into f sub =
         | Circuit.Measure { qubit; clbit } -> Circuit.Measure { qubit = f qubit; clbit }
         | Circuit.Reset q -> Circuit.Reset (f q)
         | Circuit.Barrier qs -> Circuit.Barrier (List.map f qs)
+        | Circuit.If { value; instr } -> Circuit.If { value; instr = remap instr }
       in
-      Circuit.add remap_instr acc)
+      Circuit.add (remap instr) acc)
     into (Circuit.instructions sub)
 
 let phase_estimation ~phase bits =
@@ -309,3 +310,82 @@ let quantum_volume ~seed ~depth n =
     pair 0
   done;
   !c
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic-circuit workloads: mid-circuit measurement, reset, and      *)
+(* classical control (the shot-engine's per-shot path).                *)
+(* ------------------------------------------------------------------ *)
+
+let teleportation ?prep () =
+  let prep = match prep with Some f -> f | None -> Circuit.h 0 in
+  (* Teleport the prepared state of qubit 0 onto qubit 2 through a Bell
+     pair on qubits 1-2; classical bits c0 (Z fix) and c1 (X fix) carry
+     the Bell-measurement outcome, c2 the final readout of the
+     teleported state. *)
+  Circuit.empty 3 ~clbits:3
+  |> prep
+  |> Circuit.h 1
+  |> Circuit.cx 1 2
+  |> Circuit.cx 0 1
+  |> Circuit.h 0
+  |> Circuit.measure ~qubit:0 ~clbit:0
+  |> Circuit.measure ~qubit:1 ~clbit:1
+  |> Circuit.if_x 2 2
+  |> Circuit.if_x 3 2
+  |> Circuit.if_z 1 2
+  |> Circuit.if_z 3 2
+  |> Circuit.measure ~qubit:2 ~clbit:2
+
+let repeat_until_success ?(rounds = 3) () =
+  if rounds < 1 then invalid_arg "Generators.repeat_until_success: need rounds >= 1";
+  (* Qubit 0 is the ancilla, qubit 1 the data.  Each round runs H·T·H on
+     the ancilla and measures; success (outcome 1, probability sin²(π/8))
+     stops further rounds via the c==0 guard.  On success the data qubit
+     is flipped, so the counts key is 3 with p = 1-(1-sin²(π/8))^rounds
+     and 0 otherwise. *)
+  let round ~first c =
+    let wrap instr = if first then instr else Circuit.If { value = 0; instr } in
+    c
+    |> Circuit.add (wrap (Circuit.Apply { gate = Gate.H; controls = []; target = 0 }))
+    |> Circuit.add (wrap (Circuit.Apply { gate = Gate.T; controls = []; target = 0 }))
+    |> Circuit.add (wrap (Circuit.Apply { gate = Gate.H; controls = []; target = 0 }))
+    |> Circuit.add (wrap (Circuit.Measure { qubit = 0; clbit = 0 }))
+  in
+  let c = round ~first:true (Circuit.empty 2 ~clbits:2) in
+  let rec rest k c =
+    if k > rounds then c
+    else
+      rest (k + 1)
+        (c
+        |> Circuit.if_eq 0 (Circuit.Reset 0)
+        |> round ~first:false)
+  in
+  rest 2 c |> Circuit.if_x 1 1 |> Circuit.measure ~qubit:1 ~clbit:1
+
+let repetition_code ?(cycles = 1) ?(error = false) () =
+  if cycles < 1 then invalid_arg "Generators.repetition_code: need cycles >= 1";
+  (* Distance-3 bit-flip code: data qubits 0-2, syndrome ancillas 3-4.
+     Each cycle extracts the two parities, applies the classically
+     controlled correction, and resets the ancillas.  The final readout
+     is deterministic (key 0) with or without the injected X error. *)
+  let c = ref (Circuit.empty 5 ~clbits:3) in
+  if error then c := Circuit.x 0 !c;
+  for _cycle = 1 to cycles do
+    c :=
+      !c
+      |> Circuit.cx 0 3
+      |> Circuit.cx 1 3
+      |> Circuit.cx 1 4
+      |> Circuit.cx 2 4
+      |> Circuit.measure ~qubit:3 ~clbit:0
+      |> Circuit.measure ~qubit:4 ~clbit:1
+      |> Circuit.if_x 1 0
+      |> Circuit.if_x 2 2
+      |> Circuit.if_x 3 1
+      |> Circuit.reset 3
+      |> Circuit.reset 4
+  done;
+  !c
+  |> Circuit.measure ~qubit:0 ~clbit:0
+  |> Circuit.measure ~qubit:1 ~clbit:1
+  |> Circuit.measure ~qubit:2 ~clbit:2

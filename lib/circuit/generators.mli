@@ -77,3 +77,25 @@ val hidden_shift : shift:int -> int -> Circuit.t
 (** [quantum_volume ~seed ~depth n] — brickwork of random two-qubit
     blocks over random pairings (a quantum-volume-style stress load). *)
 val quantum_volume : seed:int -> depth:int -> int -> Circuit.t
+
+(** {1 Dynamic-circuit workloads} — mid-circuit measurement, reset, and
+    classical control; these exercise the per-shot execution path. *)
+
+(** [teleportation ?prep ()] teleports the state [prep] builds on qubit 0
+    (default [H], i.e. |+⟩) onto qubit 2 via a Bell pair and classically
+    controlled X/Z fixes.  Clbits: c0/c1 the Bell measurement, c2 the
+    teleported state's readout — [P(c2 = 1)] equals the prepared |1⟩
+    population. *)
+val teleportation : ?prep:(Circuit.t -> Circuit.t) -> unit -> Circuit.t
+
+(** [repeat_until_success ?rounds ()] — up to [rounds] (default 3)
+    guarded H·T·H attempts on an ancilla, stopping on outcome 1 (each
+    attempt succeeds with probability sin²(π/8)); success flips the data
+    qubit.  Counts key is 3 with [1-(1-sin²(π/8))^rounds], else 0. *)
+val repeat_until_success : ?rounds:int -> unit -> Circuit.t
+
+(** [repetition_code ?cycles ?error ()] — [cycles] (default 1) rounds of
+    distance-3 bit-flip syndrome extraction with classically controlled
+    correction and ancilla resets; [error] (default false) injects an X
+    on data qubit 0.  The final readout is deterministically 0. *)
+val repetition_code : ?cycles:int -> ?error:bool -> unit -> Circuit.t

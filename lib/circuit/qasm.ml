@@ -35,8 +35,10 @@ let pp_qubits ppf qs =
     (fun ppf q -> Format.fprintf ppf "q[%d]" q)
     ppf qs
 
-let pp_instruction ppf instr =
+let rec pp_instruction ppf instr =
   match instr with
+  | Circuit.If { value; instr } ->
+      Format.fprintf ppf "if(c==%d) %a" value pp_instruction instr
   | Circuit.Apply { gate; controls; target } ->
       let prefix = String.concat "" (List.map (fun _ -> "c") controls) in
       let base = Gate.name gate in
@@ -89,6 +91,7 @@ type token =
   | Slash
   | Lbrace
   | Rbrace
+  | Eq (* == *)
 
 let tokenize src =
   let tokens = ref [] in
@@ -119,6 +122,12 @@ let tokenize src =
     | '+' -> emit Plus; incr pos
     | '*' -> emit Star; incr pos
     | '/' -> emit Slash; incr pos
+    | '=' ->
+        if !pos + 1 < n && src.[!pos + 1] = '=' then begin
+          emit Eq;
+          pos := !pos + 2
+        end
+        else fail "expected '==' (single '=' is not an operator)"
     | '-' ->
         if !pos + 1 < n && src.[!pos + 1] = '>' then begin
           emit Arrow;
@@ -445,6 +454,60 @@ let of_string src =
     | None -> fail_at line "gate before qreg declaration"
   in
   let set_circuit c = circuit := Some c in
+  (* Auto-grow the creg so [measure -> c[k]] works without a declaration. *)
+  let grow_creg k c =
+    if Circuit.num_clbits c > k then c
+    else
+      List.fold_left
+        (fun acc instr -> Circuit.add instr acc)
+        (Circuit.empty ~clbits:(k + 1) (Circuit.num_qubits c))
+        (Circuit.instructions c)
+  in
+  (* [measure q[i] -> c[k]] up to (not including) the ';'. *)
+  let parse_measure line =
+    let reg = match !qreg with Some r -> r | None -> fail_at line "no qreg" in
+    let q = parse_index st reg line in
+    expect st Arrow "expected '->'";
+    let _creg_name = expect_ident st in
+    expect st Lbracket "expected '['";
+    let k = expect_nat st in
+    expect st Rbracket "expected ']'";
+    (q, k)
+  in
+  (* A gate call [name(args) q[i],...;] expanded through user definitions. *)
+  let parse_gate_call name line =
+    let reg = match !qreg with Some r -> r | None -> fail_at line "no qreg" in
+    let args =
+      match peek st with
+      | Some (Lparen, _) ->
+          ignore (next st);
+          let args = ref [ parse_expr st ] in
+          let rec more () =
+            match peek st with
+            | Some (Comma, _) ->
+                ignore (next st);
+                args := parse_expr st :: !args;
+                more ()
+            | _ -> ()
+          in
+          more ();
+          expect st Rparen "expected ')'";
+          List.rev !args
+      | _ -> []
+    in
+    let operands = ref [ parse_index st reg line ] in
+    let rec more () =
+      match peek st with
+      | Some (Comma, _) ->
+          ignore (next st);
+          operands := parse_index st reg line :: !operands;
+          more ()
+      | _ -> ()
+    in
+    more ();
+    expect st Semicolon "expected ';'";
+    List.rev (expand_call name args (List.rev !operands) line [])
+  in
   let rec loop () =
     match peek st with
     | None -> ()
@@ -481,24 +544,47 @@ let of_string src =
         loop ()
     | Some (Ident "measure", line) ->
         ignore (next st);
-        let reg = match !qreg with Some r -> r | None -> fail_at line "no qreg" in
-        let q = parse_index st reg line in
-        expect st Arrow "expected '->'";
-        let _creg_name = expect_ident st in
-        expect st Lbracket "expected '['";
-        let k = expect_nat st in
-        expect st Rbracket "expected ']'";
+        let q, k = parse_measure line in
         expect st Semicolon "expected ';'";
-        let c = get_circuit line in
-        let c =
-          if Circuit.num_clbits c > k then c
-          else
-            List.fold_left
-              (fun acc instr -> Circuit.add instr acc)
-              (Circuit.empty ~clbits:(k + 1) (Circuit.num_qubits c))
-              (Circuit.instructions c)
-        in
+        let c = grow_creg k (get_circuit line) in
         set_circuit (add_checked line (Circuit.Measure { qubit = q; clbit = k }) c);
+        loop ()
+    | Some (Ident "if", line) ->
+        ignore (next st);
+        expect st Lparen "expected '(' after if";
+        let _creg_name = expect_ident st in
+        expect st Eq "expected '=='";
+        let value = expect_nat st in
+        expect st Rparen "expected ')'";
+        (match peek st with
+        | Some (Ident "measure", mline) ->
+            ignore (next st);
+            let q, k = parse_measure mline in
+            expect st Semicolon "expected ';'";
+            let c = grow_creg k (get_circuit mline) in
+            set_circuit
+              (add_checked mline
+                 (Circuit.If { value; instr = Circuit.Measure { qubit = q; clbit = k } })
+                 c)
+        | Some (Ident "reset", rline) ->
+            ignore (next st);
+            let reg = match !qreg with Some r -> r | None -> fail_at rline "no qreg" in
+            let q = parse_index st reg rline in
+            expect st Semicolon "expected ';'";
+            set_circuit
+              (add_checked rline
+                 (Circuit.If { value; instr = Circuit.Reset q })
+                 (get_circuit rline))
+        | Some (Ident name, gline) ->
+            ignore (next st);
+            let instrs = parse_gate_call name gline in
+            List.iter
+              (fun instr ->
+                set_circuit
+                  (add_checked gline (Circuit.If { value; instr }) (get_circuit gline)))
+              instrs
+        | Some (_, l) -> fail_at l "expected quantum operation after if(...)"
+        | None -> fail_at line "unexpected end of input after if(...)");
         loop ()
     | Some (Ident "barrier", line) ->
         ignore (next st);
@@ -609,38 +695,7 @@ let of_string src =
         loop ()
     | Some (Ident name, line) ->
         ignore (next st);
-        let reg = match !qreg with Some r -> r | None -> fail_at line "no qreg" in
-        let args =
-          match peek st with
-          | Some (Lparen, _) ->
-              ignore (next st);
-              let args = ref [ parse_expr st ] in
-              let rec more () =
-                match peek st with
-                | Some (Comma, _) ->
-                    ignore (next st);
-                    args := parse_expr st :: !args;
-                    more ()
-                | _ -> ()
-              in
-              more ();
-              expect st Rparen "expected ')'";
-              List.rev !args
-          | _ -> []
-        in
-        let operands = ref [ parse_index st reg line ] in
-        let rec more () =
-          match peek st with
-          | Some (Comma, _) ->
-              ignore (next st);
-              operands := parse_index st reg line :: !operands;
-              more ()
-          | _ -> ()
-        in
-        more ();
-        expect st Semicolon "expected ';'";
-        let operands = List.rev !operands in
-        let instrs = List.rev (expand_call name args operands line []) in
+        let instrs = parse_gate_call name line in
         List.iter
           (fun instr -> set_circuit (add_checked line instr (get_circuit line)))
           instrs;

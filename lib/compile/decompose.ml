@@ -167,9 +167,15 @@ let fredkin_to_ccx controls a b =
 
 (* One lowering step; returns None when the instruction is already in the
    basis. *)
-let step basis instr =
+let rec step basis instr =
   match instr with
   | Circuit.Measure _ | Circuit.Reset _ | Circuit.Barrier _ -> None
+  | Circuit.If { value; instr = inner } -> (
+      (* Lower the guarded operation and re-guard each replacement: the
+         guard value is untouched by a unitary expansion. *)
+      match step basis inner with
+      | None -> None
+      | Some reps -> Some (List.map (fun i -> Circuit.If { value; instr = i }) reps))
   | Circuit.Swap { controls = []; a; b } -> (
       match basis with
       | Two_qubit | Zx_ready -> None

@@ -49,7 +49,7 @@ let route ?initial_layout ?(lookahead = 20) ?(decay = 0.1) circuit coupling =
         | _ -> assert false)
       (Circuit.qubits_of_instruction instr)
   in
-  let remap_instr instr =
+  let rec remap_instr instr =
     match instr with
     | Circuit.Apply { gate; controls; target } ->
         Circuit.Apply
@@ -62,6 +62,7 @@ let route ?initial_layout ?(lookahead = 20) ?(decay = 0.1) circuit coupling =
     | Circuit.Measure { qubit; clbit } -> Circuit.Measure { qubit = layout.(qubit); clbit }
     | Circuit.Reset q -> Circuit.Reset layout.(q)
     | Circuit.Barrier qs -> Circuit.Barrier (List.map (fun q -> layout.(q)) qs)
+    | Circuit.If { value; instr } -> Circuit.If { value; instr = remap_instr instr }
   in
   let executable instr =
     match Circuit.qubits_of_instruction instr with

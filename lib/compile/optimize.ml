@@ -72,7 +72,7 @@ let scan combine circuit =
           for q = 0 to n - 1 do
             stacks.(q) <- []
           done
-      | Circuit.Measure _ | Circuit.Reset _ ->
+      | Circuit.Measure _ | Circuit.Reset _ | Circuit.If _ ->
           List.iter (fun q -> stacks.(q) <- []) (Circuit.qubits_of_instruction instr)
       | Circuit.Apply { gate = Gate.I; _ } ->
           live.(idx) <- None;

@@ -38,7 +38,8 @@ let of_circuit c =
           | None -> invalid_arg "Phase_poly.of_circuit: non-diagonal gate")
       | Circuit.Apply { gate = Gate.X; controls = [ ctl ]; target } ->
           wires.(target) <- wires.(target) lxor wires.(ctl)
-      | Circuit.Apply _ | Circuit.Swap _ | Circuit.Measure _ | Circuit.Reset _ ->
+      | Circuit.Apply _ | Circuit.Swap _ | Circuit.Measure _ | Circuit.Reset _
+      | Circuit.If _ ->
           invalid_arg "Phase_poly.of_circuit: instruction outside {CNOT, diagonal}"
       | Circuit.Barrier _ -> ())
     (Circuit.instructions c);

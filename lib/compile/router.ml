@@ -66,26 +66,31 @@ let route ?initial_layout circuit coupling =
     loop ()
   in
   let remap_1q q = layout.(q) in
-  List.iter
-    (fun instr ->
-      match instr with
-      | Circuit.Barrier _ -> ()
-      | Circuit.Measure { qubit; clbit } ->
-          emit (Circuit.Measure { qubit = remap_1q qubit; clbit })
-      | Circuit.Reset q -> emit (Circuit.Reset (remap_1q q))
-      | Circuit.Apply { gate; controls = []; target } ->
-          emit (Circuit.Apply { gate; controls = []; target = remap_1q target })
-      | Circuit.Apply { gate; controls = [ ctl ]; target } ->
-          bring_adjacent ctl target;
-          emit
-            (Circuit.Apply
-               { gate; controls = [ layout.(ctl) ]; target = layout.(target) })
-      | Circuit.Swap { controls = []; a; b } ->
-          bring_adjacent a b;
-          emit (Circuit.Swap { controls = []; a = layout.(a); b = layout.(b) })
-      | Circuit.Apply _ | Circuit.Swap _ ->
-          invalid_arg "Router.route: lowering left a >2-qubit instruction")
-    (Circuit.instructions lowered);
+  (* [wrap] re-attaches a classical guard to the routed operation; the
+     layout-fixing swaps inserted by [bring_adjacent] stay unconditional. *)
+  let rec route_instr wrap instr =
+    match instr with
+    | Circuit.Barrier _ -> ()
+    | Circuit.Measure { qubit; clbit } ->
+        emit (wrap (Circuit.Measure { qubit = remap_1q qubit; clbit }))
+    | Circuit.Reset q -> emit (wrap (Circuit.Reset (remap_1q q)))
+    | Circuit.Apply { gate; controls = []; target } ->
+        emit (wrap (Circuit.Apply { gate; controls = []; target = remap_1q target }))
+    | Circuit.Apply { gate; controls = [ ctl ]; target } ->
+        bring_adjacent ctl target;
+        emit
+          (wrap
+             (Circuit.Apply
+                { gate; controls = [ layout.(ctl) ]; target = layout.(target) }))
+    | Circuit.Swap { controls = []; a; b } ->
+        bring_adjacent a b;
+        emit (wrap (Circuit.Swap { controls = []; a = layout.(a); b = layout.(b) }))
+    | Circuit.If { value; instr } ->
+        route_instr (fun i -> Circuit.If { value; instr = i }) instr
+    | Circuit.Apply _ | Circuit.Swap _ ->
+        invalid_arg "Router.route: lowering left a >2-qubit instruction"
+  in
+  List.iter (route_instr (fun i -> i)) (Circuit.instructions lowered);
   Qdt_obs.Metrics.add m_swaps !added_swaps;
   {
     routed = !out;

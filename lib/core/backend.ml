@@ -11,6 +11,7 @@ type capabilities = {
   supports_nonunitary : bool;
   clifford_only : bool;
   max_qubits : int option;
+  dynamic : bool;
 }
 
 type dd_stats = {
@@ -213,7 +214,10 @@ let admit ~name ~caps ~operation c =
              (Qdt_circuit.Circuit.num_qubits c)
              m)
     | _ ->
-        if Qdt_circuit.Circuit.is_unitary_only c then Ok ()
+        if Qdt_circuit.Circuit.has_conditionals c && not caps.dynamic then
+          unsupported ~backend:name ~operation
+            "circuit contains classically-controlled operations"
+        else if Qdt_circuit.Circuit.is_unitary_only c then Ok ()
         else if
           caps.supports_nonunitary
           && (operation = Sample || operation = Expectation_z)

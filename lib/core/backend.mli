@@ -15,6 +15,9 @@ type capabilities = {
   supports_nonunitary : bool;  (** executes measurements / resets *)
   clifford_only : bool;  (** restricted to the Clifford group *)
   max_qubits : int option;  (** hard qubit limit, [None] = unbounded *)
+  dynamic : bool;
+      (** executes dynamic circuits (mid-circuit measurement, reset,
+          classical control) via the per-shot loop of {!Shot_engine} *)
 }
 
 (** Decision-diagram telemetry ({!Qdt_dd.Pkg}). *)

@@ -14,6 +14,7 @@ let capabilities =
     supports_nonunitary = true;
     clifford_only = false;
     max_qubits = Some 24;
+    dynamic = true;
   }
 
 let admit operation c = Backend.admit ~name ~caps:capabilities ~operation c
@@ -34,12 +35,37 @@ let amplitude c k =
   in
   Ok (amp, stats m)
 
+(* One shot of a dynamic circuit: fresh state, live classical register.
+   The counts key is the creg when the circuit measures, else a terminal
+   measurement of every qubit. *)
+let run_shot c ~rng =
+  let sv = Sv.create (Circuit.num_qubits c) in
+  let clbits = Array.make (max 1 (Circuit.num_clbits c)) 0 in
+  List.iter
+    (fun instr -> Sv.apply_instruction sv instr ~rng ~clbits)
+    (Circuit.instructions c);
+  if Circuit.has_measure c then Circuit.creg_value clbits
+  else begin
+    let key = ref 0 in
+    for q = 0 to Circuit.num_qubits c - 1 do
+      key := !key lor (Sv.measure_qubit sv ~rng q lsl q)
+    done;
+    !key
+  end
+
 let sample ?(seed = 0) ~shots c =
   let* () = admit Backend.Sample c in
   let counts, m =
     Backend.timed ~span:"arrays.sample" (fun () ->
-        let state, _clbits = Sv.run ~seed c in
-        Sv.sample ~seed:(seed + 1) state ~shots)
+        match Shot_engine.plan c with
+        | Shot_engine.Static_unitary ->
+            let state, _clbits = Sv.run ~seed c in
+            Sv.sample ~seed:(seed + 1) state ~shots
+        | Shot_engine.Static_final { unitary; map } ->
+            let state, _clbits = Sv.run ~seed unitary in
+            Shot_engine.remap_counts ~map (Sv.sample ~seed:(seed + 1) state ~shots)
+        | Shot_engine.Dynamic ->
+            Shot_engine.sample_per_shot ~seed ~shots ~run_shot:(run_shot c))
   in
   Ok (counts, stats m)
 

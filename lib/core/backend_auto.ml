@@ -28,6 +28,7 @@ let capabilities =
     supports_nonunitary = true;
     clifford_only = false;
     max_qubits = None;
+    dynamic = true;
   }
 
 type features = {
@@ -43,12 +44,13 @@ let features c =
   let two_qubit = ref 0 and nn = ref 0 in
   List.iter
     (fun instr ->
-      let qs =
-        match instr with
+      let rec touched = function
         | Circuit.Apply { controls; target; _ } -> controls @ [ target ]
         | Circuit.Swap { controls; a; b } -> controls @ [ a; b ]
+        | Circuit.If { instr; _ } -> touched instr
         | Circuit.Measure _ | Circuit.Reset _ | Circuit.Barrier _ -> []
       in
+      let qs = touched instr in
       match qs with
       | [ a; b ] ->
           incr two_qubit;

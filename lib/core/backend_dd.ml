@@ -17,6 +17,7 @@ let capabilities =
     supports_nonunitary = true;
     clifford_only = false;
     max_qubits = None;
+    dynamic = true;
   }
 
 let admit operation c = Backend.admit ~name ~caps:capabilities ~operation c
@@ -72,12 +73,52 @@ let amplitude c k =
   let (st, peak), m = Backend.timed ~span:"dd.amplitude" (fun () -> run_tracked ~seed:0 c) in
   Ok (Sim.amplitude st k, stats_of ~m ~peak st)
 
+(* Per-shot loop over one shared manager: the previous shot's root is
+   unpinned before the next shot starts, so dead nodes stay collectable;
+   the last state is kept pinned for the telemetry record. *)
+let run_dynamic ~seed ~shots c =
+  let mgr = Pkg.create () in
+  let n = Circuit.num_qubits c in
+  let peak = ref 0 in
+  let last = ref None in
+  let counts =
+    Shot_engine.sample_per_shot ~seed ~shots ~run_shot:(fun ~rng ->
+        (match !last with Some prev -> Sim.release prev | None -> ());
+        let st = Sim.make mgr n in
+        last := Some st;
+        let clbits = Array.make (max 1 (Circuit.num_clbits c)) 0 in
+        List.iter
+          (fun instr ->
+            Sim.apply_instruction st instr ~rng ~clbits;
+            peak := max !peak (Sim.node_count st))
+          (Circuit.instructions c);
+        if Circuit.has_measure c then Circuit.creg_value clbits
+        else begin
+          let key = ref 0 in
+          for q = 0 to n - 1 do
+            key := !key lor (Sim.measure_qubit st ~rng q lsl q)
+          done;
+          !key
+        end)
+  in
+  let st = match !last with Some st -> st | None -> Sim.make mgr n in
+  (st, !peak, counts)
+
 let sample ?(seed = 0) ~shots c =
   let* () = admit Backend.Sample c in
   let ((st, peak), counts), m =
     Backend.timed ~span:"dd.sample" (fun () ->
-        let st, peak = run_tracked ~seed c in
-        ((st, peak), Sim.sample ~seed:(seed + 1) st ~shots))
+        match Shot_engine.plan c with
+        | Shot_engine.Static_unitary ->
+            let st, peak = run_tracked ~seed c in
+            ((st, peak), Sim.sample ~seed:(seed + 1) st ~shots)
+        | Shot_engine.Static_final { unitary; map } ->
+            let st, peak = run_tracked ~seed unitary in
+            ( (st, peak),
+              Shot_engine.remap_counts ~map (Sim.sample ~seed:(seed + 1) st ~shots) )
+        | Shot_engine.Dynamic ->
+            let st, peak, counts = run_dynamic ~seed ~shots c in
+            ((st, peak), counts))
   in
   Ok (counts, stats_of ~m ~peak st)
 

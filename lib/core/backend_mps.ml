@@ -18,6 +18,7 @@ let capabilities =
     supports_nonunitary = false;
     clifford_only = false;
     max_qubits = None;
+    dynamic = false;
   }
 
 let admit operation c = Backend.admit ~name ~caps:capabilities ~operation c

@@ -15,6 +15,7 @@ let capabilities =
     supports_nonunitary = true;
     clifford_only = true;
     max_qubits = None;
+    dynamic = true;
   }
 
 let ( let* ) r f = Result.bind r f
@@ -43,12 +44,50 @@ let amplitude c k =
   Backend.unsupported ~backend:name ~operation:Backend.Amplitude
     "stabilizer tableaus have no amplitude access"
 
+(* One shot of a dynamic circuit on a fresh tableau. *)
+let run_shot c ~rng =
+  let tab = Tableau.create (Circuit.num_qubits c) in
+  let clbits = Array.make (max 1 (Circuit.num_clbits c)) 0 in
+  List.iter
+    (fun instr -> Tableau.apply_instruction tab instr ~rng ~clbits)
+    (Circuit.instructions c);
+  let key =
+    if Circuit.has_measure c then Circuit.creg_value clbits
+    else begin
+      let key = ref 0 in
+      for q = 0 to Circuit.num_qubits c - 1 do
+        key := !key lor (Tableau.measure tab ~rng q lsl q)
+      done;
+      !key
+    end
+  in
+  (tab, key)
+
 let sample ?(seed = 0) ~shots c =
   let* () = admit Backend.Sample c in
   let (tab, counts), m =
     Backend.timed ~span:"stabilizer.sample" (fun () ->
-        let tab, _clbits = Tableau.run ~seed c in
-        (tab, Tableau.sample ~seed:(seed + 1) tab ~shots))
+        match Shot_engine.plan c with
+        | Shot_engine.Static_unitary ->
+            let tab, _clbits = Tableau.run ~seed c in
+            (tab, Tableau.sample ~seed:(seed + 1) tab ~shots)
+        | Shot_engine.Static_final { unitary; map } ->
+            let tab, _clbits = Tableau.run ~seed unitary in
+            (tab, Shot_engine.remap_counts ~map (Tableau.sample ~seed:(seed + 1) tab ~shots))
+        | Shot_engine.Dynamic ->
+            let last = ref None in
+            let counts =
+              Shot_engine.sample_per_shot ~seed ~shots ~run_shot:(fun ~rng ->
+                  let tab, key = run_shot c ~rng in
+                  last := Some tab;
+                  key)
+            in
+            let tab =
+              match !last with
+              | Some tab -> tab
+              | None -> Tableau.create (Circuit.num_qubits c)
+            in
+            (tab, counts))
   in
   Ok (counts, stats_of m tab)
 

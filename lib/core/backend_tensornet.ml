@@ -16,6 +16,7 @@ let capabilities =
     supports_nonunitary = false;
     clifford_only = false;
     max_qubits = Some 24;
+    dynamic = false;
   }
 
 let admit operation c = Backend.admit ~name ~caps:capabilities ~operation c

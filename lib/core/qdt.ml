@@ -14,6 +14,7 @@ module Obs = Qdt_obs
 module Backend = Backend
 module Registry = Registry
 module Auto = Backend_auto
+module Shot_engine = Shot_engine
 
 type backend =
   | Arrays_backend

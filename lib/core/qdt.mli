@@ -53,6 +53,12 @@ module Backend = Backend
 module Registry = Registry
 module Auto = Backend_auto
 
+(** Static/dynamic shot-execution split shared by the backend adapters:
+    static circuits keep the simulate-once-then-sample fast path, dynamic
+    circuits (mid-circuit measurement, reset, classical control)
+    re-execute per shot with a live classical register. *)
+module Shot_engine = Shot_engine
+
 (** {1 Simulation}
 
     The historical closed-variant front door, kept as a shim over the

@@ -1,0 +1,72 @@
+(* The static/dynamic shot-execution split (mqt-core's sampling strategy,
+   SNIPPETS 1-2).  A circuit is classified once; backends branch on the
+   plan inside their [sample] adapters:
+
+   - [Static_unitary]: no measure/reset/conditional at all.  The backend
+     keeps its historical simulate-once-then-sample path untouched, which
+     keeps the RNG streams bit-identical to the pre-dynamic code.
+   - [Static_final]: measurements only, and every measured qubit is dead
+     afterwards.  The measurements commute to the end of the circuit, so
+     the backend runs the unitary prefix once, samples the final state,
+     and remaps each sampled basis state through the qubit→clbit wiring.
+   - [Dynamic]: a conditional, a reset, or a measured qubit that is used
+     again.  The only faithful execution is one full run per shot with a
+     live classical register. *)
+
+module Circuit = Qdt_circuit.Circuit
+
+type plan =
+  | Static_unitary
+  | Static_final of { unitary : Circuit.t; map : (int * int) list }
+  | Dynamic
+
+let plan c =
+  if Circuit.is_unitary_only c then Static_unitary
+  else if Circuit.is_dynamic c then Dynamic
+  else begin
+    (* Terminal measurements only: strip them, record the wiring in
+       program order (a later measure into the same clbit wins). *)
+    let unitary =
+      List.fold_left
+        (fun acc instr -> Circuit.add instr acc)
+        (Circuit.empty ~clbits:(Circuit.num_clbits c) (Circuit.num_qubits c))
+        (Circuit.unitary_instructions c)
+    in
+    let map =
+      List.filter_map
+        (function
+          | Circuit.Measure { qubit; clbit } -> Some (qubit, clbit)
+          | _ -> None)
+        (Circuit.instructions c)
+    in
+    Static_final { unitary; map }
+  end
+
+let remap_key ~map k =
+  List.fold_left
+    (fun key (qubit, clbit) ->
+      let bit = (k lsr qubit) land 1 in
+      (key land lnot (1 lsl clbit)) lor (bit lsl clbit))
+    0 map
+
+let sorted_counts tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let remap_counts ~map counts =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (k, n) ->
+      let key = remap_key ~map k in
+      Hashtbl.replace tbl key (n + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    counts;
+  sorted_counts tbl
+
+let sample_per_shot ~seed ~shots ~run_shot =
+  let rng = Random.State.make [| seed |] in
+  let tbl = Hashtbl.create 64 in
+  for _shot = 1 to shots do
+    let key = run_shot ~rng in
+    Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+  done;
+  sorted_counts tbl

@@ -115,7 +115,7 @@ let instruction mgr ~num_qubits instr =
       gate mgr ~num_qubits ~controls ~target (Gate.matrix g)
   | Circuit.Swap { controls; a; b } -> swap mgr ~num_qubits ~controls a b
   | Circuit.Barrier _ -> identity mgr num_qubits
-  | Circuit.Measure _ | Circuit.Reset _ ->
+  | Circuit.Measure _ | Circuit.Reset _ | Circuit.If _ ->
       invalid_arg "Build.instruction: non-unitary instruction"
 
 let circuit_unitary mgr c =

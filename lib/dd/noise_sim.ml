@@ -42,7 +42,7 @@ let conjugate st u =
 let apply_instruction st instr =
   match instr with
   | Circuit.Barrier _ -> ()
-  | Circuit.Measure _ | Circuit.Reset _ ->
+  | Circuit.Measure _ | Circuit.Reset _ | Circuit.If _ ->
       invalid_arg "Noise_sim.apply_instruction: non-unitary instruction"
   | Circuit.Apply _ | Circuit.Swap _ ->
       conjugate st (Build.instruction st.mgr ~num_qubits:st.n instr)

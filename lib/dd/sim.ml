@@ -64,9 +64,10 @@ let span_of_instr = function
   | Circuit.Apply _ | Circuit.Swap _ -> "dd.gate"
   | Circuit.Measure _ -> "dd.measure"
   | Circuit.Reset _ -> "dd.reset"
+  | Circuit.If _ -> "dd.conditional"
   | Circuit.Barrier _ -> ""
 
-let apply_instruction st instr ~rng ~clbits =
+let rec apply_instruction st instr ~rng ~clbits =
   let span = span_of_instr instr in
   if span <> "" then Qdt_obs.Trace.emit_begin span;
   (match instr with
@@ -83,6 +84,9 @@ let apply_instruction st instr ~rng ~clbits =
         let op = Build.gate st.mgr ~num_qubits:st.n ~controls:[] ~target:q Gates.x in
         set_root st (Pkg.mul_mv st.mgr op st.edge)
       end
+  | Circuit.If { value; instr } ->
+      if Circuit.creg_value clbits = value then
+        apply_instruction st instr ~rng ~clbits
   | Circuit.Barrier _ -> ());
   (* Only the root is pinned now; dead intermediates are collectable. *)
   Pkg.maybe_gc st.mgr;
@@ -159,6 +163,8 @@ let sample ?(seed = 0) st ~shots =
 let fidelity a b =
   if a.mgr != b.mgr then invalid_arg "Sim.fidelity: states from different managers";
   Cx.norm2 (Pkg.inner a.mgr a.edge b.edge)
+
+let release st = Pkg.unref_edge st.mgr st.edge
 
 let node_count st = Pkg.node_count st.edge
 let memory_bytes st = Pkg.memory_bytes st.edge

@@ -55,6 +55,11 @@ val sample : ?seed:int -> state -> shots:int -> (int * int) list
 (** [fidelity a b] — [|⟨a|b⟩|²]; both states must share a manager. *)
 val fidelity : state -> state -> float
 
+(** [release st] drops the pin on the state's root so its nodes become
+    collectable — call when abandoning a state that shares a manager with
+    others (per-shot loops).  The state must not be used afterwards. *)
+val release : state -> unit
+
 (** Size of the current state DD in nodes. *)
 val node_count : state -> int
 

@@ -188,8 +188,10 @@ let supported_gate = function
   | Gate.Phase _ | Gate.U3 _ ->
       false
 
-let apply_instruction t instr ~rng ~clbits =
+let rec apply_instruction t instr ~rng ~clbits =
   match instr with
+  | Circuit.If { value; instr } ->
+      if Circuit.creg_value clbits = value then apply_instruction t instr ~rng ~clbits
   | Circuit.Barrier _ -> ()
   | Circuit.Measure { qubit; clbit } -> clbits.(clbit) <- measure t ~rng qubit
   | Circuit.Reset q -> if measure t ~rng q = 1 then x t q
@@ -220,16 +222,17 @@ let apply_instruction t instr ~rng ~clbits =
       invalid_arg "Tableau: multi-controlled gates are not Clifford"
 
 let supports circuit =
-  List.for_all
-    (fun instr ->
-      match instr with
-      | Circuit.Barrier _ | Circuit.Measure _ | Circuit.Reset _ -> true
-      | Circuit.Swap { controls = []; _ } -> true
-      | Circuit.Swap _ -> false
-      | Circuit.Apply { gate; controls = []; _ } -> supported_gate gate
-      | Circuit.Apply { gate = Gate.X | Gate.Z | Gate.Y; controls = [ _ ]; _ } -> true
-      | Circuit.Apply _ -> false)
-    (Circuit.instructions circuit)
+  let rec instr_ok instr =
+    match instr with
+    | Circuit.Barrier _ | Circuit.Measure _ | Circuit.Reset _ -> true
+    | Circuit.If { instr; _ } -> instr_ok instr
+    | Circuit.Swap { controls = []; _ } -> true
+    | Circuit.Swap _ -> false
+    | Circuit.Apply { gate; controls = []; _ } -> supported_gate gate
+    | Circuit.Apply { gate = Gate.X | Gate.Z | Gate.Y; controls = [ _ ]; _ } -> true
+    | Circuit.Apply _ -> false
+  in
+  List.for_all instr_ok (Circuit.instructions circuit)
 
 let run ?(seed = 0) circuit =
   let t = create (Circuit.num_qubits circuit) in

@@ -45,7 +45,7 @@ let local_matrix instr =
           { gate; controls = List.map position controls; target = position target }
     | Circuit.Swap { controls; a; b } ->
         Circuit.Swap { controls = List.map position controls; a = position a; b = position b }
-    | Circuit.Measure _ | Circuit.Reset _ | Circuit.Barrier _ ->
+    | Circuit.Measure _ | Circuit.Reset _ | Circuit.Barrier _ | Circuit.If _ ->
         invalid_arg "Circuit_tn: non-unitary instruction"
   in
   let m = List.length qs in
@@ -54,7 +54,7 @@ let local_matrix instr =
 let append_instruction b instr =
   match instr with
   | Circuit.Barrier _ -> ()
-  | Circuit.Measure _ | Circuit.Reset _ ->
+  | Circuit.Measure _ | Circuit.Reset _ | Circuit.If _ ->
       invalid_arg "Circuit_tn: circuit measures or resets"
   | Circuit.Apply _ | Circuit.Swap _ ->
       let qs, u = local_matrix instr in

@@ -188,7 +188,7 @@ let swap_matrix = Gates.swap
 let rec apply_instruction mps ?max_bond ?cutoff instr =
   match instr with
   | Circuit.Barrier _ -> ()
-  | Circuit.Measure _ | Circuit.Reset _ ->
+  | Circuit.Measure _ | Circuit.Reset _ | Circuit.If _ ->
       invalid_arg "Mps.apply_instruction: non-unitary instruction"
   | Circuit.Apply { gate; controls = []; target } ->
       apply_gate1 mps (Gate.matrix gate) target

@@ -12,7 +12,7 @@ let gate_positions c =
   List.filteri (fun _ instr ->
       match instr with
       | Circuit.Apply _ | Circuit.Swap _ -> true
-      | Circuit.Measure _ | Circuit.Reset _ | Circuit.Barrier _ -> false)
+      | Circuit.Measure _ | Circuit.Reset _ | Circuit.Barrier _ | Circuit.If _ -> false)
     (Circuit.instructions c)
   |> List.length
 

@@ -28,7 +28,7 @@ let sqrt2 = Qdt_linalg.Cx.of_float (Float.sqrt 2.0)
 let translate_instruction d wires instr =
   match instr with
   | Circuit.Barrier _ -> ()
-  | Circuit.Measure _ | Circuit.Reset _ ->
+  | Circuit.Measure _ | Circuit.Reset _ | Circuit.If _ ->
       invalid_arg "Translate.of_circuit: circuit measures or resets"
   | Circuit.Swap { controls = []; a; b } ->
       (* only connectivity matters: cross the wires *)

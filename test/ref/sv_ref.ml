@@ -118,8 +118,10 @@ let measure_qubit sv ~rng q =
   renormalise sv;
   bit
 
-let apply_instruction sv instr ~rng ~clbits =
+let rec apply_instruction sv instr ~rng ~clbits =
   match instr with
+  | Circuit.If { value; instr } ->
+      if Circuit.creg_value clbits = value then apply_instruction sv instr ~rng ~clbits
   | Circuit.Apply { gate; controls; target } -> apply_gate sv gate ~controls ~target
   | Circuit.Swap { controls; a; b } -> apply_swap sv ~controls a b
   | Circuit.Measure { qubit; clbit } -> clbits.(clbit) <- measure_qubit sv ~rng qubit
