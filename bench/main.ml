@@ -1216,6 +1216,129 @@ let e19 ~smoke () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* E20: multicore scaling — speedup vs. domain count                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Three workload shapes across the Qdt_par substrate: a 20+-qubit
+   statevector gate sweep (kernel chunking), a 1000-trajectory noise run
+   (trajectory blocks), and dynamic per-shot sampling (split RNG
+   streams).  Each is timed at jobs ∈ {1, 2, 4}; jobs = 1 is the serial
+   reference.  The gate scales with the machine: on >= 4 cores it
+   demands real speedup at 4 domains, on fewer cores (where speedup is
+   physically impossible) it only guards against sub-linear collapse —
+   parallel overhead must not eat more than a bounded fraction of the
+   serial time.  The jobs = 2 and jobs = 4 sampled counts are asserted
+   identical, pinning the split-stream determinism contract. *)
+
+let e20_job_counts = [ 1; 2; 4 ]
+
+let e20_measure_at jobs run =
+  Qdt.Par.set_jobs jobs;
+  let best_ns, _minor = e18_measure ~reps:!reps_flag run in
+  best_ns
+
+let e20 ~smoke () =
+  header "E20" "Multicore scaling: domain pool speedup vs. job count";
+  let cores = Domain.recommended_domain_count () in
+  let sweep_n = if smoke then 16 else 20 in
+  let trajectories = if smoke then 200 else 1000 in
+  let shots = if smoke then 500 else 2000 in
+  let sweep_c = Generators.random_circuit ~seed:9 ~depth:3 sweep_n in
+  let traj_c = Generators.ghz (if smoke then 8 else 10) in
+  let noise = Qdt.Arrays.Trajectories.depolarizing 0.01 in
+  let teleport = Generators.teleportation () in
+  let workloads =
+    [
+      ( "sweep",
+        fun () -> ignore (Qdt.Arrays.Statevector.run_unitary sweep_c) );
+      ( "trajectories",
+        fun () ->
+          ignore
+            (Qdt.Arrays.Trajectories.average_probabilities ~seed:3 ~noise
+               ~trajectories traj_c) );
+      ( "dynamic-shots",
+        fun () ->
+          ignore (Qdt.sample ~backend:Qdt.Arrays_backend ~seed:5 ~shots teleport) );
+    ]
+  in
+  Printf.printf "recommended domain count: %d\n" cores;
+  Printf.printf "%16s | %12s | %12s | %12s | %8s | %8s\n" "workload" "jobs=1 (ms)"
+    "jobs=2 (ms)" "jobs=4 (ms)" "x @2" "x @4";
+  let speedups = ref [] in
+  List.iter
+    (fun (wname, run) ->
+      let times = List.map (fun j -> (j, e20_measure_at j run)) e20_job_counts in
+      let t1 = List.assoc 1 times in
+      List.iter
+        (fun (j, t) ->
+          metric_float (Printf.sprintf "%s.jobs%d_wall_ms" wname j) (t /. 1e6);
+          if j > 1 then
+            metric_float (Printf.sprintf "%s.speedup%d" wname j) (t1 /. t))
+        times;
+      let t2 = List.assoc 2 times and t4 = List.assoc 4 times in
+      speedups := (wname, t1 /. t4) :: !speedups;
+      Printf.printf "%16s | %12.3f | %12.3f | %12.3f | %7.2fx | %7.2fx\n" wname
+        (t1 /. 1e6) (t2 /. 1e6) (t4 /. 1e6) (t1 /. t2) (t1 /. t4))
+    workloads;
+  metric_int "cores" cores;
+  metric_int "sweep_qubits" sweep_n;
+  metric_int "trajectories" trajectories;
+  metric_int "shots" shots;
+  (* Determinism pin: identical dynamic counts at every parallel job
+     count (the jobs >= 2 contract; jobs = 1 keeps the legacy stream). *)
+  Qdt.Par.set_jobs 2;
+  let counts2 = Qdt.sample ~backend:Qdt.Arrays_backend ~seed:5 ~shots teleport in
+  Qdt.Par.set_jobs 4;
+  let counts4 = Qdt.sample ~backend:Qdt.Arrays_backend ~seed:5 ~shots teleport in
+  if counts2 <> counts4 then begin
+    Printf.eprintf "E20 FAILED: dynamic counts differ between jobs=2 and jobs=4\n";
+    exit 1
+  end;
+  Printf.printf "\n  jobs=2 and jobs=4 dynamic counts: identical (determinism pin)\n";
+  (* Scaling gate. *)
+  let demand wname floor =
+    let s = List.assoc wname !speedups in
+    if s < floor then begin
+      Printf.eprintf "E20 FAILED: %s speedup at 4 domains is %.2fx (floor %.2fx)\n"
+        wname s floor;
+      exit 1
+    end
+  in
+  if cores >= 4 then begin
+    let sweep_floor = if smoke then 1.2 else 2.0 in
+    let traj_floor = if smoke then 1.2 else 3.0 in
+    Printf.printf "  gate (%d cores): sweep >= %.1fx, trajectories >= %.1fx at 4 domains\n"
+      cores sweep_floor traj_floor;
+    demand "sweep" sweep_floor;
+    demand "trajectories" traj_floor
+  end
+  else begin
+    (* Too few cores for speedup; guard that the pool does not collapse
+       (oversubscribed domains must stay within 4x of serial). *)
+    Printf.printf
+      "  gate (%d cores): no speedup possible — collapse guard only (>= 0.25x)\n"
+      cores;
+    List.iter (fun (wname, _) -> demand wname 0.25) !speedups
+  end;
+  (* Baseline-gated timings: serial and 2-domain flavours of each shape.
+     set_jobs inside the thunk so harness batching cannot leak a stale
+     job count into the measurement. *)
+  let at j run () = Qdt.Par.set_jobs j; run () in
+  let sweep_run = List.assoc "sweep" workloads in
+  let traj_run = List.assoc "trajectories" workloads in
+  let shots_run = List.assoc "dynamic-shots" workloads in
+  run_timings ~name:"e20"
+    [
+      bench "sweep-jobs1" (at 1 sweep_run);
+      bench "sweep-jobs2" (at 2 sweep_run);
+      bench "trajectories-jobs2" (at 2 traj_run);
+      bench "dynamic-shots-jobs2" (at 2 shots_run);
+    ];
+  (* Leave the process the way the other experiments expect it. *)
+  Qdt.Par.set_jobs 1;
+  Qdt.Par.shutdown ()
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1242,6 +1365,7 @@ let experiments : (string * (smoke:bool -> unit)) list =
     ("e17", fun ~smoke -> e17 ~smoke ());
     ("e18", fun ~smoke -> e18 ~smoke ());
     ("e19", fun ~smoke -> e19 ~smoke ());
+    ("e20", fun ~smoke -> e20 ~smoke ());
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -1300,7 +1424,7 @@ let update_baseline ~experiment ~smoke =
 
 let usage () =
   Printf.eprintf
-    "usage: bench [EXPERIMENT...] [--smoke] [--reps N] [--compare] [--update-baselines]\n\
+    "usage: bench [EXPERIMENT...] [--smoke] [--reps N] [--jobs N] [--compare] [--update-baselines]\n\
      known experiments: %s\n"
     (String.concat " " (List.map fst experiments))
 
@@ -1324,6 +1448,13 @@ let () =
         | _ ->
             Printf.eprintf "--reps needs an integer argument >= 1\n";
             exit 2)
+    | "--jobs" ->
+        incr i;
+        (match if !i < argc then int_of_string_opt Sys.argv.(!i) else None with
+        | Some n when n >= 1 -> Qdt.Par.set_jobs n
+        | _ ->
+            Printf.eprintf "--jobs needs an integer argument >= 1\n";
+            exit 2)
     | name when List.mem_assoc name experiments -> selected := name :: !selected
     | name ->
         Printf.eprintf "unknown argument %S\n" name;
@@ -1336,7 +1467,7 @@ let () =
     if !selected = [] then experiments
     else List.filter (fun (name, _) -> List.mem name !selected) experiments
   in
-  print_endline "QDT benchmark harness — experiments E1..E19 (see DESIGN.md / EXPERIMENTS.md)";
+  print_endline "QDT benchmark harness — experiments E1..E20 (see DESIGN.md / EXPERIMENTS.md)";
   Printf.printf "timing: %d reps per measurement (median ± MAD)\n" !reps_flag;
   let failures = ref [] in
   List.iter

@@ -51,6 +51,22 @@ let metrics_arg =
          ~doc:"Enable the metrics registry (counters, gauges, histograms) \
                and print every instrument after the run.")
 
+let jobs_arg =
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Domains for parallel kernels, shot loops and trajectory \
+               runs (default: $(b,QDT_JOBS), else the machine's \
+               recommended domain count). $(b,--jobs 1) disables parallel \
+               execution and is bit-identical to a serial build.")
+
+let apply_jobs = function
+  | None -> ()
+  | Some j ->
+      if j < 1 then begin
+        prerr_endline "--jobs must be >= 1";
+        exit 1
+      end;
+      Qdt.Par.set_jobs j
+
 let profile_arg =
   Arg.(value & opt ~vopt:(Some "profile.folded") (some string) None
        & info [ "profile" ] ~docv:"FILE"
@@ -137,8 +153,9 @@ let backend_failure err =
   exit 1
 
 let simulate_cmd =
-  let run c backend_name shots seed threshold gc_threshold cache_bits trace
+  let run c backend_name shots seed threshold gc_threshold cache_bits jobs trace
       trace_format metrics profile top =
+    apply_jobs jobs;
     (* The registry hands out backends behind the fixed BACKEND signature,
        so DD memory-management knobs travel through the package defaults. *)
     (match gc_threshold with
@@ -225,7 +242,7 @@ let simulate_cmd =
   in
   let term =
     Term.(const run $ file_pos ~doc:"OpenQASM file to simulate" 0 $ backend_arg $ shots $ seed
-          $ threshold $ gc_threshold $ cache_bits $ trace_arg $ trace_format_arg
+          $ threshold $ gc_threshold $ cache_bits $ jobs_arg $ trace_arg $ trace_format_arg
           $ metrics_arg $ profile_arg $ top_arg)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate a circuit with a chosen data structure") term
@@ -239,7 +256,8 @@ let simulate_cmd =
    into a profile (Qdt_obs.Profile), print the top-N table and write
    folded stacks. *)
 let profile_cmd =
-  let run c backend_name shots seed top folded capacity =
+  let run c backend_name shots seed jobs top folded capacity =
+    apply_jobs jobs;
     if capacity < 2 then begin
       prerr_endline "--ring-capacity must be >= 2";
       exit 1
@@ -299,7 +317,7 @@ let profile_cmd =
   in
   let term =
     Term.(const run $ file_pos ~doc:"OpenQASM file to profile" 0 $ backend_arg $ shots
-          $ seed $ top_arg $ folded $ capacity)
+          $ seed $ jobs_arg $ top_arg $ folded $ capacity)
   in
   Cmd.v
     (Cmd.info "profile"

@@ -51,19 +51,51 @@ let probability sv k =
 
 let probabilities sv = Array.init (1 lsl sv.n) (probability sv)
 
+(* Every [for k = 0 to size-1] sweep below goes through
+   [Qdt_par.parallel_for] with the default chunk (2^14 indices): states of
+   ≤ 14 qubits fit in one chunk and run serially inline (zero overhead,
+   bit-identical to the pre-parallel code), larger states split across the
+   domain pool.  The sweeps are race-free under arbitrary chunking because
+   only base indices (target bit(s) 0, controls satisfied) touch the
+   buffer, and an index's partners are never base indices of any other
+   iteration.
+
+   Reductions use [chunked_sum]: one partial per fixed-boundary chunk,
+   folded in chunk order, so the result is identical at any job count
+   >= 2; at jobs = 1 the legacy single-accumulator order is preserved
+   exactly. *)
+let par_chunk = Qdt_par.default_chunk
+
+let chunked_sum n partial =
+  if n <= 0 then 0.0
+  else if Qdt_par.jobs () <= 1 || n <= par_chunk then partial 0 n
+  else begin
+    let nchunks = (n + par_chunk - 1) / par_chunk in
+    let partials = Array.make nchunks 0.0 in
+    Qdt_par.parallel_for ~chunk:par_chunk 0 n (fun lo hi ->
+        partials.(lo / par_chunk) <- partial lo hi);
+    let acc = ref 0.0 in
+    for c = 0 to nchunks - 1 do
+      acc := !acc +. partials.(c)
+    done;
+    !acc
+  end
+
 (* Probabilities into [dst] (first [2^n] entries), no allocation. *)
 let probabilities_into sv dst =
-  for k = 0 to (1 lsl sv.n) - 1 do
-    dst.(k) <- probability sv k
-  done
+  Qdt_par.parallel_for ~chunk:par_chunk 0 (1 lsl sv.n) (fun lo hi ->
+      for k = lo to hi - 1 do
+        dst.(k) <- probability sv k
+      done)
 
 let norm2 sv =
-  let acc = ref 0.0 in
   let buf = sv.buf in
-  for i = 0 to Array.length buf - 1 do
-    acc := !acc +. (buf.(i) *. buf.(i))
-  done;
-  !acc
+  chunked_sum (Array.length buf) (fun lo hi ->
+      let acc = ref 0.0 in
+      for i = lo to hi - 1 do
+        acc := !acc +. (buf.(i) *. buf.(i))
+      done;
+      !acc)
 
 let norm sv = Float.sqrt (norm2 sv)
 
@@ -93,50 +125,52 @@ let apply_matrix sv m ~controls ~target =
     (* Diagonal: amp(k) picks up u00 or u11 from its target bit alone. *)
     let skip00 = u00r = 1.0 && u00i = 0.0 in
     let skip11 = u11r = 1.0 && u11i = 0.0 in
-    for k = 0 to size - 1 do
-      if k land cmask = cmask then
-        if k land stride = 0 then begin
-          if not skip00 then begin
-            let o = 2 * k in
-            let ar = buf.(o) and ai = buf.(o + 1) in
-            buf.(o) <- (u00r *. ar) -. (u00i *. ai);
-            buf.(o + 1) <- (u00r *. ai) +. (u00i *. ar)
-          end
-        end
-        else if not skip11 then begin
-          let o = 2 * k in
-          let ar = buf.(o) and ai = buf.(o + 1) in
-          buf.(o) <- (u11r *. ar) -. (u11i *. ai);
-          buf.(o + 1) <- (u11r *. ai) +. (u11i *. ar)
-        end
-    done
+    Qdt_par.parallel_for ~chunk:par_chunk 0 size (fun lo hi ->
+        for k = lo to hi - 1 do
+          if k land cmask = cmask then
+            if k land stride = 0 then begin
+              if not skip00 then begin
+                let o = 2 * k in
+                let ar = buf.(o) and ai = buf.(o + 1) in
+                buf.(o) <- (u00r *. ar) -. (u00i *. ai);
+                buf.(o + 1) <- (u00r *. ai) +. (u00i *. ar)
+              end
+            end
+            else if not skip11 then begin
+              let o = 2 * k in
+              let ar = buf.(o) and ai = buf.(o + 1) in
+              buf.(o) <- (u11r *. ar) -. (u11i *. ai);
+              buf.(o + 1) <- (u11r *. ai) +. (u11i *. ar)
+            end
+        done)
   end
-  else if u00r = 0.0 && u00i = 0.0 && u11r = 0.0 && u11i = 0.0 then begin
+  else if u00r = 0.0 && u00i = 0.0 && u11r = 0.0 && u11i = 0.0 then
     (* Anti-diagonal: the pair swaps with scaling; one multiply each. *)
-    for k = 0 to size - 1 do
-      if k land stride = 0 && k land cmask = cmask then begin
-        let o0 = 2 * k and o1 = 2 * (k + stride) in
-        let a0r = buf.(o0) and a0i = buf.(o0 + 1) in
-        let a1r = buf.(o1) and a1i = buf.(o1 + 1) in
-        buf.(o0) <- (u01r *. a1r) -. (u01i *. a1i);
-        buf.(o0 + 1) <- (u01r *. a1i) +. (u01i *. a1r);
-        buf.(o1) <- (u10r *. a0r) -. (u10i *. a0i);
-        buf.(o1 + 1) <- (u10r *. a0i) +. (u10i *. a0r)
-      end
-    done
-  end
+    Qdt_par.parallel_for ~chunk:par_chunk 0 size (fun lo hi ->
+        for k = lo to hi - 1 do
+          if k land stride = 0 && k land cmask = cmask then begin
+            let o0 = 2 * k and o1 = 2 * (k + stride) in
+            let a0r = buf.(o0) and a0i = buf.(o0 + 1) in
+            let a1r = buf.(o1) and a1i = buf.(o1 + 1) in
+            buf.(o0) <- (u01r *. a1r) -. (u01i *. a1i);
+            buf.(o0 + 1) <- (u01r *. a1i) +. (u01i *. a1r);
+            buf.(o1) <- (u10r *. a0r) -. (u10i *. a0i);
+            buf.(o1 + 1) <- (u10r *. a0i) +. (u10i *. a0r)
+          end
+        done)
   else
-    for k = 0 to size - 1 do
-      if k land stride = 0 && k land cmask = cmask then begin
-        let o0 = 2 * k and o1 = 2 * (k + stride) in
-        let a0r = buf.(o0) and a0i = buf.(o0 + 1) in
-        let a1r = buf.(o1) and a1i = buf.(o1 + 1) in
-        buf.(o0) <- (u00r *. a0r) -. (u00i *. a0i) +. ((u01r *. a1r) -. (u01i *. a1i));
-        buf.(o0 + 1) <- (u00r *. a0i) +. (u00i *. a0r) +. ((u01r *. a1i) +. (u01i *. a1r));
-        buf.(o1) <- (u10r *. a0r) -. (u10i *. a0i) +. ((u11r *. a1r) -. (u11i *. a1i));
-        buf.(o1 + 1) <- (u10r *. a0i) +. (u10i *. a0r) +. ((u11r *. a1i) +. (u11i *. a1r))
-      end
-    done
+    Qdt_par.parallel_for ~chunk:par_chunk 0 size (fun lo hi ->
+        for k = lo to hi - 1 do
+          if k land stride = 0 && k land cmask = cmask then begin
+            let o0 = 2 * k and o1 = 2 * (k + stride) in
+            let a0r = buf.(o0) and a0i = buf.(o0 + 1) in
+            let a1r = buf.(o1) and a1i = buf.(o1 + 1) in
+            buf.(o0) <- (u00r *. a0r) -. (u00i *. a0i) +. ((u01r *. a1r) -. (u01i *. a1i));
+            buf.(o0 + 1) <- (u00r *. a0i) +. (u00i *. a0r) +. ((u01r *. a1i) +. (u01i *. a1r));
+            buf.(o1) <- (u10r *. a0r) -. (u10i *. a0i) +. ((u11r *. a1r) -. (u11i *. a1i));
+            buf.(o1 + 1) <- (u10r *. a0i) +. (u10i *. a0r) +. ((u11r *. a1i) +. (u11i *. a1r))
+          end
+        done)
 
 (* Fused two-qubit kernel: one pass applying a dense 4x4 to every
    (q0, q1) amplitude quadruple.  Matrix index convention matches
@@ -152,39 +186,40 @@ let apply_matrix2 sv m ~controls ~q0 ~q1 =
   let cmask = control_mask controls in
   let buf = sv.buf in
   let size = 1 lsl sv.n in
-  for k = 0 to size - 1 do
-    if k land pair_mask = 0 && k land cmask = cmask then begin
-      let o0 = 2 * k
-      and o1 = 2 * (k + b0)
-      and o2 = 2 * (k + b1)
-      and o3 = 2 * (k + b0 + b1) in
-      let a0r = buf.(o0) and a0i = buf.(o0 + 1) in
-      let a1r = buf.(o1) and a1i = buf.(o1 + 1) in
-      let a2r = buf.(o2) and a2i = buf.(o2 + 1) in
-      let a3r = buf.(o3) and a3i = buf.(o3 + 1) in
-      let row_re j =
-        let b = 8 * j in
-        (mb.(b) *. a0r) -. (mb.(b + 1) *. a0i)
-        +. ((mb.(b + 2) *. a1r) -. (mb.(b + 3) *. a1i))
-        +. ((mb.(b + 4) *. a2r) -. (mb.(b + 5) *. a2i))
-        +. ((mb.(b + 6) *. a3r) -. (mb.(b + 7) *. a3i))
-      and row_im j =
-        let b = 8 * j in
-        (mb.(b) *. a0i) +. (mb.(b + 1) *. a0r)
-        +. ((mb.(b + 2) *. a1i) +. (mb.(b + 3) *. a1r))
-        +. ((mb.(b + 4) *. a2i) +. (mb.(b + 5) *. a2r))
-        +. ((mb.(b + 6) *. a3i) +. (mb.(b + 7) *. a3r))
-      in
-      buf.(o0) <- row_re 0;
-      buf.(o0 + 1) <- row_im 0;
-      buf.(o1) <- row_re 1;
-      buf.(o1 + 1) <- row_im 1;
-      buf.(o2) <- row_re 2;
-      buf.(o2 + 1) <- row_im 2;
-      buf.(o3) <- row_re 3;
-      buf.(o3 + 1) <- row_im 3
-    end
-  done
+  Qdt_par.parallel_for ~chunk:par_chunk 0 size (fun lo hi ->
+      for k = lo to hi - 1 do
+        if k land pair_mask = 0 && k land cmask = cmask then begin
+          let o0 = 2 * k
+          and o1 = 2 * (k + b0)
+          and o2 = 2 * (k + b1)
+          and o3 = 2 * (k + b0 + b1) in
+          let a0r = buf.(o0) and a0i = buf.(o0 + 1) in
+          let a1r = buf.(o1) and a1i = buf.(o1 + 1) in
+          let a2r = buf.(o2) and a2i = buf.(o2 + 1) in
+          let a3r = buf.(o3) and a3i = buf.(o3 + 1) in
+          let row_re j =
+            let b = 8 * j in
+            (mb.(b) *. a0r) -. (mb.(b + 1) *. a0i)
+            +. ((mb.(b + 2) *. a1r) -. (mb.(b + 3) *. a1i))
+            +. ((mb.(b + 4) *. a2r) -. (mb.(b + 5) *. a2i))
+            +. ((mb.(b + 6) *. a3r) -. (mb.(b + 7) *. a3i))
+          and row_im j =
+            let b = 8 * j in
+            (mb.(b) *. a0i) +. (mb.(b + 1) *. a0r)
+            +. ((mb.(b + 2) *. a1i) +. (mb.(b + 3) *. a1r))
+            +. ((mb.(b + 4) *. a2i) +. (mb.(b + 5) *. a2r))
+            +. ((mb.(b + 6) *. a3i) +. (mb.(b + 7) *. a3r))
+          in
+          buf.(o0) <- row_re 0;
+          buf.(o0 + 1) <- row_im 0;
+          buf.(o1) <- row_re 1;
+          buf.(o1 + 1) <- row_im 1;
+          buf.(o2) <- row_re 2;
+          buf.(o2 + 1) <- row_im 2;
+          buf.(o3) <- row_re 3;
+          buf.(o3 + 1) <- row_im 3
+        end
+      done)
 
 let apply_gate sv gate ~controls ~target =
   apply_matrix sv (Gate.matrix gate) ~controls ~target
@@ -193,25 +228,27 @@ let apply_swap sv ~controls a b =
   let cmask = control_mask controls in
   let ba = 1 lsl a and bb = 1 lsl b in
   let buf = sv.buf in
-  for k = 0 to (1 lsl sv.n) - 1 do
-    (* Swap amplitudes of index pairs that differ as (a=1,b=0) ↔ (a=0,b=1);
-       visiting only the (a=1,b=0) representative avoids double swaps. *)
-    if k land ba <> 0 && k land bb = 0 && k land cmask = cmask then begin
-      let partner = k lxor ba lxor bb in
-      let ok = 2 * k and op = 2 * partner in
-      let tr = buf.(ok) and ti = buf.(ok + 1) in
-      buf.(ok) <- buf.(op);
-      buf.(ok + 1) <- buf.(op + 1);
-      buf.(op) <- tr;
-      buf.(op + 1) <- ti
-    end
-  done
+  Qdt_par.parallel_for ~chunk:par_chunk 0 (1 lsl sv.n) (fun lo hi ->
+      for k = lo to hi - 1 do
+        (* Swap amplitudes of index pairs that differ as (a=1,b=0) ↔ (a=0,b=1);
+           visiting only the (a=1,b=0) representative avoids double swaps. *)
+        if k land ba <> 0 && k land bb = 0 && k land cmask = cmask then begin
+          let partner = k lxor ba lxor bb in
+          let ok = 2 * k and op = 2 * partner in
+          let tr = buf.(ok) and ti = buf.(ok + 1) in
+          buf.(ok) <- buf.(op);
+          buf.(ok + 1) <- buf.(op + 1);
+          buf.(op) <- tr;
+          buf.(op + 1) <- ti
+        end
+      done)
 
 let rescale sv s =
   let buf = sv.buf in
-  for i = 0 to Array.length buf - 1 do
-    buf.(i) <- s *. buf.(i)
-  done
+  Qdt_par.parallel_for ~chunk:par_chunk 0 (Array.length buf) (fun lo hi ->
+      for i = lo to hi - 1 do
+        buf.(i) <- s *. buf.(i)
+      done)
 
 let renormalise sv =
   let n = norm sv in
@@ -230,40 +267,43 @@ let kraus_weight sv m ~target =
   let u10r = mb.(4) and u10i = mb.(5) and u11r = mb.(6) and u11i = mb.(7) in
   let stride = 1 lsl target in
   let buf = sv.buf in
-  let acc = ref 0.0 in
-  for k = 0 to (1 lsl sv.n) - 1 do
-    if k land stride = 0 then begin
-      let o0 = 2 * k and o1 = 2 * (k + stride) in
-      let a0r = buf.(o0) and a0i = buf.(o0 + 1) in
-      let a1r = buf.(o1) and a1i = buf.(o1 + 1) in
-      let n0r = (u00r *. a0r) -. (u00i *. a0i) +. ((u01r *. a1r) -. (u01i *. a1i)) in
-      let n0i = (u00r *. a0i) +. (u00i *. a0r) +. ((u01r *. a1i) +. (u01i *. a1r)) in
-      let n1r = (u10r *. a0r) -. (u10i *. a0i) +. ((u11r *. a1r) -. (u11i *. a1i)) in
-      let n1i = (u10r *. a0i) +. (u10i *. a0r) +. ((u11r *. a1i) +. (u11i *. a1r)) in
-      acc := !acc +. (n0r *. n0r) +. (n0i *. n0i) +. (n1r *. n1r) +. (n1i *. n1i)
-    end
-  done;
-  !acc
+  chunked_sum (1 lsl sv.n) (fun lo hi ->
+      let acc = ref 0.0 in
+      for k = lo to hi - 1 do
+        if k land stride = 0 then begin
+          let o0 = 2 * k and o1 = 2 * (k + stride) in
+          let a0r = buf.(o0) and a0i = buf.(o0 + 1) in
+          let a1r = buf.(o1) and a1i = buf.(o1 + 1) in
+          let n0r = (u00r *. a0r) -. (u00i *. a0i) +. ((u01r *. a1r) -. (u01i *. a1i)) in
+          let n0i = (u00r *. a0i) +. (u00i *. a0r) +. ((u01r *. a1i) +. (u01i *. a1r)) in
+          let n1r = (u10r *. a0r) -. (u10i *. a0i) +. ((u11r *. a1r) -. (u11i *. a1i)) in
+          let n1i = (u10r *. a0i) +. (u10i *. a0r) +. ((u11r *. a1i) +. (u11i *. a1r)) in
+          acc := !acc +. (n0r *. n0r) +. (n0i *. n0i) +. (n1r *. n1r) +. (n1i *. n1i)
+        end
+      done;
+      !acc)
 
 let project sv q bit =
   let mask = 1 lsl q in
   let buf = sv.buf in
-  for k = 0 to (1 lsl sv.n) - 1 do
-    let has = if k land mask <> 0 then 1 else 0 in
-    if has <> bit then begin
-      buf.(2 * k) <- 0.0;
-      buf.((2 * k) + 1) <- 0.0
-    end
-  done
+  Qdt_par.parallel_for ~chunk:par_chunk 0 (1 lsl sv.n) (fun lo hi ->
+      for k = lo to hi - 1 do
+        let has = if k land mask <> 0 then 1 else 0 in
+        if has <> bit then begin
+          buf.(2 * k) <- 0.0;
+          buf.((2 * k) + 1) <- 0.0
+        end
+      done)
 
 let prob_of_bit sv q bit =
   let mask = 1 lsl q in
-  let acc = ref 0.0 in
-  for k = 0 to (1 lsl sv.n) - 1 do
-    let has = if k land mask <> 0 then 1 else 0 in
-    if has = bit then acc := !acc +. probability sv k
-  done;
-  !acc
+  chunked_sum (1 lsl sv.n) (fun lo hi ->
+      let acc = ref 0.0 in
+      for k = lo to hi - 1 do
+        let has = if k land mask <> 0 then 1 else 0 in
+        if has = bit then acc := !acc +. probability sv k
+      done;
+      !acc)
 
 let measure_qubit sv ~rng q =
   let p1 = prob_of_bit sv q 1 in
@@ -320,12 +360,13 @@ let run_unitary circuit =
 
 let expectation_z sv q =
   let mask = 1 lsl q in
-  let acc = ref 0.0 in
-  for k = 0 to (1 lsl sv.n) - 1 do
-    let p = probability sv k in
-    if k land mask = 0 then acc := !acc +. p else acc := !acc -. p
-  done;
-  !acc
+  chunked_sum (1 lsl sv.n) (fun lo hi ->
+      let acc = ref 0.0 in
+      for k = lo to hi - 1 do
+        let p = probability sv k in
+        if k land mask = 0 then acc := !acc +. p else acc := !acc -. p
+      done;
+      !acc)
 
 let sample ?(seed = 0) sv ~shots =
   Qdt_obs.Trace.with_span "sv.sample" @@ fun () ->

@@ -48,23 +48,70 @@ let run_single ?(seed = 0) ~noise circuit =
     (Circuit.instructions circuit);
   sv
 
+(* Trajectory-level parallelism.  Each trajectory's RNG stream is derived
+   from [seed + t] alone, so trajectories are independent of execution
+   order.  At jobs = 1 the legacy sequential accumulation runs —
+   bit-identical to the pre-parallel code.  At jobs >= 2 the trajectory
+   range splits into [traj_blocks] blocks (a fixed count, independent of
+   the job count); each block accumulates serially and the block results
+   fold in block order, so the averages are identical at any job count
+   >= 2.  The statevector kernels inside each trajectory fall back to
+   serial automatically (nested-region guard in [Qdt_par]). *)
+let traj_blocks = 16
+
+let block_bounds ~trajectories b =
+  (b * trajectories / traj_blocks, (b + 1) * trajectories / traj_blocks)
+
 let average_probabilities ?(seed = 0) ~noise ~trajectories circuit =
   if trajectories < 1 then invalid_arg "Trajectories: need at least one trajectory";
   let dim = 1 lsl Circuit.num_qubits circuit in
-  let acc = Array.make dim 0.0 in
-  for t = 0 to trajectories - 1 do
-    let sv = run_single ~seed:(seed + t) ~noise circuit in
-    let probs = Statevector.probabilities sv in
-    Array.iteri (fun k p -> acc.(k) <- acc.(k) +. p) probs
-  done;
+  let accumulate acc t0 t1 =
+    for t = t0 to t1 - 1 do
+      let sv = run_single ~seed:(seed + t) ~noise circuit in
+      let probs = Statevector.probabilities sv in
+      Array.iteri (fun k p -> acc.(k) <- acc.(k) +. p) probs
+    done;
+    acc
+  in
+  let acc =
+    if Qdt_par.jobs () <= 1 || trajectories < 2 then
+      accumulate (Array.make dim 0.0) 0 trajectories
+    else begin
+      let blocks =
+        Qdt_par.map
+          (fun b ->
+            let t0, t1 = block_bounds ~trajectories b in
+            accumulate (Array.make dim 0.0) t0 t1)
+          (Array.init traj_blocks Fun.id)
+      in
+      let acc = Array.make dim 0.0 in
+      Array.iter
+        (fun blk -> Array.iteri (fun k p -> acc.(k) <- acc.(k) +. p) blk)
+        blocks;
+      acc
+    end
+  in
   Array.map (fun p -> p /. Float.of_int trajectories) acc
 
 let average_fidelity ?(seed = 0) ~noise ~trajectories circuit =
   if trajectories < 1 then invalid_arg "Trajectories: need at least one trajectory";
   let ideal = Statevector.run_unitary circuit in
-  let acc = ref 0.0 in
-  for t = 0 to trajectories - 1 do
-    let sv = run_single ~seed:(seed + t) ~noise circuit in
-    acc := !acc +. Statevector.fidelity ideal sv
-  done;
-  !acc /. Float.of_int trajectories
+  let accumulate t0 t1 =
+    let acc = ref 0.0 in
+    for t = t0 to t1 - 1 do
+      let sv = run_single ~seed:(seed + t) ~noise circuit in
+      acc := !acc +. Statevector.fidelity ideal sv
+    done;
+    !acc
+  in
+  let total =
+    if Qdt_par.jobs () <= 1 || trajectories < 2 then accumulate 0 trajectories
+    else
+      Qdt_par.map
+        (fun b ->
+          let t0, t1 = block_bounds ~trajectories b in
+          accumulate t0 t1)
+        (Array.init traj_blocks Fun.id)
+      |> Array.fold_left ( +. ) 0.0
+  in
+  total /. Float.of_int trajectories

@@ -65,7 +65,9 @@ let sample ?(seed = 0) ~shots c =
             let state, _clbits = Sv.run ~seed unitary in
             Shot_engine.remap_counts ~map (Sv.sample ~seed:(seed + 1) state ~shots)
         | Shot_engine.Dynamic ->
-            Shot_engine.sample_per_shot ~seed ~shots ~run_shot:(run_shot c))
+            (* [run_shot] builds a fresh statevector per shot, so it is
+               reentrant and the shots parallelise across domains. *)
+            Shot_engine.sample_per_shot_parallel ~seed ~shots ~run_shot:(run_shot c))
   in
   Ok (counts, stats m)
 

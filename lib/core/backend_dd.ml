@@ -76,6 +76,10 @@ let amplitude c k =
 (* Per-shot loop over one shared manager: the previous shot's root is
    unpinned before the next shot starts, so dead nodes stay collectable;
    the last state is kept pinned for the telemetry record. *)
+(* Stays on the sequential [sample_per_shot]: every shot shares one DD
+   manager (unique/compute tables, refcounts), which is not domain-safe —
+   and sharing it is the point, since node reuse across shots is where the
+   DD backend's compression comes from. *)
 let run_dynamic ~seed ~shots c =
   let mgr = Pkg.create () in
   let n = Circuit.num_qubits c in

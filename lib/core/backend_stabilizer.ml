@@ -75,19 +75,16 @@ let sample ?(seed = 0) ~shots c =
             let tab, _clbits = Tableau.run ~seed unitary in
             (tab, Shot_engine.remap_counts ~map (Tableau.sample ~seed:(seed + 1) tab ~shots))
         | Shot_engine.Dynamic ->
-            let last = ref None in
+            (* [run_shot] builds a fresh tableau per shot — reentrant, so
+               the shots parallelise across domains.  Stats only need the
+               tableau footprint, which depends on the qubit count alone,
+               so a fresh tableau stands in for "the last shot's" (a
+               cross-domain [last] ref would race). *)
             let counts =
-              Shot_engine.sample_per_shot ~seed ~shots ~run_shot:(fun ~rng ->
-                  let tab, key = run_shot c ~rng in
-                  last := Some tab;
-                  key)
+              Shot_engine.sample_per_shot_parallel ~seed ~shots
+                ~run_shot:(fun ~rng -> snd (run_shot c ~rng))
             in
-            let tab =
-              match !last with
-              | Some tab -> tab
-              | None -> Tableau.create (Circuit.num_qubits c)
-            in
-            (tab, counts))
+            (Tableau.create (Circuit.num_qubits c), counts))
   in
   Ok (counts, stats_of m tab)
 

@@ -8,6 +8,7 @@ module Compile = Qdt_compile
 module Verify = Qdt_verify
 module Stabilizer = Qdt_stabilizer
 module Obs = Qdt_obs
+module Par = Qdt_par
 
 (* The backend layer: module type + capabilities + stats, the registry of
    adapters, and the portfolio dispatcher. *)

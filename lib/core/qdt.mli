@@ -31,6 +31,13 @@ module Stabilizer = Qdt_stabilizer
     enabled. *)
 module Obs = Qdt_obs
 
+(** Multicore execution substrate: the reusable domain pool behind the
+    chunked statevector kernels, parallel shot/trajectory loops, and
+    task-parallel tensor-network slicing.  [Par.set_jobs 1] (or
+    [QDT_JOBS=1]) disables it — output is then bit-identical to a serial
+    build. *)
+module Par = Qdt_par
+
 (** {1 The backend layer}
 
     {!Backend} defines the [BACKEND] module type (capability record,

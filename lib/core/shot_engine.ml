@@ -70,3 +70,29 @@ let sample_per_shot ~seed ~shots ~run_shot =
     Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
   done;
   sorted_counts tbl
+
+(* Parallel dynamic path.  At jobs = 1 this is exactly [sample_per_shot]
+   (one sequential stream — bit-identical to the pre-parallel engine).
+   At jobs >= 2 every shot draws from its own stream seeded by
+   [(seed, shot index)], so each shot's outcome depends only on the seed
+   and its index, never on which domain ran it or in what order: the
+   counts are identical at any job count >= 2.  [run_shot] must be
+   reentrant — it is called concurrently with distinct [rng] states and
+   must build any per-shot state (statevector, tableau, scratch) fresh. *)
+let sample_per_shot_parallel ~seed ~shots ~run_shot =
+  if Qdt_par.jobs () <= 1 then sample_per_shot ~seed ~shots ~run_shot
+  else begin
+    let keys = Array.make (max shots 0) 0 in
+    Qdt_par.parallel_for ~chunk:16 0 shots (fun lo hi ->
+        for shot = lo to hi - 1 do
+          let rng = Random.State.make [| seed; shot |] in
+          keys.(shot) <- run_shot ~rng
+        done);
+    let tbl = Hashtbl.create 64 in
+    Array.iter
+      (fun key ->
+        Hashtbl.replace tbl key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+      keys;
+    sorted_counts tbl
+  end

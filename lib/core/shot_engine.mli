@@ -26,3 +26,14 @@ val remap_counts : map:(int * int) list -> (int * int) list -> (int * int) list
     the backends' static sampling output. *)
 val sample_per_shot :
   seed:int -> shots:int -> run_shot:(rng:Random.State.t -> int) -> (int * int) list
+
+(** [sample_per_shot_parallel ~seed ~shots ~run_shot] — the dynamic path
+    across the {!Qdt_par} domain pool.  At jobs = 1 this is exactly
+    {!sample_per_shot}.  At jobs >= 2, shot [i] draws from its own RNG
+    stream seeded by [(seed, i)] — outcomes depend only on the seed and
+    shot index, so counts are identical at any job count >= 2 (but differ
+    from the jobs = 1 single-stream output).  [run_shot] must be
+    reentrant: it is invoked concurrently and must build per-shot state
+    fresh rather than reuse shared scratch. *)
+val sample_per_shot_parallel :
+  seed:int -> shots:int -> run_shot:(rng:Random.State.t -> int) -> (int * int) list

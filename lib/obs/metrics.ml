@@ -1,17 +1,39 @@
 (* All state is process-global: the registry maps names to mutable
    instruments, and the hot path touches only the instrument record it was
-   handed plus the [on] flag.  Nothing here allocates while disabled. *)
+   handed plus the [on] flag.  Nothing here allocates while disabled.
 
-let on = ref false
-let set_enabled b = on := b
-let enabled () = !on
+   Domain safety (the parallel substrate records from worker domains):
+   counter and gauge cells are [Atomic.t], so concurrent increments from
+   any number of domains never lose updates and cost one atomic op when
+   enabled (one load + branch when disabled, preserving the e17 bound).
+   Histograms mutate several fields per observation, so [observe] — and
+   every registry mutation / whole-registry read — serialises on one
+   process-wide mutex instead; histogram call sites (GC pauses, SVD bond
+   dims) are orders of magnitude colder than counter increments. *)
+
+let on = Atomic.make false
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
+
+(* Guards the registry table and every histogram's mutable fields. *)
+let mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+      Mutex.unlock mu;
+      v
+  | exception e ->
+      Mutex.unlock mu;
+      raise e
 
 (* 48 buckets cover durations up to 2^46 ns (~20 h) before overflowing —
    ample for anything a single run observes. *)
 let num_buckets = 48
 
-type counter = { c_name : string; mutable count : int }
-type gauge = { g_name : string; mutable level : float }
+type counter = { c_name : string; count : int Atomic.t }
+type gauge = { g_name : string; level : float Atomic.t }
 
 type histogram = {
   h_name : string;
@@ -26,6 +48,7 @@ type instrument = C of counter | G of gauge | H of histogram
 let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
 
 let get_or_register name make classify describe =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some i -> (
       match classify i with
@@ -43,7 +66,7 @@ let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
 let counter name =
   get_or_register name
     (fun () ->
-      let c = { c_name = name; count = 0 } in
+      let c = { c_name = name; count = Atomic.make 0 } in
       Hashtbl.replace registry name (C c);
       c)
     (function C c -> Some c | _ -> None)
@@ -52,7 +75,7 @@ let counter name =
 let gauge name =
   get_or_register name
     (fun () ->
-      let g = { g_name = name; level = 0.0 } in
+      let g = { g_name = name; level = Atomic.make 0.0 } in
       Hashtbl.replace registry name (G g);
       g)
     (function G g -> Some g | _ -> None)
@@ -74,9 +97,9 @@ let histogram name =
 (* Recording                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let incr c = if !on then c.count <- c.count + 1
-let add c n = if !on then c.count <- c.count + n
-let set g v = if !on then g.level <- v
+let incr c = if Atomic.get on then Atomic.incr c.count
+let add c n = if Atomic.get on then ignore (Atomic.fetch_and_add c.count n)
+let set g v = if Atomic.get on then Atomic.set g.level v
 
 (* Bucket index = number of significant bits of v (so bucket i holds
    [2^(i-1), 2^i)), clamped into the overflow bucket. *)
@@ -91,16 +114,16 @@ let bucket_of v =
     min !bits (num_buckets - 1)
   end
 
-let remove name = Hashtbl.remove registry name
+let remove name = locked (fun () -> Hashtbl.remove registry name)
 
 let observe h v =
-  if !on then begin
+  if Atomic.get on then
+    locked @@ fun () ->
     h.h_count <- h.h_count + 1;
     h.h_sum <- h.h_sum + v;
     if v > h.h_max then h.h_max <- v;
     let b = bucket_of v in
     h.buckets.(b) <- h.buckets.(b) + 1
-  end
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                           *)
@@ -114,19 +137,20 @@ type value =
 type snapshot = (string * value) list
 
 let snapshot () =
-  Hashtbl.fold
-    (fun name i acc ->
-      let v =
-        match i with
-        | C c -> Counter_v c.count
-        | G g -> Gauge_v g.level
-        | H h ->
-            Histogram_v
-              { count = h.h_count; sum = h.h_sum; max_value = h.h_max;
-                buckets = Array.copy h.buckets }
-      in
-      (name, v) :: acc)
-    registry []
+  locked (fun () ->
+      Hashtbl.fold
+        (fun name i acc ->
+          let v =
+            match i with
+            | C c -> Counter_v (Atomic.get c.count)
+            | G g -> Gauge_v (Atomic.get g.level)
+            | H h ->
+                Histogram_v
+                  { count = h.h_count; sum = h.h_sum; max_value = h.h_max;
+                    buckets = Array.copy h.buckets }
+          in
+          (name, v) :: acc)
+        registry [])
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let diff ~before ~after =
@@ -152,11 +176,12 @@ let diff ~before ~after =
     after
 
 let reset () =
+  locked @@ fun () ->
   Hashtbl.iter
     (fun _ i ->
       match i with
-      | C c -> c.count <- 0
-      | G g -> g.level <- 0.0
+      | C c -> Atomic.set c.count 0
+      | G g -> Atomic.set g.level 0.0
       | H h ->
           h.h_count <- 0;
           h.h_sum <- 0;

@@ -1,10 +1,21 @@
 (* Ring buffer of begin/end events.  Slots are mutable records allocated
    once by [configure]; recording an event mutates a slot in place, so the
    steady-state cost of an enabled span is two clock reads and a handful
-   of stores.  Disabled cost is one flag check. *)
+   of stores.  Disabled cost is one flag check.
+
+   The ring is single-owner: slots, head and depth are plain mutable state
+   with no synchronisation, so only the domain that enabled tracing may
+   record.  [emit_begin]/[emit_end]/[with_span] silently drop events from
+   any other domain (worker domains of the parallel substrate) — parallel
+   regions instead show up as [par.chunk] spans emitted by the calling
+   domain around the whole region. *)
 
 let on = ref false
 let enabled () = !on
+
+(* Domain id that called [set_enabled true]; -1 while disabled. *)
+let owner = ref (-1)
+let owned () = (Domain.self () :> int) = !owner
 
 type phase = Begin | End
 
@@ -39,6 +50,7 @@ let clear () =
 
 let set_enabled b =
   if b && Array.length !slots = 0 then configure ();
+  owner := (if b then (Domain.self () :> int) else -1);
   on := b
 
 let capacity () = Array.length !slots
@@ -59,19 +71,19 @@ let record phase name attrs =
   end
 
 let emit_begin ?(attrs = []) name =
-  if !on then begin
+  if !on && owned () then begin
     record Begin name attrs;
     cur_depth := !cur_depth + 1
   end
 
 let emit_end name =
-  if !on then begin
+  if !on && owned () then begin
     record End name [];
     cur_depth := max 0 (!cur_depth - 1)
   end
 
 let with_span ?attrs name f =
-  if not !on then f ()
+  if not (!on && owned ()) then f ()
   else begin
     emit_begin ?attrs name;
     Fun.protect ~finally:(fun () -> emit_end name) f

@@ -137,9 +137,12 @@ let contract_scalar_sliced ?plan ~labels net =
     labels;
   let k = List.length labels in
   if k > 20 then invalid_arg "Network.contract_scalar_sliced: too many sliced labels";
-  let acc = ref Qdt_linalg.Cx.zero in
-  let stats = ref { multiplications = 0; peak_tensor_size = 0; contractions = 0 } in
-  for assignment = 0 to (1 lsl k) - 1 do
+  let positioned = List.mapi (fun pos l -> (pos, l)) labels in
+  (* One slice: fix every sliced label to its bit in [assignment], then
+     contract the slimmed network.  Pure — tensors are immutable and
+     [contract_all] keeps no shared state — so slices are independent
+     tasks. *)
+  let slice_one assignment =
     let sliced =
       List.map
         (fun tensor ->
@@ -148,17 +151,33 @@ let contract_scalar_sliced ?plan ~labels net =
               if Array.exists (( = ) l) (Tensor.labels t) then
                 Tensor.fix t ~label:l ~value:((assignment lsr pos) land 1)
               else t)
-            tensor
-            (List.mapi (fun pos l -> (pos, l)) labels))
+            tensor positioned)
         net
     in
     let result, s = contract_all ?plan sliced in
-    acc := Qdt_linalg.Cx.add !acc (Tensor.to_scalar result);
-    stats :=
-      {
-        multiplications = !stats.multiplications + s.multiplications;
-        peak_tensor_size = max !stats.peak_tensor_size s.peak_tensor_size;
-        contractions = !stats.contractions + s.contractions;
-      }
-  done;
-  (!acc, !stats)
+    (Tensor.to_scalar result, s)
+  in
+  let total = 1 lsl k in
+  let fold slices =
+    let acc = ref Qdt_linalg.Cx.zero in
+    let stats = ref { multiplications = 0; peak_tensor_size = 0; contractions = 0 } in
+    Array.iter
+      (fun (z, s) ->
+        acc := Qdt_linalg.Cx.add !acc z;
+        stats :=
+          {
+            multiplications = !stats.multiplications + s.multiplications;
+            peak_tensor_size = max !stats.peak_tensor_size s.peak_tensor_size;
+            contractions = !stats.contractions + s.contractions;
+          })
+      slices;
+    (!acc, !stats)
+  in
+  if Qdt_par.jobs () <= 1 || total < 2 then
+    (* Serial: same arithmetic order as the historical loop. *)
+    fold (Array.init total slice_one)
+  else
+    (* Slices fan out across the domain pool; [Qdt_par.map] lands each
+       result at its assignment's index, so the fold order — and hence
+       the rounded sum — is identical at any job count >= 2. *)
+    fold (Qdt_par.map slice_one (Array.init total Fun.id))

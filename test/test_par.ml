@@ -1,0 +1,201 @@
+(* Qdt_par contract tests: multi-domain vs single-domain amplitude
+   agreement on circuits straddling the serial cutoff, job-count-invariant
+   seeded shot/trajectory results, pool reuse/resize/restart, and
+   exception propagation out of worker domains. *)
+
+open Qdt_circuit
+module Cx = Qdt_linalg.Cx
+module Sv = Qdt_arraysim.Statevector
+module Traj = Qdt_arraysim.Trajectories
+
+(* ------------------------------------------------------------------ *)
+(* Amplitude agreement across job counts                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The default chunk is 2^14 indices, so 14 qubits is the largest state
+   that always runs serially: 6..14q exercise the cutoff's serial side at
+   any job count, 15..16q split into 2 and 4 chunks. *)
+let agreement_workloads =
+  List.map
+    (fun n -> (Printf.sprintf "random%d" n, Generators.random_circuit ~seed:(60 + n) ~depth:3 n))
+    [ 6; 10; 14; 15; 16 ]
+
+let amplitudes ~jobs c =
+  Qdt_par.set_jobs jobs;
+  let sv = Sv.run_unitary c in
+  Array.init (1 lsl (Circuit.num_qubits c)) (Sv.amplitude sv)
+
+let test_amplitude_agreement () =
+  List.iter
+    (fun (name, c) ->
+      let serial = amplitudes ~jobs:1 c in
+      let par2 = amplitudes ~jobs:2 c in
+      let par4 = amplitudes ~jobs:4 c in
+      Array.iteri
+        (fun k a ->
+          if Cx.norm (Cx.sub a par2.(k)) > 1e-12 then
+            Alcotest.failf "%s: amplitude %d: jobs=2 differs from serial by > 1e-12" name k;
+          (* jobs >= 2 share chunk boundaries, so they agree exactly. *)
+          if par2.(k) <> par4.(k) then
+            Alcotest.failf "%s: amplitude %d: jobs=2 and jobs=4 not bit-identical" name k)
+        serial)
+    agreement_workloads
+
+let test_reductions_agree () =
+  let c = Generators.random_circuit ~seed:91 ~depth:3 16 in
+  let at jobs f =
+    Qdt_par.set_jobs jobs;
+    f (Sv.run_unitary c)
+  in
+  List.iter
+    (fun (what, f) ->
+      let serial = at 1 f and par2 = at 2 f and par4 = at 4 f in
+      Alcotest.(check (float 1e-12)) (what ^ ": jobs=2 vs serial") serial par2;
+      Alcotest.(check bool) (what ^ ": jobs=2 == jobs=4") true (par2 = par4))
+    [
+      ("norm", Sv.norm);
+      ("kraus_weight", fun sv -> Sv.kraus_weight sv Qdt_linalg.Gates.h ~target:3);
+      ("expectation_z", fun sv -> Sv.expectation_z sv 5);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Seeded shots and trajectories: invariant in the job count           *)
+(* ------------------------------------------------------------------ *)
+
+let counts ~jobs ~backend c =
+  Qdt_par.set_jobs jobs;
+  Qdt.sample ~backend ~seed:11 ~shots:400 c
+
+let total = List.fold_left (fun acc (_, n) -> acc + n) 0
+
+let test_dynamic_counts_arrays () =
+  let teleport = Generators.teleportation () in
+  let c1 = counts ~jobs:1 ~backend:Qdt.Arrays_backend teleport in
+  let c1' = counts ~jobs:1 ~backend:Qdt.Arrays_backend teleport in
+  Alcotest.(check (list (pair int int))) "jobs=1 reproducible" c1 c1';
+  let c2 = counts ~jobs:2 ~backend:Qdt.Arrays_backend teleport in
+  let c4 = counts ~jobs:4 ~backend:Qdt.Arrays_backend teleport in
+  Alcotest.(check (list (pair int int))) "jobs=2 == jobs=4" c2 c4;
+  Alcotest.(check int) "same shot total" (total c1) (total c2)
+
+let test_dynamic_counts_stabilizer () =
+  let repetition = Generators.repetition_code ~cycles:2 () in
+  let c1 = counts ~jobs:1 ~backend:Qdt.Stabilizer_backend repetition in
+  let c1' = counts ~jobs:1 ~backend:Qdt.Stabilizer_backend repetition in
+  Alcotest.(check (list (pair int int))) "jobs=1 reproducible" c1 c1';
+  let c2 = counts ~jobs:2 ~backend:Qdt.Stabilizer_backend repetition in
+  let c4 = counts ~jobs:4 ~backend:Qdt.Stabilizer_backend repetition in
+  Alcotest.(check (list (pair int int))) "jobs=2 == jobs=4" c2 c4;
+  Alcotest.(check int) "same shot total" (total c1) (total c2)
+
+let test_trajectories_jobs_invariant () =
+  let c = Generators.ghz 6 in
+  let noise = Traj.depolarizing 0.02 in
+  let avg jobs =
+    Qdt_par.set_jobs jobs;
+    Traj.average_probabilities ~seed:7 ~noise ~trajectories:64 c
+  in
+  let a1 = avg 1 and a2 = avg 2 and a4 = avg 4 in
+  Alcotest.(check bool) "jobs=2 == jobs=4 (bit-identical)" true (a2 = a4);
+  Array.iteri
+    (fun k p ->
+      if Float.abs (p -. a2.(k)) > 1e-12 then
+        Alcotest.failf "probability %d: jobs=2 differs from serial by > 1e-12" k)
+    a1;
+  let fid jobs =
+    Qdt_par.set_jobs jobs;
+    Traj.average_fidelity ~seed:7 ~noise ~trajectories:64 c
+  in
+  let f1 = fid 1 and f2 = fid 2 and f4 = fid 4 in
+  Alcotest.(check bool) "fidelity: jobs=2 == jobs=4" true (f2 = f4);
+  Alcotest.(check (float 1e-12)) "fidelity: jobs=2 vs serial" f1 f2
+
+(* ------------------------------------------------------------------ *)
+(* Pool lifecycle and primitives                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_reuse_and_restart () =
+  Qdt_par.shutdown ();
+  Alcotest.(check int) "down after shutdown" 0 (Qdt_par.spawned_domains ());
+  Qdt_par.set_jobs 4;
+  Qdt_par.parallel_for ~chunk:1 0 64 (fun _ _ -> ());
+  Alcotest.(check int) "jobs=4 spawns 3 workers" 3 (Qdt_par.spawned_domains ());
+  Qdt_par.parallel_for ~chunk:1 0 64 (fun _ _ -> ());
+  Alcotest.(check int) "same size reuses the pool" 3 (Qdt_par.spawned_domains ());
+  Qdt_par.set_jobs 2;
+  Qdt_par.parallel_for ~chunk:1 0 64 (fun _ _ -> ());
+  Alcotest.(check int) "resize drains and respawns" 1 (Qdt_par.spawned_domains ());
+  Qdt_par.shutdown ();
+  Alcotest.(check int) "explicit shutdown joins all" 0 (Qdt_par.spawned_domains ());
+  Qdt_par.parallel_for ~chunk:1 0 64 (fun _ _ -> ());
+  Alcotest.(check int) "next region restarts the pool" 1 (Qdt_par.spawned_domains ())
+
+let test_parallel_for_covers_range () =
+  Qdt_par.set_jobs 4;
+  let n = 10_000 in
+  let hits = Array.make n 0 in
+  Qdt_par.parallel_for ~chunk:64 0 n (fun lo hi ->
+      for i = lo to hi - 1 do
+        hits.(i) <- hits.(i) + 1
+      done);
+  Array.iteri
+    (fun i h -> if h <> 1 then Alcotest.failf "index %d visited %d times" i h)
+    hits
+
+let test_map_matches_serial () =
+  Qdt_par.set_jobs 4;
+  let arr = Array.init 999 (fun i -> i - 500) in
+  let f x = (x * x) + (3 * x) in
+  Alcotest.(check (array int)) "map == Array.map" (Array.map f arr) (Qdt_par.map f arr)
+
+let test_exception_propagation () =
+  Qdt_par.set_jobs 4;
+  let raised =
+    try
+      Qdt_par.parallel_for ~chunk:8 0 1024 (fun lo _hi ->
+          if lo >= 512 then failwith "boom");
+      false
+    with Failure msg when msg = "boom" -> true
+  in
+  Alcotest.(check bool) "worker exception re-raised on caller" true raised;
+  (* The pool must survive the failed region. *)
+  let arr = Array.init 100 Fun.id in
+  Alcotest.(check (array int)) "pool usable after exception"
+    (Array.map (fun x -> 2 * x) arr)
+    (Qdt_par.map (fun x -> 2 * x) arr)
+
+let test_nested_regions_run_serially () =
+  Qdt_par.set_jobs 4;
+  let inner_ran = Atomic.make 0 in
+  Qdt_par.parallel_for ~chunk:1 0 8 (fun _ _ ->
+      (* Inner region while the outer is active: must run inline, not
+         deadlock on the busy pool. *)
+      Qdt_par.parallel_for ~chunk:1 0 4 (fun lo hi ->
+          ignore (Atomic.fetch_and_add inner_ran (hi - lo))));
+  Alcotest.(check int) "inner iterations all ran" 32 (Atomic.get inner_ran)
+
+let () =
+  (* Leave a clean slate whatever order alcotest ran things in. *)
+  at_exit (fun () -> Qdt_par.set_jobs 1);
+  Alcotest.run "par"
+    [
+      ( "agreement",
+        [
+          Alcotest.test_case "amplitudes across job counts" `Quick test_amplitude_agreement;
+          Alcotest.test_case "reductions across job counts" `Quick test_reductions_agree;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "dynamic counts (arrays)" `Quick test_dynamic_counts_arrays;
+          Alcotest.test_case "dynamic counts (stabilizer)" `Quick test_dynamic_counts_stabilizer;
+          Alcotest.test_case "trajectory averages" `Quick test_trajectories_jobs_invariant;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "reuse, resize, restart" `Quick test_pool_reuse_and_restart;
+          Alcotest.test_case "parallel_for covers range" `Quick test_parallel_for_covers_range;
+          Alcotest.test_case "map matches serial" `Quick test_map_matches_serial;
+          Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+          Alcotest.test_case "nested regions serialize" `Quick test_nested_regions_run_serially;
+        ] );
+    ]
