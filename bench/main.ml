@@ -59,7 +59,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json ~experiment ~smoke =
+let write_json ~experiment ~smoke ~report =
   let file = Printf.sprintf "BENCH_%s.json" experiment in
   let oc = open_out file in
   let field (k, v) = Printf.sprintf "    \"%s\": %s" (json_escape k) v in
@@ -68,6 +68,10 @@ let write_json ~experiment ~smoke =
   Printf.fprintf oc "  \"timings_ns\": {\n%s\n  },\n"
     (obj (List.rev_map (fun (k, s) -> (k, Stats.summary_to_json s)) !json_timings));
   Printf.fprintf oc "  \"metrics\": {\n%s\n  },\n" (obj (List.rev !json_metrics));
+  (* The run report bracketing this experiment (wall/heap, run-scoped
+     metrics diff, watermark peaks) — the same artifact `qdt simulate
+     --report` emits, so bench output is queryable with the same tools. *)
+  Printf.fprintf oc "  \"report\": %s,\n" report;
   (* Everything the Qdt_obs registry accumulated while this experiment ran
      (the driver resets it per experiment). *)
   Printf.fprintf oc "  \"obs_metrics\": %s\n}\n"
@@ -1339,6 +1343,176 @@ let e20 ~smoke () =
   Qdt.Par.shutdown ()
 
 (* ------------------------------------------------------------------ *)
+(* E21: run-report + labeled-metrics overhead on the e17 workload      *)
+(* ------------------------------------------------------------------ *)
+
+(* ISSUE 8's service-telemetry layer adds two new classes of
+   instrumentation to the e17 deep Clifford+T workload: labeled metric
+   series (Atomic cells behind encoded registry keys) and resource
+   watermarks (CAS-max cells).  This experiment re-applies the e17
+   methodology to them:
+     1. the *disabled* per-call cost of the new primitives, times the
+        instrumentation calls one run executes, must stay within e17's
+        2% budget — labels and watermarks ride the same one-load gate;
+     2. a full Report bracket (start / run / finish) must cost at most
+        5% of the plain wall time — the price of `--report` on every
+        simulation a service runs. *)
+
+let e21_report_budget_pct = 5.0
+
+let e21 ~smoke () =
+  header "E21" "Run reports: labeled-metrics + watermark + report-bracket overhead";
+  let n = if smoke then 8 else 10 in
+  let gates = if smoke then 400 else 2000 in
+  let c = Generators.random_clifford_t ~seed:11 ~gates ~t_fraction:0.2 n in
+  let reps = !reps_flag in
+  let run_once () =
+    let mgr = Qdt.Dd.Pkg.create () in
+    let st = Qdt.Dd.Sim.make mgr (Circuit.num_qubits c) in
+    let rng = Random.State.make [| 0 |] in
+    let clbits = Array.make (max 1 (Circuit.num_clbits c)) 0 in
+    List.iter
+      (fun instr -> Qdt.Dd.Sim.apply_instruction st instr ~rng ~clbits)
+      (Circuit.instructions c)
+  in
+  let time_reps body =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Qdt.Obs.Clock.now_ns () in
+      body ();
+      best := Float.min !best (float_of_int (Qdt.Obs.Clock.elapsed_ns t0))
+    done;
+    !best
+  in
+  (* Everything off: the shipping default. *)
+  Qdt.Obs.Metrics.set_enabled false;
+  Qdt.Obs.Trace.set_enabled false;
+  Qdt.Obs.Watermark.set_enabled false;
+  run_once () (* warm up *);
+  let t_plain = time_reps run_once in
+  (* Labeled metrics + watermarks live. *)
+  Qdt.Obs.Metrics.set_enabled true;
+  Qdt.Obs.Watermark.set_enabled true;
+  let t_instr = time_reps run_once in
+  (* Count the watermark observations one run executes (labeled counters
+     in this workload fire per backend entry, not per gate — the per-gate
+     counters are the e17-audited plain ones). *)
+  Qdt.Obs.Metrics.reset ();
+  run_once ();
+  let counted name =
+    match
+      List.assoc_opt name (Qdt.Obs.Metrics.flatten (Qdt.Obs.Metrics.snapshot ()))
+    with
+    | Some v -> int_of_float v
+    | None -> 0
+  in
+  (* One watermark observe per DD garbage collection, plus one for the
+     backend adapter's per-run peak observation (counted even though this
+     harness drives Sim directly — the bound stays conservative). *)
+  let new_ops_per_run = counted "dd.gc.runs" + 1 in
+  Qdt.Obs.Metrics.set_enabled false;
+  Qdt.Obs.Watermark.set_enabled false;
+  (* Full report bracket around every run. *)
+  let t_reported =
+    time_reps (fun () ->
+        let rep = Qdt.Obs.Report.start () in
+        run_once ();
+        ignore (Qdt.Obs.Report.finish rep))
+  in
+  (* The bracket's own cost, isolated: start/finish around an empty body,
+     against the registry the counting run populated.  Like e17's
+     disabled-mode bound, this analytic form (bracket cost / wall) is
+     immune to the run-to-run noise that swamps a direct wall comparison
+     on a workload this size. *)
+  let bracket_iters = 200 in
+  let bracket_ns =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Qdt.Obs.Clock.now_ns () in
+      for _ = 1 to bracket_iters do
+        let rep = Qdt.Obs.Report.start () in
+        ignore (Qdt.Obs.Report.finish rep)
+      done;
+      best :=
+        Float.min !best
+          (float_of_int (Qdt.Obs.Clock.elapsed_ns t0) /. float_of_int bracket_iters)
+    done;
+    !best
+  in
+  let report_overhead_pct = 100.0 *. bracket_ns /. t_plain in
+  (* Disabled per-call cost of the new primitives: a labeled counter
+     increment plus a watermark observation, flags off. *)
+  let probe_c = Qdt.Obs.Metrics.counter_with ~labels:[ ("probe", "e21") ] "e21.probe" in
+  let probe_w = Qdt.Obs.Watermark.watermark "e21.probe" in
+  let probe_iters = 5_000_000 in
+  let t0 = Qdt.Obs.Clock.now_ns () in
+  for i = 1 to probe_iters do
+    Qdt.Obs.Metrics.incr probe_c;
+    Qdt.Obs.Watermark.observe_int probe_w i
+  done;
+  let per_op_ns =
+    float_of_int (Qdt.Obs.Clock.elapsed_ns t0) /. float_of_int (2 * probe_iters)
+  in
+  Qdt.Obs.Metrics.remove "e21.probe{probe=\"e21\"}";
+  let disabled_bound_pct =
+    100.0 *. (float_of_int new_ops_per_run *. per_op_ns) /. t_plain
+  in
+  let pct t = 100.0 *. ((t -. t_plain) /. t_plain) in
+  Printf.printf
+    "workload: random Clifford+T, n=%d, %d gates (DD backend, %d reps, best-of)\n\n"
+    n gates reps;
+  Printf.printf "  plain (obs disabled)      %9.2f ms\n" (t_plain /. 1e6);
+  Printf.printf "  labels + watermarks       %9.2f ms  (%+.2f%%)\n" (t_instr /. 1e6)
+    (pct t_instr);
+  Printf.printf "  full report bracket       %9.2f ms  (%+.2f%%)\n" (t_reported /. 1e6)
+    (pct t_reported);
+  Printf.printf "\n  new instrumentation calls per run: %d\n" new_ops_per_run;
+  Printf.printf "  disabled labeled+watermark cost: %.2f ns/call\n" per_op_ns;
+  Printf.printf "  disabled-mode overhead bound: %.4f%% of plain wall (budget: %.1f%%)\n"
+    disabled_bound_pct e17_overhead_budget_pct;
+  Printf.printf "  report bracket cost: %.1f us -> %.4f%% of plain wall (budget: %.1f%%)\n"
+    (bracket_ns /. 1e3) report_overhead_pct e21_report_budget_pct;
+  metric_float "plain_wall_ms" (t_plain /. 1e6);
+  metric_float "instrumented_wall_ms" (t_instr /. 1e6);
+  metric_float "reported_wall_ms" (t_reported /. 1e6);
+  metric_float "instrumented_overhead_pct" (pct t_instr);
+  metric_float "reported_wall_delta_pct" (pct t_reported);
+  metric_float "report_bracket_us" (bracket_ns /. 1e3);
+  metric_float "report_overhead_pct" report_overhead_pct;
+  metric_int "new_instrumentation_calls_per_run" new_ops_per_run;
+  metric_float "disabled_per_call_ns" per_op_ns;
+  metric_float "disabled_overhead_bound_pct" disabled_bound_pct;
+  metric_float "report_overhead_budget_pct" e21_report_budget_pct;
+  if disabled_bound_pct > e17_overhead_budget_pct then begin
+    Printf.eprintf
+      "E21 FAILED: disabled-mode labeled/watermark overhead bound %.4f%% exceeds the %.1f%% budget\n"
+      disabled_bound_pct e17_overhead_budget_pct;
+    exit 1
+  end;
+  if report_overhead_pct > e21_report_budget_pct then begin
+    Printf.eprintf
+      "E21 FAILED: report-bracket overhead %.4f%% of wall exceeds the %.1f%% budget\n"
+      report_overhead_pct e21_report_budget_pct;
+    exit 1
+  end;
+  Qdt.Obs.Metrics.set_enabled true;
+  run_timings ~name:"e21"
+    [
+      bench "deep-clifford-t-plain" (fun () ->
+          Qdt.Obs.Metrics.set_enabled false;
+          Qdt.Obs.Watermark.set_enabled false;
+          run_once ());
+      bench "deep-clifford-t-instrumented" (fun () ->
+          Qdt.Obs.Metrics.set_enabled true;
+          Qdt.Obs.Watermark.set_enabled true;
+          run_once ());
+      bench "deep-clifford-t-reported" (fun () ->
+          let rep = Qdt.Obs.Report.start () in
+          run_once ();
+          ignore (Qdt.Obs.Report.finish rep));
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1366,6 +1540,7 @@ let experiments : (string * (smoke:bool -> unit)) list =
     ("e18", fun ~smoke -> e18 ~smoke ());
     ("e19", fun ~smoke -> e19 ~smoke ());
     ("e20", fun ~smoke -> e20 ~smoke ());
+    ("e21", fun ~smoke -> e21 ~smoke ());
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -1467,7 +1642,7 @@ let () =
     if !selected = [] then experiments
     else List.filter (fun (name, _) -> List.mem name !selected) experiments
   in
-  print_endline "QDT benchmark harness — experiments E1..E20 (see DESIGN.md / EXPERIMENTS.md)";
+  print_endline "QDT benchmark harness — experiments E1..E21 (see DESIGN.md / EXPERIMENTS.md)";
   Printf.printf "timing: %d reps per measurement (median ± MAD)\n" !reps_flag;
   let failures = ref [] in
   List.iter
@@ -1475,12 +1650,16 @@ let () =
       json_timings := [];
       json_metrics := [];
       (* Per-experiment Qdt_obs accounting: the registry totals are
-         embedded into BENCH_<id>.json by [write_json].  (E17 toggles the
-         flag itself to measure the disabled path.) *)
+         embedded into BENCH_<id>.json by [write_json].  (E17/E21 toggle
+         the flags themselves to measure the disabled path.)  Each
+         experiment runs inside a Report bracket so its BENCH JSON carries
+         the same run-report artifact `qdt simulate --report` emits. *)
       Qdt.Obs.Metrics.set_enabled true;
       Qdt.Obs.Metrics.reset ();
+      let rep = Qdt.Obs.Report.start () in
       fn ~smoke:!smoke;
-      write_json ~experiment:name ~smoke:!smoke;
+      write_json ~experiment:name ~smoke:!smoke
+        ~report:(Qdt.Obs.Report.finish rep);
       if !update then update_baseline ~experiment:name ~smoke:!smoke
       else if !compare_ then
         match compare_against_baseline ~experiment:name ~smoke:!smoke with

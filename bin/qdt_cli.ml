@@ -79,6 +79,19 @@ let top_arg =
   Arg.(value & opt int 10 & info [ "top" ]
          ~doc:"Number of rows in the profile hotspot table.")
 
+let report_arg =
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE"
+         ~doc:"Bracket the run in a report (metrics diff, resource \
+               watermarks, circuit features, chosen backend, hotspots) \
+               and write the JSON artifact to FILE.  Render it with \
+               $(b,qdt report FILE).")
+
+let dump_on_error_arg =
+  Arg.(value & flag & info [ "dump-on-error" ]
+         ~doc:"On any exception or backend decline, write a crash report \
+               (report-so-far, error, trace tail) to the $(b,--report) \
+               path, or qdt-crash-report.json when none was given.")
+
 let warn_dropped what =
   let dropped = Qdt.Obs.Trace.dropped_events () in
   if dropped > 0 then
@@ -152,9 +165,19 @@ let backend_failure err =
   prerr_endline (Qdt.Backend.error_to_string err);
   exit 1
 
+(* The report bracket around one simulate run: start before dispatch (so
+   the metrics diff and watermarks are scoped to the run), attach the
+   circuit-feature and invocation sections up front — they must survive a
+   crash dump — and the backend section once stats exist. *)
+let report_backend_section r (stats : Qdt.Backend.stats) =
+  let j = Qdt.Obs.Json.string in
+  Qdt.Obs.Report.add_section r ~name:"backend"
+    ~json:(Printf.sprintf "{\"name\": %s, \"reason\": %s}" (j stats.Qdt.Backend.backend)
+             (match stats.Qdt.Backend.note with Some n -> j n | None -> "null"))
+
 let simulate_cmd =
   let run c backend_name shots seed threshold gc_threshold cache_bits jobs trace
-      trace_format metrics profile top =
+      trace_format metrics profile top report dump_on_error =
     apply_jobs jobs;
     (* The registry hands out backends behind the fixed BACKEND signature,
        so DD memory-management knobs travel through the package defaults. *)
@@ -195,12 +218,57 @@ let simulate_cmd =
        a measure-free circuit samples all qubits. *)
     let key_bits = if Circuit.has_measure c then Circuit.num_clbits c else n in
     with_obs ~profile ~top ~trace ~trace_format ~metrics @@ fun () ->
+    let rep =
+      if report <> None || dump_on_error then begin
+        if dump_on_error then Printexc.record_backtrace true;
+        let r = Qdt.Obs.Report.start () in
+        Qdt.Obs.Report.add_section r ~name:"circuit"
+          ~json:(Qdt.Features.to_json (Qdt.Features.analyze c));
+        Qdt.Obs.Report.add_section r ~name:"invocation"
+          ~json:(Printf.sprintf
+                   "{\"backend\": %s, \"shots\": %d, \"seed\": %d, \"jobs\": %d}"
+                   (Qdt.Obs.Json.string backend_name) shots seed (Qdt.Par.jobs ()));
+        Some r
+      end
+      else None
+    in
+    let finish_report stats =
+      match rep with
+      | None -> ()
+      | Some r ->
+          report_backend_section r stats;
+          let json = Qdt.Obs.Report.finish r in
+          (match report with
+          | Some path ->
+              Qdt.Obs.Report.write_file path json;
+              Printf.printf "report: wrote %s\n" path
+          | None -> ())
+    in
+    let crash_dump msg backtrace =
+      match rep with
+      | Some r when dump_on_error ->
+          let json = Qdt.Obs.Report.crash r ~error:msg ~backtrace in
+          let path = Option.value report ~default:"qdt-crash-report.json" in
+          Qdt.Obs.Report.write_file path json;
+          Printf.eprintf "crash report: wrote %s\n%!" path
+      | _ -> ()
+    in
+    let declined err =
+      crash_dump (Qdt.Backend.error_to_string err) "";
+      backend_failure err
+    in
     (* The root span brackets only the backend call (not result printing),
        so the profile's total matches the stats wall time. *)
-    let spanned f = Qdt.Obs.Trace.with_span "qdt.simulate" f in
+    let spanned f =
+      match Qdt.Obs.Trace.with_span "qdt.simulate" f with
+      | v -> v
+      | exception e ->
+          crash_dump (Printexc.to_string e) (Printexc.get_backtrace ());
+          raise e
+    in
     if shots = 0 then begin
       match spanned (fun () -> B.simulate unitary_part) with
-      | Error err -> backend_failure err
+      | Error err -> declined err
       | Ok (state, stats) ->
           Printf.printf "final state (backend: %s):\n" stats.Qdt.Backend.backend;
           Qdt.Linalg.Vec.iteri
@@ -210,18 +278,20 @@ let simulate_cmd =
                 Printf.printf "  |%s>  %-22s  p=%.6f\n" (bitstring n k)
                   (Qdt.Linalg.Cx.to_string amp) p)
             state;
-          print_stats stats
+          print_stats stats;
+          finish_report stats
     end
     else begin
       match spanned (fun () -> B.sample ~seed ~shots c) with
-      | Error err -> backend_failure err
+      | Error err -> declined err
       | Ok (counts, stats) ->
           Printf.printf "counts over %d shots (backend: %s):\n" shots
             stats.Qdt.Backend.backend;
           List.iter
             (fun (k, count) -> Printf.printf "  %s  %d\n" (bitstring key_bits k) count)
             counts;
-          print_stats stats
+          print_stats stats;
+          finish_report stats
     end
   in
   let shots =
@@ -243,9 +313,73 @@ let simulate_cmd =
   let term =
     Term.(const run $ file_pos ~doc:"OpenQASM file to simulate" 0 $ backend_arg $ shots $ seed
           $ threshold $ gc_threshold $ cache_bits $ jobs_arg $ trace_arg $ trace_format_arg
-          $ metrics_arg $ profile_arg $ top_arg)
+          $ metrics_arg $ profile_arg $ top_arg $ report_arg $ dump_on_error_arg)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate a circuit with a chosen data structure") term
+
+(* ------------------------------------------------------------------ *)
+(* report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let report_cmd =
+  let run path prometheus =
+    let src =
+      try
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        s
+      with Sys_error msg ->
+        prerr_endline msg;
+        exit 1
+    in
+    if prometheus then begin
+      (* Render the report's run-scoped metrics section in Prometheus
+         text exposition format (the shape `qdt serve` will expose). *)
+      match Qdt.Obs.Json.parse src with
+      | Error e ->
+          prerr_endline (path ^ ": not valid JSON: " ^ e);
+          exit 1
+      | Ok root -> (
+          match Qdt.Obs.Json.member "metrics" root with
+          | Some (Qdt.Obs.Json.Object fields) ->
+              let snapshot =
+                List.filter_map
+                  (fun (name, v) ->
+                    match v with
+                    | Qdt.Obs.Json.Number x ->
+                        (* Counters and gauges are indistinguishable in the
+                           artifact; render integral values as counters. *)
+                        if Float.is_integer x then
+                          Some (name, Qdt.Obs.Metrics.Counter_v (int_of_float x))
+                        else Some (name, Qdt.Obs.Metrics.Gauge_v x)
+                    | _ -> None)
+                  fields
+              in
+              print_string (Qdt.Obs.Metrics.render_prometheus snapshot)
+          | _ ->
+              prerr_endline (path ^ ": no metrics section");
+              exit 1)
+    end
+    else
+      match Qdt.Obs.Report.render src with
+      | rendered -> print_string rendered
+      | exception Failure msg ->
+          prerr_endline (path ^ ": " ^ msg);
+          exit 1
+  in
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Report artifact written by $(b,qdt simulate --report).")
+  in
+  let prometheus =
+    Arg.(value & flag & info [ "prometheus" ]
+           ~doc:"Print the report's run-scoped metrics in Prometheus text \
+                 exposition format instead of the human-readable summary.")
+  in
+  let term = Term.(const run $ path $ prometheus) in
+  Cmd.v (Cmd.info "report" ~doc:"Pretty-print a run report artifact") term
 
 (* ------------------------------------------------------------------ *)
 (* profile                                                             *)
@@ -559,7 +693,7 @@ let optimize_cmd =
 let main =
   let doc = "quantum design tools: arrays, decision diagrams, tensor networks, ZX-calculus" in
   Cmd.group (Cmd.info "qdt" ~version:"1.0.0" ~doc)
-    [ show_cmd; simulate_cmd; profile_cmd; backends_cmd; compile_cmd; verify_cmd; gen_cmd;
-      export_cmd; optimize_cmd ]
+    [ show_cmd; simulate_cmd; report_cmd; profile_cmd; backends_cmd; compile_cmd; verify_cmd;
+      gen_cmd; export_cmd; optimize_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -96,6 +96,24 @@ let base_stats ?note name (m : measure) =
     note;
   }
 
+let w_heap = Qdt_obs.Watermark.watermark "heap.peak_heap_words"
+
+(* Every adapter's span is "<backend>.<operation>" — reuse it as the label
+   pair of a run counter, so runs per backend and operation are queryable
+   dimensions.  The label set is closed (5 backends × 4 operations), well
+   under the registry's cardinality cap; registration happens once per
+   distinct pair thanks to the registry's get-or-create semantics. *)
+let run_counter span =
+  match String.index_opt span '.' with
+  | Some i ->
+      let backend = String.sub span 0 i
+      and operation = String.sub span (i + 1) (String.length span - i - 1) in
+      Qdt_obs.Metrics.counter_with
+        ~labels:[ ("backend", backend); ("operation", operation) ]
+        "qdt.backend.runs"
+  | None ->
+      Qdt_obs.Metrics.counter_with ~labels:[ ("span", span) ] "qdt.backend.runs"
+
 let timed ?span f =
   let run () =
     let g0 = Gc.quick_stat () in
@@ -108,11 +126,16 @@ let timed ?span f =
   let before =
     if Qdt_obs.Metrics.enabled () then Some (Qdt_obs.Metrics.snapshot ()) else None
   in
+  (match span with
+  | Some name when Qdt_obs.Metrics.enabled () ->
+      Qdt_obs.Metrics.incr (run_counter name)
+  | _ -> ());
   let result, elapsed, g0, g1 =
     match span with
     | Some name -> Qdt_obs.Trace.with_span name run
     | None -> run ()
   in
+  Qdt_obs.Watermark.observe_int w_heap g1.Gc.heap_words;
   let metrics =
     match before with
     | None -> []

@@ -31,47 +31,10 @@ let capabilities =
     dynamic = true;
   }
 
-type features = {
-  qubits : int;
-  gates : int;
-  two_qubit : int;
-  t_count : int;
-  clifford : bool;
-  nn_fraction : float;
-}
-
-let features c =
-  let two_qubit = ref 0 and nn = ref 0 in
-  List.iter
-    (fun instr ->
-      let rec touched = function
-        | Circuit.Apply { controls; target; _ } -> controls @ [ target ]
-        | Circuit.Swap { controls; a; b } -> controls @ [ a; b ]
-        | Circuit.If { instr; _ } -> touched instr
-        | Circuit.Measure _ | Circuit.Reset _ | Circuit.Barrier _ -> []
-      in
-      let qs = touched instr in
-      match qs with
-      | [ a; b ] ->
-          incr two_qubit;
-          if abs (a - b) = 1 then incr nn
-      | _ -> ())
-    (Circuit.instructions c);
-  {
-    qubits = Circuit.num_qubits c;
-    gates = Circuit.count_total c;
-    two_qubit = !two_qubit;
-    t_count = Circuit.t_count c;
-    clifford = Qdt_stabilizer.Tableau.supports c;
-    nn_fraction =
-      (if !two_qubit = 0 then 1.0
-       else float_of_int !nn /. float_of_int !two_qubit);
-  }
-
-(* A circuit is "T-heavy" when its T-count is substantial in absolute terms
-   or as a fraction of the gate count — the regime where stabilizer-based
-   methods are out and decision diagrams are the method of choice. *)
-let t_heavy f = f.t_count >= 8 || (f.t_count > 0 && f.t_count * 5 >= f.gates)
+(* The feature pass lives in [Features] (shared with run reports); the
+   router consumes it unchanged. *)
+let features = Features.analyze
+let t_heavy = Features.t_heavy
 
 let admits (module B : Backend.BACKEND) ~op c =
   match Backend.admit ~name:B.name ~caps:B.capabilities ~operation:op c with

@@ -24,6 +24,8 @@ let admit operation c = Backend.admit ~name ~caps:capabilities ~operation c
 
 let ( let* ) r f = Result.bind r f
 
+let w_peak_nodes = Qdt_obs.Watermark.watermark "dd.peak_live_nodes"
+
 (* Step the simulation manually, tracking the largest intermediate DD. *)
 let run_tracked ~seed c =
   let mgr = Pkg.create () in
@@ -36,6 +38,7 @@ let run_tracked ~seed c =
       Sim.apply_instruction st instr ~rng ~clbits;
       peak := max !peak (Sim.node_count st))
     (Circuit.instructions c);
+  Qdt_obs.Watermark.observe_int w_peak_nodes !peak;
   (st, !peak)
 
 let rate hits lookups = if lookups = 0 then 0.0 else float_of_int hits /. float_of_int lookups

@@ -27,7 +27,10 @@ let admit operation c =
     Backend.unsupported ~backend:name ~operation
       "circuit contains non-Clifford gates"
 
+let w_tableau = Qdt_obs.Watermark.watermark "stabilizer.peak_tableau_bytes"
+
 let stats_of m tab =
+  Qdt_obs.Watermark.observe_int w_tableau (Tableau.memory_bytes tab);
   {
     (Backend.base_stats name m) with
     Backend.tableau_bytes = Some (Tableau.memory_bytes tab);

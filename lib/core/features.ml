@@ -1,0 +1,87 @@
+(* Cheap circuit-feature analysis pass: one walk over the instruction
+   list plus the Circuit accessors.  Two consumers share it: the [auto]
+   portfolio backend routes on these features (the Burgholzer/Ploier/
+   Wille "Guidelines" predictors), and [Qdt_obs.Report] embeds them in
+   every run report so a report says what kind of circuit it describes. *)
+
+module Circuit = Qdt_circuit.Circuit
+
+(* Arities above this are folded into the last histogram slot. *)
+let max_arity = 8
+
+type t = {
+  qubits : int;
+  clbits : int;
+  gates : int;
+  depth : int;
+  two_qubit : int;
+  t_count : int;
+  clifford : bool;
+  nn_fraction : float;
+  dynamic : bool;
+  measurements : int;
+  resets : int;
+  conditionals : int;
+  arity_hist : int array;  (* slot a = instructions touching a qubits, clamped *)
+}
+
+let analyze c =
+  let two_qubit = ref 0
+  and nn = ref 0
+  and measurements = ref 0
+  and resets = ref 0
+  and conditionals = ref 0 in
+  let arity_hist = Array.make (max_arity + 1) 0 in
+  List.iter
+    (fun instr ->
+      let rec classify = function
+        | Circuit.Measure _ -> incr measurements
+        | Circuit.Reset _ -> incr resets
+        | Circuit.If { instr; _ } ->
+            incr conditionals;
+            classify instr
+        | Circuit.Apply _ | Circuit.Swap _ | Circuit.Barrier _ -> ()
+      in
+      classify instr;
+      let qs = Circuit.qubits_of_instruction instr in
+      let a = List.length qs in
+      arity_hist.(min a max_arity) <- arity_hist.(min a max_arity) + 1;
+      match qs with
+      | [ a; b ] ->
+          incr two_qubit;
+          if abs (a - b) = 1 then incr nn
+      | _ -> ())
+    (Circuit.instructions c);
+  {
+    qubits = Circuit.num_qubits c;
+    clbits = Circuit.num_clbits c;
+    gates = Circuit.count_total c;
+    depth = Circuit.depth c;
+    two_qubit = !two_qubit;
+    t_count = Circuit.t_count c;
+    clifford = Qdt_stabilizer.Tableau.supports c;
+    nn_fraction =
+      (if !two_qubit = 0 then 1.0
+       else float_of_int !nn /. float_of_int !two_qubit);
+    dynamic = Circuit.is_dynamic c;
+    measurements = !measurements;
+    resets = !resets;
+    conditionals = !conditionals;
+    arity_hist;
+  }
+
+(* A circuit is "T-heavy" when its T-count is substantial in absolute terms
+   or as a fraction of the gate count — the regime where stabilizer-based
+   methods are out and decision diagrams are the method of choice. *)
+let t_heavy f = f.t_count >= 8 || (f.t_count > 0 && f.t_count * 5 >= f.gates)
+
+let to_json f =
+  let module J = Qdt_obs.Json in
+  Printf.sprintf
+    "{\"qubits\": %d, \"clbits\": %d, \"gates\": %d, \"depth\": %d, \
+     \"two_qubit\": %d, \"t_count\": %d, \"clifford\": %b, \
+     \"nn_fraction\": %s, \"dynamic\": %b, \"measurements\": %d, \
+     \"resets\": %d, \"conditionals\": %d, \"arity_hist\": [%s]}"
+    f.qubits f.clbits f.gates f.depth f.two_qubit f.t_count f.clifford
+    (J.float f.nn_fraction) f.dynamic f.measurements f.resets f.conditionals
+    (String.concat ", " (Array.to_list (Array.map string_of_int f.arity_hist)))

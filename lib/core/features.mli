@@ -1,0 +1,36 @@
+(** Cheap circuit-feature analysis: the per-circuit predictors from
+    Burgholzer/Ploier/Wille, "Tensor Networks or Decision Diagrams?
+    Guidelines ..." (2023), shared by the [auto] portfolio router and
+    {!Qdt_obs.Report} artifacts. *)
+
+type t = {
+  qubits : int;
+  clbits : int;
+  gates : int;
+  depth : int;
+  two_qubit : int;
+  t_count : int;
+  clifford : bool;  (** every gate is Clifford *)
+  nn_fraction : float;
+      (** fraction of two-qubit gates acting on adjacent qubits (1.0 when
+          there are none) *)
+  dynamic : bool;
+  measurements : int;
+  resets : int;
+  conditionals : int;
+  arity_hist : int array;
+      (** slot [a] counts instructions touching [a] qubits; the last slot
+          ({!max_arity}) absorbs higher arities *)
+}
+
+val max_arity : int
+
+(** One walk over the instruction list; cost linear in circuit size. *)
+val analyze : Qdt_circuit.Circuit.t -> t
+
+(** T-count substantial in absolute terms or relative to gate count —
+    the regime where decision diagrams shine. *)
+val t_heavy : t -> bool
+
+(** Self-contained JSON object (the report's "circuit" section). *)
+val to_json : t -> string

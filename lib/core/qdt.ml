@@ -16,6 +16,7 @@ module Backend = Backend
 module Registry = Registry
 module Auto = Backend_auto
 module Shot_engine = Shot_engine
+module Features = Features
 
 type backend =
   | Arrays_backend

@@ -66,6 +66,10 @@ module Auto = Backend_auto
     re-execute per shot with a live classical register. *)
 module Shot_engine = Shot_engine
 
+(** Cheap circuit-feature analysis (qubits, depth, T-count, arity
+    histogram, ...) shared by the [auto] router and run reports. *)
+module Features = Features
+
 (** {1 Simulation}
 
     The historical closed-variant front door, kept as a shim over the

@@ -62,6 +62,35 @@ let remap_counts ~map counts =
     counts;
   sorted_counts tbl
 
+(* Shots executed, labeled by execution mode — so a report's metrics diff
+   says whether the dynamic path ran serial or fanned out. *)
+let m_shots_serial =
+  Qdt_obs.Metrics.counter_with ~labels:[ ("mode", "serial") ] "qdt.shots.completed"
+
+let m_shots_parallel =
+  Qdt_obs.Metrics.counter_with
+    ~labels:[ ("mode", "parallel") ]
+    "qdt.shots.completed"
+
+(* Shot blocks (chunks of the per-shot loop) per executing pool slot:
+   the per-domain load-balance picture of a sampling run.  Series
+   register on a slot's first block so only slots that actually ran
+   appear in snapshots; a racing double-registration returns the same
+   cell. *)
+let block_counters = Array.make (Qdt_par.max_jobs + 1) None
+
+let block_counter slot =
+  match block_counters.(slot) with
+  | Some c -> c
+  | None ->
+      let c =
+        Qdt_obs.Metrics.counter_with
+          ~labels:[ ("domain", string_of_int slot) ]
+          "qdt.shots.blocks"
+      in
+      block_counters.(slot) <- Some c;
+      c
+
 let sample_per_shot ~seed ~shots ~run_shot =
   let rng = Random.State.make [| seed |] in
   let tbl = Hashtbl.create 64 in
@@ -69,6 +98,7 @@ let sample_per_shot ~seed ~shots ~run_shot =
     let key = run_shot ~rng in
     Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
   done;
+  Qdt_obs.Metrics.add m_shots_serial shots;
   sorted_counts tbl
 
 (* Parallel dynamic path.  At jobs = 1 this is exactly [sample_per_shot]
@@ -84,10 +114,12 @@ let sample_per_shot_parallel ~seed ~shots ~run_shot =
   else begin
     let keys = Array.make (max shots 0) 0 in
     Qdt_par.parallel_for ~chunk:16 0 shots (fun lo hi ->
+        Qdt_obs.Metrics.incr (block_counter (Qdt_par.domain_slot ()));
         for shot = lo to hi - 1 do
           let rng = Random.State.make [| seed; shot |] in
           keys.(shot) <- run_shot ~rng
         done);
+    Qdt_obs.Metrics.add m_shots_parallel shots;
     let tbl = Hashtbl.create 64 in
     Array.iter
       (fun key ->

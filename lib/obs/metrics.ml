@@ -32,6 +32,82 @@ let locked f =
    ample for anything a single run observes. *)
 let num_buckets = 48
 
+(* ------------------------------------------------------------------ *)
+(* Labels                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A labeled instrument is an ordinary instrument registered under a
+   canonical encoded key [name{k="v",k2="v2"}] (labels sorted by key,
+   values escaped) — so snapshots, diffs, flatten and to_json treat the
+   whole series as one named cell and need no label awareness.  The
+   [series_index] keeps the structured (base, labels) pair per encoded
+   key for the Prometheus renderer.
+
+   Cardinality is the caller's contract (DESIGN.md, "label cardinality
+   rules"): label values must come from small closed sets (backend names,
+   domain slots, operations) — never per-shot or per-gate values.  A hard
+   cap per family backstops mistakes. *)
+
+let valid_label_key k =
+  k <> ""
+  && (match k.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       k
+
+(* Prometheus label-value escaping; also what the encoded key embeds. *)
+let escape_label_value v =
+  let b = Buffer.create (String.length v + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let label_pairs labels =
+  String.concat ","
+    (List.map (fun (k, v) -> k ^ "=\"" ^ escape_label_value v ^ "\"") labels)
+
+(* Validate, sort and dup-check a label set.  Raises Invalid_argument on
+   malformed or duplicate label keys. *)
+let canonical_labels base labels =
+  List.iter
+    (fun (k, _) ->
+      if not (valid_label_key k) then
+        invalid_arg
+          (Printf.sprintf "Qdt_obs.Metrics: invalid label name %S on %S" k base))
+    labels;
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) labels in
+  let rec dup = function
+    | (a, _) :: ((b, _) :: _ as rest) -> if a = b then Some a else dup rest
+    | _ -> None
+  in
+  (match dup sorted with
+  | Some k ->
+      invalid_arg
+        (Printf.sprintf "Qdt_obs.Metrics: duplicate label %S on %S" k base)
+  | None -> ());
+  sorted
+
+(* [encode_series base labels] — the canonical registry/snapshot key of a
+   labeled series. *)
+let encode_series base labels =
+  match canonical_labels base labels with
+  | [] -> base
+  | sorted -> base ^ "{" ^ label_pairs sorted ^ "}"
+
+(* encoded key -> (base name, sorted labels); guarded by [mu]. *)
+let series_index : (string, string * (string * string) list) Hashtbl.t =
+  Hashtbl.create 64
+
+(* base name -> number of registered series; guarded by [mu]. *)
+let family_size : (string, int) Hashtbl.t = Hashtbl.create 64
+let max_series_per_family = 1000
+
 type counter = { c_name : string; count : int Atomic.t }
 type gauge = { g_name : string; level : float Atomic.t }
 
@@ -47,51 +123,72 @@ type instrument = C of counter | G of gauge | H of histogram
 
 let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
 
-let get_or_register name make classify describe =
+(* Called under [mu] when [key] is fresh: enforce the per-family series
+   cap and record the structured labels for the Prometheus renderer. *)
+let admit_series ~base ~labels key =
+  (match Hashtbl.find_opt family_size base with
+  | Some n when n >= max_series_per_family ->
+      invalid_arg
+        (Printf.sprintf
+           "Qdt_obs.Metrics: label cardinality cap (%d series) exceeded for %S"
+           max_series_per_family base)
+  | Some n -> Hashtbl.replace family_size base (n + 1)
+  | None -> Hashtbl.add family_size base 1);
+  if labels <> [] then Hashtbl.replace series_index key (base, labels)
+
+let get_or_register ~base ~labels make classify describe =
+  let labels = canonical_labels base labels in
+  let key =
+    match labels with [] -> base | _ -> base ^ "{" ^ label_pairs labels ^ "}"
+  in
   locked @@ fun () ->
-  match Hashtbl.find_opt registry name with
+  match Hashtbl.find_opt registry key with
   | Some i -> (
       match classify i with
       | Some v -> v
       | None ->
           invalid_arg
-            (Printf.sprintf "Qdt_obs.Metrics: %S already registered as a %s" name
+            (Printf.sprintf "Qdt_obs.Metrics: %S already registered as a %s" key
                (describe i)))
   | None ->
-      let v = make () in
-      v
+      admit_series ~base ~labels key;
+      make key
 
 let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
 
-let counter name =
-  get_or_register name
-    (fun () ->
-      let c = { c_name = name; count = Atomic.make 0 } in
-      Hashtbl.replace registry name (C c);
+let counter_with ~labels name =
+  get_or_register ~base:name ~labels
+    (fun key ->
+      let c = { c_name = key; count = Atomic.make 0 } in
+      Hashtbl.replace registry key (C c);
       c)
     (function C c -> Some c | _ -> None)
     kind_name
 
-let gauge name =
-  get_or_register name
-    (fun () ->
-      let g = { g_name = name; level = Atomic.make 0.0 } in
-      Hashtbl.replace registry name (G g);
+let gauge_with ~labels name =
+  get_or_register ~base:name ~labels
+    (fun key ->
+      let g = { g_name = key; level = Atomic.make 0.0 } in
+      Hashtbl.replace registry key (G g);
       g)
     (function G g -> Some g | _ -> None)
     kind_name
 
-let histogram name =
-  get_or_register name
-    (fun () ->
+let histogram_with ~labels name =
+  get_or_register ~base:name ~labels
+    (fun key ->
       let h =
-        { h_name = name; h_count = 0; h_sum = 0; h_max = 0;
+        { h_name = key; h_count = 0; h_sum = 0; h_max = 0;
           buckets = Array.make num_buckets 0 }
       in
-      Hashtbl.replace registry name (H h);
+      Hashtbl.replace registry key (H h);
       h)
     (function H h -> Some h | _ -> None)
     kind_name
+
+let counter name = counter_with ~labels:[] name
+let gauge name = gauge_with ~labels:[] name
+let histogram name = histogram_with ~labels:[] name
 
 (* ------------------------------------------------------------------ *)
 (* Recording                                                           *)
@@ -114,7 +211,21 @@ let bucket_of v =
     min !bits (num_buckets - 1)
   end
 
-let remove name = locked (fun () -> Hashtbl.remove registry name)
+let remove name =
+  locked @@ fun () ->
+  if Hashtbl.mem registry name then begin
+    Hashtbl.remove registry name;
+    let base =
+      match Hashtbl.find_opt series_index name with
+      | Some (b, _) -> b
+      | None -> name
+    in
+    Hashtbl.remove series_index name;
+    match Hashtbl.find_opt family_size base with
+    | Some n when n > 1 -> Hashtbl.replace family_size base (n - 1)
+    | Some _ -> Hashtbl.remove family_size base
+    | None -> ()
+  end
 
 let observe h v =
   if Atomic.get on then
@@ -243,4 +354,109 @@ let render s =
             (Printf.sprintf "  %-36s count=%d mean=%.1f max=%d\n" name h.count mean
                h.max_value))
     s;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Metric names here use '.' and '-' which the exposition grammar
+   forbids (names must match "[a-zA-Z_:][a-zA-Z0-9_:]" repeated) — map
+   everything else to '_'. *)
+let sanitize_metric_name s =
+  let mapped =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+        | _ -> '_')
+      s
+  in
+  if mapped = "" then "_"
+  else match mapped.[0] with '0' .. '9' -> "_" ^ mapped | _ -> mapped
+
+(* Decompose a snapshot key into (base name, rendered label pairs).
+   Registered series resolve through [series_index]; for hand-assembled
+   keys fall back to splitting at the first '{' — the encoded form is
+   already valid exposition syntax, so re-emitting it verbatim is safe. *)
+let split_series key =
+  match locked (fun () -> Hashtbl.find_opt series_index key) with
+  | Some (base, labels) -> (base, label_pairs labels)
+  | None -> (
+      let n = String.length key in
+      match String.index_opt key '{' with
+      | Some i when n > i + 1 && key.[n - 1] = '}' ->
+          (String.sub key 0 i, String.sub key (i + 1) (n - i - 2))
+      | _ -> (key, ""))
+
+let prom_float v =
+  if Float.is_nan v then "NaN"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let render_prometheus s =
+  let s = by_name s in
+  let b = Buffer.create 1024 in
+  (* Group series into families so each family's samples are contiguous
+     with a single TYPE line (the grammar requires grouping even though
+     the sorted snapshot mostly provides it already). *)
+  let order = ref [] in
+  let families : (string, (string * value) list ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  List.iter
+    (fun (key, v) ->
+      let base, lbl = split_series key in
+      match Hashtbl.find_opt families base with
+      | Some r -> r := (lbl, v) :: !r
+      | None ->
+          Hashtbl.add families base (ref [ (lbl, v) ]);
+          order := base :: !order)
+    s;
+  let line metric lbl value =
+    if lbl = "" then Buffer.add_string b (Printf.sprintf "%s %s\n" metric value)
+    else Buffer.add_string b (Printf.sprintf "%s{%s} %s\n" metric lbl value)
+  in
+  List.iter
+    (fun base ->
+      let entries = List.rev !(Hashtbl.find families base) in
+      let name = sanitize_metric_name base in
+      let kind =
+        match entries with
+        | (_, Counter_v _) :: _ -> "counter"
+        | (_, Gauge_v _) :: _ -> "gauge"
+        | (_, Histogram_v _) :: _ -> "histogram"
+        | [] -> "untyped"
+      in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind);
+      List.iter
+        (fun (lbl, v) ->
+          match v with
+          | Counter_v n -> line name lbl (string_of_int n)
+          | Gauge_v g -> line name lbl (prom_float g)
+          | Histogram_v h ->
+              (* Bucket i holds values in [2^(i-1), 2^i), i.e. integer
+                 observations <= 2^i - 1 — so le = 2^i - 1 (le = 0 for
+                 bucket 0).  The overflow bucket folds into +Inf. *)
+              let last = ref 0 in
+              Array.iteri (fun i n -> if n > 0 then last := i) h.buckets;
+              let last = min !last (num_buckets - 2) in
+              let cum = ref 0 in
+              for i = 0 to last do
+                cum := !cum + h.buckets.(i);
+                let le = if i = 0 then "0" else string_of_int ((1 lsl i) - 1) in
+                let ll =
+                  if lbl = "" then Printf.sprintf "le=\"%s\"" le
+                  else Printf.sprintf "%s,le=\"%s\"" lbl le
+                in
+                Buffer.add_string b
+                  (Printf.sprintf "%s_bucket{%s} %d\n" name ll !cum)
+              done;
+              let ll = if lbl = "" then "le=\"+Inf\"" else lbl ^ ",le=\"+Inf\"" in
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket{%s} %d\n" name ll h.count);
+              line (name ^ "_sum") lbl (string_of_int h.sum);
+              line (name ^ "_count") lbl (string_of_int h.count))
+        entries)
+    (List.rev !order);
   Buffer.contents b

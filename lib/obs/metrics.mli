@@ -27,6 +27,30 @@ val counter : string -> counter
 val gauge : string -> gauge
 val histogram : string -> histogram
 
+(** {1 Labeled instruments}
+
+    A labeled instrument is an ordinary instrument registered under the
+    canonical series key [name{k="v",...}] (labels sorted by key, values
+    escaped) — {!snapshot}, {!diff}, {!flatten} and {!to_json} treat it
+    as one named cell.  Recording costs are identical to the unlabeled
+    forms (the label join happens once, at registration).
+
+    Label names must match [[a-zA-Z_][a-zA-Z0-9_]*]; label values may be
+    any string.  Values must come from small closed sets (backend names,
+    domain slots, operations) — never per-shot or per-gate data; a hard
+    cap of 1000 series per base name backstops cardinality mistakes.
+    Raises [Invalid_argument] on malformed/duplicate label names or when
+    the cap is hit. *)
+
+val counter_with : labels:(string * string) list -> string -> counter
+val gauge_with : labels:(string * string) list -> string -> gauge
+val histogram_with : labels:(string * string) list -> string -> histogram
+
+(** [encode_series name labels] — the canonical snapshot key the labeled
+    instrument is registered under (labels sorted and escaped).  Useful
+    for looking a series up in a snapshot or report. *)
+val encode_series : string -> (string * string) list -> string
+
 (** [remove name] — unregister the instrument, so it no longer appears in
     snapshots (and hence in BENCH_*.json / stats embeddings).  Holders of
     the old handle keep recording into a detached record, harmlessly; a
@@ -86,3 +110,10 @@ val to_json : snapshot -> string
 
 (** Human-readable multi-line rendering (one instrument per line). *)
 val render : snapshot -> string
+
+(** [render_prometheus s] — Prometheus text exposition (version 0.0.4) of
+    a snapshot: one [# TYPE] line per metric family, series grouped by
+    family, names sanitised to the grammar ([.] and [-] map to [_]).
+    Histograms render as cumulative [_bucket{le="2^i - 1"}] samples plus
+    [_sum] and [_count] taken directly from the tracked sum/count. *)
+val render_prometheus : snapshot -> string

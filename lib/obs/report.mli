@@ -1,0 +1,40 @@
+(** Run reports: bracket one simulation, emit one self-contained JSON
+    artifact.
+
+    {!start} enables metrics and watermarks (remembering the previous
+    switch state), zeroes the watermarks, and snapshots the metric
+    registry; {!finish} assembles the artifact — wall clock, heap deltas,
+    a metrics diff scoped to the run, nonzero watermark peaks, a span-tree
+    hotspot summary when the trace ring holds events, plus any caller
+    sections — then restores the switches and zeroes the watermarks again
+    so nothing leaks into the next run.
+
+    This module knows nothing about circuits or backends; callers attach
+    those as named raw-JSON sections (e.g. [Features.to_json]). *)
+
+type t
+
+(** Report schema identifier embedded in every artifact. *)
+val schema : string
+
+val start : unit -> t
+
+(** [add_section t ~name ~json] — attach a section under key [name];
+    [json] must be one complete JSON value and is embedded verbatim.
+    Sections appear in insertion order. *)
+val add_section : t -> name:string -> json:string -> unit
+
+(** Assemble the artifact and close the bracket (idempotent — later calls
+    return the same JSON). *)
+val finish : t -> string
+
+(** [crash t ~error ~backtrace] — the [--dump-on-error] path: like
+    {!finish} but with an ["error"] section and the tail of the trace
+    ring, so a failed run still leaves a valid, inspectable artifact. *)
+val crash : t -> error:string -> backtrace:string -> string
+
+val write_file : string -> string -> unit
+
+(** Human-readable rendering of a report artifact (the [qdt report]
+    subcommand).  Raises [Failure] when the input is not valid JSON. *)
+val render : string -> string

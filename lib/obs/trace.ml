@@ -137,6 +137,13 @@ let export_chrome path =
   close_out oc
 
 let export_jsonl path =
+  let evs = events () in
   let oc = open_out path in
-  List.iter (fun e -> output_string oc (event_json e ^ "\n")) (events ());
+  (* Same drop-count metadata as the Chrome exporter, as a leading line:
+     consumers that stream the file see the truncation warning before any
+     event, and line-oriented tooling can skip it by its "metadata" key. *)
+  Printf.fprintf oc
+    "{\"metadata\": {\"dropped_events\": %d, \"recorded_events\": %d}}\n"
+    (dropped_events ()) (List.length evs);
+  List.iter (fun e -> output_string oc (event_json e ^ "\n")) evs;
   close_out oc

@@ -61,5 +61,8 @@ val depth : unit -> int
     ring without trusting the caller to have checked. *)
 val export_chrome : string -> unit
 
-(** [export_jsonl path] — one JSON object per event per line. *)
+(** [export_jsonl path] — one JSON object per event per line, preceded by
+    a metadata line [{"metadata": {"dropped_events": ..,
+    "recorded_events": ..}}] carrying the same truncation accounting as
+    the Chrome exporter. *)
 val export_jsonl : string -> unit

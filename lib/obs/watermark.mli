@@ -1,0 +1,44 @@
+(** Resource watermarks: process-global running maxima, reset per run.
+
+    Each backend instruments its natural resource axis (peak live DD
+    nodes, peak MPS bond dimension and truncation error, peak TN
+    intermediate tensor size/rank, statevector + scratch bytes, ZX
+    spiders/edges per simplify round) so a {!Report} can say what a run
+    actually peaked at, per representation.
+
+    Same discipline as {!Metrics}: instruments are created once and held
+    in a binding; a disabled observation costs one load and one branch
+    and allocates nothing.  Observations are domain-safe (CAS-max on an
+    atomic cell) and never take a lock. *)
+
+type t
+
+(** {1 Global switch} *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+(** {1 Instruments (get-or-create by name)} *)
+
+val watermark : string -> t
+val name : t -> string
+
+(** {1 Recording (no-ops while disabled)} *)
+
+(** [observe w v] — raise the watermark to [v] if [v] exceeds the
+    current peak. *)
+val observe : t -> float -> unit
+
+val observe_int : t -> int -> unit
+
+(** {1 Reading} *)
+
+(** Current peak (0.0 after {!reset} or before any observation). *)
+val peak : t -> float
+
+(** Current peaks of every registered watermark, sorted by name. *)
+val snapshot : unit -> (string * float) list
+
+(** Zero every watermark (registrations survive).  Called by
+    [Report.start] so peaks are scoped to one run. *)
+val reset : unit -> unit

@@ -63,6 +63,32 @@ let the_pool : pool option ref = ref None
 
 let g_domains = Qdt_obs.Metrics.gauge "qdt.par.domains"
 
+(* Which pool participant this domain is: 0 for the caller (and any
+   domain outside the pool), [1 .. nworkers] for workers.  The slot is
+   the "domain" label on per-domain metrics — a closed set bounded by
+   [max_jobs], never a runtime domain id (those are unbounded). *)
+let slot_key = Domain.DLS.new_key (fun () -> 0)
+let domain_slot () = Domain.DLS.get slot_key
+
+(* Chunks claimed per participant, as a labeled family (one series per
+   slot).  Each series registers on the slot's first claimed chunk, so
+   only slots that actually ran appear in snapshots — never all 65.
+   A racing double-registration is benign: [counter_with] returns the
+   same cell for the same key. *)
+let chunk_counters = Array.make (max_jobs + 1) None
+
+let chunk_counter slot =
+  match chunk_counters.(slot) with
+  | Some c -> c
+  | None ->
+      let c =
+        Qdt_obs.Metrics.counter_with
+          ~labels:[ ("domain", string_of_int slot) ]
+          "qdt.par.chunks"
+      in
+      chunk_counters.(slot) <- Some c;
+      c
+
 let rec worker_loop pool last_gen =
   Mutex.lock pool.mu;
   while (not pool.quit) && pool.gen = last_gen do
@@ -94,7 +120,9 @@ let shutdown () =
   | Some pool ->
       the_pool := None;
       shutdown_pool pool;
-      Qdt_obs.Metrics.set g_domains 1.0
+      (* 0, not 1: after teardown no pool exists, and the reset-semantics
+         contract (test_obs) is that the gauge reads 0 post-shutdown. *)
+      Qdt_obs.Metrics.set g_domains 0.0
 
 let () = at_exit shutdown
 
@@ -124,7 +152,10 @@ let ensure_pool nworkers =
         }
       in
       pool.workers <-
-        Array.init nworkers (fun _ -> Domain.spawn (fun () -> worker_loop pool 0));
+        Array.init nworkers (fun i ->
+            Domain.spawn (fun () ->
+                Domain.DLS.set slot_key (i + 1);
+                worker_loop pool 0));
       the_pool := Some pool;
       Qdt_obs.Metrics.set g_domains (float_of_int (nworkers + 1));
       pool
@@ -171,6 +202,7 @@ let parallel_for ?(chunk = default_chunk) lo hi body =
           let next = Atomic.make 0 in
           let err : exn option Atomic.t = Atomic.make None in
           let runner () =
+            let m_chunks = chunk_counter (domain_slot ()) in
             let continue_ = ref true in
             while !continue_ do
               if Atomic.get err <> None then continue_ := false
@@ -178,6 +210,7 @@ let parallel_for ?(chunk = default_chunk) lo hi body =
                 let c = Atomic.fetch_and_add next 1 in
                 if c >= nchunks then continue_ := false
                 else begin
+                  Qdt_obs.Metrics.incr m_chunks;
                   let a = lo + (c * chunk) in
                   let b = if a + chunk < hi then a + chunk else hi in
                   try body a b

@@ -43,14 +43,25 @@ val default_chunk : int
     [Domain.recommended_domain_count ()]; always [>= 1]. *)
 val jobs : unit -> int
 
-(** [set_jobs n] pins the job count (clamped to [1 .. 64]).  Takes effect
-    at the next parallel region; an existing pool of a different size is
-    drained and respawned there. *)
+(** [set_jobs n] pins the job count (clamped to [1 .. ]{!max_jobs}).
+    Takes effect at the next parallel region; an existing pool of a
+    different size is drained and respawned there. *)
 val set_jobs : int -> unit
+
+(** Upper clamp of the job count (64) — also the bound on
+    {!domain_slot}. *)
+val max_jobs : int
 
 (** Worker domains currently spawned (0 when the pool is down; the
     calling domain is not counted). *)
 val spawned_domains : unit -> int
+
+(** Pool slot of the calling domain: 0 for the caller of a parallel
+    region (and any domain outside the pool), [1 .. jobs - 1] for pool
+    workers.  Bounded by the job clamp, so it is safe as a metric-label
+    value (the ["domain"] dimension on [qdt.par.chunks] and the
+    shot-engine's per-domain counters). *)
+val domain_slot : unit -> int
 
 (** [parallel_for ?chunk lo hi body] — [body a b] is invoked for disjoint
     subranges [\[a, b)] covering [\[lo, hi)], each at most [chunk]

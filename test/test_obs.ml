@@ -389,6 +389,186 @@ let test_chrome_drop_metadata =
               | Some r -> Alcotest.(check (float 0.0)) "recorded_events recorded" 4.0 r
               | None -> Alcotest.fail "metadata lacks recorded_events")))
 
+(* Same contract for the JSONL exporter: its leading metadata line must
+   carry the drop count (PR 5 added it to the Chrome export only). *)
+let test_jsonl_drop_metadata =
+  isolated @@ fun () ->
+  Trace.configure ~capacity:4 ();
+  Trace.set_enabled true;
+  for i = 1 to 5 do
+    Trace.with_span (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  Trace.set_enabled false;
+  let path = Filename.temp_file "qdt_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.export_jsonl path;
+      let lines =
+        String.split_on_char '\n' (read_file path)
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      Alcotest.(check int) "metadata + events" 5 (List.length lines);
+      List.iter (fun l -> validate_json ~what:"jsonl line" l) lines;
+      match lines with
+      | first :: _ -> (
+          match Qdt_obs.Json.parse first with
+          | Error e -> Alcotest.failf "metadata line does not parse: %s" e
+          | Ok j -> (
+              match Qdt_obs.Json.member "metadata" j with
+              | None -> Alcotest.fail "first line lacks metadata object"
+              | Some meta ->
+                  let num name =
+                    Option.bind (Qdt_obs.Json.member name meta) Qdt_obs.Json.to_number
+                  in
+                  Alcotest.(check (option (float 0.0))) "dropped_events" (Some 6.0)
+                    (num "dropped_events");
+                  Alcotest.(check (option (float 0.0))) "recorded_events" (Some 4.0)
+                    (num "recorded_events")))
+      | [] -> Alcotest.fail "empty jsonl export")
+
+(* ------------------------------------------------------------------ *)
+(* Labeled metrics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_labeled_registration =
+  isolated @@ fun () ->
+  (* label order does not matter: both spellings resolve to one series *)
+  let a = Metrics.counter_with ~labels:[ ("b", "2"); ("a", "1") ] "test.lab" in
+  let b = Metrics.counter_with ~labels:[ ("a", "1"); ("b", "2") ] "test.lab" in
+  Metrics.incr a;
+  Metrics.incr b;
+  let key = Metrics.encode_series "test.lab" [ ("b", "2"); ("a", "1") ] in
+  Alcotest.(check string) "canonical key" "test.lab{a=\"1\",b=\"2\"}" key;
+  (match List.assoc_opt key (Metrics.snapshot ()) with
+  | Some (Metrics.Counter_v v) -> Alcotest.(check int) "one shared cell" 2 v
+  | _ -> Alcotest.fail "labeled series missing from snapshot");
+  (* distinct label values are distinct series; base name may coexist *)
+  Metrics.incr (Metrics.counter_with ~labels:[ ("a", "other") ] "test.lab");
+  Metrics.incr (Metrics.counter "test.lab");
+  let snap = Metrics.snapshot () in
+  Alcotest.(check bool) "other series separate" true
+    (List.assoc_opt "test.lab{a=\"other\"}" snap = Some (Metrics.Counter_v 1));
+  Alcotest.(check bool) "unlabeled separate" true
+    (List.assoc_opt "test.lab" snap = Some (Metrics.Counter_v 1));
+  (* malformed / duplicate label names are rejected *)
+  (try
+     ignore (Metrics.counter_with ~labels:[ ("bad name", "v") ] "test.lab");
+     Alcotest.fail "invalid label name accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Metrics.counter_with ~labels:[ ("a", "1"); ("a", "2") ] "test.lab");
+     Alcotest.fail "duplicate label name accepted"
+   with Invalid_argument _ -> ());
+  (* kind mismatch on the same series key is rejected *)
+  try
+    ignore (Metrics.gauge_with ~labels:[ ("a", "1"); ("b", "2") ] "test.lab");
+    Alcotest.fail "kind mismatch accepted"
+  with Invalid_argument _ -> ()
+
+(* Two raw domains hammering one labeled cell: increments never lost
+   (the labeled path shares the Atomic-cell domain-safety of PR 7). *)
+let test_labeled_merge_domains =
+  isolated @@ fun () ->
+  let c = Metrics.counter_with ~labels:[ ("backend", "dd") ] "test.merge" in
+  let n = 50_000 in
+  let worker () =
+    for _ = 1 to n do
+      Metrics.incr c
+    done
+  in
+  let d1 = Domain.spawn worker and d2 = Domain.spawn worker in
+  worker ();
+  Domain.join d1;
+  Domain.join d2;
+  match
+    List.assoc_opt
+      (Metrics.encode_series "test.merge" [ ("backend", "dd") ])
+      (Metrics.snapshot ())
+  with
+  | Some (Metrics.Counter_v v) -> Alcotest.(check int) "no lost updates" (3 * n) v
+  | _ -> Alcotest.fail "merged series missing"
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Line-level grammar check: every non-empty line is either a comment or
+   [name(\{labels\})? value] with a legal metric name. *)
+let check_prometheus_grammar ~what text =
+  let name_ok s =
+    s <> ""
+    && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+    && String.for_all
+         (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+         s
+  in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         if line = "" then ()
+         else if String.length line >= 2 && String.sub line 0 2 = "# " then begin
+           match String.split_on_char ' ' line with
+           | "#" :: "TYPE" :: name :: [ kind ] ->
+               if not (name_ok name) then
+                 Alcotest.failf "%s: bad TYPE name %S" what name;
+               if not (List.mem kind [ "counter"; "gauge"; "histogram"; "untyped" ])
+               then Alcotest.failf "%s: bad TYPE kind %S" what kind
+           | _ -> Alcotest.failf "%s: malformed comment %S" what line
+         end
+         else begin
+           let metric, rest =
+             match String.index_opt line '{' with
+             | Some i -> (
+                 match String.index_opt line '}' with
+                 | Some j when j > i ->
+                     ( String.sub line 0 i,
+                       String.trim (String.sub line (j + 1) (String.length line - j - 1)) )
+                 | _ -> Alcotest.failf "%s: unbalanced braces in %S" what line)
+             | None -> (
+                 match String.index_opt line ' ' with
+                 | Some i ->
+                     ( String.sub line 0 i,
+                       String.trim (String.sub line i (String.length line - i)) )
+                 | None -> Alcotest.failf "%s: no value in %S" what line)
+           in
+           if not (name_ok metric) then
+             Alcotest.failf "%s: bad metric name %S in %S" what metric line;
+           if rest = "" || float_of_string_opt rest = None then
+             Alcotest.failf "%s: bad sample value %S in %S" what rest line
+         end)
+
+let test_render_prometheus =
+  isolated @@ fun () ->
+  Metrics.incr (Metrics.counter_with ~labels:[ ("backend", "dd") ] "test.prom.runs");
+  Metrics.add (Metrics.counter_with ~labels:[ ("backend", "mps") ] "test.prom.runs") 3;
+  Metrics.set (Metrics.gauge "test.prom-gauge") 2.5;
+  let h = Metrics.histogram "test.prom.lat" in
+  List.iter (Metrics.observe h) [ 1; 3; 3; 100 ];
+  let out = Metrics.render_prometheus (Metrics.snapshot ()) in
+  check_prometheus_grammar ~what:"render_prometheus" out;
+  let has needle =
+    let nl = String.length needle and n = String.length out in
+    let rec go i = i + nl <= n && (String.sub out i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let expect needle =
+    if not (has needle) then
+      Alcotest.failf "missing %S in rendering:\n%s" needle out
+  in
+  (* dots sanitised, labels preserved, families typed *)
+  expect "# TYPE test_prom_runs counter";
+  expect "test_prom_runs{backend=\"dd\"} 1";
+  expect "test_prom_runs{backend=\"mps\"} 3";
+  expect "# TYPE test_prom_gauge gauge";
+  expect "test_prom_gauge 2.5";
+  expect "# TYPE test_prom_lat histogram";
+  (* buckets are cumulative with closed integer upper bounds *)
+  expect "test_prom_lat_bucket{le=\"1\"} 1";
+  expect "test_prom_lat_bucket{le=\"3\"} 3";
+  expect "test_prom_lat_bucket{le=\"+Inf\"} 4";
+  expect "test_prom_lat_sum 107";
+  expect "test_prom_lat_count 4"
+
 (* Mid-circuit measurement goes through Sim.run (the CLI's final-state
    path strips measures), so drive it directly and check the span mix. *)
 let test_measure_span =
@@ -458,11 +638,20 @@ let () =
           Alcotest.test_case "sorted rendering" `Quick test_sorted_rendering;
           Alcotest.test_case "snapshot diff" `Quick test_diff;
         ] );
+      ( "labels",
+        [
+          Alcotest.test_case "labeled registration" `Quick test_labeled_registration;
+          Alcotest.test_case "labeled merge across domains" `Quick
+            test_labeled_merge_domains;
+        ] );
+      ( "prometheus",
+        [ Alcotest.test_case "exposition format" `Quick test_render_prometheus ] );
       ( "trace",
         [
           Alcotest.test_case "balanced nesting" `Quick test_span_nesting;
           Alcotest.test_case "ring wrap" `Quick test_ring_wrap;
           Alcotest.test_case "chrome export drop metadata" `Quick test_chrome_drop_metadata;
+          Alcotest.test_case "jsonl export drop metadata" `Quick test_jsonl_drop_metadata;
           Alcotest.test_case "mid-circuit measure span" `Quick test_measure_span;
         ] );
       ( "exporters",

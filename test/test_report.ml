@@ -1,0 +1,172 @@
+(* Run-report artifacts (ISSUE 8): the Report bracket must produce one
+   self-contained JSON value that survives a round-trip through the
+   in-tree parser, watermarks must behave as per-run running maxima, and
+   the reset-semantics contract (everything back to zero after the
+   bracket closes) must hold — including the parallel pool's domain
+   gauge after [shutdown]. *)
+
+module Metrics = Qdt_obs.Metrics
+module Watermark = Qdt_obs.Watermark
+module Report = Qdt_obs.Report
+module Json = Qdt_obs.Json
+
+(* Scrub observability state around each test so order does not matter. *)
+let isolated f () =
+  Metrics.reset ();
+  Watermark.reset ();
+  let m = Metrics.enabled () and w = Watermark.enabled () in
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled m;
+      Watermark.set_enabled w;
+      Metrics.reset ();
+      Watermark.reset ())
+    f
+
+let parse_ok ~what s =
+  match Json.parse s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s is not valid JSON: %s" what e
+
+let number ~what j name =
+  match Option.bind (Json.member name j) Json.to_number with
+  | Some v -> v
+  | None -> Alcotest.failf "%s: missing numeric field %S" what name
+
+(* ------------------------------------------------------------------ *)
+(* Watermarks                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_watermark_monotone =
+  isolated @@ fun () ->
+  Watermark.set_enabled true;
+  let w = Watermark.watermark "test.peak" in
+  Watermark.observe w 3.0;
+  Watermark.observe w 1.0;
+  Alcotest.(check (float 0.0)) "lower observation ignored" 3.0 (Watermark.peak w);
+  Watermark.observe_int w 7;
+  Alcotest.(check (float 0.0)) "raised to new max" 7.0 (Watermark.peak w);
+  Alcotest.(check bool) "in snapshot" true
+    (List.mem_assoc "test.peak" (Watermark.snapshot ()));
+  Watermark.reset ();
+  Alcotest.(check (float 0.0)) "zero after reset" 0.0 (Watermark.peak w);
+  Watermark.set_enabled false;
+  Watermark.observe w 9.0;
+  Alcotest.(check (float 0.0)) "disabled observation dropped" 0.0 (Watermark.peak w)
+
+(* Concurrent CAS-max: the final peak is the global max, never a lost
+   update from a racing lower value. *)
+let test_watermark_domains =
+  isolated @@ fun () ->
+  Watermark.set_enabled true;
+  let w = Watermark.watermark "test.peak.par" in
+  let worker base () =
+    for i = 1 to 10_000 do
+      Watermark.observe_int w (base + i)
+    done
+  in
+  let d1 = Domain.spawn (worker 0) and d2 = Domain.spawn (worker 5_000) in
+  worker 2_500 ();
+  Domain.join d1;
+  Domain.join d2;
+  Alcotest.(check (float 0.0)) "global max" 15_000.0 (Watermark.peak w)
+
+(* ------------------------------------------------------------------ *)
+(* Report bracket                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_roundtrip =
+  isolated @@ fun () ->
+  let t = Report.start () in
+  (* Work scoped to the run: a labeled counter and a watermark peak. *)
+  Metrics.incr (Metrics.counter_with ~labels:[ ("backend", "dd") ] "test.report.runs");
+  Watermark.observe_int (Watermark.watermark "test.report.peak") 42;
+  Report.add_section t ~name:"circuit" ~json:{|{"qubits": 2, "gates": 3}|};
+  let json = Report.finish t in
+  Alcotest.(check string) "finish is idempotent" json (Report.finish t);
+  let j = parse_ok ~what:"report" json in
+  (match Option.bind (Json.member "schema" j) Json.to_string with
+  | Some s -> Alcotest.(check string) "schema" Report.schema s
+  | None -> Alcotest.fail "report lacks schema field");
+  Alcotest.(check bool) "wall_s >= 0" true (number ~what:"report" j "wall_s" >= 0.0);
+  (match Json.member "circuit" j with
+  | Some c ->
+      Alcotest.(check (float 0.0)) "section embedded verbatim" 2.0
+        (number ~what:"circuit section" c "qubits")
+  | None -> Alcotest.fail "caller section missing");
+  (match Json.member "watermarks" j with
+  | Some wm ->
+      Alcotest.(check (float 0.0)) "watermark peak recorded" 42.0
+        (number ~what:"watermarks" wm "test.report.peak")
+  | None -> Alcotest.fail "watermarks section missing");
+  (match Json.member "metrics" j with
+  | Some m ->
+      Alcotest.(check (float 0.0)) "run-scoped metrics diff" 1.0
+        (number ~what:"metrics" m {|test.report.runs{backend="dd"}|})
+  | None -> Alcotest.fail "metrics section missing");
+  (* Reset-semantics contract: the bracket leaves no residue. *)
+  Alcotest.(check (float 0.0)) "watermarks zero after finish" 0.0
+    (Watermark.peak (Watermark.watermark "test.report.peak"));
+  (* And the artifact renders without raising. *)
+  Alcotest.(check bool) "render is non-empty" true
+    (String.length (Report.render json) > 0)
+
+let test_report_crash =
+  isolated @@ fun () ->
+  let t = Report.start () in
+  Report.add_section t ~name:"invocation" ~json:{|{"backend": "auto"}|};
+  let json = Report.crash t ~error:"boom \"quoted\"" ~backtrace:"frame 0\nframe 1" in
+  let j = parse_ok ~what:"crash report" json in
+  match Json.member "error" j with
+  | None -> Alcotest.fail "crash report lacks error section"
+  | Some e ->
+      (match Option.bind (Json.member "message" e) Json.to_string with
+      | Some msg -> Alcotest.(check string) "message survives escaping" "boom \"quoted\"" msg
+      | None -> Alcotest.fail "error section lacks message");
+      Alcotest.(check (float 0.0)) "watermarks zero after crash" 0.0
+        (Watermark.peak (Watermark.watermark "test.report.peak"))
+
+(* ------------------------------------------------------------------ *)
+(* Pool shutdown resets its gauge (ISSUE 8 satellite 3)                *)
+(* ------------------------------------------------------------------ *)
+
+let test_domains_gauge_reset =
+  isolated @@ fun () ->
+  Metrics.set_enabled true;
+  let saved = Qdt_par.jobs () in
+  Fun.protect
+    ~finally:(fun () ->
+      Qdt_par.set_jobs saved;
+      Qdt_par.shutdown ())
+    (fun () ->
+      Qdt_par.set_jobs 2;
+      let hit = Atomic.make 0 in
+      Qdt_par.parallel_for ~chunk:1 0 8 (fun lo hi ->
+          Atomic.fetch_and_add hit (hi - lo) |> ignore);
+      Alcotest.(check int) "work ran" 8 (Atomic.get hit);
+      let gauge () =
+        match List.assoc_opt "qdt.par.domains" (Metrics.snapshot ()) with
+        | Some (Metrics.Gauge_v v) -> v
+        | _ -> Alcotest.fail "qdt.par.domains gauge missing"
+      in
+      Alcotest.(check (float 0.0)) "gauge counts pool while up" 2.0 (gauge ());
+      Qdt_par.shutdown ();
+      Alcotest.(check int) "no worker domains remain" 0 (Qdt_par.spawned_domains ());
+      Alcotest.(check (float 0.0)) "gauge reads 0 after shutdown" 0.0 (gauge ()))
+
+let () =
+  Alcotest.run "qdt_report"
+    [
+      ( "watermark",
+        [
+          Alcotest.test_case "monotone + reset" `Quick test_watermark_monotone;
+          Alcotest.test_case "concurrent max" `Quick test_watermark_domains;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "round-trip" `Quick test_report_roundtrip;
+          Alcotest.test_case "crash artifact" `Quick test_report_crash;
+        ] );
+      ( "par",
+        [ Alcotest.test_case "domains gauge reset" `Quick test_domains_gauge_reset ] );
+    ]
