@@ -1513,6 +1513,128 @@ let e21 ~smoke () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* E22: sessions — warm vs cold DD engines on repeated jobs            *)
+(* ------------------------------------------------------------------ *)
+
+(* The session refactor's headline number: a session-held DD package
+   keeps its unique table, complex-number table and compute caches
+   across jobs, so a repeated Clifford+T workload re-runs against warm
+   caches instead of rebuilding them per request (the amortizable
+   structures of DAC'22 §III / arXiv:2108.07027).  Cold = a fresh
+   engine per job (exactly what every one-shot BACKEND call does);
+   warm = one engine for the whole batch.  The gate fails if warm is
+   not faster than cold. *)
+
+let e22 ~smoke () =
+  header "E22" "Sessions: warm vs cold DD engines on repeated Clifford+T jobs";
+  (* Sized so the batch's unique table stays under the GC threshold: a
+     collection clears the compute caches wholesale, which is exactly the
+     state a warm session exists to preserve.  (E16 covers the bounded-
+     memory regime where GC fires.) *)
+  let n = if smoke then 6 else 7 in
+  let gates = if smoke then 120 else 180 in
+  let jobs = if smoke then 6 else 10 in
+  let reps = !reps_flag in
+  let c = Generators.random_clifford_t ~seed:13 ~gates ~t_fraction:0.25 n in
+  let (module S : Qdt.Backend.SESSION) =
+    match Qdt.Registry.find_session "decision-diagrams" with
+    | Some m -> m
+    | None -> failwith "decision-diagrams session engine not registered"
+  in
+  (* Amplitude jobs: full DD evolution per job, O(n) payload read — the
+     timing is cache behavior, not payload densification. *)
+  let job = Qdt.Job.Amplitude 0 in
+  let submit_ok s =
+    match S.submit s c job with
+    | Ok (_, stats) -> stats
+    | Error e -> failwith (Qdt.Backend.error_to_string e)
+  in
+  let run_cold () =
+    for _ = 1 to jobs do
+      let s = S.create () in
+      ignore (submit_ok s);
+      S.close s
+    done
+  in
+  let run_warm () =
+    let s = S.create () in
+    for _ = 1 to jobs do
+      ignore (submit_ok s)
+    done;
+    S.close s
+  in
+  let time_reps body =
+    body () (* warm up *);
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Qdt.Obs.Clock.now_ns () in
+      body ();
+      best := Float.min !best (float_of_int (Qdt.Obs.Clock.elapsed_ns t0))
+    done;
+    !best
+  in
+  let t_cold = time_reps run_cold in
+  let t_warm = time_reps run_warm in
+  (* Where the speedup comes from: per-job cache-counter deltas across
+     one warm batch. *)
+  let s = S.create () in
+  let first = submit_ok s in
+  let last = ref first in
+  for _ = 2 to jobs do
+    last := submit_ok s
+  done;
+  S.close s;
+  let dd_of st =
+    match st.Qdt.Backend.dd with Some d -> d | None -> failwith "dd stats missing"
+  in
+  let d1 = dd_of first and dn = dd_of !last in
+  let speedup = t_cold /. t_warm in
+  Printf.printf
+    "workload: random Clifford+T, n=%d, %d gates, %d identical jobs per batch (%d reps, best-of)\n\n"
+    n gates jobs reps;
+  Printf.printf "  cold sessions (fresh engine per job)  %9.2f ms\n" (t_cold /. 1e6);
+  Printf.printf "  warm session  (one engine, %2d jobs)   %9.2f ms\n" jobs (t_warm /. 1e6);
+  Printf.printf "  speedup: %.2fx\n\n" speedup;
+  Printf.printf "  job 1  compute-hit %5.1f%%  unique-hit %5.1f%%  gc-runs %d\n"
+    (100.0 *. d1.Qdt.Backend.compute_hit_rate)
+    (100.0 *. d1.Qdt.Backend.unique_hit_rate)
+    d1.Qdt.Backend.gc_runs;
+  Printf.printf "  job %-2d compute-hit %5.1f%%  unique-hit %5.1f%%  gc-runs %d\n" jobs
+    (100.0 *. dn.Qdt.Backend.compute_hit_rate)
+    (100.0 *. dn.Qdt.Backend.unique_hit_rate)
+    dn.Qdt.Backend.gc_runs;
+  metric_int "qubits" n;
+  metric_int "gates" gates;
+  metric_int "jobs_per_batch" jobs;
+  metric_float "cold_batch_ms" (t_cold /. 1e6);
+  metric_float "warm_batch_ms" (t_warm /. 1e6);
+  metric_float "warm_speedup" speedup;
+  metric_float "job1_compute_hit_rate" d1.Qdt.Backend.compute_hit_rate;
+  metric_float "jobN_compute_hit_rate" dn.Qdt.Backend.compute_hit_rate;
+  metric_float "job1_unique_hit_rate" d1.Qdt.Backend.unique_hit_rate;
+  metric_float "jobN_unique_hit_rate" dn.Qdt.Backend.unique_hit_rate;
+  metric_int "job1_gc_runs" d1.Qdt.Backend.gc_runs;
+  metric_int "jobN_gc_runs" dn.Qdt.Backend.gc_runs;
+  if t_warm >= t_cold then begin
+    Printf.eprintf
+      "E22 FAILED: warm session batch (%.2f ms) is not faster than cold (%.2f ms)\n"
+      (t_warm /. 1e6) (t_cold /. 1e6);
+    exit 1
+  end;
+  let warm_s = S.create () in
+  ignore (submit_ok warm_s) (* prime the engine for the warm timing *);
+  run_timings ~name:"e22"
+    [
+      bench "cold-session-job" (fun () ->
+          let s = S.create () in
+          let st = submit_ok s in
+          S.close s;
+          st);
+      bench "warm-session-job" (fun () -> submit_ok warm_s);
+    ];
+  S.close warm_s
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1541,6 +1663,7 @@ let experiments : (string * (smoke:bool -> unit)) list =
     ("e19", fun ~smoke -> e19 ~smoke ());
     ("e20", fun ~smoke -> e20 ~smoke ());
     ("e21", fun ~smoke -> e21 ~smoke ());
+    ("e22", fun ~smoke -> e22 ~smoke ());
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -1642,7 +1765,7 @@ let () =
     if !selected = [] then experiments
     else List.filter (fun (name, _) -> List.mem name !selected) experiments
   in
-  print_endline "QDT benchmark harness — experiments E1..E21 (see DESIGN.md / EXPERIMENTS.md)";
+  print_endline "QDT benchmark harness — experiments E1..E22 (see DESIGN.md / EXPERIMENTS.md)";
   Printf.printf "timing: %d reps per measurement (median ± MAD)\n" !reps_flag;
   let failures = ref [] in
   List.iter

@@ -153,11 +153,38 @@ let show_cmd =
 (* simulate                                                            *)
 (* ------------------------------------------------------------------ *)
 
+let unknown_backend name =
+  match Qdt.Registry.suggest name with
+  | Some s -> Printf.sprintf "unknown backend %s (did you mean %s?)" name s
+  | None ->
+      Printf.sprintf "unknown backend %s (known: %s)" name
+        (String.concat ", " (Qdt.Registry.names ()))
+
+(* A plain-string backend name validated against the registry, so a typo
+   gets a closest-match suggestion instead of cmdliner's bare enum error. *)
+let backend_name_arg =
+  let parse s =
+    if Option.is_some (Qdt.Registry.find s) then Ok s
+    else Error (`Msg (unknown_backend s))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
 let backend_arg =
-  let all = List.map (fun name -> (name, name)) (Qdt.Registry.names ()) in
-  Arg.(value & opt (enum all) "decision-diagrams" & info [ "backend"; "b" ] ~docv:"BACKEND"
+  Arg.(value & opt backend_name_arg "decision-diagrams" & info [ "backend"; "b" ] ~docv:"BACKEND"
          ~doc:"Simulation backend: arrays, decision-diagrams, tensor-network, mps, \
                stabilizer, or auto (portfolio dispatch).")
+
+(* The unitary prefix a shots=0 full-state request runs (measurements,
+   resets and classical control stripped), shared by simulate / profile /
+   run. *)
+let unitary_part c =
+  List.fold_left
+    (fun acc i ->
+      match i with
+      | Circuit.Measure _ | Circuit.Reset _ | Circuit.If _ -> acc
+      | _ -> Circuit.add i acc)
+    (Circuit.empty (Circuit.num_qubits c))
+    (Circuit.instructions c)
 
 let print_stats stats = Printf.printf "stats: %s\n" (Qdt.Backend.stats_to_string stats)
 
@@ -201,18 +228,10 @@ let simulate_cmd =
       match Qdt.Registry.find backend_name with
       | Some m -> m
       | None ->
-          prerr_endline ("unknown backend " ^ backend_name);
+          prerr_endline (unknown_backend backend_name);
           exit 1
     in
-    let unitary_part =
-      List.fold_left
-        (fun acc i ->
-          match i with
-          | Circuit.Measure _ | Circuit.Reset _ | Circuit.If _ -> acc
-          | _ -> Circuit.add i acc)
-        (Circuit.empty (Circuit.num_qubits c))
-        (Circuit.instructions c)
-    in
+    let unitary_part = unitary_part c in
     let n = Circuit.num_qubits c in
     (* Counts of a measuring circuit are keyed by the classical register;
        a measure-free circuit samples all qubits. *)
@@ -318,6 +337,107 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate a circuit with a chosen data structure") term
 
 (* ------------------------------------------------------------------ *)
+(* run (batch mode over one warm session)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Like [circuit_arg] but keeps the path for per-job output labels. *)
+let circuit_with_path_arg =
+  let parse path = Result.map (fun c -> (path, c)) (load path) in
+  let print ppf (path, _) = Format.pp_print_string ppf path in
+  Arg.conv (parse, print)
+
+let run_cmd =
+  let run files extra backend_name shots seed threshold jobs trace trace_format metrics =
+    apply_jobs jobs;
+    let circuits = files @ extra in
+    if circuits = [] then begin
+      prerr_endline "qdt run: no circuits given (positional FILEs or --circuit FILE)";
+      exit 1
+    end;
+    let (module S : Qdt.Backend.SESSION) =
+      match Qdt.Registry.find_session backend_name with
+      | Some m -> m
+      | None ->
+          prerr_endline (unknown_backend backend_name);
+          exit 1
+    in
+    with_obs ~trace ~trace_format ~metrics @@ fun () ->
+    (* One session for the whole batch: backend state (DD unique table and
+       compute caches, statevector buffers, tableau rows) stays warm
+       between jobs.  The label separates this batch's runs on the
+       qdt.backend.runs metric. *)
+    let session = S.create ~label:(Qdt.Backend.fresh_session_label ()) () in
+    let total = List.length circuits in
+    let failures = ref 0 in
+    List.iteri
+      (fun i (path, c) ->
+        let job, target =
+          if shots = 0 then (Qdt.Job.Full_state, unitary_part c)
+          else (Qdt.Job.Sample { seed; shots }, c)
+        in
+        Printf.printf "[%d/%d] %s: %s\n" (i + 1) total path (Qdt.Job.describe job);
+        match S.submit session target job with
+        | Error err ->
+            incr failures;
+            Printf.printf "  error: %s\n" (Qdt.Backend.error_to_string err)
+        | Ok (payload, stats) ->
+            (match payload with
+            | Qdt.Job.State state ->
+                let n = Circuit.num_qubits target in
+                Qdt.Linalg.Vec.iteri
+                  (fun k amp ->
+                    let p = Qdt.Linalg.Cx.norm2 amp in
+                    if p > threshold then
+                      Printf.printf "  |%s>  %-22s  p=%.6f\n" (bitstring n k)
+                        (Qdt.Linalg.Cx.to_string amp) p)
+                  state
+            | Qdt.Job.Counts counts ->
+                let key_bits =
+                  if Circuit.has_measure c then Circuit.num_clbits c
+                  else Circuit.num_qubits c
+                in
+                List.iter
+                  (fun (k, count) ->
+                    Printf.printf "  %s  %d\n" (bitstring key_bits k) count)
+                  counts
+            | Qdt.Job.Amplitude_of amp ->
+                Printf.printf "  %s\n" (Qdt.Linalg.Cx.to_string amp)
+            | Qdt.Job.Expectation v -> Printf.printf "  <Z> = %.9f\n" v);
+            Printf.printf "  ";
+            print_stats stats)
+      circuits;
+    S.close session;
+    if !failures > 0 then exit 1
+  in
+  let files =
+    Arg.(value & pos_all circuit_with_path_arg [] & info [] ~docv:"FILE"
+           ~doc:"OpenQASM files to run in order through one session.")
+  in
+  let extra =
+    Arg.(value & opt_all circuit_with_path_arg [] & info [ "circuit" ] ~docv:"FILE"
+           ~doc:"Additional circuit (repeatable); appended after the \
+                 positional files.")
+  in
+  let shots =
+    Arg.(value & opt int 0 & info [ "shots" ]
+           ~doc:"Sample N shots per circuit instead of printing each state.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"RNG seed (per job).") in
+  let threshold =
+    Arg.(value & opt float 1e-9 & info [ "threshold" ]
+           ~doc:"Hide amplitudes below this probability.")
+  in
+  let term =
+    Term.(const run $ files $ extra $ backend_arg $ shots $ seed $ threshold
+          $ jobs_arg $ trace_arg $ trace_format_arg $ metrics_arg)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run a batch of circuits through one persistent backend session \
+             (warm unique tables, compute caches and buffers between jobs)")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* report                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -400,18 +520,10 @@ let profile_cmd =
       match Qdt.Registry.find backend_name with
       | Some m -> m
       | None ->
-          prerr_endline ("unknown backend " ^ backend_name);
+          prerr_endline (unknown_backend backend_name);
           exit 1
     in
-    let unitary_part =
-      List.fold_left
-        (fun acc i ->
-          match i with
-          | Circuit.Measure _ | Circuit.Reset _ | Circuit.If _ -> acc
-          | _ -> Circuit.add i acc)
-        (Circuit.empty (Circuit.num_qubits c))
-        (Circuit.instructions c)
-    in
+    let unitary_part = unitary_part c in
     Qdt.Obs.Trace.configure ~capacity ();
     Qdt.Obs.Trace.set_enabled true;
     let outcome =
@@ -693,7 +805,7 @@ let optimize_cmd =
 let main =
   let doc = "quantum design tools: arrays, decision diagrams, tensor networks, ZX-calculus" in
   Cmd.group (Cmd.info "qdt" ~version:"1.0.0" ~doc)
-    [ show_cmd; simulate_cmd; report_cmd; profile_cmd; backends_cmd; compile_cmd; verify_cmd;
-      gen_cmd; export_cmd; optimize_cmd ]
+    [ show_cmd; simulate_cmd; run_cmd; report_cmd; profile_cmd; backends_cmd; compile_cmd;
+      verify_cmd; gen_cmd; export_cmd; optimize_cmd ]
 
 let () = exit (Cmd.eval main)

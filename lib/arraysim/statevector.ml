@@ -30,6 +30,12 @@ let create n =
   Qdt_obs.Watermark.observe_int w_state (8 * Array.length buf);
   { n; buf; scratch = [||] }
 
+(* Return to |0…0⟩ in place, keeping the state buffer and any grown
+   scratch — the session-reuse path of the arrays backend. *)
+let reset sv =
+  Array.fill sv.buf 0 (Array.length sv.buf) 0.0;
+  sv.buf.(0) <- 1.0
+
 let of_vec n v =
   if Vec.length v <> 1 lsl n then invalid_arg "Statevector.of_vec: wrong length";
   Qdt_obs.Watermark.observe_int w_state (16 * Vec.length v);

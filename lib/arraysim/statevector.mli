@@ -17,6 +17,11 @@ type t
 (** [create n] is [|0…0⟩] on [n] qubits. *)
 val create : int -> t
 
+(** [reset sv] returns the state to [|0…0⟩] in place, keeping the state
+    buffer and any grown scratch — the buffer-reuse path of an arrays
+    backend session. *)
+val reset : t -> unit
+
 (** [of_vec n v] wraps an explicit amplitude vector of length [2^n]. *)
 val of_vec : int -> Qdt_linalg.Vec.t -> t
 

@@ -69,6 +69,12 @@ let supports caps = function
   | Sample -> caps.sample
   | Expectation_z -> caps.expectation_z
 
+let operation_of_job : Job.t -> operation = function
+  | Job.Full_state -> Full_state
+  | Job.Amplitude _ -> Amplitude
+  | Job.Sample _ -> Sample
+  | Job.Expectation_z _ -> Expectation_z
+
 let unsupported ~backend ~operation reason =
   Error { backend; operation = operation_name operation; reason }
 
@@ -98,23 +104,42 @@ let base_stats ?note name (m : measure) =
 
 let w_heap = Qdt_obs.Watermark.watermark "heap.peak_heap_words"
 
+(* Session labels for the per-session dimension on [qdt.backend.runs].
+   Labels must stay low-cardinality (the metrics registry hard-caps series
+   per base name), so only the first [max_labeled_sessions] sessions of a
+   process get their own value; the rest share "overflow".  One-shot shim
+   calls carry no session label at all, keeping their series identical to
+   the pre-session layer. *)
+let session_seq = Atomic.make 0
+let max_labeled_sessions = 32
+
+let fresh_session_label () =
+  let k = 1 + Atomic.fetch_and_add session_seq 1 in
+  if k <= max_labeled_sessions then Printf.sprintf "s%d" k else "overflow"
+
 (* Every adapter's span is "<backend>.<operation>" — reuse it as the label
    pair of a run counter, so runs per backend and operation are queryable
-   dimensions.  The label set is closed (5 backends × 4 operations), well
-   under the registry's cardinality cap; registration happens once per
-   distinct pair thanks to the registry's get-or-create semantics. *)
-let run_counter span =
+   dimensions.  The label set is closed (5 backends × 4 operations, plus a
+   bounded session dimension), well under the registry's cardinality cap;
+   registration happens once per distinct label set thanks to the
+   registry's get-or-create semantics. *)
+let run_counter ?session span =
+  let session_label =
+    match session with None -> [] | Some s -> [ ("session", s) ]
+  in
   match String.index_opt span '.' with
   | Some i ->
       let backend = String.sub span 0 i
       and operation = String.sub span (i + 1) (String.length span - i - 1) in
       Qdt_obs.Metrics.counter_with
-        ~labels:[ ("backend", backend); ("operation", operation) ]
+        ~labels:([ ("backend", backend); ("operation", operation) ] @ session_label)
         "qdt.backend.runs"
   | None ->
-      Qdt_obs.Metrics.counter_with ~labels:[ ("span", span) ] "qdt.backend.runs"
+      Qdt_obs.Metrics.counter_with
+        ~labels:(("span", span) :: session_label)
+        "qdt.backend.runs"
 
-let timed ?span f =
+let timed ?span ?session f =
   let run () =
     let g0 = Gc.quick_stat () in
     let t0 = Qdt_obs.Clock.now_ns () in
@@ -128,7 +153,7 @@ let timed ?span f =
   in
   (match span with
   | Some name when Qdt_obs.Metrics.enabled () ->
-      Qdt_obs.Metrics.incr (run_counter name)
+      Qdt_obs.Metrics.incr (run_counter ?session name)
   | _ -> ());
   let result, elapsed, g0, g1 =
     match span with
@@ -230,12 +255,11 @@ let admit ~name ~caps ~operation c =
   if not (supports caps operation) then
     unsupported ~backend:name ~operation "operation not provided by this backend"
   else
+    let num_qubits = Qdt_circuit.Circuit.num_qubits c in
     match caps.max_qubits with
-    | Some m when Qdt_circuit.Circuit.num_qubits c > m ->
+    | Some m when num_qubits > m ->
         unsupported ~backend:name ~operation
-          (Printf.sprintf "circuit has %d qubits, backend limit is %d"
-             (Qdt_circuit.Circuit.num_qubits c)
-             m)
+          (Printf.sprintf "circuit has %d qubits, backend limit is %d" num_qubits m)
     | _ ->
         if Qdt_circuit.Circuit.has_conditionals c && not caps.dynamic then
           unsupported ~backend:name ~operation
@@ -248,3 +272,93 @@ let admit ~name ~caps ~operation c =
         else
           unsupported ~backend:name ~operation
             "circuit contains measurements or resets"
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The engine interface behind the session layer: [create] allocates the
+   backend's expensive shared state once, [submit] executes jobs against
+   it (unique tables, compute caches, statevector buffers and tableau
+   allocations persist between jobs), [close] retires it.  See DESIGN.md,
+   "Sessions and jobs". *)
+module type SESSION = sig
+  val name : string
+  val capabilities : capabilities
+
+  type t
+  (** One persistent engine.  Not domain-safe: submit from one domain at
+      a time (a server serialises jobs per session). *)
+
+  (** [create ?label ()] opens a session.  [label] (see
+      {!fresh_session_label}) tags the session's runs on the
+      [qdt.backend.runs] metric; omit it for untagged one-shot use. *)
+  val create : ?label:string -> unit -> t
+
+  (** [submit session c job] executes [job] on circuit [c].  The stats
+      record covers this job only (per-job deltas, not session
+      cumulative totals).  Submitting to a closed session returns a
+      typed error. *)
+  val submit : t -> Qdt_circuit.Circuit.t -> Job.t -> Job.result outcome
+
+  (** [close session] releases the engine; idempotent. *)
+  val close : t -> unit
+end
+
+type engine = (module SESSION)
+
+(* The typed error every engine returns for a submit after close. *)
+let session_closed ~backend job =
+  Error
+    {
+      backend;
+      operation = operation_name (operation_of_job job);
+      reason = "session is closed";
+    }
+
+(* [Of_session] derives the historical one-shot [BACKEND] functions from
+   a session engine: open a session, submit one job, close.  A fresh
+   session starts from the exact state the pre-session adapters built per
+   call, so these shims are bit-identical to the old code paths — the
+   registry, auto, CLI, bench and every differential test ride on them
+   unchanged. *)
+module Of_session (S : SESSION) = struct
+  let name = S.name
+  let capabilities = S.capabilities
+
+  let one_shot c job =
+    let s = S.create () in
+    Fun.protect ~finally:(fun () -> S.close s) (fun () -> S.submit s c job)
+
+  let payload_mismatch operation =
+    Error
+      {
+        backend = S.name;
+        operation = operation_name operation;
+        reason = "internal error: session returned a mismatched job payload";
+      }
+
+  let simulate c =
+    match one_shot c Job.Full_state with
+    | Ok (Job.State v, stats) -> Ok (v, stats)
+    | Ok _ -> payload_mismatch Full_state
+    | Error e -> Error e
+
+  let amplitude c k =
+    match one_shot c (Job.Amplitude k) with
+    | Ok (Job.Amplitude_of a, stats) -> Ok (a, stats)
+    | Ok _ -> payload_mismatch Amplitude
+    | Error e -> Error e
+
+  let sample ?(seed = 0) ~shots c =
+    match one_shot c (Job.Sample { seed; shots }) with
+    | Ok (Job.Counts counts, stats) -> Ok (counts, stats)
+    | Ok _ -> payload_mismatch Sample
+    | Error e -> Error e
+
+  let expectation_z ?(seed = 0) c q =
+    match one_shot c (Job.Expectation_z { seed; qubit = q }) with
+    | Ok (Job.Expectation v, stats) -> Ok (v, stats)
+    | Ok _ -> payload_mismatch Expectation_z
+    | Error e -> Error e
+end

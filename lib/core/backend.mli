@@ -84,11 +84,22 @@ type measure = {
 
 val base_stats : ?note:string -> string -> measure -> stats
 
-(** [timed ?span f] — run [f] and return its result with the run's
-    measure: wall time on the shared monotonic clock, heap activity, and
-    (when metrics are enabled) the per-instrument change.  With [?span]
-    the run is additionally bracketed in a {!Qdt_obs.Trace} span. *)
-val timed : ?span:string -> (unit -> 'a) -> 'a * measure
+(** [operation_of_job job] — the capability bucket a job falls in. *)
+val operation_of_job : Job.t -> operation
+
+(** [fresh_session_label ()] — a short process-unique label ("s1", "s2",
+    …) for tagging a session's runs on the [qdt.backend.runs] metric.
+    After 32 sessions the label clamps to ["overflow"] so metric
+    cardinality stays bounded. *)
+val fresh_session_label : unit -> string
+
+(** [timed ?span ?session f] — run [f] and return its result with the
+    run's measure: wall time on the shared monotonic clock, heap
+    activity, and (when metrics are enabled) the per-instrument change.
+    With [?span] the run is additionally bracketed in a
+    {!Qdt_obs.Trace} span and counted on [qdt.backend.runs];
+    [?session] adds a [session] label to that counter. *)
+val timed : ?span:string -> ?session:string -> (unit -> 'a) -> 'a * measure
 
 val stats_to_string : stats -> string
 val pp_stats : Format.formatter -> stats -> unit
@@ -122,3 +133,43 @@ val admit :
   operation:operation ->
   Qdt_circuit.Circuit.t ->
   (unit, error) result
+
+(** The engine interface behind the session layer: [create] allocates
+    the backend's expensive shared state once, [submit] executes
+    {!Job.t}s against it (unique tables, compute caches, statevector
+    buffers and tableau allocations persist between jobs of one
+    session), [close] retires it.  Stats on each submit are per-job
+    deltas, not session cumulative totals.  See DESIGN.md, "Sessions
+    and jobs". *)
+module type SESSION = sig
+  val name : string
+  val capabilities : capabilities
+
+  type t
+  (** One persistent engine.  Not domain-safe: submit from one domain
+      at a time (a server serialises jobs per session). *)
+
+  (** [create ?label ()] opens a session.  [label] (see
+      {!fresh_session_label}) tags the session's runs on the
+      [qdt.backend.runs] metric; omit it for untagged one-shot use. *)
+  val create : ?label:string -> unit -> t
+
+  (** [submit session c job] executes [job] on circuit [c].  Submitting
+      to a closed session returns a typed error. *)
+  val submit : t -> Qdt_circuit.Circuit.t -> Job.t -> Job.result outcome
+
+  (** [close session] releases the engine; idempotent. *)
+  val close : t -> unit
+end
+
+type engine = (module SESSION)
+
+(** The typed error every engine returns for a submit after close. *)
+val session_closed : backend:string -> Job.t -> ('a, error) result
+
+(** [Of_session (S)] — the historical one-shot [BACKEND] functions as
+    thin shims over a session engine: open a session, submit one job,
+    close.  A fresh session starts from the exact state the pre-session
+    adapters built per call, so these shims are bit-identical to the
+    old code paths. *)
+module Of_session (S : SESSION) : BACKEND

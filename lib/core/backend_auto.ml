@@ -13,7 +13,12 @@
    operation on the given circuit, so e.g. a full-state request on a
    Clifford circuit falls through to a state-producing backend.  The chosen
    backend and the reason are logged in the [note] field of the returned
-   stats record. *)
+   stats record.
+
+   An auto session routes per job and opens the chosen backend's session
+   lazily the first time a job lands on it, then keeps it for the rest of
+   the session — so a job mix that settles on decision diagrams still
+   warm-starts the DD unique table and compute caches. *)
 
 module Circuit = Qdt_circuit.Circuit
 
@@ -36,36 +41,52 @@ let capabilities =
 let features = Features.analyze
 let t_heavy = Features.t_heavy
 
-let admits (module B : Backend.BACKEND) ~op c =
+(* Both faces of one backend: the one-shot module for [choose], the
+   session engine for routing inside an auto session. *)
+type target = {
+  backend : (module Backend.BACKEND);
+  session : (module Backend.SESSION);
+}
+
+let stabilizer_t =
+  { backend = (module Backend_stabilizer); session = (module Backend_stabilizer.Session) }
+
+let mps_t = { backend = (module Backend_mps); session = (module Backend_mps.Session) }
+let dd_t = { backend = (module Backend_dd); session = (module Backend_dd.Session) }
+
+let arrays_t =
+  { backend = (module Backend_arrays); session = (module Backend_arrays.Session) }
+
+let admits { backend = (module B : Backend.BACKEND); _ } ~op c =
   match Backend.admit ~name:B.name ~caps:B.capabilities ~operation:op c with
   | Ok () -> true
   | Error _ -> false
 
-let choose ~op c =
+let choose_target ~op c =
   let f = features c in
   let rules =
     [
-      ( f.clifford,
-        (module Backend_stabilizer : Backend.BACKEND),
+      ( f.Features.clifford,
+        stabilizer_t,
         Printf.sprintf
           "pure Clifford circuit on %d qubits: stabilizer tableau is O(n^2)"
           f.qubits );
       ( f.qubits >= 12 && f.two_qubit > 0
         && f.nn_fraction >= 0.95
         && not (op = Backend.Full_state && f.qubits > Backend_mps.max_dense_qubits),
-        (module Backend_mps : Backend.BACKEND),
+        mps_t,
         Printf.sprintf
           "%.0f%% of two-qubit gates are nearest-neighbour: low entanglement \
            growth, MPS bond dimension stays small"
           (100.0 *. f.nn_fraction) );
       ( t_heavy f,
-        (module Backend_dd : Backend.BACKEND),
+        dd_t,
         Printf.sprintf
           "T-heavy circuit (t-count %d of %d gates): decision diagrams \
            exploit Clifford+T structure"
           f.t_count f.gates );
       ( f.qubits <= 20,
-        (module Backend_arrays : Backend.BACKEND),
+        arrays_t,
         Printf.sprintf
           "generic circuit on %d <= 20 qubits: dense state vector is \
            simplest and fastest"
@@ -73,7 +94,7 @@ let choose ~op c =
     ]
   in
   let fallback =
-    ( (module Backend_dd : Backend.BACKEND),
+    ( dd_t,
       Printf.sprintf
         "generic circuit on %d qubits: decision diagrams exploit redundancy \
          without the 2^n array"
@@ -81,26 +102,54 @@ let choose ~op c =
   in
   let rec pick = function
     | [] -> fallback
-    | (cond, m, reason) :: rest -> if cond && admits m ~op c then (m, reason) else pick rest
+    | (cond, t, reason) :: rest -> if cond && admits t ~op c then (t, reason) else pick rest
   in
   pick rules
+
+let choose ~op c =
+  let target, reason = choose_target ~op c in
+  (target.backend, reason)
 
 let annotate reason = function
   | Ok (v, stats) -> Ok (v, { stats with Backend.note = Some reason })
   | Error e -> Error e
 
-let simulate c =
-  let (module B : Backend.BACKEND), reason = choose ~op:Backend.Full_state c in
-  annotate reason (B.simulate c)
+module Session = struct
+  let name = name
+  let capabilities = capabilities
 
-let amplitude c k =
-  let (module B : Backend.BACKEND), reason = choose ~op:Backend.Amplitude c in
-  annotate reason (B.amplitude c k)
+  (* A sub-session packed with the module that knows its state type. *)
+  type opened = Opened : (module Backend.SESSION with type t = 's) * 's -> opened
 
-let sample ?seed ~shots c =
-  let (module B : Backend.BACKEND), reason = choose ~op:Backend.Sample c in
-  annotate reason (B.sample ?seed ~shots c)
+  type t = {
+    label : string option;
+    mutable closed : bool;
+    subs : (string, opened) Hashtbl.t;  (** one engine per routed backend *)
+  }
 
-let expectation_z ?seed c q =
-  let (module B : Backend.BACKEND), reason = choose ~op:Backend.Expectation_z c in
-  annotate reason (B.expectation_z ?seed c q)
+  let create ?label () = { label; closed = false; subs = Hashtbl.create 7 }
+
+  let close t =
+    if not t.closed then begin
+      t.closed <- true;
+      Hashtbl.iter (fun _ (Opened ((module S), s)) -> S.close s) t.subs
+    end
+
+  let sub_session t (module S : Backend.SESSION) =
+    match Hashtbl.find_opt t.subs S.name with
+    | Some o -> o
+    | None ->
+        let o = Opened ((module S), S.create ?label:t.label ()) in
+        Hashtbl.add t.subs S.name o;
+        o
+
+  let submit t c job =
+    if t.closed then Backend.session_closed ~backend:name job
+    else
+      let op = Backend.operation_of_job job in
+      let target, reason = choose_target ~op c in
+      let (Opened ((module S), s)) = sub_session t target.session in
+      annotate reason (S.submit s c job)
+end
+
+include Backend.Of_session (Session)

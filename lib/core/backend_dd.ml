@@ -1,139 +1,178 @@
-(* Backend adapter: QMDD simulation (Section III).  Runs instruction by
-   instruction so it can record the peak state-DD size, and reports the
-   manager's unique-table / compute-cache hit rates. *)
+(* Backend adapter: QMDD simulation (Section III).  A session owns one
+   DD manager, so the unique table, complex-number table and compute
+   caches — the amortizable structures of DD simulation — persist across
+   jobs; roots are released between jobs and the refcounted GC keeps the
+   tables bounded.  Runs instruction by instruction so it can record the
+   peak state-DD size, and reports per-job cache-counter deltas. *)
 
 module Circuit = Qdt_circuit.Circuit
 module Pkg = Qdt_dd.Pkg
 module Sim = Qdt_dd.Sim
 
-let name = "decision-diagrams"
-
-let capabilities =
-  {
-    Backend.full_state = true;
-    amplitude = true;
-    sample = true;
-    expectation_z = true;
-    supports_nonunitary = true;
-    clifford_only = false;
-    max_qubits = None;
-    dynamic = true;
-  }
-
-let admit operation c = Backend.admit ~name ~caps:capabilities ~operation c
-
 let ( let* ) r f = Result.bind r f
-
 let w_peak_nodes = Qdt_obs.Watermark.watermark "dd.peak_live_nodes"
-
-(* Step the simulation manually, tracking the largest intermediate DD. *)
-let run_tracked ~seed c =
-  let mgr = Pkg.create () in
-  let st = Sim.make mgr (Circuit.num_qubits c) in
-  let rng = Random.State.make [| seed |] in
-  let clbits = Array.make (max 1 (Circuit.num_clbits c)) 0 in
-  let peak = ref 0 in
-  List.iter
-    (fun instr ->
-      Sim.apply_instruction st instr ~rng ~clbits;
-      peak := max !peak (Sim.node_count st))
-    (Circuit.instructions c);
-  Qdt_obs.Watermark.observe_int w_peak_nodes !peak;
-  (st, !peak)
-
 let rate hits lookups = if lookups = 0 then 0.0 else float_of_int hits /. float_of_int lookups
 
-let stats_of ~m ~peak st =
-  let mgr = Sim.manager st in
-  let c = Pkg.cache_stats mgr in
-  let slots = List.fold_left (fun acc t -> acc + t.Pkg.slots) 0 c.Pkg.caches in
-  let fill = List.fold_left (fun acc t -> acc + t.Pkg.fill) 0 c.Pkg.caches in
-  {
-    (Backend.base_stats name m) with
-    Backend.dd =
-      Some
-        {
-          Backend.peak_nodes = peak;
-          final_nodes = Sim.node_count st;
-          unique_table_size = Pkg.unique_table_size mgr;
-          cnum_table_size = Pkg.cnum_live_entries mgr;
-          unique_hit_rate = rate c.Pkg.unique_hits c.Pkg.unique_lookups;
-          compute_hit_rate = rate c.Pkg.compute_hits c.Pkg.compute_lookups;
-          gc_runs = c.Pkg.gc_runs;
-          nodes_collected = c.Pkg.nodes_collected;
-          peak_live_nodes = c.Pkg.peak_nodes;
-          compute_cache_fill = rate fill slots;
-        };
+module Session = struct
+  let name = "decision-diagrams"
+
+  let capabilities =
+    {
+      Backend.full_state = true;
+      amplitude = true;
+      sample = true;
+      expectation_z = true;
+      supports_nonunitary = true;
+      clifford_only = false;
+      max_qubits = None;
+      dynamic = true;
+    }
+
+  type t = {
+    mgr : Pkg.t;  (** shared across every job of the session *)
+    label : string option;
+    mutable closed : bool;
+    mutable mark : Pkg.cache_stats;  (** counter snapshot at the last job boundary *)
   }
 
-let simulate c =
-  let* () = admit Backend.Full_state c in
-  let (st, peak), m = Backend.timed ~span:"dd.simulate" (fun () -> run_tracked ~seed:0 c) in
-  Ok (Sim.to_vec st, stats_of ~m ~peak st)
+  let create ?label () =
+    let mgr = Pkg.create () in
+    { mgr; label; closed = false; mark = Pkg.cache_stats mgr }
 
-let amplitude c k =
-  let* () = admit Backend.Amplitude c in
-  let (st, peak), m = Backend.timed ~span:"dd.amplitude" (fun () -> run_tracked ~seed:0 c) in
-  Ok (Sim.amplitude st k, stats_of ~m ~peak st)
+  let close t = t.closed <- true
+  let admit operation c = Backend.admit ~name ~caps:capabilities ~operation c
 
-(* Per-shot loop over one shared manager: the previous shot's root is
-   unpinned before the next shot starts, so dead nodes stay collectable;
-   the last state is kept pinned for the telemetry record. *)
-(* Stays on the sequential [sample_per_shot]: every shot shares one DD
-   manager (unique/compute tables, refcounts), which is not domain-safe —
-   and sharing it is the point, since node reuse across shots is where the
-   DD backend's compression comes from. *)
-let run_dynamic ~seed ~shots c =
-  let mgr = Pkg.create () in
-  let n = Circuit.num_qubits c in
-  let peak = ref 0 in
-  let last = ref None in
-  let counts =
-    Shot_engine.sample_per_shot ~seed ~shots ~run_shot:(fun ~rng ->
-        (match !last with Some prev -> Sim.release prev | None -> ());
-        let st = Sim.make mgr n in
-        last := Some st;
-        let clbits = Array.make (max 1 (Circuit.num_clbits c)) 0 in
-        List.iter
-          (fun instr ->
-            Sim.apply_instruction st instr ~rng ~clbits;
-            peak := max !peak (Sim.node_count st))
-          (Circuit.instructions c);
-        if Circuit.has_measure c then Circuit.creg_value clbits
-        else begin
-          let key = ref 0 in
-          for q = 0 to n - 1 do
-            key := !key lor (Sim.measure_qubit st ~rng q lsl q)
-          done;
-          !key
-        end)
-  in
-  let st = match !last with Some st -> st | None -> Sim.make mgr n in
-  (st, !peak, counts)
+  (* Step the simulation manually, tracking the largest intermediate DD. *)
+  let run_tracked mgr ~seed c =
+    let st = Sim.make mgr (Circuit.num_qubits c) in
+    let rng = Random.State.make [| seed |] in
+    let clbits = Array.make (max 1 (Circuit.num_clbits c)) 0 in
+    let peak = ref 0 in
+    List.iter
+      (fun instr ->
+        Sim.apply_instruction st instr ~rng ~clbits;
+        peak := max !peak (Sim.node_count st))
+      (Circuit.instructions c);
+    Qdt_obs.Watermark.observe_int w_peak_nodes !peak;
+    (st, !peak)
 
-let sample ?(seed = 0) ~shots c =
-  let* () = admit Backend.Sample c in
-  let ((st, peak), counts), m =
-    Backend.timed ~span:"dd.sample" (fun () ->
-        match Shot_engine.plan c with
-        | Shot_engine.Static_unitary ->
-            let st, peak = run_tracked ~seed c in
-            ((st, peak), Sim.sample ~seed:(seed + 1) st ~shots)
-        | Shot_engine.Static_final { unitary; map } ->
-            let st, peak = run_tracked ~seed unitary in
-            ( (st, peak),
-              Shot_engine.remap_counts ~map (Sim.sample ~seed:(seed + 1) st ~shots) )
-        | Shot_engine.Dynamic ->
-            let st, peak, counts = run_dynamic ~seed ~shots c in
-            ((st, peak), counts))
-  in
-  Ok (counts, stats_of ~m ~peak st)
+  (* Per-shot loop over the session manager: the previous shot's root is
+     unpinned before the next shot starts, so dead nodes stay collectable;
+     the last state is kept pinned for the telemetry record and released
+     by [submit] once stats are read. *)
+  (* Stays on the sequential [sample_per_shot]: every shot shares one DD
+     manager (unique/compute tables, refcounts), which is not domain-safe —
+     and sharing it is the point, since node reuse across shots is where the
+     DD backend's compression comes from. *)
+  let run_dynamic mgr ~seed ~shots c =
+    let n = Circuit.num_qubits c in
+    let peak = ref 0 in
+    let last = ref None in
+    let counts =
+      Shot_engine.sample_per_shot ~seed ~shots ~run_shot:(fun ~rng ->
+          (match !last with Some prev -> Sim.release prev | None -> ());
+          let st = Sim.make mgr n in
+          last := Some st;
+          let clbits = Array.make (max 1 (Circuit.num_clbits c)) 0 in
+          List.iter
+            (fun instr ->
+              Sim.apply_instruction st instr ~rng ~clbits;
+              peak := max !peak (Sim.node_count st))
+            (Circuit.instructions c);
+          if Circuit.has_measure c then Circuit.creg_value clbits
+          else begin
+            let key = ref 0 in
+            for q = 0 to n - 1 do
+              key := !key lor (Sim.measure_qubit st ~rng q lsl q)
+            done;
+            !key
+          end)
+    in
+    let st = match !last with Some st -> st | None -> Sim.make mgr n in
+    (st, !peak, counts)
 
-let expectation_z ?(seed = 0) c q =
-  let* () = admit Backend.Expectation_z c in
-  let ((st, peak), v), m =
-    Backend.timed ~span:"dd.expectation-z" (fun () ->
-        let st, peak = run_tracked ~seed c in
-        ((st, peak), Sim.expectation_z st q))
-  in
-  Ok (v, stats_of ~m ~peak st)
+  let stats_of ~m ~peak ~cs st =
+    let mgr = Sim.manager st in
+    let slots = List.fold_left (fun acc t -> acc + t.Pkg.slots) 0 cs.Pkg.caches in
+    let fill = List.fold_left (fun acc t -> acc + t.Pkg.fill) 0 cs.Pkg.caches in
+    {
+      (Backend.base_stats name m) with
+      Backend.dd =
+        Some
+          {
+            Backend.peak_nodes = peak;
+            final_nodes = Sim.node_count st;
+            unique_table_size = Pkg.unique_table_size mgr;
+            cnum_table_size = Pkg.cnum_live_entries mgr;
+            unique_hit_rate = rate cs.Pkg.unique_hits cs.Pkg.unique_lookups;
+            compute_hit_rate = rate cs.Pkg.compute_hits cs.Pkg.compute_lookups;
+            gc_runs = cs.Pkg.gc_runs;
+            nodes_collected = cs.Pkg.nodes_collected;
+            peak_live_nodes = cs.Pkg.peak_nodes;
+            compute_cache_fill = rate fill slots;
+          };
+    }
+
+  (* The spans match the pre-session adapter exactly, so the derived
+     qdt.backend.runs{backend,operation} series are unchanged. *)
+  let span_of_job = function
+    | Job.Full_state -> "dd.simulate"
+    | Job.Amplitude _ -> "dd.amplitude"
+    | Job.Sample _ -> "dd.sample"
+    | Job.Expectation_z _ -> "dd.expectation-z"
+
+  let submit t c job =
+    if t.closed then Backend.session_closed ~backend:name job
+    else
+      let operation = Backend.operation_of_job job in
+      let* () = admit operation c in
+      let (st, peak, payload), m =
+        Backend.timed ~span:(span_of_job job) ?session:t.label (fun () ->
+            match job with
+            | Job.Full_state | Job.Amplitude _ ->
+                let st, peak = run_tracked t.mgr ~seed:0 c in
+                (st, peak, None)
+            | Job.Sample { seed; shots } -> (
+                match Shot_engine.plan c with
+                | Shot_engine.Static_unitary ->
+                    let st, peak = run_tracked t.mgr ~seed c in
+                    (st, peak, Some (Job.Counts (Sim.sample ~seed:(seed + 1) st ~shots)))
+                | Shot_engine.Static_final { unitary; map } ->
+                    let st, peak = run_tracked t.mgr ~seed unitary in
+                    ( st,
+                      peak,
+                      Some
+                        (Job.Counts
+                           (Shot_engine.remap_counts ~map
+                              (Sim.sample ~seed:(seed + 1) st ~shots))) )
+                | Shot_engine.Dynamic ->
+                    let st, peak, counts = run_dynamic t.mgr ~seed ~shots c in
+                    (st, peak, Some (Job.Counts counts)))
+            | Job.Expectation_z { seed; qubit } ->
+                let st, peak = run_tracked t.mgr ~seed c in
+                (st, peak, Some (Job.Expectation (Sim.expectation_z st qubit))))
+      in
+      (* Per-job deltas against the last job boundary; stats are read
+         before the dense payload, matching the pre-session evaluation
+         order exactly. *)
+      let stats =
+        stats_of ~m ~peak
+          ~cs:(Pkg.diff_cache_stats ~before:t.mark ~after:(Pkg.cache_stats t.mgr))
+          st
+      in
+      let payload =
+        match (payload, job) with
+        | Some p, _ -> p
+        | None, Job.Full_state -> Job.State (Sim.to_vec st)
+        | None, Job.Amplitude k -> Job.Amplitude_of (Sim.amplitude st k)
+        | None, (Job.Sample _ | Job.Expectation_z _) -> assert false
+      in
+      (* Release the job's pinned root — including the final per-shot
+         state of a dynamic run — so the session's unique table is not
+         permanently inflated by finished jobs. *)
+      Sim.release st;
+      t.mark <- Pkg.cache_stats t.mgr;
+      Ok (payload, stats)
+end
+
+include Backend.Of_session (Session)

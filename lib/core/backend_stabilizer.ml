@@ -1,101 +1,140 @@
 (* Backend adapter: Aaronson–Gottesman stabilizer tableau (ref [11]).
-   Clifford circuits only; no amplitude access, but thousands of qubits. *)
+   Clifford circuits only; no amplitude access, but thousands of qubits.
+   A session keeps the last tableau and reuses its row allocations via
+   [Tableau.reset] when the next job has the same qubit count. *)
 
 module Circuit = Qdt_circuit.Circuit
 module Tableau = Qdt_stabilizer.Tableau
 
-let name = "stabilizer"
-
-let capabilities =
-  {
-    Backend.full_state = false;
-    amplitude = false;
-    sample = true;
-    expectation_z = true;
-    supports_nonunitary = true;
-    clifford_only = true;
-    max_qubits = None;
-    dynamic = true;
-  }
-
 let ( let* ) r f = Result.bind r f
-
-let admit operation c =
-  let* () = Backend.admit ~name ~caps:capabilities ~operation c in
-  if Tableau.supports c then Ok ()
-  else
-    Backend.unsupported ~backend:name ~operation
-      "circuit contains non-Clifford gates"
-
 let w_tableau = Qdt_obs.Watermark.watermark "stabilizer.peak_tableau_bytes"
 
-let stats_of m tab =
-  Qdt_obs.Watermark.observe_int w_tableau (Tableau.memory_bytes tab);
-  {
-    (Backend.base_stats name m) with
-    Backend.tableau_bytes = Some (Tableau.memory_bytes tab);
+module Session = struct
+  let name = "stabilizer"
+
+  let capabilities =
+    {
+      Backend.full_state = false;
+      amplitude = false;
+      sample = true;
+      expectation_z = true;
+      supports_nonunitary = true;
+      clifford_only = true;
+      max_qubits = None;
+      dynamic = true;
+    }
+
+  type t = {
+    label : string option;
+    mutable closed : bool;
+    mutable tab : Tableau.t option;  (** reused when the qubit count matches *)
   }
 
-let simulate c =
-  ignore (Circuit.num_qubits c);
-  Backend.unsupported ~backend:name ~operation:Backend.Full_state
-    "stabilizer tableaus have no amplitude access"
+  let create ?label () = { label; closed = false; tab = None }
+  let close t = t.closed <- true
 
-let amplitude c k =
-  ignore (Circuit.num_qubits c);
-  ignore k;
-  Backend.unsupported ~backend:name ~operation:Backend.Amplitude
-    "stabilizer tableaus have no amplitude access"
+  let admit operation c =
+    let* () = Backend.admit ~name ~caps:capabilities ~operation c in
+    if Tableau.supports c then Ok ()
+    else
+      Backend.unsupported ~backend:name ~operation
+        "circuit contains non-Clifford gates"
 
-(* One shot of a dynamic circuit on a fresh tableau. *)
-let run_shot c ~rng =
-  let tab = Tableau.create (Circuit.num_qubits c) in
-  let clbits = Array.make (max 1 (Circuit.num_clbits c)) 0 in
-  List.iter
-    (fun instr -> Tableau.apply_instruction tab instr ~rng ~clbits)
-    (Circuit.instructions c);
-  let key =
-    if Circuit.has_measure c then Circuit.creg_value clbits
-    else begin
-      let key = ref 0 in
-      for q = 0 to Circuit.num_qubits c - 1 do
-        key := !key lor (Tableau.measure tab ~rng q lsl q)
-      done;
-      !key
-    end
-  in
-  (tab, key)
+  let acquire t n =
+    match t.tab with
+    | Some tab when Tableau.num_qubits tab = n ->
+        Tableau.reset tab;
+        tab
+    | _ ->
+        let tab = Tableau.create n in
+        t.tab <- Some tab;
+        tab
 
-let sample ?(seed = 0) ~shots c =
-  let* () = admit Backend.Sample c in
-  let (tab, counts), m =
-    Backend.timed ~span:"stabilizer.sample" (fun () ->
-        match Shot_engine.plan c with
-        | Shot_engine.Static_unitary ->
-            let tab, _clbits = Tableau.run ~seed c in
-            (tab, Tableau.sample ~seed:(seed + 1) tab ~shots)
-        | Shot_engine.Static_final { unitary; map } ->
-            let tab, _clbits = Tableau.run ~seed unitary in
-            (tab, Shot_engine.remap_counts ~map (Tableau.sample ~seed:(seed + 1) tab ~shots))
-        | Shot_engine.Dynamic ->
-            (* [run_shot] builds a fresh tableau per shot — reentrant, so
-               the shots parallelise across domains.  Stats only need the
-               tableau footprint, which depends on the qubit count alone,
-               so a fresh tableau stands in for "the last shot's" (a
-               cross-domain [last] ref would race). *)
-            let counts =
-              Shot_engine.sample_per_shot_parallel ~seed ~shots
-                ~run_shot:(fun ~rng -> snd (run_shot c ~rng))
-            in
-            (Tableau.create (Circuit.num_qubits c), counts))
-  in
-  Ok (counts, stats_of m tab)
+  (* Identical to [Tableau.run] except the tableau comes from [acquire],
+     so warm and cold sessions see the same RNG stream and outcomes. *)
+  let run_in t ~seed c =
+    let tab = acquire t (Circuit.num_qubits c) in
+    let rng = Random.State.make [| seed |] in
+    let clbits = Array.make (max 1 (Circuit.num_clbits c)) 0 in
+    List.iter
+      (fun instr -> Tableau.apply_instruction tab instr ~rng ~clbits)
+      (Circuit.instructions c);
+    (tab, clbits)
 
-let expectation_z ?(seed = 0) c q =
-  let* () = admit Backend.Expectation_z c in
-  let (tab, v), m =
-    Backend.timed ~span:"stabilizer.expectation-z" (fun () ->
-        let tab, _clbits = Tableau.run ~seed c in
-        (tab, Float.of_int (Tableau.expectation_z tab q)))
-  in
-  Ok (v, stats_of m tab)
+  let stats_of m tab =
+    Qdt_obs.Watermark.observe_int w_tableau (Tableau.memory_bytes tab);
+    {
+      (Backend.base_stats name m) with
+      Backend.tableau_bytes = Some (Tableau.memory_bytes tab);
+    }
+
+  (* One shot of a dynamic circuit on a fresh tableau. *)
+  let run_shot c ~rng =
+    let tab = Tableau.create (Circuit.num_qubits c) in
+    let clbits = Array.make (max 1 (Circuit.num_clbits c)) 0 in
+    List.iter
+      (fun instr -> Tableau.apply_instruction tab instr ~rng ~clbits)
+      (Circuit.instructions c);
+    let key =
+      if Circuit.has_measure c then Circuit.creg_value clbits
+      else begin
+        let key = ref 0 in
+        for q = 0 to Circuit.num_qubits c - 1 do
+          key := !key lor (Tableau.measure tab ~rng q lsl q)
+        done;
+        !key
+      end
+    in
+    (tab, key)
+
+  let submit t c job =
+    if t.closed then Backend.session_closed ~backend:name job
+    else
+      let session = t.label in
+      match job with
+      | Job.Full_state ->
+          ignore (Circuit.num_qubits c);
+          Backend.unsupported ~backend:name ~operation:Backend.Full_state
+            "stabilizer tableaus have no amplitude access"
+      | Job.Amplitude _ ->
+          ignore (Circuit.num_qubits c);
+          Backend.unsupported ~backend:name ~operation:Backend.Amplitude
+            "stabilizer tableaus have no amplitude access"
+      | Job.Sample { seed; shots } ->
+          let* () = admit Backend.Sample c in
+          let (tab, counts), m =
+            Backend.timed ~span:"stabilizer.sample" ?session (fun () ->
+                match Shot_engine.plan c with
+                | Shot_engine.Static_unitary ->
+                    let tab, _clbits = run_in t ~seed c in
+                    (tab, Tableau.sample ~seed:(seed + 1) tab ~shots)
+                | Shot_engine.Static_final { unitary; map } ->
+                    let tab, _clbits = run_in t ~seed unitary in
+                    ( tab,
+                      Shot_engine.remap_counts ~map
+                        (Tableau.sample ~seed:(seed + 1) tab ~shots) )
+                | Shot_engine.Dynamic ->
+                    (* [run_shot] builds a fresh tableau per shot — reentrant,
+                       so the shots parallelise across domains.  Stats only
+                       need the tableau footprint, which depends on the qubit
+                       count alone, so an [acquire]d tableau stands in for
+                       "the last shot's" (a cross-domain [last] ref would
+                       race). *)
+                    let counts =
+                      Shot_engine.sample_per_shot_parallel ~seed ~shots
+                        ~run_shot:(fun ~rng -> snd (run_shot c ~rng))
+                    in
+                    (acquire t (Circuit.num_qubits c), counts))
+          in
+          Ok (Job.Counts counts, stats_of m tab)
+      | Job.Expectation_z { seed; qubit } ->
+          let* () = admit Backend.Expectation_z c in
+          let (tab, v), m =
+            Backend.timed ~span:"stabilizer.expectation-z" ?session (fun () ->
+                let tab, _clbits = run_in t ~seed c in
+                (tab, Float.of_int (Tableau.expectation_z tab qubit)))
+          in
+          Ok (Job.Expectation v, stats_of m tab)
+end
+
+include Backend.Of_session (Session)

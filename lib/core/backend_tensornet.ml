@@ -1,57 +1,68 @@
 (* Backend adapter: full tensor-network contraction (Section IV).  Computes
-   single quantities by contraction; no sampling, no measurements. *)
+   single quantities by contraction; no sampling, no measurements.  The
+   session wrapper is stateless: a network is built and contracted per
+   job, the session carries only the label and liveness. *)
 
 module Circuit = Qdt_circuit.Circuit
 module Tn = Qdt_tensornet.Circuit_tn
 
-let name = "tensor-network"
-
-(* Full-state contraction materialises 2^n outputs; keep the dense limit. *)
-let capabilities =
-  {
-    Backend.full_state = true;
-    amplitude = true;
-    sample = false;
-    expectation_z = true;
-    supports_nonunitary = false;
-    clifford_only = false;
-    max_qubits = Some 24;
-    dynamic = false;
-  }
-
-let admit operation c = Backend.admit ~name ~caps:capabilities ~operation c
-
 let ( let* ) r f = Result.bind r f
 
-let stats m = Backend.base_stats name m
+module Session = struct
+  let name = "tensor-network"
 
-let simulate c =
-  let* () = admit Backend.Full_state c in
-  let (state, _contraction), m =
-    Backend.timed ~span:"tn.simulate" (fun () -> Tn.statevector (Tn.of_circuit c))
-  in
-  Ok (state, stats m)
+  (* Full-state contraction materialises 2^n outputs; keep the dense limit. *)
+  let capabilities =
+    {
+      Backend.full_state = true;
+      amplitude = true;
+      sample = false;
+      expectation_z = true;
+      supports_nonunitary = false;
+      clifford_only = false;
+      max_qubits = Some 24;
+      dynamic = false;
+    }
 
-let amplitude c k =
-  let* () = admit Backend.Amplitude c in
-  let (amp, _contraction), m =
-    Backend.timed ~span:"tn.amplitude" (fun () -> Tn.amplitude (Tn.of_circuit c) k)
-  in
-  Ok (amp, stats m)
+  type t = { label : string option; mutable closed : bool }
 
-let sample ?seed ~shots c =
-  ignore seed;
-  ignore shots;
-  Backend.unsupported ~backend:name ~operation:Backend.Sample
-    (Printf.sprintf
-       "tensor-network contraction yields single quantities, not samples \
-        (circuit on %d qubits)"
-       (Circuit.num_qubits c))
+  let create ?label () = { label; closed = false }
+  let close t = t.closed <- true
+  let admit operation c = Backend.admit ~name ~caps:capabilities ~operation c
+  let stats m = Backend.base_stats name m
 
-let expectation_z ?seed c q =
-  ignore seed;
-  let* () = admit Backend.Expectation_z c in
-  let (v, _contraction), m =
-    Backend.timed ~span:"tn.expectation-z" (fun () -> Tn.expectation_z c q)
-  in
-  Ok (v, stats m)
+  let submit t c job =
+    if t.closed then Backend.session_closed ~backend:name job
+    else
+      let session = t.label in
+      match job with
+      | Job.Full_state ->
+          let* () = admit Backend.Full_state c in
+          let (state, _contraction), m =
+            Backend.timed ~span:"tn.simulate" ?session (fun () ->
+                Tn.statevector (Tn.of_circuit c))
+          in
+          Ok (Job.State state, stats m)
+      | Job.Amplitude k ->
+          let* () = admit Backend.Amplitude c in
+          let (amp, _contraction), m =
+            Backend.timed ~span:"tn.amplitude" ?session (fun () ->
+                Tn.amplitude (Tn.of_circuit c) k)
+          in
+          Ok (Job.Amplitude_of amp, stats m)
+      | Job.Sample _ ->
+          Backend.unsupported ~backend:name ~operation:Backend.Sample
+            (Printf.sprintf
+               "tensor-network contraction yields single quantities, not samples \
+                (circuit on %d qubits)"
+               (Circuit.num_qubits c))
+      | Job.Expectation_z { seed = _; qubit } ->
+          let* () = admit Backend.Expectation_z c in
+          let (v, _contraction), m =
+            Backend.timed ~span:"tn.expectation-z" ?session (fun () ->
+                Tn.expectation_z c qubit)
+          in
+          Ok (Job.Expectation v, stats m)
+end
+
+include Backend.Of_session (Session)

@@ -1,0 +1,21 @@
+(* Job descriptors: the unit of work a session engine executes.  Plain
+   data by design — the future `qdt serve` queue holds exactly these. *)
+
+type t =
+  | Full_state
+  | Amplitude of int
+  | Sample of { seed : int; shots : int }
+  | Expectation_z of { seed : int; qubit : int }
+
+type result =
+  | State of Qdt_linalg.Vec.t
+  | Amplitude_of of Qdt_linalg.Cx.t
+  | Counts of (int * int) list
+  | Expectation of float
+
+let describe = function
+  | Full_state -> "full-state"
+  | Amplitude k -> Printf.sprintf "amplitude{k=%d}" k
+  | Sample { seed; shots } -> Printf.sprintf "sample{seed=%d; shots=%d}" seed shots
+  | Expectation_z { seed; qubit } ->
+      Printf.sprintf "expectation-z{seed=%d; qubit=%d}" seed qubit

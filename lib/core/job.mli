@@ -1,0 +1,30 @@
+(** First-class job descriptors for the session-oriented backend layer.
+
+    A job names one simulation request — the four operations the backend
+    layer has always offered — together with its per-job knobs (seed,
+    shot count, target index/qubit).  Jobs are plain data: a server can
+    queue them, a batch front end can replay them, and a session engine
+    ({!Backend.SESSION}) executes them one after another against
+    persistent per-session state. *)
+
+type t =
+  | Full_state  (** dense final state of a unitary circuit from [|0…0⟩] *)
+  | Amplitude of int  (** one amplitude [⟨k|C|0…0⟩] *)
+  | Sample of { seed : int; shots : int }
+      (** measurement counts; [seed] drives collapse and sampling *)
+  | Expectation_z of { seed : int; qubit : int }
+      (** [⟨Z_qubit⟩] of the final state; [seed] drives mid-circuit
+          collapse where the backend supports it *)
+
+(** The payload a job produces.  Which constructor comes back is
+    determined by the job: [Full_state → State], [Amplitude →
+    Amplitude_of], [Sample → Counts], [Expectation_z → Expectation]. *)
+type result =
+  | State of Qdt_linalg.Vec.t
+  | Amplitude_of of Qdt_linalg.Cx.t
+  | Counts of (int * int) list
+  | Expectation of float
+
+(** Human-readable one-liner ("sample{seed=0; shots=100}"), for logs and
+    batch-mode output. *)
+val describe : t -> string

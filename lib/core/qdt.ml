@@ -13,6 +13,7 @@ module Par = Qdt_par
 (* The backend layer: module type + capabilities + stats, the registry of
    adapters, and the portfolio dispatcher. *)
 module Backend = Backend
+module Job = Job
 module Registry = Registry
 module Auto = Backend_auto
 module Shot_engine = Shot_engine

@@ -57,6 +57,25 @@ module Par = Qdt_par
     ]} *)
 
 module Backend = Backend
+
+(** First-class job descriptors for the session layer: one value names a
+    simulation request ([Full_state], [Amplitude], [Sample],
+    [Expectation_z]) plus its per-job knobs.  A {!Backend.SESSION}
+    engine executes jobs against persistent per-session state — the DD
+    engine keeps one package (unique table, compute caches) across jobs,
+    arrays/stabilizer reuse their buffers when qubit counts match.
+
+    {[
+      let (module S : Qdt.Backend.SESSION) =
+        Option.get (Qdt.Registry.find_session "decision-diagrams")
+      in
+      let s = S.create ~label:(Qdt.Backend.fresh_session_label ()) () in
+      let r1 = S.submit s circuit Qdt.Job.Full_state in
+      let r2 = S.submit s circuit (Qdt.Job.Sample { seed = 0; shots = 100 }) in
+      S.close s
+    ]} *)
+module Job = Job
+
 module Registry = Registry
 module Auto = Backend_auto
 

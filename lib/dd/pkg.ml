@@ -193,6 +193,32 @@ let cache_stats mgr =
     caches;
   }
 
+(* Per-job deltas for a session-held manager: monotone counters are
+   subtracted, level signals (peak/live population, cache fill) keep the
+   [after] value. *)
+let diff_cache_stats ~before ~after =
+  {
+    unique_lookups = after.unique_lookups - before.unique_lookups;
+    unique_hits = after.unique_hits - before.unique_hits;
+    compute_lookups = after.compute_lookups - before.compute_lookups;
+    compute_hits = after.compute_hits - before.compute_hits;
+    gc_runs = after.gc_runs - before.gc_runs;
+    nodes_collected = after.nodes_collected - before.nodes_collected;
+    cnums_collected = after.cnums_collected - before.cnums_collected;
+    peak_nodes = after.peak_nodes;
+    live_nodes = after.live_nodes;
+    caches =
+      List.map2
+        (fun (b : cache_telemetry) (a : cache_telemetry) ->
+          {
+            a with
+            lookups = a.lookups - b.lookups;
+            hits = a.hits - b.hits;
+            evictions = a.evictions - b.evictions;
+          })
+        before.caches after.caches;
+  }
+
 let canonical mgr z = Cnum_table.canonical mgr.ctab z
 
 let terminal mgr z =

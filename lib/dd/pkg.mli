@@ -190,3 +190,10 @@ type cache_stats = {
     counters since [create]; hit rates are the backend-telemetry signal for
     how much sharing/memoisation the workload exposes. *)
 val cache_stats : t -> cache_stats
+
+(** [diff_cache_stats ~before ~after] — the counter deltas between two
+    {!cache_stats} snapshots of the same manager, for per-job telemetry
+    on a long-lived session package.  Monotone counters (lookups, hits,
+    GC runs, sweep totals, evictions) are subtracted; level signals
+    ([peak_nodes], [live_nodes], cache [fill]) keep [after]'s value. *)
+val diff_cache_stats : before:cache_stats -> after:cache_stats -> cache_stats

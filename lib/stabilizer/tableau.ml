@@ -32,6 +32,20 @@ let create n =
 
 let num_qubits t = t.n
 
+(* Return to the |0…0⟩ tableau in place, keeping the row allocations —
+   the reuse path of a stabilizer backend session. *)
+let reset t =
+  let rows = (2 * t.n) + 1 in
+  for i = 0 to rows - 1 do
+    Array.fill t.xs.(i) 0 t.n false;
+    Array.fill t.zs.(i) 0 t.n false
+  done;
+  Array.fill t.rs 0 rows false;
+  for i = 0 to t.n - 1 do
+    t.xs.(i).(i) <- true;
+    t.zs.(t.n + i).(i) <- true
+  done
+
 let copy t =
   {
     n = t.n;

@@ -14,6 +14,10 @@ val create : int -> t
 
 val num_qubits : t -> int
 
+(** [reset t] returns the tableau to [|0…0⟩] in place, keeping the row
+    allocations — the reuse path of a stabilizer backend session. *)
+val reset : t -> unit
+
 (** {1 Gates} *)
 
 val h : t -> int -> unit

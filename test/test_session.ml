@@ -1,0 +1,234 @@
+(* Tests for the session layer: warm-start cache behavior of the DD
+   engine, per-job stats deltas, buffer-reuse bit-identity against cold
+   sessions, close semantics, auto routing inside one session, and the
+   registry's session table + name suggestions. *)
+
+open Qdt_circuit
+module Backend = Qdt.Backend
+module Job = Qdt.Job
+module Registry = Qdt.Registry
+module Vec = Qdt_linalg.Vec
+
+let get_session name =
+  match Registry.find_session name with
+  | Some m -> m
+  | None -> Alcotest.failf "session engine %s not registered" name
+
+let get_backend name =
+  match Registry.find name with
+  | Some m -> m
+  | None -> Alcotest.failf "backend %s not registered" name
+
+let ok name = function
+  | Ok (payload, stats) -> (payload, stats)
+  | Error e -> Alcotest.failf "%s: %s" name (Backend.error_to_string e)
+
+let dd_of name (stats : Backend.stats) =
+  match stats.Backend.dd with
+  | Some d -> d
+  | None -> Alcotest.failf "%s: dd stats missing" name
+
+let t_heavy = Generators.random_clifford_t ~seed:3 ~gates:120 ~t_fraction:0.3 6
+
+(* ------------------------------------------------------------------ *)
+(* Warm start: same-session identical jobs hit the compute cache       *)
+(* ------------------------------------------------------------------ *)
+
+let test_dd_warm_start () =
+  let (module S : Backend.SESSION) = get_session "decision-diagrams" in
+  let s = S.create () in
+  let _, st1 = ok "job 1" (S.submit s t_heavy Job.Full_state) in
+  let _, st2 = ok "job 2" (S.submit s t_heavy Job.Full_state) in
+  S.close s;
+  let d1 = dd_of "job 1" st1 and d2 = dd_of "job 2" st2 in
+  (* Identical work against warm unique/compute tables: every node
+     construction and every cached operation must hit. *)
+  Alcotest.(check bool) "cold compute hits partial" true
+    (d1.Backend.compute_hit_rate < 1.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "warm compute hit rate rose (%.3f -> %.3f)"
+       d1.Backend.compute_hit_rate d2.Backend.compute_hit_rate)
+    true
+    (d2.Backend.compute_hit_rate > d1.Backend.compute_hit_rate);
+  Alcotest.(check (float 1e-12)) "warm unique-table all hits" 1.0
+    d2.Backend.unique_hit_rate
+
+(* ------------------------------------------------------------------ *)
+(* Per-job stats are deltas, not cumulative totals                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_dd_stats_are_deltas () =
+  let saved = !Qdt.Dd.Pkg.default_gc_threshold in
+  Fun.protect
+    ~finally:(fun () -> Qdt.Dd.Pkg.default_gc_threshold := saved)
+    (fun () ->
+      (* A tiny GC threshold forces collections inside every job; if the
+         reported counters were cumulative, each job would report strictly
+         more GC runs and unique lookups than the previous one. *)
+      Qdt.Dd.Pkg.default_gc_threshold := 64;
+      let (module S : Backend.SESSION) = get_session "decision-diagrams" in
+      let s = S.create () in
+      let c = Generators.random_clifford_t ~seed:9 ~gates:400 ~t_fraction:0.2 8 in
+      let _, st1 = ok "job 1" (S.submit s c Job.Full_state) in
+      let _, st2 = ok "job 2" (S.submit s c Job.Full_state) in
+      S.close s;
+      let d1 = dd_of "job 1" st1 and d2 = dd_of "job 2" st2 in
+      Alcotest.(check bool) "job 1 collected" true (d1.Backend.gc_runs > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "gc runs per job, not cumulative (%d then %d)"
+           d1.Backend.gc_runs d2.Backend.gc_runs)
+        true
+        (d2.Backend.gc_runs <= d1.Backend.gc_runs))
+
+(* ------------------------------------------------------------------ *)
+(* Buffer-reuse paths agree with cold sessions                         *)
+(* ------------------------------------------------------------------ *)
+
+let state_of name = function
+  | Job.State v -> v
+  | _ -> Alcotest.failf "%s: expected a state payload" name
+
+let counts_of name = function
+  | Job.Counts counts -> counts
+  | _ -> Alcotest.failf "%s: expected a counts payload" name
+
+let test_arrays_buffer_reuse () =
+  let (module S : Backend.SESSION) = get_session "arrays" in
+  let (module B : Backend.BACKEND) = get_backend "arrays" in
+  let a = Generators.qft 6 and b = Generators.w_state 6 in
+  let s = S.create () in
+  (* Prime the session buffer with a different state, then check the
+     reused (reset) buffer reproduces the cold result exactly. *)
+  let _ = ok "prime" (S.submit s a Job.Full_state) in
+  let warm, _ = ok "warm w(6)" (S.submit s b Job.Full_state) in
+  let seeded = Circuit.(empty 3 ~clbits:1 |> h 0 |> measure ~qubit:0 ~clbit:0 |> cx 0 1 |> cx 1 2) in
+  let warm_counts, _ = ok "warm sample" (S.submit s seeded (Job.Sample { seed = 11; shots = 64 })) in
+  S.close s;
+  let cold = match B.simulate b with Ok (v, _) -> v | Error _ -> assert false in
+  Alcotest.(check bool) "warm state = cold state (1e-12)" true
+    (Vec.approx_equal ~eps:1e-12 (state_of "warm" warm) cold);
+  let cold_counts =
+    match B.sample ~seed:11 ~shots:64 seeded with Ok (v, _) -> v | Error _ -> assert false
+  in
+  Alcotest.(check bool) "warm seeded counts = cold counts" true
+    (counts_of "warm sample" warm_counts = cold_counts)
+
+let test_stabilizer_tableau_reuse () =
+  let (module S : Backend.SESSION) = get_session "stabilizer" in
+  let (module B : Backend.BACKEND) = get_backend "stabilizer" in
+  let c1 = Generators.random_clifford ~seed:5 ~gates:60 5 in
+  let c2 = Generators.random_clifford ~seed:6 ~gates:60 5 in
+  let s = S.create () in
+  let _ = ok "prime" (S.submit s c1 (Job.Sample { seed = 1; shots = 32 })) in
+  let warm, _ = ok "warm" (S.submit s c2 (Job.Sample { seed = 2; shots = 32 })) in
+  S.close s;
+  let cold =
+    match B.sample ~seed:2 ~shots:32 c2 with Ok (v, _) -> v | Error _ -> assert false
+  in
+  Alcotest.(check bool) "warm tableau counts = cold counts" true
+    (counts_of "warm" warm = cold)
+
+let test_dd_warm_matches_cold () =
+  let (module S : Backend.SESSION) = get_session "decision-diagrams" in
+  let (module B : Backend.BACKEND) = get_backend "decision-diagrams" in
+  let s = S.create () in
+  let _ = ok "prime" (S.submit s t_heavy Job.Full_state) in
+  let warm, _ = ok "warm" (S.submit s t_heavy Job.Full_state) in
+  S.close s;
+  let cold = match B.simulate t_heavy with Ok (v, _) -> v | Error _ -> assert false in
+  Alcotest.(check bool) "warm DD state = cold state (1e-12)" true
+    (Vec.approx_equal ~eps:1e-12 (state_of "warm" warm) cold)
+
+(* ------------------------------------------------------------------ *)
+(* Close semantics                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_submit_after_close () =
+  List.iter
+    (fun name ->
+      let (module S : Backend.SESSION) = get_session name in
+      let s = S.create () in
+      S.close s;
+      S.close s (* idempotent *);
+      match S.submit s Generators.bell Job.Full_state with
+      | Ok _ -> Alcotest.failf "%s: submit after close succeeded" name
+      | Error e ->
+          Alcotest.(check string) (name ^ " reason") "session is closed"
+            e.Backend.reason;
+          Alcotest.(check string) (name ^ " backend") name e.Backend.backend)
+    (Registry.names ())
+
+(* ------------------------------------------------------------------ *)
+(* Auto sessions route per job                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_auto_session_routes () =
+  let (module S : Backend.SESSION) = get_session "auto" in
+  let s = S.create () in
+  let clifford = Generators.random_clifford ~seed:5 ~gates:80 6 in
+  let _, st1 = ok "clifford" (S.submit s clifford (Job.Sample { seed = 1; shots = 50 })) in
+  let _, st2 = ok "t-heavy" (S.submit s t_heavy Job.Full_state) in
+  let _, st3 = ok "clifford again" (S.submit s clifford (Job.Sample { seed = 1; shots = 50 })) in
+  S.close s;
+  Alcotest.(check string) "clifford -> stabilizer" "stabilizer" st1.Backend.backend;
+  Alcotest.(check string) "t-heavy -> dd" "decision-diagrams" st2.Backend.backend;
+  Alcotest.(check string) "routes stay per job" "stabilizer" st3.Backend.backend;
+  Alcotest.(check bool) "choice logged" true (st1.Backend.note <> None)
+
+(* ------------------------------------------------------------------ *)
+(* One-shot shims ride the session layer                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_one_shot_shim_is_cold () =
+  (* Two one-shot calls are two sessions: the second must not warm-start. *)
+  let (module B : Backend.BACKEND) = get_backend "decision-diagrams" in
+  let d1 = match B.simulate t_heavy with Ok (_, s) -> dd_of "1" s | Error _ -> assert false in
+  let d2 = match B.simulate t_heavy with Ok (_, s) -> dd_of "2" s | Error _ -> assert false in
+  Alcotest.(check (float 1e-12)) "identical cold unique-hit rates"
+    d1.Backend.unique_hit_rate d2.Backend.unique_hit_rate;
+  Alcotest.(check (float 1e-12)) "identical cold compute-hit rates"
+    d1.Backend.compute_hit_rate d2.Backend.compute_hit_rate
+
+(* ------------------------------------------------------------------ *)
+(* Registry: session table and name suggestions                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_sessions_and_suggest () =
+  List.iter
+    (fun name ->
+      if Registry.find_session name = None then
+        Alcotest.failf "no session engine for %s" name)
+    (Registry.names ());
+  Alcotest.(check bool) "unknown session" true
+    (Registry.find_session "qubit-frobnicator" = None);
+  Alcotest.(check (option string)) "typo suggestion"
+    (Some "decision-diagrams")
+    (Registry.suggest "decison-digrams");
+  Alcotest.(check (option string)) "case-insensitive" (Some "mps") (Registry.suggest "MPS");
+  Alcotest.(check (option string)) "nothing close" None (Registry.suggest "qqqqqqqq")
+
+let () =
+  Alcotest.run "qdt_session"
+    [
+      ( "warm-start",
+        [
+          Alcotest.test_case "dd compute cache" `Quick test_dd_warm_start;
+          Alcotest.test_case "per-job deltas" `Quick test_dd_stats_are_deltas;
+        ] );
+      ( "bit-identity",
+        [
+          Alcotest.test_case "arrays buffer reuse" `Quick test_arrays_buffer_reuse;
+          Alcotest.test_case "stabilizer tableau reuse" `Quick test_stabilizer_tableau_reuse;
+          Alcotest.test_case "dd warm = cold" `Quick test_dd_warm_matches_cold;
+          Alcotest.test_case "one-shot shims stay cold" `Quick test_one_shot_shim_is_cold;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "submit after close" `Quick test_submit_after_close;
+          Alcotest.test_case "auto routes per job" `Quick test_auto_session_routes;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "sessions + suggest" `Quick test_registry_sessions_and_suggest;
+        ] );
+    ]
