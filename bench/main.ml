@@ -1635,6 +1635,122 @@ let e22 ~smoke () =
   S.close warm_s
 
 (* ------------------------------------------------------------------ *)
+(* E23: serve — HTTP/JSONL job throughput, tail latency, warm sessions *)
+(* ------------------------------------------------------------------ *)
+
+(* The serving layer's headline numbers: jobs/sec and p50/p99 latency
+   through the full HTTP path (socket → queue → worker domain → session
+   engine → response), measured with the in-tree load generator against
+   an in-process server on an ephemeral port.  The gate reruns e22's
+   warm-vs-cold comparison END TO END: the same Clifford+T workload
+   driven over HTTP with per-client warm sessions must strictly beat
+   the sessionless path, where every request pays engine create/close —
+   if serving overhead ever swallows the session win, this fails. *)
+
+let e23 ~smoke () =
+  header "E23" "Serve: HTTP job throughput, tail latency, and warm sessions";
+  let clients = if smoke then 4 else 6 in
+  let jobs_per_client = if smoke then 10 else 40 in
+  let reps = !reps_flag in
+  let n = if smoke then 6 else 7 in
+  let gates = if smoke then 120 else 180 in
+  let qasm =
+    Qdt.Circuit.Qasm.to_string
+      (Generators.random_clifford_t ~seed:13 ~gates ~t_fraction:0.25 n)
+  in
+  let t =
+    Qdt_serve.Server.start
+      {
+        Qdt_serve.Server.default_config with
+        port = 0;
+        workers = 2;
+        queue_depth = 256;
+        access_log = None;
+      }
+  in
+  Fun.protect ~finally:(fun () -> Qdt_serve.Server.stop t) @@ fun () ->
+  let port = Qdt_serve.Server.port t in
+  let load ?(mix = [ `Sample; `Expectation; `Amplitude ]) ~use_sessions () =
+    Qdt_serve.Loadgen.run ~port ~use_sessions ~mix ~qasm ~clients
+      ~jobs_per_client ()
+  in
+  (* Throughput and tails: mixed job kinds on warm per-client sessions. *)
+  let s = load ~use_sessions:true () in
+  print_endline ("  " ^ Qdt_serve.Loadgen.pp_summary s);
+  if s.Qdt_serve.Loadgen.failed > 0 then begin
+    Printf.eprintf "E23 FAILED: %d jobs failed under load\n"
+      s.Qdt_serve.Loadgen.failed;
+    exit 1
+  end;
+  (* Warm vs cold over HTTP, best-of like every other gate here.  One
+     job kind so the batches are identical apart from session reuse. *)
+  let best_wall ~use_sessions =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let r = load ~mix:[ `Amplitude ] ~use_sessions () in
+      if r.Qdt_serve.Loadgen.failed > 0 then begin
+        Printf.eprintf "E23 FAILED: jobs failed during warm/cold timing\n";
+        exit 1
+      end;
+      best := Float.min !best r.Qdt_serve.Loadgen.wall_s
+    done;
+    !best
+  in
+  ignore (best_wall ~use_sessions:true) (* warm up server + sessions *);
+  let t_cold = best_wall ~use_sessions:false in
+  let t_warm = best_wall ~use_sessions:true in
+  let speedup = t_cold /. t_warm in
+  Printf.printf
+    "\nworkload: random Clifford+T, n=%d, %d gates; %d clients x %d jobs (%d reps, best-of)\n\n"
+    n gates clients jobs_per_client reps;
+  Printf.printf "  cold (no session: engine per request)  %9.2f ms\n" (t_cold *. 1e3);
+  Printf.printf "  warm (per-client session reuse)        %9.2f ms\n" (t_warm *. 1e3);
+  Printf.printf "  speedup: %.2fx\n" speedup;
+  metric_int "qubits" n;
+  metric_int "gates" gates;
+  metric_int "clients" clients;
+  metric_int "jobs_per_client" jobs_per_client;
+  metric_float "jobs_per_s" s.Qdt_serve.Loadgen.jobs_per_s;
+  metric_int "p50_ns" s.Qdt_serve.Loadgen.p50_ns;
+  metric_int "p99_ns" s.Qdt_serve.Loadgen.p99_ns;
+  metric_int "max_ns" s.Qdt_serve.Loadgen.max_ns;
+  metric_int "retried_429" s.Qdt_serve.Loadgen.retried_429;
+  metric_float "cold_batch_ms" (t_cold *. 1e3);
+  metric_float "warm_batch_ms" (t_warm *. 1e3);
+  metric_float "warm_speedup" speedup;
+  if t_warm >= t_cold then begin
+    Printf.eprintf
+      "E23 FAILED: warm-session serving (%.2f ms) is not faster than cold (%.2f ms)\n"
+      (t_warm *. 1e3) (t_cold *. 1e3);
+    exit 1
+  end;
+  (* Per-request latency through the whole stack, for the baseline gate:
+     one HTTP round trip per thunk, warm session vs sessionless. *)
+  let c = Qdt_serve.Client.connect ~host:"127.0.0.1" ~port in
+  Fun.protect ~finally:(fun () -> Qdt_serve.Client.close c) @@ fun () ->
+  let body ~session =
+    Printf.sprintf "{\"qasm\": %s, \"backend\": \"decision-diagrams\"%s, \"job\": {\"kind\": \"amplitude\", \"index\": 0}}"
+      (Qdt.Obs.Json.string qasm)
+      (match session with
+      | Some s -> Printf.sprintf ", \"session\": \"%s\"" s
+      | None -> "")
+  in
+  let post body =
+    match Qdt_serve.Client.post c ~path:"/v1/jobs" ~body with
+    | Ok (200, _) -> ()
+    | Ok (status, resp) ->
+        failwith (Printf.sprintf "e23: HTTP %d: %s" status resp)
+    | Error e -> failwith ("e23: connection error: " ^ e)
+  in
+  let warm_body = body ~session:(Some "bench") and cold_body = body ~session:None in
+  post warm_body (* prime the warm session *);
+  run_timings ~name:"e23"
+    [
+      bench "http-job-cold" (fun () -> post cold_body);
+      bench "http-job-warm" (fun () -> post warm_body);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1664,6 +1780,7 @@ let experiments : (string * (smoke:bool -> unit)) list =
     ("e20", fun ~smoke -> e20 ~smoke ());
     ("e21", fun ~smoke -> e21 ~smoke ());
     ("e22", fun ~smoke -> e22 ~smoke ());
+    ("e23", fun ~smoke -> e23 ~smoke ());
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -1765,7 +1882,7 @@ let () =
     if !selected = [] then experiments
     else List.filter (fun (name, _) -> List.mem name !selected) experiments
   in
-  print_endline "QDT benchmark harness — experiments E1..E22 (see DESIGN.md / EXPERIMENTS.md)";
+  print_endline "QDT benchmark harness — experiments E1..E23 (see DESIGN.md / EXPERIMENTS.md)";
   Printf.printf "timing: %d reps per measurement (median ± MAD)\n" !reps_flag;
   let failures = ref [] in
   List.iter

@@ -802,10 +802,117 @@ let optimize_cmd =
   let term = Term.(const run $ file_pos ~doc:"OpenQASM file to optimize" 0 $ method_ $ output) in
   Cmd.v (Cmd.info "optimize" ~doc:"Optimize a circuit (peephole, ZX pipeline, or phase polynomial)") term
 
+(* ------------------------------------------------------------------ *)
+(* serve / loadgen                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let run host port workers queue_depth timeout_ms max_sessions access_log
+      trace trace_format metrics =
+    with_obs ~trace ~trace_format ~metrics @@ fun () ->
+    let cfg =
+      {
+        Qdt_serve.Server.default_config with
+        host;
+        port;
+        workers;
+        queue_depth;
+        default_timeout_ms = timeout_ms;
+        max_sessions;
+        access_log;
+      }
+    in
+    match Qdt_serve.Server.run cfg with
+    | () -> ()
+    | exception Unix.Unix_error (err, _, _) ->
+        Printf.eprintf "qdt serve: cannot listen on %s:%d: %s\n" host port
+          (Unix.error_message err);
+        exit 1
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
+           ~doc:"Address to bind.")
+  in
+  let port =
+    Arg.(value & opt int 8177 & info [ "port"; "p" ] ~docv:"PORT"
+           ~doc:"Port to bind (0 picks an ephemeral port).")
+  in
+  let workers =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker domains executing jobs.")
+  in
+  let queue_depth =
+    Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"N"
+           ~doc:"Queued jobs beyond which submissions get 429 + Retry-After.")
+  in
+  let timeout_ms =
+    Arg.(value & opt int 30_000 & info [ "timeout-ms" ] ~docv:"MS"
+           ~doc:"Default per-job wall-clock budget (overridable per job).")
+  in
+  let max_sessions =
+    Arg.(value & opt int 32 & info [ "max-sessions" ] ~docv:"N"
+           ~doc:"Warm sessions kept open (LRU eviction past this).")
+  in
+  let access_log =
+    Arg.(value & opt (some string) None & info [ "access-log" ] ~docv:"FILE"
+           ~doc:"Append one JSON line per request to $(docv).")
+  in
+  let term =
+    Term.(const run $ host $ port $ workers $ queue_depth $ timeout_ms
+          $ max_sessions $ access_log $ trace_arg $ trace_format_arg
+          $ metrics_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve OpenQASM jobs over HTTP/JSONL with warm per-client \
+             sessions and a Prometheus /metrics endpoint")
+    term
+
+let loadgen_cmd =
+  let run host port clients jobs backend no_session seed =
+    let s =
+      Qdt_serve.Loadgen.run ~host ~port ~backend ~use_sessions:(not no_session)
+        ~seed ~clients ~jobs_per_client:jobs ()
+    in
+    print_endline (Qdt_serve.Loadgen.pp_summary s);
+    if s.Qdt_serve.Loadgen.failed > 0 then exit 1
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
+           ~doc:"Server address.")
+  in
+  let port =
+    Arg.(value & opt int 8177 & info [ "port"; "p" ] ~docv:"PORT"
+           ~doc:"Server port.")
+  in
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N"
+           ~doc:"Concurrent client connections.")
+  in
+  let jobs =
+    Arg.(value & opt int 25 & info [ "jobs" ] ~docv:"N"
+           ~doc:"Jobs per client (mixed sample / expectation / amplitude).")
+  in
+  let no_session =
+    Arg.(value & flag & info [ "no-session" ]
+           ~doc:"Skip warm sessions: every job pays a cold engine \
+                 create/close on the server.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Base RNG seed.") in
+  let term =
+    Term.(const run $ host $ port $ clients $ jobs $ backend_arg $ no_session
+          $ seed)
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Drive a running qdt serve with N concurrent clients and report \
+             jobs/sec and p50/p99 latency")
+    term
+
 let main =
   let doc = "quantum design tools: arrays, decision diagrams, tensor networks, ZX-calculus" in
   Cmd.group (Cmd.info "qdt" ~version:"1.0.0" ~doc)
     [ show_cmd; simulate_cmd; run_cmd; report_cmd; profile_cmd; backends_cmd; compile_cmd;
-      verify_cmd; gen_cmd; export_cmd; optimize_cmd ]
+      verify_cmd; gen_cmd; export_cmd; optimize_cmd; serve_cmd; loadgen_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -300,6 +300,42 @@ let reset () =
           Array.fill h.buckets 0 num_buckets 0)
     registry
 
+(* Percentile estimation from the log2 buckets: nearest rank, then
+   linear interpolation between the selected bucket's edges.  Bucket
+   [i >= 1] holds integer observations in [2^(i-1), 2^i - 1]; its upper
+   edge is clamped to the tracked maximum (for the overflow bucket the
+   maximum IS the upper edge), so the estimate stays inside the observed
+   range.  Worst-case error is the bucket width — a factor of 2 — which
+   is the price of never keeping raw samples. *)
+let estimate_percentile v p =
+  match v with
+  | Counter_v _ | Gauge_v _ ->
+      invalid_arg "Qdt_obs.Metrics.estimate_percentile: not a histogram"
+  | Histogram_v { count; max_value; buckets; _ } ->
+      if Float.is_nan p || p < 0.0 || p > 100.0 then
+        invalid_arg "Qdt_obs.Metrics.estimate_percentile: p outside [0, 100]";
+      if count <= 0 then
+        invalid_arg "Qdt_obs.Metrics.estimate_percentile: empty histogram";
+      let rank = max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int count))) in
+      let nb = Array.length buckets in
+      let rec find i cum =
+        if i >= nb then max_value
+        else if buckets.(i) > 0 && cum + buckets.(i) >= rank then begin
+          if i = 0 then 0
+          else begin
+            let lo = 1 lsl (i - 1) in
+            let hi =
+              if i = nb - 1 then max max_value lo
+              else min ((1 lsl i) - 1) max_value
+            in
+            let frac = float_of_int (rank - cum) /. float_of_int buckets.(i) in
+            lo + int_of_float (Float.round (frac *. float_of_int (hi - lo)))
+          end
+        end
+        else find (i + 1) (cum + buckets.(i))
+      in
+      find 0 0
+
 (* [snapshot] already sorts, but [flatten]/[to_json] also accept
    hand-assembled or [diff]-produced lists — sort here too so every
    rendering (BENCH_*.json, baselines) is deterministic by construction. *)

@@ -98,6 +98,17 @@ val diff : before:snapshot -> after:snapshot -> snapshot
 (** Zero every instrument (registrations survive). *)
 val reset : unit -> unit
 
+(** [estimate_percentile v p] — approximate [p]-th percentile
+    ([0 <= p <= 100]) of a [Histogram_v] snapshot value, by nearest rank
+    with linear interpolation inside the selected log₂ bucket.  The
+    bucket's upper edge is clamped to the tracked maximum, so the
+    estimate never exceeds an observed value; precision is bounded by
+    the bucket width (a factor of 2), which is what lets a server report
+    p50/p99 latencies straight from the registry without keeping raw
+    samples.  Raises [Invalid_argument] on a non-histogram value, an
+    empty histogram, or [p] outside the range. *)
+val estimate_percentile : value -> float -> int
+
 (** [flatten s] — scalar view for embedding into records: a counter or
     gauge becomes one entry; a histogram becomes [name.count], [name.sum]
     and [name.max].  Output is sorted by name regardless of the input

@@ -90,64 +90,80 @@ let trace_tail_json ~limit =
   in
   Printf.sprintf "[%s]" (String.concat ", " (List.map event_json tail))
 
+(* Build the artifact from the bracket's current state.  Pure with
+   respect to the bracket: callable repeatedly ([snapshot]) without
+   sealing it — only [finalize] records the result and restores the
+   switches. *)
+let assemble ?error t =
+  let elapsed = Clock.elapsed_ns t.t0 in
+  let g1 = Gc.quick_stat () in
+  Watermark.observe_int w_heap g1.Gc.heap_words;
+  let metrics_diff =
+    Metrics.diff ~before:t.before_metrics ~after:(Metrics.snapshot ())
+  in
+  let b = Buffer.create 1024 in
+  let field name json =
+    Buffer.add_string b ", ";
+    Buffer.add_string b (Json.string name);
+    Buffer.add_string b ": ";
+    Buffer.add_string b json
+  in
+  Buffer.add_string b (Printf.sprintf "{\"schema\": %s" (Json.string schema));
+  field "created_unix_ns" (Json.int (Clock.epoch_ns + t.t0 + elapsed));
+  field "wall_s" (Json.float (Clock.ns_to_s elapsed));
+  field "heap"
+    (Printf.sprintf
+       "{\"minor_words\": %s, \"major_words\": %s, \"heap_words\": %d, \
+        \"top_heap_words\": %d}"
+       (Json.float (g1.Gc.minor_words -. t.g0.Gc.minor_words))
+       (Json.float (g1.Gc.major_words -. t.g0.Gc.major_words))
+       g1.Gc.heap_words g1.Gc.top_heap_words);
+  List.iter (fun (name, json) -> field name json) (List.rev t.sections);
+  field "metrics" (Metrics.to_json metrics_diff);
+  field "watermarks" (watermarks_json ());
+  (match hotspots_json () with
+  | Some json -> field "hotspots" json
+  | None -> ());
+  (match error with
+  | Some (msg, backtrace) ->
+      field "error"
+        (Printf.sprintf "{\"message\": %s, \"backtrace\": %s}"
+           (Json.string msg) (Json.string backtrace));
+      field "trace_tail" (trace_tail_json ~limit:50)
+  | None -> ());
+  Buffer.add_string b "}";
+  Buffer.contents b
+
 let finalize ?error t =
   match t.finished with
   | Some json -> json
   | None ->
-      let elapsed = Clock.elapsed_ns t.t0 in
-      let g1 = Gc.quick_stat () in
-      Watermark.observe_int w_heap g1.Gc.heap_words;
-      let metrics_diff =
-        Metrics.diff ~before:t.before_metrics ~after:(Metrics.snapshot ())
-      in
-      let b = Buffer.create 1024 in
-      let field name json =
-        Buffer.add_string b ", ";
-        Buffer.add_string b (Json.string name);
-        Buffer.add_string b ": ";
-        Buffer.add_string b json
-      in
-      Buffer.add_string b (Printf.sprintf "{\"schema\": %s" (Json.string schema));
-      field "created_unix_ns" (Json.int (Clock.epoch_ns + t.t0 + elapsed));
-      field "wall_s" (Json.float (Clock.ns_to_s elapsed));
-      field "heap"
-        (Printf.sprintf
-           "{\"minor_words\": %s, \"major_words\": %s, \"heap_words\": %d, \
-            \"top_heap_words\": %d}"
-           (Json.float (g1.Gc.minor_words -. t.g0.Gc.minor_words))
-           (Json.float (g1.Gc.major_words -. t.g0.Gc.major_words))
-           g1.Gc.heap_words g1.Gc.top_heap_words);
-      List.iter (fun (name, json) -> field name json) (List.rev t.sections);
-      field "metrics" (Metrics.to_json metrics_diff);
-      field "watermarks" (watermarks_json ());
-      (match hotspots_json () with
-      | Some json -> field "hotspots" json
-      | None -> ());
-      (match error with
-      | Some (msg, backtrace) ->
-          field "error"
-            (Printf.sprintf "{\"message\": %s, \"backtrace\": %s}"
-               (Json.string msg) (Json.string backtrace));
-          field "trace_tail" (trace_tail_json ~limit:50)
-      | None -> ());
-      Buffer.add_string b "}";
-      let json = Buffer.contents b in
+      let json = assemble ?error t in
       t.finished <- Some json;
       Metrics.set_enabled t.prev_metrics;
       Watermark.set_enabled t.prev_watermarks;
       Watermark.reset ();
       json
 
+let snapshot t = match t.finished with Some json -> json | None -> assemble t
 let finish t = finalize t
 let crash t ~error ~backtrace = finalize ~error:(error, backtrace) t
 
+(* Write-to-temp-then-rename: rename(2) is atomic within a filesystem,
+   so a concurrent reader of [path] sees a complete document — the old
+   one or the new one, never a torn write. *)
 let write_file path json =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc json;
-      output_char oc '\n')
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     output_string oc json;
+     output_char oc '\n';
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
 
 (* ------------------------------------------------------------------ *)
 (* Pretty-printing (the [qdt report] subcommand)                       *)

@@ -28,11 +28,25 @@ val add_section : t -> name:string -> json:string -> unit
     return the same JSON). *)
 val finish : t -> string
 
+(** [snapshot t] — assemble the artifact-so-far WITHOUT closing the
+    bracket: the switches stay on, the watermarks keep accumulating, and
+    a later {!snapshot} or {!finish} sees everything recorded since
+    {!start}.  This is what a long-running server returns from
+    [GET /report] — each scrape is a complete, valid artifact of the
+    process lifetime to date.  After {!finish}, returns the sealed
+    artifact. *)
+val snapshot : t -> string
+
 (** [crash t ~error ~backtrace] — the [--dump-on-error] path: like
     {!finish} but with an ["error"] section and the tail of the trace
     ring, so a failed run still leaves a valid, inspectable artifact. *)
 val crash : t -> error:string -> backtrace:string -> string
 
+(** [write_file path json] — atomic write: the document goes to
+    [<path>.tmp] first and is renamed into place, so a reader polling
+    [path] (a scraper, a dashboard tailing report files) sees either the
+    previous complete document or the new complete document — never a
+    partial one. *)
 val write_file : string -> string -> unit
 
 (** Human-readable rendering of a report artifact (the [qdt report]

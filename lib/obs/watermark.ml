@@ -56,3 +56,36 @@ let snapshot () =
 
 let reset () =
   locked @@ fun () -> Hashtbl.iter (fun _ w -> Atomic.set w.cell 0.0) registry
+
+(* Peak resident set size.  Linux reports it as "VmHWM: <n> kB" in
+   /proc/self/status; elsewhere the file is absent and the watermark
+   simply stays at zero (callers treat 0 as "not measured", the same
+   convention Report uses to drop empty watermarks). *)
+let w_rss = watermark "proc.peak_rss_bytes"
+
+let observe_rss () =
+  if Atomic.get on then
+    match open_in "/proc/self/status" with
+    | exception Sys_error _ -> ()
+    | ic ->
+        let prefix = "VmHWM:" in
+        let rec scan () =
+          match input_line ic with
+          | exception End_of_file -> ()
+          | line ->
+              if
+                String.length line > String.length prefix
+                && String.sub line 0 (String.length prefix) = prefix
+              then
+                let digits =
+                  String.to_seq line
+                  |> Seq.filter (fun c -> c >= '0' && c <= '9')
+                  |> String.of_seq
+                in
+                match int_of_string_opt digits with
+                | Some kb -> raise_to w_rss.cell (float_of_int kb *. 1024.0)
+                | None -> ()
+              else scan ()
+        in
+        scan ();
+        close_in ic

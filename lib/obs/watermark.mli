@@ -31,6 +31,13 @@ val observe : t -> float -> unit
 
 val observe_int : t -> int -> unit
 
+(** [observe_rss ()] — sample the process's peak resident set size into
+    the ["proc.peak_rss_bytes"] watermark (Linux: [VmHWM] from
+    [/proc/self/status]; a no-op on platforms without procfs, leaving
+    the watermark at zero).  A server calls this on every [/metrics]
+    scrape so capacity headroom is visible without an external agent. *)
+val observe_rss : unit -> unit
+
 (** {1 Reading} *)
 
 (** Current peak (0.0 after {!reset} or before any observation). *)

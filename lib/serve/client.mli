@@ -1,0 +1,27 @@
+(** Blocking keep-alive HTTP client for [qdt serve] — used by the load
+    generator, bench e23, and the serve tests.  One [t] is one
+    connection; it is not thread-safe (give each client thread its
+    own). *)
+
+type t
+
+(** Raises [Unix.Unix_error] when the server cannot be reached. *)
+val connect : host:string -> port:int -> t
+
+val close : t -> unit
+
+(** [request c ~meth ~path ~body] — one exchange; returns status,
+    headers (names lowercased) and body, or [Error] when the connection
+    broke (the caller should {!close} and {!connect} again). *)
+val request :
+  t ->
+  meth:string ->
+  path:string ->
+  ?body:string ->
+  unit ->
+  (int * (string * string) list * string, string) result
+
+(** [get c path] / [post c ~path ~body] — status and body only. *)
+val get : t -> string -> (int * string, string) result
+
+val post : t -> path:string -> body:string -> (int * string, string) result

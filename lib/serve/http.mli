@@ -1,0 +1,44 @@
+(** Minimal HTTP/1.1 on stdlib channels — just enough protocol for
+    [qdt serve] and its client: one request/response exchange over a
+    keep-alive connection, [Content-Length] bodies, no chunked encoding,
+    no TLS.  The point is zero new dependencies, not generality. *)
+
+type request = {
+  meth : string;  (** uppercase, e.g. ["GET"] *)
+  path : string;  (** path without the query string *)
+  query : string;  (** raw query string ([""] when absent) *)
+  headers : (string * string) list;  (** names lowercased *)
+  body : string;
+}
+
+(** [header name req] — first header named [name] (give it lowercased). *)
+val header : string -> request -> string option
+
+(** [read_request ~max_body_bytes ic] — the next request on a keep-alive
+    connection.  [Ok None] when the peer closed (or went idle past the
+    socket timeout) between requests — the clean end of a connection;
+    [Error] on a malformed or oversized request (the connection should
+    be dropped after one best-effort error response). *)
+val read_request :
+  max_body_bytes:int -> in_channel -> (request option, string) result
+
+type response = {
+  status : int;
+  content_type : string;
+  extra_headers : (string * string) list;
+  resp_body : string;
+}
+
+val response :
+  ?content_type:string ->
+  ?extra_headers:(string * string) list ->
+  status:int ->
+  string ->
+  response
+
+(** Standard reason phrase for the status codes this server emits. *)
+val reason : int -> string
+
+(** [write_response oc resp] — serialise with [Content-Length] and
+    [Connection: keep-alive], and flush. *)
+val write_response : out_channel -> response -> unit

@@ -1,0 +1,227 @@
+(* JSON encode/decode for the serve job protocol.  Parsing leans on
+   Qdt_obs.Json (the same parser the report reader uses); encoding is
+   hand-assembled strings like report.ml, so the whole protocol stays
+   dependency-free. *)
+
+module Json = Qdt_obs.Json
+
+type job_request = {
+  qasm : string;
+  backend : string;
+  job : Qdt.Job.t;
+  session : string option;
+  timeout_ms : int option;
+  delay_ms : int;
+}
+
+let ( let* ) = Result.bind
+
+let str_field ?default obj name =
+  match Option.bind (Json.member name obj) Json.to_string with
+  | Some s -> Ok s
+  | None -> (
+      match (Json.member name obj, default) with
+      | None, Some d -> Ok d
+      | _ -> Error (Printf.sprintf "field %S: expected a string" name))
+
+let int_field ?default obj name =
+  match Json.member name obj with
+  | None -> (
+      match default with
+      | Some d -> Ok d
+      | None -> Error (Printf.sprintf "field %S: required" name))
+  | Some v -> (
+      match Json.to_number v with
+      | Some f when Float.is_integer f -> Ok (int_of_float f)
+      | _ -> Error (Printf.sprintf "field %S: expected an integer" name))
+
+let job_of_json v =
+  let* kind = str_field v "kind" in
+  match kind with
+  | "full_state" -> Ok Qdt.Job.Full_state
+  | "amplitude" ->
+      let* index = int_field v "index" in
+      Ok (Qdt.Job.Amplitude index)
+  | "sample" ->
+      let* seed = int_field ~default:0 v "seed" in
+      let* shots = int_field v "shots" in
+      if shots <= 0 then Error "field \"shots\": must be positive"
+      else Ok (Qdt.Job.Sample { seed; shots })
+  | "expectation_z" ->
+      let* seed = int_field ~default:0 v "seed" in
+      let* qubit = int_field v "qubit" in
+      Ok (Qdt.Job.Expectation_z { seed; qubit })
+  | k ->
+      Error
+        (Printf.sprintf
+           "job kind %S: expected full_state, amplitude, sample or \
+            expectation_z"
+           k)
+
+let job_request_of_string body =
+  match Json.parse body with
+  | Error e -> Error ("invalid JSON: " ^ e)
+  | Ok (Json.Object _ as obj) ->
+      let* qasm =
+        match Option.bind (Json.member "qasm" obj) Json.to_string with
+        | Some s when String.trim s <> "" -> Ok s
+        | _ -> Error "field \"qasm\": required (OpenQASM 2.0 source)"
+      in
+      let* backend = str_field ~default:"auto" obj "backend" in
+      let* job =
+        match Json.member "job" obj with
+        | None -> Ok Qdt.Job.Full_state
+        | Some jv -> job_of_json jv
+      in
+      let* session =
+        match Json.member "session" obj with
+        | None | Some Json.Null -> Ok None
+        | Some v -> (
+            match Json.to_string v with
+            | Some s when s <> "" -> Ok (Some s)
+            | _ -> Error "field \"session\": expected a non-empty string")
+      in
+      let* timeout_ms =
+        match Json.member "timeout_ms" obj with
+        | None -> Ok None
+        | Some _ ->
+            let* t = int_field obj "timeout_ms" in
+            if t <= 0 then Error "field \"timeout_ms\": must be positive"
+            else Ok (Some t)
+      in
+      let* delay_ms = int_field ~default:0 obj "delay_ms" in
+      Ok { qasm; backend; job; session; timeout_ms; delay_ms }
+  | Ok _ -> Error "expected a JSON object"
+
+let circuit_of req =
+  match Qdt_circuit.Qasm.of_string req.qasm with
+  | c -> Ok c
+  | exception Qdt_circuit.Qasm.Parse_error msg -> Error ("qasm: " ^ msg)
+
+let close_request_of_string body =
+  match Json.parse body with
+  | Error e -> Error ("invalid JSON: " ^ e)
+  | Ok obj -> (
+      match Option.bind (Json.member "session" obj) Json.to_string with
+      | Some s when s <> "" -> Ok s
+      | _ -> Error "field \"session\": required")
+
+(* ------------------------------------------------------------------ *)
+(* Response bodies                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let obj fields =
+  let b = Buffer.create 256 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Json.string k);
+      Buffer.add_string b ": ";
+      Buffer.add_string b v)
+    fields;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* Dense states render sparsely: index/re/im triples for entries with
+   probability above 1e-12, capped so a response stays bounded no
+   matter the qubit count. *)
+let max_state_entries = 4096
+
+let result_json (payload : Qdt.Job.result) =
+  match payload with
+  | Qdt.Job.State v ->
+      let dim = Qdt.Linalg.Vec.length v in
+      let entries = ref [] in
+      let n = ref 0 in
+      Qdt.Linalg.Vec.iteri
+        (fun k amp ->
+          if Qdt.Linalg.Cx.norm2 amp > 1e-12 && !n < max_state_entries then begin
+            incr n;
+            entries :=
+              Printf.sprintf "[%d, %s, %s]" k
+                (Json.float amp.Qdt.Linalg.Cx.re)
+                (Json.float amp.Qdt.Linalg.Cx.im)
+              :: !entries
+          end)
+        v;
+      obj
+        [
+          ("kind", Json.string "state");
+          ("dim", Json.int dim);
+          ("amplitudes",
+           Printf.sprintf "[%s]" (String.concat ", " (List.rev !entries)));
+        ]
+  | Qdt.Job.Amplitude_of a ->
+      obj
+        [
+          ("kind", Json.string "amplitude");
+          ("re", Json.float a.Qdt.Linalg.Cx.re);
+          ("im", Json.float a.Qdt.Linalg.Cx.im);
+        ]
+  | Qdt.Job.Counts counts ->
+      obj
+        [
+          ("kind", Json.string "counts");
+          ("counts",
+           Printf.sprintf "[%s]"
+             (String.concat ", "
+                (List.map (fun (k, c) -> Printf.sprintf "[%d, %d]" k c) counts)));
+        ]
+  | Qdt.Job.Expectation e ->
+      obj [ ("kind", Json.string "expectation"); ("value", Json.float e) ]
+
+let stats_json (s : Qdt.Backend.stats) =
+  let fields = ref [] in
+  let add k v = fields := (k, v) :: !fields in
+  (match s.Qdt.Backend.note with Some n -> add "note" (Json.string n) | None -> ());
+  (match s.Qdt.Backend.tableau_bytes with
+  | Some n -> add "tableau_bytes" (Json.int n)
+  | None -> ());
+  (match s.Qdt.Backend.mps with
+  | Some m ->
+      add "mps"
+        (obj
+           [
+             ("max_bond_dim", Json.int m.Qdt.Backend.max_bond_dim);
+             ("truncation_error", Json.float m.Qdt.Backend.truncation_error);
+           ])
+  | None -> ());
+  (match s.Qdt.Backend.dd with
+  | Some d ->
+      add "dd"
+        (obj
+           [
+             ("peak_nodes", Json.int d.Qdt.Backend.peak_nodes);
+             ("final_nodes", Json.int d.Qdt.Backend.final_nodes);
+             ("peak_live_nodes", Json.int d.Qdt.Backend.peak_live_nodes);
+             ("unique_hit_rate", Json.float d.Qdt.Backend.unique_hit_rate);
+             ("compute_hit_rate", Json.float d.Qdt.Backend.compute_hit_rate);
+           ])
+  | None -> ());
+  add "wall_s" (Json.float s.Qdt.Backend.wall_s);
+  add "backend" (Json.string s.Qdt.Backend.backend);
+  obj !fields
+
+let ok_body ~job ~payload ~(stats : Qdt.Backend.stats) ~queue_wait_ns ~run_ns =
+  obj
+    [
+      ("ok", "true");
+      ("job", Json.string (Qdt.Job.describe job));
+      ("backend", Json.string stats.Qdt.Backend.backend);
+      ("result", result_json payload);
+      ("stats", stats_json stats);
+      ("queue_wait_ns", Json.int queue_wait_ns);
+      ("run_ns", Json.int run_ns);
+    ]
+
+let error_body ~typ ~message extra =
+  obj
+    [
+      ("ok", "false");
+      ( "error",
+        obj
+          (("type", Json.string typ)
+          :: ("message", Json.string message)
+          :: extra) );
+    ]

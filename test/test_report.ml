@@ -127,6 +127,62 @@ let test_report_crash =
         (Watermark.peak (Watermark.watermark "test.report.peak"))
 
 (* ------------------------------------------------------------------ *)
+(* Snapshots and atomic writes (ISSUE 10)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* [snapshot] must yield a complete artifact without closing the
+   bracket: switches stay on, watermarks keep accumulating, and the
+   eventual [finish] sees everything since [start]. *)
+let test_report_snapshot =
+  isolated @@ fun () ->
+  let t = Report.start () in
+  let w = Watermark.watermark "test.snapshot.peak" in
+  Watermark.observe w 5.0;
+  let s1 = Report.snapshot t in
+  let j1 = parse_ok ~what:"first snapshot" s1 in
+  (match Json.member "watermarks" j1 with
+  | Some wm ->
+      Alcotest.(check (float 0.0)) "peak in snapshot" 5.0
+        (number ~what:"watermarks" wm "test.snapshot.peak")
+  | None -> Alcotest.fail "watermarks section missing");
+  Alcotest.(check bool) "bracket still live" true (Metrics.enabled ());
+  Watermark.observe w 9.0;
+  let s2 = Report.snapshot t in
+  let j2 = parse_ok ~what:"second snapshot" s2 in
+  (match Json.member "watermarks" j2 with
+  | Some wm ->
+      Alcotest.(check (float 0.0)) "later peak visible" 9.0
+        (number ~what:"watermarks" wm "test.snapshot.peak")
+  | None -> Alcotest.fail "watermarks section missing");
+  let sealed = Report.finish t in
+  Alcotest.(check string) "snapshot after finish returns the sealed artifact"
+    sealed (Report.snapshot t)
+
+let read_file path =
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* write-to-temp-then-rename: the final document lands whole and the
+   temp file does not survive. *)
+let test_write_file_atomic =
+  isolated @@ fun () ->
+  let t = Report.start () in
+  let json = Report.finish t in
+  let path = Filename.temp_file "qdt_report" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Report.write_file path json;
+      Report.write_file path json;
+      Alcotest.(check bool) "no temp file left" false
+        (Sys.file_exists (path ^ ".tmp"));
+      Alcotest.(check string) "document written whole" (json ^ "\n")
+        (read_file path);
+      ignore (parse_ok ~what:"written report" (String.trim (read_file path))))
+
+(* ------------------------------------------------------------------ *)
 (* Pool shutdown resets its gauge (ISSUE 8 satellite 3)                *)
 (* ------------------------------------------------------------------ *)
 
@@ -166,6 +222,8 @@ let () =
         [
           Alcotest.test_case "round-trip" `Quick test_report_roundtrip;
           Alcotest.test_case "crash artifact" `Quick test_report_crash;
+          Alcotest.test_case "live snapshot" `Quick test_report_snapshot;
+          Alcotest.test_case "atomic write" `Quick test_write_file_atomic;
         ] );
       ( "par",
         [ Alcotest.test_case "domains gauge reset" `Quick test_domains_gauge_reset ] );
